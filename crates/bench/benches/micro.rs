@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks for the MOVE building blocks: Porter
+//! stemming, Bloom filters, ring routing, posting-list maintenance, and the
+//! two match algorithms (home-node single-term vs centralized SIFT).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use move_bloom::BloomFilter;
+use move_cluster::Ring;
+use move_index::{InvertedIndex, PostingList};
+use move_text::stem;
+use move_types::{Document, Filter, FilterId, MatchSemantics, NodeId, TermId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_stemmer(c: &mut Criterion) {
+    let words = [
+        "relational",
+        "vietnamization",
+        "generalizations",
+        "controlling",
+        "hopefulness",
+        "cats",
+    ];
+    c.bench_function("porter_stem_6_words", |b| {
+        b.iter(|| {
+            for w in words {
+                black_box(stem(black_box(w)));
+            }
+        })
+    });
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut bf = BloomFilter::new(1_000_000, 0.01);
+    for t in 0..1_000_000u32 {
+        bf.insert(&t);
+    }
+    c.bench_function("bloom_contains_hit", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 1_000_000;
+            black_box(bf.contains(&i))
+        })
+    });
+    c.bench_function("bloom_contains_miss", |b| {
+        let mut i = 1_000_000u32;
+        b.iter(|| {
+            i += 1;
+            black_box(bf.contains(&i))
+        })
+    });
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let ring = Ring::new((0..100).map(NodeId), 64);
+    c.bench_function("ring_home_of_term", |b| {
+        let mut t = 0u32;
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            black_box(ring.home_of_term(TermId(t)))
+        })
+    });
+    c.bench_function("ring_preference_list_3", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(ring.preference_list(&k, 3))
+        })
+    });
+}
+
+fn bench_postings(c: &mut Criterion) {
+    c.bench_function("posting_insert_10k", |b| {
+        b.iter_batched(
+            PostingList::new,
+            |mut pl| {
+                for i in 0..10_000u64 {
+                    pl.insert(FilterId((i * 7919) % 10_000));
+                }
+                pl
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn build_index(filters: usize, vocab: u32) -> InvertedIndex {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut idx = InvertedIndex::new(MatchSemantics::Boolean);
+    for id in 0..filters as u64 {
+        let len = rng.gen_range(1..=3);
+        let terms: Vec<TermId> = (0..len).map(|_| TermId(rng.gen_range(0..vocab))).collect();
+        idx.insert(Filter::new(id, terms));
+    }
+    idx
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for &p in &[10_000usize, 100_000] {
+        let idx = build_index(p, 50_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let doc = Document::from_distinct_terms(
+            0u64,
+            (0..64)
+                .map(|_| TermId(rng.gen_range(0..50_000u32)))
+                .collect::<std::collections::HashSet<_>>(),
+        );
+        group.bench_with_input(BenchmarkId::new("sift_64_terms", p), &idx, |b, idx| {
+            b.iter(|| black_box(idx.match_document(black_box(&doc))))
+        });
+        let term = *doc.terms().first().expect("doc has terms");
+        group.bench_with_input(BenchmarkId::new("single_term", p), &idx, |b, idx| {
+            b.iter(|| black_box(idx.match_term(black_box(&doc), term)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stemmer,
+    bench_bloom,
+    bench_ring,
+    bench_postings,
+    bench_matching
+);
+criterion_main!(benches);

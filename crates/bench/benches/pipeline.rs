@@ -1,0 +1,104 @@
+//! Criterion end-to-end benchmarks: registering filters and publishing
+//! documents through each of the three dissemination schemes on a small
+//! simulated cluster — the per-operation costs behind the figure harness.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use move_bench::{Dataset, Scale, Workload};
+use move_core::{Dissemination, IlScheme, MoveScheme, RsScheme, SystemConfig};
+use std::hint::black_box;
+
+fn small_workload() -> Workload {
+    Workload::build(Scale::new(0.005), Dataset::Wt, 200_000, 10_000, 7)
+}
+
+fn config(vocab: usize) -> SystemConfig {
+    SystemConfig {
+        capacity_per_node: 100_000,
+        expected_terms: vocab,
+        ..SystemConfig::default()
+    }
+}
+
+fn bench_register(c: &mut Criterion) {
+    let w = small_workload();
+    let mut group = c.benchmark_group("register_1k_filters");
+    group.bench_function("il", |b| {
+        b.iter_batched(
+            || IlScheme::new(config(w.vocabulary)).expect("valid"),
+            |mut s| {
+                for f in &w.filters[..1_000] {
+                    s.register(f).expect("register");
+                }
+                black_box(s.registered_filters())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("move", |b| {
+        b.iter_batched(
+            || MoveScheme::new(config(w.vocabulary)).expect("valid"),
+            |mut s| {
+                for f in &w.filters[..1_000] {
+                    s.register(f).expect("register");
+                }
+                black_box(s.registered_filters())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let w = small_workload();
+    let mut group = c.benchmark_group("publish_wt_doc");
+    group.sample_size(30);
+
+    let mut il = IlScheme::new(config(w.vocabulary)).expect("valid");
+    let mut rs = RsScheme::new(config(w.vocabulary)).expect("valid");
+    let mut mv = MoveScheme::new(config(w.vocabulary)).expect("valid");
+    for f in &w.filters {
+        il.register(f).expect("register");
+        rs.register(f).expect("register");
+        mv.register(f).expect("register");
+    }
+    mv.observe_corpus(&w.sample);
+    mv.allocate().expect("allocate");
+
+    let schemes: Vec<(&str, &mut dyn Dissemination)> =
+        vec![("il", &mut il), ("rs", &mut rs), ("move", &mut mv)];
+    for (name, scheme) in schemes {
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                i = (i + 1) % w.docs.len();
+                black_box(scheme.publish(0.0, &w.docs[i]).expect("publish"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let w = small_workload();
+    c.bench_function("allocate_1k_filters_20_nodes", |b| {
+        b.iter_batched(
+            || {
+                let mut m = MoveScheme::new(config(w.vocabulary)).expect("valid");
+                for f in &w.filters[..1_000] {
+                    m.register(f).expect("register");
+                }
+                m.observe_corpus(&w.sample);
+                m
+            },
+            |mut m| {
+                m.allocate().expect("allocate");
+                black_box(m.forwarding_tables())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_register, bench_publish, bench_allocate);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation: §IV-A's claim that "neither the replication nor separation
+//! scheme alone can minimize the latency". Forces MOVE's grids into pure
+//! replication (`rᵢ = 1/nᵢ`), pure separation (`rᵢ = 1`), and disables
+//! allocation entirely, against the combined capacity-driven grids.
+//!
+//! Two capacity regimes: with *ample* per-node capacity the optimal grid
+//! degenerates to pure replication (exactly the paper's §IV-B2 analysis —
+//! `rᵢ = 1/nᵢ` is optimal when `C ≥ pᵢ·P`), so the combined scheme ties it
+//! and separation loses. With *tight* capacity (the disk knee close to
+//! `C`), pure replication overfills nodes and pays disk speeds, and only
+//! the combined grid keeps both the document and the storage balance.
+
+use move_bench::{
+    paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload,
+};
+use move_core::GridMode;
+use move_stats::Summary;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("ablation_allocation ({scale})");
+    let w = Workload::paper_cluster(scale)
+        .slice_filters(scale.count(4_000_000, 100) as usize)
+        .slice_docs(scale.count(100_000, 500) as usize);
+    let mut table = Table::new(
+        "ablation_allocation",
+        &["capacity", "variant", "throughput", "storage_cv", "max_storage_over_c"],
+    );
+    let variants: [(&str, Option<GridMode>); 4] = [
+        ("combined (move)", Some(GridMode::Optimal)),
+        ("pure replication", Some(GridMode::PureReplication)),
+        ("pure separation", Some(GridMode::PureSeparation)),
+        ("no allocation", None),
+    ];
+    for (regime, capacity_base, knee_factor) in
+        [("ample", 3_000_000u64, 4.0f64), ("tight", 1_100_000, 1.2)]
+    {
+        let capacity = scale.count(capacity_base, 1_000);
+        for (name, mode) in variants {
+            let mut system = paper_system(scale, 20, w.vocabulary);
+            system.capacity_per_node = capacity;
+            system.cost.mem_capacity = (capacity as f64 * knee_factor) as u64;
+            let mut cfg = ExperimentConfig::new(system);
+            match mode {
+                Some(m) => cfg.grid_mode = m,
+                None => cfg.allocate = false,
+            }
+            let r = run_scheme(SchemeKind::Move, &cfg, &w);
+            let storage: Vec<f64> = r.storage.iter().map(|&s| s as f64).collect();
+            let max_over_c = storage.iter().fold(0.0f64, |a, &b| a.max(b)) / capacity as f64;
+            table.row(&[
+                regime.to_owned(),
+                name.to_owned(),
+                format!("{:.2}", r.capacity_throughput),
+                format!("{:.3}", Summary::of(&storage).cv),
+                format!("{max_over_c:.2}"),
+            ]);
+            println!("[{regime}] {name}: throughput {:.2}", r.capacity_throughput);
+        }
+    }
+    table.finish();
+    println!("paper §IV-A: with capacity pressure, neither pure scheme alone suffices");
+}

@@ -1,0 +1,55 @@
+//! Ablation: §V's allocation policies. The proactive policy allocates from
+//! an offline corpus sample before documents flow; the passive policy
+//! learns from live traffic and reorganizes mid-stream — paying the
+//! movement on an already-hot node, as the paper warns.
+
+use move_bench::{paper_system, Scale, Table, Workload};
+use move_cluster::QueueSim;
+use move_core::{AllocationPolicy, Dissemination, MoveScheme};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("ablation_policy ({scale})");
+    let w = Workload::paper_cluster(scale)
+        .slice_filters(scale.count(4_000_000, 100) as usize)
+        .slice_docs(scale.count(200_000, 1_000) as usize);
+    let mut table = Table::new(
+        "ablation_policy",
+        &["policy", "window", "throughput"],
+    );
+    let windows = 4usize;
+    let per_window = w.docs.len() / windows;
+    for (name, policy) in [
+        ("proactive", AllocationPolicy::Proactive),
+        ("passive", AllocationPolicy::Passive),
+    ] {
+        let mut system = paper_system(scale, 20, w.vocabulary);
+        system.allocation_policy = policy;
+        system.refresh_every_docs = per_window as u64;
+        let mut scheme = MoveScheme::new(system.clone()).expect("valid config");
+        for f in &w.filters {
+            scheme.register(f).expect("registration cannot fail");
+        }
+        if policy == AllocationPolicy::Proactive {
+            scheme.observe_corpus(&w.sample);
+            scheme.allocate().expect("allocation fits");
+        }
+        for win in 0..windows {
+            scheme.cluster_mut().ledgers_mut().reset();
+            let docs = &w.docs[win * per_window..(win + 1) * per_window];
+            let mut jobs = Vec::with_capacity(docs.len());
+            for d in docs {
+                jobs.push(scheme.publish(0.0, d).expect("publish").job);
+            }
+            let sim = QueueSim::new().run(system.nodes, &jobs);
+            table.row(&[
+                name.to_owned(),
+                win.to_string(),
+                format!("{:.2}", sim.throughput),
+            ]);
+            println!("{name} window {win}: {:.2} docs/s", sim.throughput);
+        }
+    }
+    table.finish();
+    println!("expectation: passive starts at IL-level throughput and converges upward after its first reorganization");
+}

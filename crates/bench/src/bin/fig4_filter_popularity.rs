@@ -1,0 +1,49 @@
+//! Figure 4: ranked filter-term popularity `pᵢ` of the MSN-like trace
+//! (log-log; the paper's plot shows a heavy Zipf-like skew with top-1000
+//! accumulated popularity 0.437).
+
+use move_bench::{Dataset, Scale, Table, Workload};
+use move_workload::DatasetReport;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("fig4_filter_popularity ({scale})");
+    let w = Workload::build(scale, Dataset::Wt, 4_000_000, 50, 42);
+    let series = DatasetReport::figure4(&w.filters, w.vocabulary);
+
+    let mut table = Table::new("fig4_filter_popularity", &["rank", "popularity"]);
+    for &(rank, p) in log_sample(&series) {
+        table.row(&[rank.to_string(), format!("{p:.6e}")]);
+    }
+    table.finish();
+
+    // The headline statistic of the figure.
+    let head: f64 = series
+        .iter()
+        .take(w.filter_spec.top_k)
+        .map(|&(_, p)| p)
+        .sum::<f64>()
+        / w.filters.iter().map(move_types::Filter::len).sum::<usize>() as f64
+        * w.filters.len() as f64;
+    println!(
+        "top-{} accumulated occurrence share: {:.3} (paper: 0.437)",
+        w.filter_spec.top_k, head
+    );
+    println!("distinct terms: {}", series.len());
+}
+
+/// Keeps ~60 log-spaced points of a ranked series (the paper plots on a
+/// log axis).
+fn log_sample(series: &[(usize, f64)]) -> Vec<&(usize, f64)> {
+    let n = series.len().max(1);
+    let mut picks = Vec::new();
+    let mut last = 0usize;
+    for i in 0..60 {
+        let r = ((n as f64).powf(i as f64 / 59.0)).round() as usize;
+        if r > last && r <= n {
+            picks.push(&series[r - 1]);
+            last = r;
+        }
+    }
+    picks
+}

@@ -1,0 +1,11 @@
+//! Figure 6: single-node throughput vs the P/Q split at fixed R = P×Q,
+//! TREC-AP-like documents (6054.9 terms/article). Key paper observations:
+//! larger P (smaller Q) gives higher pair-match throughput, except at very
+//! large P where the disk knee bends the curve back; larger R costs more
+//! total time.
+
+use move_bench::{single_node_figure, Dataset, Scale};
+
+fn main() {
+    single_node_figure(Scale::from_env(), Dataset::Ap, "fig6_single_node_ap");
+}

@@ -1,0 +1,9 @@
+//! Figure 7: the Fig. 6 sweep on TREC-WT-like documents (64.8 terms/doc).
+//! Paper observation: WT throughput exceeds AP by roughly the document-size
+//! ratio (≈81.8× at R=10⁶, Q=100, against a 93× size ratio).
+
+use move_bench::{single_node_figure, Dataset, Scale};
+
+fn main() {
+    single_node_figure(Scale::from_env(), Dataset::Wt, "fig7_single_node_wt");
+}

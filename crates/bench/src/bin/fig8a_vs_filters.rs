@@ -1,0 +1,38 @@
+//! Figure 8(a): cluster throughput vs the number of registered filters
+//! `P ∈ [10⁵, 10⁷]` for MOVE / IL / RS. Paper: throughput falls with `P`;
+//! at `P = 10⁷` the ordering is MOVE 93 > RS 70 > IL 42 docs/s.
+
+use move_bench::{paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("fig8a_vs_filters ({scale})");
+    let w = Workload::paper_cluster(scale).slice_docs(scale.count(100_000, 500) as usize);
+    let mut table = Table::new(
+        "fig8a_vs_filters",
+        &["P_paper", "P", "scheme", "throughput", "capacity_throughput"],
+    );
+    for p_paper in [100_000u64, 500_000, 1_000_000, 2_000_000, 4_000_000, 10_000_000] {
+        let p = scale.count(p_paper, 100) as usize;
+        let wp = w.slice_filters(p);
+        let cfg = ExperimentConfig::new(paper_system(scale, 20, w.vocabulary));
+        for kind in [SchemeKind::Move, SchemeKind::Il, SchemeKind::Rs] {
+            let r = run_scheme(kind, &cfg, &wp);
+            table.row(&[
+                p_paper.to_string(),
+                p.to_string(),
+                kind.label().to_owned(),
+                format!("{:.2}", r.sim.throughput),
+                format!("{:.2}", r.capacity_throughput),
+            ]);
+            println!(
+                "P={p} {}: throughput {:.2} docs/s (capacity bound {:.2})",
+                kind.label(),
+                r.sim.throughput,
+                r.capacity_throughput
+            );
+        }
+    }
+    table.finish();
+    println!("paper @ P=1e7: move 93 > rs 70 > il 42");
+}

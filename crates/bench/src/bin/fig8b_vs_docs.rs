@@ -1,0 +1,72 @@
+//! Figure 8(b): cluster throughput vs the injected document batch size
+//! `Q ∈ [10, 10⁴]`. Paper: all schemes degrade as `Q` grows — from
+//! `Q = 10` to `Q = 1000` MOVE loses 3.62×, RS 6.09×, IL 14.11× — MOVE
+//! degrading least because its random partition-row choice spreads each
+//! hot term's documents.
+
+use move_bench::{
+    build_scheme, paper_system, run_stream, ExperimentConfig, Scale, SchemeKind, Table,
+    Workload,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("fig8b_vs_docs ({scale})");
+    // Paper defaults: P = 4×10⁶ filters, N = 20 nodes, WT documents — the
+    // same dataset realization as every other cluster figure.
+    let w = Workload::paper_cluster(scale).slice_filters(scale.count(4_000_000, 100) as usize);
+    let mut table = Table::new(
+        "fig8b_vs_docs",
+        &["Q_docs", "scheme", "throughput", "capacity_throughput"],
+    );
+    let mut cfg = ExperimentConfig::new(paper_system(scale, 20, w.vocabulary));
+    // Burst backlog thrashes caches and disks super-linearly; the
+    // congestion model bends throughput downward in the batch size as in
+    // the paper's Fig. 8(b).
+    cfg.congestion = Some((1.0, 2.0));
+
+    let mut at_q: Vec<(usize, SchemeKind, f64)> = Vec::new();
+    for kind in [SchemeKind::Move, SchemeKind::Il, SchemeKind::Rs] {
+        let mut scheme = build_scheme(kind, &cfg, &w);
+        for q in [10usize, 100, 1_000, 10_000] {
+            if q > w.docs.len() {
+                println!("skipping Q={q}: only {} documents at this scale", w.docs.len());
+                continue;
+            }
+            // Small batches are noisy: average disjoint windows of the
+            // same stream.
+            let reps = (2_000 / q).clamp(1, 20);
+            let mut tput = 0.0;
+            let mut cap = 0.0;
+            for rep in 0..reps {
+                let wq = w.doc_window(rep * q, q);
+                let r = run_stream(scheme.as_mut(), &cfg, &wq.docs);
+                tput += r.sim.throughput;
+                cap += r.capacity_throughput;
+            }
+            let (tput, cap) = (tput / reps as f64, cap / reps as f64);
+            table.row(&[
+                q.to_string(),
+                kind.label().to_owned(),
+                format!("{tput:.2}"),
+                format!("{cap:.2}"),
+            ]);
+            println!("Q={q} {}: {tput:.2} docs/s", kind.label());
+            at_q.push((q, kind, tput));
+        }
+    }
+    table.finish();
+    for kind in [SchemeKind::Move, SchemeKind::Il, SchemeKind::Rs] {
+        let get = |q: usize| {
+            at_q.iter()
+                .find(|(qq, k, _)| *qq == q && *k == kind)
+                .map(|(_, _, t)| *t)
+        };
+        if let (Some(t10), Some(t1000)) = (get(10), get(1_000)) {
+            if t1000 > 0.0 {
+                println!("{}: Q 10 -> 1000 degradation {:.2}x", kind.label(), t10 / t1000);
+            }
+        }
+    }
+    println!("paper degradation Q 10 -> 1000: move 3.62x, rs 6.09x, il 14.11x");
+}

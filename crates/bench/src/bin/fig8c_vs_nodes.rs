@@ -1,0 +1,35 @@
+//! Figure 8(c): cluster throughput vs the number of nodes `N ∈ [5, 100]`.
+//! Paper: every scheme gains with more nodes (fewer filters and documents
+//! per node), MOVE on top throughout.
+
+use move_bench::{
+    paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("fig8c_vs_nodes ({scale})");
+    // Paper defaults: P = 4×10⁶ filters, Q = 10³ docs, WT documents.
+    let w = Workload::paper_cluster(scale)
+        .slice_filters(scale.count(4_000_000, 100) as usize)
+        .slice_docs(scale.count(100_000, 500) as usize);
+    let mut table = Table::new(
+        "fig8c_vs_nodes",
+        &["N_nodes", "scheme", "throughput", "capacity_throughput"],
+    );
+    for n in [5usize, 10, 20, 40, 60, 80, 100] {
+        let cfg = ExperimentConfig::new(paper_system(scale, n, w.vocabulary));
+        for kind in [SchemeKind::Move, SchemeKind::Il, SchemeKind::Rs] {
+            let r = run_scheme(kind, &cfg, &w);
+            table.row(&[
+                n.to_string(),
+                kind.label().to_owned(),
+                format!("{:.2}", r.sim.throughput),
+                format!("{:.2}", r.capacity_throughput),
+            ]);
+        }
+        println!("N={n} done");
+    }
+    table.finish();
+    println!("paper: monotone gains with N for all three schemes");
+}

@@ -1,0 +1,49 @@
+//! Figure 9(a): ranked per-node storage cost, normalized to the RS scheme's
+//! mean. Paper: RS (consistent hashing) is most even, MOVE close behind
+//! (its allocation also weighs `qᵢ`, so it does not flatten storage
+//! completely), IL most skewed.
+
+use move_bench::{
+    paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload,
+};
+use move_stats::Summary;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("fig9a_storage ({scale})");
+    let w = Workload::paper_cluster(scale)
+        .slice_filters(scale.count(4_000_000, 100) as usize)
+        .slice_docs(scale.count(100_000, 500) as usize);
+    let cfg = ExperimentConfig::new(paper_system(scale, 20, w.vocabulary));
+
+    let mut per_scheme: Vec<(SchemeKind, Vec<f64>)> = Vec::new();
+    for kind in [SchemeKind::Move, SchemeKind::Il, SchemeKind::Rs] {
+        let r = run_scheme(kind, &cfg, &w);
+        per_scheme.push((kind, r.storage.iter().map(|&s| s as f64).collect()));
+    }
+    let rs_mean = {
+        let rs = &per_scheme.iter().find(|(k, _)| *k == SchemeKind::Rs).expect("rs ran").1;
+        rs.iter().sum::<f64>() / rs.len() as f64
+    };
+
+    let mut table = Table::new(
+        "fig9a_storage",
+        &["scheme", "rank_node", "storage_over_rs_mean"],
+    );
+    for (kind, storage) in &per_scheme {
+        let normalized = move_core::normalize_to(storage, rs_mean);
+        for (rank, v) in move_stats::ranked_series(&normalized) {
+            table.row(&[kind.label().to_owned(), rank.to_string(), format!("{v:.3}")]);
+        }
+        let s = Summary::of(&normalized);
+        println!(
+            "{}: max/mean {:.2}, cv {:.3}, gini {:.3}",
+            kind.label(),
+            s.max / s.mean.max(1e-12),
+            s.cv,
+            s.gini
+        );
+    }
+    table.finish();
+    println!("paper: RS most even, MOVE nearly as even, IL most skewed");
+}

@@ -1,0 +1,49 @@
+//! Figure 9(b): ranked per-node matching cost (documents received per
+//! node), normalized to the RS scheme's mean. Paper: MOVE is the most even
+//! — its low allocation ratio `rᵢ` randomizes documents across `1/rᵢ`
+//! partitions — RS next, IL the most skewed (hot home nodes).
+
+use move_bench::{
+    paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload,
+};
+use move_stats::Summary;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("fig9b_matching ({scale})");
+    let w = Workload::paper_cluster(scale)
+        .slice_filters(scale.count(4_000_000, 100) as usize)
+        .slice_docs(scale.count(100_000, 500) as usize);
+    let cfg = ExperimentConfig::new(paper_system(scale, 20, w.vocabulary));
+
+    let mut per_scheme: Vec<(SchemeKind, Vec<f64>)> = Vec::new();
+    for kind in [SchemeKind::Move, SchemeKind::Il, SchemeKind::Rs] {
+        let r = run_scheme(kind, &cfg, &w);
+        per_scheme.push((kind, r.matching.iter().map(|&m| m as f64).collect()));
+    }
+    let rs_mean = {
+        let rs = &per_scheme.iter().find(|(k, _)| *k == SchemeKind::Rs).expect("rs ran").1;
+        rs.iter().sum::<f64>() / rs.len() as f64
+    };
+
+    let mut table = Table::new(
+        "fig9b_matching",
+        &["scheme", "rank_node", "matching_over_rs_mean"],
+    );
+    for (kind, matching) in &per_scheme {
+        let normalized = move_core::normalize_to(matching, rs_mean);
+        for (rank, v) in move_stats::ranked_series(&normalized) {
+            table.row(&[kind.label().to_owned(), rank.to_string(), format!("{v:.3}")]);
+        }
+        let s = Summary::of(&normalized);
+        println!(
+            "{}: max/mean {:.2}, cv {:.3}, gini {:.3}",
+            kind.label(),
+            s.max / s.mean.max(1e-12),
+            s.cv,
+            s.gini
+        );
+    }
+    table.finish();
+    println!("paper: MOVE most even, RS close, IL most skewed");
+}

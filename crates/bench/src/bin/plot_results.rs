@@ -1,0 +1,116 @@
+//! Renders the figure CSVs under `results/` into SVG charts under
+//! `results/plots/` — one per paper figure, with the paper's axis scales.
+//!
+//! Run the figure binaries (or `./run_all_figures.sh`) first.
+
+use move_bench::LinePlot;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// (csv, title, x, y, x-col, y-col, group-col, log_x, log_y)
+type ChartSpec = (
+    &'static str,
+    &'static str,
+    &'static str,
+    &'static str,
+    &'static str,
+    &'static str,
+    Option<&'static str>,
+    bool,
+    bool,
+);
+
+fn main() {
+    fs::create_dir_all("results/plots").expect("create results/plots");
+    let mut rendered = 0;
+
+    let charts: &[ChartSpec] = &[
+        (
+            "fig4_filter_popularity", "Fig. 4 — filter term popularity",
+            "ranking id", "popularity", "rank", "popularity", None, true, true,
+        ),
+        (
+            "fig5_doc_frequency", "Fig. 5 — document term frequency",
+            "ranking id", "frequency rate", "rank", "frequency_rate", Some("dataset"), true, true,
+        ),
+        (
+            "fig6_single_node_ap", "Fig. 6 — single node (AP)",
+            "Q: num. of docs", "pair throughput", "Q_docs", "pair_throughput_model", Some("R"), true, true,
+        ),
+        (
+            "fig7_single_node_wt", "Fig. 7 — single node (WT)",
+            "Q: num. of docs", "pair throughput", "Q_docs", "pair_throughput_model", Some("R"), true, true,
+        ),
+        (
+            "fig8a_vs_filters", "Fig. 8(a) — throughput vs filters",
+            "P: num. of filters", "throughput (docs/s)", "P", "capacity_throughput", Some("scheme"), true, false,
+        ),
+        (
+            "fig8b_vs_docs", "Fig. 8(b) — throughput vs batch size",
+            "Q: num. of docs", "throughput (docs/s)", "Q_docs", "throughput", Some("scheme"), true, false,
+        ),
+        (
+            "fig8c_vs_nodes", "Fig. 8(c) — throughput vs nodes",
+            "N: num. of nodes", "throughput (docs/s)", "N_nodes", "capacity_throughput", Some("scheme"), false, false,
+        ),
+        (
+            "fig9a_storage", "Fig. 9(a) — storage cost distribution",
+            "ranking node id", "storage / RS mean", "rank_node", "storage_over_rs_mean", Some("scheme"), false, false,
+        ),
+        (
+            "fig9b_matching", "Fig. 9(b) — matching cost distribution",
+            "ranking node id", "matching / RS mean", "rank_node", "matching_over_rs_mean", Some("scheme"), false, false,
+        ),
+    ];
+
+    for &(csv, title, xl, yl, xcol, ycol, group, log_x, log_y) in charts {
+        let path = format!("results/{csv}.csv");
+        let Some(rows) = read_csv(Path::new(&path)) else {
+            eprintln!("skipping {csv}: no {path} (run the figure binary first)");
+            continue;
+        };
+        let mut plot = LinePlot::new(title, xl, yl).log_axes(log_x, log_y);
+        let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        for row in &rows {
+            let (Some(x), Some(y)) = (get_f64(row, xcol), get_f64(row, ycol)) else {
+                continue;
+            };
+            let key = match group {
+                Some(g) => row.get(g).cloned().unwrap_or_default(),
+                None => String::new(),
+            };
+            groups.entry(key).or_default().push((x, y));
+        }
+        for (name, mut pts) in groups {
+            pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+            plot = plot.series(if name.is_empty() { "series" } else { &name }, &pts);
+        }
+        let out = format!("results/plots/{csv}.svg");
+        fs::write(&out, plot.to_svg()).expect("write svg");
+        println!("wrote {out}");
+        rendered += 1;
+    }
+    println!("{rendered} charts rendered");
+}
+
+fn read_csv(path: &Path) -> Option<Vec<BTreeMap<String, String>>> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let header: Vec<String> = lines.next()?.split(',').map(str::to_owned).collect();
+    Some(
+        lines
+            .map(|l| {
+                header
+                    .iter()
+                    .cloned()
+                    .zip(l.split(',').map(str::to_owned))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn get_f64(row: &BTreeMap<String, String>, col: &str) -> Option<f64> {
+    row.get(col)?.parse().ok()
+}

@@ -1,0 +1,59 @@
+//! "Table W": the dataset statistics quoted in §VI-A, measured on the
+//! generated traces. Paper targets are printed next to each measurement.
+
+use move_bench::{Dataset, Scale, Table, Workload};
+use move_workload::DatasetReport;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("table_workload ({scale})");
+    let mut table = Table::new(
+        "table_workload",
+        &["dataset", "statistic", "paper", "measured"],
+    );
+
+    for (dataset, name, entropy, overlap, terms_per_doc) in [
+        (Dataset::Ap, "trec-ap", 9.4473f64, 0.269, 6054.9f64),
+        (Dataset::Wt, "trec-wt", 6.7593f64, 0.313, 64.8f64),
+    ] {
+        let w = Workload::build(scale, dataset, 4_000_000, 20_000, 42);
+        // Both head statistics scale the paper's top-1000 by the same factor.
+        let top_k = w.filter_spec.top_k.min(w.doc_spec.top_k).max(1);
+        let report = DatasetReport::measure(&w.filters, &w.docs, w.vocabulary, top_k);
+
+        let f = &report.filters;
+        table.row(&row(name, "mean terms/filter", 2.843, f.mean_terms));
+        table.row(&row(name, "filters ≤1 term", 0.3133, f.cumulative_123[0]));
+        table.row(&row(name, "filters ≤2 terms", 0.6775, f.cumulative_123[1]));
+        table.row(&row(name, "filters ≤3 terms", 0.8531, f.cumulative_123[2]));
+        table.row(&row(
+            name,
+            "top-k filter-term occurrence share",
+            0.437,
+            f.top_k_occurrence_share,
+        ));
+        table.row(&row(
+            name,
+            "mean terms/doc (scaled)",
+            terms_per_doc.min(w.doc_spec.mean_terms_per_doc),
+            report.docs.mean_terms_per_doc,
+        ));
+        table.row(&row(
+            name,
+            "doc-frequency entropy, nats (scaled)",
+            entropy.min(w.doc_spec.frequency_entropy_nats),
+            report.docs.frequency_entropy_nats,
+        ));
+        table.row(&row(name, "top-k filter/doc overlap", overlap, report.top_k_overlap));
+    }
+    table.finish();
+}
+
+fn row(dataset: &str, stat: &str, paper: f64, measured: f64) -> Vec<String> {
+    vec![
+        dataset.to_owned(),
+        stat.to_owned(),
+        format!("{paper:.4}"),
+        format!("{measured:.4}"),
+    ]
+}

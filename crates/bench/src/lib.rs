@@ -1,0 +1,31 @@
+//! The benchmark harness regenerating every figure of the MOVE paper.
+//!
+//! Each figure/table of the evaluation (§VI) has a dedicated binary in
+//! `src/bin/` (see `DESIGN.md` §4 for the full index); this library holds
+//! what they share:
+//!
+//! * [`Scale`] — one knob mapping the paper's parameters to laptop-sized
+//!   runs (`MOVE_SCALE=1` reproduces paper scale);
+//! * [`Workload`] — calibrated MSN filters + TREC-like documents with the
+//!   published filter/document popularity coupling;
+//! * [`run_scheme`] — the end-to-end experiment driver: build a scheme,
+//!   register, (for MOVE) observe + allocate, publish a timed document
+//!   stream, and play the resulting jobs through the queueing simulator;
+//! * [`Table`] — aligned stdout tables plus CSV dumps under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod runner;
+mod scale;
+mod single_fig;
+mod svg;
+mod workload;
+
+pub use report::Table;
+pub use single_fig::single_node_figure;
+pub use svg::LinePlot;
+pub use runner::{build_scheme, paper_system, run_scheme, run_stream, ExperimentConfig, RunResult, SchemeKind};
+pub use scale::Scale;
+pub use workload::{Dataset, Workload};

@@ -1,0 +1,105 @@
+//! Stdout tables and CSV dumps.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A small aligned table that also lands in `results/<name>.csv` — one per
+/// figure, so `EXPERIMENTS.md` can reference the raw series.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given CSV base name and column header.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Self {
+            name: name.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn push<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Prints the aligned table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("\n== {} ==", self.name);
+        println!("{}", line(&self.header));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+
+    /// Writes `results/<name>.csv` (creating the directory), returning the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Prints and writes, logging the CSV path.
+    pub fn finish(&self) {
+        self.print();
+        match self.write_csv() {
+            Ok(p) => println!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write csv: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_align_with_header() {
+        let mut t = Table::new("test_table", &["a", "bb"]);
+        t.push(&[1, 22]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("t", &["a"]);
+        t.push(&[1, 2]);
+    }
+}

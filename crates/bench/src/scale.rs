@@ -1,0 +1,72 @@
+//! The experiment scale knob.
+
+/// Scales the paper's workload sizes down to tractable local runs.
+///
+/// The paper's full experiment (4 M filters over a 757,996-term vocabulary,
+/// up to 10⁷ filters, ~100 physical machines) regenerates with
+/// `MOVE_SCALE=1`; the default of 0.1 keeps every figure binary within
+/// minutes on one machine while preserving every *shape* (the statistics
+/// the generators target are scale-calibrated). Node counts are **not**
+/// scaled — the cluster is simulated, so N stays at the paper's values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Multiplier applied to filter counts, document counts, vocabulary
+    /// sizes and capacities.
+    pub factor: f64,
+}
+
+impl Scale {
+    /// Reads `MOVE_SCALE` from the environment (default 0.05, clamped to
+    /// `[1e-4, 1]`).
+    pub fn from_env() -> Self {
+        let factor = std::env::var("MOVE_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.05)
+            .clamp(1e-4, 1.0);
+        Self { factor }
+    }
+
+    /// An explicit scale (tests).
+    pub fn new(factor: f64) -> Self {
+        Self {
+            factor: factor.clamp(1e-4, 1.0),
+        }
+    }
+
+    /// Scales a count, with a floor to keep degenerate runs meaningful.
+    pub fn count(&self, base: u64, min: u64) -> u64 {
+        ((base as f64 * self.factor).round() as u64).max(min)
+    }
+
+    /// Scales a vocabulary size.
+    pub fn vocab(&self, base: usize) -> usize {
+        ((base as f64 * self.factor).round() as usize).max(500)
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scale={}", self.factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_with_floors() {
+        let s = Scale::new(0.1);
+        assert_eq!(s.count(4_000_000, 1), 400_000);
+        assert_eq!(s.count(5, 100), 100);
+        assert_eq!(s.vocab(757_996), 75_800);
+        assert_eq!(s.vocab(100), 500);
+    }
+
+    #[test]
+    fn factor_is_clamped() {
+        assert_eq!(Scale::new(7.0).factor, 1.0);
+        assert_eq!(Scale::new(0.0).factor, 1e-4);
+    }
+}

@@ -1,0 +1,68 @@
+//! Shared driver of the single-node experiments (Figs. 6–7).
+
+use crate::{Dataset, Scale, Table, Workload};
+use move_cluster::CostModel;
+use move_core::run_single_node;
+
+/// Runs the Fig. 6/7 sweep for one corpus: for each work product
+/// `R = P × Q ∈ {10⁵, 10⁶, 10⁷}` (scaled), vary the document count `Q` and
+/// match `Q` documents against `P = R/Q` filters on one node, reporting the
+/// pair-match throughput `R / time` (real wall-clock and cost-model
+/// projected — the projection includes the disk knee at
+/// `P > C ≈ 3.5×10⁶·scale`, so the largest-P point trips it as in the paper, which RAM-resident matching cannot show).
+pub fn single_node_figure(scale: Scale, dataset: Dataset, csv_name: &str) {
+    println!("{csv_name} ({scale})");
+    let cost = CostModel {
+        mem_capacity: scale.count(3_500_000, 700),
+        ..CostModel::default()
+    };
+    let mut table = Table::new(
+        csv_name,
+        &[
+            "R",
+            "Q_docs",
+            "P_filters",
+            "pair_throughput_real",
+            "pair_throughput_model",
+            "doc_throughput_real",
+        ],
+    );
+
+    let qs = [2u64, 10, 50, 200, 1_000];
+    for r_paper in [100_000u64, 1_000_000, 10_000_000] {
+        let r = scale.count(r_paper, 2_000);
+        // One workload per R, generously sized, sliced per point.
+        let q_max = *qs.iter().filter(|&&q| r / q >= 100).max().unwrap_or(&2);
+        let p_max = r / qs[0];
+        let w = Workload::build(
+            Scale::new(1.0), // counts below are already scaled
+            dataset,
+            p_max,
+            q_max,
+            0xF16 + r,
+        );
+        for &q in &qs {
+            let p = r / q;
+            if p < 100 || (q as usize) > w.docs.len() {
+                continue;
+            }
+            let filters = &w.filters[..(p as usize).min(w.filters.len())];
+            let docs = &w.docs[..q as usize];
+            let rep = run_single_node(
+                filters,
+                docs,
+                move_types::MatchSemantics::Boolean,
+                &cost,
+            );
+            table.row(&[
+                r.to_string(),
+                q.to_string(),
+                p.to_string(),
+                format!("{:.3e}", rep.pair_throughput_real),
+                format!("{:.3e}", rep.pair_throughput_virtual),
+                format!("{:.3e}", rep.doc_throughput_real),
+            ]);
+        }
+    }
+    table.finish();
+}

@@ -1,0 +1,276 @@
+//! A small dependency-free SVG line-chart writer for the figure CSVs.
+//!
+//! Good enough for log-log ranked-popularity plots and multi-series
+//! throughput curves — the shapes the paper's figures show. No external
+//! plotting stack is available offline, and the charts only need lines,
+//! ticks and a legend.
+
+/// One chart: axes (optionally logarithmic) and named series.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    log_x: bool,
+    log_y: bool,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 52.0;
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+impl LinePlot {
+    /// Creates an empty plot.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            y_label: y_label.to_owned(),
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Switches the axes to logarithmic scales.
+    pub fn log_axes(mut self, log_x: bool, log_y: bool) -> Self {
+        self.log_x = log_x;
+        self.log_y = log_y;
+        self
+    }
+
+    /// Adds a named series. Non-positive values are dropped on log axes.
+    pub fn series(mut self, name: &str, points: &[(f64, f64)]) -> Self {
+        let filtered: Vec<(f64, f64)> = points
+            .iter()
+            .copied()
+            .filter(|&(x, y)| {
+                x.is_finite()
+                    && y.is_finite()
+                    && (!self.log_x || x > 0.0)
+                    && (!self.log_y || y > 0.0)
+            })
+            .collect();
+        self.series.push((name.to_owned(), filtered));
+        self
+    }
+
+    fn tx(&self, v: f64) -> f64 {
+        if self.log_x {
+            v.log10()
+        } else {
+            v
+        }
+    }
+
+    fn ty(&self, v: f64) -> f64 {
+        if self.log_y {
+            v.log10()
+        } else {
+            v
+        }
+    }
+
+    /// Renders the SVG document.
+    ///
+    /// Returns a minimal placeholder when every series is empty.
+    pub fn to_svg(&self) -> String {
+        let mut all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|&(x, y)| (self.tx(x), self.ty(y))))
+            .collect();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+             viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\" font-size=\"12\">\n"
+        ));
+        out.push_str(&format!(
+            "<rect width=\"{WIDTH}\" height=\"{HEIGHT}\" fill=\"white\"/>\n"
+        ));
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"15\">{}</text>\n",
+            WIDTH / 2.0,
+            xml_escape(&self.title)
+        ));
+        if all.is_empty() {
+            out.push_str("<text x=\"40\" y=\"60\">(no data)</text>\n</svg>\n");
+            return out;
+        }
+        all.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let px = |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * plot_w;
+        let py = |y: f64| MARGIN_T + plot_h - (y - y0) / (y1 - y0) * plot_h;
+
+        // Frame and labels.
+        out.push_str(&format!(
+            "<rect x=\"{MARGIN_L}\" y=\"{MARGIN_T}\" width=\"{plot_w}\" height=\"{plot_h}\" \
+             fill=\"none\" stroke=\"#444\"/>\n"
+        ));
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            xml_escape(&self.x_label)
+        ));
+        out.push_str(&format!(
+            "<text x=\"16\" y=\"{}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {})\">{}</text>\n",
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        ));
+
+        // Ticks: 5 per axis, labeled in original units.
+        for i in 0..=4 {
+            let fx = x0 + (x1 - x0) * f64::from(i) / 4.0;
+            let fy = y0 + (y1 - y0) * f64::from(i) / 4.0;
+            let (lx, ly) = (
+                if self.log_x { 10f64.powf(fx) } else { fx },
+                if self.log_y { 10f64.powf(fy) } else { fy },
+            );
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" font-size=\"10\">{}</text>\n",
+                px(fx),
+                MARGIN_T + plot_h + 16.0,
+                tick_label(lx)
+            ));
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\" font-size=\"10\">{}</text>\n",
+                MARGIN_L - 6.0,
+                py(fy) + 4.0,
+                tick_label(ly)
+            ));
+            out.push_str(&format!(
+                "<line x1=\"{MARGIN_L}\" x2=\"{:.1}\" y1=\"{:.1}\" y2=\"{:.1}\" stroke=\"#ddd\"/>\n",
+                MARGIN_L + plot_w,
+                py(fy),
+                py(fy)
+            ));
+        }
+
+        // Series.
+        for (k, (name, pts)) in self.series.iter().enumerate() {
+            let color = COLORS[k % COLORS.len()];
+            let path: Vec<String> = pts
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(self.tx(x)), py(self.ty(y))))
+                .collect();
+            if path.len() > 1 {
+                out.push_str(&format!(
+                    "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.8\"/>\n",
+                    path.join(" ")
+                ));
+            }
+            for p in &path {
+                let mut it = p.split(',');
+                let (cx, cy) = (it.next().unwrap_or("0"), it.next().unwrap_or("0"));
+                out.push_str(&format!(
+                    "<circle cx=\"{cx}\" cy=\"{cy}\" r=\"2.2\" fill=\"{color}\"/>\n"
+                ));
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 14.0 + 16.0 * k as f64;
+            out.push_str(&format!(
+                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"12\" height=\"4\" fill=\"{color}\"/>\n",
+                MARGIN_L + plot_w - 120.0,
+                ly - 4.0
+            ));
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{ly:.1}\" font-size=\"11\">{}</text>\n",
+                MARGIN_L + plot_w - 102.0,
+                xml_escape(name)
+            ));
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn tick_label(v: f64) -> String {
+    let a = v.abs();
+    if a == 0.0 {
+        "0".into()
+    } else if !(1e-2..1e5).contains(&a) {
+        format!("{v:.0e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_well_formed_svg() {
+        let svg = LinePlot::new("t", "x", "y")
+            .series("a", &[(1.0, 2.0), (2.0, 3.0)])
+            .series("b", &[(1.0, 1.0), (2.0, 5.0)])
+            .to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+    }
+
+    #[test]
+    fn log_axes_drop_nonpositive_points() {
+        let svg = LinePlot::new("t", "x", "y")
+            .log_axes(true, true)
+            .series("a", &[(0.0, 1.0), (10.0, 100.0), (100.0, -5.0), (1000.0, 10.0)])
+            .to_svg();
+        // Only the two positive-positive points survive → one polyline.
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn empty_plot_has_placeholder() {
+        let svg = LinePlot::new("t", "x", "y").to_svg();
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = LinePlot::new("a < b & c", "x", "y")
+            .series("s", &[(1.0, 1.0)])
+            .to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_divide_by_zero() {
+        let svg = LinePlot::new("t", "x", "y")
+            .series("s", &[(5.0, 5.0), (5.0, 5.0)])
+            .to_svg();
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Paper-calibrated workloads for the figure binaries.
+
+use crate::Scale;
+use move_types::{Document, Filter};
+use move_workload::{DocumentGenerator, FilterGenerator, MsnSpec, RankCoupling, TrecSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which TREC-like corpus drives the documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// TREC AP: 6054.9 terms/article, entropy 9.4473, overlap 26.9 %.
+    Ap,
+    /// TREC WT10G: 64.8 terms/doc, entropy 6.7593, overlap 31.3 % — the
+    /// corpus of the cluster experiments.
+    Wt,
+}
+
+impl Dataset {
+    fn spec(self, vocab: usize) -> TrecSpec {
+        match self {
+            Self::Ap => TrecSpec::ap().scaled(vocab),
+            Self::Wt => TrecSpec::wt().scaled(vocab),
+        }
+    }
+}
+
+/// A fully generated experiment workload.
+#[derive(Debug)]
+pub struct Workload {
+    /// The registered profile filters (MSN-calibrated).
+    pub filters: Vec<Filter>,
+    /// The published document stream.
+    pub docs: Vec<Document>,
+    /// The offline corpus sample MOVE's proactive allocation learns from
+    /// ("we use the 1000 documents as the offline document corpus to
+    /// approximate qᵢ", §VI-A).
+    pub sample: Vec<Document>,
+    /// The shared vocabulary size.
+    pub vocabulary: usize,
+    /// The filter generator (for Fig. 4 style measurements).
+    pub filter_spec: MsnSpec,
+    /// The document spec (for Fig. 5 style measurements).
+    pub doc_spec: TrecSpec,
+}
+
+impl Workload {
+    /// Builds a deterministic workload at the given `scale`.
+    ///
+    /// `filters`/`docs` are *paper-scale* numbers — they are multiplied by
+    /// the scale factor internally. The sample is 1000 documents as in the
+    /// paper (scaled with a floor of 200).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibrated generators reject the scaled specs (cannot
+    /// happen for the paper parameter ranges; generator errors are
+    /// programming errors here).
+    pub fn build(scale: Scale, dataset: Dataset, filters: u64, docs: u64, seed: u64) -> Self {
+        let vocabulary = scale.vocab(MsnSpec::paper().vocabulary);
+        let n_filters = scale.count(filters, 100);
+        let n_docs = scale.count(docs, 50);
+        let n_sample = scale.count(1_000, 200);
+
+        let msn = MsnSpec::scaled(vocabulary);
+        let fgen = FilterGenerator::new(&msn).expect("MSN spec is calibratable");
+
+        let base_doc_vocab = match dataset {
+            Dataset::Ap => TrecSpec::ap().vocabulary,
+            Dataset::Wt => TrecSpec::wt().vocabulary,
+        };
+        let doc_vocab = scale.vocab(base_doc_vocab).min(vocabulary);
+        let trec = dataset.spec(doc_vocab);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coupling = RankCoupling::with_overlap(
+            doc_vocab,
+            vocabulary,
+            trec.top_k.min(doc_vocab),
+            trec.top_k_overlap,
+            &mut rng,
+        )
+        .expect("coupling parameters are valid");
+        let dgen = DocumentGenerator::new(&trec, coupling).expect("TREC spec is calibratable");
+
+        let filters = fgen.trace(n_filters, &mut rng);
+        let sample = dgen.corpus(n_sample, &mut rng);
+        let docs: Vec<Document> = (0..n_docs)
+            .map(|i| dgen.generate(n_sample + i, &mut rng))
+            .collect();
+        Self {
+            filters,
+            docs,
+            sample,
+            vocabulary,
+            filter_spec: msn,
+            doc_spec: trec,
+        }
+    }
+}
+
+impl Workload {
+    /// The one shared cluster-experiment dataset (WT documents, the paper's
+    /// §VI-C defaults at maximum size): all cluster figures slice this same
+    /// realization, as the paper's do — the coupling between hot document
+    /// terms and hot filter terms is a per-realization coin flip that would
+    /// otherwise shift hot-node loads between figures.
+    pub fn paper_cluster(scale: Scale) -> Workload {
+        Workload::build(scale, Dataset::Wt, 10_000_000, 500_000, 42)
+    }
+
+    /// A copy of this workload restricted to the first `n` filters — the
+    /// Fig. 8a sweep registers prefixes of one generated trace so points
+    /// differ only in `P`.
+    pub fn slice_filters(&self, n: usize) -> Workload {
+        Workload {
+            filters: self.filters[..n.min(self.filters.len())].to_vec(),
+            docs: self.docs.clone(),
+            sample: self.sample.clone(),
+            vocabulary: self.vocabulary,
+            filter_spec: self.filter_spec.clone(),
+            doc_spec: self.doc_spec.clone(),
+        }
+    }
+
+    /// A copy restricted to the first `n` documents (Fig. 8b varies the
+    /// stream length with the injection rate).
+    pub fn slice_docs(&self, n: usize) -> Workload {
+        self.doc_window(0, n)
+    }
+
+    /// A copy restricted to `len` documents starting at `start` (clamped) —
+    /// repetition windows for small-batch experiments.
+    pub fn doc_window(&self, start: usize, len: usize) -> Workload {
+        let start = start.min(self.docs.len());
+        let end = (start + len).min(self.docs.len());
+        Workload {
+            filters: self.filters.clone(),
+            docs: self.docs[start..end].to_vec(),
+            sample: self.sample.clone(),
+            vocabulary: self.vocabulary,
+            filter_spec: self.filter_spec.clone(),
+            doc_spec: self.doc_spec.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let s = Scale::new(0.01);
+        let a = Workload::build(s, Dataset::Wt, 100_000, 2_000, 7);
+        let b = Workload::build(s, Dataset::Wt, 100_000, 2_000, 7);
+        assert_eq!(a.filters, b.filters);
+        assert_eq!(a.docs[0], b.docs[0]);
+        assert_eq!(a.filters.len(), 1_000);
+    }
+
+    #[test]
+    fn ap_docs_dwarf_wt_docs() {
+        let s = Scale::new(0.01);
+        let ap = Workload::build(s, Dataset::Ap, 10_000, 3_000, 1);
+        let wt = Workload::build(s, Dataset::Wt, 10_000, 3_000, 1);
+        let mean = |docs: &[Document]| {
+            docs.iter().map(|d| d.distinct_terms()).sum::<usize>() as f64 / docs.len() as f64
+        };
+        assert!(mean(&ap.docs) > 3.0 * mean(&wt.docs));
+    }
+}

@@ -1,0 +1,150 @@
+//! The counting Bloom filter variant.
+
+use crate::hashing::{probes, sizing};
+use serde::{Deserialize, Serialize};
+use std::hash::Hash;
+
+/// A Bloom filter whose slots are small counters instead of bits, supporting
+/// removal. MOVE uses it for the registered-filter term summary when users
+/// unregister filters: removing the last filter containing a term must stop
+/// documents from being forwarded for that term.
+///
+/// Counters are 8-bit and saturate at 255; a saturated counter is never
+/// decremented (it can no longer prove a zero count), preserving the
+/// no-false-negative guarantee at the cost of a slightly higher
+/// false-positive rate after heavy churn.
+///
+/// # Examples
+///
+/// ```
+/// use move_bloom::CountingBloomFilter;
+///
+/// let mut cbf = CountingBloomFilter::new(100, 0.01);
+/// cbf.insert(&"news");
+/// cbf.insert(&"news");
+/// cbf.remove(&"news");
+/// assert!(cbf.contains(&"news")); // one copy still present
+/// cbf.remove(&"news");
+/// assert!(!cbf.contains(&"news"));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountingBloomFilter {
+    counters: Vec<u8>,
+    k: u32,
+    inserted: u64,
+}
+
+impl CountingBloomFilter {
+    /// Creates a filter sized for `expected_items` at false-positive rate
+    /// `fpr`.
+    pub fn new(expected_items: usize, fpr: f64) -> Self {
+        let (m, k) = sizing(expected_items, fpr);
+        Self::with_params(m, k)
+    }
+
+    /// Creates a filter with `slots` counters and `k` probes per item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0` or `k == 0`.
+    pub fn with_params(slots: usize, k: u32) -> Self {
+        assert!(slots > 0, "slots must be positive");
+        assert!(k > 0, "k must be positive");
+        Self {
+            counters: vec![0; slots],
+            k,
+            inserted: 0,
+        }
+    }
+
+    /// Inserts an item (one more copy).
+    pub fn insert<T: Hash + ?Sized>(&mut self, item: &T) {
+        for p in probes(item, self.counters.len(), self.k) {
+            self.counters[p] = self.counters[p].saturating_add(1);
+        }
+        self.inserted += 1;
+    }
+
+    /// Removes one copy of an item.
+    ///
+    /// Removing an item that was never inserted corrupts the filter (as with
+    /// any counting Bloom filter); callers own that invariant. Saturated
+    /// counters are left untouched.
+    pub fn remove<T: Hash + ?Sized>(&mut self, item: &T) {
+        for p in probes(item, self.counters.len(), self.k) {
+            if self.counters[p] != u8::MAX && self.counters[p] > 0 {
+                self.counters[p] -= 1;
+            }
+        }
+        self.inserted = self.inserted.saturating_sub(1);
+    }
+
+    /// Tests membership (no false negatives, assuming balanced
+    /// insert/remove usage).
+    pub fn contains<T: Hash + ?Sized>(&self, item: &T) -> bool {
+        probes(item, self.counters.len(), self.k).all(|p| self.counters[p] > 0)
+    }
+
+    /// Net number of items currently inserted.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Number of counter slots.
+    pub fn slots(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut cbf = CountingBloomFilter::new(1_000, 0.01);
+        for i in 0..1_000u32 {
+            cbf.insert(&i);
+        }
+        for i in 0..1_000u32 {
+            assert!(cbf.contains(&i));
+        }
+        for i in 0..500u32 {
+            cbf.remove(&i);
+        }
+        for i in 500..1_000u32 {
+            assert!(cbf.contains(&i), "false negative after unrelated removals");
+        }
+        assert_eq!(cbf.inserted(), 500);
+    }
+
+    #[test]
+    fn multiplicity_respected() {
+        let mut cbf = CountingBloomFilter::new(16, 0.01);
+        cbf.insert(&7u8);
+        cbf.insert(&7u8);
+        cbf.remove(&7u8);
+        assert!(cbf.contains(&7u8));
+        cbf.remove(&7u8);
+        assert!(!cbf.contains(&7u8));
+    }
+
+    #[test]
+    fn saturated_counters_never_decrement() {
+        let mut cbf = CountingBloomFilter::with_params(4, 1);
+        for _ in 0..300 {
+            cbf.insert(&1u8);
+        }
+        // Counter saturated at 255; removals must not reopen a false negative.
+        for _ in 0..300 {
+            cbf.remove(&1u8);
+        }
+        assert!(cbf.contains(&1u8));
+    }
+
+    #[test]
+    #[should_panic(expected = "slots")]
+    fn zero_slots_rejected() {
+        let _ = CountingBloomFilter::with_params(0, 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! The classic bit-array Bloom filter.
+
+use crate::hashing::{probes, sizing};
+use serde::{Deserialize, Serialize};
+use std::hash::Hash;
+
+/// A space-efficient probabilistic set with no false negatives.
+///
+/// MOVE keeps one of these summarizing every term that appears in any
+/// registered filter; document terms failing the membership test are not
+/// forwarded at all (paper §V).
+///
+/// # Examples
+///
+/// ```
+/// use move_bloom::BloomFilter;
+///
+/// let mut bf = BloomFilter::new(100, 0.01);
+/// for t in 0..100u32 {
+///     bf.insert(&t);
+/// }
+/// assert!((0..100u32).all(|t| bf.contains(&t))); // never a false negative
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    m_bits: usize,
+    k: u32,
+    inserted: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter sized for `expected_items` at the target
+    /// false-positive rate `fpr` (see [`crate::sizing`]).
+    pub fn new(expected_items: usize, fpr: f64) -> Self {
+        let (m_bits, k) = sizing(expected_items, fpr);
+        Self::with_params(m_bits, k)
+    }
+
+    /// Creates a filter with explicit parameters: `m_bits` slots and `k`
+    /// probes per item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m_bits == 0` or `k == 0`.
+    pub fn with_params(m_bits: usize, k: u32) -> Self {
+        assert!(m_bits > 0, "m_bits must be positive");
+        assert!(k > 0, "k must be positive");
+        Self {
+            bits: vec![0; m_bits.div_ceil(64)],
+            m_bits,
+            k,
+            inserted: 0,
+        }
+    }
+
+    /// Inserts an item.
+    pub fn insert<T: Hash + ?Sized>(&mut self, item: &T) {
+        for p in probes(item, self.m_bits, self.k) {
+            self.bits[p / 64] |= 1u64 << (p % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Tests membership. False positives are possible at the configured
+    /// rate; false negatives are not.
+    pub fn contains<T: Hash + ?Sized>(&self, item: &T) -> bool {
+        probes(item, self.m_bits, self.k).all(|p| self.bits[p / 64] & (1u64 << (p % 64)) != 0)
+    }
+
+    /// Number of `insert` calls so far (items, with multiplicity).
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Number of bit slots.
+    pub fn bit_len(&self) -> usize {
+        self.m_bits
+    }
+
+    /// Number of probes per item.
+    pub fn hashes(&self) -> u32 {
+        self.k
+    }
+
+    /// The false-positive probability predicted from the current fill
+    /// fraction: `(set_bits / m)^k`.
+    pub fn estimated_fpr(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        let fill = f64::from(set) / self.m_bits as f64;
+        fill.powi(self.k as i32)
+    }
+
+    /// Merges another filter of identical parameters into this one
+    /// (set union).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the parameters differ.
+    pub fn union(&mut self, other: &BloomFilter) -> Result<(), ParamMismatchError> {
+        if self.m_bits != other.m_bits || self.k != other.k {
+            return Err(ParamMismatchError);
+        }
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+        self.inserted += other.inserted;
+        Ok(())
+    }
+}
+
+/// Error returned by [`BloomFilter::union`] when the two filters were built
+/// with different `(m, k)` parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamMismatchError;
+
+impl std::fmt::Display for ParamMismatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bloom filter parameters do not match")
+    }
+}
+
+impl std::error::Error for ParamMismatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(10_000, 0.01);
+        for i in 0..10_000u64 {
+            bf.insert(&i);
+        }
+        for i in 0..10_000u64 {
+            assert!(bf.contains(&i), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn measured_fpr_near_design_fpr() {
+        let target = 0.01;
+        let mut bf = BloomFilter::new(10_000, target);
+        for i in 0..10_000u64 {
+            bf.insert(&i);
+        }
+        let trials = 50_000u64;
+        let fp = (10_000..10_000 + trials).filter(|i| bf.contains(i)).count();
+        let measured = fp as f64 / trials as f64;
+        assert!(
+            measured < target * 2.0,
+            "measured fpr {measured} far above design {target}"
+        );
+        assert!(bf.estimated_fpr() < target * 2.0);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing_probable() {
+        let bf = BloomFilter::new(100, 0.01);
+        assert!(!(0..1000u32).any(|i| bf.contains(&i)));
+        assert_eq!(bf.inserted(), 0);
+    }
+
+    #[test]
+    fn union_merges_membership() {
+        let mut a = BloomFilter::with_params(1024, 4);
+        let mut b = BloomFilter::with_params(1024, 4);
+        a.insert(&"left");
+        b.insert(&"right");
+        a.union(&b).unwrap();
+        assert!(a.contains(&"left") && a.contains(&"right"));
+        assert_eq!(a.inserted(), 2);
+    }
+
+    #[test]
+    fn union_rejects_mismatched_params() {
+        let mut a = BloomFilter::with_params(1024, 4);
+        let b = BloomFilter::with_params(512, 4);
+        assert_eq!(a.union(&b), Err(ParamMismatchError));
+    }
+
+    #[test]
+    #[should_panic(expected = "m_bits")]
+    fn zero_bits_rejected() {
+        let _ = BloomFilter::with_params(0, 1);
+    }
+
+    #[test]
+    fn works_with_str_and_tuples() {
+        let mut bf = BloomFilter::new(10, 0.01);
+        bf.insert("term");
+        bf.insert(&(1u32, 2u32));
+        assert!(bf.contains("term"));
+        assert!(bf.contains(&(1u32, 2u32)));
+        assert!(!bf.contains(&(2u32, 1u32)));
+    }
+}

@@ -1,0 +1,134 @@
+//! Hashing and sizing machinery shared by both filter variants.
+
+use std::hash::{Hash, Hasher};
+
+/// A tiny FNV-1a 64-bit hasher — a deterministic, dependency-free base hash.
+/// (`std`'s default hasher is randomly seeded per process, which would make
+/// simulated runs non-reproducible.)
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates the two derived hashes.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Computes the two independent base hashes `(h1, h2)` for an item, from
+/// which the `k` probe positions are derived as `h1 + i·h2 mod m`
+/// (Kirsch–Mitzenmacher double hashing).
+///
+/// # Examples
+///
+/// ```
+/// let (a1, a2) = move_bloom::double_hashes(&"x");
+/// let (b1, b2) = move_bloom::double_hashes(&"x");
+/// assert_eq!((a1, a2), (b1, b2)); // deterministic
+/// ```
+pub fn double_hashes<T: Hash + ?Sized>(item: &T) -> (u64, u64) {
+    let mut hasher = Fnv1a::default();
+    item.hash(&mut hasher);
+    let h = hasher.finish();
+    let h1 = splitmix64(h);
+    let h2 = splitmix64(h ^ 0x5851_f42d_4c95_7f2d) | 1; // odd, so probes cycle through all slots
+    (h1, h2)
+}
+
+/// Computes the optimal Bloom parameters `(m_bits, k_hashes)` for an
+/// expected `items` count and target false-positive rate `fpr`:
+/// `m = -n·ln p / (ln 2)²`, `k = (m/n)·ln 2`.
+///
+/// Degenerate inputs are clamped: at least 64 bits and 1 hash.
+///
+/// # Examples
+///
+/// ```
+/// let (m, k) = move_bloom::sizing(1_000, 0.01);
+/// assert!(m >= 9_000 && m <= 10_500); // ≈ 9.59 bits per item
+/// assert_eq!(k, 7);
+/// ```
+pub fn sizing(items: usize, fpr: f64) -> (usize, u32) {
+    let n = items.max(1) as f64;
+    let p = fpr.clamp(1e-10, 0.5);
+    let ln2 = std::f64::consts::LN_2;
+    let m = (-n * p.ln() / (ln2 * ln2)).ceil().max(64.0);
+    let k = ((m / n) * ln2).round().max(1.0);
+    (m as usize, k as u32)
+}
+
+/// Iterator over the `k` probe bit positions for an item in a filter of
+/// `m_bits` slots.
+pub(crate) fn probes<T: Hash + ?Sized>(
+    item: &T,
+    m_bits: usize,
+    k: u32,
+) -> impl Iterator<Item = usize> {
+    let (h1, h2) = double_hashes(item);
+    let m = m_bits as u64;
+    (0..u64::from(k)).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) % m) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_differ_per_item() {
+        assert_ne!(double_hashes(&1u64), double_hashes(&2u64));
+    }
+
+    #[test]
+    fn h2_is_odd() {
+        for i in 0..100u64 {
+            let (_, h2) = double_hashes(&i);
+            assert_eq!(h2 & 1, 1);
+        }
+    }
+
+    #[test]
+    fn sizing_scales_linearly_in_items() {
+        let (m1, _) = sizing(1_000, 0.01);
+        let (m10, _) = sizing(10_000, 0.01);
+        assert!((m10 as f64 / m1 as f64 - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn sizing_clamps_degenerate_input() {
+        let (m, k) = sizing(0, 2.0);
+        assert!(m >= 64);
+        assert!(k >= 1);
+    }
+
+    #[test]
+    fn probes_in_range_and_distinct_enough() {
+        let m = 1024;
+        let ps: Vec<_> = probes(&"hello", m, 8).collect();
+        assert_eq!(ps.len(), 8);
+        assert!(ps.iter().all(|&p| p < m));
+        let distinct: std::collections::HashSet<_> = ps.iter().collect();
+        assert!(distinct.len() >= 6, "probes should rarely collide: {ps:?}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Bloom filters for the MOVE dissemination engine.
+//!
+//! Paper §V ("Document Dissemination"): a published document is forwarded to
+//! the home nodes of the terms `tᵢ ∈ d ∧ tᵢ ∈ BF`, "where BF is the bloom
+//! filter summarizing all terms in registered filters. The term membership
+//! check helps reduce the forwarding cost." This crate implements that
+//! structure from scratch:
+//!
+//! * [`BloomFilter`] — the classic bit-array filter with double hashing,
+//! * [`CountingBloomFilter`] — a counting variant supporting removal, used
+//!   when filters are unregistered.
+//!
+//! # Examples
+//!
+//! ```
+//! use move_bloom::BloomFilter;
+//!
+//! let mut bf = BloomFilter::new(1_000, 0.01);
+//! bf.insert(&42u64);
+//! assert!(bf.contains(&42u64));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counting;
+mod filter;
+mod hashing;
+
+pub use counting::CountingBloomFilter;
+pub use filter::BloomFilter;
+pub use hashing::{double_hashes, sizing};

@@ -1,0 +1,54 @@
+//! Property tests: Bloom filters never produce false negatives, under any
+//! insertion pattern, and counting filters honour multiplicities.
+
+use move_bloom::{BloomFilter, CountingBloomFilter};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn no_false_negatives(
+        items in prop::collection::hash_set(any::<u64>(), 0..300),
+        m in 64usize..4096,
+        k in 1u32..8,
+    ) {
+        let mut bf = BloomFilter::with_params(m, k);
+        for i in &items {
+            bf.insert(i);
+        }
+        for i in &items {
+            prop_assert!(bf.contains(i), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn counting_filter_survives_removals(
+        keep in prop::collection::hash_set(0u64..500, 1..100),
+        remove in prop::collection::hash_set(500u64..1000, 1..100),
+    ) {
+        let mut cbf = CountingBloomFilter::new(1_000, 0.01);
+        for i in keep.iter().chain(&remove) {
+            cbf.insert(i);
+        }
+        for i in &remove {
+            cbf.remove(i);
+        }
+        for i in &keep {
+            prop_assert!(cbf.contains(i), "removal of others broke {i}");
+        }
+    }
+
+    #[test]
+    fn union_is_superset(
+        left in prop::collection::vec(any::<u32>(), 0..100),
+        right in prop::collection::vec(any::<u32>(), 0..100),
+    ) {
+        let mut a = BloomFilter::with_params(2048, 4);
+        let mut b = BloomFilter::with_params(2048, 4);
+        for i in &left { a.insert(i); }
+        for i in &right { b.insert(i); }
+        a.union(&b).unwrap();
+        for i in left.iter().chain(&right) {
+            prop_assert!(a.contains(i));
+        }
+    }
+}

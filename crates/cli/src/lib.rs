@@ -1,0 +1,389 @@
+//! The `move-cli` command language and interpreter: an interactive shell
+//! for driving a simulated MOVE cluster — registering filters as plain
+//! text, publishing documents, triggering allocation, injecting failures
+//! and inspecting cluster state.
+//!
+//! The parsing and execution live in the library so they are unit-testable;
+//! `src/main.rs` is a thin stdin loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use move_cli::{Command, Session};
+//!
+//! let mut session = Session::new(6, 2).unwrap();
+//! session.run(Command::parse("register 1 rust async runtime").unwrap());
+//! let out = session.run(Command::parse("publish the rust async book").unwrap());
+//! assert!(out.contains("f1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use move_cluster::FailureMode;
+use move_core::{Dissemination, MoveScheme, SystemConfig};
+use move_text::TextPipeline;
+use move_types::{FilterId, NodeId, TermDictionary};
+use rand_like::TinyRng;
+
+/// One shell command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `register <id> <keywords…>` — register a filter.
+    Register(u64, String),
+    /// `unregister <id>` — remove a filter.
+    Unregister(u64),
+    /// `publish <text…>` — publish a document, printing the deliveries.
+    Publish(String),
+    /// `allocate` — run the statistics master.
+    Allocate,
+    /// `fail <node|fraction>` — crash a node id or a fraction of the
+    /// cluster (rack-correlated when fractional).
+    Fail(String),
+    /// `recover <node>` — restart a node.
+    Recover(u32),
+    /// `stats` — per-node storage/cost summary.
+    Stats,
+    /// `help` — list commands.
+    Help,
+    /// `quit` — leave the shell.
+    Quit,
+}
+
+impl Command {
+    /// Parses one input line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown commands or malformed
+    /// arguments.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let mut words = line.split_whitespace();
+        let head = words.next().ok_or("empty command")?;
+        let rest = |w: std::str::SplitWhitespace<'_>| w.collect::<Vec<_>>().join(" ");
+        match head {
+            "register" | "reg" => {
+                let id: u64 = words
+                    .next()
+                    .ok_or("usage: register <id> <keywords…>")?
+                    .parse()
+                    .map_err(|e| format!("bad filter id: {e}"))?;
+                let text = rest(words);
+                if text.is_empty() {
+                    return Err("usage: register <id> <keywords…>".into());
+                }
+                Ok(Self::Register(id, text))
+            }
+            "unregister" | "unreg" => {
+                let id: u64 = words
+                    .next()
+                    .ok_or("usage: unregister <id>")?
+                    .parse()
+                    .map_err(|e| format!("bad filter id: {e}"))?;
+                Ok(Self::Unregister(id))
+            }
+            "publish" | "pub" => {
+                let text = rest(words);
+                if text.is_empty() {
+                    return Err("usage: publish <text…>".into());
+                }
+                Ok(Self::Publish(text))
+            }
+            "allocate" | "alloc" => Ok(Self::Allocate),
+            "fail" => Ok(Self::Fail(
+                words.next().ok_or("usage: fail <node|fraction>")?.to_owned(),
+            )),
+            "recover" => {
+                let n: u32 = words
+                    .next()
+                    .ok_or("usage: recover <node>")?
+                    .parse()
+                    .map_err(|e| format!("bad node id: {e}"))?;
+                Ok(Self::Recover(n))
+            }
+            "stats" => Ok(Self::Stats),
+            "help" | "?" => Ok(Self::Help),
+            "quit" | "exit" => Ok(Self::Quit),
+            other => Err(format!("unknown command {other:?} (try `help`)")),
+        }
+    }
+}
+
+/// An interactive session holding a simulated cluster.
+#[derive(Debug)]
+pub struct Session {
+    scheme: MoveScheme,
+    pipeline: TextPipeline,
+    dict: TermDictionary,
+    next_doc: u64,
+    clock: f64,
+    rng: TinyRng,
+    /// Set once [`Command::Quit`] has run.
+    pub finished: bool,
+}
+
+impl Session {
+    /// Creates a session over a fresh simulated cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the cluster configuration is rejected.
+    pub fn new(nodes: usize, racks: usize) -> Result<Self, String> {
+        let config = SystemConfig {
+            nodes,
+            racks,
+            capacity_per_node: 100_000,
+            expected_terms: 100_000,
+            ..SystemConfig::default()
+        };
+        let scheme = MoveScheme::new(config).map_err(|e| e.to_string())?;
+        Ok(Self {
+            scheme,
+            pipeline: TextPipeline::default(),
+            dict: TermDictionary::new(),
+            next_doc: 0,
+            clock: 0.0,
+            rng: TinyRng::new(0x0C11),
+            finished: false,
+        })
+    }
+
+    /// Executes one command, returning the text to print.
+    pub fn run(&mut self, cmd: Command) -> String {
+        match cmd {
+            Command::Register(id, text) => {
+                let filter = self.pipeline.filter(id, &text, &mut self.dict);
+                if filter.is_empty() {
+                    return "filter has no terms after preprocessing; not registered".into();
+                }
+                let terms = filter.len();
+                match self.scheme.register(&filter) {
+                    Ok(()) => format!("registered f{id} ({terms} terms)"),
+                    Err(e) => format!("error: {e}"),
+                }
+            }
+            Command::Unregister(id) => match self.scheme.unregister(FilterId(id)) {
+                Ok(true) => format!("unregistered f{id}"),
+                Ok(false) => format!("f{id} was not registered"),
+                Err(e) => format!("error: {e}"),
+            },
+            Command::Publish(text) => {
+                let doc = self.pipeline.document(self.next_doc, &text, &mut self.dict);
+                self.next_doc += 1;
+                self.clock += 0.001;
+                // Feed the live statistics too (the scheme does this on
+                // publish), then report deliveries.
+                match self.scheme.publish(self.clock, &doc) {
+                    Ok(out) => {
+                        if out.matched.is_empty() {
+                            "no matching filters".into()
+                        } else {
+                            let ids: Vec<String> =
+                                out.matched.iter().map(ToString::to_string).collect();
+                            format!("delivered to {}", ids.join(", "))
+                        }
+                    }
+                    Err(e) => format!("error: {e}"),
+                }
+            }
+            Command::Allocate => match self.scheme.allocate() {
+                Ok(()) => {
+                    let (tables, entries) = self.scheme.forwarding_tables();
+                    format!("allocated: {tables} forwarding tables, {entries} grid slots")
+                }
+                Err(e) => format!("error: {e}"),
+            },
+            Command::Fail(arg) => {
+                if let Ok(frac) = arg.parse::<f64>() {
+                    if (0.0..1.0).contains(&frac) && arg.contains('.') {
+                        let dead = self.scheme.cluster_mut().fail_fraction(
+                            frac,
+                            FailureMode::RackCorrelated,
+                            &mut self.rng,
+                        );
+                        let names: Vec<String> = dead.iter().map(ToString::to_string).collect();
+                        return format!(
+                            "crashed {} node(s): {} — availability {:.3}",
+                            dead.len(),
+                            names.join(", "),
+                            self.scheme.filter_availability()
+                        );
+                    }
+                }
+                match arg.parse::<u32>() {
+                    Ok(n) if (n as usize) < self.scheme.cluster().len() => {
+                        self.scheme.cluster_mut().membership_mut().crash(NodeId(n));
+                        format!(
+                            "crashed n{n} — availability {:.3}",
+                            self.scheme.filter_availability()
+                        )
+                    }
+                    _ => format!("no such node or fraction: {arg}"),
+                }
+            }
+            Command::Recover(n) => {
+                if (n as usize) < self.scheme.cluster().len() {
+                    self.scheme.cluster_mut().membership_mut().recover(NodeId(n));
+                    format!("recovered n{n}")
+                } else {
+                    format!("no such node: n{n}")
+                }
+            }
+            Command::Stats => {
+                let storage = self.scheme.storage_per_node();
+                let mut out = format!(
+                    "{} filters registered; availability {:.3}\n",
+                    self.scheme.registered_filters(),
+                    self.scheme.filter_availability()
+                );
+                for (i, (s, l)) in storage
+                    .iter()
+                    .zip(self.scheme.cluster().ledgers().all())
+                    .enumerate()
+                {
+                    let alive = if self.scheme.cluster().is_alive(NodeId(i as u32)) {
+                        "up  "
+                    } else {
+                        "DOWN"
+                    };
+                    out.push_str(&format!(
+                        "  n{i:<3} {alive} {s:>8} copies  {:>8} docs  {:>10} postings\n",
+                        l.docs_received, l.postings_scanned
+                    ));
+                }
+                out.pop();
+                out
+            }
+            Command::Help => "\
+commands:
+  register <id> <keywords…>   register a keyword filter
+  unregister <id>             remove a filter
+  publish <text…>             publish a document
+  allocate                    run the statistics master (filter allocation)
+  fail <node|0.fraction>      crash a node, or a rack-correlated fraction
+  recover <node>              restart a node
+  stats                       per-node storage and matching counters
+  quit                        leave"
+                .into(),
+            Command::Quit => {
+                self.finished = true;
+                "bye".into()
+            }
+        }
+    }
+}
+
+/// A tiny xorshift RNG so the CLI needs no extra dependency; implements
+/// `rand::RngCore` via the workspace's `rand` through `move-core`'s public
+/// API requirements.
+mod rand_like {
+    /// SplitMix-seeded xorshift64*.
+    #[derive(Debug)]
+    pub struct TinyRng(u64);
+
+    impl TinyRng {
+        pub fn new(seed: u64) -> Self {
+            Self(seed | 1)
+        }
+    }
+
+    impl rand::RngCore for TinyRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_accepts_every_command() {
+        assert_eq!(
+            Command::parse("register 7 breaking news").unwrap(),
+            Command::Register(7, "breaking news".into())
+        );
+        assert_eq!(Command::parse("unreg 7").unwrap(), Command::Unregister(7));
+        assert_eq!(
+            Command::parse("publish hello world").unwrap(),
+            Command::Publish("hello world".into())
+        );
+        assert_eq!(Command::parse("allocate").unwrap(), Command::Allocate);
+        assert_eq!(Command::parse("fail 3").unwrap(), Command::Fail("3".into()));
+        assert_eq!(Command::parse("recover 3").unwrap(), Command::Recover(3));
+        assert_eq!(Command::parse("stats").unwrap(), Command::Stats);
+        assert_eq!(Command::parse("help").unwrap(), Command::Help);
+        assert_eq!(Command::parse("quit").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(Command::parse("").is_err());
+        assert!(Command::parse("register").is_err());
+        assert!(Command::parse("register x news").is_err());
+        assert!(Command::parse("register 1").is_err());
+        assert!(Command::parse("publish").is_err());
+        assert!(Command::parse("frobnicate").is_err());
+    }
+
+    #[test]
+    fn session_round_trip() {
+        let mut s = Session::new(6, 2).unwrap();
+        assert!(s
+            .run(Command::parse("register 1 rust news").unwrap())
+            .contains("registered f1"));
+        assert!(s
+            .run(Command::parse("publish rust shipped a release").unwrap())
+            .contains("f1"));
+        assert!(s
+            .run(Command::parse("publish nothing relevant here").unwrap())
+            .contains("no matching"));
+        assert!(s.run(Command::Allocate).contains("forwarding tables"));
+        assert!(s.run(Command::parse("unregister 1").unwrap()).contains("unregistered"));
+        assert!(s
+            .run(Command::parse("publish rust again").unwrap())
+            .contains("no matching"));
+    }
+
+    #[test]
+    fn session_failure_commands() {
+        let mut s = Session::new(6, 2).unwrap();
+        s.run(Command::parse("register 1 alpha").unwrap());
+        assert!(s.run(Command::parse("fail 0").unwrap()).contains("crashed n0"));
+        assert!(s.run(Command::parse("recover 0").unwrap()).contains("recovered n0"));
+        assert!(s.run(Command::parse("fail 99").unwrap()).contains("no such node"));
+        let out = s.run(Command::parse("fail 0.3").unwrap());
+        assert!(out.contains("availability"), "{out}");
+        assert!(s.run(Command::Stats).contains("filters registered"));
+    }
+
+    #[test]
+    fn quit_finishes_session() {
+        let mut s = Session::new(3, 1).unwrap();
+        assert!(!s.finished);
+        s.run(Command::Quit);
+        assert!(s.finished);
+    }
+}

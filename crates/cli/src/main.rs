@@ -1,0 +1,44 @@
+//! The `move-cli` interactive shell. See `move_cli` (the library) for the
+//! command language.
+
+use move_cli::{Command, Session};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let racks = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let mut session = match Session::new(nodes, racks) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("move-cli: {nodes} simulated nodes over {racks} racks (try `help`)");
+    let stdin = std::io::stdin();
+    loop {
+        print!("move> ");
+        std::io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match Command::parse(line) {
+            Ok(cmd) => println!("{}", session.run(cmd)),
+            Err(msg) => println!("{msg}"),
+        }
+        if session.finished {
+            break;
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! The assembled simulated cluster.
+
+use crate::cost::LedgerBoard;
+use crate::{CostModel, KvStore, Membership, Ring, Topology};
+use move_types::{MoveError, NodeId, Result, TermId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How injected failures are correlated (Fig. 9c–9d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// Uniformly random nodes fail.
+    RandomNodes,
+    /// Whole racks fail at a time (power/switch failures) — the scenario
+    /// that punishes rack-local replica placement.
+    RackCorrelated,
+}
+
+/// A cluster of simulated commodity machines: consistent-hash [`Ring`],
+/// rack [`Topology`], gossip [`Membership`], one [`KvStore`] per node, a
+/// [`CostModel`] and per-node cost ledgers.
+///
+/// # Examples
+///
+/// ```
+/// use move_cluster::{CostModel, SimCluster};
+/// use move_types::TermId;
+///
+/// let mut cluster = SimCluster::new(20, 4, CostModel::default()).unwrap();
+/// let home = cluster.home_of_term(TermId(7));
+/// assert!(cluster.is_alive(home));
+/// ```
+#[derive(Debug)]
+pub struct SimCluster {
+    ring: Ring,
+    topology: Topology,
+    membership: Membership,
+    cost: CostModel,
+    stores: Vec<KvStore>,
+    ledgers: LedgerBoard,
+}
+
+/// Virtual nodes per physical node (Cassandra's classic default magnitude).
+const VNODES: usize = 64;
+
+/// Memtable size for per-node stores.
+const MEMTABLE_LIMIT: usize = 4096;
+
+/// Gossip rounds of silence before a peer is suspected down.
+const SUSPECT_AFTER: u64 = 5;
+
+impl SimCluster {
+    /// Creates a cluster of `nodes` machines spread over `racks` racks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoveError::InvalidConfig`] if `nodes == 0` or `racks == 0`.
+    pub fn new(nodes: usize, racks: usize, cost: CostModel) -> Result<Self> {
+        if nodes == 0 || racks == 0 {
+            return Err(MoveError::InvalidConfig(format!(
+                "cluster needs nodes > 0 and racks > 0, got {nodes}/{racks}"
+            )));
+        }
+        let topology = Topology::uniform(nodes, racks);
+        Ok(Self {
+            ring: Ring::new(topology.nodes(), VNODES),
+            topology,
+            membership: Membership::new(nodes, SUSPECT_AFTER),
+            cost,
+            stores: (0..nodes).map(|_| KvStore::new(MEMTABLE_LIMIT)).collect(),
+            ledgers: LedgerBoard::new(nodes),
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Whether the cluster is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.stores.is_empty()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.topology.nodes()
+    }
+
+    /// Nodes currently alive.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.membership.live_nodes()
+    }
+
+    /// The ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The rack topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The gossip membership.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Mutable gossip membership (for driving gossip rounds in tests and
+    /// experiments).
+    pub fn membership_mut(&mut self) -> &mut Membership {
+        &mut self.membership
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Per-node cost ledgers.
+    pub fn ledgers(&self) -> &LedgerBoard {
+        &self.ledgers
+    }
+
+    /// Mutable per-node cost ledgers.
+    pub fn ledgers_mut(&mut self) -> &mut LedgerBoard {
+        &mut self.ledgers
+    }
+
+    /// A node's key/value store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn store_mut(&mut self, node: NodeId) -> &mut KvStore {
+        &mut self.stores[node.as_usize()]
+    }
+
+    /// A node's store, read-only.
+    pub fn store(&self, node: NodeId) -> &KvStore {
+        &self.stores[node.as_usize()]
+    }
+
+    /// Ground-truth liveness.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.membership.is_alive(node)
+    }
+
+    /// The home node of a term (`put`/`get` routing target).
+    pub fn home_of_term(&self, term: TermId) -> NodeId {
+        self.ring.home_of_term(term)
+    }
+
+    /// Document-transfer cost between two nodes under the rack-aware cost
+    /// model; zero when the document is already local.
+    pub fn transfer_cost(&self, from: NodeId, to: NodeId) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            self.cost.transfer(self.topology.same_rack(from, to))
+        }
+    }
+
+    /// Crashes approximately `fraction` of the nodes and returns the
+    /// casualties. `RandomNodes` picks uniformly; `RackCorrelated` kills
+    /// whole racks until the budget is reached (partially killing the last
+    /// rack if needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn fail_fraction<R: Rng + ?Sized>(
+        &mut self,
+        fraction: f64,
+        mode: FailureMode,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let budget = (fraction * self.len() as f64).round() as usize;
+        let mut victims: Vec<NodeId> = Vec::with_capacity(budget);
+        match mode {
+            FailureMode::RandomNodes => {
+                let mut alive = self.live_nodes();
+                alive.shuffle(rng);
+                victims.extend(alive.into_iter().take(budget));
+            }
+            FailureMode::RackCorrelated => {
+                let mut racks: Vec<usize> = (0..self.topology.racks().len()).collect();
+                racks.shuffle(rng);
+                'outer: for r in racks {
+                    let mut members = self.topology.racks()[r].clone();
+                    members.shuffle(rng);
+                    for m in members {
+                        if victims.len() == budget {
+                            break 'outer;
+                        }
+                        if self.is_alive(m) {
+                            victims.push(m);
+                        }
+                    }
+                }
+            }
+        }
+        for &v in &victims {
+            self.membership.crash(v);
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cluster(n: usize, racks: usize) -> SimCluster {
+        SimCluster::new(n, racks, CostModel::default()).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(SimCluster::new(0, 2, CostModel::default()).is_err());
+        assert!(SimCluster::new(2, 0, CostModel::default()).is_err());
+        assert_eq!(cluster(12, 3).len(), 12);
+    }
+
+    #[test]
+    fn stores_are_per_node() {
+        let mut c = cluster(3, 1);
+        c.store_mut(NodeId(0)).cf("f").put(b"k".as_ref(), b"v".as_ref());
+        assert!(c.store(NodeId(0)).cf_opt("f").is_some());
+        assert!(c.store(NodeId(1)).cf_opt("f").is_none());
+    }
+
+    #[test]
+    fn transfer_cost_rack_aware() {
+        let c = cluster(4, 2); // racks: {0,2} and {1,3}
+        assert_eq!(c.transfer_cost(NodeId(0), NodeId(0)), 0.0);
+        let local = c.transfer_cost(NodeId(0), NodeId(2));
+        let remote = c.transfer_cost(NodeId(0), NodeId(1));
+        assert!(local < remote);
+    }
+
+    #[test]
+    fn random_failure_hits_budget() {
+        let mut c = cluster(20, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let dead = c.fail_fraction(0.3, FailureMode::RandomNodes, &mut rng);
+        assert_eq!(dead.len(), 6);
+        assert_eq!(c.live_nodes().len(), 14);
+    }
+
+    #[test]
+    fn rack_failure_is_correlated() {
+        let mut c = cluster(20, 4); // 5 nodes per rack
+        let mut rng = StdRng::seed_from_u64(2);
+        let dead = c.fail_fraction(0.25, FailureMode::RackCorrelated, &mut rng);
+        assert_eq!(dead.len(), 5);
+        // All casualties share one rack.
+        let rack = c.topology().rack_of(dead[0]);
+        assert!(dead.iter().all(|&n| c.topology().rack_of(n) == rack));
+    }
+
+    #[test]
+    fn zero_fraction_is_noop() {
+        let mut c = cluster(10, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(c
+            .fail_fraction(0.0, FailureMode::RandomNodes, &mut rng)
+            .is_empty());
+        assert_eq!(c.live_nodes().len(), 10);
+    }
+
+    #[test]
+    fn term_home_is_alive_until_crash() {
+        let mut c = cluster(5, 1);
+        let home = c.home_of_term(TermId(3));
+        assert!(c.is_alive(home));
+        c.membership_mut().crash(home);
+        assert!(!c.is_alive(home));
+    }
+}

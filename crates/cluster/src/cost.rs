@@ -1,0 +1,232 @@
+//! The latency cost model of paper Eq. 1/2.
+//!
+//! The paper's analysis (§IV-B) writes the latency of matching a document on
+//! a node as `y_d + y_p · (filters scanned)` — a transfer term plus a
+//! per-filter match term — and observes (citing the EC2 measurement study
+//! \[24\]) that disk I/O dominates: the per-filter term is really the cost of
+//! pulling posting lists off the local disk. We refine that into
+//!
+//! `cost = y_d(rack) + y_s · (posting lists retrieved) + y_p · (postings
+//! scanned) · disk(stored filters)`
+//!
+//! where `y_s` is a per-list seek (this is what makes SIFT-on-rendezvous
+//! expensive for large documents: it retrieves `|d|` lists per document) and
+//! `disk(·)` is 1 while a node's stored filters fit its memory capacity `C`
+//! and `disk_penalty` beyond — the knee visible in Fig. 6 at very large `P`.
+
+use move_types::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Latency parameters, in (virtual) seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Transfer of one document to a node in another rack (`y_d`).
+    pub y_d_remote: f64,
+    /// Transfer within a rack (top-of-rack switch only).
+    pub y_d_local: f64,
+    /// Retrieval of one posting list (`y_s`, per-list seek).
+    pub y_s: f64,
+    /// Scan of one posting entry, i.e. one candidate filter (`y_p`).
+    pub y_p: f64,
+    /// Number of filters a node can hold in memory (`C_mem`).
+    pub mem_capacity: u64,
+    /// Multiplier on `y_p` once a node's stored filters exceed
+    /// `mem_capacity` (the disk-I/O knee).
+    pub disk_penalty: f64,
+}
+
+impl Default for CostModel {
+    /// Parameters loosely calibrated to commodity 2011-era hardware: ~0.5 ms
+    /// cross-rack document transfer, ~0.1 ms per posting-list retrieval,
+    /// ~0.2 µs per posting scanned, 3 M filters of memory capacity, 8×
+    /// slower once spilling to disk.
+    fn default() -> Self {
+        Self {
+            y_d_remote: 5e-4,
+            y_d_local: 1.5e-4,
+            y_s: 1e-4,
+            y_p: 2e-7,
+            mem_capacity: 3_000_000,
+            disk_penalty: 8.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Transfer cost of a document to a node (`y_d`), rack-aware.
+    pub fn transfer(&self, same_rack: bool) -> f64 {
+        if same_rack {
+            self.y_d_local
+        } else {
+            self.y_d_remote
+        }
+    }
+
+    /// Cost of matching one document on a node: retrieving `lists` posting
+    /// lists and scanning `postings` candidate filters, given the node
+    /// currently stores `stored_filters` filters.
+    pub fn match_cost(&self, lists: u64, postings: u64, stored_filters: u64) -> f64 {
+        let disk = if stored_filters > self.mem_capacity {
+            self.disk_penalty
+        } else {
+            1.0
+        };
+        self.y_s * lists as f64 + self.y_p * postings as f64 * disk
+    }
+
+    /// Theorem 2's `β = y_p·P / y_d` — the ratio between matching a document
+    /// against `P` filters and transferring it once.
+    pub fn beta(&self, total_filters: u64) -> f64 {
+        self.y_p * total_filters as f64 / self.y_d_remote
+    }
+}
+
+/// Per-node accounting of virtual work, filled in by the dissemination
+/// schemes and consumed by the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostLedger {
+    /// Total virtual seconds of service performed.
+    pub busy_seconds: f64,
+    /// Documents this node received for matching.
+    pub docs_received: u64,
+    /// Posting lists retrieved.
+    pub lists_retrieved: u64,
+    /// Posting entries scanned.
+    pub postings_scanned: u64,
+}
+
+impl CostLedger {
+    /// Records one document-match operation.
+    pub fn record(&mut self, seconds: f64, lists: u64, postings: u64) {
+        self.busy_seconds += seconds;
+        self.docs_received += 1;
+        self.lists_retrieved += lists;
+        self.postings_scanned += postings;
+    }
+
+    /// Adds another ledger into this one.
+    pub fn merge(&mut self, other: &CostLedger) {
+        self.busy_seconds += other.busy_seconds;
+        self.docs_received += other.docs_received;
+        self.lists_retrieved += other.lists_retrieved;
+        self.postings_scanned += other.postings_scanned;
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// A convenience collection of ledgers indexed by [`NodeId`].
+#[derive(Debug, Clone, Default)]
+pub struct LedgerBoard {
+    ledgers: Vec<CostLedger>,
+}
+
+impl LedgerBoard {
+    /// Creates a board for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            ledgers: vec![CostLedger::default(); n],
+        }
+    }
+
+    /// Mutable ledger of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is out of range.
+    pub fn ledger_mut(&mut self, node: NodeId) -> &mut CostLedger {
+        &mut self.ledgers[node.as_usize()]
+    }
+
+    /// Ledger of a node.
+    pub fn ledger(&self, node: NodeId) -> &CostLedger {
+        &self.ledgers[node.as_usize()]
+    }
+
+    /// All ledgers in node order.
+    pub fn all(&self) -> &[CostLedger] {
+        &self.ledgers
+    }
+
+    /// The largest per-node busy time — the makespan lower bound that
+    /// dominates batch throughput ("the busiest node … significantly
+    /// degrade\[s\] the throughput", §VI-C).
+    pub fn max_busy(&self) -> f64 {
+        self.ledgers
+            .iter()
+            .map(|l| l.busy_seconds)
+            .fold(0.0, f64::max)
+    }
+
+    /// Clears every ledger.
+    pub fn reset(&mut self) {
+        for l in &mut self.ledgers {
+            l.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rack_discount_applies() {
+        let m = CostModel::default();
+        assert!(m.transfer(true) < m.transfer(false));
+    }
+
+    #[test]
+    fn match_cost_linear_in_lists_and_postings() {
+        let m = CostModel {
+            y_s: 2.0,
+            y_p: 1.0,
+            mem_capacity: 100,
+            disk_penalty: 10.0,
+            ..CostModel::default()
+        };
+        assert_eq!(m.match_cost(3, 5, 10), 3.0 * 2.0 + 5.0);
+        // Beyond capacity the posting term is multiplied, the seek term not.
+        assert_eq!(m.match_cost(3, 5, 1_000), 6.0 + 50.0);
+    }
+
+    #[test]
+    fn beta_matches_theorem2_definition() {
+        let m = CostModel {
+            y_p: 1e-6,
+            y_d_remote: 1e-3,
+            ..CostModel::default()
+        };
+        assert!((m.beta(4_000_000) - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ledger_accumulates_and_merges() {
+        let mut a = CostLedger::default();
+        a.record(1.0, 2, 30);
+        a.record(0.5, 1, 10);
+        assert_eq!(a.docs_received, 2);
+        assert_eq!(a.lists_retrieved, 3);
+        assert_eq!(a.postings_scanned, 40);
+        let mut b = CostLedger::default();
+        b.record(2.0, 5, 5);
+        a.merge(&b);
+        assert!((a.busy_seconds - 3.5).abs() < 1e-12);
+        a.reset();
+        assert_eq!(a, CostLedger::default());
+    }
+
+    #[test]
+    fn board_max_busy() {
+        let mut board = LedgerBoard::new(3);
+        board.ledger_mut(NodeId(1)).record(2.0, 1, 1);
+        board.ledger_mut(NodeId(2)).record(0.5, 1, 1);
+        assert_eq!(board.max_busy(), 2.0);
+        assert_eq!(board.ledger(NodeId(0)).docs_received, 0);
+        board.reset();
+        assert_eq!(board.max_busy(), 0.0);
+    }
+}

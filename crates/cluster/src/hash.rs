@@ -1,0 +1,68 @@
+//! Stable hashing for ring placement.
+
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a accumulator with a SplitMix64 finalizer. Deterministic across
+/// processes and runs — `std`'s `DefaultHasher` is randomly seeded, which
+/// would make simulations non-reproducible.
+struct StableHasher(u64);
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        let mut z = self.0;
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// Hashes any `Hash` value to a stable, well-mixed 64-bit token — the
+/// coordinate used on the [ring](crate::Ring).
+///
+/// # Examples
+///
+/// ```
+/// let a = move_cluster::stable_hash64(&"term");
+/// let b = move_cluster::stable_hash64(&"term");
+/// assert_eq!(a, b);
+/// assert_ne!(a, move_cluster::stable_hash64(&"other"));
+/// ```
+pub fn stable_hash64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = StableHasher(0xcbf2_9ce4_8422_2325);
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(stable_hash64(&42u64), stable_hash64(&42u64));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sequential inputs must land in different 16ths of the space.
+        let mut buckets = [0u32; 16];
+        for i in 0..10_000u64 {
+            buckets[(stable_hash64(&i) >> 60) as usize] += 1;
+        }
+        let (min, max) = (
+            buckets.iter().min().copied().unwrap(),
+            buckets.iter().max().copied().unwrap(),
+        );
+        assert!(max < 2 * min, "poorly mixed: {buckets:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! A Dynamo/Cassandra-style cluster substrate for the MOVE reproduction.
+//!
+//! The paper deploys MOVE on Apache Cassandra 0.8.7 across ~100 nodes of the
+//! Ukko cluster. This crate rebuilds the pieces of that substrate the system
+//! actually depends on, in process and deterministic:
+//!
+//! * [`ring`] — a consistent-hash ring with virtual nodes giving the O(1)
+//!   `key → home node` mapping (`put`/`get` routing);
+//! * [`topology`] — racks and the snitch used by rack-aware replica
+//!   placement (§V, "Selection of allocated nodes");
+//! * [`membership`] — gossip-style membership with heartbeats, failure
+//!   detection and failure injection (random or rack-correlated);
+//! * [`store`] — an LSM-flavoured column-family store (memtable → sorted
+//!   runs → compaction), the BigTable data model Cassandra implements;
+//! * [`cost`] — the latency cost model of paper Eq. 1/2 (`y_d` transfer,
+//!   `y_p` per-posting match, plus per-list seek and a disk-capacity knee);
+//! * [`sim`] — a discrete-event queueing simulator turning per-node service
+//!   times into makespan/throughput/latency figures;
+//! * [`cluster`] — [`SimCluster`], tying the pieces together.
+//!
+//! Everything is functional — routing really routes, stores really store —
+//! while *time* is virtual: operations charge costs to per-node ledgers, and
+//! the event simulator converts those into the throughput numbers of the
+//! paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod cost;
+pub mod membership;
+pub mod ring;
+pub mod sim;
+pub mod store;
+pub mod topology;
+
+mod hash;
+
+pub use cluster::{FailureMode, SimCluster};
+pub use cost::{CostLedger, CostModel, LedgerBoard};
+pub use hash::stable_hash64;
+pub use membership::{Membership, NodeStatus};
+pub use ring::Ring;
+pub use sim::{Job, QueueSim, SimOutcome, Stage, Task};
+pub use store::{ColumnFamily, KvStore};
+pub use topology::Topology;

@@ -1,0 +1,272 @@
+//! Gossip-based membership with failure detection.
+//!
+//! "With the help of Gossip protocol, every node in Dynamo maintains
+//! information about all other nodes" (paper §II). This module simulates
+//! that protocol in rounds: every live node increments its own heartbeat and
+//! exchanges its full view with one random peer per round; a node whose
+//! heartbeat has not advanced for `suspect_after` rounds is considered
+//! `Down` by the observer.
+
+use move_types::NodeId;
+use rand::Rng;
+
+/// A node's liveness as seen by an observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// The observer believes the node is alive.
+    Up,
+    /// The observer's failure detector has timed the node out.
+    Down,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ViewEntry {
+    /// Highest heartbeat seen for the subject.
+    heartbeat: u64,
+    /// Round at which that heartbeat was learned.
+    seen_round: u64,
+}
+
+/// The simulated gossip membership of a cluster.
+///
+/// Ground truth (which nodes are actually up, controlled by
+/// [`Membership::crash`] / [`Membership::recover`]) is separated from each
+/// node's *view*, which converges through [`Membership::gossip_round`]s.
+///
+/// # Examples
+///
+/// ```
+/// use move_cluster::{Membership, NodeStatus};
+/// use move_types::NodeId;
+/// use rand::SeedableRng;
+///
+/// let mut m = Membership::new(8, 3);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// m.crash(NodeId(5));
+/// for _ in 0..20 {
+///     m.gossip_round(&mut rng);
+/// }
+/// assert_eq!(m.status_in_view(NodeId(0), NodeId(5)), NodeStatus::Down);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Membership {
+    alive: Vec<bool>,
+    heartbeat: Vec<u64>,
+    /// `views[observer][subject]`.
+    views: Vec<Vec<ViewEntry>>,
+    round: u64,
+    suspect_after: u64,
+}
+
+impl Membership {
+    /// Creates a membership of `n` nodes, all up, suspecting a node after
+    /// `suspect_after` rounds of heartbeat silence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `suspect_after == 0`.
+    pub fn new(n: usize, suspect_after: u64) -> Self {
+        assert!(n > 0, "membership needs at least one node");
+        assert!(suspect_after > 0, "suspect_after must be positive");
+        let entry = ViewEntry {
+            heartbeat: 0,
+            seen_round: 0,
+        };
+        Self {
+            alive: vec![true; n],
+            heartbeat: vec![0; n],
+            views: vec![vec![entry; n]; n],
+            round: 0,
+            suspect_after,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether the membership is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Ground truth: whether the node process is actually running.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.as_usize()]
+    }
+
+    /// Crashes a node (its heartbeat stops advancing).
+    pub fn crash(&mut self, node: NodeId) {
+        self.alive[node.as_usize()] = false;
+    }
+
+    /// Restarts a node.
+    pub fn recover(&mut self, node: NodeId) {
+        self.alive[node.as_usize()] = true;
+    }
+
+    /// Ids of nodes that are actually up.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        (0..self.alive.len())
+            .filter(|&i| self.alive[i])
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Runs one gossip round: live nodes bump their heartbeat, update their
+    /// own view, and each exchanges views with one uniformly random peer
+    /// (push-pull).
+    pub fn gossip_round<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.round += 1;
+        let n = self.alive.len();
+        for i in 0..n {
+            if self.alive[i] {
+                self.heartbeat[i] += 1;
+                self.views[i][i] = ViewEntry {
+                    heartbeat: self.heartbeat[i],
+                    seen_round: self.round,
+                };
+            }
+        }
+        for i in 0..n {
+            if !self.alive[i] || n == 1 {
+                continue;
+            }
+            let mut peer = rng.gen_range(0..n - 1);
+            if peer >= i {
+                peer += 1;
+            }
+            if !self.alive[peer] {
+                continue; // the exchange fails; the dead peer learns nothing
+            }
+            for s in 0..n {
+                let (a, b) = (self.views[i][s], self.views[peer][s]);
+                // Freshness is measured from when the *observer* last
+                // learned something new about the subject (as in accrual
+                // failure detectors), so propagation lag does not read as
+                // silence.
+                if b.heartbeat > a.heartbeat {
+                    self.views[i][s] = ViewEntry {
+                        heartbeat: b.heartbeat,
+                        seen_round: self.round,
+                    };
+                } else if a.heartbeat > b.heartbeat {
+                    self.views[peer][s] = ViewEntry {
+                        heartbeat: a.heartbeat,
+                        seen_round: self.round,
+                    };
+                }
+            }
+        }
+    }
+
+    /// The liveness of `subject` according to `observer`'s failure
+    /// detector.
+    pub fn status_in_view(&self, observer: NodeId, subject: NodeId) -> NodeStatus {
+        let e = self.views[observer.as_usize()][subject.as_usize()];
+        if self.round.saturating_sub(e.seen_round) >= self.suspect_after {
+            NodeStatus::Down
+        } else {
+            NodeStatus::Up
+        }
+    }
+
+    /// Whether every live observer's view agrees with the ground truth.
+    pub fn converged(&self) -> bool {
+        let n = self.alive.len();
+        (0..n).filter(|&o| self.alive[o]).all(|o| {
+            (0..n).all(|s| {
+                let status = self.status_in_view(NodeId(o as u32), NodeId(s as u32));
+                (status == NodeStatus::Up) == self.alive[s]
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_up_converges_immediately() {
+        let mut m = Membership::new(6, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5 {
+            m.gossip_round(&mut rng);
+        }
+        assert!(m.converged());
+    }
+
+    #[test]
+    fn crash_is_detected_everywhere() {
+        let mut m = Membership::new(10, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            m.gossip_round(&mut rng);
+        }
+        m.crash(NodeId(7));
+        for _ in 0..30 {
+            m.gossip_round(&mut rng);
+        }
+        for o in m.live_nodes() {
+            assert_eq!(m.status_in_view(o, NodeId(7)), NodeStatus::Down);
+        }
+        assert!(m.converged());
+    }
+
+    #[test]
+    fn recovery_propagates() {
+        let mut m = Membership::new(8, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        m.crash(NodeId(2));
+        for _ in 0..20 {
+            m.gossip_round(&mut rng);
+        }
+        m.recover(NodeId(2));
+        for _ in 0..30 {
+            m.gossip_round(&mut rng);
+        }
+        assert_eq!(m.status_in_view(NodeId(0), NodeId(2)), NodeStatus::Up);
+        assert!(m.converged());
+    }
+
+    #[test]
+    fn dead_nodes_do_not_gossip() {
+        let mut m = Membership::new(4, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        m.crash(NodeId(0));
+        for _ in 0..10 {
+            m.gossip_round(&mut rng);
+        }
+        // The dead node's own view went stale: it sees everyone as down.
+        for s in 1..4u32 {
+            assert_eq!(m.status_in_view(NodeId(0), NodeId(s)), NodeStatus::Down);
+        }
+    }
+
+    #[test]
+    fn live_nodes_lists_truth() {
+        let mut m = Membership::new(5, 3);
+        m.crash(NodeId(1));
+        m.crash(NodeId(3));
+        assert_eq!(
+            m.live_nodes(),
+            vec![NodeId(0), NodeId(2), NodeId(4)]
+        );
+        assert!(!m.is_alive(NodeId(1)));
+        assert!(m.is_alive(NodeId(0)));
+    }
+
+    #[test]
+    fn single_node_cluster() {
+        let mut m = Membership::new(1, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            m.gossip_round(&mut rng);
+        }
+        assert!(m.converged());
+    }
+}

@@ -1,0 +1,290 @@
+//! The consistent-hash ring.
+
+use crate::stable_hash64;
+use move_types::{NodeId, TermId};
+
+/// A consistent-hash ring with virtual nodes — the O(1)-hop DHT structure of
+/// Dynamo/Cassandra (paper §II, "Key/value platforms"). Every key hashes to
+/// a point on the 64-bit circle; the *home node* of the key is the physical
+/// node owning the first virtual node at or after that point.
+///
+/// Virtual nodes (default 64 per physical node) smooth ownership so that
+/// each node is responsible for a near-equal slice of the key space.
+///
+/// # Examples
+///
+/// ```
+/// use move_cluster::Ring;
+/// use move_types::NodeId;
+///
+/// let ring = Ring::new((0..4).map(NodeId), 64);
+/// let home = ring.home_of(&"some key");
+/// assert!(home.as_usize() < 4);
+/// assert_eq!(home, ring.home_of(&"some key")); // stable
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(token, owner)` sorted by token.
+    vnodes: Vec<(u64, NodeId)>,
+    /// Physical members in insertion order.
+    members: Vec<NodeId>,
+    vnodes_per_node: usize,
+}
+
+impl Ring {
+    /// Builds a ring over `members` with `vnodes_per_node` virtual nodes
+    /// each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or `vnodes_per_node == 0`.
+    pub fn new<I: IntoIterator<Item = NodeId>>(members: I, vnodes_per_node: usize) -> Self {
+        let members: Vec<NodeId> = members.into_iter().collect();
+        assert!(!members.is_empty(), "ring needs at least one node");
+        assert!(vnodes_per_node > 0, "vnodes_per_node must be positive");
+        let mut ring = Self {
+            vnodes: Vec::with_capacity(members.len() * vnodes_per_node),
+            members: Vec::new(),
+            vnodes_per_node,
+        };
+        for n in members {
+            ring.add_node(n);
+        }
+        ring
+    }
+
+    fn tokens_for(node: NodeId, vnodes: usize) -> impl Iterator<Item = u64> {
+        (0..vnodes as u64).map(move |v| stable_hash64(&(node.0, v)))
+    }
+
+    /// Adds a physical node (no-op if already present).
+    pub fn add_node(&mut self, node: NodeId) {
+        if self.members.contains(&node) {
+            return;
+        }
+        self.members.push(node);
+        for token in Self::tokens_for(node, self.vnodes_per_node) {
+            let pos = self.vnodes.partition_point(|&(t, _)| t < token);
+            self.vnodes.insert(pos, (token, node));
+        }
+    }
+
+    /// Removes a physical node and all its virtual nodes (no-op if absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if removal would empty the ring.
+    pub fn remove_node(&mut self, node: NodeId) {
+        if !self.members.contains(&node) {
+            return;
+        }
+        assert!(self.members.len() > 1, "cannot remove the last ring member");
+        self.members.retain(|&m| m != node);
+        self.vnodes.retain(|&(_, owner)| owner != node);
+    }
+
+    /// Physical members, in insertion order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of physical members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ring has no members (never true for a constructed ring).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The home node of a raw token.
+    pub fn home_of_token(&self, token: u64) -> NodeId {
+        let pos = self.vnodes.partition_point(|&(t, _)| t < token);
+        let idx = if pos == self.vnodes.len() { 0 } else { pos };
+        self.vnodes[idx].1
+    }
+
+    /// The home node of any hashable key.
+    pub fn home_of<T: std::hash::Hash + ?Sized>(&self, key: &T) -> NodeId {
+        self.home_of_token(stable_hash64(key))
+    }
+
+    /// The home node of a term — where its posting list and filters live
+    /// (paper §III-B).
+    pub fn home_of_term(&self, term: TermId) -> NodeId {
+        self.home_of_token(stable_hash64(&("term", term.0)))
+    }
+
+    /// The first `n` *distinct physical* nodes walking the ring clockwise
+    /// from a key's token — Dynamo's preference list; also the paper's
+    /// "ring-based successors" placement for allocated filters.
+    ///
+    /// Returns fewer than `n` nodes if the ring has fewer members.
+    pub fn preference_list<T: std::hash::Hash + ?Sized>(&self, key: &T, n: usize) -> Vec<NodeId> {
+        let token = stable_hash64(key);
+        let start = self.vnodes.partition_point(|&(t, _)| t < token);
+        let mut out = Vec::with_capacity(n.min(self.members.len()));
+        for i in 0..self.vnodes.len() {
+            let (_, owner) = self.vnodes[(start + i) % self.vnodes.len()];
+            if !out.contains(&owner) {
+                out.push(owner);
+                if out.len() == n.min(self.members.len()) {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Successor physical nodes of a given node: the distinct owners
+    /// following `node`'s first virtual node. Used by the ring-based
+    /// allocated-filter placement.
+    pub fn successors(&self, node: NodeId, n: usize) -> Vec<NodeId> {
+        let first_token = Self::tokens_for(node, 1).next().expect("one vnode");
+        let start = self.vnodes.partition_point(|&(t, _)| t < first_token);
+        let mut out = Vec::new();
+        for i in 0..self.vnodes.len() {
+            let (_, owner) = self.vnodes[(start + i) % self.vnodes.len()];
+            if owner != node && !out.contains(&owner) {
+                out.push(owner);
+                if out.len() == n.min(self.members.len().saturating_sub(1)) {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of the key space owned by each member (diagnostic for
+    /// balance tests), indexed by position in [`Ring::members`].
+    pub fn ownership(&self) -> Vec<(NodeId, f64)> {
+        let mut share: Vec<(NodeId, u128)> = self.members.iter().map(|&m| (m, 0u128)).collect();
+        let idx_of = |node: NodeId| {
+            self.members
+                .iter()
+                .position(|&m| m == node)
+                .expect("owner is a member")
+        };
+        for (i, &(token, owner)) in self.vnodes.iter().enumerate() {
+            let prev = if i == 0 {
+                // Wrap-around arc from the last token.
+                let last = self.vnodes.last().expect("non-empty").0;
+                (u64::MAX - last) as u128 + token as u128 + 1
+            } else {
+                (token - self.vnodes[i - 1].0) as u128
+            };
+            share[idx_of(owner)].1 += prev;
+        }
+        let total = u64::MAX as u128 + 1;
+        share
+            .into_iter()
+            .map(|(n, s)| (n, s as f64 / total as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u32) -> Ring {
+        Ring::new((0..n).map(NodeId), 64)
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        let r = ring(8);
+        for key in 0..1000u32 {
+            let h = r.home_of(&key);
+            assert_eq!(h, r.home_of(&key));
+            assert!(h.as_usize() < 8);
+        }
+    }
+
+    #[test]
+    fn ownership_is_roughly_balanced() {
+        let r = ring(10);
+        let shares = r.ownership();
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for (n, s) in shares {
+            assert!(
+                (0.03..0.25).contains(&s),
+                "node {n} owns {s} of the key space"
+            );
+        }
+    }
+
+    #[test]
+    fn preference_list_distinct_and_sized() {
+        let r = ring(6);
+        let pl = r.preference_list(&"k", 3);
+        assert_eq!(pl.len(), 3);
+        let set: std::collections::HashSet<_> = pl.iter().collect();
+        assert_eq!(set.len(), 3);
+        // First entry must be the home node.
+        assert_eq!(pl[0], r.home_of(&"k"));
+    }
+
+    #[test]
+    fn preference_list_clamped_to_membership() {
+        let r = ring(3);
+        assert_eq!(r.preference_list(&"k", 10).len(), 3);
+    }
+
+    #[test]
+    fn removing_node_moves_only_its_keys() {
+        let mut r = ring(8);
+        let before: Vec<NodeId> = (0..2000u32).map(|k| r.home_of(&k)).collect();
+        r.remove_node(NodeId(3));
+        for (k, &old) in before.iter().enumerate() {
+            let new = r.home_of(&(k as u32));
+            if old != NodeId(3) {
+                assert_eq!(new, old, "key {k} moved although its owner stayed");
+            } else {
+                assert_ne!(new, NodeId(3));
+            }
+        }
+    }
+
+    #[test]
+    fn add_node_is_idempotent() {
+        let mut r = ring(4);
+        let v = r.ownership();
+        r.add_node(NodeId(2));
+        assert_eq!(r.ownership(), v);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn successors_exclude_self() {
+        let r = ring(5);
+        let s = r.successors(NodeId(0), 3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn term_routing_spreads_terms() {
+        let r = ring(10);
+        let mut counts = vec![0u32; 10];
+        for t in 0..10_000u32 {
+            counts[r.home_of_term(TermId(t)).as_usize()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 500), "term spread {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_ring_rejected() {
+        let _ = Ring::new(std::iter::empty(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "last ring member")]
+    fn cannot_remove_last_member() {
+        let mut r = Ring::new([NodeId(0)], 4);
+        r.remove_node(NodeId(0));
+    }
+}

@@ -1,0 +1,458 @@
+//! A discrete-event queueing simulator.
+//!
+//! The dissemination schemes express each published document as a [`Job`]:
+//! an arrival time plus one or more [`Stage`]s of [`Task`]s (stage `k+1`
+//! starts when every task of stage `k` has completed — e.g. MOVE's
+//! home-node match followed by the parallel forward into one allocation
+//! partition). Each node is a FIFO single server; the simulator plays the
+//! jobs and reports completion counts, makespan, latency percentiles and
+//! per-node busy time.
+//!
+//! An optional *congestion* model inflates a task's service time by
+//! `1 + c·(b/b₀)²` where `b` is the node's queued backlog (seconds of
+//! service waiting) when the task starts. This reproduces the super-linear
+//! degradation real nodes exhibit under overload (cache and disk thrash)
+//! and is what bends the throughput-vs-batch-size curve of Fig. 8b
+//! downward; with `c = 0` the simulator is a plain queueing network.
+
+use move_types::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// One unit of work on one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    /// The node that must perform the work.
+    pub node: NodeId,
+    /// Base service time in virtual seconds.
+    pub service: f64,
+}
+
+/// A set of tasks that may run in parallel.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stage {
+    /// The stage's tasks; the stage completes when all of them do.
+    pub tasks: Vec<Task>,
+}
+
+impl Stage {
+    /// Creates a stage from tasks.
+    pub fn new(tasks: Vec<Task>) -> Self {
+        Self { tasks }
+    }
+}
+
+/// One document's journey through the cluster.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Job {
+    /// Arrival (publication) time in virtual seconds.
+    pub arrival: f64,
+    /// Sequential stages; empty stages are skipped.
+    pub stages: Vec<Stage>,
+}
+
+/// Results of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Jobs submitted.
+    pub jobs: u64,
+    /// Jobs that ran to completion (always all of them; the field exists so
+    /// harnesses can introduce deadlines later).
+    pub completed: u64,
+    /// Time of the last completion.
+    pub makespan: f64,
+    /// `jobs / makespan` — the batch throughput in documents per second.
+    pub throughput: f64,
+    /// Mean job latency (completion − arrival).
+    pub mean_latency: f64,
+    /// 99th-percentile job latency.
+    pub p99_latency: f64,
+    /// Per-node total busy seconds, indexed by node id.
+    pub node_busy: Vec<f64>,
+    /// Per-node task counts, indexed by node id.
+    pub node_tasks: Vec<u64>,
+}
+
+/// The simulator configuration.
+///
+/// # Examples
+///
+/// ```
+/// use move_cluster::{Job, QueueSim, Stage, Task};
+/// use move_types::NodeId;
+///
+/// let jobs = vec![Job {
+///     arrival: 0.0,
+///     stages: vec![Stage::new(vec![Task { node: NodeId(0), service: 1.0 }])],
+/// }];
+/// let out = QueueSim::new().run(1, &jobs);
+/// assert_eq!(out.completed, 1);
+/// assert!((out.makespan - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct QueueSim {
+    congestion_coeff: f64,
+    congestion_soft_backlog: f64,
+}
+
+impl Default for QueueSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaskRef {
+    job: usize,
+    service: f64,
+}
+
+/// Ordered f64 key for the event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// A job arrives (or advances to its next stage): enqueue its tasks.
+    StageStart { job: usize },
+    /// A node finished its running task.
+    NodeDone { node: u32 },
+}
+
+impl QueueSim {
+    /// A plain queueing network (no congestion inflation).
+    pub fn new() -> Self {
+        Self {
+            congestion_coeff: 0.0,
+            congestion_soft_backlog: 1.0,
+        }
+    }
+
+    /// Adds the congestion model: service inflated by
+    /// `1 + coeff·(backlog/soft_backlog)²` at task start, where backlog is
+    /// the service time already queued at the node (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeff < 0` or `soft_backlog <= 0`.
+    pub fn with_congestion(coeff: f64, soft_backlog: f64) -> Self {
+        assert!(coeff >= 0.0, "congestion coefficient must be >= 0");
+        assert!(soft_backlog > 0.0, "soft backlog must be positive");
+        Self {
+            congestion_coeff: coeff,
+            congestion_soft_backlog: soft_backlog,
+        }
+    }
+
+    /// Plays `jobs` over `n_nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task references a node `>= n_nodes`, a service time is
+    /// negative, or an arrival is negative.
+    pub fn run(&self, n_nodes: usize, jobs: &[Job]) -> SimOutcome {
+        for j in jobs {
+            assert!(j.arrival >= 0.0, "negative arrival");
+            for s in &j.stages {
+                for t in &s.tasks {
+                    assert!(t.node.as_usize() < n_nodes, "task on unknown node {}", t.node);
+                    assert!(t.service >= 0.0, "negative service time");
+                }
+            }
+        }
+
+        let mut heap: BinaryHeap<Reverse<(Time, u64, EventKind)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<_>, t: f64, e: EventKind, seq: &mut u64| {
+            heap.push(Reverse((Time(t), *seq, e)));
+            *seq += 1;
+        };
+
+        // Per-job progress.
+        let mut stage_idx = vec![0usize; jobs.len()];
+        let mut outstanding = vec![0usize; jobs.len()];
+        let mut completion = vec![f64::NAN; jobs.len()];
+
+        // Per-node server state.
+        let mut queue: Vec<VecDeque<TaskRef>> = vec![VecDeque::new(); n_nodes];
+        let mut backlog = vec![0.0f64; n_nodes]; // queued service seconds
+        let mut running: Vec<Option<TaskRef>> = vec![None; n_nodes];
+        let mut busy = vec![0.0f64; n_nodes];
+        let mut tasks_done = vec![0u64; n_nodes];
+
+        for (j, job) in jobs.iter().enumerate() {
+            push(&mut heap, job.arrival, EventKind::StageStart { job: j }, &mut seq);
+        }
+
+        let mut last_completion = 0.0f64;
+        let mut completed = 0u64;
+
+        while let Some(Reverse((Time(now), _, event))) = heap.pop() {
+            match event {
+                EventKind::StageStart { job } => {
+                    // Skip empty stages.
+                    let mut si = stage_idx[job];
+                    while si < jobs[job].stages.len() && jobs[job].stages[si].tasks.is_empty() {
+                        si += 1;
+                    }
+                    stage_idx[job] = si;
+                    if si >= jobs[job].stages.len() {
+                        completion[job] = now;
+                        last_completion = last_completion.max(now);
+                        completed += 1;
+                        continue;
+                    }
+                    let stage = &jobs[job].stages[si];
+                    outstanding[job] = stage.tasks.len();
+                    for t in &stage.tasks {
+                        let ni = t.node.as_usize();
+                        let tr = TaskRef {
+                            job,
+                            service: t.service,
+                        };
+                        if running[ni].is_none() {
+                            let dur = self.inflate(t.service, backlog[ni]);
+                            running[ni] = Some(tr);
+                            busy[ni] += dur;
+                            push(&mut heap, now + dur, EventKind::NodeDone { node: t.node.0 }, &mut seq);
+                        } else {
+                            backlog[ni] += tr.service;
+                            queue[ni].push_back(tr);
+                        }
+                    }
+                }
+                EventKind::NodeDone { node } => {
+                    let ni = node as usize;
+                    let finished = running[ni].take().expect("a task was running");
+                    tasks_done[ni] += 1;
+
+                    // Start the next queued task.
+                    if let Some(next) = queue[ni].pop_front() {
+                        backlog[ni] -= next.service;
+                        let dur = self.inflate(next.service, backlog[ni]);
+                        running[ni] = Some(next);
+                        busy[ni] += dur;
+                        push(&mut heap, now + dur, EventKind::NodeDone { node }, &mut seq);
+                    }
+
+                    // Advance the finished task's job.
+                    let j = finished.job;
+                    outstanding[j] -= 1;
+                    if outstanding[j] == 0 {
+                        stage_idx[j] += 1;
+                        if stage_idx[j] >= jobs[j].stages.len() {
+                            completion[j] = now;
+                            last_completion = last_completion.max(now);
+                            completed += 1;
+                        } else {
+                            push(&mut heap, now, EventKind::StageStart { job: j }, &mut seq);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut latencies: Vec<f64> = jobs
+            .iter()
+            .zip(&completion)
+            .map(|(j, &c)| c - j.arrival)
+            .collect();
+        latencies.sort_by(f64::total_cmp);
+        let mean_latency = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        let p99_latency = latencies
+            .get(((latencies.len() as f64 * 0.99).ceil() as usize).saturating_sub(1))
+            .copied()
+            .unwrap_or(0.0);
+        let makespan = last_completion;
+        SimOutcome {
+            jobs: jobs.len() as u64,
+            completed,
+            makespan,
+            throughput: if makespan > 0.0 {
+                completed as f64 / makespan
+            } else {
+                0.0
+            },
+            mean_latency,
+            p99_latency,
+            node_busy: busy,
+            node_tasks: tasks_done,
+        }
+    }
+
+    fn inflate(&self, service: f64, backlog_seconds: f64) -> f64 {
+        if self.congestion_coeff == 0.0 {
+            return service;
+        }
+        let b = backlog_seconds.max(0.0) / self.congestion_soft_backlog;
+        service * (1.0 + self.congestion_coeff * b * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(node: u32, service: f64) -> Task {
+        Task {
+            node: NodeId(node),
+            service,
+        }
+    }
+
+    #[test]
+    fn single_task_job() {
+        let out = QueueSim::new().run(
+            2,
+            &[Job {
+                arrival: 1.0,
+                stages: vec![Stage::new(vec![task(1, 2.0)])],
+            }],
+        );
+        assert_eq!(out.completed, 1);
+        assert!((out.makespan - 3.0).abs() < 1e-12);
+        assert!((out.mean_latency - 2.0).abs() < 1e-12);
+        assert_eq!(out.node_tasks, vec![0, 1]);
+    }
+
+    #[test]
+    fn fifo_queueing_serializes_a_node() {
+        let jobs: Vec<Job> = (0..3)
+            .map(|_| Job {
+                arrival: 0.0,
+                stages: vec![Stage::new(vec![task(0, 1.0)])],
+            })
+            .collect();
+        let out = QueueSim::new().run(1, &jobs);
+        assert!((out.makespan - 3.0).abs() < 1e-12);
+        // Latencies 1, 2, 3 → mean 2.
+        assert!((out.mean_latency - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_tasks_overlap() {
+        let job = Job {
+            arrival: 0.0,
+            stages: vec![Stage::new(vec![task(0, 1.0), task(1, 1.0), task(2, 1.0)])],
+        };
+        let out = QueueSim::new().run(3, &[job]);
+        assert!((out.makespan - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stages_are_sequential() {
+        let job = Job {
+            arrival: 0.0,
+            stages: vec![
+                Stage::new(vec![task(0, 1.0)]),
+                Stage::new(vec![task(1, 1.0)]),
+            ],
+        };
+        let out = QueueSim::new().run(2, &[job]);
+        assert!((out.makespan - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stages_are_skipped() {
+        let job = Job {
+            arrival: 0.5,
+            stages: vec![Stage::default(), Stage::new(vec![task(0, 1.0)]), Stage::default()],
+        };
+        let out = QueueSim::new().run(1, &[job]);
+        assert_eq!(out.completed, 1);
+        assert!((out.makespan - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn job_with_no_stages_completes_at_arrival() {
+        let out = QueueSim::new().run(1, &[Job {
+            arrival: 4.0,
+            stages: vec![],
+        }]);
+        assert_eq!(out.completed, 1);
+        assert!((out.makespan - 4.0).abs() < 1e-12);
+        assert_eq!(out.mean_latency, 0.0);
+    }
+
+    #[test]
+    fn busy_time_equals_service_sum_without_congestion() {
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| Job {
+                arrival: i as f64 * 0.1,
+                stages: vec![Stage::new(vec![task(0, 0.3)])],
+            })
+            .collect();
+        let out = QueueSim::new().run(1, &jobs);
+        assert!((out.node_busy[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_inflates_under_load() {
+        let jobs: Vec<Job> = (0..200)
+            .map(|_| Job {
+                arrival: 0.0,
+                stages: vec![Stage::new(vec![task(0, 1.0)])],
+            })
+            .collect();
+        let plain = QueueSim::new().run(1, &jobs);
+        let congested = QueueSim::with_congestion(2.0, 10.0).run(1, &jobs);
+        assert!(congested.makespan > plain.makespan * 2.0);
+        assert!(congested.throughput < plain.throughput);
+    }
+
+    #[test]
+    fn throughput_is_jobs_over_makespan() {
+        let jobs: Vec<Job> = (0..4)
+            .map(|_| Job {
+                arrival: 0.0,
+                stages: vec![Stage::new(vec![task(0, 0.5)])],
+            })
+            .collect();
+        let out = QueueSim::new().run(1, &jobs);
+        assert!((out.throughput - 4.0 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p99_reflects_tail() {
+        let mut jobs: Vec<Job> = (0..99)
+            .map(|_| Job {
+                arrival: 0.0,
+                stages: vec![],
+            })
+            .collect();
+        jobs.push(Job {
+            arrival: 0.0,
+            stages: vec![Stage::new(vec![task(0, 7.0)])],
+        });
+        let out = QueueSim::new().run(1, &jobs);
+        assert!((out.p99_latency - 0.0).abs() < 1e-12 || out.p99_latency <= 7.0);
+        assert!(out.p99_latency >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn task_on_missing_node_rejected() {
+        let _ = QueueSim::new().run(1, &[Job {
+            arrival: 0.0,
+            stages: vec![Stage::new(vec![task(5, 1.0)])],
+        }]);
+    }
+}

@@ -1,0 +1,320 @@
+//! An LSM-flavoured column-family store.
+//!
+//! Cassandra implements the BigTable data model — column families backed by
+//! a memtable that flushes into immutable sorted runs (SSTables), merged by
+//! compaction. The paper's per-node *filter store*, *local inverted list*
+//! and *meta data store* (§V, Fig. 3) are column families of this store.
+//! Everything lives in memory here, but the read/write paths mirror the real
+//! structure: point reads probe the memtable then runs newest-first, range
+//! scans merge-sort across levels, deletes are tombstones dropped at
+//! compaction.
+
+use bytes::Bytes;
+use std::collections::{BTreeMap, HashMap};
+
+/// Operation counters, used both by tests and by the cost model (a read
+/// that probes many runs is a good stand-in for disk seeks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// `put`/`delete` calls.
+    pub writes: u64,
+    /// `get` calls.
+    pub reads: u64,
+    /// Sorted runs probed across all reads.
+    pub run_probes: u64,
+    /// Memtable flushes.
+    pub flushes: u64,
+    /// Compactions.
+    pub compactions: u64,
+}
+
+/// One immutable sorted run (an SSTable).
+#[derive(Debug, Clone)]
+struct SortedRun {
+    /// Sorted by key; `None` value is a tombstone.
+    entries: Vec<(Bytes, Option<Bytes>)>,
+}
+
+impl SortedRun {
+    fn get(&self, key: &[u8]) -> Option<&Option<Bytes>> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_ref().cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+}
+
+/// A single column family: memtable + sorted runs.
+///
+/// # Examples
+///
+/// ```
+/// use move_cluster::ColumnFamily;
+///
+/// let mut cf = ColumnFamily::new(4);
+/// cf.put(b"k1".as_ref(), b"v1".as_ref());
+/// assert_eq!(cf.get(b"k1").as_deref(), Some(b"v1".as_ref()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ColumnFamily {
+    memtable: BTreeMap<Bytes, Option<Bytes>>,
+    memtable_limit: usize,
+    runs: Vec<SortedRun>,
+    compaction_threshold: usize,
+    stats: StoreStats,
+}
+
+impl ColumnFamily {
+    /// Creates a column family flushing its memtable at `memtable_limit`
+    /// entries (compaction triggers at 4 runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memtable_limit == 0`.
+    pub fn new(memtable_limit: usize) -> Self {
+        assert!(memtable_limit > 0, "memtable_limit must be positive");
+        Self {
+            memtable: BTreeMap::new(),
+            memtable_limit,
+            runs: Vec::new(),
+            compaction_threshold: 4,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Writes a key/value pair.
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        self.stats.writes += 1;
+        self.memtable.insert(key.into(), Some(value.into()));
+        self.maybe_flush();
+    }
+
+    /// Deletes a key (tombstone).
+    pub fn delete(&mut self, key: impl Into<Bytes>) {
+        self.stats.writes += 1;
+        self.memtable.insert(key.into(), None);
+        self.maybe_flush();
+    }
+
+    /// Point read: memtable first, then runs newest-first.
+    pub fn get(&mut self, key: &[u8]) -> Option<Bytes> {
+        self.stats.reads += 1;
+        if let Some(v) = self.memtable.get(key) {
+            return v.clone();
+        }
+        for run in self.runs.iter().rev() {
+            self.stats.run_probes += 1;
+            if let Some(v) = run.get(key) {
+                return v.clone();
+            }
+        }
+        None
+    }
+
+    /// All live `(key, value)` pairs whose key starts with `prefix`, merged
+    /// across memtable and runs (newest version wins), in key order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
+        // Newest-first overlay: memtable, then runs from newest to oldest.
+        let mut seen: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        let in_prefix = |k: &Bytes| k.starts_with(prefix);
+        for (k, v) in self.memtable.iter().filter(|(k, _)| in_prefix(k)) {
+            seen.entry(k.clone()).or_insert_with(|| v.clone());
+        }
+        for run in self.runs.iter().rev() {
+            for (k, v) in run.entries.iter().filter(|(k, _)| in_prefix(k)) {
+                seen.entry(k.clone()).or_insert_with(|| v.clone());
+            }
+        }
+        seen.into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect()
+    }
+
+    /// Number of live keys (requires a full merge; intended for tests and
+    /// reports, not hot paths).
+    pub fn live_len(&self) -> usize {
+        self.scan_prefix(b"").len()
+    }
+
+    /// Number of sorted runs currently on "disk".
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.memtable.len() >= self.memtable_limit {
+            self.flush();
+        }
+        if self.runs.len() >= self.compaction_threshold {
+            self.compact();
+        }
+    }
+
+    /// Flushes the memtable into a new sorted run.
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let entries: Vec<_> = std::mem::take(&mut self.memtable).into_iter().collect();
+        self.runs.push(SortedRun { entries });
+        self.stats.flushes += 1;
+    }
+
+    /// Merges all runs into one, dropping tombstones and shadowed versions.
+    pub fn compact(&mut self) {
+        if self.runs.len() <= 1 {
+            return;
+        }
+        let mut merged: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        // Oldest first, newer versions overwrite.
+        for run in self.runs.drain(..) {
+            for (k, v) in run.entries {
+                merged.insert(k, v);
+            }
+        }
+        let entries: Vec<_> = merged.into_iter().filter(|(_, v)| v.is_some()).collect();
+        if !entries.is_empty() {
+            self.runs.push(SortedRun { entries });
+        }
+        self.stats.compactions += 1;
+    }
+}
+
+/// A node's set of named column families.
+///
+/// # Examples
+///
+/// ```
+/// use move_cluster::KvStore;
+///
+/// let mut store = KvStore::new(1024);
+/// store.cf("filters").put(b"f1".as_ref(), b"news".as_ref());
+/// assert!(store.cf("filters").get(b"f1").is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    families: HashMap<String, ColumnFamily>,
+    memtable_limit: usize,
+}
+
+impl KvStore {
+    /// Creates a store whose column families flush at `memtable_limit`
+    /// entries.
+    pub fn new(memtable_limit: usize) -> Self {
+        Self {
+            families: HashMap::new(),
+            memtable_limit: memtable_limit.max(1),
+        }
+    }
+
+    /// The named column family, created on first access.
+    pub fn cf(&mut self, name: &str) -> &mut ColumnFamily {
+        let limit = self.memtable_limit;
+        self.families
+            .entry(name.to_owned())
+            .or_insert_with(|| ColumnFamily::new(limit))
+    }
+
+    /// The named column family if it exists.
+    pub fn cf_opt(&self, name: &str) -> Option<&ColumnFamily> {
+        self.families.get(name)
+    }
+
+    /// Names of existing column families (unordered).
+    pub fn family_names(&self) -> Vec<&str> {
+        self.families.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_your_writes() {
+        let mut cf = ColumnFamily::new(100);
+        cf.put(b"a".as_ref(), b"1".as_ref());
+        cf.put(b"a".as_ref(), b"2".as_ref());
+        assert_eq!(cf.get(b"a").as_deref(), Some(b"2".as_ref()));
+        assert_eq!(cf.get(b"b"), None);
+    }
+
+    #[test]
+    fn reads_hit_flushed_runs() {
+        let mut cf = ColumnFamily::new(2);
+        cf.put(b"a".as_ref(), b"1".as_ref());
+        cf.put(b"b".as_ref(), b"2".as_ref()); // triggers flush
+        assert_eq!(cf.run_count(), 1);
+        cf.put(b"c".as_ref(), b"3".as_ref());
+        assert_eq!(cf.get(b"a").as_deref(), Some(b"1".as_ref()));
+        assert!(cf.stats().run_probes > 0);
+    }
+
+    #[test]
+    fn newest_version_wins_across_levels() {
+        let mut cf = ColumnFamily::new(1); // every write flushes
+        cf.put(b"k".as_ref(), b"old".as_ref());
+        cf.put(b"k".as_ref(), b"new".as_ref());
+        assert_eq!(cf.get(b"k").as_deref(), Some(b"new".as_ref()));
+    }
+
+    #[test]
+    fn tombstones_survive_flush_and_die_in_compaction() {
+        let mut cf = ColumnFamily::new(1);
+        cf.put(b"k".as_ref(), b"v".as_ref());
+        cf.delete(b"k".as_ref());
+        assert_eq!(cf.get(b"k"), None);
+        cf.compact();
+        assert_eq!(cf.get(b"k"), None);
+        assert_eq!(cf.live_len(), 0);
+    }
+
+    #[test]
+    fn scan_prefix_merges_levels_in_key_order() {
+        let mut cf = ColumnFamily::new(2);
+        cf.put(b"p/a".as_ref(), b"1".as_ref());
+        cf.put(b"p/c".as_ref(), b"3".as_ref()); // flush
+        cf.put(b"p/b".as_ref(), b"2".as_ref());
+        cf.put(b"q/x".as_ref(), b"9".as_ref()); // flush
+        cf.put(b"p/a".as_ref(), b"1'".as_ref()); // newer version in memtable
+        let scan = cf.scan_prefix(b"p/");
+        let keys: Vec<&[u8]> = scan.iter().map(|(k, _)| k.as_ref()).collect();
+        assert_eq!(keys, vec![b"p/a".as_ref(), b"p/b".as_ref(), b"p/c".as_ref()]);
+        assert_eq!(scan[0].1.as_ref(), b"1'");
+    }
+
+    #[test]
+    fn auto_compaction_bounds_run_count() {
+        let mut cf = ColumnFamily::new(1);
+        for i in 0..64u32 {
+            cf.put(i.to_be_bytes().to_vec(), b"v".as_ref());
+        }
+        assert!(cf.run_count() <= 4, "runs: {}", cf.run_count());
+        assert!(cf.stats().compactions > 0);
+        assert_eq!(cf.live_len(), 64);
+    }
+
+    #[test]
+    fn kvstore_families_are_independent() {
+        let mut s = KvStore::new(16);
+        s.cf("a").put(b"k".as_ref(), b"1".as_ref());
+        s.cf("b").put(b"k".as_ref(), b"2".as_ref());
+        assert_eq!(s.cf("a").get(b"k").as_deref(), Some(b"1".as_ref()));
+        assert_eq!(s.cf("b").get(b"k").as_deref(), Some(b"2".as_ref()));
+        let mut names = s.family_names();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(s.cf_opt("c").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "memtable_limit")]
+    fn zero_memtable_rejected() {
+        let _ = ColumnFamily::new(0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Rack topology (the snitch).
+
+use move_types::{NodeId, RackId};
+
+/// The physical layout of the cluster: which rack each node sits in.
+/// Cassandra calls the component answering these questions the *snitch*;
+/// the paper's rack-aware placement (§V, "Selection of allocated nodes")
+/// and the rack-correlated failure experiments (Fig. 9c–9d) depend on it.
+///
+/// # Examples
+///
+/// ```
+/// use move_cluster::Topology;
+/// use move_types::NodeId;
+///
+/// let topo = Topology::uniform(20, 4);
+/// assert_eq!(topo.nodes().len(), 20);
+/// assert_eq!(topo.racks().len(), 4);
+/// assert_eq!(topo.rack_mates(NodeId(0)).len(), 4); // 5 per rack, minus self
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// `rack_of[node]` = rack.
+    rack_of: Vec<RackId>,
+    /// `racks[rack]` = members.
+    racks: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Lays out `nodes` nodes round-robin across `racks` racks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `racks == 0`.
+    pub fn uniform(nodes: usize, racks: usize) -> Self {
+        assert!(nodes > 0, "topology needs at least one node");
+        assert!(racks > 0, "topology needs at least one rack");
+        let racks = racks.min(nodes);
+        let mut rack_of = Vec::with_capacity(nodes);
+        let mut members = vec![Vec::new(); racks];
+        for n in 0..nodes {
+            let r = n % racks;
+            rack_of.push(RackId(r as u32));
+            members[r].push(NodeId(n as u32));
+        }
+        Self {
+            rack_of,
+            racks: members,
+        }
+    }
+
+    /// All nodes, ordered by id.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        (0..self.rack_of.len()).map(|n| NodeId(n as u32)).collect()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.rack_of.len()
+    }
+
+    /// Whether the topology is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.rack_of.is_empty()
+    }
+
+    /// The rack of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is outside the topology.
+    pub fn rack_of(&self, node: NodeId) -> RackId {
+        self.rack_of[node.as_usize()]
+    }
+
+    /// All racks with their members.
+    pub fn racks(&self) -> &[Vec<NodeId>] {
+        &self.racks
+    }
+
+    /// The other nodes in `node`'s rack (excluding `node` itself).
+    pub fn rack_mates(&self, node: NodeId) -> Vec<NodeId> {
+        self.racks[self.rack_of(node).as_usize()]
+            .iter()
+            .copied()
+            .filter(|&m| m != node)
+            .collect()
+    }
+
+    /// Whether two nodes share a rack — decides the intra-rack transfer
+    /// discount in the cost model.
+    pub fn same_rack(&self, a: NodeId, b: NodeId) -> bool {
+        self.rack_of(a) == self.rack_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_layout() {
+        let t = Topology::uniform(10, 3);
+        assert_eq!(t.rack_of(NodeId(0)), RackId(0));
+        assert_eq!(t.rack_of(NodeId(1)), RackId(1));
+        assert_eq!(t.rack_of(NodeId(3)), RackId(0));
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = t.racks().iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn rack_mates_exclude_self() {
+        let t = Topology::uniform(8, 2);
+        let mates = t.rack_mates(NodeId(0));
+        assert!(!mates.contains(&NodeId(0)));
+        assert_eq!(mates.len(), 3);
+        assert!(mates.iter().all(|&m| t.same_rack(m, NodeId(0))));
+    }
+
+    #[test]
+    fn more_racks_than_nodes_is_clamped() {
+        let t = Topology::uniform(3, 10);
+        assert_eq!(t.racks().len(), 3);
+    }
+
+    #[test]
+    fn same_rack_symmetry() {
+        let t = Topology::uniform(6, 3);
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                assert_eq!(
+                    t.same_rack(NodeId(a), NodeId(b)),
+                    t.same_rack(NodeId(b), NodeId(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rack")]
+    fn zero_racks_rejected() {
+        let _ = Topology::uniform(4, 0);
+    }
+}

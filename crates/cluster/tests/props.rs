@@ -1,0 +1,55 @@
+//! Property tests for the ring and topology.
+
+use move_cluster::{Ring, Topology};
+use move_types::NodeId;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ring_ownership_partitions_the_space(nodes in 1u32..40, keys in prop::collection::vec(any::<u64>(), 1..200)) {
+        let ring = Ring::new((0..nodes).map(NodeId), 16);
+        let shares = ring.ownership();
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for k in &keys {
+            prop_assert!(ring.home_of(k).0 < nodes);
+        }
+    }
+
+    #[test]
+    fn preference_lists_are_prefixes_of_each_other(nodes in 2u32..30, key in any::<u64>()) {
+        let ring = Ring::new((0..nodes).map(NodeId), 16);
+        let short = ring.preference_list(&key, 2);
+        let long = ring.preference_list(&key, 5.min(nodes as usize));
+        prop_assert_eq!(&long[..short.len()], &short[..]);
+    }
+
+    #[test]
+    fn node_removal_only_moves_its_keys(nodes in 3u32..20, victim in 0u32..20, keys in prop::collection::vec(any::<u64>(), 1..100)) {
+        prop_assume!(victim < nodes);
+        let mut ring = Ring::new((0..nodes).map(NodeId), 16);
+        let before: Vec<NodeId> = keys.iter().map(|k| ring.home_of(k)).collect();
+        ring.remove_node(NodeId(victim));
+        for (k, old) in keys.iter().zip(before) {
+            let new = ring.home_of(k);
+            if old != NodeId(victim) {
+                prop_assert_eq!(new, old);
+            } else {
+                prop_assert!(new != NodeId(victim));
+            }
+        }
+    }
+
+    #[test]
+    fn topology_is_a_partition(nodes in 1usize..100, racks in 1usize..12) {
+        let t = Topology::uniform(nodes, racks);
+        let mut seen = vec![false; nodes];
+        for members in t.racks() {
+            for m in members {
+                prop_assert!(!seen[m.as_usize()], "node in two racks");
+                seen[m.as_usize()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,452 @@
+//! The allocation optimizer (§IV): how many nodes each home node gets, and
+//! the replication × separation grid layout of its filters.
+
+use crate::NodeStats;
+use move_stats::randomized_round;
+use move_types::{MoveError, NodeId, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The optimizer's rule for the per-node allocation factor `nᵢ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FactorRule {
+    /// Equal `nᵢ` for every node holding filters (the strawman the
+    /// ablation compares against).
+    Uniform,
+    /// Theorem 1: `nᵢ ∝ √qᵢ` (simple disk-only cost model, ample
+    /// capacity).
+    SqrtQ,
+    /// Theorem 2: `nᵢ ∝ √(1 + β·qᵢ)` with `β = y_p·P/y_d` (transfer +
+    /// match cost model).
+    SqrtBetaQ,
+    /// The general capacity-limited result: `nᵢ ∝ √(pᵢ·qᵢ)` — the formula
+    /// §V quotes, evaluated on the node-level aggregates `p′ᵢ`, `q′ᵢ`.
+    SqrtPQ,
+    /// The node-level form of the same optimum that preserves the
+    /// term-level correlation: `nᵢ ∝ √(loadᵢ / pairsᵢ)` with
+    /// `loadᵢ = Σₜ qₜ·pₜ·P` (postings scanned per document). For a
+    /// single-term "node" this is exactly Theorem 1's `√qᵢ`; with many
+    /// terms per node it allocates by the latency the node actually incurs
+    /// rather than by the product of its marginal sums.
+    SqrtLoad,
+    /// The min–max variant: `nᵢ ∝ loadᵢ / pairsᵢ`, which (under the budget
+    /// `Σ nᵢ·pairsᵢ = N·C`) equalizes `loadᵢ/nᵢ` across nodes. The √ rules
+    /// minimize the *average* latency `Y` of §IV-C; throughput, however, is
+    /// bounded by the *busiest* node ("the busiest node … significantly
+    /// degrade\[s\] the throughput", §VI-C), and the min–max rule targets
+    /// exactly that bound.
+    LoadBalance,
+}
+
+impl FactorRule {
+    /// The unnormalized weight for a node with popularity `p`, frequency
+    /// `q`, given Theorem 2's `beta`.
+    pub fn weight(&self, p: f64, q: f64, beta: f64) -> f64 {
+        match self {
+            Self::Uniform => 1.0,
+            Self::SqrtQ => q.max(0.0).sqrt(),
+            Self::SqrtBetaQ => (1.0 + beta * q.max(0.0)).sqrt(),
+            Self::SqrtPQ => (p.max(0.0) * q.max(0.0)).sqrt(),
+            // Fall back to √(p·q) when no load sample is distinguishable
+            // here; the stats-aware path below handles the real cases.
+            Self::SqrtLoad | Self::LoadBalance => (p.max(0.0) * q.max(0.0)).sqrt(),
+        }
+    }
+
+    /// The weight computed from full node statistics.
+    pub fn weight_for(&self, stats: &NodeStats, total_filters: u64, beta: f64) -> f64 {
+        match self {
+            Self::SqrtLoad => {
+                if stats.pairs == 0 {
+                    0.0
+                } else {
+                    (stats.load() / stats.pairs as f64).max(0.0).sqrt()
+                }
+            }
+            Self::LoadBalance => {
+                if stats.pairs == 0 {
+                    0.0
+                } else {
+                    (stats.load() / stats.pairs as f64).max(0.0)
+                }
+            }
+            _ => self.weight(stats.popularity(total_filters), stats.frequency(), beta),
+        }
+    }
+}
+
+/// How the optimizer's `nᵢ` nodes are arranged into a grid — the ablation
+/// switch for §IV-A's claim that neither pure replication nor pure
+/// separation suffices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GridMode {
+    /// Capacity-driven: as many replica rows as the per-node capacity
+    /// allows (`rᵢ` as small as possible, tuned up per §IV-B2).
+    #[default]
+    Optimal,
+    /// Pure replication: one column, `nᵢ` rows (`rᵢ = 1/nᵢ`) — balances
+    /// documents but stores `nᵢ` full copies.
+    PureReplication,
+    /// Pure separation: one row, `nᵢ` columns (`rᵢ = 1`) — balances
+    /// storage but every document still hits every subset.
+    PureSeparation,
+}
+
+/// The computed allocation factors: `n[i]` nodes for home node `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocationFactors {
+    /// Node count per home node (0 for nodes holding no filters).
+    pub n: Vec<u64>,
+}
+
+impl AllocationFactors {
+    /// Solves the Move optimization problem: weights from `rule`, scaled so
+    /// the storage constraint `Σ nᵢ·(p′ᵢ·P) = N·C` holds, clamped to
+    /// `[1, N]`, randomized-rounded (§IV-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoveError::CapacityExceeded`] when even the unreplicated
+    /// layout (`nᵢ = 1`) exceeds the cluster budget.
+    pub fn compute<R: Rng + ?Sized>(
+        stats: &[NodeStats],
+        total_filters: u64,
+        capacity_per_node: u64,
+        rule: FactorRule,
+        beta: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let nodes = stats.len();
+        Self::compute_with_budget(
+            stats,
+            total_filters,
+            nodes as u64 * capacity_per_node,
+            nodes as u64,
+            rule,
+            beta,
+            rng,
+        )
+    }
+
+    /// [`AllocationFactors::compute`] with an explicit cluster `budget`
+    /// (filter copies) and per-entry cap `n_max` — the per-*term*
+    /// aggregation mode allocates over far more entries than there are
+    /// nodes, so the budget cannot be derived from the entry count.
+    ///
+    /// # Errors
+    ///
+    /// As [`AllocationFactors::compute`].
+    pub fn compute_with_budget<R: Rng + ?Sized>(
+        stats: &[NodeStats],
+        total_filters: u64,
+        budget: u64,
+        n_max: u64,
+        rule: FactorRule,
+        beta: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let nodes = stats.len();
+        let baseline: u64 = stats.iter().map(|s| s.pairs).sum();
+        if baseline > budget {
+            return Err(MoveError::CapacityExceeded {
+                node: NodeId(0),
+                capacity: budget,
+                requested: baseline,
+            });
+        }
+        let cap = n_max.max(1) as f64;
+        let weights: Vec<f64> = stats
+            .iter()
+            .map(|s| {
+                if s.pairs == 0 {
+                    0.0
+                } else {
+                    rule.weight_for(s, total_filters, beta).max(f64::MIN_POSITIVE)
+                }
+            })
+            .collect();
+        // Water-filling: nodes whose proportional share exceeds the cap
+        // `N` are pinned there and the freed budget is re-spread over the
+        // rest, so clamping never wastes replication budget the hottest
+        // homes could not absorb.
+        let mut raw = vec![0.0f64; nodes];
+        let mut clamped = vec![false; nodes];
+        let mut remaining = budget as f64;
+        loop {
+            let denom: f64 = (0..nodes)
+                .filter(|&i| !clamped[i] && stats[i].pairs > 0)
+                .map(|i| weights[i] * stats[i].pairs as f64)
+                .sum();
+            if denom <= 0.0 {
+                break;
+            }
+            let scale = remaining / denom;
+            let mut newly_clamped = false;
+            for i in 0..nodes {
+                if clamped[i] || stats[i].pairs == 0 {
+                    continue;
+                }
+                if scale * weights[i] >= cap {
+                    raw[i] = cap;
+                    clamped[i] = true;
+                    remaining -= cap * stats[i].pairs as f64;
+                    newly_clamped = true;
+                }
+            }
+            if !newly_clamped {
+                for i in 0..nodes {
+                    if !clamped[i] && stats[i].pairs > 0 {
+                        raw[i] = scale * weights[i];
+                    }
+                }
+                break;
+            }
+        }
+        let n = (0..nodes)
+            .map(|i| {
+                if stats[i].pairs == 0 {
+                    0
+                } else {
+                    let r = raw[i].clamp(1.0, cap);
+                    randomized_round(r, rng).clamp(1, n_max.max(1))
+                }
+            })
+            .collect();
+        Ok(Self { n })
+    }
+}
+
+/// One home node's allocation grid: `rows` replica partitions ×
+/// `cols` separation subsets (paper Fig. 2). The allocation ratio is
+/// `rᵢ = cols/nᵢ = 1/rows`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+    /// Row-major: `nodes[row * cols + col]`.
+    nodes: Vec<NodeId>,
+}
+
+impl Grid {
+    /// The grid shape for `n` assigned nodes storing `pairs` filter copies
+    /// under `capacity` per node: enough columns that each subset fits with
+    /// headroom (`cols = ⌈pairs/(C/2)⌉`, the `rᵢ` tuning of §IV-B2 — the
+    /// half-capacity target leaves room for a node to co-host subsets of
+    /// several grids without spilling to disk), remaining factor as
+    /// replica rows.
+    pub fn shape(mode: GridMode, n: u64, pairs: u64, capacity: u64) -> (usize, usize) {
+        let n = n.max(1) as usize;
+        match mode {
+            GridMode::PureReplication => (n, 1),
+            GridMode::PureSeparation => (1, n),
+            GridMode::Optimal => {
+                let target = (capacity / 2).max(1);
+                let min_cols = pairs.div_ceil(target).max(1) as usize;
+                let cols = min_cols.min(n);
+                let rows = (n / cols).max(1);
+                (rows, cols)
+            }
+        }
+    }
+
+    /// Builds a grid over `slots.len()` nodes with the given shape, using
+    /// the slots row-major. Shrinks the row count if too few slots were
+    /// supplied (never below one row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` has fewer than `cols` entries or the shape is
+    /// degenerate.
+    pub fn build(rows: usize, cols: usize, slots: Vec<NodeId>) -> Self {
+        assert!(rows > 0 && cols > 0, "degenerate grid shape");
+        assert!(
+            slots.len() >= cols,
+            "need at least one full row: {} slots for {cols} columns",
+            slots.len()
+        );
+        let rows = rows.min(slots.len() / cols);
+        Self {
+            rows,
+            cols,
+            nodes: slots.into_iter().take(rows * cols).collect(),
+        }
+    }
+
+    /// Number of replica partitions (`1/rᵢ`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of separation subsets (`rᵢ·nᵢ`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The allocation ratio `rᵢ = 1/rows ∈ [1/nᵢ, 1]`.
+    pub fn allocation_ratio(&self) -> f64 {
+        1.0 / self.rows as f64
+    }
+
+    /// The node hosting `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn node(&self, row: usize, col: usize) -> NodeId {
+        assert!(row < self.rows && col < self.cols, "grid index out of range");
+        self.nodes[row * self.cols + col]
+    }
+
+    /// All grid nodes, row-major.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The nodes of one replica row.
+    pub fn row(&self, row: usize) -> &[NodeId] {
+        &self.nodes[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The column a filter id is separated into (stable hash).
+    pub fn column_of(&self, filter: move_types::FilterId, ) -> usize {
+        (move_cluster::stable_hash64(&filter.0) % self.cols as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stats(pairs: &[u64], hits: &[u64]) -> Vec<NodeStats> {
+        pairs
+            .iter()
+            .zip(hits)
+            .map(|(&p, &h)| NodeStats {
+                pairs: p,
+                doc_hits: h,
+                hit_postings: h * 50,
+                docs_observed: 100,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn factors_satisfy_storage_constraint_in_expectation() {
+        let st = stats(&[100, 400, 100, 400], &[10, 200, 10, 200]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = AllocationFactors::compute(&st, 1_000, 1_000, FactorRule::SqrtPQ, 10.0, &mut rng)
+            .unwrap();
+        // Budget 4000 copies; Σ nᵢ·pairsᵢ should be near it (rounding slack).
+        let used: u64 = f.n.iter().zip(&st).map(|(n, s)| n * s.pairs).sum();
+        assert!(
+            (used as f64 - 4_000.0).abs() < 1_500.0,
+            "used {used} of budget 4000"
+        );
+        assert!(f.n.iter().all(|&n| (1..=4).contains(&n)));
+    }
+
+    #[test]
+    fn busier_nodes_get_more_under_sqrt_q() {
+        let st = stats(&[100, 100], &[400, 25]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = AllocationFactors::compute(&st, 200, 400, FactorRule::SqrtQ, 1.0, &mut rng)
+            .unwrap();
+        assert!(f.n[0] >= f.n[1], "hotter node should get more: {:?}", f.n);
+    }
+
+    #[test]
+    fn empty_nodes_get_zero() {
+        let st = stats(&[0, 100], &[0, 10]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = AllocationFactors::compute(&st, 100, 1_000, FactorRule::SqrtPQ, 1.0, &mut rng)
+            .unwrap();
+        assert_eq!(f.n[0], 0);
+        assert!(f.n[1] >= 1);
+    }
+
+    #[test]
+    fn over_capacity_is_rejected() {
+        let st = stats(&[1_000, 1_000], &[1, 1]);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(matches!(
+            AllocationFactors::compute(&st, 2_000, 100, FactorRule::SqrtQ, 1.0, &mut rng),
+            Err(MoveError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn rule_weights_match_theorems() {
+        assert_eq!(FactorRule::Uniform.weight(0.5, 9.0, 2.0), 1.0);
+        assert_eq!(FactorRule::SqrtQ.weight(0.5, 9.0, 2.0), 3.0);
+        assert!((FactorRule::SqrtBetaQ.weight(0.5, 4.0, 2.0) - 3.0).abs() < 1e-12);
+        assert!((FactorRule::SqrtPQ.weight(0.25, 4.0, 2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_load_reduces_to_sqrt_q_per_term() {
+        // A "node" holding exactly one term: pairs = p·P, load = q·p·P,
+        // so √(load/pairs) = √q — Theorem 1 recovered.
+        let s = NodeStats {
+            pairs: 400,
+            doc_hits: 0,
+            hit_postings: 400 * 9, // q = 9 postings-fraction per doc
+            docs_observed: 1,
+        };
+        let w = FactorRule::SqrtLoad.weight_for(&s, 1_000, 0.0);
+        assert!((w - 3.0).abs() < 1e-12);
+        assert_eq!(FactorRule::SqrtLoad.weight_for(&NodeStats::default(), 10, 0.0), 0.0);
+    }
+
+    #[test]
+    fn shape_respects_capacity() {
+        // 10 nodes, 2500 pairs, capacity 1000 → half-capacity subsets of
+        // 500 → 5 columns.
+        let (rows, cols) = Grid::shape(GridMode::Optimal, 10, 2_500, 1_000);
+        assert_eq!(cols, 5);
+        assert_eq!(rows, 2);
+        // Ample capacity → pure replication shape emerges naturally.
+        assert_eq!(Grid::shape(GridMode::Optimal, 4, 10, 1_000), (4, 1));
+        // Forced modes.
+        assert_eq!(Grid::shape(GridMode::PureReplication, 6, 10_000, 10), (6, 1));
+        assert_eq!(Grid::shape(GridMode::PureSeparation, 6, 10_000, 10), (1, 6));
+    }
+
+    #[test]
+    fn grid_layout_row_major() {
+        let slots: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let g = Grid::build(3, 2, slots);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 2);
+        assert_eq!(g.node(0, 0), NodeId(0));
+        assert_eq!(g.node(1, 0), NodeId(2));
+        assert_eq!(g.node(2, 1), NodeId(5));
+        assert_eq!(g.row(1), &[NodeId(2), NodeId(3)]);
+        assert!((g.allocation_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_shrinks_rows_when_short_of_slots() {
+        let slots: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let g = Grid::build(3, 2, slots); // only 2 full rows fit
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.nodes().len(), 4);
+    }
+
+    #[test]
+    fn column_of_is_stable_and_in_range() {
+        let g = Grid::build(2, 3, (0..6).map(NodeId).collect());
+        for raw in 0..100u64 {
+            let c = g.column_of(move_types::FilterId(raw));
+            assert!(c < 3);
+            assert_eq!(c, g.column_of(move_types::FilterId(raw)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "full row")]
+    fn too_few_slots_rejected() {
+        let _ = Grid::build(1, 4, vec![NodeId(0)]);
+    }
+}

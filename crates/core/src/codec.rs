@@ -1,0 +1,73 @@
+//! Byte codec for filter bodies stored in node column families.
+//!
+//! "To register a filter f, by the put function, the full information of f
+//! is locally stored on the home nodes" (§III-B). The stored value is a
+//! compact big-endian encoding: the filter id (8 bytes) followed by one
+//! 4-byte term id per term.
+
+use move_types::{Filter, FilterId, MoveError, Result, TermId};
+
+/// Encodes a filter body for the `filters` column family.
+///
+/// # Examples
+///
+/// ```
+/// use move_core::{decode_filter, encode_filter};
+/// use move_types::{Filter, TermId};
+///
+/// let f = Filter::new(42u64, [TermId(1), TermId(2)]);
+/// let bytes = encode_filter(&f);
+/// assert_eq!(decode_filter(&bytes).unwrap(), f);
+/// ```
+pub fn encode_filter(filter: &Filter) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 * filter.len());
+    out.extend_from_slice(&filter.id().0.to_be_bytes());
+    for t in filter.terms() {
+        out.extend_from_slice(&t.0.to_be_bytes());
+    }
+    out
+}
+
+/// Decodes a filter body written by [`encode_filter`].
+///
+/// # Errors
+///
+/// Returns [`MoveError::InvalidConfig`] when the byte length is not
+/// `8 + 4k` (a corrupt record).
+pub fn decode_filter(bytes: &[u8]) -> Result<Filter> {
+    if bytes.len() < 8 || !(bytes.len() - 8).is_multiple_of(4) {
+        return Err(MoveError::InvalidConfig(format!(
+            "corrupt filter record of {} bytes",
+            bytes.len()
+        )));
+    }
+    let id = FilterId(u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes")));
+    let terms = bytes[8..]
+        .chunks_exact(4)
+        .map(|c| TermId(u32::from_be_bytes(c.try_into().expect("4 bytes"))));
+    Ok(Filter::new(id, terms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let f = Filter::new(7u64, [TermId(0), TermId(u32::MAX), TermId(5)]);
+        assert_eq!(decode_filter(&encode_filter(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_filter_round_trips() {
+        let f = Filter::new(9u64, std::iter::empty::<TermId>());
+        assert_eq!(decode_filter(&encode_filter(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn corrupt_records_rejected() {
+        assert!(decode_filter(&[1, 2, 3]).is_err());
+        assert!(decode_filter(&[0; 10]).is_err());
+        assert!(decode_filter(&[0; 12]).is_ok());
+    }
+}

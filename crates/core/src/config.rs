@@ -1,0 +1,166 @@
+//! System configuration shared by the three schemes.
+
+use crate::PlacementStrategy;
+use move_cluster::CostModel;
+use move_types::{MatchSemantics, MoveError, Result};
+use serde::{Deserialize, Serialize};
+
+/// When MOVE (re)computes filter allocations (§V, "Allocation Policy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationPolicy {
+    /// Allocate before documents flow, from registered filters and an
+    /// offline corpus sample, then refresh periodically — the paper's
+    /// choice ("filters are registered before document publication, \[so\] it
+    /// is easy to learn the pattern of filters").
+    Proactive,
+    /// Start unallocated; learn `qᵢ` from live traffic and allocate after
+    /// `refresh_every_docs` documents. Suffers the hot-spot-aggravation the
+    /// paper warns about (movement happens while the node is already hot).
+    Passive,
+}
+
+/// Configuration of a simulated deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of cluster nodes `N` (paper default 20, up to ~100).
+    pub nodes: usize,
+    /// Number of racks.
+    pub racks: usize,
+    /// Per-node storage capacity `C`, counted in filter copies
+    /// (paper: 3 × 10⁶ including replicas).
+    pub capacity_per_node: u64,
+    /// Matching semantics (the paper evaluates Boolean).
+    pub semantics: MatchSemantics,
+    /// The latency cost model.
+    pub cost: CostModel,
+    /// Replica groups of the rendezvous comparator (paper: key/value
+    /// platforms "replicate each object with three replicas").
+    pub rs_replica_groups: usize,
+    /// Placement of allocated filters (§V: ring / rack / the MOVE hybrid).
+    pub placement: PlacementStrategy,
+    /// Allocation timing policy.
+    pub allocation_policy: AllocationPolicy,
+    /// Under the passive policy, re-allocate after this many published
+    /// documents; under the proactive policy, refresh `qᵢ` at the same
+    /// period ("every 10 minutes, the values of qᵢ are renewed").
+    pub refresh_every_docs: u64,
+    /// Whether document terms are pruned against the registered-terms
+    /// Bloom filter before forwarding (§V; the ablation switches it off).
+    pub use_bloom: bool,
+    /// Target false-positive rate of the registered-terms Bloom filter.
+    pub bloom_fpr: f64,
+    /// Expected number of distinct filter terms (sizes the Bloom filter).
+    pub expected_terms: usize,
+    /// RNG seed (partition row choice, rounding).
+    pub seed: u64,
+    /// Charge per filter copy moved during (re-)allocation, in virtual
+    /// seconds, billed to the source home node.
+    pub move_cost_per_copy: f64,
+}
+
+impl Default for SystemConfig {
+    /// The paper's cluster defaults: `N = 20` nodes over 4 racks,
+    /// `C = 3×10⁶`, boolean matching, 3 rendezvous replica groups, hybrid
+    /// placement, proactive allocation.
+    fn default() -> Self {
+        Self {
+            nodes: 20,
+            racks: 4,
+            capacity_per_node: 3_000_000,
+            semantics: MatchSemantics::Boolean,
+            cost: CostModel::default(),
+            rs_replica_groups: 3,
+            placement: PlacementStrategy::Hybrid,
+            allocation_policy: AllocationPolicy::Proactive,
+            refresh_every_docs: 10_000,
+            use_bloom: true,
+            bloom_fpr: 0.01,
+            expected_terms: 1_000_000,
+            seed: 0x5eed,
+            move_cost_per_copy: 2e-6,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// A tiny deterministic deployment for unit tests and doc examples:
+    /// 6 nodes, 2 racks, small capacity.
+    pub fn small_test() -> Self {
+        Self {
+            nodes: 6,
+            racks: 2,
+            capacity_per_node: 10_000,
+            expected_terms: 10_000,
+            refresh_every_docs: 1_000,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoveError::InvalidConfig`] for zero-sized clusters,
+    /// capacities, or replica groups, and out-of-range rates.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes == 0 || self.racks == 0 {
+            return Err(MoveError::InvalidConfig("nodes and racks must be positive".into()));
+        }
+        if self.capacity_per_node == 0 {
+            return Err(MoveError::InvalidConfig("capacity_per_node must be positive".into()));
+        }
+        if self.rs_replica_groups == 0 {
+            return Err(MoveError::InvalidConfig("rs_replica_groups must be positive".into()));
+        }
+        if !(0.0..0.5).contains(&self.bloom_fpr) || self.bloom_fpr <= 0.0 {
+            return Err(MoveError::InvalidConfig(format!(
+                "bloom_fpr {} must be in (0, 0.5)",
+                self.bloom_fpr
+            )));
+        }
+        if self.refresh_every_docs == 0 {
+            return Err(MoveError::InvalidConfig("refresh_every_docs must be positive".into()));
+        }
+        if self.move_cost_per_copy < 0.0 {
+            return Err(MoveError::InvalidConfig("move_cost_per_copy must be >= 0".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_vi() {
+        let c = SystemConfig::default();
+        assert_eq!(c.nodes, 20);
+        assert_eq!(c.capacity_per_node, 3_000_000);
+        assert_eq!(c.rs_replica_groups, 3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn small_test_is_valid() {
+        assert!(SystemConfig::small_test().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        for mutate in [
+            (|c: &mut SystemConfig| c.nodes = 0) as fn(&mut SystemConfig),
+            |c| c.racks = 0,
+            |c| c.capacity_per_node = 0,
+            |c| c.rs_replica_groups = 0,
+            |c| c.bloom_fpr = 0.0,
+            |c| c.bloom_fpr = 0.7,
+            |c| c.refresh_every_docs = 0,
+            |c| c.move_cost_per_copy = -1.0,
+        ] {
+            let mut c = SystemConfig::default();
+            mutate(&mut c);
+            assert!(c.validate().is_err());
+        }
+    }
+}

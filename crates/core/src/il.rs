@@ -1,0 +1,444 @@
+//! The baseline: the pure distributed inverted list (paper §III).
+
+use crate::{encode_filter, Dissemination, SchemeOutput, SystemConfig};
+use move_bloom::CountingBloomFilter;
+use move_cluster::{Job, SimCluster, Stage, Task};
+use move_index::InvertedIndex;
+use move_types::{Document, Filter, FilterId, Result, TermId};
+use std::collections::HashMap;
+
+/// The `IL` scheme of the evaluation: a filter is registered on the home
+/// node of *each* of its terms; the home node of `t` indexes it under `t`
+/// only. A published document is forwarded (in parallel) to the home nodes
+/// of its Bloom-filtered terms, each of which retrieves exactly one posting
+/// list.
+///
+/// Correct but throughput-limited: the skew of term popularity `pᵢ` and
+/// term frequency `qᵢ` concentrates both storage and matching on a few hot
+/// home nodes (§III-C) — precisely what Figs. 8–9 show and what MOVE's
+/// allocation fixes.
+///
+/// # Examples
+///
+/// ```
+/// use move_core::{Dissemination, IlScheme, SystemConfig};
+/// use move_types::{Document, Filter, TermId};
+///
+/// let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+/// il.register(&Filter::new(1u64, [TermId(3), TermId(5)])).unwrap();
+/// let doc = Document::from_distinct_terms(1u64, [TermId(5)]);
+/// assert_eq!(il.publish(0.0, &doc).unwrap().matched.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct IlScheme {
+    config: SystemConfig,
+    cluster: SimCluster,
+    indexes: Vec<InvertedIndex>,
+    /// Counting Bloom filter over all registered filter terms (§V).
+    bloom: CountingBloomFilter,
+    /// Filter copies (registration pairs) per node.
+    storage: Vec<u64>,
+    /// Directory for unregistration (the metadata any real deployment keeps
+    /// alongside the DHT).
+    directory: HashMap<FilterId, Filter>,
+    /// Which of a filter's terms it was registered under (differs from all
+    /// of them only in [`RegistrationMode::NeededTerms`]).
+    registered_under: HashMap<FilterId, Vec<TermId>>,
+    /// How many registered filters contain each term — the rarity signal
+    /// the needed-terms mode selects by.
+    term_popularity: HashMap<TermId, u64>,
+    registration: RegistrationMode,
+}
+
+/// How many of a filter's terms the distributed inverted list registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RegistrationMode {
+    /// Every term, as in the paper — required for boolean semantics, where
+    /// any single shared term constitutes a match.
+    #[default]
+    AllTerms,
+    /// Only the `|f| − ⌈θ·|f|⌉ + 1` *rarest* terms. Under the
+    /// similarity-threshold semantics `θ`, a matching document shares at
+    /// least `⌈θ·|f|⌉` of the filter's terms, and by pigeonhole at least
+    /// one of them is registered — completeness is preserved while storage
+    /// and posting traffic shrink (for conjunctive matching, `θ = 1`, a
+    /// single registration per filter suffices). This is the
+    /// term-selection idea of STAIRS [17, 21] applied to the registration
+    /// side; the paper discards selection on the *forwarding* side for
+    /// throughput, which this mode does not touch.
+    NeededTerms,
+}
+
+impl IlScheme {
+    /// Builds the scheme on a fresh simulated cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors from [`SystemConfig::validate`].
+    pub fn new(config: SystemConfig) -> Result<Self> {
+        config.validate()?;
+        let cluster = SimCluster::new(config.nodes, config.racks, config.cost)?;
+        let indexes = (0..config.nodes)
+            .map(|_| InvertedIndex::new(config.semantics))
+            .collect();
+        let bloom = CountingBloomFilter::new(config.expected_terms, config.bloom_fpr);
+        let storage = vec![0; config.nodes];
+        Ok(Self {
+            config,
+            cluster,
+            indexes,
+            bloom,
+            storage,
+            directory: HashMap::new(),
+            registered_under: HashMap::new(),
+            term_popularity: HashMap::new(),
+            registration: RegistrationMode::default(),
+        })
+    }
+
+    /// The per-node inverted index (read access for tests and metrics).
+    pub fn node_index(&self, node: move_types::NodeId) -> &InvertedIndex {
+        &self.indexes[node.as_usize()]
+    }
+
+    /// Selects the registration mode. Call before registering filters;
+    /// already-registered filters keep their original registration terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`RegistrationMode::NeededTerms`] is combined with boolean
+    /// semantics, where it would lose matches.
+    pub fn set_registration_mode(&mut self, mode: RegistrationMode) {
+        if mode == RegistrationMode::NeededTerms {
+            assert!(
+                matches!(
+                    self.config.semantics,
+                    move_types::MatchSemantics::SimilarityThreshold(_)
+                ),
+                "needed-terms registration requires similarity-threshold semantics"
+            );
+        }
+        self.registration = mode;
+    }
+
+    /// The terms a filter must be registered under in the current mode.
+    fn registration_terms(&self, filter: &Filter) -> Vec<TermId> {
+        match (self.registration, self.config.semantics) {
+            (
+                RegistrationMode::NeededTerms,
+                move_types::MatchSemantics::SimilarityThreshold(th),
+            ) => {
+                let f_len = filter.len();
+                let required = (th * f_len as f64).ceil().max(1.0) as usize;
+                let k = f_len - required + 1;
+                let mut terms: Vec<TermId> = filter.terms().to_vec();
+                // Rarest first (fewest registered filters contain them).
+                terms.sort_by_key(|t| self.term_popularity.get(t).copied().unwrap_or(0));
+                terms.truncate(k);
+                terms
+            }
+            _ => filter.terms().to_vec(),
+        }
+    }
+}
+
+impl Dissemination for IlScheme {
+    fn name(&self) -> &'static str {
+        "il"
+    }
+
+    fn register(&mut self, filter: &Filter) -> Result<()> {
+        let reg_terms = self.registration_terms(filter);
+        for &t in &reg_terms {
+            let home = self.cluster.home_of_term(t);
+            self.indexes[home.as_usize()].insert_for_term(filter.clone(), t);
+            self.storage[home.as_usize()] += 1;
+            self.bloom.insert(&t.0);
+            // Persist the full filter body in the home node's filter store.
+            self.cluster
+                .store_mut(home)
+                .cf("filters")
+                .put(filter.id().0.to_be_bytes().to_vec(), encode_filter(filter));
+        }
+        for &t in filter.terms() {
+            *self.term_popularity.entry(t).or_insert(0) += 1;
+        }
+        self.registered_under.insert(filter.id(), reg_terms);
+        self.directory.insert(filter.id(), filter.clone());
+        Ok(())
+    }
+
+    fn unregister(&mut self, id: FilterId) -> Result<bool> {
+        let Some(filter) = self.directory.remove(&id) else {
+            return Ok(false);
+        };
+        let reg_terms = self
+            .registered_under
+            .remove(&id)
+            .unwrap_or_else(|| filter.terms().to_vec());
+        for &t in &reg_terms {
+            let home = self.cluster.home_of_term(t);
+            if self.indexes[home.as_usize()].remove_term_posting(id, t) {
+                self.storage[home.as_usize()] = self.storage[home.as_usize()].saturating_sub(1);
+            }
+            self.bloom.remove(&t.0);
+            self.cluster
+                .store_mut(home)
+                .cf("filters")
+                .delete(id.0.to_be_bytes().to_vec());
+        }
+        for &t in filter.terms() {
+            if let Some(c) = self.term_popularity.get_mut(&t) {
+                *c = c.saturating_sub(1);
+            }
+        }
+        Ok(true)
+    }
+
+    fn publish(&mut self, at: f64, doc: &Document) -> Result<SchemeOutput> {
+        let ingress = self.cluster.ring().home_of(&("doc", doc.id().0));
+        // The document travels to each involved home node once; the node
+        // then retrieves one posting list per routing term it owns.
+        let mut by_home: std::collections::BTreeMap<move_types::NodeId, Vec<move_types::TermId>> =
+            std::collections::BTreeMap::new();
+        for &t in doc.terms() {
+            if self.config.use_bloom && !self.bloom.contains(&t.0) {
+                continue; // the membership check that prunes forwarding (§V)
+            }
+            let home = self.cluster.home_of_term(t);
+            if !self.cluster.is_alive(home) {
+                continue; // filters homed there are unreachable
+            }
+            by_home.entry(home).or_default().push(t);
+        }
+        let mut matched: Vec<FilterId> = Vec::new();
+        let mut tasks: Vec<Task> = Vec::new();
+        for (home, terms) in by_home {
+            let mut postings = 0u64;
+            // A Bloom false positive still costs one failed posting-list
+            // lookup, so every routed term counts as a retrieval.
+            let lists = terms.len() as u64;
+            for t in terms {
+                let outcome = self.indexes[home.as_usize()].match_term(doc, t);
+                postings += outcome.postings_scanned;
+                matched.extend(outcome.matched);
+            }
+            let service = self.cluster.transfer_cost(ingress, home)
+                + self
+                    .config
+                    .cost
+                    .match_cost(lists, postings, self.storage[home.as_usize()]);
+            self.cluster
+                .ledgers_mut()
+                .ledger_mut(home)
+                .record(service, lists, postings);
+            tasks.push(Task {
+                node: home,
+                service,
+            });
+        }
+        matched.sort_unstable();
+        matched.dedup();
+        Ok(SchemeOutput {
+            matched,
+            job: Job {
+                arrival: at,
+                stages: vec![Stage::new(tasks)],
+            },
+        })
+    }
+
+    fn storage_per_node(&self) -> Vec<u64> {
+        self.storage.clone()
+    }
+
+    fn cluster(&self) -> &SimCluster {
+        &self.cluster
+    }
+
+    fn cluster_mut(&mut self) -> &mut SimCluster {
+        &mut self.cluster
+    }
+
+    fn registered_filters(&self) -> u64 {
+        self.directory.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use move_index::brute_force;
+    use move_types::{MatchSemantics, TermId};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn filter(id: u64, terms: &[u32]) -> Filter {
+        Filter::new(id, terms.iter().map(|&t| TermId(t)))
+    }
+
+    fn doc(id: u64, terms: &[u32]) -> Document {
+        Document::from_distinct_terms(id, terms.iter().map(|&t| TermId(t)))
+    }
+
+    #[test]
+    fn delivery_is_complete_random_workload() {
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let filters: Vec<Filter> = (0..300)
+            .map(|id| {
+                let len = rng.gen_range(1..=3);
+                let terms: Vec<u32> = (0..len).map(|_| rng.gen_range(0..200u32)).collect();
+                filter(id, &terms)
+            })
+            .collect();
+        for f in &filters {
+            il.register(f).unwrap();
+        }
+        for did in 0..50u64 {
+            let terms: Vec<u32> = (0..rng.gen_range(1..30usize))
+                .map(|_| rng.gen_range(0..250u32))
+                .collect();
+            let mut dedup = terms.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            let d = doc(did, &dedup);
+            let got = il.publish(0.0, &d).unwrap();
+            let want = brute_force(&filters, &d, MatchSemantics::Boolean);
+            assert_eq!(got.matched, want, "doc {did}");
+        }
+    }
+
+    #[test]
+    fn storage_counts_pairs() {
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        il.register(&filter(1, &[1, 2, 3])).unwrap();
+        il.register(&filter(2, &[1])).unwrap();
+        assert_eq!(il.storage_per_node().iter().sum::<u64>(), 4);
+        assert_eq!(il.registered_filters(), 2);
+    }
+
+    #[test]
+    fn unregister_stops_delivery() {
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        il.register(&filter(1, &[7])).unwrap();
+        assert!(il.unregister(FilterId(1)).unwrap());
+        assert!(!il.unregister(FilterId(1)).unwrap());
+        let got = il.publish(0.0, &doc(0, &[7])).unwrap();
+        assert!(got.matched.is_empty());
+        assert_eq!(il.storage_per_node().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn bloom_prunes_unregistered_terms() {
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        il.register(&filter(1, &[1])).unwrap();
+        // A document of entirely unknown terms should produce (almost) no
+        // tasks thanks to the Bloom check.
+        let got = il.publish(0.0, &doc(0, &[100, 101, 102, 103])).unwrap();
+        assert!(got.job.stages[0].tasks.len() <= 1, "bloom should prune");
+        assert!(got.matched.is_empty());
+    }
+
+    #[test]
+    fn ledgers_are_charged() {
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        il.register(&filter(1, &[5])).unwrap();
+        il.publish(0.0, &doc(0, &[5])).unwrap();
+        let busy: f64 = il
+            .cluster()
+            .ledgers()
+            .all()
+            .iter()
+            .map(|l| l.busy_seconds)
+            .sum();
+        assert!(busy > 0.0);
+    }
+
+    #[test]
+    fn dead_home_node_drops_its_filters() {
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        il.register(&filter(1, &[5])).unwrap();
+        let home = il.cluster().home_of_term(TermId(5));
+        il.cluster_mut().membership_mut().crash(home);
+        let got = il.publish(0.0, &doc(0, &[5])).unwrap();
+        assert!(got.matched.is_empty());
+    }
+
+    #[test]
+    fn needed_terms_mode_stays_complete_under_thresholds() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for th in [0.5, 0.67, 1.0] {
+            let mut cfg = SystemConfig::small_test();
+            cfg.semantics = MatchSemantics::similarity_threshold(th);
+            let mut il = IlScheme::new(cfg).unwrap();
+            il.set_registration_mode(RegistrationMode::NeededTerms);
+            let mut rng = StdRng::seed_from_u64(th.to_bits());
+            let filters: Vec<Filter> = (0..300)
+                .map(|id| {
+                    let len = rng.gen_range(1..=4);
+                    Filter::new(id, (0..len).map(|_| TermId(rng.gen_range(0..80u32))))
+                })
+                .collect();
+            for f in &filters {
+                il.register(f).unwrap();
+            }
+            for did in 0..40u64 {
+                let mut terms: Vec<u32> =
+                    (0..rng.gen_range(1..15usize)).map(|_| rng.gen_range(0..90u32)).collect();
+                terms.sort_unstable();
+                terms.dedup();
+                let d = doc(did, &terms);
+                let got = il.publish(0.0, &d).unwrap().matched;
+                let want =
+                    brute_force(&filters, &d, MatchSemantics::similarity_threshold(th));
+                assert_eq!(got, want, "threshold {th}, doc {did}");
+            }
+        }
+    }
+
+    #[test]
+    fn needed_terms_mode_shrinks_storage() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.semantics = MatchSemantics::similarity_threshold(1.0); // conjunctive
+        let mut all = IlScheme::new(cfg.clone()).unwrap();
+        let mut needed = IlScheme::new(cfg).unwrap();
+        needed.set_registration_mode(RegistrationMode::NeededTerms);
+        for id in 0..200u64 {
+            let f = filter(id, &[(id % 17) as u32, (id % 31) as u32 + 20, (id % 7) as u32 + 60]);
+            all.register(&f).unwrap();
+            needed.register(&f).unwrap();
+        }
+        let all_pairs: u64 = all.storage_per_node().iter().sum();
+        let needed_pairs: u64 = needed.storage_per_node().iter().sum();
+        // Conjunctive ⇒ a single registration per filter.
+        assert_eq!(needed_pairs, 200);
+        assert!(all_pairs >= 2 * needed_pairs, "{all_pairs} vs {needed_pairs}");
+        // Unregistration cleans up the reduced registrations too.
+        assert!(needed.unregister(FilterId(0)).unwrap());
+        assert_eq!(needed.storage_per_node().iter().sum::<u64>(), 199);
+    }
+
+    #[test]
+    #[should_panic(expected = "similarity-threshold")]
+    fn needed_terms_mode_rejects_boolean_semantics() {
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        il.set_registration_mode(RegistrationMode::NeededTerms);
+    }
+
+    #[test]
+    fn filter_bodies_persisted_in_store() {
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        let f = filter(9, &[4, 6]);
+        il.register(&f).unwrap();
+        let home = il.cluster().home_of_term(TermId(4));
+        let bytes = il
+            .cluster_mut()
+            .store_mut(home)
+            .cf("filters")
+            .get(&9u64.to_be_bytes())
+            .expect("stored");
+        assert_eq!(crate::decode_filter(&bytes).unwrap(), f);
+    }
+}

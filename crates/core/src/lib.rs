@@ -1,0 +1,63 @@
+//! The MOVE content filtering and dissemination system — the paper's
+//! primary contribution, plus the two comparator schemes of its evaluation.
+//!
+//! Three schemes implement the common [`Dissemination`] trait:
+//!
+//! * [`IlScheme`] — the baseline *distributed inverted list* (§III): filters
+//!   registered on the home node of each of their terms, documents forwarded
+//!   to the home nodes of their (Bloom-filtered) terms, each home node
+//!   retrieving exactly one posting list;
+//! * [`RsScheme`] — the *rendezvous/flooding* comparator (§VI-A, after
+//!   Google web search and ROAR): filters spread uniformly with `g`
+//!   replica groups, each document flooded to every node of one group,
+//!   matched there with the centralized SIFT algorithm;
+//! * [`MoveScheme`] — MOVE itself (§IV–V): the IL layout plus *adaptive
+//!   filter allocation*. Per-node statistics `(p'ᵢ, q'ᵢ)` feed the optimizer
+//!   ([`AllocationFactors`]), which assigns each overloaded home node an
+//!   `nᵢ`-node grid of `1/rᵢ` replica rows × `rᵢ·nᵢ` separation columns;
+//!   documents hit one random row in parallel.
+//!
+//! Every `publish` returns both the matched filters (checked against the
+//! [`move_index::brute_force`] oracle in the test suite) and a virtual-time
+//! [`move_cluster::Job`] that the discrete-event simulator converts into the
+//! paper's throughput figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use move_core::{Dissemination, MoveScheme, SystemConfig};
+//! use move_types::{Document, Filter, TermId};
+//!
+//! let mut system = MoveScheme::new(SystemConfig::small_test()).unwrap();
+//! system.register(&Filter::new(1u64, [TermId(7)])).unwrap();
+//! let doc = Document::from_distinct_terms(1u64, [TermId(7), TermId(9)]);
+//! let out = system.publish(0.0, &doc).unwrap();
+//! assert_eq!(out.matched, vec![move_types::FilterId(1)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allocation;
+mod codec;
+mod config;
+mod il;
+mod metrics;
+mod move_scheme;
+mod placement;
+mod rs;
+mod scheme;
+mod single_node;
+mod stats;
+
+pub use allocation::{AllocationFactors, FactorRule, Grid, GridMode};
+pub use codec::{decode_filter, encode_filter};
+pub use config::{AllocationPolicy, SystemConfig};
+pub use il::{IlScheme, RegistrationMode};
+pub use metrics::{availability, load_vectors, normalize_to, LoadVectors};
+pub use move_scheme::MoveScheme;
+pub use placement::PlacementStrategy;
+pub use rs::RsScheme;
+pub use scheme::{Dissemination, SchemeOutput};
+pub use single_node::{run_single_node, SingleNodeReport};
+pub use stats::NodeStats;

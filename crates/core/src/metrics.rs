@@ -1,0 +1,83 @@
+//! Load and availability metrics for the maintenance figures (Fig. 9).
+
+use crate::{Dissemination, MoveScheme};
+use serde::{Deserialize, Serialize};
+
+/// The two per-node load vectors of Figs. 9a–9b.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadVectors {
+    /// Filter copies stored per node (storage cost).
+    pub storage: Vec<f64>,
+    /// Documents received for matching per node (matching cost — "the
+    /// number of received documents that a node needs to retrieve the local
+    /// inverted list").
+    pub matching: Vec<f64>,
+}
+
+/// Extracts the load vectors of a scheme from its storage accounting and
+/// cost ledgers.
+pub fn load_vectors(scheme: &dyn Dissemination) -> LoadVectors {
+    let storage = scheme
+        .storage_per_node()
+        .into_iter()
+        .map(|s| s as f64)
+        .collect();
+    let matching = scheme
+        .cluster()
+        .ledgers()
+        .all()
+        .iter()
+        .map(|l| l.docs_received as f64)
+        .collect();
+    LoadVectors { storage, matching }
+}
+
+/// Normalizes `values` against a reference mean — the paper plots each
+/// node's load as "the rate between the load of each node and the overall
+/// average load of the RS scheme" (Fig. 9a–9b).
+///
+/// Returns zeros when the reference mean is zero.
+///
+/// # Examples
+///
+/// ```
+/// let normalized = move_core::normalize_to(&[2.0, 4.0], 2.0);
+/// assert_eq!(normalized, vec![1.0, 2.0]);
+/// ```
+pub fn normalize_to(values: &[f64], reference_mean: f64) -> Vec<f64> {
+    if reference_mean <= 0.0 {
+        return vec![0.0; values.len()];
+    }
+    values.iter().map(|v| v / reference_mean).collect()
+}
+
+/// The fraction of registered filters still reachable on the MOVE scheme
+/// given current node liveness (Fig. 9d's y-axis).
+pub fn availability(scheme: &MoveScheme) -> f64 {
+    scheme.filter_availability()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IlScheme, SystemConfig};
+    use move_types::{Document, Filter, TermId};
+
+    #[test]
+    fn load_vectors_reflect_activity() {
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        il.register(&Filter::new(1u64, [TermId(3)])).unwrap();
+        il.publish(0.0, &Document::from_distinct_terms(0u64, [TermId(3)]))
+            .unwrap();
+        let lv = load_vectors(&il);
+        assert_eq!(lv.storage.iter().sum::<f64>(), 1.0);
+        assert_eq!(lv.matching.iter().sum::<f64>(), 1.0);
+        assert_eq!(lv.storage.len(), 6);
+    }
+
+    #[test]
+    fn normalize_handles_zero_reference() {
+        assert_eq!(normalize_to(&[1.0, 2.0], 0.0), vec![0.0, 0.0]);
+        assert_eq!(normalize_to(&[3.0], 3.0), vec![1.0]);
+    }
+}

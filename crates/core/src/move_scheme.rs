@@ -1,0 +1,1022 @@
+//! MOVE: the distributed inverted list plus adaptive filter allocation
+//! (paper §IV–V).
+
+use crate::{
+    encode_filter, AllocationFactors, AllocationPolicy, Dissemination, FactorRule, Grid, GridMode,
+    NodeStats, SchemeOutput, SystemConfig,
+};
+use move_bloom::CountingBloomFilter;
+use move_cluster::{Job, SimCluster, Stage, Task};
+use move_index::InvertedIndex;
+use move_types::{Document, Filter, FilterId, NodeId, Result, TermId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The MOVE system.
+///
+/// Filters are registered exactly as in the IL baseline — on the home node
+/// of each of their terms, indexed under the routing term only. On top of
+/// that layout, the *statistics master* aggregates per-node popularity
+/// `p′ᵢ` (registration pairs) and frequency `q′ᵢ` (routing hits per
+/// document, learned from an offline corpus sample and refreshed from live
+/// traffic, plus the per-document posting load `Σₜ pₜqₜ`), computes
+/// allocation factors `nᵢ` ([`FactorRule`]: the Theorems 1/2 and §V rules,
+/// or the default min–max load balancing), and reorganizes each overloaded
+/// home node's filters
+/// into a `1/rᵢ × rᵢnᵢ` grid: *separated* into `rᵢnᵢ` column subsets,
+/// each *replicated* down `1/rᵢ` rows. A published document is routed to
+/// the home node, which forwards it in parallel to all nodes of one random
+/// row — every subset is consulted exactly once, so delivery stays
+/// complete while both the document load (rows) and the storage load
+/// (columns) are spread.
+///
+/// # Examples
+///
+/// ```
+/// use move_core::{Dissemination, MoveScheme, SystemConfig};
+/// use move_types::{Document, Filter, FilterId, TermId};
+///
+/// let mut system = MoveScheme::new(SystemConfig::small_test()).unwrap();
+/// for id in 0..100u64 {
+///     system.register(&Filter::new(id, [TermId((id % 5) as u32)])).unwrap();
+/// }
+/// // Proactive allocation from an offline sample.
+/// let sample: Vec<_> = (0..20u64)
+///     .map(|id| Document::from_distinct_terms(id, [TermId((id % 5) as u32)]))
+///     .collect();
+/// system.observe_corpus(&sample);
+/// system.allocate().unwrap();
+/// let out = system.publish(0.0, &Document::from_distinct_terms(999u64, [TermId(0)])).unwrap();
+/// assert_eq!(out.matched.len(), 20);
+/// ```
+#[derive(Debug)]
+pub struct MoveScheme {
+    config: SystemConfig,
+    cluster: SimCluster,
+    /// Match-serving inverted index per node.
+    indexes: Vec<InvertedIndex>,
+    /// Registered-terms Bloom filter (counting, so unregistration works).
+    bloom: CountingBloomFilter,
+    /// Serving filter copies per node.
+    storage: Vec<u64>,
+    /// Registration pairs `(term, filter)` per *home* node — the
+    /// authoritative layout the allocation redistributes.
+    home_pairs: Vec<Vec<(TermId, FilterId)>>,
+    /// Global filter bodies (the metadata directory).
+    directory: HashMap<FilterId, Filter>,
+    /// Current allocation grid per home node (node-aggregated mode).
+    allocations: Vec<Option<Grid>>,
+    /// Current allocation grid per term (per-term mode — §V's discarded
+    /// alternative, kept for the node-aggregation ablation).
+    term_allocations: HashMap<TermId, Grid>,
+    /// `q′ᵢ` sample: routing hits per node.
+    doc_hits: Vec<u64>,
+    /// Load sample: posting entries the node would scan per observed doc.
+    hit_postings: Vec<u64>,
+    /// Registered pairs per term (posting lengths at the home) — feeds the
+    /// load sample.
+    term_pairs: HashMap<TermId, u64>,
+    /// Routing hits per term from the observed documents (`qₜ` sample,
+    /// needed by the per-term aggregation mode).
+    term_hits: HashMap<TermId, u64>,
+    docs_observed: u64,
+    docs_since_refresh: u64,
+    rule: FactorRule,
+    grid_mode: GridMode,
+    rng: StdRng,
+}
+
+impl MoveScheme {
+    /// Builds the scheme on a fresh simulated cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors from [`SystemConfig::validate`].
+    pub fn new(config: SystemConfig) -> Result<Self> {
+        config.validate()?;
+        let cluster = SimCluster::new(config.nodes, config.racks, config.cost)?;
+        Ok(Self {
+            indexes: (0..config.nodes)
+                .map(|_| InvertedIndex::new(config.semantics))
+                .collect(),
+            bloom: CountingBloomFilter::new(config.expected_terms, config.bloom_fpr),
+            storage: vec![0; config.nodes],
+            home_pairs: vec![Vec::new(); config.nodes],
+            directory: HashMap::new(),
+            allocations: vec![None; config.nodes],
+            term_allocations: HashMap::new(),
+            doc_hits: vec![0; config.nodes],
+            hit_postings: vec![0; config.nodes],
+            term_pairs: HashMap::new(),
+            term_hits: HashMap::new(),
+            docs_observed: 0,
+            docs_since_refresh: 0,
+            rule: FactorRule::LoadBalance,
+            grid_mode: GridMode::Optimal,
+            rng: StdRng::seed_from_u64(config.seed),
+            cluster,
+            config,
+        })
+    }
+
+    /// Selects the allocation-factor rule. The default is the min–max
+    /// [`FactorRule::LoadBalance`], which targets the busiest-node bound
+    /// that governs throughput; §V's `nᵢ ∝ √(pᵢqᵢ)` and the theorem rules
+    /// are available for the ablations.
+    pub fn set_factor_rule(&mut self, rule: FactorRule) {
+        self.rule = rule;
+    }
+
+    /// Forces a grid mode (for the replication/separation ablation).
+    pub fn set_grid_mode(&mut self, mode: GridMode) {
+        self.grid_mode = mode;
+    }
+
+    /// The current allocation grid of a home node, if any.
+    pub fn allocation(&self, home: NodeId) -> Option<&Grid> {
+        self.allocations[home.as_usize()].as_ref()
+    }
+
+    /// Feeds an offline document sample into the `q′ᵢ` statistics — the
+    /// proactive policy's corpus-based approximation (§V: "an offline
+    /// approach based on the existing document corpus").
+    pub fn observe_corpus(&mut self, docs: &[Document]) {
+        for d in docs {
+            self.observe(d);
+        }
+    }
+
+    fn observe(&mut self, doc: &Document) {
+        for &t in doc.terms() {
+            if self.bloom.contains(&t.0) {
+                let home = self.cluster.home_of_term(t);
+                self.doc_hits[home.as_usize()] += 1;
+                self.hit_postings[home.as_usize()] +=
+                    self.term_pairs.get(&t).copied().unwrap_or(0);
+                *self.term_hits.entry(t).or_insert(0) += 1;
+            }
+        }
+        self.docs_observed += 1;
+    }
+
+    /// Per-node statistics as the master sees them.
+    pub fn node_stats(&self) -> Vec<NodeStats> {
+        (0..self.config.nodes)
+            .map(|i| NodeStats {
+                pairs: self.home_pairs[i].len() as u64,
+                doc_hits: self.doc_hits[i],
+                hit_postings: self.hit_postings[i],
+                docs_observed: self.docs_observed,
+            })
+            .collect()
+    }
+
+    /// Runs the statistics master: computes allocation factors, lays out
+    /// grids, redistributes filters, and charges movement costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`move_types::MoveError::CapacityExceeded`] when the
+    /// registered filters cannot fit the cluster even unreplicated.
+    pub fn allocate(&mut self) -> Result<()> {
+        let stats = self.node_stats();
+        let total = self.directory.len() as u64;
+        let beta = self.config.cost.beta(total);
+        let factors = AllocationFactors::compute(
+            &stats,
+            total,
+            self.config.capacity_per_node,
+            self.rule,
+            beta,
+            &mut self.rng,
+        )?;
+
+        let mut new_allocations: Vec<Option<Grid>> = vec![None; self.config.nodes];
+        // Planned per-node matching load (expected postings scanned per
+        // published document) — the hybrid strategy spreads grids by it.
+        let mut planned_load: Vec<f64> = stats.iter().map(NodeStats::load).collect();
+        // The heaviest homes pick first.
+        let mut order: Vec<usize> = (0..self.config.nodes)
+            .filter(|&i| stats[i].pairs > 0)
+            .collect();
+        order.sort_by(|&a, &b| stats[b].load().total_cmp(&stats[a].load()));
+        for i in order {
+            let pairs = stats[i].pairs;
+            if factors.n[i] <= 1 {
+                continue;
+            }
+            let (rows, cols) = Grid::shape(
+                self.grid_mode,
+                factors.n[i],
+                pairs,
+                self.config.capacity_per_node,
+            );
+            if rows * cols <= 1 {
+                continue;
+            }
+            let home = NodeId(i as u32);
+            if !self.cluster.is_alive(home) {
+                continue; // a dead home cannot route to a grid anyway
+            }
+            let mut candidates = vec![home];
+            candidates.extend(
+                self.config
+                    .placement
+                    .select(&self.cluster, home, self.config.nodes - 1),
+            );
+            // Re-allocation after failures must not hand subsets to nodes
+            // that are already gone.
+            candidates.retain(|&n| self.cluster.is_alive(n));
+            // The hybrid (production) placement additionally spreads grids
+            // onto the least-loaded candidates — the dynamic-snitch-style
+            // refinement a deployment would use. The pure ring/rack
+            // strategies keep their strict locality order: locality is
+            // exactly what §V's comparison measures.
+            if self.config.placement == crate::PlacementStrategy::Hybrid {
+                let loads = planned_load.clone();
+                candidates.sort_by(|a, b| {
+                    loads[a.as_usize()].total_cmp(&loads[b.as_usize()])
+                });
+            }
+            let slots: Vec<NodeId> = candidates.into_iter().take(rows * cols).collect();
+            if slots.len() < cols {
+                continue; // cannot host even one full replica row
+            }
+            let grid = Grid::build(rows, cols, slots);
+            // The home's load is redistributed evenly over the grid.
+            planned_load[i] -= stats[i].load();
+            let share = stats[i].load() / (grid.rows() * grid.cols()) as f64;
+            for node in grid.nodes() {
+                planned_load[node.as_usize()] += share;
+            }
+            // Movement: every copy beyond the home's original single copy
+            // crosses the network.
+            let copies_created = pairs * (grid.rows() as u64) - pairs.div_ceil(grid.cols() as u64);
+            self.cluster
+                .ledgers_mut()
+                .ledger_mut(home)
+                .busy_seconds += copies_created as f64 * self.config.move_cost_per_copy;
+            new_allocations[i] = Some(grid);
+        }
+        self.allocations = new_allocations;
+        self.rebuild_indexes();
+        Ok(())
+    }
+
+    /// Runs the statistics master in *per-term* mode: one allocation grid
+    /// per hot term instead of one per home node — the alternative §V
+    /// rejects because "mᵢ has to maintain Tᵢ two-dimensional arrays in the
+    /// forwarding table … the associated maintenance cost is nontrivial".
+    /// Kept for the node-aggregation ablation, which quantifies exactly
+    /// that trade: table count and entries vs throughput.
+    ///
+    /// # Errors
+    ///
+    /// As [`MoveScheme::allocate`].
+    pub fn allocate_per_term(&mut self) -> Result<()> {
+        let total = self.directory.len() as u64;
+        let beta = self.config.cost.beta(total);
+        let mut terms: Vec<TermId> = self
+            .term_pairs
+            .iter()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(&t, _)| t)
+            .collect();
+        terms.sort_unstable();
+        let stats: Vec<NodeStats> = terms
+            .iter()
+            .map(|t| {
+                let pairs = self.term_pairs[t];
+                let hits = self.term_hits.get(t).copied().unwrap_or(0);
+                NodeStats {
+                    pairs,
+                    doc_hits: hits,
+                    hit_postings: hits * pairs,
+                    docs_observed: self.docs_observed,
+                }
+            })
+            .collect();
+        let budget = self.config.nodes as u64 * self.config.capacity_per_node;
+        let factors = AllocationFactors::compute_with_budget(
+            &stats,
+            total,
+            budget,
+            self.config.nodes as u64,
+            self.rule,
+            beta,
+            &mut self.rng,
+        )?;
+
+        self.allocations = vec![None; self.config.nodes];
+        self.term_allocations.clear();
+        for (k, &t) in terms.iter().enumerate() {
+            if factors.n[k] <= 1 {
+                continue;
+            }
+            let (rows, cols) = Grid::shape(
+                self.grid_mode,
+                factors.n[k],
+                stats[k].pairs,
+                self.config.capacity_per_node,
+            );
+            if rows * cols <= 1 {
+                continue;
+            }
+            let home = self.cluster.home_of_term(t);
+            if !self.cluster.is_alive(home) {
+                continue;
+            }
+            let mut slots = vec![home];
+            slots.extend(
+                self.config
+                    .placement
+                    .select(&self.cluster, home, rows * cols - 1),
+            );
+            slots.retain(|&n| self.cluster.is_alive(n));
+            if slots.len() < cols {
+                continue;
+            }
+            let grid = Grid::build(rows, cols, slots);
+            let copies = stats[k].pairs * (grid.rows() as u64 - 1);
+            self.cluster.ledgers_mut().ledger_mut(home).busy_seconds +=
+                copies as f64 * self.config.move_cost_per_copy;
+            self.term_allocations.insert(t, grid);
+        }
+        self.rebuild_indexes();
+        Ok(())
+    }
+
+    /// Forwarding-table maintenance metrics: `(tables, entries)` — the
+    /// number of 2-D arrays the cluster's forwarding engines hold and their
+    /// total node-slot entries. §V's node aggregation exists to keep the
+    /// first number at one per node.
+    pub fn forwarding_tables(&self) -> (usize, usize) {
+        let node_tables = self.allocations.iter().flatten();
+        let term_tables = self.term_allocations.values();
+        let tables = self.allocations.iter().flatten().count() + self.term_allocations.len();
+        let entries = node_tables.map(|g| g.nodes().len()).sum::<usize>()
+            + term_tables.map(|g| g.nodes().len()).sum::<usize>();
+        (tables, entries)
+    }
+
+    /// Rebuilds every serving index from the authoritative home layout and
+    /// the current allocation grids.
+    fn rebuild_indexes(&mut self) {
+        for idx in &mut self.indexes {
+            *idx = InvertedIndex::new(self.config.semantics);
+        }
+        self.storage = vec![0; self.config.nodes];
+        for i in 0..self.config.nodes {
+            for &(t, fid) in &self.home_pairs[i] {
+                let filter = self.directory.get(&fid).expect("directory is authoritative");
+                let grid = self
+                    .term_allocations
+                    .get(&t)
+                    .or(self.allocations[i].as_ref());
+                match grid {
+                    None => {
+                        self.indexes[i].insert_for_term(filter.clone(), t);
+                        self.storage[i] += 1;
+                    }
+                    Some(grid) => {
+                        let col = grid.column_of(fid);
+                        for row in 0..grid.rows() {
+                            let node = grid.node(row, col);
+                            self.indexes[node.as_usize()].insert_for_term(filter.clone(), t);
+                            self.storage[node.as_usize()] += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fraction of registered filters with at least one surviving stored
+    /// copy (Fig. 9d's availability): an unallocated registration pair
+    /// survives while its home node is alive; an allocated pair survives
+    /// while any replica row still holds a live node for the filter's
+    /// column. Routing repair (the DHT reassigning a dead home's key
+    /// range) is Cassandra's job and out of scope, so this measures *data*
+    /// survival, which is what the placement strategies trade off.
+    pub fn filter_availability(&self) -> f64 {
+        let mut total = 0u64;
+        let mut reachable = 0u64;
+        for i in 0..self.config.nodes {
+            for &(t, fid) in &self.home_pairs[i] {
+                total += 1;
+                let grid = self.term_allocations.get(&t).or(self.allocations[i].as_ref());
+                let ok = match grid {
+                    None => self.cluster.is_alive(NodeId(i as u32)),
+                    Some(grid) => {
+                        let col = grid.column_of(fid);
+                        (0..grid.rows()).any(|r| self.cluster.is_alive(grid.node(r, col)))
+                    }
+                };
+                if ok {
+                    reachable += 1;
+                }
+            }
+        }
+        if total == 0 {
+            return 1.0;
+        }
+        reachable as f64 / total as f64
+    }
+}
+
+impl Dissemination for MoveScheme {
+    fn name(&self) -> &'static str {
+        "move"
+    }
+
+    fn register(&mut self, filter: &Filter) -> Result<()> {
+        for &t in filter.terms() {
+            let home = self.cluster.home_of_term(t);
+            self.home_pairs[home.as_usize()].push((t, filter.id()));
+            *self.term_pairs.entry(t).or_insert(0) += 1;
+            self.bloom.insert(&t.0);
+            self.cluster
+                .store_mut(home)
+                .cf("filters")
+                .put(filter.id().0.to_be_bytes().to_vec(), encode_filter(filter));
+            let grid = self
+                .term_allocations
+                .get(&t)
+                .or(self.allocations[home.as_usize()].as_ref());
+            match grid {
+                None => {
+                    self.indexes[home.as_usize()].insert_for_term(filter.clone(), t);
+                    self.storage[home.as_usize()] += 1;
+                }
+                Some(grid) => {
+                    let col = grid.column_of(filter.id());
+                    let slots: Vec<NodeId> =
+                        (0..grid.rows()).map(|row| grid.node(row, col)).collect();
+                    for node in slots {
+                        self.indexes[node.as_usize()].insert_for_term(filter.clone(), t);
+                        self.storage[node.as_usize()] += 1;
+                    }
+                }
+            }
+        }
+        self.directory.insert(filter.id(), filter.clone());
+        Ok(())
+    }
+
+    fn unregister(&mut self, id: FilterId) -> Result<bool> {
+        let Some(filter) = self.directory.remove(&id) else {
+            return Ok(false);
+        };
+        for &t in filter.terms() {
+            let home = self.cluster.home_of_term(t);
+            self.home_pairs[home.as_usize()].retain(|&(pt, pf)| !(pt == t && pf == id));
+            if let Some(c) = self.term_pairs.get_mut(&t) {
+                *c = c.saturating_sub(1);
+            }
+            self.bloom.remove(&t.0);
+            self.cluster
+                .store_mut(home)
+                .cf("filters")
+                .delete(id.0.to_be_bytes().to_vec());
+            let grid = self
+                .term_allocations
+                .get(&t)
+                .or(self.allocations[home.as_usize()].as_ref());
+            match grid {
+                None => {
+                    if self.indexes[home.as_usize()].remove_term_posting(id, t) {
+                        self.storage[home.as_usize()] =
+                            self.storage[home.as_usize()].saturating_sub(1);
+                    }
+                }
+                Some(grid) => {
+                    let col = grid.column_of(id);
+                    let slots: Vec<NodeId> =
+                        (0..grid.rows()).map(|row| grid.node(row, col)).collect();
+                    for node in slots {
+                        if self.indexes[node.as_usize()].remove_term_posting(id, t) {
+                            self.storage[node.as_usize()] =
+                                self.storage[node.as_usize()].saturating_sub(1);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn publish(&mut self, at: f64, doc: &Document) -> Result<SchemeOutput> {
+        let ingress = self.cluster.ring().home_of(&("doc", doc.id().0));
+        // The document travels once to each involved home node, which either
+        // matches locally (unallocated) or fans it out to one replica row of
+        // its grid — all of the home's routing terms share that grid.
+        let mut by_home: std::collections::BTreeMap<NodeId, Vec<TermId>> =
+            std::collections::BTreeMap::new();
+        for &t in doc.terms() {
+            if self.config.use_bloom && !self.bloom.contains(&t.0) {
+                continue;
+            }
+            let home = self.cluster.home_of_term(t);
+            if !self.cluster.is_alive(home) {
+                continue; // routing entry lost with the home node
+            }
+            by_home.entry(home).or_default().push(t);
+        }
+
+        let mut matched: Vec<FilterId> = Vec::new();
+        let mut stage1: Vec<Task> = Vec::new();
+        let mut stage2: Vec<Task> = Vec::new();
+        for (home, mut terms) in by_home {
+            // Per-term grids (the ablation's aggregation mode) route each
+            // of their terms independently; the rest follow the node path.
+            if !self.term_allocations.is_empty() {
+                let mut kept = Vec::with_capacity(terms.len());
+                let mut routed_any = false;
+                for t in terms {
+                    let Some(grid) = self.term_allocations.get(&t).cloned() else {
+                        kept.push(t);
+                        continue;
+                    };
+                    if !routed_any {
+                        // The home pays the inbound transfer once.
+                        let routing = self.cluster.transfer_cost(ingress, home);
+                        self.cluster
+                            .ledgers_mut()
+                            .ledger_mut(home)
+                            .record(routing, 0, 0);
+                        stage1.push(Task {
+                            node: home,
+                            service: routing,
+                        });
+                        routed_any = true;
+                    }
+                    let preferred = self.rng.gen_range(0..grid.rows());
+                    for col in 0..grid.cols() {
+                        let node = (0..grid.rows())
+                            .map(|dr| grid.node((preferred + dr) % grid.rows(), col))
+                            .find(|&n| self.cluster.is_alive(n));
+                        let Some(node) = node else {
+                            continue;
+                        };
+                        let outcome = self.indexes[node.as_usize()].match_term(doc, t);
+                        let lists = outcome.lists_retrieved.max(1);
+                        let service = self.cluster.transfer_cost(home, node)
+                            + self.config.cost.match_cost(
+                                lists,
+                                outcome.postings_scanned,
+                                self.storage[node.as_usize()],
+                            );
+                        self.cluster.ledgers_mut().ledger_mut(node).record(
+                            service,
+                            lists,
+                            outcome.postings_scanned,
+                        );
+                        matched.extend(outcome.matched);
+                        stage2.push(Task { node, service });
+                    }
+                }
+                terms = kept;
+                if terms.is_empty() {
+                    continue;
+                }
+            }
+            match self.allocations[home.as_usize()].clone() {
+                None => {
+                    // A Bloom false positive still costs a failed lookup, so
+                    // every routed term counts as one retrieval.
+                    let lists = terms.len() as u64;
+                    let mut postings = 0u64;
+                    for t in terms {
+                        let outcome = self.indexes[home.as_usize()].match_term(doc, t);
+                        postings += outcome.postings_scanned;
+                        matched.extend(outcome.matched);
+                    }
+                    let service = self.cluster.transfer_cost(ingress, home)
+                        + self.config.cost.match_cost(
+                            lists,
+                            postings,
+                            self.storage[home.as_usize()],
+                        );
+                    self.cluster
+                        .ledgers_mut()
+                        .ledger_mut(home)
+                        .record(service, lists, postings);
+                    stage1.push(Task {
+                        node: home,
+                        service,
+                    });
+                }
+                Some(grid) => {
+                    // The home only consults its in-memory forwarding table;
+                    // it pays the inbound transfer, then forwards to one
+                    // random replica row in parallel.
+                    let routing = self.cluster.transfer_cost(ingress, home);
+                    self.cluster
+                        .ledgers_mut()
+                        .ledger_mut(home)
+                        .record(routing, 0, 0);
+                    stage1.push(Task {
+                        node: home,
+                        service: routing,
+                    });
+                    let preferred = self.rng.gen_range(0..grid.rows());
+                    for col in 0..grid.cols() {
+                        // Fail over to another replica row per column.
+                        let node = (0..grid.rows())
+                            .map(|dr| grid.node((preferred + dr) % grid.rows(), col))
+                            .find(|&n| self.cluster.is_alive(n));
+                        let Some(node) = node else {
+                            continue; // every replica of this subset is down
+                        };
+                        let lists = terms.len() as u64;
+                        let mut postings = 0u64;
+                        for &t in &terms {
+                            let outcome = self.indexes[node.as_usize()].match_term(doc, t);
+                            postings += outcome.postings_scanned;
+                            matched.extend(outcome.matched);
+                        }
+                        let service = self.cluster.transfer_cost(home, node)
+                            + self.config.cost.match_cost(
+                                lists,
+                                postings,
+                                self.storage[node.as_usize()],
+                            );
+                        self.cluster
+                            .ledgers_mut()
+                            .ledger_mut(node)
+                            .record(service, lists, postings);
+                        stage2.push(Task { node, service });
+                    }
+                }
+            }
+        }
+
+        // Live statistics feed the periodic refresh; the passive policy also
+        // triggers its first allocation from here.
+        self.observe(doc);
+        self.docs_since_refresh += 1;
+        if self.docs_since_refresh >= self.config.refresh_every_docs {
+            self.docs_since_refresh = 0;
+            if self.config.allocation_policy == AllocationPolicy::Passive
+                || self.allocations.iter().any(Option::is_some)
+            {
+                self.allocate()?;
+            }
+        }
+
+        matched.sort_unstable();
+        matched.dedup();
+        Ok(SchemeOutput {
+            matched,
+            job: Job {
+                arrival: at,
+                stages: vec![Stage::new(stage1), Stage::new(stage2)],
+            },
+        })
+    }
+
+    fn storage_per_node(&self) -> Vec<u64> {
+        self.storage.clone()
+    }
+
+    fn cluster(&self) -> &SimCluster {
+        &self.cluster
+    }
+
+    fn cluster_mut(&mut self) -> &mut SimCluster {
+        &mut self.cluster
+    }
+
+    fn registered_filters(&self) -> u64 {
+        self.directory.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use move_index::brute_force;
+    use move_types::MatchSemantics;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn filter(id: u64, terms: &[u32]) -> Filter {
+        Filter::new(id, terms.iter().map(|&t| TermId(t)))
+    }
+
+    fn doc(id: u64, terms: &[u32]) -> Document {
+        Document::from_distinct_terms(id, terms.iter().map(|&t| TermId(t)))
+    }
+
+    /// A skewed workload small enough for tests but forcing allocation:
+    /// term 0 is in a third of the filters and almost every document.
+    fn skewed_setup(capacity: u64) -> (MoveScheme, Vec<Filter>, Vec<Document>) {
+        let mut cfg = SystemConfig::small_test();
+        cfg.capacity_per_node = capacity;
+        let mut sys = MoveScheme::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let filters: Vec<Filter> = (0..400u64)
+            .map(|id| {
+                let mut terms = vec![if id % 3 == 0 { 0 } else { rng.gen_range(1..80u32) }];
+                if rng.gen::<bool>() {
+                    terms.push(rng.gen_range(1..80u32));
+                }
+                filter(id, &terms)
+            })
+            .collect();
+        for f in &filters {
+            sys.register(f).unwrap();
+        }
+        let sample: Vec<Document> = (0..60u64)
+            .map(|id| {
+                let mut terms: Vec<u32> = vec![0];
+                for _ in 0..6 {
+                    terms.push(rng.gen_range(1..90u32));
+                }
+                terms.sort_unstable();
+                terms.dedup();
+                doc(id, &terms)
+            })
+            .collect();
+        (sys, filters, sample)
+    }
+
+    #[test]
+    fn unallocated_move_equals_il_semantics() {
+        let (mut sys, filters, docs) = skewed_setup(1_000_000);
+        for d in &docs {
+            let got = sys.publish(0.0, d).unwrap();
+            assert_eq!(
+                got.matched,
+                brute_force(&filters, d, MatchSemantics::Boolean)
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_preserves_completeness() {
+        let (mut sys, filters, sample) = skewed_setup(120);
+        sys.observe_corpus(&sample);
+        sys.allocate().unwrap();
+        assert!(
+            sys.allocations.iter().any(Option::is_some),
+            "tight capacity must force allocation"
+        );
+        for d in &sample {
+            let got = sys.publish(0.0, d).unwrap();
+            assert_eq!(
+                got.matched,
+                brute_force(&filters, d, MatchSemantics::Boolean),
+                "doc {}",
+                d.id()
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_respects_capacity_per_node() {
+        let (mut sys, _, sample) = skewed_setup(120);
+        sys.observe_corpus(&sample);
+        sys.allocate().unwrap();
+        // The optimizer's constraint is cluster-wide (Σ nᵢ·pᵢ·P = N·C);
+        // individual nodes may host subsets of several grids, so per-node
+        // occupancy is bounded only within a small factor at this toy scale.
+        let storage = sys.storage_per_node();
+        let total: u64 = storage.iter().sum();
+        assert!(total <= 6 * 120 + 120, "total {total} exceeds cluster budget");
+        for (i, &s) in storage.iter().enumerate() {
+            assert!(s <= 3 * 120, "node {i} stores {s}, far over capacity");
+        }
+    }
+
+    #[test]
+    fn allocation_balances_storage_better_than_none() {
+        let (mut sys, _, sample) = skewed_setup(120);
+        let before = move_stats::Summary::of(
+            &sys.storage_per_node()
+                .iter()
+                .map(|&s| s as f64)
+                .collect::<Vec<_>>(),
+        );
+        sys.observe_corpus(&sample);
+        sys.allocate().unwrap();
+        let after = move_stats::Summary::of(
+            &sys.storage_per_node()
+                .iter()
+                .map(|&s| s as f64)
+                .collect::<Vec<_>>(),
+        );
+        // At this toy scale the slot packer optimizes matching load, so
+        // storage evenness is only required not to degrade materially; the
+        // realistic-scale check is Fig. 9a's bench.
+        assert!(
+            after.cv < before.cv * 1.25,
+            "allocation should not skew storage: cv {} -> {}",
+            before.cv,
+            after.cv
+        );
+        assert!(
+            sys.allocations.iter().any(Option::is_some),
+            "tight capacity must force some allocation"
+        );
+    }
+
+    #[test]
+    fn register_after_allocation_lands_in_grid() {
+        let (mut sys, mut filters, sample) = skewed_setup(120);
+        sys.observe_corpus(&sample);
+        sys.allocate().unwrap();
+        let f = filter(9_999, &[0]);
+        sys.register(&f).unwrap();
+        filters.push(f);
+        let d = doc(999, &[0]);
+        let got = sys.publish(0.0, &d).unwrap();
+        assert_eq!(
+            got.matched,
+            brute_force(&filters, &d, MatchSemantics::Boolean)
+        );
+    }
+
+    #[test]
+    fn unregister_works_before_and_after_allocation() {
+        let (mut sys, filters, sample) = skewed_setup(120);
+        assert!(sys.unregister(filters[0].id()).unwrap());
+        sys.observe_corpus(&sample);
+        sys.allocate().unwrap();
+        assert!(sys.unregister(filters[3].id()).unwrap());
+        assert!(!sys.unregister(filters[3].id()).unwrap());
+        let d = doc(1_000, &[0]);
+        let got = sys.publish(0.0, &d).unwrap();
+        let remaining: Vec<Filter> = filters[1..]
+            .iter()
+            .filter(|f| f.id() != filters[3].id())
+            .cloned()
+            .collect();
+        assert_eq!(
+            got.matched,
+            brute_force(&remaining, &d, MatchSemantics::Boolean)
+        );
+    }
+
+    #[test]
+    fn allocated_publishes_use_two_stages() {
+        let (mut sys, _, sample) = skewed_setup(120);
+        sys.observe_corpus(&sample);
+        sys.allocate().unwrap();
+        let out = sys.publish(0.0, &doc(77, &[0])).unwrap();
+        assert_eq!(out.job.stages.len(), 2);
+        let fan_out = out.job.stages[1].tasks.len();
+        assert!(fan_out >= 1, "hot term should be allocated");
+    }
+
+    #[test]
+    fn failover_to_replica_rows_keeps_delivery() {
+        let (mut sys, filters, sample) = skewed_setup(120);
+        sys.observe_corpus(&sample);
+        sys.allocate().unwrap();
+        let home = sys.cluster.home_of_term(TermId(0));
+        let grid = sys.allocation(home).cloned();
+        let Some(grid) = grid else {
+            panic!("hot term's home must be allocated");
+        };
+        if grid.rows() < 2 {
+            return; // nothing to fail over to at this scale
+        }
+        // Kill all of row 0 except where that would kill the home.
+        for col in 0..grid.cols() {
+            let n = grid.node(0, col);
+            if n != home {
+                sys.cluster_mut().membership_mut().crash(n);
+            }
+        }
+        let d = doc(500, &[0]);
+        let got = sys.publish(0.0, &d).unwrap();
+        let want: Vec<FilterId> = brute_force(&filters, &d, MatchSemantics::Boolean);
+        // Every column still has a live replica (row 1+), except columns
+        // whose only live node was the home in row 0.
+        assert_eq!(got.matched, want);
+    }
+
+    #[test]
+    fn availability_drops_with_dead_nodes() {
+        let (mut sys, _, sample) = skewed_setup(120);
+        sys.observe_corpus(&sample);
+        sys.allocate().unwrap();
+        assert_eq!(sys.filter_availability(), 1.0);
+        let victim = NodeId(0);
+        sys.cluster_mut().membership_mut().crash(victim);
+        let avail = sys.filter_availability();
+        assert!(avail < 1.0, "killing a node must lose something");
+        assert!(avail > 0.5, "but replicas should bound the damage");
+    }
+
+    #[test]
+    fn reallocation_after_failures_avoids_dead_nodes() {
+        let (mut sys, _, sample) = skewed_setup(400);
+        sys.observe_corpus(&sample);
+        sys.allocate().unwrap();
+        sys.cluster_mut().membership_mut().crash(NodeId(1));
+        sys.cluster_mut().membership_mut().crash(NodeId(4));
+        sys.allocate().unwrap();
+        for i in 0..6u32 {
+            if let Some(grid) = sys.allocation(NodeId(i)) {
+                assert!(
+                    grid.nodes().iter().all(|&n| n != NodeId(1) && n != NodeId(4)),
+                    "grid of home {i} uses a dead node: {:?}",
+                    grid.nodes()
+                );
+            }
+        }
+        // Every pair homed on a live node is reachable again.
+        let live_pairs_ok = sys.filter_availability();
+        assert!(live_pairs_ok > 0.6, "availability {live_pairs_ok}");
+    }
+
+    #[test]
+    fn passive_policy_allocates_after_refresh_window() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.capacity_per_node = 120;
+        cfg.allocation_policy = AllocationPolicy::Passive;
+        cfg.refresh_every_docs = 50;
+        let mut sys = MoveScheme::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        for id in 0..400u64 {
+            let t = if id % 3 == 0 { 0 } else { rng.gen_range(1..60u32) };
+            sys.register(&filter(id, &[t])).unwrap();
+        }
+        assert!(sys.allocations.iter().all(Option::is_none));
+        for did in 0..60u64 {
+            let d = doc(did, &[0, rng.gen_range(1..60u32)]);
+            sys.publish(0.0, &d).unwrap();
+        }
+        assert!(
+            sys.allocations.iter().any(Option::is_some),
+            "passive policy should have kicked in after 50 docs"
+        );
+    }
+
+    #[test]
+    fn per_term_allocation_preserves_completeness() {
+        let (mut sys, filters, sample) = skewed_setup(120);
+        sys.observe_corpus(&sample);
+        sys.allocate_per_term().unwrap();
+        let (tables, entries) = sys.forwarding_tables();
+        assert!(tables >= 1, "hot terms should get grids");
+        assert!(entries >= tables);
+        for d in &sample {
+            let got = sys.publish(0.0, d).unwrap();
+            assert_eq!(
+                got.matched,
+                brute_force(&filters, d, MatchSemantics::Boolean),
+                "doc {}",
+                d.id()
+            );
+        }
+        // Live registration and unregistration still work with term grids.
+        let f = filter(8_888, &[0]);
+        sys.register(&f).unwrap();
+        let d = doc(900, &[0]);
+        assert!(sys.publish(0.0, &d).unwrap().matched.contains(&f.id()));
+        assert!(sys.unregister(f.id()).unwrap());
+        assert!(!sys.publish(0.0, &d).unwrap().matched.contains(&f.id()));
+    }
+
+    #[test]
+    fn per_term_mode_maintains_many_more_tables() {
+        // Generous budget so replication is plentiful: node aggregation is
+        // capped at one table per node, per-term mode is not.
+        let (mut sys_node, _, sample) = skewed_setup(400);
+        sys_node.observe_corpus(&sample);
+        sys_node.allocate().unwrap();
+        let (node_tables, _) = sys_node.forwarding_tables();
+        assert!(node_tables <= 6, "at most one table per node");
+
+        let (mut sys_term, _, sample) = skewed_setup(400);
+        sys_term.observe_corpus(&sample);
+        sys_term.allocate_per_term().unwrap();
+        let (term_tables, _) = sys_term.forwarding_tables();
+        assert!(
+            term_tables > node_tables,
+            "per-term mode should maintain more tables: {term_tables} vs {node_tables}"
+        );
+    }
+
+    #[test]
+    fn grid_mode_ablation_changes_shape() {
+        let (mut sys, _, sample) = skewed_setup(120);
+        sys.observe_corpus(&sample);
+        sys.set_grid_mode(GridMode::PureSeparation);
+        sys.allocate().unwrap();
+        let any_sep = sys
+            .allocations
+            .iter()
+            .flatten()
+            .all(|g| g.rows() == 1);
+        assert!(any_sep, "pure separation must have a single row");
+        sys.set_grid_mode(GridMode::PureReplication);
+        sys.allocate().unwrap();
+        let any_rep = sys.allocations.iter().flatten().all(|g| g.cols() == 1);
+        assert!(any_rep, "pure replication must have a single column");
+    }
+}

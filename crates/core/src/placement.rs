@@ -1,0 +1,151 @@
+//! Selection of the nodes that host allocated filters (§V, "Selection of
+//! allocated nodes").
+
+use move_cluster::SimCluster;
+use move_types::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Where a home node's allocated filters are placed.
+///
+/// The paper weighs two basic options and picks a blend: ring successors
+/// cause cross-rack movement traffic (lower throughput) but spread replicas
+/// across racks (higher availability); rack-aware placement is fast
+/// (top-of-rack switch) but a rack failure can erase every copy. "Thus, to
+/// avoid such downsides, we choose one half of the nᵢ nodes based on the
+/// successors, and another half based on the rack-aware nodes."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// All grid slots on ring successors of the home node.
+    Ring,
+    /// All grid slots inside the home node's rack (falling back to ring
+    /// successors when the rack is too small).
+    Rack,
+    /// Half rack mates, half ring successors — the MOVE choice.
+    Hybrid,
+}
+
+impl PlacementStrategy {
+    /// Picks up to `want` distinct live-or-dead nodes (liveness is the
+    /// dissemination path's concern), excluding `home` itself. Returns
+    /// fewer when the cluster is too small.
+    pub fn select(&self, cluster: &SimCluster, home: NodeId, want: usize) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::with_capacity(want);
+        let push_all = |candidates: Vec<NodeId>, out: &mut Vec<NodeId>, limit: usize| {
+            for c in candidates {
+                if out.len() >= limit {
+                    break;
+                }
+                if c != home && !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        };
+        match self {
+            Self::Ring => {
+                push_all(cluster.ring().successors(home, want), &mut out, want);
+            }
+            Self::Rack => {
+                push_all(cluster.topology().rack_mates(home), &mut out, want);
+                // Rack exhausted: fall back to the ring for the remainder.
+                push_all(cluster.ring().successors(home, want), &mut out, want);
+            }
+            Self::Hybrid => {
+                // Interleave ring successors and rack mates so that every
+                // prefix of the slot list — grids consume prefixes — is
+                // roughly half-and-half, as §V prescribes, even when the
+                // rack has few mates.
+                let ring = cluster.ring().successors(home, want);
+                let rack = cluster.topology().rack_mates(home);
+                let mut ring_it = ring.iter();
+                let mut rack_it = rack.iter();
+                loop {
+                    let mut advanced = false;
+                    for pick in [rack_it.next(), ring_it.next()].into_iter().flatten() {
+                        advanced = true;
+                        if out.len() < want && *pick != home && !out.contains(pick) {
+                            out.push(*pick);
+                        }
+                    }
+                    if out.len() >= want || !advanced {
+                        break;
+                    }
+                }
+                // Tiny clusters: top up with anything reachable on the ring.
+                push_all(cluster.ring().successors(home, want), &mut out, want);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use move_cluster::CostModel;
+
+    fn cluster() -> SimCluster {
+        SimCluster::new(12, 3, CostModel::default()).unwrap()
+    }
+
+    #[test]
+    fn never_includes_home_and_never_duplicates() {
+        let c = cluster();
+        for strategy in [
+            PlacementStrategy::Ring,
+            PlacementStrategy::Rack,
+            PlacementStrategy::Hybrid,
+        ] {
+            let picked = strategy.select(&c, NodeId(0), 6);
+            assert!(!picked.contains(&NodeId(0)), "{strategy:?}");
+            let set: std::collections::HashSet<_> = picked.iter().collect();
+            assert_eq!(set.len(), picked.len(), "{strategy:?}");
+            assert_eq!(picked.len(), 6, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn rack_prefers_rack_mates() {
+        let c = cluster(); // 4 per rack → 3 mates
+        let picked = PlacementStrategy::Rack.select(&c, NodeId(0), 3);
+        assert!(picked
+            .iter()
+            .all(|&n| c.topology().same_rack(n, NodeId(0))));
+    }
+
+    #[test]
+    fn rack_falls_back_to_ring_when_exhausted() {
+        let c = cluster();
+        let picked = PlacementStrategy::Rack.select(&c, NodeId(0), 8);
+        assert_eq!(picked.len(), 8);
+        let in_rack = picked
+            .iter()
+            .filter(|&&n| c.topology().same_rack(n, NodeId(0)))
+            .count();
+        assert_eq!(in_rack, 3, "all three rack mates first");
+    }
+
+    #[test]
+    fn hybrid_mixes_rack_and_ring() {
+        let c = cluster();
+        let picked = PlacementStrategy::Hybrid.select(&c, NodeId(0), 6);
+        let in_rack = picked
+            .iter()
+            .filter(|&&n| c.topology().same_rack(n, NodeId(0)))
+            .count();
+        assert!(in_rack >= 2, "expected rack half, got {in_rack} in-rack");
+        assert!(in_rack < 6, "expected some ring nodes too");
+    }
+
+    #[test]
+    fn want_larger_than_cluster_is_clamped() {
+        let c = cluster();
+        let picked = PlacementStrategy::Hybrid.select(&c, NodeId(0), 50);
+        assert_eq!(picked.len(), 11); // everyone but home
+    }
+
+    #[test]
+    fn zero_want_returns_empty() {
+        let c = cluster();
+        assert!(PlacementStrategy::Ring.select(&c, NodeId(0), 0).is_empty());
+    }
+}

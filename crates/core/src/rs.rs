@@ -1,0 +1,233 @@
+//! The rendezvous/flooding comparator (paper §VI-A, after Google web search
+//! [5] and ROAR [16]).
+
+use crate::{Dissemination, SchemeOutput, SystemConfig};
+use move_cluster::{stable_hash64, Job, SimCluster, Stage, Task};
+use move_index::InvertedIndex;
+use move_types::{Document, Filter, FilterId, NodeId, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// The `RS` scheme: filters are spread uniformly by hashing their id —
+/// giving perfectly balanced storage — and replicated into `g` *replica
+/// groups* (the "three folds of replicas" of production key/value stores,
+/// also ROAR's partition mechanism). A published document is flooded to
+/// every node of one randomly chosen group; each node runs the centralized
+/// SIFT match over its full local inverted index, retrieving `|d|` posting
+/// lists.
+///
+/// The blind flooding is the scheme's weakness (§I): every node pays the
+/// per-document seek cost whether or not it holds relevant filters, which
+/// is ruinous for term-rich documents.
+#[derive(Debug)]
+pub struct RsScheme {
+    config: SystemConfig,
+    cluster: SimCluster,
+    indexes: Vec<InvertedIndex>,
+    /// Round-robin partition of the nodes into replica groups.
+    groups: Vec<Vec<NodeId>>,
+    storage: Vec<u64>,
+    directory: HashMap<FilterId, ()>,
+    rng: StdRng,
+}
+
+impl RsScheme {
+    /// Builds the scheme on a fresh simulated cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors from [`SystemConfig::validate`].
+    pub fn new(config: SystemConfig) -> Result<Self> {
+        config.validate()?;
+        let cluster = SimCluster::new(config.nodes, config.racks, config.cost)?;
+        let g = config.rs_replica_groups.min(config.nodes);
+        let mut groups = vec![Vec::new(); g];
+        for n in 0..config.nodes {
+            groups[n % g].push(NodeId(n as u32));
+        }
+        Ok(Self {
+            indexes: (0..config.nodes)
+                .map(|_| InvertedIndex::new(config.semantics))
+                .collect(),
+            storage: vec![0; config.nodes],
+            rng: StdRng::seed_from_u64(config.seed ^ 0x7573),
+            cluster,
+            groups,
+            directory: HashMap::new(),
+            config,
+        })
+    }
+
+    /// The node responsible for a filter inside one replica group.
+    fn node_in_group(&self, group: usize, id: FilterId) -> NodeId {
+        let members = &self.groups[group];
+        members[(stable_hash64(&("rs", id.0)) % members.len() as u64) as usize]
+    }
+}
+
+impl Dissemination for RsScheme {
+    fn name(&self) -> &'static str {
+        "rs"
+    }
+
+    fn register(&mut self, filter: &Filter) -> Result<()> {
+        for g in 0..self.groups.len() {
+            let node = self.node_in_group(g, filter.id());
+            self.indexes[node.as_usize()].insert(filter.clone());
+            self.storage[node.as_usize()] += 1;
+        }
+        self.directory.insert(filter.id(), ());
+        Ok(())
+    }
+
+    fn unregister(&mut self, id: FilterId) -> Result<bool> {
+        if self.directory.remove(&id).is_none() {
+            return Ok(false);
+        }
+        for g in 0..self.groups.len() {
+            let node = self.node_in_group(g, id);
+            self.indexes[node.as_usize()].remove(id);
+            self.storage[node.as_usize()] = self.storage[node.as_usize()].saturating_sub(1);
+        }
+        Ok(true)
+    }
+
+    fn publish(&mut self, at: f64, doc: &Document) -> Result<SchemeOutput> {
+        let ingress = self.cluster.ring().home_of(&("doc", doc.id().0));
+        let group = self.rng.gen_range(0..self.groups.len());
+        let mut matched: Vec<FilterId> = Vec::new();
+        let mut tasks: Vec<Task> = Vec::new();
+        for &node in &self.groups[group].clone() {
+            if !self.cluster.is_alive(node) {
+                continue;
+            }
+            let outcome = self.indexes[node.as_usize()].match_document(doc);
+            // SIFT attempts a posting-list lookup for every document term,
+            // found or not — the flooding tax.
+            let lists = doc.distinct_terms() as u64;
+            let service = self.cluster.transfer_cost(ingress, node)
+                + self.config.cost.match_cost(
+                    lists,
+                    outcome.postings_scanned,
+                    self.storage[node.as_usize()],
+                );
+            self.cluster.ledgers_mut().ledger_mut(node).record(
+                service,
+                lists,
+                outcome.postings_scanned,
+            );
+            matched.extend(outcome.matched);
+            tasks.push(Task { node, service });
+        }
+        matched.sort_unstable();
+        matched.dedup();
+        Ok(SchemeOutput {
+            matched,
+            job: Job {
+                arrival: at,
+                stages: vec![Stage::new(tasks)],
+            },
+        })
+    }
+
+    fn storage_per_node(&self) -> Vec<u64> {
+        self.storage.clone()
+    }
+
+    fn cluster(&self) -> &SimCluster {
+        &self.cluster
+    }
+
+    fn cluster_mut(&mut self) -> &mut SimCluster {
+        &mut self.cluster
+    }
+
+    fn registered_filters(&self) -> u64 {
+        self.directory.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use move_index::brute_force;
+    use move_types::{MatchSemantics, TermId};
+
+    fn filter(id: u64, terms: &[u32]) -> Filter {
+        Filter::new(id, terms.iter().map(|&t| TermId(t)))
+    }
+
+    fn doc(id: u64, terms: &[u32]) -> Document {
+        Document::from_distinct_terms(id, terms.iter().map(|&t| TermId(t)))
+    }
+
+    #[test]
+    fn delivery_is_complete() {
+        let mut rs = RsScheme::new(SystemConfig::small_test()).unwrap();
+        let filters: Vec<Filter> = (0..200)
+            .map(|id| filter(id, &[(id % 50) as u32, (id % 31) as u32]))
+            .collect();
+        for f in &filters {
+            rs.register(f).unwrap();
+        }
+        for did in 0..30u64 {
+            let mut terms = vec![(did % 50) as u32, ((did * 7) % 60) as u32];
+            terms.sort_unstable();
+            terms.dedup();
+            let d = doc(did, &terms);
+            let got = rs.publish(0.0, &d).unwrap();
+            assert_eq!(
+                got.matched,
+                brute_force(&filters, &d, MatchSemantics::Boolean)
+            );
+        }
+    }
+
+    #[test]
+    fn storage_is_replicated_g_times_and_even() {
+        let cfg = SystemConfig::small_test(); // 6 nodes, 3 groups
+        let mut rs = RsScheme::new(cfg).unwrap();
+        for id in 0..600u64 {
+            rs.register(&filter(id, &[id as u32 % 40])).unwrap();
+        }
+        let st = rs.storage_per_node();
+        assert_eq!(st.iter().sum::<u64>(), 600 * 3);
+        // Two nodes per group → ~300 each; hashing keeps it tight.
+        assert!(st.iter().all(|&s| (200..400).contains(&s)), "{st:?}");
+    }
+
+    #[test]
+    fn flooding_touches_one_full_group() {
+        let mut rs = RsScheme::new(SystemConfig::small_test()).unwrap();
+        rs.register(&filter(1, &[1])).unwrap();
+        let out = rs.publish(0.0, &doc(0, &[1, 2, 3])).unwrap();
+        // 6 nodes / 3 groups = 2 nodes per group.
+        assert_eq!(out.job.stages[0].tasks.len(), 2);
+    }
+
+    #[test]
+    fn unregister_removes_all_replicas() {
+        let mut rs = RsScheme::new(SystemConfig::small_test()).unwrap();
+        rs.register(&filter(1, &[9])).unwrap();
+        assert!(rs.unregister(FilterId(1)).unwrap());
+        assert_eq!(rs.storage_per_node().iter().sum::<u64>(), 0);
+        assert!(rs.publish(0.0, &doc(0, &[9])).unwrap().matched.is_empty());
+    }
+
+    #[test]
+    fn sift_pays_for_every_document_term() {
+        let mut rs = RsScheme::new(SystemConfig::small_test()).unwrap();
+        rs.register(&filter(1, &[1])).unwrap();
+        let wide = doc(0, &(0..50u32).collect::<Vec<_>>());
+        rs.publish(0.0, &wide).unwrap();
+        let lists: u64 = rs
+            .cluster()
+            .ledgers()
+            .all()
+            .iter()
+            .map(|l| l.lists_retrieved)
+            .sum();
+        assert_eq!(lists, 50 * 2, "|d| lookups on each of the 2 group nodes");
+    }
+}

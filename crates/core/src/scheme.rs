@@ -1,0 +1,62 @@
+//! The common interface of the three dissemination schemes.
+
+use move_cluster::{Job, SimCluster};
+use move_types::{Document, Filter, FilterId, Result};
+
+/// What a scheme produced for one published document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeOutput {
+    /// Ids of the filters the document was delivered to, sorted ascending.
+    /// Under failures this is restricted to filters reachable on live
+    /// nodes.
+    pub matched: Vec<FilterId>,
+    /// The virtual-time task graph of the dissemination, ready for
+    /// [`move_cluster::QueueSim`].
+    pub job: Job,
+}
+
+/// A content filtering and dissemination scheme over a simulated cluster.
+///
+/// All three implementations (IL, RS, MOVE) own their own
+/// [`SimCluster`] so experiments can run them side by side on identical
+/// configurations.
+pub trait Dissemination {
+    /// Short scheme name for reports ("move", "il", "rs").
+    fn name(&self) -> &'static str;
+
+    /// Registers a profile filter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacity and routing errors.
+    fn register(&mut self, filter: &Filter) -> Result<()>;
+
+    /// Unregisters a filter; returns whether it was registered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors.
+    fn unregister(&mut self, id: FilterId) -> Result<bool>;
+
+    /// Publishes a document arriving at virtual time `at`, returning the
+    /// delivery set and the task graph. Also charges the per-node cost
+    /// ledgers of the underlying cluster.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors.
+    fn publish(&mut self, at: f64, doc: &Document) -> Result<SchemeOutput>;
+
+    /// Filter copies currently stored per node (the storage-cost vector of
+    /// Fig. 9a), indexed by node id.
+    fn storage_per_node(&self) -> Vec<u64>;
+
+    /// The underlying cluster (ledgers, membership, topology).
+    fn cluster(&self) -> &SimCluster;
+
+    /// Mutable access to the underlying cluster (failure injection).
+    fn cluster_mut(&mut self) -> &mut SimCluster;
+
+    /// Number of registered filters.
+    fn registered_filters(&self) -> u64;
+}

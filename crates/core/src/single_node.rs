@@ -1,0 +1,179 @@
+//! The single-node experiment of Figs. 6–7.
+//!
+//! Before the cluster experiments, the paper studies how the split between
+//! the number of documents `Q` and filters `P` (at fixed work product
+//! `R = P × Q`) affects a single node's throughput. The node indexes the
+//! `P` filters in a local inverted list and matches each document with the
+//! centralized SIFT algorithm. Throughput is reported as *pair-match rate*
+//! `R / time` — the reading under which the paper's observations hold
+//! (larger `P` ⇒ higher throughput with a disk-capacity knee; WT beats AP
+//! by roughly the document-size ratio).
+//!
+//! Both a real wall-clock measurement and the cost-model projection are
+//! reported: the wall-clock run shows the in-memory shape, while the
+//! cost-model run includes the disk knee (`stored filters > C_mem`) that an
+//! in-RAM reproduction cannot exhibit physically.
+
+use move_cluster::CostModel;
+use move_index::InvertedIndex;
+use move_types::{Document, Filter, MatchSemantics};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Results of one single-node run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SingleNodeReport {
+    /// Filters registered (`P`).
+    pub filters: u64,
+    /// Documents matched (`Q`).
+    pub docs: u64,
+    /// The work product `R = P × Q`.
+    pub pairs: u64,
+    /// Wall-clock seconds for the matching loop.
+    pub real_seconds: f64,
+    /// Virtual seconds under the cost model (with disk knee).
+    pub virtual_seconds: f64,
+    /// `pairs / real_seconds`.
+    pub pair_throughput_real: f64,
+    /// `pairs / virtual_seconds`.
+    pub pair_throughput_virtual: f64,
+    /// `docs / real_seconds`.
+    pub doc_throughput_real: f64,
+    /// Total posting entries scanned.
+    pub postings_scanned: u64,
+    /// Total posting lists retrieved.
+    pub lists_retrieved: u64,
+    /// Total matching filter deliveries.
+    pub deliveries: u64,
+}
+
+/// Indexes `filters` on one node and SIFT-matches every document, timing
+/// the loop and projecting the cost model.
+///
+/// # Examples
+///
+/// ```
+/// use move_core::run_single_node;
+/// use move_cluster::CostModel;
+/// use move_types::{Document, Filter, MatchSemantics, TermId};
+///
+/// let filters = vec![Filter::new(0u64, [TermId(1)])];
+/// let docs = vec![Document::from_distinct_terms(0u64, [TermId(1), TermId(2)])];
+/// let report = run_single_node(&filters, &docs, MatchSemantics::Boolean, &CostModel::default());
+/// assert_eq!(report.deliveries, 1);
+/// assert_eq!(report.pairs, 1);
+/// ```
+pub fn run_single_node(
+    filters: &[Filter],
+    docs: &[Document],
+    semantics: MatchSemantics,
+    cost: &CostModel,
+) -> SingleNodeReport {
+    let mut index = InvertedIndex::new(semantics);
+    for f in filters {
+        index.insert(f.clone());
+    }
+    let stored = filters.len() as u64;
+
+    let mut postings = 0u64;
+    let mut lists = 0u64;
+    let mut deliveries = 0u64;
+    let mut virtual_seconds = 0.0;
+    let start = Instant::now();
+    for d in docs {
+        let outcome = index.match_document(d);
+        postings += outcome.postings_scanned;
+        // SIFT attempts a lookup per document term, found or not.
+        let attempted = d.distinct_terms() as u64;
+        lists += attempted;
+        deliveries += outcome.matched.len() as u64;
+        virtual_seconds += cost.match_cost(attempted, outcome.postings_scanned, stored);
+    }
+    let real_seconds = start.elapsed().as_secs_f64().max(1e-9);
+    let pairs = stored * docs.len() as u64;
+
+    SingleNodeReport {
+        filters: stored,
+        docs: docs.len() as u64,
+        pairs,
+        real_seconds,
+        virtual_seconds,
+        pair_throughput_real: pairs as f64 / real_seconds,
+        pair_throughput_virtual: if virtual_seconds > 0.0 {
+            pairs as f64 / virtual_seconds
+        } else {
+            0.0
+        },
+        doc_throughput_real: docs.len() as f64 / real_seconds,
+        postings_scanned: postings,
+        lists_retrieved: lists,
+        deliveries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use move_types::TermId;
+
+    fn setup(p: u64, q: u64, terms_per_doc: u32) -> (Vec<Filter>, Vec<Document>) {
+        let filters: Vec<Filter> = (0..p)
+            .map(|id| Filter::new(id, [TermId((id % 500) as u32)]))
+            .collect();
+        let docs: Vec<Document> = (0..q)
+            .map(|id| {
+                Document::from_distinct_terms(
+                    id,
+                    (0..terms_per_doc).map(|k| TermId((id as u32 + k * 7) % 600)),
+                )
+            })
+            .collect();
+        (filters, docs)
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let (filters, docs) = setup(200, 20, 10);
+        let r = run_single_node(&filters, &docs, MatchSemantics::Boolean, &CostModel::default());
+        assert_eq!(r.pairs, 4_000);
+        assert_eq!(r.lists_retrieved, 200);
+        assert!(r.real_seconds > 0.0);
+        assert!(r.pair_throughput_real > 0.0);
+    }
+
+    #[test]
+    fn disk_knee_appears_in_virtual_time() {
+        // Make posting scans the dominant term so the knee is visible.
+        let cost = CostModel {
+            mem_capacity: 100,
+            disk_penalty: 10.0,
+            y_s: 0.0,
+            y_p: 1e-6,
+            ..CostModel::default()
+        };
+        let (small_f, docs) = setup(100, 10, 10);
+        let (big_f, _) = setup(1_000, 10, 10);
+        let small = run_single_node(&small_f, &docs, MatchSemantics::Boolean, &cost);
+        let big = run_single_node(&big_f, &docs, MatchSemantics::Boolean, &cost);
+        // 10× the filters but 100× the virtual posting cost (10× postings
+        // × 10× disk penalty): pair throughput must *not* scale with P.
+        assert!(
+            big.pair_throughput_virtual < small.pair_throughput_virtual * 5.0,
+            "knee missing: {} vs {}",
+            big.pair_throughput_virtual,
+            small.pair_throughput_virtual
+        );
+    }
+
+    #[test]
+    fn larger_docs_cost_more_per_pair() {
+        let cost = CostModel::default();
+        let (filters, small_docs) = setup(500, 20, 5);
+        let (_, big_docs) = setup(500, 20, 200);
+        let small = run_single_node(&filters, &small_docs, MatchSemantics::Boolean, &cost);
+        let big = run_single_node(&filters, &big_docs, MatchSemantics::Boolean, &cost);
+        // Same P and Q, but term-rich documents pay |d| seeks each (the
+        // AP-vs-WT contrast of Figs. 6–7).
+        assert!(big.virtual_seconds > small.virtual_seconds * 5.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Node-level workload statistics — the master node's view.
+//!
+//! §V reduces maintenance cost by aggregating per-term statistics to the
+//! node level: "for all terms tᵢ maintained on the node mᵢ, we sum the
+//! associated pᵢ and qᵢ to represent the node popularity p′ᵢ and the node
+//! frequency q′ᵢ". A dedicated master collects these from every node and
+//! computes the allocation factor n′ᵢ.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-node aggregates the statistics master works with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// `p′ᵢ · P`: the number of `(term, filter)` registration pairs homed
+    /// on this node — exactly the filter copies the node must store when
+    /// unallocated.
+    pub pairs: u64,
+    /// Samples contributing to `q′ᵢ`: how many `(document, term)` routing
+    /// hits landed on this node across the observed documents.
+    pub doc_hits: u64,
+    /// Posting entries this node would scan for the observed documents —
+    /// the empirical `Σₜ qₜ·pₜ·P` over the node's terms, i.e. its matching
+    /// *load*. The per-term optimum `nₜ ∝ √(pₜqₜ)` aggregates to the node
+    /// level as `nᵢ ∝ √(loadᵢ / pairsᵢ)`, which needs this sum (the plain
+    /// product `p′ᵢ·q′ᵢ` misses the term-level correlation).
+    pub hit_postings: u64,
+    /// Documents observed while collecting `doc_hits`.
+    pub docs_observed: u64,
+}
+
+impl NodeStats {
+    /// The node popularity `p′ᵢ` given the total number of filters `P`.
+    pub fn popularity(&self, total_filters: u64) -> f64 {
+        if total_filters == 0 {
+            0.0
+        } else {
+            self.pairs as f64 / total_filters as f64
+        }
+    }
+
+    /// The node frequency `q′ᵢ`: expected routing hits per published
+    /// document.
+    pub fn frequency(&self) -> f64 {
+        if self.docs_observed == 0 {
+            0.0
+        } else {
+            self.doc_hits as f64 / self.docs_observed as f64
+        }
+    }
+
+    /// Expected posting entries scanned per published document
+    /// (`Σₜ qₜ·pₜ·P` over the node's terms).
+    pub fn load(&self) -> f64 {
+        if self.docs_observed == 0 {
+            0.0
+        } else {
+            self.hit_postings as f64 / self.docs_observed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popularity_and_frequency() {
+        let s = NodeStats {
+            pairs: 500,
+            doc_hits: 30,
+            hit_postings: 1_000,
+            docs_observed: 10,
+        };
+        assert!((s.popularity(1_000) - 0.5).abs() < 1e-12);
+        assert!((s.frequency() - 3.0).abs() < 1e-12);
+        assert!((s.load() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let s = NodeStats::default();
+        assert_eq!(s.popularity(0), 0.0);
+        assert_eq!(s.frequency(), 0.0);
+        assert_eq!(s.load(), 0.0);
+    }
+}

@@ -1,0 +1,361 @@
+//! The per-node inverted index and its two match algorithms.
+
+use crate::PostingList;
+use move_types::{Document, Filter, FilterId, MatchSemantics, TermId};
+use std::collections::HashMap;
+
+/// The result of a match operation, including the work performed — the raw
+/// material of the cost model (posting-list retrievals are the disk seeks
+/// that dominate latency, §IV-B1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchOutcome {
+    /// Ids of the filters that match the document, sorted ascending.
+    pub matched: Vec<FilterId>,
+    /// Posting lists retrieved.
+    pub lists_retrieved: u64,
+    /// Posting entries scanned across those lists.
+    pub postings_scanned: u64,
+}
+
+/// A node-local inverted index over registered filters.
+///
+/// Supports the paper's two registration styles: [`InvertedIndex::insert`]
+/// builds posting lists for every term of the filter (the rendezvous
+/// scheme's full local index), while [`InvertedIndex::insert_for_term`]
+/// builds *only* the posting list of the routing term — "though the filters
+/// f contain a term tⱼ (≠ tᵢ), the home node of tᵢ will not build the
+/// posting list for such tⱼ" (§III-B). Full filter bodies are stored either
+/// way, as the similarity-threshold semantics needs them.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    postings: HashMap<TermId, PostingList>,
+    filters: HashMap<FilterId, Filter>,
+    semantics: MatchSemantics,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index with the given matching semantics.
+    pub fn new(semantics: MatchSemantics) -> Self {
+        Self {
+            postings: HashMap::new(),
+            filters: HashMap::new(),
+            semantics,
+        }
+    }
+
+    /// The matching semantics in force.
+    pub fn semantics(&self) -> MatchSemantics {
+        self.semantics
+    }
+
+    /// Registers a filter, indexing it under all of its terms.
+    pub fn insert(&mut self, filter: Filter) {
+        for &t in filter.terms() {
+            self.postings.entry(t).or_default().insert(filter.id());
+        }
+        self.filters.insert(filter.id(), filter);
+    }
+
+    /// Registers a filter but builds a posting entry only for `term` — the
+    /// home-node registration of the distributed inverted list.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the filter actually contains `term`.
+    pub fn insert_for_term(&mut self, filter: Filter, term: TermId) {
+        debug_assert!(
+            filter.contains(term),
+            "filter {} does not contain routing term {term}",
+            filter.id()
+        );
+        self.postings.entry(term).or_default().insert(filter.id());
+        self.filters.insert(filter.id(), filter);
+    }
+
+    /// Removes a filter's posting under one specific term, dropping the
+    /// stored filter body only when no posting references it anymore — the
+    /// inverse of [`InvertedIndex::insert_for_term`]. Returns whether the
+    /// posting existed.
+    pub fn remove_term_posting(&mut self, id: FilterId, term: TermId) -> bool {
+        let Some(pl) = self.postings.get_mut(&term) else {
+            return false;
+        };
+        if !pl.remove(id) {
+            return false;
+        }
+        if pl.is_empty() {
+            self.postings.remove(&term);
+        }
+        let referenced = self.postings.values().any(|pl| pl.contains(id));
+        if !referenced {
+            self.filters.remove(&id);
+        }
+        true
+    }
+
+    /// Unregisters a filter everywhere it is indexed; returns whether it was
+    /// present.
+    pub fn remove(&mut self, id: FilterId) -> bool {
+        let Some(filter) = self.filters.remove(&id) else {
+            return false;
+        };
+        for t in filter.terms() {
+            if let Some(pl) = self.postings.get_mut(t) {
+                pl.remove(id);
+                if pl.is_empty() {
+                    self.postings.remove(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of registered filters.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Whether no filters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// The stored filter body for `id`.
+    pub fn filter(&self, id: FilterId) -> Option<&Filter> {
+        self.filters.get(&id)
+    }
+
+    /// Length of the posting list of `term` (0 if absent).
+    pub fn posting_len(&self, term: TermId) -> usize {
+        self.postings.get(&term).map_or(0, PostingList::len)
+    }
+
+    /// Terms that currently have a posting list.
+    pub fn terms(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.postings.keys().copied()
+    }
+
+    /// Total posting entries across all lists (the index's storage weight).
+    pub fn total_postings(&self) -> u64 {
+        self.postings.values().map(|p| p.len() as u64).sum()
+    }
+
+    /// The home-node match (§III-B): retrieve only the posting list of
+    /// `term` and judge its filters against `doc`.
+    ///
+    /// Under boolean semantics every filter in the list matches by
+    /// construction (it contains `term`, which the document contains);
+    /// under threshold semantics each stored filter body is checked.
+    pub fn match_term(&self, doc: &Document, term: TermId) -> MatchOutcome {
+        debug_assert!(doc.contains(term), "document was routed by a term it lacks");
+        let mut out = MatchOutcome::default();
+        let Some(pl) = self.postings.get(&term) else {
+            return out;
+        };
+        out.lists_retrieved = 1;
+        out.postings_scanned = pl.len() as u64;
+        match self.semantics {
+            MatchSemantics::Boolean => out.matched = pl.ids().to_vec(),
+            MatchSemantics::SimilarityThreshold(_) => {
+                out.matched = pl
+                    .ids()
+                    .iter()
+                    .copied()
+                    .filter(|id| {
+                        self.filters
+                            .get(id)
+                            .is_some_and(|f| self.semantics.matches(f, doc))
+                    })
+                    .collect();
+            }
+        }
+        out
+    }
+
+    /// The centralized SIFT match: retrieve the posting lists of *all*
+    /// document terms, accumulate per-filter hit counts, and emit the
+    /// filters satisfying the semantics. This is what each rendezvous node
+    /// runs per document — `|d|` list retrievals, the reason large articles
+    /// hurt (§VI-C).
+    pub fn match_document(&self, doc: &Document) -> MatchOutcome {
+        let mut out = MatchOutcome::default();
+        let mut hits: HashMap<FilterId, u32> = HashMap::new();
+        for t in doc.terms() {
+            if let Some(pl) = self.postings.get(t) {
+                out.lists_retrieved += 1;
+                out.postings_scanned += pl.len() as u64;
+                for &id in pl.ids() {
+                    *hits.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        out.matched = match self.semantics {
+            MatchSemantics::Boolean => hits.into_keys().collect(),
+            MatchSemantics::SimilarityThreshold(th) => hits
+                .into_iter()
+                .filter(|&(id, count)| {
+                    self.filters
+                        .get(&id)
+                        .is_some_and(|f| f64::from(count) / f.len() as f64 >= th)
+                })
+                .map(|(id, _)| id)
+                .collect(),
+        };
+        out.matched.sort_unstable();
+        out
+    }
+}
+
+/// The oracle: match `doc` against every filter directly. Completeness
+/// tests compare every scheme's delivered set against this.
+pub fn brute_force<'a, I>(filters: I, doc: &Document, semantics: MatchSemantics) -> Vec<FilterId>
+where
+    I: IntoIterator<Item = &'a Filter>,
+{
+    let mut out: Vec<FilterId> = filters
+        .into_iter()
+        .filter(|f| semantics.matches(f, doc))
+        .map(Filter::id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(id: u64, terms: &[u32]) -> Filter {
+        Filter::new(id, terms.iter().map(|&t| TermId(t)))
+    }
+
+    fn d(terms: &[u32]) -> Document {
+        Document::from_occurrences(0, terms.iter().map(|&t| TermId(t)))
+    }
+
+    fn boolean_index(filters: &[Filter]) -> InvertedIndex {
+        let mut idx = InvertedIndex::new(MatchSemantics::Boolean);
+        for fl in filters {
+            idx.insert(fl.clone());
+        }
+        idx
+    }
+
+    #[test]
+    fn sift_equals_brute_force_boolean() {
+        let filters = vec![f(1, &[1, 2]), f(2, &[3]), f(3, &[2, 4]), f(4, &[9])];
+        let idx = boolean_index(&filters);
+        let doc = d(&[2, 3, 7]);
+        let got = idx.match_document(&doc);
+        assert_eq!(
+            got.matched,
+            brute_force(&filters, &doc, MatchSemantics::Boolean)
+        );
+        assert_eq!(got.lists_retrieved, 2); // terms 2 and 3 have lists
+        assert_eq!(got.postings_scanned, 3); // f1,f3 under 2; f2 under 3
+    }
+
+    #[test]
+    fn sift_equals_brute_force_threshold() {
+        let sem = MatchSemantics::similarity_threshold(0.6);
+        let filters = vec![f(1, &[1, 2, 3]), f(2, &[1, 9]), f(3, &[2])];
+        let mut idx = InvertedIndex::new(sem);
+        for fl in &filters {
+            idx.insert(fl.clone());
+        }
+        let doc = d(&[1, 2, 5]);
+        assert_eq!(idx.match_document(&doc).matched, brute_force(&filters, &doc, sem));
+    }
+
+    #[test]
+    fn match_term_returns_exactly_the_posting() {
+        let filters = vec![f(1, &[1, 2]), f(2, &[2]), f(3, &[3])];
+        let idx = boolean_index(&filters);
+        let doc = d(&[2]);
+        let got = idx.match_term(&doc, TermId(2));
+        assert_eq!(got.matched, vec![FilterId(1), FilterId(2)]);
+        assert_eq!(got.lists_retrieved, 1);
+        assert_eq!(got.postings_scanned, 2);
+    }
+
+    #[test]
+    fn match_term_threshold_checks_bodies() {
+        let sem = MatchSemantics::similarity_threshold(1.0);
+        let mut idx = InvertedIndex::new(sem);
+        idx.insert(f(1, &[1, 2])); // needs both terms
+        idx.insert(f(2, &[1]));
+        let doc = d(&[1, 5]);
+        let got = idx.match_term(&doc, TermId(1));
+        assert_eq!(got.matched, vec![FilterId(2)]);
+        assert_eq!(got.postings_scanned, 2);
+    }
+
+    #[test]
+    fn union_of_per_term_matches_equals_sift() {
+        let filters = vec![f(1, &[1, 2]), f(2, &[2, 3]), f(3, &[4]), f(4, &[1, 4])];
+        let idx = boolean_index(&filters);
+        let doc = d(&[1, 2, 4]);
+        let mut union: Vec<FilterId> = doc
+            .terms()
+            .iter()
+            .flat_map(|&t| idx.match_term(&doc, t).matched)
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        assert_eq!(union, idx.match_document(&doc).matched);
+    }
+
+    #[test]
+    fn insert_for_term_builds_single_posting() {
+        let mut idx = InvertedIndex::new(MatchSemantics::Boolean);
+        idx.insert_for_term(f(1, &[1, 2]), TermId(1));
+        assert_eq!(idx.posting_len(TermId(1)), 1);
+        assert_eq!(idx.posting_len(TermId(2)), 0);
+        assert!(idx.filter(FilterId(1)).is_some());
+    }
+
+    #[test]
+    fn remove_cleans_postings() {
+        let mut idx = boolean_index(&[f(1, &[1, 2]), f(2, &[2])]);
+        assert!(idx.remove(FilterId(1)));
+        assert!(!idx.remove(FilterId(1)));
+        assert_eq!(idx.posting_len(TermId(1)), 0);
+        assert_eq!(idx.posting_len(TermId(2)), 1);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.total_postings(), 1);
+    }
+
+    #[test]
+    fn remove_term_posting_keeps_other_postings() {
+        let mut idx = InvertedIndex::new(MatchSemantics::Boolean);
+        let fl = f(1, &[1, 2]);
+        idx.insert_for_term(fl.clone(), TermId(1));
+        idx.insert_for_term(fl, TermId(2));
+        assert!(idx.remove_term_posting(FilterId(1), TermId(1)));
+        assert!(!idx.remove_term_posting(FilterId(1), TermId(1)));
+        assert_eq!(idx.posting_len(TermId(1)), 0);
+        assert_eq!(idx.posting_len(TermId(2)), 1);
+        assert!(idx.filter(FilterId(1)).is_some(), "body still referenced");
+        assert!(idx.remove_term_posting(FilterId(1), TermId(2)));
+        assert!(idx.filter(FilterId(1)).is_none(), "body dropped with last posting");
+    }
+
+    #[test]
+    fn empty_index_matches_nothing() {
+        let idx = InvertedIndex::new(MatchSemantics::Boolean);
+        let doc = d(&[1, 2, 3]);
+        let got = idx.match_document(&doc);
+        assert!(got.matched.is_empty());
+        assert_eq!(got.lists_retrieved, 0);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut idx = InvertedIndex::new(MatchSemantics::Boolean);
+        idx.insert(f(1, &[1]));
+        idx.insert(f(1, &[1]));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.posting_len(TermId(1)), 1);
+    }
+}

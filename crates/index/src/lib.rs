@@ -1,0 +1,42 @@
+//! Inverted indexes and matching algorithms for MOVE.
+//!
+//! Every node of the cluster indexes its locally registered filters with an
+//! inverted list (paper §II, "Overview of Inverted List"). Two match
+//! algorithms run over it:
+//!
+//! * [`InvertedIndex::match_term`] — the home-node algorithm of the
+//!   IL/MOVE schemes (§III-B): retrieve *only* the posting list of the term
+//!   that routed the document here;
+//! * [`InvertedIndex::match_document`] — the centralized SIFT algorithm
+//!   (Yan & Garcia-Molina) used by the rendezvous scheme (§VI-A): retrieve
+//!   the posting lists of *all* `|d|` document terms and accumulate hits.
+//!
+//! Both report the work they did ([`MatchOutcome`]: lists retrieved,
+//! postings scanned) so the cost model can convert matching into virtual
+//! latency. [`brute_force`] provides the oracle used by the completeness
+//! tests, and [`vsm`] the tf–idf scoring of the vector-space-model
+//! extension.
+//!
+//! # Examples
+//!
+//! ```
+//! use move_index::InvertedIndex;
+//! use move_types::{Document, Filter, MatchSemantics, TermDictionary};
+//!
+//! let mut dict = TermDictionary::new();
+//! let mut idx = InvertedIndex::new(MatchSemantics::Boolean);
+//! idx.insert(Filter::from_words(1, ["rust", "async"], &mut dict));
+//! let doc = Document::from_words(1, ["rust", "conference"], &mut dict);
+//! let outcome = idx.match_document(&doc);
+//! assert_eq!(outcome.matched.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod index;
+mod posting;
+pub mod vsm;
+
+pub use index::{brute_force, InvertedIndex, MatchOutcome};
+pub use posting::PostingList;

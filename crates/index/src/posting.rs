@@ -1,0 +1,125 @@
+//! Posting lists.
+
+use move_types::FilterId;
+use serde::{Deserialize, Serialize};
+
+/// The posting list of one term: the sorted ids of every filter containing
+/// that term. "The set, typically implemented as a posting list, maintains
+/// all documents containing the term" (paper §II) — here the indexed objects
+/// are filters.
+///
+/// # Examples
+///
+/// ```
+/// use move_index::PostingList;
+/// use move_types::FilterId;
+///
+/// let mut pl = PostingList::new();
+/// pl.insert(FilterId(9));
+/// pl.insert(FilterId(3));
+/// pl.insert(FilterId(9)); // idempotent
+/// assert_eq!(pl.ids(), &[FilterId(3), FilterId(9)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostingList {
+    ids: Vec<FilterId>,
+}
+
+impl PostingList {
+    /// Creates an empty posting list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a filter id (idempotent).
+    pub fn insert(&mut self, id: FilterId) {
+        if let Err(pos) = self.ids.binary_search(&id) {
+            self.ids.insert(pos, id);
+        }
+    }
+
+    /// Removes a filter id; returns whether it was present.
+    pub fn remove(&mut self, id: FilterId) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether the list contains `id`.
+    pub fn contains(&self, id: FilterId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// The sorted filter ids.
+    pub fn ids(&self) -> &[FilterId] {
+        &self.ids
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+impl FromIterator<FilterId> for PostingList {
+    fn from_iter<T: IntoIterator<Item = FilterId>>(iter: T) -> Self {
+        let mut ids: Vec<FilterId> = iter.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+}
+
+impl Extend<FilterId> for PostingList {
+    fn extend<T: IntoIterator<Item = FilterId>>(&mut self, iter: T) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_sorted_unique() {
+        let mut pl = PostingList::new();
+        for raw in [5u64, 1, 3, 5, 1] {
+            pl.insert(FilterId(raw));
+        }
+        assert_eq!(pl.ids(), &[FilterId(1), FilterId(3), FilterId(5)]);
+        assert_eq!(pl.len(), 3);
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut pl: PostingList = [FilterId(1), FilterId(2)].into_iter().collect();
+        assert!(pl.remove(FilterId(1)));
+        assert!(!pl.remove(FilterId(1)));
+        assert!(!pl.contains(FilterId(1)));
+        assert!(pl.contains(FilterId(2)));
+    }
+
+    #[test]
+    fn from_iterator_dedupes() {
+        let pl: PostingList = [FilterId(2), FilterId(2), FilterId(0)].into_iter().collect();
+        assert_eq!(pl.ids(), &[FilterId(0), FilterId(2)]);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let pl = PostingList::new();
+        assert!(pl.is_empty());
+        assert!(!pl.contains(FilterId(0)));
+    }
+}

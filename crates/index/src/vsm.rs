@@ -1,0 +1,182 @@
+//! Vector-space-model scoring — the relevance extension (paper §III-A cites
+//! the VSM of Berry et al. as the alternative to pure boolean matching).
+//!
+//! Filters and documents are embedded as tf–idf vectors over their terms;
+//! relevance is cosine similarity. MOVE itself only needs "match / no
+//! match", but ranking delivered documents per filter is the natural
+//! downstream feature (Google-Alerts-style digests), so the scorer is part
+//! of the public API and exercised by the examples.
+
+use move_types::{Document, Filter, TermId};
+use std::collections::HashMap;
+
+/// Inverse-document-frequency statistics learned from a corpus sample.
+///
+/// # Examples
+///
+/// ```
+/// use move_index::vsm::Idf;
+/// use move_types::{Document, TermDictionary};
+///
+/// let mut dict = TermDictionary::new();
+/// let docs = vec![
+///     Document::from_words(0, ["rust", "news"], &mut dict),
+///     Document::from_words(1, ["rust", "jobs"], &mut dict),
+/// ];
+/// let idf = Idf::from_corpus(&docs);
+/// let rust = dict.id("rust").unwrap();
+/// let jobs = dict.id("jobs").unwrap();
+/// assert!(idf.weight(jobs) > idf.weight(rust)); // rarer ⇒ heavier
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Idf {
+    docs: u64,
+    df: HashMap<TermId, u64>,
+}
+
+impl Idf {
+    /// Learns document frequencies from a corpus sample.
+    pub fn from_corpus<'a, I>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Document>,
+    {
+        let mut out = Self::default();
+        for d in docs {
+            out.add_document(d);
+        }
+        out
+    }
+
+    /// Incorporates one more document into the statistics.
+    pub fn add_document(&mut self, doc: &Document) {
+        self.docs += 1;
+        for &t in doc.terms() {
+            *self.df.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of documents observed.
+    pub fn corpus_size(&self) -> u64 {
+        self.docs
+    }
+
+    /// The smoothed idf weight `ln(1 + N / (1 + df))` of a term. Unseen
+    /// terms get the maximum weight.
+    pub fn weight(&self, term: TermId) -> f64 {
+        let df = self.df.get(&term).copied().unwrap_or(0);
+        (1.0 + self.docs as f64 / (1.0 + df as f64)).ln()
+    }
+}
+
+/// Cosine similarity between a filter (boolean query vector, idf-weighted)
+/// and a document (tf–idf vector), in `[0, 1]`.
+///
+/// Returns 0 for an empty filter or a disjoint pair.
+pub fn cosine_score(filter: &Filter, doc: &Document, idf: &Idf) -> f64 {
+    if filter.is_empty() || doc.distinct_terms() == 0 {
+        return 0.0;
+    }
+    let mut dot = 0.0;
+    let mut f_norm = 0.0;
+    for &t in filter.terms() {
+        let w = idf.weight(t);
+        f_norm += w * w;
+        let tf = doc.term_count(t);
+        if tf > 0 {
+            dot += w * (1.0 + f64::from(tf).ln()) * w;
+        }
+    }
+    if dot == 0.0 {
+        return 0.0;
+    }
+    let mut d_norm = 0.0;
+    for (t, tf) in doc.term_counts() {
+        let w = (1.0 + f64::from(tf).ln()) * idf.weight(t);
+        d_norm += w * w;
+    }
+    dot / (f_norm.sqrt() * d_norm.sqrt())
+}
+
+/// Ranks `docs` for one filter, best first, dropping zero scores.
+pub fn rank<'a>(
+    filter: &Filter,
+    docs: impl IntoIterator<Item = &'a Document>,
+    idf: &Idf,
+) -> Vec<(&'a Document, f64)> {
+    let mut scored: Vec<(&Document, f64)> = docs
+        .into_iter()
+        .map(|d| (d, cosine_score(filter, d, idf)))
+        .filter(|&(_, s)| s > 0.0)
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: u64, terms: &[(u32, u32)]) -> Document {
+        Document::from_occurrences(
+            id,
+            terms
+                .iter()
+                .flat_map(|&(t, n)| std::iter::repeat_n(TermId(t), n as usize)),
+        )
+    }
+
+    fn filter(terms: &[u32]) -> Filter {
+        Filter::new(0, terms.iter().map(|&t| TermId(t)))
+    }
+
+    #[test]
+    fn disjoint_scores_zero() {
+        let idf = Idf::from_corpus(&[doc(0, &[(1, 1)])]);
+        assert_eq!(cosine_score(&filter(&[2]), &doc(1, &[(1, 3)]), &idf), 0.0);
+    }
+
+    #[test]
+    fn full_overlap_beats_partial() {
+        let corpus = vec![doc(0, &[(1, 1), (2, 1)]), doc(1, &[(3, 1)])];
+        let idf = Idf::from_corpus(&corpus);
+        let f = filter(&[1, 2]);
+        let full = cosine_score(&f, &doc(2, &[(1, 1), (2, 1)]), &idf);
+        let partial = cosine_score(&f, &doc(3, &[(1, 1), (9, 1)]), &idf);
+        assert!(full > partial);
+        assert!(full <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more() {
+        let corpus: Vec<Document> = (0..10)
+            .map(|i| {
+                if i == 0 {
+                    doc(i, &[(1, 1), (2, 1)])
+                } else {
+                    doc(i, &[(1, 1)])
+                }
+            })
+            .collect();
+        let idf = Idf::from_corpus(&corpus);
+        assert!(idf.weight(TermId(2)) > idf.weight(TermId(1)));
+        assert!(idf.weight(TermId(99)) >= idf.weight(TermId(2)));
+        assert_eq!(idf.corpus_size(), 10);
+    }
+
+    #[test]
+    fn rank_orders_best_first_and_drops_zeroes() {
+        let corpus = vec![doc(0, &[(1, 1)]), doc(1, &[(2, 1)])];
+        let idf = Idf::from_corpus(&corpus);
+        let f = filter(&[1]);
+        let candidates = vec![doc(2, &[(1, 5)]), doc(3, &[(2, 1)]), doc(4, &[(1, 1), (2, 1)])];
+        let ranked = rank(&f, &candidates, &idf);
+        assert_eq!(ranked.len(), 2);
+        assert!(ranked[0].1 >= ranked[1].1);
+    }
+
+    #[test]
+    fn empty_filter_scores_zero() {
+        let idf = Idf::default();
+        assert_eq!(cosine_score(&filter(&[]), &doc(0, &[(1, 1)]), &idf), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: SIFT and the home-node matcher against a brute-force
+//! model, under both semantics and through removal churn.
+
+use move_index::{brute_force, InvertedIndex};
+use move_types::{Document, Filter, FilterId, MatchSemantics, TermId};
+use proptest::prelude::*;
+
+fn arb_filters() -> impl Strategy<Value = Vec<Filter>> {
+    prop::collection::vec(prop::collection::btree_set(0u32..60, 1..5), 1..80).prop_map(|sets| {
+        sets.into_iter()
+            .enumerate()
+            .map(|(i, terms)| Filter::new(i as u64, terms.into_iter().map(TermId)))
+            .collect()
+    })
+}
+
+fn arb_doc() -> impl Strategy<Value = Document> {
+    prop::collection::btree_set(0u32..80, 1..30)
+        .prop_map(|terms| Document::from_distinct_terms(0u64, terms.into_iter().map(TermId)))
+}
+
+proptest! {
+    #[test]
+    fn sift_matches_brute_force(filters in arb_filters(), doc in arb_doc(), th in 0.2f64..1.0, boolean in any::<bool>()) {
+        let semantics = if boolean {
+            MatchSemantics::Boolean
+        } else {
+            MatchSemantics::similarity_threshold(th)
+        };
+        let mut idx = InvertedIndex::new(semantics);
+        for f in &filters {
+            idx.insert(f.clone());
+        }
+        let got = idx.match_document(&doc);
+        prop_assert_eq!(&got.matched, &brute_force(&filters, &doc, semantics));
+        // Work accounting: one list per document term with postings.
+        let with_postings = doc
+            .terms()
+            .iter()
+            .filter(|t| idx.posting_len(**t) > 0)
+            .count() as u64;
+        prop_assert_eq!(got.lists_retrieved, with_postings);
+    }
+
+    #[test]
+    fn union_of_single_term_matches_is_sift(filters in arb_filters(), doc in arb_doc()) {
+        let mut idx = InvertedIndex::new(MatchSemantics::Boolean);
+        for f in &filters {
+            idx.insert(f.clone());
+        }
+        let mut union: Vec<FilterId> = doc
+            .terms()
+            .iter()
+            .flat_map(|&t| idx.match_term(&doc, t).matched)
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        prop_assert_eq!(union, idx.match_document(&doc).matched);
+    }
+
+    #[test]
+    fn removals_are_exact(filters in arb_filters(), doc in arb_doc(), keep_mod in 2u64..4) {
+        let mut idx = InvertedIndex::new(MatchSemantics::Boolean);
+        for f in &filters {
+            idx.insert(f.clone());
+        }
+        let kept: Vec<Filter> = filters
+            .iter()
+            .filter(|f| f.id().0 % keep_mod == 0)
+            .cloned()
+            .collect();
+        for f in &filters {
+            if f.id().0 % keep_mod != 0 {
+                prop_assert!(idx.remove(f.id()));
+            }
+        }
+        prop_assert_eq!(idx.len(), kept.len());
+        prop_assert_eq!(
+            idx.match_document(&doc).matched,
+            brute_force(&kept, &doc, MatchSemantics::Boolean)
+        );
+        // Total postings equal the kept filters' term counts.
+        let expect: u64 = kept.iter().map(|f| f.len() as u64).sum();
+        prop_assert_eq!(idx.total_postings(), expect);
+    }
+}

@@ -1,0 +1,215 @@
+//! Exponent calibration by binary search.
+//!
+//! The paper reports *statistics* of its proprietary traces rather than the
+//! traces themselves; these routines invert those statistics back into Zipf
+//! exponents. Both target functions are strictly monotone in the exponent —
+//! head mass increases with α, entropy decreases with α — so bisection
+//! converges unconditionally within the bracketing interval.
+
+use crate::Zipf;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a target statistic is unreachable for the given
+/// vocabulary size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationError {
+    what: String,
+}
+
+impl CalibrationError {
+    fn new(what: impl Into<String>) -> Self {
+        Self { what: what.into() }
+    }
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "calibration failed: {}", self.what)
+    }
+}
+
+impl Error for CalibrationError {}
+
+const MAX_ALPHA: f64 = 4.0;
+const TOL: f64 = 1e-4;
+
+fn bisect(
+    n: usize,
+    cap: f64,
+    target: f64,
+    mut f: impl FnMut(&Zipf) -> f64,
+    increasing: bool,
+) -> Result<f64, CalibrationError> {
+    let (mut lo, mut hi) = (0.0f64, MAX_ALPHA);
+    let f_lo = f(&Zipf::with_cap(n, lo, cap));
+    let f_hi = f(&Zipf::with_cap(n, hi, cap));
+    let (min_v, max_v) = if increasing { (f_lo, f_hi) } else { (f_hi, f_lo) };
+    if target < min_v - TOL || target > max_v + TOL {
+        return Err(CalibrationError::new(format!(
+            "target {target} outside reachable range [{min_v}, {max_v}] for n={n}"
+        )));
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        let v = f(&Zipf::with_cap(n, mid, cap));
+        let go_right = if increasing { v < target } else { v > target };
+        if go_right {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Finds the Zipf exponent over `n` ranks whose top-`k` probability mass is
+/// `target_mass`.
+///
+/// Used to rebuild the MSN filter-term popularity law: 757,996 distinct
+/// terms with top-1000 mass 0.437 (paper §VI-A, Fig. 4).
+///
+/// # Errors
+///
+/// Returns [`CalibrationError`] when no exponent in `[0, 4]` reaches the
+/// target (e.g. a target below the uniform mass `k/n`).
+///
+/// # Examples
+///
+/// ```
+/// let alpha = move_stats::calibrate_head_mass(10_000, 100, 0.3).unwrap();
+/// let z = move_stats::Zipf::new(10_000, alpha);
+/// assert!((z.head_mass(100) - 0.3).abs() < 1e-3);
+/// ```
+pub fn calibrate_head_mass(n: usize, k: usize, target_mass: f64) -> Result<f64, CalibrationError> {
+    if k == 0 || k > n {
+        return Err(CalibrationError::new(format!(
+            "head size k={k} must be in 1..={n}"
+        )));
+    }
+    if !(0.0..=1.0).contains(&target_mass) {
+        return Err(CalibrationError::new(format!(
+            "target mass {target_mass} not a probability"
+        )));
+    }
+    bisect(n, 1.0, target_mass, |z| z.head_mass(k), true)
+}
+
+/// [`calibrate_head_mass`] for a per-rank-probability-capped Zipf law (see
+/// [`Zipf::with_cap`]).
+///
+/// # Errors
+///
+/// As [`calibrate_head_mass`]; additionally unreachable when the cap is so
+/// low that even maximal skew cannot reach the head-mass target
+/// (`k·cap < target`).
+pub fn calibrate_head_mass_capped(
+    n: usize,
+    k: usize,
+    target_mass: f64,
+    cap: f64,
+) -> Result<f64, CalibrationError> {
+    if k == 0 || k > n {
+        return Err(CalibrationError::new(format!(
+            "head size k={k} must be in 1..={n}"
+        )));
+    }
+    if !(0.0..=1.0).contains(&target_mass) {
+        return Err(CalibrationError::new(format!(
+            "target mass {target_mass} not a probability"
+        )));
+    }
+    if cap <= 0.0 {
+        return Err(CalibrationError::new("cap must be positive"));
+    }
+    bisect(n, cap, target_mass, |z| z.head_mass(k), true)
+}
+
+/// Finds the Zipf exponent over `n` ranks whose Shannon entropy (bits) is
+/// `target_bits`.
+///
+/// Used to rebuild the TREC document-term frequency laws: entropy 9.4473
+/// (AP) and 6.7593 (WT) — WT being the *skewer* of the two (paper §VI-A,
+/// Fig. 5).
+///
+/// # Errors
+///
+/// Returns [`CalibrationError`] when the target exceeds `log2(n)` (uniform)
+/// or is below the α=4 entropy.
+///
+/// # Examples
+///
+/// ```
+/// let alpha = move_stats::calibrate_entropy(100_000, 9.4473).unwrap();
+/// let z = move_stats::Zipf::new(100_000, alpha);
+/// assert!((z.entropy_bits() - 9.4473).abs() < 1e-2);
+/// ```
+pub fn calibrate_entropy(n: usize, target_bits: f64) -> Result<f64, CalibrationError> {
+    if target_bits < 0.0 {
+        return Err(CalibrationError::new("entropy cannot be negative"));
+    }
+    bisect(n, 1.0, target_bits, Zipf::entropy_bits, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capped_head_mass_round_trip() {
+        let alpha = calibrate_head_mass_capped(50_000, 1_000, 0.437, 0.005).unwrap();
+        let z = Zipf::with_cap(50_000, alpha, 0.005);
+        assert!((z.head_mass(1_000) - 0.437).abs() < 1e-3);
+        assert!(z.probability(0) < 0.01);
+        // Bad cap argument.
+        assert!(calibrate_head_mass_capped(50_000, 10, 0.437, 0.0).is_err());
+    }
+
+    #[test]
+    fn head_mass_round_trip() {
+        let alpha = calibrate_head_mass(50_000, 1000, 0.437).unwrap();
+        let z = Zipf::new(50_000, alpha);
+        assert!((z.head_mass(1000) - 0.437).abs() < 1e-3);
+    }
+
+    #[test]
+    fn entropy_round_trip_ap_and_wt() {
+        for target in [9.4473, 6.7593] {
+            let alpha = calibrate_entropy(200_000, target).unwrap();
+            let z = Zipf::new(200_000, alpha);
+            assert!(
+                (z.entropy_bits() - target).abs() < 1e-2,
+                "target {target}: got {}",
+                z.entropy_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn wt_is_skewer_than_ap() {
+        // Lower entropy ⇒ larger exponent ⇒ skewer distribution.
+        let ap = calibrate_entropy(200_000, 9.4473).unwrap();
+        let wt = calibrate_entropy(200_000, 6.7593).unwrap();
+        assert!(wt > ap);
+    }
+
+    #[test]
+    fn unreachable_targets_error() {
+        // Uniform over n=100 has head-mass(10) = 0.1; nothing below that is
+        // reachable.
+        assert!(calibrate_head_mass(100, 10, 0.05).is_err());
+        // Entropy above log2(n) is unreachable.
+        assert!(calibrate_entropy(1024, 11.0).is_err());
+        // Bad arguments.
+        assert!(calibrate_head_mass(100, 0, 0.3).is_err());
+        assert!(calibrate_head_mass(100, 200, 0.3).is_err());
+        assert!(calibrate_head_mass(100, 10, 1.5).is_err());
+        assert!(calibrate_entropy(100, -1.0).is_err());
+    }
+
+    #[test]
+    fn error_formats() {
+        let e = calibrate_head_mass(100, 0, 0.3).unwrap_err();
+        assert!(e.to_string().starts_with("calibration failed"));
+    }
+}

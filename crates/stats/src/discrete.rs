@@ -1,0 +1,149 @@
+//! Arbitrary finite discrete distributions.
+
+use rand::Rng;
+
+/// A discrete distribution over `0..n` given by explicit weights, sampled by
+/// inverse CDF. Used for the filter-length law (the MSN trace's published
+/// ≤1/2/3-term cumulative shares) and any other small categorical choice.
+///
+/// # Examples
+///
+/// ```
+/// use move_stats::Discrete;
+/// use rand::SeedableRng;
+///
+/// // Values 0,1,2 with probabilities 0.5, 0.3, 0.2.
+/// let d = Discrete::new(&[5.0, 3.0, 2.0]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// assert!(d.sample(&mut rng) < 3);
+/// assert!((d.probability(0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Discrete {
+    cdf: Vec<f64>,
+}
+
+impl Discrete {
+    /// Creates the distribution from non-negative `weights` (normalized
+    /// internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Self { cdf }
+    }
+
+    /// Builds the distribution from cumulative probabilities (last entry
+    /// must be ≈1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is not non-decreasing in `[0, 1]` ending at 1
+    /// (within 1e-6).
+    pub fn from_cumulative(cumulative: &[f64]) -> Self {
+        assert!(!cumulative.is_empty(), "cumulative must be non-empty");
+        assert!(
+            cumulative.windows(2).all(|w| w[0] <= w[1] + 1e-12),
+            "cumulative must be non-decreasing"
+        );
+        let last = *cumulative.last().expect("non-empty");
+        assert!(
+            (last - 1.0).abs() < 1e-6,
+            "cumulative must end at 1.0, got {last}"
+        );
+        Self {
+            cdf: cumulative.to_vec(),
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether there are zero outcomes (never true).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability of outcome `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let lo = if i == 0 { 0.0 } else { self.cdf[i - 1] };
+        self.cdf[i] - lo
+    }
+
+    /// Mean outcome value (outcomes are their indices).
+    pub fn mean(&self) -> f64 {
+        (0..self.len()).map(|i| i as f64 * self.probability(i)).sum()
+    }
+
+    /// Samples an outcome index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizes_weights() {
+        let d = Discrete::new(&[2.0, 2.0]);
+        assert!((d.probability(0) - 0.5).abs() < 1e-12);
+        assert!((d.probability(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_cumulative_round_trips() {
+        let d = Discrete::from_cumulative(&[0.3133, 0.6775, 0.8531, 1.0]);
+        assert!((d.probability(0) - 0.3133).abs() < 1e-9);
+        assert!((d.probability(3) - 0.1469).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_matches() {
+        let d = Discrete::new(&[1.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| d.sample(&mut rng) == 1).count();
+        assert!((hits as f64 / 100_000.0 - 0.75).abs() < 0.01);
+    }
+
+    #[test]
+    fn mean_of_indices() {
+        let d = Discrete::new(&[0.0, 1.0, 1.0]);
+        assert!((d.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_weights_rejected() {
+        let _ = Discrete::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "end at 1.0")]
+    fn bad_cumulative_rejected() {
+        let _ = Discrete::from_cumulative(&[0.2, 0.5]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Statistics utilities for the MOVE reproduction: skewed samplers,
+//! distribution calibration, entropy, ranked-distribution reports, and the
+//! randomized-rounding helpers used by the allocation optimizer.
+//!
+//! The paper's workloads are defined by *statistics*, not raw data (the MSN
+//! query log and TREC corpora are not redistributable): term popularity is
+//! Zipf-like with a published top-1000 mass, document term frequency is
+//! Zipf-like with a published entropy, filter lengths follow a published
+//! cumulative distribution. This crate turns those targets into concrete,
+//! reproducible samplers:
+//!
+//! * [`Zipf`] — a Zipf(α) distribution over ranks with O(log n) sampling,
+//!   head-mass and entropy queries;
+//! * [`calibrate_head_mass`] / [`calibrate_entropy`] — binary search for the
+//!   exponent hitting a target statistic;
+//! * [`Discrete`] — an arbitrary discrete distribution (filter lengths);
+//! * [`randomized_round`] / [`apportion`] — integer allocation for the
+//!   optimizer's fractional `nᵢ` (paper §IV-C, "classic rounding solutions");
+//! * [`entropy_bits`], [`Summary`], [`ranked_series`] — measurement helpers
+//!   for the evaluation figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibrate;
+mod discrete;
+mod rounding;
+mod summary;
+mod zipf;
+
+pub use calibrate::{calibrate_entropy, calibrate_head_mass, calibrate_head_mass_capped, CalibrationError};
+pub use discrete::Discrete;
+pub use rounding::{apportion, randomized_round};
+pub use summary::{entropy_bits, ranked_series, Summary};
+pub use zipf::Zipf;

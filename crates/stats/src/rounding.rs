@@ -1,0 +1,148 @@
+//! Integer rounding for the allocation optimizer.
+//!
+//! Theorem 1's optimum is fractional (`nᵢ ∝ √qᵢ`); the paper approximates
+//! integers "by classic rounding solutions, e.g., randomized rounding"
+//! (§IV-C, citing Kleinberg & Tardos). Two flavours are provided:
+//! unbiased per-value [`randomized_round`], and budget-exact [`apportion`]
+//! (largest-remainder) when the rounded values must sum to a fixed total.
+
+use rand::Rng;
+
+/// Rounds `x ≥ 0` to `floor(x)` or `ceil(x)` with probability equal to the
+/// fractional part — an unbiased integer estimate (`E[round] = x`).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = move_stats::randomized_round(2.3, &mut rng);
+/// assert!(r == 2 || r == 3);
+/// ```
+pub fn randomized_round<R: Rng + ?Sized>(x: f64, rng: &mut R) -> u64 {
+    assert!(x >= 0.0 && x.is_finite(), "x must be finite and >= 0");
+    let base = x.floor();
+    let frac = x - base;
+    base as u64 + u64::from(rng.gen::<f64>() < frac)
+}
+
+/// Distributes an integer `total` across `weights` proportionally
+/// (largest-remainder / Hamilton apportionment). Every entry with positive
+/// weight receives at least `min_each`; the result sums exactly to
+/// `max(total, k·min_each)` where `k` is the number of positive weights.
+///
+/// The allocation optimizer uses this to turn fractional node counts `nᵢ`
+/// into integers that exactly respect the cluster-wide storage budget
+/// `Σ nᵢ·pᵢ·P = N·C`.
+///
+/// # Panics
+///
+/// Panics if any weight is negative or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// let shares = move_stats::apportion(&[1.0, 1.0, 2.0], 8, 1);
+/// assert_eq!(shares.iter().sum::<u64>(), 8);
+/// assert_eq!(shares[2], 4);
+/// ```
+pub fn apportion(weights: &[f64], total: u64, min_each: u64) -> Vec<u64> {
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let k = weights.iter().filter(|&&w| w > 0.0).count() as u64;
+    if k == 0 {
+        return vec![0; weights.len()];
+    }
+    let total = total.max(k * min_each);
+    let budget = total - k * min_each;
+    let wsum: f64 = weights.iter().sum();
+    // Ideal fractional share of the budget above the minimum.
+    let ideal: Vec<f64> = weights
+        .iter()
+        .map(|w| {
+            if *w > 0.0 {
+                w / wsum * budget as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut out: Vec<u64> = ideal
+        .iter()
+        .zip(weights)
+        .map(|(x, &w)| if w > 0.0 { x.floor() as u64 + min_each } else { 0 })
+        .collect();
+    let assigned: u64 = out.iter().sum();
+    let mut leftover = total - assigned;
+    // Hand the remaining units to the largest fractional remainders.
+    let mut order: Vec<usize> = (0..weights.len()).filter(|&i| weights[i] > 0.0).collect();
+    order.sort_by(|&a, &b| {
+        let fa = ideal[a] - ideal[a].floor();
+        let fb = ideal[b] - ideal[b].floor();
+        fb.partial_cmp(&fa).expect("finite remainders")
+    });
+    let mut cursor = 0usize;
+    while leftover > 0 {
+        let i = order[cursor % order.len()];
+        out[i] += 1;
+        leftover -= 1;
+        cursor += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randomized_round_is_unbiased() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| randomized_round(1.25, &mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn randomized_round_exact_integers() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(randomized_round(3.0, &mut rng), 3);
+        assert_eq!(randomized_round(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn apportion_sums_to_total() {
+        let shares = apportion(&[0.1, 0.7, 0.2, 3.0], 100, 1);
+        assert_eq!(shares.iter().sum::<u64>(), 100);
+        assert!(shares.iter().all(|&s| s >= 1));
+        assert_eq!(*shares.iter().max().unwrap(), shares[3]);
+    }
+
+    #[test]
+    fn apportion_respects_zero_weights() {
+        let shares = apportion(&[0.0, 1.0, 0.0], 10, 1);
+        assert_eq!(shares, vec![0, 10, 0]);
+    }
+
+    #[test]
+    fn apportion_min_each_dominates_small_totals() {
+        let shares = apportion(&[1.0, 1.0, 1.0], 1, 1);
+        assert_eq!(shares, vec![1, 1, 1]); // bumped up to k * min_each
+    }
+
+    #[test]
+    fn apportion_proportionality() {
+        let shares = apportion(&[1.0, 2.0, 3.0], 600, 0);
+        assert_eq!(shares, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn apportion_all_zero() {
+        assert_eq!(apportion(&[0.0, 0.0], 5, 1), vec![0, 0]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Measurement helpers for the evaluation figures.
+
+use serde::{Deserialize, Serialize};
+
+/// Shannon entropy (bits) of an empirical count distribution.
+///
+/// This is the statistic the paper reports for the TREC term-frequency
+/// distributions (9.4473 for AP, 6.7593 for WT). Zero counts contribute
+/// nothing.
+///
+/// # Examples
+///
+/// ```
+/// assert!((move_stats::entropy_bits(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+/// assert_eq!(move_stats::entropy_bits(&[10, 0, 0]), 0.0);
+/// ```
+pub fn entropy_bits(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Sorts values descending and returns `(rank, value)` pairs — the ranked
+/// series plotted in Figs. 4, 5, 9a and 9b. Ranks start at 1 (matching the
+/// paper's log-scale x-axes).
+///
+/// # Examples
+///
+/// ```
+/// let s = move_stats::ranked_series(&[0.1, 0.7, 0.2]);
+/// assert_eq!(s, vec![(1, 0.7), (2, 0.2), (3, 0.1)]);
+/// ```
+pub fn ranked_series(values: &[f64]) -> Vec<(usize, f64)> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
+    sorted.into_iter().enumerate().map(|(i, v)| (i + 1, v)).collect()
+}
+
+/// Five-number-style summary of a sample, plus dispersion measures used for
+/// the load-balance discussion (Figs. 9a–9b).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Coefficient of variation (`std_dev / mean`; 0 when the mean is 0).
+    pub cv: f64,
+    /// Gini coefficient in `[0, 1)` — 0 is perfectly even load.
+    pub gini: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains non-finite or negative
+    /// entries (loads are non-negative by construction).
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "summary of empty sample");
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "values must be finite and non-negative"
+        );
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let std_dev = var.sqrt();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(0.0f64, f64::max);
+        let cv = if mean > 0.0 { std_dev / mean } else { 0.0 };
+
+        // Gini: mean absolute difference over twice the mean.
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let gini = if mean > 0.0 {
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (2.0 * (i as f64 + 1.0) - n - 1.0) * v)
+                .sum();
+            weighted / (n * n * mean)
+        } else {
+            0.0
+        };
+
+        Self {
+            count: values.len(),
+            mean,
+            std_dev,
+            min,
+            max,
+            cv,
+            gini,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_uniform_is_log2_n() {
+        assert!((entropy_bits(&[5, 5, 5, 5, 5, 5, 5, 5]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_skewed_below_uniform() {
+        let skew = entropy_bits(&[100, 1, 1, 1]);
+        let unif = entropy_bits(&[25, 25, 25, 25]);
+        assert!(skew < unif);
+    }
+
+    #[test]
+    fn entropy_empty_and_zero() {
+        assert_eq!(entropy_bits(&[]), 0.0);
+        assert_eq!(entropy_bits(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn ranked_series_descending_from_rank_one() {
+        let s = ranked_series(&[3.0, 1.0, 2.0]);
+        assert_eq!(s[0], (1, 3.0));
+        assert_eq!(s[2], (3, 1.0));
+    }
+
+    #[test]
+    fn summary_even_load() {
+        let s = Summary::of(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.cv, 0.0);
+        assert!(s.gini.abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_skewed_load_has_high_gini() {
+        let even = Summary::of(&[1.0, 1.0, 1.0, 1.0]);
+        let skew = Summary::of(&[4.0, 0.0, 0.0, 0.0]);
+        assert!(skew.gini > even.gini);
+        assert!(skew.gini > 0.7);
+        assert_eq!(skew.max, 4.0);
+        assert_eq!(skew.min, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        let _ = Summary::of(&[]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Zipf-distributed rank sampling.
+
+use rand::Rng;
+
+/// A Zipf(α) distribution over ranks `0..n`: rank `r` has probability
+/// proportional to `1/(r+1)^α`.
+///
+/// The cumulative distribution is precomputed, giving `O(log n)` sampling by
+/// binary search and exact head-mass/entropy queries. Memory is one `f64`
+/// per rank, which comfortably handles the paper's 757,996-term vocabulary.
+///
+/// # Examples
+///
+/// ```
+/// use move_stats::Zipf;
+/// use rand::SeedableRng;
+///
+/// let z = Zipf::new(1000, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 1000);
+/// assert!(z.head_mass(10) > 10.0 * z.probability(500));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// `cdf[r]` = P(rank <= r); `cdf[n-1]` == 1.
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `alpha >= 0`
+    /// (`alpha == 0` is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        Self::with_cap(n, alpha, 1.0)
+    }
+
+    /// Creates a Zipf distribution whose per-rank probability is capped at
+    /// `cap` after normalization (approximately: raw weights are clipped at
+    /// `cap` times the uncapped normalizer, then renormalized). Real term
+    /// popularity curves plateau at the top — the MSN trace's most popular
+    /// term sits near 10⁻², far below a pure power law's head (Fig. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `alpha` is negative or non-finite, or
+    /// `cap <= 0`.
+    pub fn with_cap(n: usize, alpha: f64, cap: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be >= 0");
+        assert!(cap > 0.0, "cap must be positive");
+        let raw: Vec<f64> = (0..n).map(|r| ((r + 1) as f64).powf(-alpha)).collect();
+        let total: f64 = raw.iter().sum();
+        let limit = cap * total;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in raw {
+            acc += w.min(limit);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self {
+            cdf,
+            exponent: alpha,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero ranks (never true; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The exponent α.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of rank `r`.
+    pub fn probability(&self, r: usize) -> f64 {
+        let lo = if r == 0 { 0.0 } else { self.cdf[r - 1] };
+        self.cdf[r] - lo
+    }
+
+    /// Total probability mass of the top `k` ranks (`k` clamped to `n`).
+    /// This is the paper's "accumulated popularity value of the top-1000
+    /// terms".
+    pub fn head_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        self.cdf[k.min(self.cdf.len()) - 1]
+    }
+
+    /// Shannon entropy in bits.
+    pub fn entropy_bits(&self) -> f64 {
+        let mut h = 0.0;
+        let mut prev = 0.0;
+        for &c in &self.cdf {
+            let p = c - prev;
+            prev = c;
+            if p > 0.0 {
+                h -= p * p.log2();
+            }
+        }
+        h
+    }
+
+    /// Samples a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.rank_at(u)
+    }
+
+    /// Samples `k` *distinct* ranks (rejection sampling; `k` must be far
+    /// smaller than `n`, which holds for 2–3-term filters over a large
+    /// vocabulary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<usize> {
+        assert!(k <= self.len(), "cannot draw more distinct ranks than exist");
+        let mut out = Vec::with_capacity(k);
+        // With k ≤ ~30 and n in the hundreds of thousands, rejections are
+        // rare even under heavy skew; fall back to sequential fill if the
+        // distribution is so degenerate that rejection stalls.
+        let mut attempts = 0usize;
+        while out.len() < k {
+            let r = self.sample(rng);
+            if !out.contains(&r) {
+                out.push(r);
+            }
+            attempts += 1;
+            if attempts > 100 * k + 1000 {
+                for r in 0..self.len() {
+                    if out.len() == k {
+                        break;
+                    }
+                    if !out.contains(&r) {
+                        out.push(r);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Maps a uniform `u ∈ [0,1)` to a rank (inverse CDF).
+    pub fn rank_at(&self, u: f64) -> usize {
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cap_limits_head_probability() {
+        let z = Zipf::with_cap(1_000, 1.2, 0.01);
+        // Clipping before renormalizing can push slightly past the nominal
+        // cap; it must stay in its neighbourhood and far below the uncapped
+        // head.
+        assert!(z.probability(0) < 0.02, "p0 = {}", z.probability(0));
+        assert!(Zipf::new(1_000, 1.2).probability(0) > 0.1);
+        let total: f64 = (0..1_000).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(100, 0.9);
+        let total: f64 = (0..100).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-12);
+        }
+        assert!((z.entropy_bits() - 10.0f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn head_mass_monotone_in_alpha() {
+        let flat = Zipf::new(1000, 0.5);
+        let steep = Zipf::new(1000, 1.5);
+        assert!(steep.head_mass(10) > flat.head_mass(10));
+        assert!((flat.head_mass(1000) - 1.0).abs() < 1e-9);
+        assert_eq!(flat.head_mass(0), 0.0);
+    }
+
+    #[test]
+    fn empirical_frequencies_track_pmf() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 50];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in [0usize, 1, 5, 20] {
+            let emp = f64::from(counts[r]) / f64::from(n);
+            let exp = z.probability(r);
+            assert!(
+                (emp - exp).abs() < 0.01,
+                "rank {r}: empirical {emp} vs expected {exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_distinct_returns_unique_ranks() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = z.sample_distinct(3, &mut rng);
+            assert_eq!(s.len(), 3);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 3);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_handles_small_n() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = z.sample_distinct(3, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rank_at_extremes() {
+        let z = Zipf::new(10, 1.0);
+        assert_eq!(z.rank_at(0.0), 0);
+        assert_eq!(z.rank_at(0.999_999_999), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

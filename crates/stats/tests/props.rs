@@ -1,0 +1,84 @@
+//! Property tests for the statistics toolkit.
+
+use move_stats::{apportion, entropy_bits, ranked_series, Discrete, Summary, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn zipf_pmf_is_a_distribution(n in 1usize..2000, alpha in 0.0f64..3.0) {
+        let z = Zipf::new(n, alpha);
+        let total: f64 = (0..n).map(|r| z.probability(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        // Monotone non-increasing in rank.
+        for r in 1..n {
+            prop_assert!(z.probability(r) <= z.probability(r - 1) + 1e-12);
+        }
+        prop_assert!(z.entropy_bits() <= (n as f64).log2() + 1e-9);
+    }
+
+    #[test]
+    fn capped_zipf_respects_cap_shape(n in 10usize..2000, alpha in 0.0f64..3.0, cap in 0.001f64..0.5) {
+        let z = Zipf::with_cap(n, alpha, cap);
+        let total: f64 = (0..n).map(|r| z.probability(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        // Renormalization can push past the nominal cap, but the head stays
+        // flattened relative to the uncapped law.
+        let raw = Zipf::new(n, alpha);
+        prop_assert!(z.probability(0) <= raw.probability(0).max(cap * 2.0) + 1e-9);
+    }
+
+    #[test]
+    fn apportion_is_exact_and_proportionalish(
+        weights in prop::collection::vec(0.0f64..100.0, 1..30),
+        total in 0u64..10_000,
+    ) {
+        let shares = apportion(&weights, total, 1);
+        let k = weights.iter().filter(|&&w| w > 0.0).count() as u64;
+        let expect = total.max(k);
+        prop_assert_eq!(shares.iter().sum::<u64>(), if k == 0 { 0 } else { expect });
+        for (s, w) in shares.iter().zip(&weights) {
+            if *w == 0.0 {
+                prop_assert_eq!(*s, 0);
+            } else {
+                prop_assert!(*s >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_series_is_a_permutation(values in prop::collection::vec(0.0f64..1e6, 0..100)) {
+        let s = ranked_series(&values);
+        prop_assert_eq!(s.len(), values.len());
+        prop_assert!(s.windows(2).all(|w| w[0].1 >= w[1].1));
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut got: Vec<f64> = s.iter().map(|&(_, v)| v).collect();
+        got.sort_by(f64::total_cmp);
+        prop_assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn summary_bounds(values in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        let s = Summary::of(&values);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!((0.0..1.0 + 1e-9).contains(&s.gini));
+    }
+
+    #[test]
+    fn entropy_is_maximal_for_uniform(counts in prop::collection::vec(1u64..100, 1..50)) {
+        let h = entropy_bits(&counts);
+        prop_assert!(h <= (counts.len() as f64).log2() + 1e-9);
+        let uniform: Vec<u64> = vec![7; counts.len()];
+        prop_assert!(entropy_bits(&uniform) + 1e-9 >= h || counts.len() == 1);
+    }
+
+    #[test]
+    fn discrete_sampling_in_range(weights in prop::collection::vec(0.01f64..10.0, 1..20), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let d = Discrete::new(&weights);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(d.sample(&mut rng) < weights.len());
+        }
+    }
+}

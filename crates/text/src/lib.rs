@@ -1,0 +1,38 @@
+//! Text preprocessing for MOVE.
+//!
+//! The paper's datasets are "pre-processed with the Porter algorithm and
+//! common stop words … removed" (§VI-A). This crate provides that pipeline:
+//!
+//! * [`tokenize`]/[`Tokenizer`] — lowercasing, splitting on non-alphanumeric
+//!   characters, length filtering;
+//! * [`stem`] — the Porter (1980) stemming algorithm, implemented from
+//!   scratch;
+//! * [`is_stop_word`] — the classic English stop-word list;
+//! * [`TextPipeline`] — the composition, producing [`move_types::Document`]s
+//!   and [`move_types::Filter`]s straight from raw text.
+//!
+//! # Examples
+//!
+//! ```
+//! use move_text::TextPipeline;
+//! use move_types::TermDictionary;
+//!
+//! let pipeline = TextPipeline::default();
+//! let mut dict = TermDictionary::new();
+//! let doc = pipeline.document(7, "The hopeful traveller was travelling hopefully", &mut dict);
+//! // "the"/"was" are stop words; "traveller"/"travelling" stem together.
+//! assert!(doc.distinct_terms() <= 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+mod porter;
+mod stopwords;
+mod tokenizer;
+
+pub use pipeline::TextPipeline;
+pub use porter::stem;
+pub use stopwords::{is_stop_word, STOP_WORDS};
+pub use tokenizer::{tokenize, Tokenizer};

@@ -1,0 +1,120 @@
+//! The full preprocessing pipeline.
+
+use crate::{is_stop_word, stem, Tokenizer};
+use move_types::{DocId, Document, Filter, FilterId, TermDictionary};
+
+/// Composition of tokenization, stop-word removal and Porter stemming — the
+/// preprocessing the paper applies to the TREC corpora (§VI-A) — producing
+/// interned [`Document`]s and [`Filter`]s.
+///
+/// # Examples
+///
+/// ```
+/// use move_text::TextPipeline;
+/// use move_types::TermDictionary;
+///
+/// let p = TextPipeline::default();
+/// let mut dict = TermDictionary::new();
+/// let f = p.filter(0, "breaking news", &mut dict);
+/// let d = p.document(0, "The news tonight: nothing happened.", &mut dict);
+/// assert!(f.matches(&d));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextPipeline {
+    tokenizer: Tokenizer,
+    remove_stop_words: bool,
+    stem: bool,
+}
+
+impl Default for TextPipeline {
+    /// Stop-word removal and stemming on, default tokenizer — the paper's
+    /// configuration.
+    fn default() -> Self {
+        Self {
+            tokenizer: Tokenizer::default(),
+            remove_stop_words: true,
+            stem: true,
+        }
+    }
+}
+
+impl TextPipeline {
+    /// Creates a pipeline with an explicit tokenizer and switches.
+    pub fn new(tokenizer: Tokenizer, remove_stop_words: bool, stem: bool) -> Self {
+        Self {
+            tokenizer,
+            remove_stop_words,
+            stem,
+        }
+    }
+
+    /// Preprocesses `text` into a list of terms (with repetitions, in text
+    /// order).
+    pub fn terms(&self, text: &str) -> Vec<String> {
+        self.tokenizer
+            .tokens(text)
+            .filter(|w| !self.remove_stop_words || !is_stop_word(w))
+            .map(|w| if self.stem { stem(&w) } else { w })
+            .collect()
+    }
+
+    /// Preprocesses `text` into a [`Document`], interning terms in `dict`.
+    pub fn document<D: Into<DocId>>(
+        &self,
+        id: D,
+        text: &str,
+        dict: &mut TermDictionary,
+    ) -> Document {
+        let terms = self.terms(text);
+        Document::from_occurrences(id, terms.iter().map(|t| dict.intern(t)))
+    }
+
+    /// Preprocesses `text` into a [`Filter`], interning terms in `dict`.
+    pub fn filter<F: Into<FilterId>>(
+        &self,
+        id: F,
+        text: &str,
+        dict: &mut TermDictionary,
+    ) -> Filter {
+        let terms = self.terms(text);
+        Filter::new(id, terms.iter().map(|t| dict.intern(t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_words_removed_and_stemmed() {
+        let p = TextPipeline::default();
+        let terms = p.terms("the cats were running");
+        assert_eq!(terms, vec!["cat", "run"]);
+    }
+
+    #[test]
+    fn switches_can_disable_stages() {
+        let raw = TextPipeline::new(Tokenizer::default(), false, false);
+        assert_eq!(raw.terms("the cats"), vec!["the", "cats"]);
+        let no_stem = TextPipeline::new(Tokenizer::default(), true, false);
+        assert_eq!(no_stem.terms("the cats"), vec!["cats"]);
+    }
+
+    #[test]
+    fn morphological_variants_collide() {
+        let p = TextPipeline::default();
+        let mut dict = TermDictionary::new();
+        let f = p.filter(0, "connection", &mut dict);
+        let d = p.document(0, "we are connected", &mut dict);
+        assert!(f.matches(&d), "connection/connected should share a stem");
+    }
+
+    #[test]
+    fn document_counts_survive_pipeline() {
+        let p = TextPipeline::default();
+        let mut dict = TermDictionary::new();
+        let d = p.document(0, "news news news weather", &mut dict);
+        let news = dict.id("new").or_else(|| dict.id("news")).unwrap();
+        assert_eq!(d.term_count(news), 3);
+    }
+}

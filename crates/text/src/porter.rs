@@ -1,0 +1,466 @@
+//! The Porter stemming algorithm (M. F. Porter, "An algorithm for suffix
+//! stripping", *Program* 14(3), 1980), implemented from scratch.
+//!
+//! The implementation follows the original paper's five steps (with the
+//! author's later `bli`→`ble` and `logi`→`log` revisions folded in, matching
+//! the widely-used reference implementation) and operates on ASCII bytes; a
+//! word containing anything but ASCII lowercase letters is returned
+//! unchanged.
+
+/// Internal working buffer. `b[0..k]` is the current word, `b[0..j]` the stem
+/// located by the most recent successful [`Stemmer::ends`] call.
+struct Stemmer {
+    b: Vec<u8>,
+    /// Length of the current word.
+    k: usize,
+    /// Length of the stem before the matched suffix.
+    j: usize,
+}
+
+impl Stemmer {
+    fn new(word: &[u8]) -> Self {
+        Stemmer {
+            b: word.to_vec(),
+            k: word.len(),
+            j: word.len(),
+        }
+    }
+
+    /// True if `b[i]` is a consonant. `y` is a consonant at position 0 and
+    /// after a vowel.
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.is_consonant(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Measure of the stem `b[0..j]`: the `m` in the canonical form
+    /// `[C](VC)^m[V]`.
+    fn measure(&self) -> usize {
+        let end = self.j;
+        let mut n = 0;
+        let mut i = 0;
+        // Skip the optional leading consonant run.
+        while i < end && self.is_consonant(i) {
+            i += 1;
+        }
+        loop {
+            // Vowel run.
+            while i < end && !self.is_consonant(i) {
+                i += 1;
+            }
+            if i >= end {
+                return n;
+            }
+            // Consonant run closes one VC pair.
+            while i < end && self.is_consonant(i) {
+                i += 1;
+            }
+            n += 1;
+            if i >= end {
+                return n;
+            }
+        }
+    }
+
+    /// True if the stem `b[0..j]` contains a vowel.
+    fn vowel_in_stem(&self) -> bool {
+        (0..self.j).any(|i| !self.is_consonant(i))
+    }
+
+    /// True if `b[i-1..=i]` is a double consonant.
+    fn double_consonant(&self, i: usize) -> bool {
+        i >= 1 && self.b[i] == self.b[i - 1] && self.is_consonant(i)
+    }
+
+    /// True if `b[i-2..=i]` is consonant-vowel-consonant and the final
+    /// consonant is not `w`, `x` or `y` (the `*o` condition, used to restore
+    /// a trailing `e` as in `hop` + `ing` → `hope`-less `hop`).
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.is_consonant(i) || self.is_consonant(i - 1) || !self.is_consonant(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    /// True if the word ends with `suffix`; on success sets `j` to the
+    /// length of the part before the suffix.
+    fn ends(&mut self, suffix: &[u8]) -> bool {
+        let len = suffix.len();
+        if len > self.k || &self.b[self.k - len..self.k] != suffix {
+            return false;
+        }
+        self.j = self.k - len;
+        true
+    }
+
+    /// Replaces the suffix located by `ends` with `s`.
+    fn set_to(&mut self, s: &[u8]) {
+        self.b.truncate(self.j);
+        self.b.extend_from_slice(s);
+        self.k = self.b.len();
+    }
+
+    /// `set_to` guarded by `measure() > 0`.
+    fn replace_if_measure(&mut self, s: &[u8]) {
+        if self.measure() > 0 {
+            self.set_to(s);
+        }
+    }
+
+    fn truncate_to(&mut self, len: usize) {
+        self.k = len;
+        self.b.truncate(len);
+    }
+
+    /// Step 1a: plurals. `sses`→`ss`, `ies`→`i`, `ss`→`ss`, `s`→``.
+    fn step1a(&mut self) {
+        if self.b[self.k - 1] == b's' {
+            if self.ends(b"sses") || self.ends(b"ies") {
+                self.truncate_to(self.k - 2);
+            } else if self.b[self.k - 2] != b's' {
+                self.truncate_to(self.k - 1);
+            }
+        }
+    }
+
+    /// Step 1b: `eed`, `ed`, `ing`.
+    fn step1b(&mut self) {
+        if self.ends(b"eed") {
+            if self.measure() > 0 {
+                self.truncate_to(self.k - 1);
+            }
+            return;
+        }
+        if (self.ends(b"ed") || self.ends(b"ing")) && self.vowel_in_stem() {
+            self.truncate_to(self.j);
+            if self.ends(b"at") || self.ends(b"bl") || self.ends(b"iz") {
+                // conflat(ed) → conflate, troubl(ed) → trouble, siz(ed) → size
+                self.b.push(b'e');
+                self.k += 1;
+            } else if self.double_consonant(self.k - 1) {
+                if !matches!(self.b[self.k - 1], b'l' | b's' | b'z') {
+                    self.truncate_to(self.k - 1);
+                }
+            } else {
+                self.j = self.k;
+                if self.measure() == 1 && self.cvc(self.k - 1) {
+                    self.b.push(b'e');
+                    self.k += 1;
+                }
+            }
+        }
+    }
+
+    /// Step 1c: terminal `y` → `i` when the stem contains a vowel.
+    fn step1c(&mut self) {
+        if self.ends(b"y") && self.vowel_in_stem() {
+            self.b[self.k - 1] = b'i';
+        }
+    }
+
+    /// Step 2: double/triple suffixes mapped to single ones when `m > 0`.
+    fn step2(&mut self) {
+        // Dispatch on the penultimate character as in the reference code.
+        let pairs: &[(&[u8], &[u8])] = match self.b[self.k - 2] {
+            b'a' => &[(b"ational", b"ate"), (b"tional", b"tion")],
+            b'c' => &[(b"enci", b"ence"), (b"anci", b"ance")],
+            b'e' => &[(b"izer", b"ize")],
+            b'l' => &[
+                (b"bli", b"ble"),
+                (b"alli", b"al"),
+                (b"entli", b"ent"),
+                (b"eli", b"e"),
+                (b"ousli", b"ous"),
+            ],
+            b'o' => &[(b"ization", b"ize"), (b"ation", b"ate"), (b"ator", b"ate")],
+            b's' => &[
+                (b"alism", b"al"),
+                (b"iveness", b"ive"),
+                (b"fulness", b"ful"),
+                (b"ousness", b"ous"),
+            ],
+            b't' => &[(b"aliti", b"al"), (b"iviti", b"ive"), (b"biliti", b"ble")],
+            b'g' => &[(b"logi", b"log")],
+            _ => return,
+        };
+        for &(suffix, to) in pairs {
+            if self.ends(suffix) {
+                self.replace_if_measure(to);
+                return;
+            }
+        }
+    }
+
+    /// Step 3: `-icate`, `-ative`, `-ful`, `-ness`, ….
+    fn step3(&mut self) {
+        let pairs: &[(&[u8], &[u8])] = match self.b[self.k - 1] {
+            b'e' => &[(b"icate", b"ic"), (b"ative", b""), (b"alize", b"al")],
+            b'i' => &[(b"iciti", b"ic")],
+            b'l' => &[(b"ical", b"ic"), (b"ful", b"")],
+            b's' => &[(b"ness", b"")],
+            _ => return,
+        };
+        for &(suffix, to) in pairs {
+            if self.ends(suffix) {
+                self.replace_if_measure(to);
+                return;
+            }
+        }
+    }
+
+    /// Step 4: drop a closed set of suffixes when `m > 1`.
+    fn step4(&mut self) {
+        let matched = match self.b[self.k - 2] {
+            b'a' => self.ends(b"al"),
+            b'c' => self.ends(b"ance") || self.ends(b"ence"),
+            b'e' => self.ends(b"er"),
+            b'i' => self.ends(b"ic"),
+            b'l' => self.ends(b"able") || self.ends(b"ible"),
+            b'n' => {
+                self.ends(b"ant")
+                    || self.ends(b"ement")
+                    || self.ends(b"ment")
+                    || self.ends(b"ent")
+            }
+            b'o' => {
+                (self.ends(b"ion")
+                    && self.j >= 1
+                    && matches!(self.b[self.j - 1], b's' | b't'))
+                    || self.ends(b"ou")
+            }
+            b's' => self.ends(b"ism"),
+            b't' => self.ends(b"ate") || self.ends(b"iti"),
+            b'u' => self.ends(b"ous"),
+            b'v' => self.ends(b"ive"),
+            b'z' => self.ends(b"ize"),
+            _ => false,
+        };
+        if matched && self.measure() > 1 {
+            self.truncate_to(self.j);
+        }
+    }
+
+    /// Step 5: drop a final `e` (`m > 1`, or `m == 1` and not `*o`), and
+    /// undouble a final `ll` when `m > 1`.
+    fn step5(&mut self) {
+        self.j = self.k;
+        if self.b[self.k - 1] == b'e' {
+            let m = self.measure();
+            if m > 1 || (m == 1 && !self.cvc(self.k - 2)) {
+                self.truncate_to(self.k - 1);
+            }
+        }
+        if self.b[self.k - 1] == b'l' && self.double_consonant(self.k - 1) {
+            self.j = self.k;
+            if self.measure() > 1 {
+                self.truncate_to(self.k - 1);
+            }
+        }
+    }
+
+    fn run(mut self) -> Vec<u8> {
+        if self.k <= 2 {
+            return self.b; // per Porter: words of length 1 or 2 are left alone
+        }
+        self.step1a();
+        if self.k > 1 {
+            self.step1b();
+        }
+        if self.k > 1 {
+            self.step1c();
+        }
+        if self.k > 2 {
+            self.step2();
+        }
+        if self.k > 2 {
+            self.step3();
+        }
+        if self.k > 2 {
+            self.step4();
+        }
+        if self.k > 1 {
+            self.step5();
+        }
+        self.b
+    }
+}
+
+/// Stems a single lowercase ASCII word with the Porter algorithm.
+///
+/// Input that is not entirely ASCII lowercase letters is returned unchanged
+/// (the tokenizer only produces ASCII-lowercased alphabetic tokens; anything
+/// else passes through verbatim for robustness).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(move_text::stem("relational"), "relat");
+/// assert_eq!(move_text::stem("hopping"), "hop");
+/// assert_eq!(move_text::stem("sky"), "sky");
+/// ```
+pub fn stem(word: &str) -> String {
+    if word.is_empty() || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_owned();
+    }
+    let out = Stemmer::new(word.as_bytes()).run();
+    String::from_utf8(out).expect("stemmer operates on ASCII bytes only")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic vectors from Porter's paper and the reference implementation.
+    const VECTORS: &[(&str, &str)] = &[
+        ("caresses", "caress"),
+        ("ponies", "poni"),
+        ("ties", "ti"),
+        ("caress", "caress"),
+        ("cats", "cat"),
+        ("feed", "feed"),
+        ("agreed", "agre"),
+        ("plastered", "plaster"),
+        ("bled", "bled"),
+        ("motoring", "motor"),
+        ("sing", "sing"),
+        ("conflated", "conflat"),
+        ("troubled", "troubl"),
+        ("sized", "size"),
+        ("hopping", "hop"),
+        ("tanned", "tan"),
+        ("falling", "fall"),
+        ("hissing", "hiss"),
+        ("fizzed", "fizz"),
+        ("failing", "fail"),
+        ("filing", "file"),
+        ("happy", "happi"),
+        ("sky", "sky"),
+        ("relational", "relat"),
+        ("conditional", "condit"),
+        ("rational", "ration"),
+        ("valenci", "valenc"),
+        ("hesitanci", "hesit"),
+        ("digitizer", "digit"),
+        ("radically", "radic"),
+        ("differently", "differ"),
+        ("vilely", "vile"),
+        ("analogously", "analog"),
+        ("vietnamization", "vietnam"),
+        ("predication", "predic"),
+        ("operator", "oper"),
+        ("feudalism", "feudal"),
+        ("decisiveness", "decis"),
+        ("hopefulness", "hope"),
+        ("callousness", "callous"),
+        ("formality", "formal"),
+        ("sensitivity", "sensit"),
+        ("sensibility", "sensibl"),
+        ("triplicate", "triplic"),
+        ("formative", "form"),
+        ("formalize", "formal"),
+        ("electricity", "electr"),
+        ("electrical", "electr"),
+        ("hopeful", "hope"),
+        ("goodness", "good"),
+        ("revival", "reviv"),
+        ("allowance", "allow"),
+        ("inference", "infer"),
+        ("airliner", "airlin"),
+        ("gyroscopic", "gyroscop"),
+        ("adjustable", "adjust"),
+        ("defensible", "defens"),
+        ("irritant", "irrit"),
+        ("replacement", "replac"),
+        ("adjustment", "adjust"),
+        ("dependent", "depend"),
+        ("adoption", "adopt"),
+        ("communism", "commun"),
+        ("activate", "activ"),
+        ("angularity", "angular"),
+        ("homologous", "homolog"),
+        ("effective", "effect"),
+        ("bowdlerize", "bowdler"),
+        ("probate", "probat"),
+        ("rate", "rate"),
+        ("cease", "ceas"),
+        ("controlling", "control"),
+        ("rolling", "roll"),
+        ("generalizations", "gener"),
+        ("oscillators", "oscil"),
+    ];
+
+    #[test]
+    fn reference_vectors() {
+        for (word, expected) in VECTORS {
+            assert_eq!(&stem(word), expected, "stem({word:?})");
+        }
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(stem("a"), "a");
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("be"), "be");
+        assert_eq!(stem("ss"), "ss");
+    }
+
+    #[test]
+    fn non_lowercase_ascii_passthrough() {
+        assert_eq!(stem("naïve"), "naïve");
+        assert_eq!(stem("abc123"), "abc123");
+        assert_eq!(stem("Hello"), "Hello");
+        assert_eq!(stem(""), "");
+    }
+
+    #[test]
+    fn whole_word_suffixes_do_not_panic() {
+        // Words that consist entirely of a tested suffix exercise the
+        // empty-stem path (measure 0, no vowel).
+        for w in ["ies", "eed", "ing", "ation", "sses", "ional", "ement"] {
+            let _ = stem(w);
+        }
+        assert_eq!(stem("ing"), "ing"); // no vowel in (empty) stem
+    }
+
+    #[test]
+    fn stems_never_grow_beyond_one_restored_e() {
+        // Porter only ever shortens a word, except for the single trailing
+        // `e` that step 1b may restore (hop+ing → "hop", fil+ing → "file").
+        for (w, _) in VECTORS {
+            let s = stem(w);
+            assert!(
+                s.len() <= w.len(),
+                "stem longer than input: {w} -> {s}"
+            );
+            assert!(!s.is_empty(), "stem of {w} is empty");
+        }
+    }
+
+    #[test]
+    fn no_panic_on_adversarial_inputs() {
+        // Every word made of a single repeated letter, and every
+        // two-letter combination: exercises empty stems, all-consonant and
+        // all-vowel paths.
+        for c in b'a'..=b'z' {
+            for len in 1..6 {
+                let w: String = std::iter::repeat_n(c as char, len).collect();
+                let _ = stem(&w);
+            }
+        }
+        for a in b'a'..=b'z' {
+            for b in b'a'..=b'z' {
+                let w: String = [a as char, b as char, 's'].iter().collect();
+                let _ = stem(&w);
+            }
+        }
+    }
+}

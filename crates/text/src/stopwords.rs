@@ -1,0 +1,63 @@
+//! English stop words.
+//!
+//! The paper removes "common stop words such as 'the', 'and', etc." from the
+//! TREC corpora (§VI-A). The list below is the classic SMART-style core list
+//! of highly frequent English function words.
+
+/// Common English stop words, lowercase, sorted for binary search.
+pub static STOP_WORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers",
+    "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it", "its",
+    "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now", "of",
+    "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out", "over", "own",
+    "s", "same", "she", "should", "so", "some", "such", "t", "than", "that", "the", "their",
+    "theirs", "them", "themselves", "then", "there", "these", "they", "this", "those", "through",
+    "to", "too", "under", "until", "up", "very", "was", "we", "were", "what", "when", "where",
+    "which", "while", "who", "whom", "why", "will", "with", "would", "you", "your", "yours",
+    "yourself", "yourselves",
+];
+
+/// Whether `word` (already lowercased) is a stop word.
+///
+/// # Examples
+///
+/// ```
+/// assert!(move_text::is_stop_word("the"));
+/// assert!(!move_text::is_stop_word("cassandra"));
+/// ```
+pub fn is_stop_word(word: &str) -> bool {
+    STOP_WORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_unique() {
+        assert!(STOP_WORDS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn common_words_are_stopped() {
+        for w in ["the", "and", "of", "is", "was", "with"] {
+            assert!(is_stop_word(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["news", "rust", "filter", "cluster", "throughput"] {
+            assert!(!is_stop_word(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_by_contract() {
+        // Callers must lowercase first; "The" is not in the list.
+        assert!(!is_stop_word("The"));
+    }
+}

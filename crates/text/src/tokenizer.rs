@@ -1,0 +1,121 @@
+//! Tokenization.
+
+use std::ops::Range;
+
+/// Splits raw text into lowercase alphanumeric tokens.
+///
+/// A token is a maximal run of ASCII alphanumeric characters (non-ASCII
+/// characters act as separators, matching the ASCII-oriented TREC
+/// preprocessing); tokens are lowercased and filtered by length.
+///
+/// # Examples
+///
+/// ```
+/// use move_text::Tokenizer;
+///
+/// let t = Tokenizer::default();
+/// let tokens: Vec<_> = t.tokens("Breaking News: RUST 1.0 shipped!").collect();
+/// assert_eq!(tokens, vec!["breaking", "news", "rust", "shipped"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    min_len: usize,
+    max_len: usize,
+}
+
+impl Default for Tokenizer {
+    /// Tokens of 2–30 characters, the usual IR defaults (single letters and
+    /// pathological blobs carry no retrieval signal).
+    fn default() -> Self {
+        Self {
+            min_len: 2,
+            max_len: 30,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer keeping tokens whose length is in
+    /// `min_len..=max_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_len == 0` or `min_len > max_len`.
+    pub fn new(min_len: usize, max_len: usize) -> Self {
+        assert!(min_len > 0, "min_len must be at least 1");
+        assert!(min_len <= max_len, "min_len must not exceed max_len");
+        Self { min_len, max_len }
+    }
+
+    /// Iterates over the lowercased tokens of `text`.
+    pub fn tokens<'a>(&'a self, text: &'a str) -> impl Iterator<Item = String> + 'a {
+        let accept: Range<usize> = self.min_len..self.max_len + 1;
+        text.split(|c: char| !c.is_ascii_alphanumeric())
+            .filter(move |w| accept.contains(&w.len()))
+            .map(|w| w.to_ascii_lowercase())
+    }
+}
+
+/// Tokenizes `text` with the default [`Tokenizer`].
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(move_text::tokenize("to be or not"), vec!["to", "be", "or", "not"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    Tokenizer::default().tokens(text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("hello, world!  foo-bar_baz"),
+            vec!["hello", "world", "foo", "bar", "baz"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("MiXeD CaSe"), vec!["mixed", "case"]);
+    }
+
+    #[test]
+    fn length_filter() {
+        let t = Tokenizer::new(3, 5);
+        let tokens: Vec<_> = t.tokens("a ab abc abcd abcde abcdef").collect();
+        assert_eq!(tokens, vec!["abc", "abcd", "abcde"]);
+    }
+
+    #[test]
+    fn default_drops_single_chars() {
+        assert_eq!(tokenize("a b cd"), vec!["cd"]);
+    }
+
+    #[test]
+    fn non_ascii_acts_as_separator() {
+        assert_eq!(tokenize("caffè latte"), vec!["caff", "latte"]);
+    }
+
+    #[test]
+    fn digits_are_kept() {
+        assert_eq!(tokenize("web 2.0 era"), vec!["web", "era"]);
+        assert_eq!(tokenize("ipv6 rfc2616"), vec!["ipv6", "rfc2616"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  \t\n ").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_len")]
+    fn zero_min_len_rejected() {
+        let _ = Tokenizer::new(0, 5);
+    }
+}

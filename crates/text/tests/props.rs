@@ -1,0 +1,55 @@
+//! Property tests: the text pipeline must be total (no panics, sane
+//! outputs) over arbitrary input.
+
+use move_text::{stem, tokenize, TextPipeline};
+use move_types::TermDictionary;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn stem_never_panics_and_never_grows(word in "[a-z]{0,20}") {
+        let s = stem(&word);
+        prop_assert!(s.len() <= word.len() + 1, "{word} -> {s}");
+        if !word.is_empty() {
+            prop_assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn stem_total_on_arbitrary_unicode(word in ".*") {
+        let _ = stem(&word); // non-lowercase-ASCII passes through
+    }
+
+    #[test]
+    fn tokenize_outputs_are_lowercase_alnum(text in ".*") {
+        for tok in tokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.len() >= 2 && tok.len() <= 30);
+            prop_assert!(tok.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn pipeline_documents_are_well_formed(text in ".*") {
+        let p = TextPipeline::default();
+        let mut dict = TermDictionary::new();
+        let d = p.document(0u64, &text, &mut dict);
+        // Sorted, deduplicated terms; counts consistent.
+        prop_assert!(d.terms().windows(2).all(|w| w[0] < w[1]));
+        let total: u64 = d.term_counts().map(|(_, c)| u64::from(c)).sum();
+        prop_assert_eq!(total, d.total_occurrences());
+    }
+
+    #[test]
+    fn filter_always_matches_its_own_text(words in prop::collection::vec("[a-z]{3,10}", 1..6)) {
+        let text = words.join(" ");
+        let p = TextPipeline::default();
+        let mut dict = TermDictionary::new();
+        let f = p.filter(1u64, &text, &mut dict);
+        let d = p.document(1u64, &text, &mut dict);
+        // Unless every word was a stop word, the filter matches its source.
+        if !f.is_empty() {
+            prop_assert!(f.matches(&d));
+        }
+    }
+}

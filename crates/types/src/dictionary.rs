@@ -1,0 +1,146 @@
+//! Term interning.
+
+use crate::TermId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional mapping between term strings and dense [`TermId`]s.
+///
+/// Both documents and filters are represented as sets of `TermId`s (paper
+/// §III-A); the dictionary is the single place where raw words are interned.
+/// Ids are dense and stable: the first distinct term interned receives id 0,
+/// the next id 1, and so on, which lets downstream code use plain vectors
+/// indexed by `TermId` for per-term statistics.
+///
+/// # Examples
+///
+/// ```
+/// use move_types::TermDictionary;
+///
+/// let mut dict = TermDictionary::new();
+/// let a = dict.intern("alpha");
+/// let b = dict.intern("beta");
+/// assert_ne!(a, b);
+/// assert_eq!(dict.intern("alpha"), a); // idempotent
+/// assert_eq!(dict.term(a), Some("alpha"));
+/// assert_eq!(dict.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TermDictionary {
+    by_term: HashMap<String, TermId>,
+    by_id: Vec<String>,
+}
+
+impl TermDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty dictionary with capacity for `n` distinct terms.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            by_term: HashMap::with_capacity(n),
+            by_id: Vec::with_capacity(n),
+        }
+    }
+
+    /// Interns `term`, returning its id. Repeated calls with the same term
+    /// return the same id.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(
+            u32::try_from(self.by_id.len()).expect("term dictionary overflowed u32 id space"),
+        );
+        self.by_term.insert(term.to_owned(), id);
+        self.by_id.push(term.to_owned());
+        id
+    }
+
+    /// Looks up the id of `term` without interning it.
+    pub fn id(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Returns the term string for `id`, if `id` was produced by this
+    /// dictionary.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.by_id.get(id.as_usize()).map(String::as_str)
+    }
+
+    /// Number of distinct terms interned so far.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over `(TermId, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> + '_ {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TermId(i as u32), s.as_str()))
+    }
+}
+
+impl<'a> Extend<&'a str> for TermDictionary {
+    fn extend<T: IntoIterator<Item = &'a str>>(&mut self, iter: T) {
+        for term in iter {
+            self.intern(term);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut dict = TermDictionary::new();
+        let ids: Vec<_> = ["a", "b", "c", "b", "a"]
+            .iter()
+            .map(|t| dict.intern(t))
+            .collect();
+        assert_eq!(ids, vec![TermId(0), TermId(1), TermId(2), TermId(1), TermId(0)]);
+        assert_eq!(dict.len(), 3);
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut dict = TermDictionary::new();
+        dict.intern("x");
+        assert_eq!(dict.id("x"), Some(TermId(0)));
+        assert_eq!(dict.id("y"), None);
+        assert_eq!(dict.len(), 1, "id() must not intern");
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let mut dict = TermDictionary::new();
+        let id = dict.intern("hello");
+        assert_eq!(dict.term(id), Some("hello"));
+        assert_eq!(dict.term(TermId(99)), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut dict = TermDictionary::with_capacity(3);
+        dict.extend(["z", "y", "x"]);
+        let terms: Vec<_> = dict.iter().map(|(_, t)| t).collect();
+        assert_eq!(terms, vec!["z", "y", "x"]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let dict = TermDictionary::new();
+        assert!(dict.is_empty());
+        assert_eq!(dict.iter().count(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Published content documents.
+
+use crate::{DocId, TermDictionary, TermId};
+use serde::{Deserialize, Serialize};
+
+/// A published content item, represented — as in paper §III-A — by its set of
+/// distinct terms. Term occurrence counts are retained as well so that the
+/// vector-space-model extension (similarity-threshold matching) can compute
+/// weights.
+///
+/// The distinct terms are stored sorted, so membership tests are
+/// `O(log |d|)` and set intersections are linear merges.
+///
+/// # Examples
+///
+/// ```
+/// use move_types::{Document, TermDictionary};
+///
+/// let mut dict = TermDictionary::new();
+/// // "news" appears twice: one distinct term, count 2.
+/// let doc = Document::from_words(1, ["news", "rust", "news"], &mut dict);
+/// assert_eq!(doc.distinct_terms(), 2);
+/// assert_eq!(doc.term_count(dict.id("news").unwrap()), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    id: DocId,
+    /// Distinct terms, sorted ascending.
+    terms: Vec<TermId>,
+    /// Occurrence count of each distinct term, parallel to `terms`.
+    counts: Vec<u32>,
+    /// Total number of term occurrences (sum of `counts`).
+    total_occurrences: u64,
+}
+
+impl Document {
+    /// Builds a document from raw words, interning them in `dict`. Duplicate
+    /// words are collapsed into occurrence counts.
+    pub fn from_words<'a, I, D>(id: D, words: I, dict: &mut TermDictionary) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+        D: Into<DocId>,
+    {
+        Self::from_occurrences(id, words.into_iter().map(|w| dict.intern(w)))
+    }
+
+    /// Builds a document from a stream of (possibly repeated) term ids.
+    pub fn from_occurrences<I, D>(id: D, occurrences: I) -> Self
+    where
+        I: IntoIterator<Item = TermId>,
+        D: Into<DocId>,
+    {
+        let mut all: Vec<TermId> = occurrences.into_iter().collect();
+        all.sort_unstable();
+        let mut terms = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        for t in &all {
+            match terms.last() {
+                Some(&last) if last == *t => *counts.last_mut().expect("parallel") += 1,
+                _ => {
+                    terms.push(*t);
+                    counts.push(1);
+                }
+            }
+        }
+        let total_occurrences = all.len() as u64;
+        Self {
+            id: id.into(),
+            terms,
+            counts,
+            total_occurrences,
+        }
+    }
+
+    /// Builds a document from already-distinct term ids, each counted once.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the input contains no duplicates.
+    pub fn from_distinct_terms<I, D>(id: D, terms: I) -> Self
+    where
+        I: IntoIterator<Item = TermId>,
+        D: Into<DocId>,
+    {
+        let mut terms: Vec<TermId> = terms.into_iter().collect();
+        terms.sort_unstable();
+        debug_assert!(
+            terms.windows(2).all(|w| w[0] != w[1]),
+            "from_distinct_terms received duplicate terms"
+        );
+        let counts = vec![1; terms.len()];
+        let total_occurrences = terms.len() as u64;
+        Self {
+            id: id.into(),
+            terms,
+            counts,
+            total_occurrences,
+        }
+    }
+
+    /// The document id.
+    pub fn id(&self) -> DocId {
+        self.id
+    }
+
+    /// The distinct terms, sorted ascending.
+    pub fn terms(&self) -> &[TermId] {
+        &self.terms
+    }
+
+    /// Number of distinct terms (`|d|` in the paper).
+    pub fn distinct_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total term occurrences including repetitions.
+    pub fn total_occurrences(&self) -> u64 {
+        self.total_occurrences
+    }
+
+    /// Whether the document contains `term`.
+    pub fn contains(&self, term: TermId) -> bool {
+        self.terms.binary_search(&term).is_ok()
+    }
+
+    /// Occurrence count of `term` in this document (0 if absent).
+    pub fn term_count(&self, term: TermId) -> u32 {
+        match self.terms.binary_search(&term) {
+            Ok(i) => self.counts[i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Iterates over `(term, occurrence count)` pairs in term order.
+    pub fn term_counts(&self) -> impl Iterator<Item = (TermId, u32)> + '_ {
+        self.terms.iter().copied().zip(self.counts.iter().copied())
+    }
+
+    /// Number of terms shared with the sorted term slice `other`.
+    ///
+    /// Linear merge over both sorted sequences.
+    pub fn intersection_size(&self, other: &[TermId]) -> usize {
+        debug_assert!(other.windows(2).all(|w| w[0] < w[1]));
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.terms.len() && j < other.len() {
+            match self.terms[i].cmp(&other[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(terms: &[u32]) -> Document {
+        Document::from_occurrences(0, terms.iter().map(|&t| TermId(t)))
+    }
+
+    #[test]
+    fn deduplicates_and_counts() {
+        let d = doc(&[5, 1, 5, 3, 5]);
+        assert_eq!(d.terms(), &[TermId(1), TermId(3), TermId(5)]);
+        assert_eq!(d.term_count(TermId(5)), 3);
+        assert_eq!(d.term_count(TermId(1)), 1);
+        assert_eq!(d.term_count(TermId(2)), 0);
+        assert_eq!(d.total_occurrences(), 5);
+        assert_eq!(d.distinct_terms(), 3);
+    }
+
+    #[test]
+    fn contains_uses_sorted_terms() {
+        let d = doc(&[10, 2, 7]);
+        assert!(d.contains(TermId(7)));
+        assert!(!d.contains(TermId(8)));
+    }
+
+    #[test]
+    fn intersection_size_counts_common_terms() {
+        let d = doc(&[1, 3, 5, 7]);
+        assert_eq!(d.intersection_size(&[TermId(3), TermId(4), TermId(7)]), 2);
+        assert_eq!(d.intersection_size(&[]), 0);
+        assert_eq!(d.intersection_size(&[TermId(0), TermId(9)]), 0);
+    }
+
+    #[test]
+    fn empty_document() {
+        let d = doc(&[]);
+        assert_eq!(d.distinct_terms(), 0);
+        assert_eq!(d.total_occurrences(), 0);
+        assert!(!d.contains(TermId(0)));
+    }
+
+    #[test]
+    fn from_words_interns() {
+        let mut dict = TermDictionary::new();
+        let d = Document::from_words(9, ["b", "a", "b"], &mut dict);
+        assert_eq!(d.id(), DocId(9));
+        assert_eq!(d.distinct_terms(), 2);
+        let b = dict.id("b").unwrap();
+        assert_eq!(d.term_count(b), 2);
+    }
+
+    #[test]
+    fn term_counts_iterates_in_order() {
+        let d = doc(&[4, 4, 2]);
+        let pairs: Vec<_> = d.term_counts().collect();
+        assert_eq!(pairs, vec![(TermId(2), 1), (TermId(4), 2)]);
+    }
+}

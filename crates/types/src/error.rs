@@ -1,0 +1,90 @@
+//! The shared error type.
+
+use crate::{FilterId, NodeId, TermId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the MOVE workspace crates.
+///
+/// The variants cover the failure classes of the system: configuration that
+/// cannot describe a runnable cluster, lookups that miss, operations
+/// addressed to failed nodes, and capacity violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MoveError {
+    /// A configuration parameter was invalid (empty cluster, zero capacity,
+    /// out-of-range ratio, …).
+    InvalidConfig(
+        /// Human-readable description of the offending parameter.
+        String,
+    ),
+    /// A node id did not exist in the cluster membership.
+    UnknownNode(NodeId),
+    /// A filter id was not registered.
+    UnknownFilter(FilterId),
+    /// A term id was outside the interned vocabulary.
+    UnknownTerm(TermId),
+    /// An operation was routed to a node that has failed.
+    NodeDown(NodeId),
+    /// A node would exceed its storage capacity `C`.
+    CapacityExceeded {
+        /// The node that ran out of capacity.
+        node: NodeId,
+        /// The node's configured capacity in filters.
+        capacity: u64,
+        /// The attempted new occupancy.
+        requested: u64,
+    },
+    /// A workload generator could not be calibrated to the requested target.
+    Calibration(
+        /// Description of the unreachable target statistic.
+        String,
+    ),
+}
+
+impl fmt::Display for MoveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::UnknownNode(n) => write!(f, "unknown node {n}"),
+            Self::UnknownFilter(id) => write!(f, "unknown filter {id}"),
+            Self::UnknownTerm(t) => write!(f, "unknown term {t}"),
+            Self::NodeDown(n) => write!(f, "node {n} is down"),
+            Self::CapacityExceeded {
+                node,
+                capacity,
+                requested,
+            } => write!(
+                f,
+                "node {node} capacity exceeded: requested {requested} of {capacity} filters"
+            ),
+            Self::Calibration(msg) => write!(f, "calibration failed: {msg}"),
+        }
+    }
+}
+
+impl Error for MoveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = MoveError::InvalidConfig("zero nodes".into());
+        assert_eq!(e.to_string(), "invalid configuration: zero nodes");
+        let e = MoveError::CapacityExceeded {
+            node: NodeId(3),
+            capacity: 10,
+            requested: 12,
+        };
+        assert!(e.to_string().contains("n3"));
+        assert!(e.to_string().contains("12 of 10"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_good_err<E: Error + Send + Sync + 'static>() {}
+        assert_good_err::<MoveError>();
+    }
+}

@@ -1,0 +1,133 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity in the system — terms, filters, documents, cluster nodes and
+//! racks — is addressed by a dense integer id wrapped in a newtype
+//! (C-NEWTYPE), so ids of different kinds cannot be mixed up at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw integer value of this id.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            #[doc = concat!("# use move_types::", stringify!($name), ";")]
+            #[doc = concat!("assert_eq!(", stringify!($name), "(7).as_usize(), 7);")]
+            /// ```
+            #[inline]
+            pub fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(raw: $inner) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for $inner {
+            #[inline]
+            fn from(id: $name) -> Self {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an interned term (a word after tokenization and
+    /// stemming). Terms are interned by
+    /// [`TermDictionary`](crate::TermDictionary) and ids are dense: the
+    /// `k`-th distinct term receives id `k`.
+    TermId,
+    u32,
+    "t"
+);
+
+id_type!(
+    /// Identifier of a registered profile filter.
+    FilterId,
+    u64,
+    "f"
+);
+
+id_type!(
+    /// Identifier of a published content document.
+    DocId,
+    u64,
+    "d"
+);
+
+id_type!(
+    /// Identifier of a cluster node (a simulated commodity machine).
+    NodeId,
+    u32,
+    "n"
+);
+
+id_type!(
+    /// Identifier of a rack in the cluster topology. Rack-aware replica
+    /// placement (paper §V, "Selection of allocated nodes") depends on it.
+    RackId,
+    u32,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(TermId(3).to_string(), "t3");
+        assert_eq!(FilterId(42).to_string(), "f42");
+        assert_eq!(DocId(0).to_string(), "d0");
+        assert_eq!(NodeId(9).to_string(), "n9");
+        assert_eq!(RackId(1).to_string(), "r1");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let id = TermId::from(5u32);
+        let raw: u32 = id.into();
+        assert_eq!(raw, 5);
+        assert_eq!(id.as_usize(), 5);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(NodeId(1));
+        set.insert(NodeId(1));
+        set.insert(NodeId(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(TermId::default(), TermId(0));
+        assert_eq!(FilterId::default().as_usize(), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Core data types shared by every crate of the MOVE workspace.
+//!
+//! MOVE (Rao et al., ICDCS 2012) is a keyword-based content filtering and
+//! dissemination system: users register short keyword [`Filter`]s, publishers
+//! inject large [`Document`]s, and the system delivers each document to every
+//! filter that shares at least one term with it.
+//!
+//! This crate defines the vocabulary of the whole system:
+//!
+//! * strongly-typed identifiers ([`TermId`], [`FilterId`], [`DocId`],
+//!   [`NodeId`], [`RackId`]) so that e.g. a term can never be confused with a
+//!   node,
+//! * the [`TermDictionary`] interning terms to dense ids,
+//! * [`Document`] and [`Filter`] term-set values,
+//! * the [`MatchSemantics`] selector (boolean vs. similarity threshold), and
+//! * the shared [`MoveError`] error type.
+//!
+//! # Examples
+//!
+//! ```
+//! use move_types::{Document, Filter, TermDictionary};
+//!
+//! let mut dict = TermDictionary::new();
+//! let doc = Document::from_words(0, ["rust", "distributed", "systems"], &mut dict);
+//! let filter = Filter::from_words(0, ["rust"], &mut dict);
+//! assert!(filter.matches(&doc));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dictionary;
+mod document;
+mod error;
+mod filter;
+mod ids;
+mod semantics;
+
+pub use dictionary::TermDictionary;
+pub use document::Document;
+pub use error::MoveError;
+pub use filter::Filter;
+pub use ids::{DocId, FilterId, NodeId, RackId, TermId};
+pub use semantics::MatchSemantics;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, MoveError>;

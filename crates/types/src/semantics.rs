@@ -1,0 +1,113 @@
+//! Matching semantics.
+
+use crate::{Document, Filter};
+use serde::{Deserialize, Serialize};
+
+/// How a document/filter pair is judged to match.
+///
+/// The paper's evaluation uses [`MatchSemantics::Boolean`]; §III-A notes that
+/// the scheme extends to "similarity thresholds-based semantics" following
+/// SIFT/STAIRS, which [`MatchSemantics::SimilarityThreshold`] provides: the
+/// fraction of the filter's terms that occur in the document must reach the
+/// threshold.
+///
+/// # Examples
+///
+/// ```
+/// use move_types::{Document, Filter, MatchSemantics, TermDictionary};
+///
+/// let mut dict = TermDictionary::new();
+/// let f = Filter::from_words(0, ["rust", "tokio"], &mut dict);
+/// let d = Document::from_words(0, ["rust", "async"], &mut dict);
+/// assert!(MatchSemantics::Boolean.matches(&f, &d));
+/// assert!(MatchSemantics::similarity_threshold(0.5).matches(&f, &d));
+/// assert!(!MatchSemantics::similarity_threshold(0.9).matches(&f, &d));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum MatchSemantics {
+    /// Match when the filter shares at least one term with the document
+    /// (the paper's default).
+    #[default]
+    Boolean,
+    /// Match when `overlap(f, d) / |f| >= threshold`. A threshold of 1.0 is
+    /// conjunctive matching (all filter terms must appear).
+    SimilarityThreshold(
+        /// Required fraction of the filter's terms present in the document,
+        /// in `(0, 1]`.
+        f64,
+    ),
+}
+
+impl MatchSemantics {
+    /// Creates a similarity-threshold semantics, clamping the threshold into
+    /// `(0, 1]` (a non-positive threshold would degenerate to matching
+    /// everything, including empty overlap).
+    pub fn similarity_threshold(threshold: f64) -> Self {
+        Self::SimilarityThreshold(threshold.clamp(f64::MIN_POSITIVE, 1.0))
+    }
+
+    /// Judges whether `filter` matches `doc` under these semantics.
+    ///
+    /// Empty filters never match.
+    pub fn matches(&self, filter: &Filter, doc: &Document) -> bool {
+        if filter.is_empty() {
+            return false;
+        }
+        match *self {
+            Self::Boolean => filter.matches(doc),
+            Self::SimilarityThreshold(th) => {
+                let overlap = filter.overlap(doc) as f64;
+                overlap / filter.len() as f64 >= th
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TermId;
+
+    fn f(terms: &[u32]) -> Filter {
+        Filter::new(0, terms.iter().map(|&t| TermId(t)))
+    }
+
+    fn d(terms: &[u32]) -> Document {
+        Document::from_occurrences(0, terms.iter().map(|&t| TermId(t)))
+    }
+
+    #[test]
+    fn boolean_is_default() {
+        assert_eq!(MatchSemantics::default(), MatchSemantics::Boolean);
+    }
+
+    #[test]
+    fn threshold_one_is_conjunctive() {
+        let sem = MatchSemantics::similarity_threshold(1.0);
+        assert!(sem.matches(&f(&[1, 2]), &d(&[1, 2, 3])));
+        assert!(!sem.matches(&f(&[1, 2]), &d(&[1, 3])));
+    }
+
+    #[test]
+    fn threshold_is_fraction_of_filter_terms() {
+        let sem = MatchSemantics::similarity_threshold(0.6);
+        // 2 of 3 terms = 0.667 >= 0.6
+        assert!(sem.matches(&f(&[1, 2, 3]), &d(&[1, 2])));
+        // 1 of 3 terms = 0.333 < 0.6
+        assert!(!sem.matches(&f(&[1, 2, 3]), &d(&[1])));
+    }
+
+    #[test]
+    fn clamp_rejects_nonpositive_threshold() {
+        let sem = MatchSemantics::similarity_threshold(-3.0);
+        // Even a clamped tiny threshold requires a non-empty overlap.
+        assert!(!sem.matches(&f(&[1]), &d(&[2])));
+        assert!(sem.matches(&f(&[1]), &d(&[1])));
+    }
+
+    #[test]
+    fn empty_filter_never_matches() {
+        assert!(!MatchSemantics::Boolean.matches(&f(&[]), &d(&[1])));
+        assert!(!MatchSemantics::similarity_threshold(0.5).matches(&f(&[]), &d(&[1])));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property and serde tests for the core types.
+
+use move_types::{Document, Filter, MatchSemantics, TermDictionary, TermId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn document_invariants(occurrences in prop::collection::vec(0u32..500, 0..200)) {
+        let d = Document::from_occurrences(0u64, occurrences.iter().map(|&t| TermId(t)));
+        // Sorted strictly ascending distinct terms.
+        prop_assert!(d.terms().windows(2).all(|w| w[0] < w[1]));
+        // Counts sum to the number of occurrences.
+        let total: u64 = d.term_counts().map(|(_, c)| u64::from(c)).sum();
+        prop_assert_eq!(total, occurrences.len() as u64);
+        // Every occurrence is contained; nothing else is.
+        for &t in &occurrences {
+            prop_assert!(d.contains(TermId(t)));
+        }
+        prop_assert!(!d.contains(TermId(10_000)));
+    }
+
+    #[test]
+    fn filter_match_agrees_with_set_intersection(
+        f_terms in prop::collection::btree_set(0u32..100, 0..6),
+        d_terms in prop::collection::btree_set(0u32..100, 0..40),
+    ) {
+        let f = Filter::new(0u64, f_terms.iter().map(|&t| TermId(t)));
+        let d = Document::from_distinct_terms(0u64, d_terms.iter().map(|&t| TermId(t)));
+        let expected = f_terms.intersection(&d_terms).count();
+        prop_assert_eq!(f.overlap(&d), expected);
+        prop_assert_eq!(f.matches(&d), expected > 0);
+        prop_assert_eq!(
+            d.intersection_size(f.terms()),
+            expected
+        );
+    }
+
+    #[test]
+    fn threshold_is_monotone(
+        f_terms in prop::collection::btree_set(0u32..50, 1..6),
+        d_terms in prop::collection::btree_set(0u32..50, 0..30),
+        lo in 0.1f64..0.5,
+        hi in 0.5f64..1.0,
+    ) {
+        let f = Filter::new(0u64, f_terms.into_iter().map(TermId));
+        let d = Document::from_distinct_terms(0u64, d_terms.into_iter().map(TermId));
+        let strict = MatchSemantics::similarity_threshold(hi);
+        let loose = MatchSemantics::similarity_threshold(lo);
+        // A match at the stricter threshold implies one at the looser.
+        if strict.matches(&f, &d) {
+            prop_assert!(loose.matches(&f, &d));
+        }
+    }
+
+    #[test]
+    fn serde_round_trips(
+        occurrences in prop::collection::vec(0u32..100, 0..50),
+        f_terms in prop::collection::vec(0u32..100, 0..5),
+    ) {
+        let d = Document::from_occurrences(3u64, occurrences.into_iter().map(TermId));
+        let f = Filter::new(9u64, f_terms.into_iter().map(TermId));
+        let d2: Document = serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+        let f2: Filter = serde_json::from_str(&serde_json::to_string(&f).unwrap()).unwrap();
+        prop_assert_eq!(d, d2);
+        prop_assert_eq!(f, f2);
+    }
+}
+
+#[test]
+fn dictionary_serde_round_trip() {
+    let mut dict = TermDictionary::new();
+    for w in ["alpha", "beta", "gamma"] {
+        dict.intern(w);
+    }
+    let back: TermDictionary =
+        serde_json::from_str(&serde_json::to_string(&dict).unwrap()).unwrap();
+    assert_eq!(back.len(), 3);
+    assert_eq!(back.id("beta"), dict.id("beta"));
+    assert_eq!(back.term(move_types::TermId(2)), Some("gamma"));
+}

@@ -1,0 +1,201 @@
+//! Dataset specifications: the published statistics the generators target.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics of the MSN query trace used as the filter workload
+/// (paper §VI-A(1), Fig. 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MsnSpec {
+    /// Number of distinct query terms (757,996 in the trace).
+    pub vocabulary: usize,
+    /// Cumulative probability that a filter has ≤ 1, ≤ 2, ≤ 3 terms
+    /// (31.33 %, 67.75 %, 85.31 %).
+    pub length_cumulative_123: [f64; 3],
+    /// Mean number of terms per filter (2.843).
+    pub mean_terms: f64,
+    /// Longest generated filter (the tail beyond 3 terms is geometric,
+    /// truncated here).
+    pub max_terms: usize,
+    /// Head size for the popularity-mass statistic (1,000).
+    pub top_k: usize,
+    /// Popularity mass of the top `top_k` terms (0.437).
+    pub top_k_mass: f64,
+    /// Ceiling on a single term's popularity `pᵢ = |Pᵢ|/P` (fraction of
+    /// filters containing it). Fig. 4's ranked popularity tops out near
+    /// 10⁻² — real query heads plateau instead of following the power law
+    /// to its peak.
+    pub max_popularity: f64,
+}
+
+impl MsnSpec {
+    /// The paper's trace at full scale.
+    pub fn paper() -> Self {
+        Self {
+            vocabulary: 757_996,
+            length_cumulative_123: [0.3133, 0.6775, 0.8531],
+            mean_terms: 2.843,
+            max_terms: 20,
+            top_k: 1_000,
+            top_k_mass: 0.437,
+            max_popularity: 0.01,
+        }
+    }
+
+    /// The paper's shape over a smaller vocabulary — for tests and
+    /// laptop-scale experiments. The head size stays the paper's 1000 terms
+    /// wherever the vocabulary permits (only the *tail* of the trace is
+    /// truncated), so per-term popularity magnitudes — hence posting-list
+    /// lengths and hot-spot intensities — match the paper's Fig. 4 rather
+    /// than being compressed into a sharper head. For tiny test
+    /// vocabularies the head shrinks to a quarter of the vocabulary.
+    pub fn scaled(vocabulary: usize) -> Self {
+        let paper = Self::paper();
+        Self {
+            vocabulary,
+            top_k: paper.top_k.min((vocabulary / 4).max(1)),
+            ..paper
+        }
+    }
+}
+
+impl Default for MsnSpec {
+    /// [`MsnSpec::paper`].
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Statistics of a TREC-like document corpus (paper §VI-A(2), Fig. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrecSpec {
+    /// Corpus name, used in reports ("trec-ap", "trec-wt").
+    pub name: String,
+    /// Number of distinct terms occurring in documents.
+    pub vocabulary: usize,
+    /// Mean number of distinct terms per document (6,054.9 for AP, 64.8
+    /// for WT).
+    pub mean_terms_per_doc: f64,
+    /// Shannon entropy, in nats, of the normalized document-frequency
+    /// rates (9.4473 for AP, 6.7593 for WT). Nats because the paper's
+    /// values lie below the bits-floor `log2(mean_terms_per_doc)` but above
+    /// the nats-floor `ln(mean_terms_per_doc)`.
+    pub frequency_entropy_nats: f64,
+    /// σ of the per-document log-normal length multiplier (mean 1);
+    /// 0 gives near-constant document lengths.
+    pub length_sigma: f64,
+    /// Head size for the overlap statistic (1,000).
+    pub top_k: usize,
+    /// Fraction of the top-`top_k` *filter* terms that are also
+    /// top-`top_k` *document* terms (0.269 for AP, 0.313 for WT).
+    pub top_k_overlap: f64,
+    /// Ceiling on any single term's document-frequency rate. Stop-word
+    /// removal means no surviving term appears in every document; the cap
+    /// must stay above `mean_terms_per_doc / e^entropy` or the entropy
+    /// target becomes unreachable (AP's 9.4473 nats over 6054.9 terms/doc
+    /// forces rates up to ~0.5, so AP gets a high cap).
+    pub max_rate: f64,
+}
+
+impl TrecSpec {
+    /// TREC AP: few, very large articles.
+    pub fn ap() -> Self {
+        Self {
+            name: "trec-ap".into(),
+            vocabulary: 80_000,
+            mean_terms_per_doc: 6_054.9,
+            frequency_entropy_nats: 9.4473,
+            length_sigma: 0.3,
+            top_k: 1_000,
+            top_k_overlap: 0.269,
+            max_rate: 0.8,
+        }
+    }
+
+    /// TREC WT10G: many small web documents; the skewer frequency law.
+    pub fn wt() -> Self {
+        Self {
+            name: "trec-wt".into(),
+            vocabulary: 200_000,
+            mean_terms_per_doc: 64.8,
+            frequency_entropy_nats: 6.7593,
+            length_sigma: 0.6,
+            top_k: 1_000,
+            top_k_overlap: 0.313,
+            max_rate: 0.35,
+        }
+    }
+
+    /// The same shape over a smaller vocabulary, with the mean document
+    /// size capped to stay below the vocabulary — for tests.
+    pub fn scaled(self, vocabulary: usize) -> Self {
+        let shrink = vocabulary as f64 / self.vocabulary as f64;
+        let mean = self
+            .mean_terms_per_doc
+            .min(vocabulary as f64 / 4.0)
+            .max(2.0);
+        // Entropy floor moves with the mean (and with the rate cap: at
+        // least mean/max_rate terms must carry mass); keep the target
+        // reachable by shrinking it when the support shrinks.
+        let floor = (mean / self.max_rate).ln();
+        let cap = (vocabulary as f64).ln();
+        let entropy = self
+            .frequency_entropy_nats
+            .clamp(floor + 0.2, cap - 0.05)
+            .min(self.frequency_entropy_nats);
+        // As with the MSN head, keep the paper's 1000-term head whenever
+        // the vocabulary permits so per-term frequency-rate magnitudes
+        // (Fig. 5) survive scaling; `shrink` is retained for callers that
+        // want proportional heads on tiny test vocabularies.
+        let _ = shrink;
+        Self {
+            vocabulary,
+            mean_terms_per_doc: mean,
+            frequency_entropy_nats: entropy,
+            top_k: self.top_k.min((vocabulary / 4).max(1)),
+            ..self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_match_section_vi() {
+        let msn = MsnSpec::paper();
+        assert_eq!(msn.vocabulary, 757_996);
+        assert!((msn.mean_terms - 2.843).abs() < 1e-12);
+        assert!((msn.top_k_mass - 0.437).abs() < 1e-12);
+
+        let ap = TrecSpec::ap();
+        assert!((ap.mean_terms_per_doc - 6054.9).abs() < 1e-9);
+        let wt = TrecSpec::wt();
+        assert!((wt.frequency_entropy_nats - 6.7593).abs() < 1e-9);
+        assert!(wt.frequency_entropy_nats < ap.frequency_entropy_nats);
+    }
+
+    #[test]
+    fn entropy_targets_are_consistent_in_nats() {
+        // The published entropies must sit above the nats floor
+        // ln(mean terms/doc) — the sanity check that forced the nats
+        // interpretation.
+        for spec in [TrecSpec::ap(), TrecSpec::wt()] {
+            assert!(spec.frequency_entropy_nats > spec.mean_terms_per_doc.ln());
+            assert!(spec.frequency_entropy_nats < (spec.vocabulary as f64).ln());
+        }
+    }
+
+    #[test]
+    fn scaled_keeps_targets_reachable() {
+        let msn = MsnSpec::scaled(10_000);
+        assert_eq!(msn.vocabulary, 10_000);
+        assert_eq!(msn.top_k, 1_000, "paper head kept when vocab permits");
+        assert_eq!(MsnSpec::scaled(100).top_k, 25, "tiny vocab shrinks head");
+
+        let wt = TrecSpec::wt().scaled(5_000);
+        assert!(wt.mean_terms_per_doc <= 1_250.0);
+        assert!(wt.frequency_entropy_nats < (5_000f64).ln());
+        assert!(wt.frequency_entropy_nats > wt.mean_terms_per_doc.ln());
+    }
+}

@@ -1,0 +1,6 @@
+//! Shared helpers for the MOVE examples.
+
+/// Prints a section header so example output reads as a walkthrough.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}

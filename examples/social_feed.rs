@@ -1,0 +1,88 @@
+//! Fine-grained social-feed filtering — the paper's Facebook motivation:
+//! "users are interested in only some relevant postings of the followed
+//! users … and want to filter out all other postings". Followers attach
+//! keyword filters to the accounts they follow; only matching posts are
+//! delivered, and the demo contrasts that with coarse follow-everything
+//! fan-out.
+//!
+//! ```text
+//! cargo run -p move-examples --bin social_feed
+//! ```
+
+use move_core::{Dissemination, MoveScheme, SystemConfig};
+use move_examples::section;
+use move_text::TextPipeline;
+use move_types::{FilterId, MatchSemantics, TermDictionary};
+
+/// A follow edge refined by keywords: follower × author × topic filter.
+struct Follow {
+    follower: &'static str,
+    author: &'static str,
+    topics: &'static str,
+}
+
+fn main() {
+    let pipeline = TextPipeline::default();
+    let mut dict = TermDictionary::new();
+    // Similarity-threshold semantics (the §III-A extension): a post must
+    // share at least 60 % of a follow-filter's terms — the author handle
+    // alone is not enough, the topic keywords must hit too.
+    let mut config = SystemConfig::small_test();
+    config.semantics = MatchSemantics::similarity_threshold(0.6);
+    let mut system = MoveScheme::new(config).expect("valid config");
+
+    section("keyword-refined follows (60% term-overlap threshold)");
+    let follows = [
+        Follow { follower: "nina", author: "@chef", topics: "pasta recipes" },
+        Follow { follower: "omar", author: "@chef", topics: "grilling barbecue" },
+        Follow { follower: "nina", author: "@coach", topics: "marathon training" },
+        Follow { follower: "pete", author: "@coach", topics: "strength training" },
+    ];
+    // Filter terms combine the author handle with the topic keywords, so a
+    // post only reaches followers of *that author* with *those interests*.
+    for (id, f) in follows.iter().enumerate() {
+        let text = format!("{} {}", f.author, f.topics);
+        let filter = pipeline.filter(id as u64, &text, &mut dict);
+        system.register(&filter).expect("register");
+        println!("{} follows {} for {:?}", f.follower, f.author, f.topics);
+    }
+
+    section("posts");
+    let posts = [
+        ("@chef", "Tonight's pasta special: hand rolled orecchiette recipes"),
+        ("@chef", "Low and slow barbecue brisket on the new grilling rig"),
+        ("@coach", "Week 6 of marathon training: the long run mindset"),
+        ("@coach", "Recovery day stretching routine"),
+    ];
+    let mut coarse_deliveries = 0usize;
+    let mut fine_deliveries = 0usize;
+    for (i, (author, body)) in posts.iter().enumerate() {
+        let doc = pipeline.document(i as u64, &format!("{author} {body}"), &mut dict);
+        let out = system.publish(0.0, &doc).expect("publish");
+        let recipients: Vec<&str> = out
+            .matched
+            .iter()
+            .filter_map(|&FilterId(id)| follows.get(id as usize))
+            .filter(|f| f.author == *author) // author handle must match too
+            .map(|f| f.follower)
+            .collect();
+        // Coarse model: every follower of the author gets every post.
+        let coarse: Vec<&str> = follows
+            .iter()
+            .filter(|f| f.author == *author)
+            .map(|f| f.follower)
+            .collect();
+        coarse_deliveries += coarse.len();
+        fine_deliveries += recipients.len();
+        println!("{author}: {body:?}");
+        println!("    coarse follow-all  -> {coarse:?}");
+        println!("    keyword filtering  -> {recipients:?}");
+    }
+
+    section("summary");
+    println!(
+        "coarse fan-out delivered {coarse_deliveries} posts; keyword filtering delivered \
+         {fine_deliveries} — {:.0}% of the noise removed",
+        100.0 * (1.0 - fine_deliveries as f64 / coarse_deliveries as f64)
+    );
+}

@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerates every figure and ablation; logs under results/logs/.
+set -u
+SCALE="${MOVE_SCALE:-0.05}"
+BINS="table_workload fig4_filter_popularity fig5_doc_frequency fig6_single_node_ap fig7_single_node_wt fig8a_vs_filters fig8b_vs_docs fig8c_vs_nodes fig9a_storage fig9b_matching fig9cd_failure ablation_allocation ablation_theorem ablation_bloom ablation_policy ablation_node_aggregation ablation_term_selection"
+for b in $BINS; do
+  echo "=== $b (scale $SCALE) ==="
+  MOVE_SCALE=$SCALE cargo run --release -q -p move-bench --bin "$b" >"results/logs/$b.log" 2>&1 \
+    && echo "ok: $b" || echo "FAILED: $b"
+done
+
+echo "=== plot_results ==="
+cargo run --release -q -p move-bench --bin plot_results && echo "ok: plot_results"

@@ -1,0 +1,32 @@
+//! Shared helpers for the MOVE integration-test suite.
+
+#![forbid(unsafe_code)]
+
+use move_types::{Document, Filter, TermId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` random filters of 1–3 terms over `vocab` terms.
+pub fn random_filters(n: u64, vocab: u32, seed: u64) -> Vec<Filter> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| {
+            let len = rng.gen_range(1..=3);
+            Filter::new(id, (0..len).map(|_| TermId(rng.gen_range(0..vocab))))
+        })
+        .collect()
+}
+
+/// Generates `n` random documents of up to `max_terms` distinct terms.
+pub fn random_docs(n: u64, vocab: u32, max_terms: usize, seed: u64) -> Vec<Document> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| {
+            let len = rng.gen_range(1..=max_terms);
+            let mut terms: Vec<u32> = (0..len).map(|_| rng.gen_range(0..vocab)).collect();
+            terms.sort_unstable();
+            terms.dedup();
+            Document::from_distinct_terms(id, terms.into_iter().map(TermId))
+        })
+        .collect()
+}

@@ -1,0 +1,104 @@
+//! Properties of the allocation optimizer and grid layout (DESIGN.md §5).
+
+use move_core::{AllocationFactors, FactorRule, Grid, GridMode, NodeStats};
+use move_types::{FilterId, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_stats() -> impl Strategy<Value = Vec<NodeStats>> {
+    prop::collection::vec(
+        (0u64..5_000, 0u64..200, 0u64..100_000).prop_map(|(pairs, hits, postings)| NodeStats {
+            pairs,
+            doc_hits: hits,
+            hit_postings: postings,
+            docs_observed: 100,
+        }),
+        2..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn factors_respect_budget_and_caps(
+        stats in arb_stats(),
+        rule_idx in 0usize..6,
+        seed in 0u64..100,
+    ) {
+        let rule = [
+            FactorRule::Uniform,
+            FactorRule::SqrtQ,
+            FactorRule::SqrtBetaQ,
+            FactorRule::SqrtPQ,
+            FactorRule::SqrtLoad,
+            FactorRule::LoadBalance,
+        ][rule_idx];
+        let nodes = stats.len() as u64;
+        let baseline: u64 = stats.iter().map(|s| s.pairs).sum();
+        let total_filters = (baseline / 2).max(1);
+        // Capacity generous enough to be feasible.
+        let capacity = (baseline / nodes).max(1) * 3;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = AllocationFactors::compute(&stats, total_filters, capacity, rule, 5.0, &mut rng)
+            .expect("feasible");
+        for (n, s) in f.n.iter().zip(&stats) {
+            if s.pairs == 0 {
+                prop_assert_eq!(*n, 0);
+            } else {
+                prop_assert!((1..=nodes).contains(n), "n={n} outside [1, N]");
+            }
+        }
+        // The realized storage stays within the budget plus rounding slack
+        // (one extra copy per node at most).
+        let used: u64 = f.n.iter().zip(&stats).map(|(n, s)| n * s.pairs).sum();
+        let slack: u64 = stats.iter().map(|s| s.pairs).sum();
+        prop_assert!(
+            used <= nodes * capacity + slack,
+            "used {used} over budget {}",
+            nodes * capacity
+        );
+    }
+
+    #[test]
+    fn infeasible_budgets_are_rejected(stats in arb_stats()) {
+        let baseline: u64 = stats.iter().map(|s| s.pairs).sum();
+        prop_assume!(baseline > stats.len() as u64);
+        let capacity = (baseline / stats.len() as u64) / 2;
+        prop_assume!(capacity > 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = AllocationFactors::compute(
+            &stats, baseline, capacity, FactorRule::SqrtPQ, 1.0, &mut rng,
+        );
+        prop_assert!(r.is_err(), "half the needed capacity must be rejected");
+    }
+
+    #[test]
+    fn grid_covers_each_filter_exactly_rows_times(
+        n in 1u64..20,
+        pairs in 1u64..10_000,
+        capacity in 1u64..5_000,
+        ids in prop::collection::vec(0u64..1_000_000, 1..50),
+    ) {
+        let (rows, cols) = Grid::shape(GridMode::Optimal, n, pairs, capacity);
+        prop_assert!(rows * cols < n as usize + cols); // rows*cols ≤ n rounded to full rows
+        prop_assert!(rows >= 1 && cols >= 1);
+        // Subsets fit the half-capacity target whenever enough columns exist.
+        if (cols as u64) < n {
+            prop_assert!(pairs.div_ceil(cols as u64) <= capacity.div_ceil(2).max(1));
+        }
+
+        let slots: Vec<NodeId> = (0..(rows * cols) as u32).map(NodeId).collect();
+        let grid = Grid::build(rows, cols, slots);
+        prop_assert!((grid.allocation_ratio() - 1.0 / grid.rows() as f64).abs() < 1e-12);
+        for raw in ids {
+            let col = grid.column_of(FilterId(raw));
+            prop_assert!(col < grid.cols());
+            // The filter's serving nodes: one per row, all in its column.
+            let serving: Vec<NodeId> =
+                (0..grid.rows()).map(|r| grid.node(r, col)).collect();
+            prop_assert_eq!(serving.len(), grid.rows());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Long-running churn: interleaved registrations, unregistrations,
+//! publishes, re-allocations (with changing rules and grid modes) and
+//! occasional failures+recoveries must never break delivery completeness
+//! on live data.
+
+use move_core::{Dissemination, FactorRule, GridMode, MoveScheme, SystemConfig};
+use move_index::brute_force;
+use move_types::{Document, Filter, FilterId, MatchSemantics, NodeId, TermId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Register(u64, Vec<u32>),
+    Unregister(u64),
+    Publish(Vec<u32>),
+    Reallocate(u8),
+    PerTermReallocate,
+    Crash(u32),
+    RecoverAll,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let term = 0u32..60;
+    let op = prop_oneof![
+        5 => (0u64..100, prop::collection::vec(term.clone(), 1..4))
+            .prop_map(|(id, ts)| Op::Register(id, ts)),
+        2 => (0u64..100).prop_map(Op::Unregister),
+        5 => prop::collection::btree_set(term, 1..10)
+            .prop_map(|ts| Op::Publish(ts.into_iter().collect())),
+        1 => (0u8..6).prop_map(Op::Reallocate),
+        1 => Just(Op::PerTermReallocate),
+        1 => (0u32..6).prop_map(Op::Crash),
+        1 => Just(Op::RecoverAll),
+    ];
+    prop::collection::vec(op, 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn completeness_survives_arbitrary_churn(ops in arb_ops(), seed in 0u64..1000) {
+        let mut cfg = SystemConfig::small_test();
+        cfg.capacity_per_node = 300;
+        cfg.seed = seed;
+        let mut scheme = MoveScheme::new(cfg).expect("valid config");
+        let mut model: BTreeMap<u64, Filter> = BTreeMap::new();
+        let mut doc_id = 0u64;
+        let mut any_down = false;
+
+        for op in ops {
+            match op {
+                Op::Register(id, terms) => {
+                    if model.contains_key(&id) {
+                        continue; // ids are unique in the model
+                    }
+                    let f = Filter::new(id, terms.into_iter().map(TermId));
+                    scheme.register(&f).expect("register");
+                    model.insert(id, f);
+                }
+                Op::Unregister(id) => {
+                    let existed = model.remove(&id).is_some();
+                    let got = scheme.unregister(FilterId(id)).expect("unregister");
+                    prop_assert_eq!(got, existed);
+                }
+                Op::Publish(terms) => {
+                    let d = Document::from_distinct_terms(doc_id, terms.into_iter().map(TermId));
+                    doc_id += 1;
+                    let got = scheme.publish(0.0, &d).expect("publish").matched;
+                    let want = brute_force(model.values(), &d, MatchSemantics::Boolean);
+                    if any_down {
+                        // With dead nodes only soundness is guaranteed.
+                        prop_assert!(got.iter().all(|id| want.contains(id)));
+                    } else {
+                        prop_assert_eq!(got, want);
+                    }
+                }
+                Op::Reallocate(which) => {
+                    let rule = [
+                        FactorRule::Uniform,
+                        FactorRule::SqrtQ,
+                        FactorRule::SqrtBetaQ,
+                        FactorRule::SqrtPQ,
+                        FactorRule::SqrtLoad,
+                        FactorRule::LoadBalance,
+                    ][which as usize];
+                    scheme.set_factor_rule(rule);
+                    scheme.set_grid_mode(match which % 3 {
+                        0 => GridMode::Optimal,
+                        1 => GridMode::PureReplication,
+                        _ => GridMode::PureSeparation,
+                    });
+                    scheme.allocate().expect("allocate");
+                }
+                Op::PerTermReallocate => {
+                    scheme.allocate_per_term().expect("allocate per term");
+                }
+                Op::Crash(n) => {
+                    scheme.cluster_mut().membership_mut().crash(NodeId(n));
+                    any_down = true;
+                }
+                Op::RecoverAll => {
+                    for n in 0..6u32 {
+                        scheme.cluster_mut().membership_mut().recover(NodeId(n));
+                    }
+                    // Rebuild grids on the fully live cluster so delivery
+                    // is exact again.
+                    scheme.allocate().expect("allocate");
+                    any_down = false;
+                }
+            }
+        }
+        prop_assert_eq!(scheme.registered_filters(), model.len() as u64);
+    }
+}

@@ -1,0 +1,134 @@
+//! The system's core invariant: for every scheme and every published
+//! document, the delivered filter set equals the brute-force match set —
+//! including after MOVE's allocation, under both matching semantics, and
+//! through register/unregister churn.
+
+use move_core::{Dissemination, IlScheme, MoveScheme, RsScheme, SystemConfig};
+use move_index::brute_force;
+use move_integration_tests::{random_docs, random_filters};
+use move_types::{FilterId, MatchSemantics};
+use proptest::prelude::*;
+
+fn schemes(cfg: &SystemConfig) -> Vec<Box<dyn Dissemination>> {
+    vec![
+        Box::new(MoveScheme::new(cfg.clone()).expect("valid config")),
+        Box::new(IlScheme::new(cfg.clone()).expect("valid config")),
+        Box::new(RsScheme::new(cfg.clone()).expect("valid config")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_schemes_deliver_exactly_the_brute_force_set(
+        seed in 0u64..1_000,
+        n_filters in 50u64..400,
+        vocab in 30u32..300,
+    ) {
+        let cfg = SystemConfig::small_test();
+        let filters = random_filters(n_filters, vocab, seed);
+        let docs = random_docs(15, vocab + 20, 25, seed ^ 0xD0C);
+        for mut scheme in schemes(&cfg) {
+            for f in &filters {
+                scheme.register(f).expect("register");
+            }
+            for d in &docs {
+                let got = scheme.publish(0.0, d).expect("publish").matched;
+                let want = brute_force(&filters, d, MatchSemantics::Boolean);
+                prop_assert_eq!(
+                    &got, &want,
+                    "{} diverged on doc {}", scheme.name(), d.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn move_stays_complete_after_allocation(
+        seed in 0u64..1_000,
+        hot_share in 2u64..5,
+    ) {
+        let mut cfg = SystemConfig::small_test();
+        cfg.capacity_per_node = 150; // force grids
+        let mut filters = random_filters(300, 60, seed);
+        // Skew: every `hot_share`-th filter contains term 0.
+        for (i, f) in filters.iter_mut().enumerate() {
+            if (i as u64).is_multiple_of(hot_share) {
+                *f = move_types::Filter::new(
+                    f.id(),
+                    f.terms().iter().copied().chain([move_types::TermId(0)]),
+                );
+            }
+        }
+        let sample = random_docs(40, 70, 10, seed ^ 0x5A);
+        let docs = random_docs(20, 70, 12, seed ^ 0xD0C);
+
+        let mut scheme = MoveScheme::new(cfg).expect("valid config");
+        for f in &filters {
+            scheme.register(f).expect("register");
+        }
+        scheme.observe_corpus(&sample);
+        scheme.allocate().expect("allocate");
+        for d in &docs {
+            let got = scheme.publish(0.0, d).expect("publish").matched;
+            let want = brute_force(&filters, d, MatchSemantics::Boolean);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn threshold_semantics_complete_everywhere(
+        seed in 0u64..1_000,
+        threshold in 0.3f64..1.0,
+    ) {
+        let mut cfg = SystemConfig::small_test();
+        cfg.semantics = MatchSemantics::similarity_threshold(threshold);
+        let filters = random_filters(200, 50, seed);
+        let docs = random_docs(10, 60, 15, seed ^ 0xD0C);
+        for mut scheme in schemes(&cfg) {
+            for f in &filters {
+                scheme.register(f).expect("register");
+            }
+            for d in &docs {
+                let got = scheme.publish(0.0, d).expect("publish").matched;
+                let want = brute_force(&filters, d, cfg.semantics);
+                prop_assert_eq!(
+                    &got, &want,
+                    "{} diverged at threshold {}", scheme.name(), threshold
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unregistered_filters_never_delivered(
+        seed in 0u64..1_000,
+        drop_every in 2u64..5,
+    ) {
+        let cfg = SystemConfig::small_test();
+        let filters = random_filters(150, 40, seed);
+        let docs = random_docs(10, 50, 12, seed ^ 0xD0C);
+        for mut scheme in schemes(&cfg) {
+            for f in &filters {
+                scheme.register(f).expect("register");
+            }
+            let kept: Vec<_> = filters
+                .iter()
+                .filter(|f| f.id().0 % drop_every != 0)
+                .cloned()
+                .collect();
+            for f in &filters {
+                if f.id().0 % drop_every == 0 {
+                    prop_assert!(scheme.unregister(f.id()).expect("unregister"));
+                }
+            }
+            for d in &docs {
+                let got = scheme.publish(0.0, d).expect("publish").matched;
+                let want = brute_force(&kept, d, MatchSemantics::Boolean);
+                prop_assert_eq!(&got, &want, "{} kept a ghost filter", scheme.name());
+                prop_assert!(got.iter().all(|id: &FilterId| !id.0.is_multiple_of(drop_every)));
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Full-pipeline integration: raw text through tokenization, stop-word
+//! removal and Porter stemming, into registration and dissemination, with
+//! VSM ranking of the delivered documents — the Google-Alerts-style flow
+//! the paper's introduction motivates.
+
+use move_core::{Dissemination, MoveScheme, SystemConfig};
+use move_index::vsm::{cosine_score, Idf};
+use move_text::TextPipeline;
+use move_types::{FilterId, TermDictionary};
+
+#[test]
+fn alerts_pipeline_from_raw_text() {
+    let pipeline = TextPipeline::default();
+    let mut dict = TermDictionary::new();
+
+    // Three users register interests in plain language.
+    let subscriptions = [
+        (1u64, "rust programming language"),
+        (2u64, "football world cup"),
+        (3u64, "electric vehicles batteries"),
+    ];
+    let mut system = MoveScheme::new(SystemConfig::small_test()).expect("valid config");
+    for (id, text) in subscriptions {
+        let f = pipeline.filter(id, text, &mut dict);
+        system.register(&f).expect("register");
+    }
+
+    // A newsroom publishes articles.
+    let articles = [
+        (
+            1u64,
+            "The Rust programming language shipped a new release with faster compile times",
+        ),
+        (
+            2u64,
+            "The world cup final drew a record football audience last night",
+        ),
+        (
+            3u64,
+            "New battery chemistry promises cheaper electric vehicles by next year",
+        ),
+        (4u64, "Local bakery wins prize for sourdough"),
+    ];
+    let mut deliveries: Vec<(u64, Vec<FilterId>)> = Vec::new();
+    for (id, text) in articles {
+        let doc = pipeline.document(id, text, &mut dict);
+        let out = system.publish(0.0, &doc).expect("publish");
+        deliveries.push((id, out.matched));
+    }
+
+    assert_eq!(deliveries[0].1, vec![FilterId(1)], "rust article → rust fan");
+    assert_eq!(deliveries[1].1, vec![FilterId(2)], "cup article → football fan");
+    assert_eq!(deliveries[2].1, vec![FilterId(3)], "ev article → ev fan");
+    assert!(deliveries[3].1.is_empty(), "bakery article matches nobody");
+}
+
+#[test]
+fn stemming_bridges_morphology_end_to_end() {
+    let pipeline = TextPipeline::default();
+    let mut dict = TermDictionary::new();
+    let f = pipeline.filter(9u64, "connected", &mut dict);
+    let mut system = MoveScheme::new(SystemConfig::small_test()).expect("valid config");
+    system.register(&f).expect("register");
+    let doc = pipeline.document(0u64, "new connections in the network", &mut dict);
+    let out = system.publish(0.0, &doc).expect("publish");
+    assert_eq!(out.matched, vec![FilterId(9)]);
+}
+
+#[test]
+fn vsm_ranks_delivered_documents_sensibly() {
+    let pipeline = TextPipeline::default();
+    let mut dict = TermDictionary::new();
+    let filter = pipeline.filter(1u64, "rust compiler", &mut dict);
+    let corpus: Vec<_> = [
+        "the rust compiler got incremental compilation improvements today",
+        "a rust conference announced its speaker lineup",
+        "compiler engineers discussed optimization passes",
+        "gardening tips for the early spring season",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, text)| pipeline.document(i as u64, text, &mut dict))
+    .collect();
+    let idf = Idf::from_corpus(&corpus);
+    let mut scores: Vec<(u64, f64)> = corpus
+        .iter()
+        .map(|d| (d.id().0, cosine_score(&filter, d, &idf)))
+        .collect();
+    scores.sort_by(|a, b| b.1.total_cmp(&a.1));
+    assert_eq!(scores[0].0, 0, "the doc with both terms ranks first");
+    assert_eq!(scores[3].1, 0.0, "the gardening doc scores zero");
+}

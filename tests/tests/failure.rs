@@ -1,0 +1,145 @@
+//! Behaviour under node failure: deliveries stay a subset of the oracle
+//! set, availability falls monotonically, replica rows fail over, and the
+//! gossip membership converges.
+
+use move_cluster::{FailureMode, Membership, NodeStatus};
+use move_core::{Dissemination, MoveScheme, PlacementStrategy, SystemConfig};
+use move_index::brute_force;
+use move_integration_tests::{random_docs, random_filters};
+use move_types::{MatchSemantics, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn allocated_move(placement: PlacementStrategy, seed: u64) -> (MoveScheme, Vec<move_types::Filter>) {
+    let mut cfg = SystemConfig {
+        nodes: 12,
+        racks: 3,
+        capacity_per_node: 300,
+        expected_terms: 10_000,
+        placement,
+        ..SystemConfig::default()
+    };
+    cfg.seed = seed;
+    let filters = random_filters(600, 80, seed);
+    let sample = random_docs(60, 90, 12, seed ^ 0x5A);
+    let mut scheme = MoveScheme::new(cfg).expect("valid config");
+    for f in &filters {
+        scheme.register(f).expect("register");
+    }
+    scheme.observe_corpus(&sample);
+    scheme.allocate().expect("allocate");
+    (scheme, filters)
+}
+
+#[test]
+fn deliveries_under_failure_are_a_subset_of_the_oracle() {
+    let (mut scheme, filters) = allocated_move(PlacementStrategy::Hybrid, 1);
+    let docs = random_docs(30, 90, 12, 0xD0C);
+    let mut rng = StdRng::seed_from_u64(2);
+    scheme
+        .cluster_mut()
+        .fail_fraction(0.25, FailureMode::RandomNodes, &mut rng);
+    for d in &docs {
+        let got = scheme.publish(0.0, d).expect("publish").matched;
+        let want = brute_force(&filters, d, MatchSemantics::Boolean);
+        assert!(
+            got.iter().all(|id| want.contains(id)),
+            "delivered a non-matching filter under failure"
+        );
+    }
+}
+
+#[test]
+fn availability_is_monotone_in_failures() {
+    let (mut scheme, _) = allocated_move(PlacementStrategy::Hybrid, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut last = scheme.filter_availability();
+    assert_eq!(last, 1.0);
+    for _ in 0..4 {
+        scheme
+            .cluster_mut()
+            .fail_fraction(0.15, FailureMode::RandomNodes, &mut rng);
+        let now = scheme.filter_availability();
+        assert!(now <= last + 1e-12, "availability rose after failures");
+        last = now;
+    }
+    assert!(last > 0.0, "replication should keep something alive");
+}
+
+#[test]
+fn rack_placement_is_most_fragile_under_rack_failure() {
+    let mut results = Vec::new();
+    for placement in [
+        PlacementStrategy::Rack,
+        PlacementStrategy::Ring,
+        PlacementStrategy::Hybrid,
+    ] {
+        let (mut scheme, _) = allocated_move(placement, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        scheme
+            .cluster_mut()
+            .fail_fraction(0.33, FailureMode::RackCorrelated, &mut rng);
+        results.push((placement, scheme.filter_availability()));
+    }
+    let rack = results[0].1;
+    let ring = results[1].1;
+    let hybrid = results[2].1;
+    assert!(
+        rack <= ring && rack <= hybrid,
+        "rack placement should lose the most under rack failure: \
+         rack {rack}, ring {ring}, hybrid {hybrid}"
+    );
+}
+
+#[test]
+fn failover_keeps_delivery_for_the_affected_terms() {
+    let (mut scheme, filters) = allocated_move(PlacementStrategy::Hybrid, 7);
+    // Find an allocated home with at least 2 replica rows and kill all of
+    // row 0 except the home itself. (The victims may serve *other* homes
+    // too, so the guarantee under test is scoped to this home's terms.)
+    let grid_home = (0..12u32)
+        .map(NodeId)
+        .find(|&n| scheme.allocation(n).is_some_and(|g| g.rows() >= 2));
+    let Some(home) = grid_home else {
+        panic!("expected at least one multi-row grid");
+    };
+    let victims: Vec<NodeId> = {
+        let grid = scheme.allocation(home).expect("grid");
+        (0..grid.cols())
+            .map(|c| grid.node(0, c))
+            .filter(|&n| n != home)
+            .collect()
+    };
+    for v in victims {
+        scheme.cluster_mut().membership_mut().crash(v);
+    }
+    // A term homed at the allocated node.
+    let term = (0..200u32)
+        .map(move_types::TermId)
+        .find(|&t| scheme.cluster().home_of_term(t) == home)
+        .expect("some term is homed there");
+    let doc = move_types::Document::from_distinct_terms(0u64, [term]);
+    let got = scheme.publish(0.0, &doc).expect("publish").matched;
+    let want = brute_force(&filters, &doc, MatchSemantics::Boolean);
+    assert_eq!(got, want, "surviving replica rows must serve the home's terms");
+}
+
+#[test]
+fn gossip_converges_after_mass_failure() {
+    let mut m = Membership::new(30, 6);
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..10 {
+        m.gossip_round(&mut rng);
+    }
+    for n in [3u32, 7, 11, 19, 23] {
+        m.crash(NodeId(n));
+    }
+    for _ in 0..60 {
+        m.gossip_round(&mut rng);
+    }
+    assert!(m.converged(), "views should match ground truth");
+    for o in m.live_nodes() {
+        assert_eq!(m.status_in_view(o, NodeId(7)), NodeStatus::Down);
+        assert_eq!(m.status_in_view(o, NodeId(0)), NodeStatus::Up);
+    }
+}

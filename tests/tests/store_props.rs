@@ -1,0 +1,65 @@
+//! Model-based property test of the LSM column-family store: any sequence
+//! of put/delete/flush/compact operations must agree with a plain ordered
+//! map on every read.
+
+use move_cluster::ColumnFamily;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u8),
+    Delete(u8),
+    Flush,
+    Compact,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        4 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => any::<u8>().prop_map(Op::Delete),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+    ];
+    prop::collection::vec(op, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lsm_agrees_with_model(ops in arb_ops(), memtable_limit in 1usize..16) {
+        let mut cf = ColumnFamily::new(memtable_limit);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    cf.put(vec![*k], vec![*v]);
+                    model.insert(vec![*k], vec![*v]);
+                }
+                Op::Delete(k) => {
+                    cf.delete(vec![*k]);
+                    model.remove(&vec![*k]);
+                }
+                Op::Flush => cf.flush(),
+                Op::Compact => cf.compact(),
+            }
+        }
+        // Point reads agree on every possible key.
+        for k in 0..=255u8 {
+            let got = cf.get(&[k]);
+            let want = model.get(&vec![k]);
+            prop_assert_eq!(got.as_deref(), want.map(Vec::as_slice), "key {}", k);
+        }
+        // Full scan agrees, in order.
+        let scan: Vec<(Vec<u8>, Vec<u8>)> = cf
+            .scan_prefix(b"")
+            .into_iter()
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(scan, want);
+        prop_assert_eq!(cf.live_len(), model.len());
+    }
+}

@@ -1,0 +1,116 @@
+//! The generated workloads must reproduce §VI-A's published statistics at a
+//! moderate scale (coarser tolerances than the design-level checks, since
+//! these are empirical measurements of finite traces).
+
+use move_stats::Summary;
+use move_workload::{
+    DatasetReport, DocReport, DocumentGenerator, FilterGenerator, FilterReport, MsnSpec,
+    RankCoupling, TrecSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn msn_like_trace_matches_published_statistics() {
+    let spec = MsnSpec::scaled(20_000);
+    let gen = FilterGenerator::new(&spec).expect("calibratable");
+    let mut rng = StdRng::seed_from_u64(1);
+    let filters = gen.trace(60_000, &mut rng);
+    let report = FilterReport::measure(&filters, spec.vocabulary, spec.top_k);
+
+    assert!((report.mean_terms - 2.843).abs() < 0.05, "mean {}", report.mean_terms);
+    assert!((report.cumulative_123[0] - 0.3133).abs() < 0.015);
+    assert!((report.cumulative_123[1] - 0.6775).abs() < 0.015);
+    assert!((report.cumulative_123[2] - 0.8531).abs() < 0.015);
+    assert!(
+        (report.top_k_occurrence_share - 0.437).abs() < 0.06,
+        "head share {}",
+        report.top_k_occurrence_share
+    );
+    // Fig. 4's plateau: no term's popularity far exceeds the 10⁻² ceiling.
+    let pop = FilterReport::popularity(&filters, spec.vocabulary);
+    let max_pop = pop.iter().copied().fold(0.0f64, f64::max);
+    assert!(max_pop < 0.02, "max popularity {max_pop} above the Fig. 4 plateau");
+}
+
+#[test]
+fn wt_like_corpus_matches_published_statistics() {
+    let spec = TrecSpec::wt().scaled(8_000);
+    let gen = DocumentGenerator::new(&spec, RankCoupling::identity(8_000)).expect("calibratable");
+    let mut rng = StdRng::seed_from_u64(2);
+    let docs = gen.corpus(5_000, &mut rng);
+    let report = DocReport::measure(&docs, 8_000);
+    assert!(
+        (report.mean_terms_per_doc - spec.mean_terms_per_doc).abs() / spec.mean_terms_per_doc
+            < 0.15,
+        "mean terms {}",
+        report.mean_terms_per_doc
+    );
+    assert!(
+        (report.frequency_entropy_nats - spec.frequency_entropy_nats).abs() < 0.3,
+        "entropy {}",
+        report.frequency_entropy_nats
+    );
+    // No term saturates: the max_rate cap holds empirically.
+    let df = DocReport::doc_frequency(&docs, 8_000);
+    let max_rate = *df.iter().max().unwrap() as f64 / docs.len() as f64;
+    assert!(max_rate < spec.max_rate + 0.1, "max df rate {max_rate}");
+}
+
+#[test]
+fn ap_is_flatter_and_larger_than_wt() {
+    let ap_spec = TrecSpec::ap().scaled(8_000);
+    let wt_spec = TrecSpec::wt().scaled(8_000);
+    let mut rng = StdRng::seed_from_u64(3);
+    let ap = DocumentGenerator::new(&ap_spec, RankCoupling::identity(8_000))
+        .expect("calibratable")
+        .corpus(500, &mut rng);
+    let wt = DocumentGenerator::new(&wt_spec, RankCoupling::identity(8_000))
+        .expect("calibratable")
+        .corpus(500, &mut rng);
+    let mean = |docs: &[move_types::Document]| {
+        docs.iter().map(|d| d.distinct_terms() as f64).sum::<f64>() / docs.len() as f64
+    };
+    assert!(mean(&ap) > 5.0 * mean(&wt), "AP docs dwarf WT docs");
+    let ap_rep = DocReport::measure(&ap, 8_000);
+    let wt_rep = DocReport::measure(&wt, 8_000);
+    assert!(
+        ap_rep.frequency_entropy_nats > wt_rep.frequency_entropy_nats,
+        "WT must be the skewer trace"
+    );
+}
+
+#[test]
+fn overlap_statistic_holds_in_combination() {
+    let vocab = 10_000;
+    let msn = MsnSpec::scaled(vocab);
+    let trec = TrecSpec::wt().scaled(4_000);
+    let mut rng = StdRng::seed_from_u64(4);
+    let coupling = RankCoupling::with_overlap(4_000, vocab, trec.top_k, trec.top_k_overlap, &mut rng)
+        .expect("valid coupling");
+    let fgen = FilterGenerator::new(&msn).expect("calibratable");
+    let dgen = DocumentGenerator::new(&trec, coupling).expect("calibratable");
+    let filters = fgen.trace(80_000, &mut rng);
+    let docs = dgen.corpus(6_000, &mut rng);
+    let report = DatasetReport::measure(&filters, &docs, vocab, trec.top_k);
+    assert!(
+        (report.top_k_overlap - trec.top_k_overlap).abs() < 0.12,
+        "measured overlap {} vs target {}",
+        report.top_k_overlap,
+        trec.top_k_overlap
+    );
+}
+
+#[test]
+fn document_lengths_disperse_with_lognormal_multiplier() {
+    let spec = TrecSpec::wt().scaled(6_000);
+    let gen = DocumentGenerator::new(&spec, RankCoupling::identity(6_000)).expect("calibratable");
+    let mut rng = StdRng::seed_from_u64(5);
+    let docs = gen.corpus(3_000, &mut rng);
+    let lengths: Vec<f64> = docs.iter().map(|d| d.distinct_terms() as f64).collect();
+    let s = Summary::of(&lengths);
+    // σ = 0.6 log-normal ⇒ coefficient of variation well above a
+    // Poisson-thin stream's.
+    assert!(s.cv > 0.3, "length cv {} too tight", s.cv);
+    assert!(s.max > 3.0 * s.mean.min(s.max), "no long documents generated");
+}
