@@ -10,9 +10,7 @@
 //! `C`), pure replication overfills nodes and pays disk speeds, and only
 //! the combined grid keeps both the document and the storage balance.
 
-use move_bench::{
-    paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload,
-};
+use move_bench::{paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload};
 use move_core::GridMode;
 use move_stats::Summary;
 
@@ -24,7 +22,13 @@ fn main() {
         .slice_docs(scale.count(100_000, 500) as usize);
     let mut table = Table::new(
         "ablation_allocation",
-        &["capacity", "variant", "throughput", "storage_cv", "max_storage_over_c"],
+        &[
+            "capacity",
+            "variant",
+            "throughput",
+            "storage_cv",
+            "max_storage_over_c",
+        ],
     );
     let variants: [(&str, Option<GridMode>); 4] = [
         ("combined (move)", Some(GridMode::Optimal)),

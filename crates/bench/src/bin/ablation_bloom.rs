@@ -3,9 +3,7 @@
 //! check on a sparse filter set (so many document terms have no filters at
 //! all), comparing forwarding volume and throughput.
 
-use move_bench::{
-    paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload,
-};
+use move_bench::{paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload};
 
 fn main() {
     let scale = Scale::from_env();
@@ -31,7 +29,10 @@ fn main() {
             lists.to_string(),
             r.deliveries.to_string(),
         ]);
-        println!("{name}: throughput {:.2}, tasks {lists}, deliveries {}", r.capacity_throughput, r.deliveries);
+        println!(
+            "{name}: throughput {:.2}, tasks {lists}, deliveries {}",
+            r.capacity_throughput, r.deliveries
+        );
     }
     table.finish();
     println!("expectation: identical deliveries, fewer forwards and higher throughput with the bloom check");

@@ -35,14 +35,21 @@ fn main() {
         }
         let (tables, entries) = scheme.forwarding_tables();
         let r = run_stream(&mut scheme, &cfg, &w.docs);
-        let name = if per_term { "per-term" } else { "per-node (§V)" };
+        let name = if per_term {
+            "per-term"
+        } else {
+            "per-node (§V)"
+        };
         table.row(&[
             name.to_owned(),
             format!("{:.2}", r.capacity_throughput),
             tables.to_string(),
             entries.to_string(),
         ]);
-        println!("{name}: throughput {:.2}, {tables} tables / {entries} entries", r.capacity_throughput);
+        println!(
+            "{name}: throughput {:.2}, {tables} tables / {entries} entries",
+            r.capacity_throughput
+        );
     }
     table.finish();
     println!(

@@ -13,10 +13,7 @@ fn main() {
     let w = Workload::paper_cluster(scale)
         .slice_filters(scale.count(4_000_000, 100) as usize)
         .slice_docs(scale.count(200_000, 1_000) as usize);
-    let mut table = Table::new(
-        "ablation_policy",
-        &["policy", "window", "throughput"],
-    );
+    let mut table = Table::new("ablation_policy", &["policy", "window", "throughput"]);
     let windows = 4usize;
     let per_window = w.docs.len() / windows;
     for (name, policy) in [

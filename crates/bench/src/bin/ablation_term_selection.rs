@@ -19,7 +19,13 @@ fn main() {
         .slice_docs(scale.count(100_000, 500) as usize);
     let mut table = Table::new(
         "ablation_term_selection",
-        &["threshold", "mode", "throughput", "stored_pairs", "deliveries"],
+        &[
+            "threshold",
+            "mode",
+            "throughput",
+            "stored_pairs",
+            "deliveries",
+        ],
     );
     for threshold in [0.5f64, 1.0] {
         for (name, mode) in [

@@ -3,9 +3,7 @@
 //! load-preserving `√(load/pairs)`, the min–max `load/pairs`, and a uniform
 //! strawman — at the paper-default cluster point.
 
-use move_bench::{
-    paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload,
-};
+use move_bench::{paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload};
 use move_core::FactorRule;
 
 fn main() {

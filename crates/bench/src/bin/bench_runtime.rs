@@ -1,0 +1,127 @@
+//! Live-engine benchmark: the Fig. 8(a) N=20 cluster workload executed on
+//! real OS threads by `move-runtime` instead of the virtual-time queueing
+//! simulator. Reports *wall-clock* throughput and match-latency percentiles
+//! for all three schemes, plus the full per-node runtime report as
+//! `results/BENCH_runtime.json`.
+//!
+//! The simulator's throughput numbers model a disk-bound 2012 cluster; the
+//! live numbers measure this machine matching in memory, so the absolute
+//! values differ by orders of magnitude — what carries over is the relative
+//! cost structure (tasks dispatched, postings scanned per scheme).
+
+use move_bench::{
+    build_scheme, paper_system, ExperimentConfig, Scale, SchemeKind, Table, Workload,
+};
+use move_runtime::{Engine, RuntimeConfig, RuntimeReport};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct SchemeRun {
+    scheme: &'static str,
+    elapsed_secs: f64,
+    throughput_docs_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    report: RuntimeReport,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    scale: f64,
+    nodes: usize,
+    filters: usize,
+    docs: usize,
+    mailbox_capacity: usize,
+    batch_size: usize,
+    runs: Vec<SchemeRun>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("bench_runtime ({scale})");
+    let nodes = 20;
+    let w = Workload::paper_cluster(scale)
+        .slice_filters(scale.count(1_000_000, 200) as usize)
+        .slice_docs(scale.count(100_000, 500) as usize);
+    let cfg = ExperimentConfig::new(paper_system(scale, nodes, w.vocabulary));
+    let rt = RuntimeConfig::default();
+
+    let mut table = Table::new(
+        "bench_runtime",
+        &[
+            "scheme",
+            "docs",
+            "elapsed_s",
+            "docs_per_s",
+            "p50_us",
+            "p99_us",
+            "tasks",
+            "deliveries",
+        ],
+    );
+    let mut runs = Vec::new();
+    for kind in [SchemeKind::Move, SchemeKind::Il, SchemeKind::Rs] {
+        // Setup (registration, MOVE's observe+allocate) is untimed, like the
+        // simulator runs; the clock covers publish through full drain.
+        let scheme = build_scheme(kind, &cfg, &w);
+        let engine = Engine::start(scheme, rt.clone());
+        let start = Instant::now();
+        for d in &w.docs {
+            engine.publish(d.clone());
+        }
+        engine.flush();
+        let elapsed = start.elapsed().as_secs_f64();
+        let report = engine.shutdown().expect("engine ran to completion");
+
+        let throughput = w.docs.len() as f64 / elapsed;
+        let p50_us = report.latency.p50 as f64 / 1e3;
+        let p99_us = report.latency.p99 as f64 / 1e3;
+        table.row(&[
+            kind.label().to_owned(),
+            w.docs.len().to_string(),
+            format!("{elapsed:.3}"),
+            format!("{throughput:.0}"),
+            format!("{p50_us:.1}"),
+            format!("{p99_us:.1}"),
+            report.tasks_dispatched.to_string(),
+            report.deliveries().to_string(),
+        ]);
+        println!(
+            "{}: {} docs in {:.3}s wall = {:.0} docs/s; latency p50 {:.1}us p99 {:.1}us; \
+             {} tasks, {} postings scanned, {} allocation updates",
+            kind.label(),
+            w.docs.len(),
+            elapsed,
+            throughput,
+            p50_us,
+            p99_us,
+            report.tasks_dispatched,
+            report.postings_scanned(),
+            report.allocation_updates,
+        );
+        runs.push(SchemeRun {
+            scheme: kind.label(),
+            elapsed_secs: elapsed,
+            throughput_docs_per_sec: throughput,
+            p50_us,
+            p99_us,
+            report,
+        });
+    }
+    table.finish();
+
+    let bench = BenchReport {
+        scale: scale.factor,
+        nodes,
+        filters: w.filters.len(),
+        docs: w.docs.len(),
+        mailbox_capacity: rt.mailbox_capacity,
+        batch_size: rt.batch_size,
+        runs,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("report serializes");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_runtime.json", json).expect("write json report");
+    println!("wrote results/BENCH_runtime.json");
+}

@@ -10,9 +10,17 @@ fn main() {
     let w = Workload::paper_cluster(scale).slice_docs(scale.count(100_000, 500) as usize);
     let mut table = Table::new(
         "fig8a_vs_filters",
-        &["P_paper", "P", "scheme", "throughput", "capacity_throughput"],
+        &[
+            "P_paper",
+            "P",
+            "scheme",
+            "throughput",
+            "capacity_throughput",
+        ],
     );
-    for p_paper in [100_000u64, 500_000, 1_000_000, 2_000_000, 4_000_000, 10_000_000] {
+    for p_paper in [
+        100_000u64, 500_000, 1_000_000, 2_000_000, 4_000_000, 10_000_000,
+    ] {
         let p = scale.count(p_paper, 100) as usize;
         let wp = w.slice_filters(p);
         let cfg = ExperimentConfig::new(paper_system(scale, 20, w.vocabulary));

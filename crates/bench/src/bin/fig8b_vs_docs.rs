@@ -5,8 +5,7 @@
 //! hot term's documents.
 
 use move_bench::{
-    build_scheme, paper_system, run_stream, ExperimentConfig, Scale, SchemeKind, Table,
-    Workload,
+    build_scheme, paper_system, run_stream, ExperimentConfig, Scale, SchemeKind, Table, Workload,
 };
 
 fn main() {
@@ -30,7 +29,10 @@ fn main() {
         let mut scheme = build_scheme(kind, &cfg, &w);
         for q in [10usize, 100, 1_000, 10_000] {
             if q > w.docs.len() {
-                println!("skipping Q={q}: only {} documents at this scale", w.docs.len());
+                println!(
+                    "skipping Q={q}: only {} documents at this scale",
+                    w.docs.len()
+                );
                 continue;
             }
             // Small batches are noisy: average disjoint windows of the
@@ -64,7 +66,11 @@ fn main() {
         };
         if let (Some(t10), Some(t1000)) = (get(10), get(1_000)) {
             if t1000 > 0.0 {
-                println!("{}: Q 10 -> 1000 degradation {:.2}x", kind.label(), t10 / t1000);
+                println!(
+                    "{}: Q 10 -> 1000 degradation {:.2}x",
+                    kind.label(),
+                    t10 / t1000
+                );
             }
         }
     }

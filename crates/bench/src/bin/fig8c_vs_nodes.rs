@@ -2,9 +2,7 @@
 //! Paper: every scheme gains with more nodes (fewer filters and documents
 //! per node), MOVE on top throughout.
 
-use move_bench::{
-    paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload,
-};
+use move_bench::{paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload};
 
 fn main() {
     let scale = Scale::from_env();

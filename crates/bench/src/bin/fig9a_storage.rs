@@ -3,9 +3,7 @@
 //! (its allocation also weighs `qᵢ`, so it does not flatten storage
 //! completely), IL most skewed.
 
-use move_bench::{
-    paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload,
-};
+use move_bench::{paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload};
 use move_stats::Summary;
 
 fn main() {
@@ -22,7 +20,11 @@ fn main() {
         per_scheme.push((kind, r.storage.iter().map(|&s| s as f64).collect()));
     }
     let rs_mean = {
-        let rs = &per_scheme.iter().find(|(k, _)| *k == SchemeKind::Rs).expect("rs ran").1;
+        let rs = &per_scheme
+            .iter()
+            .find(|(k, _)| *k == SchemeKind::Rs)
+            .expect("rs ran")
+            .1;
         rs.iter().sum::<f64>() / rs.len() as f64
     };
 

@@ -3,9 +3,7 @@
 //! — its low allocation ratio `rᵢ` randomizes documents across `1/rᵢ`
 //! partitions — RS next, IL the most skewed (hot home nodes).
 
-use move_bench::{
-    paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload,
-};
+use move_bench::{paper_system, run_scheme, ExperimentConfig, Scale, SchemeKind, Table, Workload};
 use move_stats::Summary;
 
 fn main() {
@@ -22,7 +20,11 @@ fn main() {
         per_scheme.push((kind, r.matching.iter().map(|&m| m as f64).collect()));
     }
     let rs_mean = {
-        let rs = &per_scheme.iter().find(|(k, _)| *k == SchemeKind::Rs).expect("rs ran").1;
+        let rs = &per_scheme
+            .iter()
+            .find(|(k, _)| *k == SchemeKind::Rs)
+            .expect("rs ran")
+            .1;
         rs.iter().sum::<f64>() / rs.len() as f64
     };
 

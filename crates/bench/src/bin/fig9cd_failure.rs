@@ -7,9 +7,7 @@
 //! but the lowest availability at 0.3 failure; ring has the lowest
 //! throughput; the hybrid takes both high throughput and high availability.
 
-use move_bench::{
-    paper_system, run_stream, ExperimentConfig, Scale, Table, Workload,
-};
+use move_bench::{paper_system, run_stream, ExperimentConfig, Scale, Table, Workload};
 use move_cluster::FailureMode;
 use move_core::{Dissemination, MoveScheme, PlacementStrategy};
 use rand::rngs::StdRng;

@@ -27,40 +27,103 @@ fn main() {
 
     let charts: &[ChartSpec] = &[
         (
-            "fig4_filter_popularity", "Fig. 4 — filter term popularity",
-            "ranking id", "popularity", "rank", "popularity", None, true, true,
+            "fig4_filter_popularity",
+            "Fig. 4 — filter term popularity",
+            "ranking id",
+            "popularity",
+            "rank",
+            "popularity",
+            None,
+            true,
+            true,
         ),
         (
-            "fig5_doc_frequency", "Fig. 5 — document term frequency",
-            "ranking id", "frequency rate", "rank", "frequency_rate", Some("dataset"), true, true,
+            "fig5_doc_frequency",
+            "Fig. 5 — document term frequency",
+            "ranking id",
+            "frequency rate",
+            "rank",
+            "frequency_rate",
+            Some("dataset"),
+            true,
+            true,
         ),
         (
-            "fig6_single_node_ap", "Fig. 6 — single node (AP)",
-            "Q: num. of docs", "pair throughput", "Q_docs", "pair_throughput_model", Some("R"), true, true,
+            "fig6_single_node_ap",
+            "Fig. 6 — single node (AP)",
+            "Q: num. of docs",
+            "pair throughput",
+            "Q_docs",
+            "pair_throughput_model",
+            Some("R"),
+            true,
+            true,
         ),
         (
-            "fig7_single_node_wt", "Fig. 7 — single node (WT)",
-            "Q: num. of docs", "pair throughput", "Q_docs", "pair_throughput_model", Some("R"), true, true,
+            "fig7_single_node_wt",
+            "Fig. 7 — single node (WT)",
+            "Q: num. of docs",
+            "pair throughput",
+            "Q_docs",
+            "pair_throughput_model",
+            Some("R"),
+            true,
+            true,
         ),
         (
-            "fig8a_vs_filters", "Fig. 8(a) — throughput vs filters",
-            "P: num. of filters", "throughput (docs/s)", "P", "capacity_throughput", Some("scheme"), true, false,
+            "fig8a_vs_filters",
+            "Fig. 8(a) — throughput vs filters",
+            "P: num. of filters",
+            "throughput (docs/s)",
+            "P",
+            "capacity_throughput",
+            Some("scheme"),
+            true,
+            false,
         ),
         (
-            "fig8b_vs_docs", "Fig. 8(b) — throughput vs batch size",
-            "Q: num. of docs", "throughput (docs/s)", "Q_docs", "throughput", Some("scheme"), true, false,
+            "fig8b_vs_docs",
+            "Fig. 8(b) — throughput vs batch size",
+            "Q: num. of docs",
+            "throughput (docs/s)",
+            "Q_docs",
+            "throughput",
+            Some("scheme"),
+            true,
+            false,
         ),
         (
-            "fig8c_vs_nodes", "Fig. 8(c) — throughput vs nodes",
-            "N: num. of nodes", "throughput (docs/s)", "N_nodes", "capacity_throughput", Some("scheme"), false, false,
+            "fig8c_vs_nodes",
+            "Fig. 8(c) — throughput vs nodes",
+            "N: num. of nodes",
+            "throughput (docs/s)",
+            "N_nodes",
+            "capacity_throughput",
+            Some("scheme"),
+            false,
+            false,
         ),
         (
-            "fig9a_storage", "Fig. 9(a) — storage cost distribution",
-            "ranking node id", "storage / RS mean", "rank_node", "storage_over_rs_mean", Some("scheme"), false, false,
+            "fig9a_storage",
+            "Fig. 9(a) — storage cost distribution",
+            "ranking node id",
+            "storage / RS mean",
+            "rank_node",
+            "storage_over_rs_mean",
+            Some("scheme"),
+            false,
+            false,
         ),
         (
-            "fig9b_matching", "Fig. 9(b) — matching cost distribution",
-            "ranking node id", "matching / RS mean", "rank_node", "matching_over_rs_mean", Some("scheme"), false, false,
+            "fig9b_matching",
+            "Fig. 9(b) — matching cost distribution",
+            "ranking node id",
+            "matching / RS mean",
+            "rank_node",
+            "matching_over_rs_mean",
+            Some("scheme"),
+            false,
+            false,
         ),
     ];
 

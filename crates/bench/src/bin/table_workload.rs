@@ -44,7 +44,12 @@ fn main() {
             entropy.min(w.doc_spec.frequency_entropy_nats),
             report.docs.frequency_entropy_nats,
         ));
-        table.row(&row(name, "top-k filter/doc overlap", overlap, report.top_k_overlap));
+        table.row(&row(
+            name,
+            "top-k filter/doc overlap",
+            overlap,
+            report.top_k_overlap,
+        ));
     }
     table.finish();
 }

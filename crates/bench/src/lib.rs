@@ -24,8 +24,10 @@ mod svg;
 mod workload;
 
 pub use report::Table;
+pub use runner::{
+    build_scheme, paper_system, run_scheme, run_stream, ExperimentConfig, RunResult, SchemeKind,
+};
+pub use scale::Scale;
 pub use single_fig::single_node_figure;
 pub use svg::LinePlot;
-pub use runner::{build_scheme, paper_system, run_scheme, run_stream, ExperimentConfig, RunResult, SchemeKind};
-pub use scale::Scale;
 pub use workload::{Dataset, Workload};

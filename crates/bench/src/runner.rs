@@ -1,8 +1,8 @@
 //! The end-to-end experiment driver.
 
 use crate::Workload;
-use move_cluster::{Job, QueueSim, SimOutcome};
 use move_cluster::CostModel;
+use move_cluster::{Job, QueueSim, SimOutcome};
 use move_core::{
     Dissemination, FactorRule, GridMode, IlScheme, MoveScheme, RsScheme, SystemConfig,
 };
@@ -139,7 +139,7 @@ pub fn build_scheme(
     kind: SchemeKind,
     cfg: &ExperimentConfig,
     w: &Workload,
-) -> Box<dyn Dissemination> {
+) -> Box<dyn Dissemination + Send> {
     match kind {
         SchemeKind::Move => {
             let mut m = MoveScheme::new(cfg.system.clone()).expect("valid config");
@@ -150,7 +150,8 @@ pub fn build_scheme(
             }
             m.observe_corpus(&w.sample);
             if cfg.allocate {
-                m.allocate().expect("allocation fits the configured capacity");
+                m.allocate()
+                    .expect("allocation fits the configured capacity");
             }
             Box::new(m)
         }

@@ -48,12 +48,7 @@ pub fn single_node_figure(scale: Scale, dataset: Dataset, csv_name: &str) {
             }
             let filters = &w.filters[..(p as usize).min(w.filters.len())];
             let docs = &w.docs[..q as usize];
-            let rep = run_single_node(
-                filters,
-                docs,
-                move_types::MatchSemantics::Boolean,
-                &cost,
-            );
+            let rep = run_single_node(filters, docs, move_types::MatchSemantics::Boolean, &cost);
             table.row(&[
                 r.to_string(),
                 q.to_string(),

@@ -222,7 +222,9 @@ fn tick_label(v: f64) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -245,7 +247,10 @@ mod tests {
     fn log_axes_drop_nonpositive_points() {
         let svg = LinePlot::new("t", "x", "y")
             .log_axes(true, true)
-            .series("a", &[(0.0, 1.0), (10.0, 100.0), (100.0, -5.0), (1000.0, 10.0)])
+            .series(
+                "a",
+                &[(0.0, 1.0), (10.0, 100.0), (100.0, -5.0), (1000.0, 10.0)],
+            )
             .to_svg();
         // Only the two positive-positive points survive → one polyline.
         assert_eq!(svg.matches("<circle").count(), 2);

@@ -4,7 +4,8 @@
 //! and inspecting cluster state.
 //!
 //! The parsing and execution live in the library so they are unit-testable;
-//! `src/main.rs` is a thin stdin loop.
+//! `src/main.rs` is a thin stdin loop. `move-cli live` swaps the simulator
+//! for the concurrent `move-runtime` engine — see [`LiveSession`].
 //!
 //! # Examples
 //!
@@ -19,6 +20,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod live;
+
+pub use live::LiveSession;
 
 use move_cluster::FailureMode;
 use move_core::{Dissemination, MoveScheme, SystemConfig};
@@ -91,7 +96,10 @@ impl Command {
             }
             "allocate" | "alloc" => Ok(Self::Allocate),
             "fail" => Ok(Self::Fail(
-                words.next().ok_or("usage: fail <node|fraction>")?.to_owned(),
+                words
+                    .next()
+                    .ok_or("usage: fail <node|fraction>")?
+                    .to_owned(),
             )),
             "recover" => {
                 let n: u32 = words
@@ -223,7 +231,10 @@ impl Session {
             }
             Command::Recover(n) => {
                 if (n as usize) < self.scheme.cluster().len() {
-                    self.scheme.cluster_mut().membership_mut().recover(NodeId(n));
+                    self.scheme
+                        .cluster_mut()
+                        .membership_mut()
+                        .recover(NodeId(n));
                     format!("recovered n{n}")
                 } else {
                     format!("no such node: n{n}")
@@ -361,7 +372,9 @@ mod tests {
             .run(Command::parse("publish nothing relevant here").unwrap())
             .contains("no matching"));
         assert!(s.run(Command::Allocate).contains("forwarding tables"));
-        assert!(s.run(Command::parse("unregister 1").unwrap()).contains("unregistered"));
+        assert!(s
+            .run(Command::parse("unregister 1").unwrap())
+            .contains("unregistered"));
         assert!(s
             .run(Command::parse("publish rust again").unwrap())
             .contains("no matching"));
@@ -371,9 +384,15 @@ mod tests {
     fn session_failure_commands() {
         let mut s = Session::new(6, 2).unwrap();
         s.run(Command::parse("register 1 alpha").unwrap());
-        assert!(s.run(Command::parse("fail 0").unwrap()).contains("crashed n0"));
-        assert!(s.run(Command::parse("recover 0").unwrap()).contains("recovered n0"));
-        assert!(s.run(Command::parse("fail 99").unwrap()).contains("no such node"));
+        assert!(s
+            .run(Command::parse("fail 0").unwrap())
+            .contains("crashed n0"));
+        assert!(s
+            .run(Command::parse("recover 0").unwrap())
+            .contains("recovered n0"));
+        assert!(s
+            .run(Command::parse("fail 99").unwrap())
+            .contains("no such node"));
         let out = s.run(Command::parse("fail 0.3").unwrap());
         assert!(out.contains("availability"), "{out}");
         assert!(s.run(Command::Stats).contains("filters registered"));

@@ -1,0 +1,149 @@
+//! `live` mode: the same command language, executed by the concurrent
+//! `move-runtime` engine instead of the virtual-time simulator. Matching
+//! runs on one OS thread per node, and `stats` shows real wall-clock
+//! latency percentiles and queue depths.
+
+use crate::Command;
+use move_core::{MoveScheme, SystemConfig};
+use move_runtime::{Engine, RuntimeConfig};
+use move_text::TextPipeline;
+use move_types::TermDictionary;
+
+/// An interactive session over a live [`Engine`].
+///
+/// Supports the structural subset of the shell: registration, publishing
+/// and stats. Failure injection and manual allocation stay simulator-only
+/// (the engine's control plane refreshes allocations by itself).
+#[derive(Debug)]
+pub struct LiveSession {
+    engine: Option<Engine>,
+    pipeline: TextPipeline,
+    dict: TermDictionary,
+    next_doc: u64,
+    /// Set once [`Command::Quit`] has run.
+    pub finished: bool,
+}
+
+impl LiveSession {
+    /// Boots a MOVE scheme on a live engine with one worker per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the cluster configuration is rejected.
+    pub fn new(nodes: usize, racks: usize) -> Result<Self, String> {
+        let config = SystemConfig {
+            nodes,
+            racks,
+            capacity_per_node: 100_000,
+            expected_terms: 100_000,
+            ..SystemConfig::default()
+        };
+        let scheme = MoveScheme::new(config).map_err(|e| e.to_string())?;
+        let engine = Engine::start(Box::new(scheme), RuntimeConfig::default());
+        Ok(Self {
+            engine: Some(engine),
+            pipeline: TextPipeline::default(),
+            dict: TermDictionary::new(),
+            next_doc: 0,
+            finished: false,
+        })
+    }
+
+    /// Executes one command, returning the text to print.
+    pub fn run(&mut self, cmd: Command) -> String {
+        let Some(engine) = &self.engine else {
+            return "engine already shut down".into();
+        };
+        match cmd {
+            Command::Register(id, text) => {
+                let filter = self.pipeline.filter(id, &text, &mut self.dict);
+                if filter.is_empty() {
+                    return "filter has no terms after preprocessing; not registered".into();
+                }
+                let terms = filter.len();
+                engine.register(filter);
+                format!("registered f{id} ({terms} terms)")
+            }
+            Command::Publish(text) => {
+                let doc = self.pipeline.document(self.next_doc, &text, &mut self.dict);
+                self.next_doc += 1;
+                let matched = engine.publish_sync(doc);
+                if matched.is_empty() {
+                    "no matching filters".into()
+                } else {
+                    let ids: Vec<String> = matched.iter().map(ToString::to_string).collect();
+                    format!("delivered to {}", ids.join(", "))
+                }
+            }
+            Command::Stats => {
+                let nodes = engine.stats();
+                let mut out = format!("{} live node workers\n", nodes.len());
+                for m in &nodes {
+                    out.push_str(&format!(
+                        "  {:<4} {:>7} msgs  {:>7} tasks  {:>10} postings  hwm {:>3}  p99 {:.1}us\n",
+                        m.node.to_string(),
+                        m.messages_processed,
+                        m.doc_tasks,
+                        m.postings_scanned,
+                        m.queue_depth_hwm,
+                        m.latency.p99 as f64 / 1e3,
+                    ));
+                }
+                out.pop();
+                out
+            }
+            Command::Unregister(_) | Command::Allocate | Command::Fail(_) | Command::Recover(_) => {
+                "not available in live mode (allocation is automatic; failures are simulator-only)"
+                    .into()
+            }
+            Command::Help => "\
+live-mode commands:
+  register <id> <keywords…>   register a keyword filter
+  publish <text…>             publish a document (waits for deliveries)
+  stats                       per-worker counters and latency percentiles
+  quit                        drain, shut the engine down, print the report"
+                .into(),
+            Command::Quit => {
+                self.finished = true;
+                let engine = self.engine.take().expect("engine running");
+                match engine.shutdown() {
+                    Ok(r) => format!(
+                        "engine drained: {} docs, {} tasks, p50 {:.1}us p99 {:.1}us — bye",
+                        r.docs_published,
+                        r.tasks_dispatched,
+                        r.latency.p50 as f64 / 1e3,
+                        r.latency.p99 as f64 / 1e3,
+                    ),
+                    Err(e) => format!("shutdown error: {e}"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_round_trip() {
+        let mut s = LiveSession::new(6, 2).unwrap();
+        assert!(s
+            .run(Command::parse("register 1 rust news").unwrap())
+            .contains("registered f1"));
+        assert!(s
+            .run(Command::parse("publish rust shipped a release").unwrap())
+            .contains("f1"));
+        assert!(s
+            .run(Command::parse("publish nothing relevant here").unwrap())
+            .contains("no matching"));
+        let stats = s.run(Command::Stats);
+        assert!(stats.contains("live node workers"), "{stats}");
+        assert!(s
+            .run(Command::parse("fail 3").unwrap())
+            .contains("not available"));
+        let bye = s.run(Command::Quit);
+        assert!(bye.contains("engine drained"), "{bye}");
+        assert!(s.finished);
+    }
+}

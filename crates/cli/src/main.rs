@@ -1,21 +1,59 @@
 //! The `move-cli` interactive shell. See `move_cli` (the library) for the
 //! command language.
+//!
+//! Usage: `move-cli [live] [nodes] [racks]` — with `live`, commands run on
+//! the concurrent `move-runtime` engine instead of the simulator.
 
-use move_cli::{Command, Session};
+use move_cli::{Command, LiveSession, Session};
 use std::io::{BufRead, Write};
 
+enum Shell {
+    Sim(Box<Session>),
+    Live(LiveSession),
+}
+
+impl Shell {
+    fn run(&mut self, cmd: Command) -> String {
+        match self {
+            Self::Sim(s) => s.run(cmd),
+            Self::Live(s) => s.run(cmd),
+        }
+    }
+
+    fn finished(&self) -> bool {
+        match self {
+            Self::Sim(s) => s.finished,
+            Self::Live(s) => s.finished,
+        }
+    }
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    let live = args.peek().is_some_and(|a| a == "live");
+    if live {
+        args.next();
+    }
     let nodes = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
     let racks = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
-    let mut session = match Session::new(nodes, racks) {
+    let built = if live {
+        LiveSession::new(nodes, racks).map(Shell::Live)
+    } else {
+        Session::new(nodes, racks).map(|s| Shell::Sim(Box::new(s)))
+    };
+    let mut session = match built {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot start: {e}");
             std::process::exit(1);
         }
     };
-    println!("move-cli: {nodes} simulated nodes over {racks} racks (try `help`)");
+    let mode = if live {
+        "live node workers"
+    } else {
+        "simulated nodes"
+    };
+    println!("move-cli: {nodes} {mode} over {racks} racks (try `help`)");
     let stdin = std::io::stdin();
     loop {
         print!("move> ");
@@ -37,7 +75,7 @@ fn main() {
             Ok(cmd) => println!("{}", session.run(cmd)),
             Err(msg) => println!("{msg}"),
         }
-        if session.finished {
+        if session.finished() {
             break;
         }
     }

@@ -229,7 +229,9 @@ mod tests {
     #[test]
     fn stores_are_per_node() {
         let mut c = cluster(3, 1);
-        c.store_mut(NodeId(0)).cf("f").put(b"k".as_ref(), b"v".as_ref());
+        c.store_mut(NodeId(0))
+            .cf("f")
+            .put(b"k".as_ref(), b"v".as_ref());
         assert!(c.store(NodeId(0)).cf_opt("f").is_some());
         assert!(c.store(NodeId(1)).cf_opt("f").is_none());
     }

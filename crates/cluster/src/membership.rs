@@ -208,13 +208,17 @@ mod tests {
             m.gossip_round(&mut rng);
         }
         m.crash(NodeId(7));
-        for _ in 0..30 {
+        // Convergence is transient under gossip freshness decay, so poll
+        // for it instead of sampling one fixed round.
+        let mut rounds = 0;
+        while !m.converged() && rounds < 200 {
             m.gossip_round(&mut rng);
+            rounds += 1;
         }
+        assert!(m.converged(), "not converged after {rounds} rounds");
         for o in m.live_nodes() {
             assert_eq!(m.status_in_view(o, NodeId(7)), NodeStatus::Down);
         }
-        assert!(m.converged());
     }
 
     #[test]
@@ -252,10 +256,7 @@ mod tests {
         let mut m = Membership::new(5, 3);
         m.crash(NodeId(1));
         m.crash(NodeId(3));
-        assert_eq!(
-            m.live_nodes(),
-            vec![NodeId(0), NodeId(2), NodeId(4)]
-        );
+        assert_eq!(m.live_nodes(), vec![NodeId(0), NodeId(2), NodeId(4)]);
         assert!(!m.is_alive(NodeId(1)));
         assert!(m.is_alive(NodeId(0)));
     }

@@ -169,7 +169,11 @@ impl QueueSim {
             assert!(j.arrival >= 0.0, "negative arrival");
             for s in &j.stages {
                 for t in &s.tasks {
-                    assert!(t.node.as_usize() < n_nodes, "task on unknown node {}", t.node);
+                    assert!(
+                        t.node.as_usize() < n_nodes,
+                        "task on unknown node {}",
+                        t.node
+                    );
                     assert!(t.service >= 0.0, "negative service time");
                 }
             }
@@ -195,7 +199,12 @@ impl QueueSim {
         let mut tasks_done = vec![0u64; n_nodes];
 
         for (j, job) in jobs.iter().enumerate() {
-            push(&mut heap, job.arrival, EventKind::StageStart { job: j }, &mut seq);
+            push(
+                &mut heap,
+                job.arrival,
+                EventKind::StageStart { job: j },
+                &mut seq,
+            );
         }
 
         let mut last_completion = 0.0f64;
@@ -228,7 +237,12 @@ impl QueueSim {
                             let dur = self.inflate(t.service, backlog[ni]);
                             running[ni] = Some(tr);
                             busy[ni] += dur;
-                            push(&mut heap, now + dur, EventKind::NodeDone { node: t.node.0 }, &mut seq);
+                            push(
+                                &mut heap,
+                                now + dur,
+                                EventKind::NodeDone { node: t.node.0 },
+                                &mut seq,
+                            );
                         } else {
                             backlog[ni] += tr.service;
                             queue[ni].push_back(tr);
@@ -374,7 +388,11 @@ mod tests {
     fn empty_stages_are_skipped() {
         let job = Job {
             arrival: 0.5,
-            stages: vec![Stage::default(), Stage::new(vec![task(0, 1.0)]), Stage::default()],
+            stages: vec![
+                Stage::default(),
+                Stage::new(vec![task(0, 1.0)]),
+                Stage::default(),
+            ],
         };
         let out = QueueSim::new().run(1, &[job]);
         assert_eq!(out.completed, 1);
@@ -383,10 +401,13 @@ mod tests {
 
     #[test]
     fn job_with_no_stages_completes_at_arrival() {
-        let out = QueueSim::new().run(1, &[Job {
-            arrival: 4.0,
-            stages: vec![],
-        }]);
+        let out = QueueSim::new().run(
+            1,
+            &[Job {
+                arrival: 4.0,
+                stages: vec![],
+            }],
+        );
         assert_eq!(out.completed, 1);
         assert!((out.makespan - 4.0).abs() < 1e-12);
         assert_eq!(out.mean_latency, 0.0);
@@ -450,9 +471,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown node")]
     fn task_on_missing_node_rejected() {
-        let _ = QueueSim::new().run(1, &[Job {
-            arrival: 0.0,
-            stages: vec![Stage::new(vec![task(5, 1.0)])],
-        }]);
+        let _ = QueueSim::new().run(
+            1,
+            &[Job {
+                arrival: 0.0,
+                stages: vec![Stage::new(vec![task(5, 1.0)])],
+            }],
+        );
     }
 }

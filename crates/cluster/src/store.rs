@@ -284,7 +284,10 @@ mod tests {
         cf.put(b"p/a".as_ref(), b"1'".as_ref()); // newer version in memtable
         let scan = cf.scan_prefix(b"p/");
         let keys: Vec<&[u8]> = scan.iter().map(|(k, _)| k.as_ref()).collect();
-        assert_eq!(keys, vec![b"p/a".as_ref(), b"p/b".as_ref(), b"p/c".as_ref()]);
+        assert_eq!(
+            keys,
+            vec![b"p/a".as_ref(), b"p/b".as_ref(), b"p/c".as_ref()]
+        );
         assert_eq!(scan[0].1.as_ref(), b"1'");
     }
 

@@ -161,7 +161,8 @@ impl AllocationFactors {
                 if s.pairs == 0 {
                     0.0
                 } else {
-                    rule.weight_for(s, total_filters, beta).max(f64::MIN_POSITIVE)
+                    rule.weight_for(s, total_filters, beta)
+                        .max(f64::MIN_POSITIVE)
                 }
             })
             .collect();
@@ -293,7 +294,10 @@ impl Grid {
     ///
     /// Panics if the coordinates are out of range.
     pub fn node(&self, row: usize, col: usize) -> NodeId {
-        assert!(row < self.rows && col < self.cols, "grid index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "grid index out of range"
+        );
         self.nodes[row * self.cols + col]
     }
 
@@ -308,7 +312,7 @@ impl Grid {
     }
 
     /// The column a filter id is separated into (stable hash).
-    pub fn column_of(&self, filter: move_types::FilterId, ) -> usize {
+    pub fn column_of(&self, filter: move_types::FilterId) -> usize {
         (move_cluster::stable_hash64(&filter.0) % self.cols as u64) as usize
     }
 }
@@ -351,8 +355,8 @@ mod tests {
     fn busier_nodes_get_more_under_sqrt_q() {
         let st = stats(&[100, 100], &[400, 25]);
         let mut rng = StdRng::seed_from_u64(2);
-        let f = AllocationFactors::compute(&st, 200, 400, FactorRule::SqrtQ, 1.0, &mut rng)
-            .unwrap();
+        let f =
+            AllocationFactors::compute(&st, 200, 400, FactorRule::SqrtQ, 1.0, &mut rng).unwrap();
         assert!(f.n[0] >= f.n[1], "hotter node should get more: {:?}", f.n);
     }
 
@@ -360,8 +364,8 @@ mod tests {
     fn empty_nodes_get_zero() {
         let st = stats(&[0, 100], &[0, 10]);
         let mut rng = StdRng::seed_from_u64(3);
-        let f = AllocationFactors::compute(&st, 100, 1_000, FactorRule::SqrtPQ, 1.0, &mut rng)
-            .unwrap();
+        let f =
+            AllocationFactors::compute(&st, 100, 1_000, FactorRule::SqrtPQ, 1.0, &mut rng).unwrap();
         assert_eq!(f.n[0], 0);
         assert!(f.n[1] >= 1);
     }
@@ -396,7 +400,10 @@ mod tests {
         };
         let w = FactorRule::SqrtLoad.weight_for(&s, 1_000, 0.0);
         assert!((w - 3.0).abs() < 1e-12);
-        assert_eq!(FactorRule::SqrtLoad.weight_for(&NodeStats::default(), 10, 0.0), 0.0);
+        assert_eq!(
+            FactorRule::SqrtLoad.weight_for(&NodeStats::default(), 10, 0.0),
+            0.0
+        );
     }
 
     #[test]
@@ -409,7 +416,10 @@ mod tests {
         // Ample capacity → pure replication shape emerges naturally.
         assert_eq!(Grid::shape(GridMode::Optimal, 4, 10, 1_000), (4, 1));
         // Forced modes.
-        assert_eq!(Grid::shape(GridMode::PureReplication, 6, 10_000, 10), (6, 1));
+        assert_eq!(
+            Grid::shape(GridMode::PureReplication, 6, 10_000, 10),
+            (6, 1)
+        );
         assert_eq!(Grid::shape(GridMode::PureSeparation, 6, 10_000, 10), (1, 6));
     }
 

@@ -104,13 +104,19 @@ impl SystemConfig {
     /// capacities, or replica groups, and out-of-range rates.
     pub fn validate(&self) -> Result<()> {
         if self.nodes == 0 || self.racks == 0 {
-            return Err(MoveError::InvalidConfig("nodes and racks must be positive".into()));
+            return Err(MoveError::InvalidConfig(
+                "nodes and racks must be positive".into(),
+            ));
         }
         if self.capacity_per_node == 0 {
-            return Err(MoveError::InvalidConfig("capacity_per_node must be positive".into()));
+            return Err(MoveError::InvalidConfig(
+                "capacity_per_node must be positive".into(),
+            ));
         }
         if self.rs_replica_groups == 0 {
-            return Err(MoveError::InvalidConfig("rs_replica_groups must be positive".into()));
+            return Err(MoveError::InvalidConfig(
+                "rs_replica_groups must be positive".into(),
+            ));
         }
         if !(0.0..0.5).contains(&self.bloom_fpr) || self.bloom_fpr <= 0.0 {
             return Err(MoveError::InvalidConfig(format!(
@@ -119,10 +125,14 @@ impl SystemConfig {
             )));
         }
         if self.refresh_every_docs == 0 {
-            return Err(MoveError::InvalidConfig("refresh_every_docs must be positive".into()));
+            return Err(MoveError::InvalidConfig(
+                "refresh_every_docs must be positive".into(),
+            ));
         }
         if self.move_cost_per_copy < 0.0 {
-            return Err(MoveError::InvalidConfig("move_cost_per_copy must be >= 0".into()));
+            return Err(MoveError::InvalidConfig(
+                "move_cost_per_copy must be >= 0".into(),
+            ));
         }
         Ok(())
     }

@@ -1,10 +1,11 @@
 //! The baseline: the pure distributed inverted list (paper §III).
 
-use crate::{encode_filter, Dissemination, SchemeOutput, SystemConfig};
+use crate::scheme::execute_steps;
+use crate::{encode_filter, Dissemination, MatchTask, RouteStep, SchemeOutput, SystemConfig};
 use move_bloom::CountingBloomFilter;
-use move_cluster::{Job, SimCluster, Stage, Task};
+use move_cluster::{Job, SimCluster, Stage};
 use move_index::InvertedIndex;
-use move_types::{Document, Filter, FilterId, Result, TermId};
+use move_types::{Document, Filter, FilterId, NodeId, Result, TermId};
 use std::collections::HashMap;
 
 /// The `IL` scheme of the evaluation: a filter is registered on the home
@@ -94,11 +95,6 @@ impl IlScheme {
             term_popularity: HashMap::new(),
             registration: RegistrationMode::default(),
         })
-    }
-
-    /// The per-node inverted index (read access for tests and metrics).
-    pub fn node_index(&self, node: move_types::NodeId) -> &InvertedIndex {
-        &self.indexes[node.as_usize()]
     }
 
     /// Selects the registration mode. Call before registering filters;
@@ -196,10 +192,29 @@ impl Dissemination for IlScheme {
     }
 
     fn publish(&mut self, at: f64, doc: &Document) -> Result<SchemeOutput> {
-        let ingress = self.cluster.ring().home_of(&("doc", doc.id().0));
+        let ingress = self.ingress_of(doc);
+        let steps = self.route(doc);
+        let (matched, tasks, _) = execute_steps(
+            &steps,
+            doc,
+            ingress,
+            &mut self.cluster,
+            &self.indexes,
+            &self.storage,
+        );
+        Ok(SchemeOutput {
+            matched,
+            job: Job {
+                arrival: at,
+                stages: vec![Stage::new(tasks)],
+            },
+        })
+    }
+
+    fn route(&mut self, doc: &Document) -> Vec<RouteStep> {
         // The document travels to each involved home node once; the node
         // then retrieves one posting list per routing term it owns.
-        let mut by_home: std::collections::BTreeMap<move_types::NodeId, Vec<move_types::TermId>> =
+        let mut by_home: std::collections::BTreeMap<NodeId, Vec<TermId>> =
             std::collections::BTreeMap::new();
         for &t in doc.terms() {
             if self.config.use_bloom && !self.bloom.contains(&t.0) {
@@ -211,41 +226,26 @@ impl Dissemination for IlScheme {
             }
             by_home.entry(home).or_default().push(t);
         }
-        let mut matched: Vec<FilterId> = Vec::new();
-        let mut tasks: Vec<Task> = Vec::new();
-        for (home, terms) in by_home {
-            let mut postings = 0u64;
-            // A Bloom false positive still costs one failed posting-list
-            // lookup, so every routed term counts as a retrieval.
-            let lists = terms.len() as u64;
-            for t in terms {
-                let outcome = self.indexes[home.as_usize()].match_term(doc, t);
-                postings += outcome.postings_scanned;
-                matched.extend(outcome.matched);
-            }
-            let service = self.cluster.transfer_cost(ingress, home)
-                + self
-                    .config
-                    .cost
-                    .match_cost(lists, postings, self.storage[home.as_usize()]);
-            self.cluster
-                .ledgers_mut()
-                .ledger_mut(home)
-                .record(service, lists, postings);
-            tasks.push(Task {
-                node: home,
-                service,
-            });
+        by_home
+            .into_iter()
+            .map(|(home, terms)| RouteStep::direct(home, MatchTask::Terms(terms)))
+            .collect()
+    }
+
+    fn node_index(&self, node: NodeId) -> &InvertedIndex {
+        &self.indexes[node.as_usize()]
+    }
+
+    fn registration_targets(&self, filter: &Filter) -> Vec<(NodeId, Option<Vec<TermId>>)> {
+        let mut by_home: std::collections::BTreeMap<NodeId, Vec<TermId>> =
+            std::collections::BTreeMap::new();
+        for t in self.registration_terms(filter) {
+            by_home
+                .entry(self.cluster.home_of_term(t))
+                .or_default()
+                .push(t);
         }
-        matched.sort_unstable();
-        matched.dedup();
-        Ok(SchemeOutput {
-            matched,
-            job: Job {
-                arrival: at,
-                stages: vec![Stage::new(tasks)],
-            },
-        })
+        by_home.into_iter().map(|(n, ts)| (n, Some(ts))).collect()
     }
 
     fn storage_per_node(&self) -> Vec<u64> {
@@ -385,14 +385,14 @@ mod tests {
                 il.register(f).unwrap();
             }
             for did in 0..40u64 {
-                let mut terms: Vec<u32> =
-                    (0..rng.gen_range(1..15usize)).map(|_| rng.gen_range(0..90u32)).collect();
+                let mut terms: Vec<u32> = (0..rng.gen_range(1..15usize))
+                    .map(|_| rng.gen_range(0..90u32))
+                    .collect();
                 terms.sort_unstable();
                 terms.dedup();
                 let d = doc(did, &terms);
                 let got = il.publish(0.0, &d).unwrap().matched;
-                let want =
-                    brute_force(&filters, &d, MatchSemantics::similarity_threshold(th));
+                let want = brute_force(&filters, &d, MatchSemantics::similarity_threshold(th));
                 assert_eq!(got, want, "threshold {th}, doc {did}");
             }
         }
@@ -406,7 +406,14 @@ mod tests {
         let mut needed = IlScheme::new(cfg).unwrap();
         needed.set_registration_mode(RegistrationMode::NeededTerms);
         for id in 0..200u64 {
-            let f = filter(id, &[(id % 17) as u32, (id % 31) as u32 + 20, (id % 7) as u32 + 60]);
+            let f = filter(
+                id,
+                &[
+                    (id % 17) as u32,
+                    (id % 31) as u32 + 20,
+                    (id % 7) as u32 + 60,
+                ],
+            );
             all.register(&f).unwrap();
             needed.register(&f).unwrap();
         }
@@ -414,7 +421,10 @@ mod tests {
         let needed_pairs: u64 = needed.storage_per_node().iter().sum();
         // Conjunctive ⇒ a single registration per filter.
         assert_eq!(needed_pairs, 200);
-        assert!(all_pairs >= 2 * needed_pairs, "{all_pairs} vs {needed_pairs}");
+        assert!(
+            all_pairs >= 2 * needed_pairs,
+            "{all_pairs} vs {needed_pairs}"
+        );
         // Unregistration cleans up the reduced registrations too.
         assert!(needed.unregister(FilterId(0)).unwrap());
         assert_eq!(needed.storage_per_node().iter().sum::<u64>(), 199);

@@ -58,6 +58,6 @@ pub use metrics::{availability, load_vectors, normalize_to, LoadVectors};
 pub use move_scheme::MoveScheme;
 pub use placement::PlacementStrategy;
 pub use rs::RsScheme;
-pub use scheme::{Dissemination, SchemeOutput};
+pub use scheme::{Dissemination, MatchTask, RouteStep, SchemeOutput};
 pub use single_node::{run_single_node, SingleNodeReport};
 pub use stats::NodeStats;

@@ -1,12 +1,13 @@
 //! MOVE: the distributed inverted list plus adaptive filter allocation
 //! (paper §IV–V).
 
+use crate::scheme::execute_steps;
 use crate::{
     encode_filter, AllocationFactors, AllocationPolicy, Dissemination, FactorRule, Grid, GridMode,
-    NodeStats, SchemeOutput, SystemConfig,
+    MatchTask, NodeStats, RouteStep, SchemeOutput, SystemConfig,
 };
 use move_bloom::CountingBloomFilter;
-use move_cluster::{Job, SimCluster, Stage, Task};
+use move_cluster::{Job, SimCluster, Stage};
 use move_index::InvertedIndex;
 use move_types::{Document, Filter, FilterId, NodeId, Result, TermId};
 use rand::rngs::StdRng;
@@ -152,8 +153,7 @@ impl MoveScheme {
             if self.bloom.contains(&t.0) {
                 let home = self.cluster.home_of_term(t);
                 self.doc_hits[home.as_usize()] += 1;
-                self.hit_postings[home.as_usize()] +=
-                    self.term_pairs.get(&t).copied().unwrap_or(0);
+                self.hit_postings[home.as_usize()] += self.term_pairs.get(&t).copied().unwrap_or(0);
                 *self.term_hits.entry(t).or_insert(0) += 1;
             }
         }
@@ -220,11 +220,11 @@ impl MoveScheme {
                 continue; // a dead home cannot route to a grid anyway
             }
             let mut candidates = vec![home];
-            candidates.extend(
-                self.config
-                    .placement
-                    .select(&self.cluster, home, self.config.nodes - 1),
-            );
+            candidates.extend(self.config.placement.select(
+                &self.cluster,
+                home,
+                self.config.nodes - 1,
+            ));
             // Re-allocation after failures must not hand subsets to nodes
             // that are already gone.
             candidates.retain(|&n| self.cluster.is_alive(n));
@@ -235,9 +235,7 @@ impl MoveScheme {
             // exactly what §V's comparison measures.
             if self.config.placement == crate::PlacementStrategy::Hybrid {
                 let loads = planned_load.clone();
-                candidates.sort_by(|a, b| {
-                    loads[a.as_usize()].total_cmp(&loads[b.as_usize()])
-                });
+                candidates.sort_by(|a, b| loads[a.as_usize()].total_cmp(&loads[b.as_usize()]));
             }
             let slots: Vec<NodeId> = candidates.into_iter().take(rows * cols).collect();
             if slots.len() < cols {
@@ -253,10 +251,8 @@ impl MoveScheme {
             // Movement: every copy beyond the home's original single copy
             // crosses the network.
             let copies_created = pairs * (grid.rows() as u64) - pairs.div_ceil(grid.cols() as u64);
-            self.cluster
-                .ledgers_mut()
-                .ledger_mut(home)
-                .busy_seconds += copies_created as f64 * self.config.move_cost_per_copy;
+            self.cluster.ledgers_mut().ledger_mut(home).busy_seconds +=
+                copies_created as f64 * self.config.move_cost_per_copy;
             new_allocations[i] = Some(grid);
         }
         self.allocations = new_allocations;
@@ -369,7 +365,10 @@ impl MoveScheme {
         self.storage = vec![0; self.config.nodes];
         for i in 0..self.config.nodes {
             for &(t, fid) in &self.home_pairs[i] {
-                let filter = self.directory.get(&fid).expect("directory is authoritative");
+                let filter = self
+                    .directory
+                    .get(&fid)
+                    .expect("directory is authoritative");
                 let grid = self
                     .term_allocations
                     .get(&t)
@@ -405,7 +404,10 @@ impl MoveScheme {
         for i in 0..self.config.nodes {
             for &(t, fid) in &self.home_pairs[i] {
                 total += 1;
-                let grid = self.term_allocations.get(&t).or(self.allocations[i].as_ref());
+                let grid = self
+                    .term_allocations
+                    .get(&t)
+                    .or(self.allocations[i].as_ref());
                 let ok = match grid {
                     None => self.cluster.is_alive(NodeId(i as u32)),
                     Some(grid) => {
@@ -507,7 +509,29 @@ impl Dissemination for MoveScheme {
     }
 
     fn publish(&mut self, at: f64, doc: &Document) -> Result<SchemeOutput> {
-        let ingress = self.cluster.ring().home_of(&("doc", doc.id().0));
+        let ingress = self.ingress_of(doc);
+        let steps = self.route(doc);
+        let (matched, stage1, stage2) = execute_steps(
+            &steps,
+            doc,
+            ingress,
+            &mut self.cluster,
+            &self.indexes,
+            &self.storage,
+        );
+
+        self.maintenance(doc)?;
+
+        Ok(SchemeOutput {
+            matched,
+            job: Job {
+                arrival: at,
+                stages: vec![Stage::new(stage1), Stage::new(stage2)],
+            },
+        })
+    }
+
+    fn route(&mut self, doc: &Document) -> Vec<RouteStep> {
         // The document travels once to each involved home node, which either
         // matches locally (unallocated) or fans it out to one replica row of
         // its grid — all of the home's routing terms share that grid.
@@ -524,9 +548,7 @@ impl Dissemination for MoveScheme {
             by_home.entry(home).or_default().push(t);
         }
 
-        let mut matched: Vec<FilterId> = Vec::new();
-        let mut stage1: Vec<Task> = Vec::new();
-        let mut stage2: Vec<Task> = Vec::new();
+        let mut steps: Vec<RouteStep> = Vec::new();
         for (home, mut terms) in by_home {
             // Per-term grids (the ablation's aggregation mode) route each
             // of their terms independently; the rest follow the node path.
@@ -540,15 +562,7 @@ impl Dissemination for MoveScheme {
                     };
                     if !routed_any {
                         // The home pays the inbound transfer once.
-                        let routing = self.cluster.transfer_cost(ingress, home);
-                        self.cluster
-                            .ledgers_mut()
-                            .ledger_mut(home)
-                            .record(routing, 0, 0);
-                        stage1.push(Task {
-                            node: home,
-                            service: routing,
-                        });
+                        steps.push(RouteStep::direct(home, MatchTask::Forward));
                         routed_any = true;
                     }
                     let preferred = self.rng.gen_range(0..grid.rows());
@@ -559,21 +573,7 @@ impl Dissemination for MoveScheme {
                         let Some(node) = node else {
                             continue;
                         };
-                        let outcome = self.indexes[node.as_usize()].match_term(doc, t);
-                        let lists = outcome.lists_retrieved.max(1);
-                        let service = self.cluster.transfer_cost(home, node)
-                            + self.config.cost.match_cost(
-                                lists,
-                                outcome.postings_scanned,
-                                self.storage[node.as_usize()],
-                            );
-                        self.cluster.ledgers_mut().ledger_mut(node).record(
-                            service,
-                            lists,
-                            outcome.postings_scanned,
-                        );
-                        matched.extend(outcome.matched);
-                        stage2.push(Task { node, service });
+                        steps.push(RouteStep::forwarded(node, MatchTask::Terms(vec![t]), home));
                     }
                 }
                 terms = kept;
@@ -583,43 +583,13 @@ impl Dissemination for MoveScheme {
             }
             match self.allocations[home.as_usize()].clone() {
                 None => {
-                    // A Bloom false positive still costs a failed lookup, so
-                    // every routed term counts as one retrieval.
-                    let lists = terms.len() as u64;
-                    let mut postings = 0u64;
-                    for t in terms {
-                        let outcome = self.indexes[home.as_usize()].match_term(doc, t);
-                        postings += outcome.postings_scanned;
-                        matched.extend(outcome.matched);
-                    }
-                    let service = self.cluster.transfer_cost(ingress, home)
-                        + self.config.cost.match_cost(
-                            lists,
-                            postings,
-                            self.storage[home.as_usize()],
-                        );
-                    self.cluster
-                        .ledgers_mut()
-                        .ledger_mut(home)
-                        .record(service, lists, postings);
-                    stage1.push(Task {
-                        node: home,
-                        service,
-                    });
+                    steps.push(RouteStep::direct(home, MatchTask::Terms(terms)));
                 }
                 Some(grid) => {
                     // The home only consults its in-memory forwarding table;
                     // it pays the inbound transfer, then forwards to one
                     // random replica row in parallel.
-                    let routing = self.cluster.transfer_cost(ingress, home);
-                    self.cluster
-                        .ledgers_mut()
-                        .ledger_mut(home)
-                        .record(routing, 0, 0);
-                    stage1.push(Task {
-                        node: home,
-                        service: routing,
-                    });
+                    steps.push(RouteStep::direct(home, MatchTask::Forward));
                     let preferred = self.rng.gen_range(0..grid.rows());
                     for col in 0..grid.cols() {
                         // Fail over to another replica row per column.
@@ -629,29 +599,45 @@ impl Dissemination for MoveScheme {
                         let Some(node) = node else {
                             continue; // every replica of this subset is down
                         };
-                        let lists = terms.len() as u64;
-                        let mut postings = 0u64;
-                        for &t in &terms {
-                            let outcome = self.indexes[node.as_usize()].match_term(doc, t);
-                            postings += outcome.postings_scanned;
-                            matched.extend(outcome.matched);
-                        }
-                        let service = self.cluster.transfer_cost(home, node)
-                            + self.config.cost.match_cost(
-                                lists,
-                                postings,
-                                self.storage[node.as_usize()],
-                            );
-                        self.cluster
-                            .ledgers_mut()
-                            .ledger_mut(node)
-                            .record(service, lists, postings);
-                        stage2.push(Task { node, service });
+                        steps.push(RouteStep::forwarded(
+                            node,
+                            MatchTask::Terms(terms.clone()),
+                            home,
+                        ));
                     }
                 }
             }
         }
+        steps
+    }
 
+    fn node_index(&self, node: NodeId) -> &InvertedIndex {
+        &self.indexes[node.as_usize()]
+    }
+
+    fn registration_targets(&self, filter: &Filter) -> Vec<(NodeId, Option<Vec<TermId>>)> {
+        let mut by_node: std::collections::BTreeMap<NodeId, Vec<TermId>> =
+            std::collections::BTreeMap::new();
+        for &t in filter.terms() {
+            let home = self.cluster.home_of_term(t);
+            let grid = self
+                .term_allocations
+                .get(&t)
+                .or(self.allocations[home.as_usize()].as_ref());
+            match grid {
+                None => by_node.entry(home).or_default().push(t),
+                Some(grid) => {
+                    let col = grid.column_of(filter.id());
+                    for row in 0..grid.rows() {
+                        by_node.entry(grid.node(row, col)).or_default().push(t);
+                    }
+                }
+            }
+        }
+        by_node.into_iter().map(|(n, ts)| (n, Some(ts))).collect()
+    }
+
+    fn maintenance(&mut self, doc: &Document) -> Result<bool> {
         // Live statistics feed the periodic refresh; the passive policy also
         // triggers its first allocation from here.
         self.observe(doc);
@@ -662,18 +648,10 @@ impl Dissemination for MoveScheme {
                 || self.allocations.iter().any(Option::is_some)
             {
                 self.allocate()?;
+                return Ok(true);
             }
         }
-
-        matched.sort_unstable();
-        matched.dedup();
-        Ok(SchemeOutput {
-            matched,
-            job: Job {
-                arrival: at,
-                stages: vec![Stage::new(stage1), Stage::new(stage2)],
-            },
-        })
+        Ok(false)
     }
 
     fn storage_per_node(&self) -> Vec<u64> {
@@ -718,7 +696,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let filters: Vec<Filter> = (0..400u64)
             .map(|id| {
-                let mut terms = vec![if id % 3 == 0 { 0 } else { rng.gen_range(1..80u32) }];
+                let mut terms = vec![if id % 3 == 0 {
+                    0
+                } else {
+                    rng.gen_range(1..80u32)
+                }];
                 if rng.gen::<bool>() {
                     terms.push(rng.gen_range(1..80u32));
                 }
@@ -784,7 +766,10 @@ mod tests {
         // occupancy is bounded only within a small factor at this toy scale.
         let storage = sys.storage_per_node();
         let total: u64 = storage.iter().sum();
-        assert!(total <= 6 * 120 + 120, "total {total} exceeds cluster budget");
+        assert!(
+            total <= 6 * 120 + 120,
+            "total {total} exceeds cluster budget"
+        );
         for (i, &s) in storage.iter().enumerate() {
             assert!(s <= 3 * 120, "node {i} stores {s}, far over capacity");
         }
@@ -922,7 +907,9 @@ mod tests {
         for i in 0..6u32 {
             if let Some(grid) = sys.allocation(NodeId(i)) {
                 assert!(
-                    grid.nodes().iter().all(|&n| n != NodeId(1) && n != NodeId(4)),
+                    grid.nodes()
+                        .iter()
+                        .all(|&n| n != NodeId(1) && n != NodeId(4)),
                     "grid of home {i} uses a dead node: {:?}",
                     grid.nodes()
                 );
@@ -942,7 +929,11 @@ mod tests {
         let mut sys = MoveScheme::new(cfg).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         for id in 0..400u64 {
-            let t = if id % 3 == 0 { 0 } else { rng.gen_range(1..60u32) };
+            let t = if id % 3 == 0 {
+                0
+            } else {
+                rng.gen_range(1..60u32)
+            };
             sys.register(&filter(id, &[t])).unwrap();
         }
         assert!(sys.allocations.iter().all(Option::is_none));
@@ -1008,11 +999,7 @@ mod tests {
         sys.observe_corpus(&sample);
         sys.set_grid_mode(GridMode::PureSeparation);
         sys.allocate().unwrap();
-        let any_sep = sys
-            .allocations
-            .iter()
-            .flatten()
-            .all(|g| g.rows() == 1);
+        let any_sep = sys.allocations.iter().flatten().all(|g| g.rows() == 1);
         assert!(any_sep, "pure separation must have a single row");
         sys.set_grid_mode(GridMode::PureReplication);
         sys.allocate().unwrap();

@@ -107,9 +107,7 @@ mod tests {
     fn rack_prefers_rack_mates() {
         let c = cluster(); // 4 per rack → 3 mates
         let picked = PlacementStrategy::Rack.select(&c, NodeId(0), 3);
-        assert!(picked
-            .iter()
-            .all(|&n| c.topology().same_rack(n, NodeId(0))));
+        assert!(picked.iter().all(|&n| c.topology().same_rack(n, NodeId(0))));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The rendezvous/flooding comparator (paper §VI-A, after Google web search
 //! [5] and ROAR [16]).
 
-use crate::{Dissemination, SchemeOutput, SystemConfig};
-use move_cluster::{stable_hash64, Job, SimCluster, Stage, Task};
+use crate::scheme::execute_steps;
+use crate::{Dissemination, MatchTask, RouteStep, SchemeOutput, SystemConfig};
+use move_cluster::{stable_hash64, Job, SimCluster, Stage};
 use move_index::InvertedIndex;
 use move_types::{Document, Filter, FilterId, NodeId, Result};
 use rand::rngs::StdRng;
@@ -22,7 +23,6 @@ use std::collections::HashMap;
 /// is ruinous for term-rich documents.
 #[derive(Debug)]
 pub struct RsScheme {
-    config: SystemConfig,
     cluster: SimCluster,
     indexes: Vec<InvertedIndex>,
     /// Round-robin partition of the nodes into replica groups.
@@ -55,7 +55,6 @@ impl RsScheme {
             cluster,
             groups,
             directory: HashMap::new(),
-            config,
         })
     }
 
@@ -94,34 +93,16 @@ impl Dissemination for RsScheme {
     }
 
     fn publish(&mut self, at: f64, doc: &Document) -> Result<SchemeOutput> {
-        let ingress = self.cluster.ring().home_of(&("doc", doc.id().0));
-        let group = self.rng.gen_range(0..self.groups.len());
-        let mut matched: Vec<FilterId> = Vec::new();
-        let mut tasks: Vec<Task> = Vec::new();
-        for &node in &self.groups[group].clone() {
-            if !self.cluster.is_alive(node) {
-                continue;
-            }
-            let outcome = self.indexes[node.as_usize()].match_document(doc);
-            // SIFT attempts a posting-list lookup for every document term,
-            // found or not — the flooding tax.
-            let lists = doc.distinct_terms() as u64;
-            let service = self.cluster.transfer_cost(ingress, node)
-                + self.config.cost.match_cost(
-                    lists,
-                    outcome.postings_scanned,
-                    self.storage[node.as_usize()],
-                );
-            self.cluster.ledgers_mut().ledger_mut(node).record(
-                service,
-                lists,
-                outcome.postings_scanned,
-            );
-            matched.extend(outcome.matched);
-            tasks.push(Task { node, service });
-        }
-        matched.sort_unstable();
-        matched.dedup();
+        let ingress = self.ingress_of(doc);
+        let steps = self.route(doc);
+        let (matched, tasks, _) = execute_steps(
+            &steps,
+            doc,
+            ingress,
+            &mut self.cluster,
+            &self.indexes,
+            &self.storage,
+        );
         Ok(SchemeOutput {
             matched,
             job: Job {
@@ -129,6 +110,29 @@ impl Dissemination for RsScheme {
                 stages: vec![Stage::new(tasks)],
             },
         })
+    }
+
+    fn route(&mut self, doc: &Document) -> Vec<RouteStep> {
+        let _ = doc; // flooding ignores document content by design
+        let group = self.rng.gen_range(0..self.groups.len());
+        self.groups[group]
+            .iter()
+            .filter(|&&node| self.cluster.is_alive(node))
+            .map(|&node| RouteStep::direct(node, MatchTask::FullIndex))
+            .collect()
+    }
+
+    fn node_index(&self, node: NodeId) -> &InvertedIndex {
+        &self.indexes[node.as_usize()]
+    }
+
+    fn registration_targets(
+        &self,
+        filter: &Filter,
+    ) -> Vec<(NodeId, Option<Vec<move_types::TermId>>)> {
+        (0..self.groups.len())
+            .map(|g| (self.node_in_group(g, filter.id()), None))
+            .collect()
     }
 
     fn storage_per_node(&self) -> Vec<u64> {

@@ -1,7 +1,11 @@
-//! The common interface of the three dissemination schemes.
+//! The common interface of the three dissemination schemes, plus the
+//! shared *routing plan* representation that lets the virtual-time
+//! simulator and the live [`move-runtime`] engine execute one and the same
+//! per-document dissemination decision.
 
-use move_cluster::{Job, SimCluster};
-use move_types::{Document, Filter, FilterId, Result};
+use move_cluster::{Job, SimCluster, Task};
+use move_index::InvertedIndex;
+use move_types::{Document, Filter, FilterId, NodeId, Result, TermId};
 
 /// What a scheme produced for one published document.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,6 +17,130 @@ pub struct SchemeOutput {
     /// The virtual-time task graph of the dissemination, ready for
     /// [`move_cluster::QueueSim`].
     pub job: Job,
+}
+
+/// What a node must do with a document routed to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchTask {
+    /// Retrieve one posting list per listed routing term and match the
+    /// document against each (the IL/MOVE home- and grid-node work).
+    Terms(Vec<TermId>),
+    /// Run the centralized SIFT match over the node's entire local index,
+    /// attempting one posting-list lookup per document term (the RS
+    /// flooding work).
+    FullIndex,
+    /// Routing-only hop: the node consults its in-memory forwarding table
+    /// and fans the document out; no posting list is touched (the MOVE
+    /// home hop in front of an allocation grid).
+    Forward,
+}
+
+/// One hop of a routing plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteStep {
+    /// The node the document is sent to.
+    pub node: NodeId,
+    /// The work the node performs on arrival.
+    pub task: MatchTask,
+    /// The forwarding node this hop came through, or `None` when the
+    /// document travels directly from the ingress node (stage 1).
+    pub from: Option<NodeId>,
+}
+
+impl RouteStep {
+    /// A direct (ingress → node) step.
+    #[must_use]
+    pub fn direct(node: NodeId, task: MatchTask) -> Self {
+        Self {
+            node,
+            task,
+            from: None,
+        }
+    }
+
+    /// A forwarded (home → node) step.
+    #[must_use]
+    pub fn forwarded(node: NodeId, task: MatchTask, from: NodeId) -> Self {
+        Self {
+            node,
+            task,
+            from: Some(from),
+        }
+    }
+}
+
+/// Executes a routing plan against the simulator's node state: performs
+/// the matching each step asks for, charges the per-node cost ledgers, and
+/// splits the work into the two virtual-time stages (direct hops, then
+/// forwarded hops).
+///
+/// Shared by all three schemes' `publish` so the simulated execution and
+/// the live runtime (which executes the same [`RouteStep`]s on real
+/// threads) can never drift apart.
+pub(crate) fn execute_steps(
+    steps: &[RouteStep],
+    doc: &Document,
+    ingress: NodeId,
+    cluster: &mut SimCluster,
+    indexes: &[InvertedIndex],
+    storage: &[u64],
+) -> (Vec<FilterId>, Vec<Task>, Vec<Task>) {
+    let cost = *cluster.cost();
+    let mut matched: Vec<FilterId> = Vec::new();
+    let mut stage1: Vec<Task> = Vec::new();
+    let mut stage2: Vec<Task> = Vec::new();
+    for step in steps {
+        let node = step.node;
+        let origin = step.from.unwrap_or(ingress);
+        let transfer = cluster.transfer_cost(origin, node);
+        let (lists, postings) = match &step.task {
+            MatchTask::Forward => {
+                cluster
+                    .ledgers_mut()
+                    .ledger_mut(node)
+                    .record(transfer, 0, 0);
+                stage1.push(Task {
+                    node,
+                    service: transfer,
+                });
+                continue;
+            }
+            MatchTask::Terms(terms) => {
+                // A Bloom false positive still costs one failed
+                // posting-list lookup, so every routed term counts as a
+                // retrieval.
+                let lists = terms.len() as u64;
+                let mut postings = 0u64;
+                for &t in terms {
+                    let outcome = indexes[node.as_usize()].match_term(doc, t);
+                    postings += outcome.postings_scanned;
+                    matched.extend(outcome.matched);
+                }
+                (lists, postings)
+            }
+            MatchTask::FullIndex => {
+                // SIFT attempts a posting-list lookup for every document
+                // term, found or not — the flooding tax.
+                let outcome = indexes[node.as_usize()].match_document(doc);
+                matched.extend(outcome.matched);
+                (doc.distinct_terms() as u64, outcome.postings_scanned)
+            }
+        };
+        let service = transfer + cost.match_cost(lists, postings, storage[node.as_usize()]);
+        cluster
+            .ledgers_mut()
+            .ledger_mut(node)
+            .record(service, lists, postings);
+        let task = Task { node, service };
+        if step.from.is_none() {
+            stage1.push(task);
+        } else {
+            stage2.push(task);
+        }
+    }
+    matched.sort_unstable();
+    matched.dedup();
+    (matched, stage1, stage2)
 }
 
 /// A content filtering and dissemination scheme over a simulated cluster.
@@ -46,6 +174,47 @@ pub trait Dissemination {
     ///
     /// Propagates routing errors.
     fn publish(&mut self, at: f64, doc: &Document) -> Result<SchemeOutput>;
+
+    /// Computes the routing plan for one document: which nodes receive it,
+    /// through which forwarding hop, and what matching work each performs.
+    ///
+    /// This is the scheme's *entire* per-document decision. Both the
+    /// virtual-time [`Dissemination::publish`] and the live `move-runtime`
+    /// engine execute the returned plan, so the two execution paths cannot
+    /// drift apart. Takes `&mut self` because the fan-out choices (replica
+    /// row, replica group) are randomized.
+    fn route(&mut self, doc: &Document) -> Vec<RouteStep>;
+
+    /// The ingress node a document arrives at (the DHT home of its id).
+    fn ingress_of(&self, doc: &Document) -> NodeId {
+        self.cluster().ring().home_of(&("doc", doc.id().0))
+    }
+
+    /// Read access to a node's serving inverted index. The live runtime
+    /// clones per-node shards from here and re-ships them when
+    /// [`Dissemination::maintenance`] reports a layout change.
+    fn node_index(&self, node: NodeId) -> &InvertedIndex;
+
+    /// Where [`Dissemination::register`] will place serving copies of
+    /// `filter` under the *current* layout: `(node, Some(terms))` for an
+    /// inverted-list registration under those routing terms, `(node, None)`
+    /// for a full-index registration (RS replicas). The live runtime calls
+    /// this right before `register` to address its `RegisterFilter`
+    /// messages.
+    fn registration_targets(&self, filter: &Filter) -> Vec<(NodeId, Option<Vec<TermId>>)>;
+
+    /// Post-publish bookkeeping: statistics observation and the periodic
+    /// allocation refresh (MOVE's observe/allocate cycle). Returns whether
+    /// the filter layout changed, so a live engine knows to re-ship index
+    /// shards to its workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    fn maintenance(&mut self, doc: &Document) -> Result<bool> {
+        let _ = doc;
+        Ok(false)
+    }
 
     /// Filter copies currently stored per node (the storage-cost vector of
     /// Fig. 9a), indexed by node id.

@@ -134,7 +134,12 @@ mod tests {
     #[test]
     fn counts_are_consistent() {
         let (filters, docs) = setup(200, 20, 10);
-        let r = run_single_node(&filters, &docs, MatchSemantics::Boolean, &CostModel::default());
+        let r = run_single_node(
+            &filters,
+            &docs,
+            MatchSemantics::Boolean,
+            &CostModel::default(),
+        );
         assert_eq!(r.pairs, 4_000);
         assert_eq!(r.lists_retrieved, 200);
         assert!(r.real_seconds > 0.0);

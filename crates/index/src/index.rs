@@ -264,7 +264,10 @@ mod tests {
             idx.insert(fl.clone());
         }
         let doc = d(&[1, 2, 5]);
-        assert_eq!(idx.match_document(&doc).matched, brute_force(&filters, &doc, sem));
+        assert_eq!(
+            idx.match_document(&doc).matched,
+            brute_force(&filters, &doc, sem)
+        );
     }
 
     #[test]
@@ -337,7 +340,10 @@ mod tests {
         assert_eq!(idx.posting_len(TermId(2)), 1);
         assert!(idx.filter(FilterId(1)).is_some(), "body still referenced");
         assert!(idx.remove_term_posting(FilterId(1), TermId(2)));
-        assert!(idx.filter(FilterId(1)).is_none(), "body dropped with last posting");
+        assert!(
+            idx.filter(FilterId(1)).is_none(),
+            "body dropped with last posting"
+        );
     }
 
     #[test]

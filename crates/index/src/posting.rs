@@ -112,7 +112,9 @@ mod tests {
 
     #[test]
     fn from_iterator_dedupes() {
-        let pl: PostingList = [FilterId(2), FilterId(2), FilterId(0)].into_iter().collect();
+        let pl: PostingList = [FilterId(2), FilterId(2), FilterId(0)]
+            .into_iter()
+            .collect();
         assert_eq!(pl.ids(), &[FilterId(0), FilterId(2)]);
     }
 

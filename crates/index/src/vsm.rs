@@ -168,7 +168,11 @@ mod tests {
         let corpus = vec![doc(0, &[(1, 1)]), doc(1, &[(2, 1)])];
         let idf = Idf::from_corpus(&corpus);
         let f = filter(&[1]);
-        let candidates = vec![doc(2, &[(1, 5)]), doc(3, &[(2, 1)]), doc(4, &[(1, 1), (2, 1)])];
+        let candidates = vec![
+            doc(2, &[(1, 5)]),
+            doc(3, &[(2, 1)]),
+            doc(4, &[(1, 1), (2, 1)]),
+        ];
         let ranked = rank(&f, &candidates, &idf);
         assert_eq!(ranked.len(), 2);
         assert!(ranked[0].1 >= ranked[1].1);

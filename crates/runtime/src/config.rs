@@ -1,0 +1,48 @@
+//! Engine tuning knobs.
+
+use std::time::Duration;
+
+/// What the router does when a worker's bounded mailbox is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Block the router until the worker drains — lossless backpressure
+    /// that propagates to the publisher through the bounded command
+    /// channel. The default; required for delivery-completeness guarantees.
+    #[default]
+    Block,
+    /// Drop the batch and count it in
+    /// [`RuntimeReport::tasks_shed`](crate::RuntimeReport::tasks_shed) —
+    /// the load-shedding stance of a system that prefers freshness over
+    /// completeness under overload.
+    Shed,
+}
+
+/// Configuration of the live engine.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Capacity of each worker mailbox (messages). Small values exercise
+    /// backpressure; large values decouple the router from slow workers.
+    pub mailbox_capacity: usize,
+    /// Capacity of the publisher→router command channel.
+    pub command_capacity: usize,
+    /// Behaviour when a worker mailbox is full.
+    pub overflow: OverflowPolicy,
+    /// Documents per node accumulated before a
+    /// [`NodeMessage::PublishDocument`](crate::NodeMessage) batch is sent.
+    pub batch_size: usize,
+    /// Maximum time a partially filled batch may wait before being flushed
+    /// to its worker.
+    pub flush_interval: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            mailbox_capacity: 64,
+            command_capacity: 256,
+            overflow: OverflowPolicy::Block,
+            batch_size: 8,
+            flush_interval: Duration::from_millis(2),
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The engine façade and its router thread.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use move_core::{Dissemination, MatchTask};
+use move_stats::LatencyHistogram;
+use move_types::{Document, Filter, FilterId, NodeId, Result};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use crate::config::{OverflowPolicy, RuntimeConfig};
+use crate::message::{Delivery, DocTask, NodeMessage};
+use crate::metrics::{NodeMetrics, RuntimeReport};
+use crate::worker::{Worker, WorkerFinal};
+
+/// Publisher-facing commands on the bounded router channel. The bound is
+/// the outermost backpressure stage: when the router stalls on a full
+/// worker mailbox (Block policy), this channel fills and `publish` blocks.
+enum Command {
+    Register(Filter),
+    Publish(Box<Document>),
+    Stats(Sender<Vec<NodeMetrics>>),
+    Shutdown,
+}
+
+/// A running live engine over one dissemination scheme.
+///
+/// See the crate docs for the architecture; see [`RuntimeConfig`] for the
+/// tuning knobs. All methods take `&self` — the engine is driven from one
+/// publisher thread but is internally thread-safe.
+#[derive(Debug)]
+pub struct Engine {
+    commands: Sender<Command>,
+    deliveries: Receiver<Delivery>,
+    router: Option<JoinHandle<Result<RuntimeReport>>>,
+}
+
+impl Engine {
+    /// Boots one worker thread per cluster node (shards cloned from the
+    /// scheme's current state, so filters registered before `start` are
+    /// served) plus the router thread owning `scheme`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn threads.
+    #[must_use]
+    pub fn start(scheme: Box<dyn Dissemination + Send>, config: RuntimeConfig) -> Self {
+        let nodes = scheme.cluster().len();
+        let (delivery_tx, delivery_rx) = unbounded();
+        let (final_tx, final_rx) = unbounded();
+        let mut workers = Vec::with_capacity(nodes);
+        let mut handles = Vec::with_capacity(nodes);
+        for i in 0..nodes {
+            let node = NodeId(i as u32);
+            let (tx, rx) = bounded(config.mailbox_capacity);
+            let worker = Worker::new(
+                node,
+                scheme.node_index(node).clone(),
+                rx,
+                delivery_tx.clone(),
+            );
+            let final_tx = final_tx.clone();
+            let handle = thread::Builder::new()
+                .name(format!("move-node-{i}"))
+                .spawn(move || {
+                    let _ = final_tx.send(worker.run());
+                })
+                .expect("spawn worker thread");
+            workers.push(tx);
+            handles.push(handle);
+        }
+        drop(delivery_tx);
+        drop(final_tx);
+
+        let (cmd_tx, cmd_rx) = bounded(config.command_capacity);
+        let router = Router {
+            scheme,
+            config,
+            workers,
+            pending: vec![Vec::new(); nodes],
+            docs_published: 0,
+            tasks_dispatched: 0,
+            tasks_shed: 0,
+            allocation_updates: 0,
+        };
+        let handle = thread::Builder::new()
+            .name("move-router".into())
+            .spawn(move || router.run(&cmd_rx, &final_rx, handles))
+            .expect("spawn router thread");
+        Self {
+            commands: cmd_tx,
+            deliveries: delivery_rx,
+            router: Some(handle),
+        }
+    }
+
+    /// Registers a filter: the control plane places it, then the affected
+    /// workers install serving copies (FIFO-ordered after any documents
+    /// already queued for them).
+    pub fn register(&self, filter: Filter) {
+        let _ = self.commands.send(Command::Register(filter));
+    }
+
+    /// Publishes a document into the pipeline. Blocks when the command
+    /// channel is full — the backpressure the bounded mailboxes propagate
+    /// up under [`OverflowPolicy::Block`].
+    pub fn publish(&self, doc: Document) {
+        let _ = self.commands.send(Command::Publish(Box::new(doc)));
+    }
+
+    /// Snapshot of every worker's metrics. This is also a **barrier**: the
+    /// router first flushes all pending batches and each worker replies
+    /// only after handling everything earlier in its mailbox, so on return
+    /// all previously published documents have been fully matched.
+    #[must_use]
+    pub fn stats(&self) -> Vec<NodeMetrics> {
+        let (tx, rx) = unbounded();
+        if self.commands.send(Command::Stats(tx)).is_err() {
+            return Vec::new();
+        }
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Blocks until all previously published documents are fully matched.
+    pub fn flush(&self) {
+        let _ = self.stats();
+    }
+
+    /// A handle to the delivery stream (cloneable; deliveries already
+    /// consumed elsewhere are not replayed).
+    #[must_use]
+    pub fn deliveries(&self) -> Receiver<Delivery> {
+        self.deliveries.clone()
+    }
+
+    /// Publishes one document and waits for its complete delivery set —
+    /// the interactive (CLI) mode. Only meaningful when the caller is the
+    /// sole publisher: the internal barrier drains the shared delivery
+    /// stream, discarding other documents' deliveries.
+    #[must_use]
+    pub fn publish_sync(&self, doc: Document) -> Vec<FilterId> {
+        let id = doc.id();
+        self.publish(doc);
+        self.flush();
+        let mut matched: Vec<FilterId> = self
+            .deliveries
+            .try_iter()
+            .filter(|d| d.doc == id)
+            .flat_map(|d| d.matched)
+            .collect();
+        matched.sort_unstable();
+        matched.dedup();
+        matched
+    }
+
+    /// Graceful shutdown: drains every mailbox, stops all threads, and
+    /// returns the merged report. Deliveries still queued in the delivery
+    /// stream remain readable from handles obtained via
+    /// [`Engine::deliveries`] before this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a control-plane (allocation) error that aborted the
+    /// router; worker state is torn down either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router thread itself panicked.
+    pub fn shutdown(mut self) -> Result<RuntimeReport> {
+        let _ = self.commands.send(Command::Shutdown);
+        let handle = self.router.take().expect("router not yet joined");
+        handle.join().expect("router thread panicked")
+    }
+}
+
+struct Router {
+    scheme: Box<dyn Dissemination + Send>,
+    config: RuntimeConfig,
+    workers: Vec<Sender<NodeMessage>>,
+    /// Per-node batch under accumulation.
+    pending: Vec<Vec<DocTask>>,
+    docs_published: u64,
+    tasks_dispatched: u64,
+    tasks_shed: u64,
+    allocation_updates: u64,
+}
+
+impl Router {
+    fn run(
+        mut self,
+        commands: &Receiver<Command>,
+        finals: &Receiver<WorkerFinal>,
+        handles: Vec<JoinHandle<()>>,
+    ) -> Result<RuntimeReport> {
+        // Serve until shutdown or a control-plane error; tear the workers
+        // down in both cases, then surface the error.
+        let served = self.serve(commands);
+        self.flush_all();
+        for tx in &self.workers {
+            let _ = tx.send(NodeMessage::Shutdown);
+        }
+        self.workers.clear();
+        let mut results: Vec<WorkerFinal> = finals.iter().collect();
+        for handle in handles {
+            handle.join().expect("worker thread panicked");
+        }
+        served?;
+
+        results.sort_by_key(|f| f.metrics.node);
+        let mut merged = LatencyHistogram::new();
+        for f in &results {
+            merged.merge(&f.histogram);
+        }
+        Ok(RuntimeReport {
+            scheme: self.scheme.name().to_owned(),
+            docs_published: self.docs_published,
+            tasks_dispatched: self.tasks_dispatched,
+            tasks_shed: self.tasks_shed,
+            allocation_updates: self.allocation_updates,
+            nodes: results.into_iter().map(|f| f.metrics).collect(),
+            latency: merged.summary(),
+        })
+    }
+
+    fn serve(&mut self, commands: &Receiver<Command>) -> Result<()> {
+        loop {
+            match commands.recv_timeout(self.config.flush_interval) {
+                Ok(Command::Publish(doc)) => self.publish(&Arc::new(*doc))?,
+                Ok(Command::Register(filter)) => self.register(&filter)?,
+                Ok(Command::Stats(reply)) => self.stats(&reply),
+                Ok(Command::Shutdown) | Err(RecvTimeoutError::Disconnected) => return Ok(()),
+                // Idle: age out partially filled batches.
+                Err(RecvTimeoutError::Timeout) => self.flush_all(),
+            }
+        }
+    }
+
+    fn publish(&mut self, doc: &Arc<Document>) -> Result<()> {
+        let steps = self.scheme.route(doc);
+        self.docs_published += 1;
+        let dispatched = Instant::now();
+        for step in steps {
+            // The router itself plays the home node's forwarding hop: a
+            // Forward step touches no posting list, so there is nothing to
+            // ship to the worker.
+            if matches!(step.task, MatchTask::Forward) {
+                continue;
+            }
+            let n = step.node.as_usize();
+            self.pending[n].push(DocTask {
+                doc: Arc::clone(doc),
+                task: step.task,
+                dispatched,
+            });
+            if self.pending[n].len() >= self.config.batch_size {
+                self.flush_node(n);
+            }
+        }
+        // The observe/allocate refresh cycle. A layout change must reach
+        // the workers *after* everything routed under the old layout...
+        if self.scheme.maintenance(doc)? {
+            self.flush_all();
+            self.allocation_updates += 1;
+            // ...and before anything routed under the new one — mailbox
+            // FIFO order guarantees both once the update is sent here.
+            for i in 0..self.workers.len() {
+                let index = Box::new(self.scheme.node_index(NodeId(i as u32)).clone());
+                let _ = self.workers[i].send(NodeMessage::AllocationUpdate { index });
+            }
+        }
+        Ok(())
+    }
+
+    fn register(&mut self, filter: &Filter) -> Result<()> {
+        let targets = self.scheme.registration_targets(filter);
+        self.scheme.register(filter)?;
+        for (node, terms) in targets {
+            let n = node.as_usize();
+            // Flush first so documents published before this registration
+            // are matched against the pre-registration shard.
+            self.flush_node(n);
+            let _ = self.workers[n].send(NodeMessage::RegisterFilter {
+                filter: filter.clone(),
+                terms,
+            });
+        }
+        Ok(())
+    }
+
+    fn stats(&mut self, reply: &Sender<Vec<NodeMetrics>>) {
+        self.flush_all();
+        let (tx, rx) = unbounded();
+        for w in &self.workers {
+            let _ = w.send(NodeMessage::StatsReport { reply: tx.clone() });
+        }
+        drop(tx);
+        let mut all: Vec<NodeMetrics> = rx.iter().collect();
+        all.sort_by_key(|m| m.node);
+        let _ = reply.send(all);
+    }
+
+    /// Ships node `n`'s accumulated batch. Only document batches obey the
+    /// overflow policy — control messages (registration, allocation
+    /// updates, stats, shutdown) always block, because shedding them would
+    /// corrupt worker state rather than just drop work.
+    fn flush_node(&mut self, n: usize) {
+        if self.pending[n].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending[n]);
+        let count = batch.len() as u64;
+        let msg = NodeMessage::PublishDocument { batch };
+        match self.config.overflow {
+            OverflowPolicy::Block => {
+                if self.workers[n].send(msg).is_ok() {
+                    self.tasks_dispatched += count;
+                }
+            }
+            OverflowPolicy::Shed => match self.workers[n].try_send(msg) {
+                Ok(()) => self.tasks_dispatched += count,
+                Err(TrySendError::Full(_)) => self.tasks_shed += count,
+                Err(TrySendError::Disconnected(_)) => {}
+            },
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for n in 0..self.pending.len() {
+            self.flush_node(n);
+        }
+    }
+}

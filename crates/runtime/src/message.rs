@@ -1,0 +1,70 @@
+//! The typed messages of the engine's two channel layers.
+
+use crossbeam::channel::Sender;
+use move_core::MatchTask;
+use move_index::InvertedIndex;
+use move_types::{DocId, Document, Filter, FilterId, NodeId, TermId};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::NodeMetrics;
+
+/// One unit of matching work for a node: a document plus the task the
+/// routing plan assigned to this node, stamped with its dispatch time so
+/// the worker can measure wall-clock match latency (queueing included).
+#[derive(Debug, Clone)]
+pub struct DocTask {
+    /// The published document (shared, not copied, between workers).
+    pub doc: Arc<Document>,
+    /// What to do with it (same [`MatchTask`] the simulator executes).
+    pub task: MatchTask,
+    /// When the router dispatched this task.
+    pub dispatched: Instant,
+}
+
+/// A message in a node worker's mailbox.
+#[derive(Debug)]
+pub enum NodeMessage {
+    /// Install serving copies of a filter: under the given routing terms
+    /// (inverted-list registration), or into the full local index when
+    /// `terms` is `None` (RS replica registration).
+    RegisterFilter {
+        /// The filter body.
+        filter: Filter,
+        /// Routing terms to index it under, or `None` for a full insert.
+        terms: Option<Vec<TermId>>,
+    },
+    /// A batch of documents to match.
+    PublishDocument {
+        /// The batched tasks, in dispatch order.
+        batch: Vec<DocTask>,
+    },
+    /// Replace the worker's index shard — sent after the control plane's
+    /// allocation refresh rebuilt the filter layout.
+    AllocationUpdate {
+        /// The node's new serving shard.
+        index: Box<InvertedIndex>,
+    },
+    /// Reply with a snapshot of the worker's metrics. Doubles as a barrier:
+    /// the reply proves every earlier message in this mailbox was handled.
+    StatsReport {
+        /// Where to send the snapshot.
+        reply: Sender<NodeMetrics>,
+    },
+    /// Finish the remaining mailbox (it is drained, not dropped) and exit.
+    Shutdown,
+}
+
+/// A delivery produced by a worker: the filters of one node matched by one
+/// document. Replicated layouts may deliver the same filter from several
+/// nodes; consumers union per document, exactly like the simulator's
+/// sort+dedup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The matched document.
+    pub doc: DocId,
+    /// The node that performed the match.
+    pub node: NodeId,
+    /// Matched filter ids, sorted, deduplicated within this node.
+    pub matched: Vec<FilterId>,
+}

@@ -1,0 +1,59 @@
+//! Observability: per-node counters and the end-of-run report.
+
+use move_stats::LatencySummary;
+use move_types::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Counters of one node worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeMetrics {
+    /// The worker's node id.
+    pub node: NodeId,
+    /// Mailbox messages handled (all [`crate::NodeMessage`] kinds).
+    pub messages_processed: u64,
+    /// Document match tasks executed.
+    pub doc_tasks: u64,
+    /// Posting entries scanned while matching.
+    pub postings_scanned: u64,
+    /// Filter deliveries emitted (matched filter ids, pre-union).
+    pub deliveries: u64,
+    /// Highest mailbox depth observed by the worker.
+    pub queue_depth_hwm: u64,
+    /// Wall-clock latency from router dispatch to match completion,
+    /// nanoseconds.
+    pub latency: LatencySummary,
+}
+
+/// What [`crate::Engine::shutdown`] returns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeReport {
+    /// Scheme name ("move", "il", "rs").
+    pub scheme: String,
+    /// Documents routed by the engine.
+    pub docs_published: u64,
+    /// Node match tasks dispatched to workers.
+    pub tasks_dispatched: u64,
+    /// Node match tasks dropped under [`crate::OverflowPolicy::Shed`]
+    /// (always 0 under `Block`).
+    pub tasks_shed: u64,
+    /// Allocation refreshes that re-shipped index shards to the workers.
+    pub allocation_updates: u64,
+    /// Per-node counters, indexed by node id.
+    pub nodes: Vec<NodeMetrics>,
+    /// Match latency merged across all workers, nanoseconds.
+    pub latency: LatencySummary,
+}
+
+impl RuntimeReport {
+    /// Total posting entries scanned across the cluster.
+    #[must_use]
+    pub fn postings_scanned(&self) -> u64 {
+        self.nodes.iter().map(|n| n.postings_scanned).sum()
+    }
+
+    /// Total deliveries emitted across the cluster (pre-union).
+    #[must_use]
+    pub fn deliveries(&self) -> u64 {
+        self.nodes.iter().map(|n| n.deliveries).sum()
+    }
+}

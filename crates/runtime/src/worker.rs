@@ -1,0 +1,140 @@
+//! The per-node worker thread: a mailbox loop over [`NodeMessage`]s.
+
+use crossbeam::channel::{Receiver, Sender};
+use move_core::MatchTask;
+use move_index::InvertedIndex;
+use move_stats::LatencyHistogram;
+use move_types::{FilterId, NodeId};
+
+use crate::message::{Delivery, DocTask, NodeMessage};
+use crate::metrics::NodeMetrics;
+
+/// What a worker hands back when it exits: its final counters plus the full
+/// latency histogram (the per-request [`NodeMetrics`] snapshot only carries
+/// the summary) so the router can merge an exact cluster-wide distribution.
+pub(crate) struct WorkerFinal {
+    pub metrics: NodeMetrics,
+    pub histogram: LatencyHistogram,
+}
+
+pub(crate) struct Worker {
+    node: NodeId,
+    index: InvertedIndex,
+    mailbox: Receiver<NodeMessage>,
+    deliveries: Sender<Delivery>,
+    messages_processed: u64,
+    doc_tasks: u64,
+    postings_scanned: u64,
+    delivered: u64,
+    queue_depth_hwm: u64,
+    latency: LatencyHistogram,
+}
+
+impl Worker {
+    pub(crate) fn new(
+        node: NodeId,
+        index: InvertedIndex,
+        mailbox: Receiver<NodeMessage>,
+        deliveries: Sender<Delivery>,
+    ) -> Self {
+        Self {
+            node,
+            index,
+            mailbox,
+            deliveries,
+            messages_processed: 0,
+            doc_tasks: 0,
+            postings_scanned: 0,
+            delivered: 0,
+            queue_depth_hwm: 0,
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// The mailbox loop. Returns the final counters; the mailbox is always
+    /// fully drained first — [`NodeMessage::Shutdown`] is FIFO-ordered
+    /// behind any queued work, and a disconnected channel is only reported
+    /// once empty.
+    pub(crate) fn run(mut self) -> WorkerFinal {
+        loop {
+            self.queue_depth_hwm = self.queue_depth_hwm.max(self.mailbox.len() as u64);
+            let Ok(msg) = self.mailbox.recv() else {
+                break; // router gone: treat as shutdown after the drain
+            };
+            self.messages_processed += 1;
+            match msg {
+                NodeMessage::RegisterFilter { filter, terms } => match terms {
+                    None => self.index.insert(filter),
+                    Some(terms) => {
+                        for t in terms {
+                            self.index.insert_for_term(filter.clone(), t);
+                        }
+                    }
+                },
+                NodeMessage::PublishDocument { batch } => {
+                    for task in batch {
+                        self.execute(task);
+                    }
+                }
+                NodeMessage::AllocationUpdate { index } => {
+                    self.index = *index;
+                }
+                NodeMessage::StatsReport { reply } => {
+                    let _ = reply.send(self.snapshot());
+                }
+                NodeMessage::Shutdown => break,
+            }
+        }
+        let metrics = self.snapshot();
+        WorkerFinal {
+            metrics,
+            histogram: self.latency,
+        }
+    }
+
+    fn execute(&mut self, task: DocTask) {
+        let mut matched: Vec<FilterId> = Vec::new();
+        match &task.task {
+            // Forward steps never reach a worker (the router is the
+            // forwarding table), but stay executable for completeness.
+            MatchTask::Forward => {}
+            MatchTask::Terms(terms) => {
+                for &t in terms {
+                    let outcome = self.index.match_term(&task.doc, t);
+                    self.postings_scanned += outcome.postings_scanned;
+                    matched.extend(outcome.matched);
+                }
+            }
+            MatchTask::FullIndex => {
+                let outcome = self.index.match_document(&task.doc);
+                self.postings_scanned += outcome.postings_scanned;
+                matched.extend(outcome.matched);
+            }
+        }
+        let nanos = u64::try_from(task.dispatched.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.latency.record(nanos);
+        self.doc_tasks += 1;
+        if !matched.is_empty() {
+            matched.sort_unstable();
+            matched.dedup();
+            self.delivered += matched.len() as u64;
+            let _ = self.deliveries.send(Delivery {
+                doc: task.doc.id(),
+                node: self.node,
+                matched,
+            });
+        }
+    }
+
+    fn snapshot(&self) -> NodeMetrics {
+        NodeMetrics {
+            node: self.node,
+            messages_processed: self.messages_processed,
+            doc_tasks: self.doc_tasks,
+            postings_scanned: self.postings_scanned,
+            deliveries: self.delivered,
+            queue_depth_hwm: self.queue_depth_hwm,
+            latency: self.latency.summary(),
+        }
+    }
+}

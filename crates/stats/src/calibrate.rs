@@ -44,7 +44,11 @@ fn bisect(
     let (mut lo, mut hi) = (0.0f64, MAX_ALPHA);
     let f_lo = f(&Zipf::with_cap(n, lo, cap));
     let f_hi = f(&Zipf::with_cap(n, hi, cap));
-    let (min_v, max_v) = if increasing { (f_lo, f_hi) } else { (f_hi, f_lo) };
+    let (min_v, max_v) = if increasing {
+        (f_lo, f_hi)
+    } else {
+        (f_hi, f_lo)
+    };
     if target < min_v - TOL || target > max_v + TOL {
         return Err(CalibrationError::new(format!(
             "target {target} outside reachable range [{min_v}, {max_v}] for n={n}"

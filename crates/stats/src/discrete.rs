@@ -91,13 +91,17 @@ impl Discrete {
 
     /// Mean outcome value (outcomes are their indices).
     pub fn mean(&self) -> f64 {
-        (0..self.len()).map(|i| i as f64 * self.probability(i)).sum()
+        (0..self.len())
+            .map(|i| i as f64 * self.probability(i))
+            .sum()
     }
 
     /// Samples an outcome index.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 

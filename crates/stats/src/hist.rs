@@ -1,0 +1,342 @@
+//! Wall-clock latency measurement: a mergeable log-linear histogram and an
+//! exact percentile helper.
+//!
+//! The virtual-time simulator can afford to keep every per-document latency
+//! in memory and sort it; the live runtime cannot — worker threads record
+//! millions of match latencies and the histogram must be cheap to update
+//! (one increment), bounded in size, and mergeable across threads at
+//! shutdown. The classic answer is an HdrHistogram-style log-linear layout:
+//! buckets double in width every octave and each octave is split into
+//! `2^SUB_BITS` linear sub-buckets, giving a constant relative error of
+//! about `2^-SUB_BITS` across the full `u64` range.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact percentile of a sample by linear interpolation between closest
+/// ranks. `p` is in percent (`50.0` is the median); out-of-range values are
+/// clamped. Returns `0.0` for an empty sample.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(move_stats::percentile(&xs, 0.0), 1.0);
+/// assert_eq!(move_stats::percentile(&xs, 50.0), 2.5);
+/// assert_eq!(move_stats::percentile(&xs, 100.0), 4.0);
+/// ```
+#[must_use]
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Linear sub-buckets per octave (as a power of two): 32 sub-buckets,
+/// ≈3% worst-case relative quantile error.
+const SUB_BITS: u32 = 5;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+const SUB_MASK: u64 = SUB_COUNT - 1;
+/// One linear region for values below `SUB_COUNT`, then one `SUB_COUNT`-wide
+/// region per remaining octave.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB_COUNT as usize;
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // v >= SUB_COUNT so exp >= SUB_BITS
+    let sub = (v >> (exp - SUB_BITS)) & SUB_MASK;
+    (((exp - SUB_BITS + 1) as u64 * SUB_COUNT) + sub) as usize
+}
+
+/// Midpoint of a bucket's value range — the representative returned by
+/// quantile queries.
+fn bucket_mid(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_COUNT {
+        return index;
+    }
+    let octave = index / SUB_COUNT - 1 + SUB_BITS as u64;
+    let sub = index & SUB_MASK;
+    let width = 1u64 << (octave - SUB_BITS as u64);
+    let lo = (1u64 << octave) + sub * width;
+    lo + width / 2
+}
+
+/// A fixed-size log-linear histogram of `u64` observations (typically
+/// nanoseconds), recording in O(1) and merging across threads.
+///
+/// # Examples
+///
+/// ```
+/// use move_stats::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.value_at_percentile(50.0);
+/// assert!((450..=550).contains(&p50), "{p50}");
+/// assert_eq!(h.count(), 1000);
+/// assert_eq!(h.max(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded observation (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded observation.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another histogram into this one (the shutdown aggregation of
+    /// per-worker histograms).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at percentile `p` (in percent), within the layout's ≈3%
+    /// relative error; exact min/max are returned at the extremes. Returns
+    /// 0 when empty.
+    #[must_use]
+    pub fn value_at_percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        if p == 0.0 {
+            return self.min();
+        }
+        if p == 100.0 {
+            return self.max;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Clamp to the observed range so p100 is the true max.
+                return bucket_mid(i).clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Serializable digest of the distribution for experiment reports.
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.value_at_percentile(50.0),
+            p90: self.value_at_percentile(90.0),
+            p99: self.value_at_percentile(99.0),
+            max: self.max(),
+        }
+    }
+}
+
+/// Percentile digest of a [`LatencyHistogram`], in the histogram's recording
+/// unit (nanoseconds in the runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert!((percentile(&xs, 25.0) - 17.5).abs() < 1e-12);
+        assert_eq!(percentile(&xs, 50.0), 25.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_exhaustive() {
+        let mut last = 0usize;
+        for shift in 0..64u32 {
+            let v = 1u64 << shift;
+            for v in [v, v + v / 3, v + v / 2] {
+                let b = bucket_of(v);
+                assert!(b >= last, "bucket must not decrease at {v}");
+                assert!(b < BUCKETS, "bucket {b} out of range at {v}");
+                last = b;
+            }
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB_COUNT {
+            h.record(v);
+        }
+        for v in 0..SUB_COUNT {
+            assert_eq!(bucket_mid(bucket_of(v)), v);
+        }
+        assert_eq!(h.count(), SUB_COUNT);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            let got = h.value_at_percentile(p) as f64;
+            let want = p / 100.0 * 100_000.0;
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.04, "p{p}: got {got}, want {want}, rel {rel}");
+        }
+        assert_eq!(h.value_at_percentile(0.0), 1);
+        assert_eq!(h.value_at_percentile(100.0), 100_000);
+    }
+
+    #[test]
+    fn merge_equals_single_histogram() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in 0..5_000u64 {
+            let v = v * v % 70_000;
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.summary(), whole.summary());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.value_at_percentile(99.0), 0);
+        assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let mut h = LatencyHistogram::new();
+        for v in [5u64, 50, 500, 5_000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: LatencySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -17,19 +17,26 @@
 //! * [`randomized_round`] / [`apportion`] — integer allocation for the
 //!   optimizer's fractional `nᵢ` (paper §IV-C, "classic rounding solutions");
 //! * [`entropy_bits`], [`Summary`], [`ranked_series`] — measurement helpers
-//!   for the evaluation figures.
+//!   for the evaluation figures;
+//! * [`LatencyHistogram`], [`percentile`] — wall-clock latency measurement
+//!   for the live runtime (log-linear histogram, mergeable across worker
+//!   threads) and exact percentiles for in-memory samples.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod calibrate;
 mod discrete;
+mod hist;
 mod rounding;
 mod summary;
 mod zipf;
 
-pub use calibrate::{calibrate_entropy, calibrate_head_mass, calibrate_head_mass_capped, CalibrationError};
+pub use calibrate::{
+    calibrate_entropy, calibrate_head_mass, calibrate_head_mass_capped, CalibrationError,
+};
 pub use discrete::Discrete;
+pub use hist::{percentile, LatencyHistogram, LatencySummary};
 pub use rounding::{apportion, randomized_round};
 pub use summary::{entropy_bits, ranked_series, Summary};
 pub use zipf::Zipf;

@@ -72,7 +72,13 @@ pub fn apportion(weights: &[f64], total: u64, min_each: u64) -> Vec<u64> {
     let mut out: Vec<u64> = ideal
         .iter()
         .zip(weights)
-        .map(|(x, &w)| if w > 0.0 { x.floor() as u64 + min_each } else { 0 })
+        .map(|(x, &w)| {
+            if w > 0.0 {
+                x.floor() as u64 + min_each
+            } else {
+                0
+            }
+        })
         .collect();
     let assigned: u64 = out.iter().sum();
     let mut leftover = total - assigned;

@@ -43,7 +43,11 @@ pub fn entropy_bits(counts: &[u64]) -> f64 {
 pub fn ranked_series(values: &[f64]) -> Vec<(usize, f64)> {
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite values"));
-    sorted.into_iter().enumerate().map(|(i, v)| (i + 1, v)).collect()
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (i + 1, v))
+        .collect()
 }
 
 /// Five-number-style summary of a sample, plus dispersion measures used for

@@ -132,7 +132,10 @@ impl Zipf {
     ///
     /// Panics if `k > n`.
     pub fn sample_distinct<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<usize> {
-        assert!(k <= self.len(), "cannot draw more distinct ranks than exist");
+        assert!(
+            k <= self.len(),
+            "cannot draw more distinct ranks than exist"
+        );
         let mut out = Vec::with_capacity(k);
         // With k ≤ ~30 and n in the hundreds of thousands, rejections are
         // rare even under heavy skew; fall back to sequential fill if the
@@ -160,7 +163,9 @@ impl Zipf {
 
     /// Maps a uniform `u ∈ [0,1)` to a rank (inverse CDF).
     pub fn rank_at(&self, u: f64) -> usize {
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 

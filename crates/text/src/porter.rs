@@ -226,15 +226,10 @@ impl Stemmer {
             b'i' => self.ends(b"ic"),
             b'l' => self.ends(b"able") || self.ends(b"ible"),
             b'n' => {
-                self.ends(b"ant")
-                    || self.ends(b"ement")
-                    || self.ends(b"ment")
-                    || self.ends(b"ent")
+                self.ends(b"ant") || self.ends(b"ement") || self.ends(b"ment") || self.ends(b"ent")
             }
             b'o' => {
-                (self.ends(b"ion")
-                    && self.j >= 1
-                    && matches!(self.b[self.j - 1], b's' | b't'))
+                (self.ends(b"ion") && self.j >= 1 && matches!(self.b[self.j - 1], b's' | b't'))
                     || self.ends(b"ou")
             }
             b's' => self.ends(b"ism"),
@@ -437,10 +432,7 @@ mod tests {
         // `e` that step 1b may restore (hop+ing → "hop", fil+ing → "file").
         for (w, _) in VECTORS {
             let s = stem(w);
-            assert!(
-                s.len() <= w.len(),
-                "stem longer than input: {w} -> {s}"
-            );
+            assert!(s.len() <= w.len(), "stem longer than input: {w} -> {s}");
             assert!(!s.is_empty(), "stem of {w} is empty");
         }
     }

@@ -108,7 +108,10 @@ mod tests {
             .iter()
             .map(|t| dict.intern(t))
             .collect();
-        assert_eq!(ids, vec![TermId(0), TermId(1), TermId(2), TermId(1), TermId(0)]);
+        assert_eq!(
+            ids,
+            vec![TermId(0), TermId(1), TermId(2), TermId(1), TermId(0)]
+        );
         assert_eq!(dict.len(), 3);
     }
 

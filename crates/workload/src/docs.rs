@@ -331,8 +331,7 @@ mod tests {
         let (spec, gen) = wt_small();
         let mut rng = StdRng::seed_from_u64(8);
         let docs = gen.corpus(2_000, &mut rng);
-        let mean =
-            docs.iter().map(|d| d.distinct_terms() as f64).sum::<f64>() / docs.len() as f64;
+        let mean = docs.iter().map(|d| d.distinct_terms() as f64).sum::<f64>() / docs.len() as f64;
         // The log-normal multiplier saturates head probabilities at 1, which
         // shaves a little off the mean; allow 15 %.
         assert!(
@@ -370,7 +369,10 @@ mod tests {
     fn documents_never_empty() {
         let (_, gen) = wt_small();
         let mut rng = StdRng::seed_from_u64(10);
-        assert!(gen.corpus(500, &mut rng).iter().all(|d| d.distinct_terms() > 0));
+        assert!(gen
+            .corpus(500, &mut rng)
+            .iter()
+            .all(|d| d.distinct_terms() > 0));
     }
 
     #[test]

@@ -43,15 +43,21 @@ impl FilterGenerator {
     /// head mass, or `max_terms` too small for the mean).
     pub fn new(spec: &MsnSpec) -> Result<Self> {
         if spec.vocabulary == 0 {
-            return Err(MoveError::InvalidConfig("vocabulary must be positive".into()));
+            return Err(MoveError::InvalidConfig(
+                "vocabulary must be positive".into(),
+            ));
         }
         // A filter contains a term with probability ≈ mean_terms × the
         // term's occurrence share, so the popularity ceiling maps to an
         // occurrence-share cap of max_popularity / mean_terms.
         let occurrence_cap = (spec.max_popularity / spec.mean_terms).clamp(1e-9, 1.0);
-        let alpha =
-            calibrate_head_mass_capped(spec.vocabulary, spec.top_k, spec.top_k_mass, occurrence_cap)
-                .map_err(|e| MoveError::Calibration(e.to_string()))?;
+        let alpha = calibrate_head_mass_capped(
+            spec.vocabulary,
+            spec.top_k,
+            spec.top_k_mass,
+            occurrence_cap,
+        )
+        .map_err(|e| MoveError::Calibration(e.to_string()))?;
         let term_law = Zipf::with_cap(spec.vocabulary, alpha, occurrence_cap);
         let length_law = Self::length_law(spec)?;
         Ok(Self {
@@ -162,8 +168,7 @@ mod tests {
         assert!((le(1) - 0.3133).abs() < 0.01, "≤1 share {}", le(1));
         assert!((le(2) - 0.6775).abs() < 0.01, "≤2 share {}", le(2));
         assert!((le(3) - 0.8531).abs() < 0.01, "≤3 share {}", le(3));
-        let mean =
-            filters.iter().map(|f| f.len() as f64).sum::<f64>() / n;
+        let mean = filters.iter().map(|f| f.len() as f64).sum::<f64>() / n;
         assert!((mean - 2.843).abs() < 0.05, "mean {mean}");
     }
 

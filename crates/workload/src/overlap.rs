@@ -136,10 +136,7 @@ impl RankCoupling {
         if k == 0 {
             return 0.0;
         }
-        let hits = self.map[..k]
-            .iter()
-            .filter(|t| t.as_usize() < k)
-            .count();
+        let hits = self.map[..k].iter().filter(|t| t.as_usize() < k).count();
         hits as f64 / k as f64
     }
 }

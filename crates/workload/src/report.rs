@@ -108,8 +108,8 @@ impl DocReport {
         } else {
             0.0
         };
-        let mean = docs.iter().map(|d| d.distinct_terms() as f64).sum::<f64>()
-            / docs.len().max(1) as f64;
+        let mean =
+            docs.iter().map(|d| d.distinct_terms() as f64).sum::<f64>() / docs.len().max(1) as f64;
         Self {
             docs: docs.len() as u64,
             mean_terms_per_doc: mean,
@@ -147,12 +147,7 @@ pub struct DatasetReport {
 
 impl DatasetReport {
     /// Measures a combined trace over a shared `vocabulary`.
-    pub fn measure(
-        filters: &[Filter],
-        docs: &[Document],
-        vocabulary: usize,
-        top_k: usize,
-    ) -> Self {
+    pub fn measure(filters: &[Filter], docs: &[Document], vocabulary: usize, top_k: usize) -> Self {
         let fr = FilterReport::measure(filters, vocabulary, top_k);
         let dr = DocReport::measure(docs, vocabulary);
         let pop = FilterReport::popularity(filters, vocabulary);

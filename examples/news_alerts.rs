@@ -47,10 +47,7 @@ fn main() {
     for (i, text) in wire.iter().enumerate() {
         let doc = pipeline.document(i as u64, text, &mut dict);
         let out = system.publish(i as f64 * 0.1, &doc).expect("publish");
-        println!(
-            "story {i}: {} recipient(s)",
-            out.matched.len()
-        );
+        println!("story {i}: {} recipient(s)", out.matched.len());
         for id in out.matched {
             inbox.entry(id).or_default().push(doc.clone());
         }

@@ -24,8 +24,9 @@ fn main() {
         .expect("calibratable")
         .trace(40_000, &mut rng);
     let trec = TrecSpec::wt().scaled(4_000);
-    let coupling = RankCoupling::with_overlap(4_000, vocab, trec.top_k, trec.top_k_overlap, &mut rng)
-        .expect("valid coupling");
+    let coupling =
+        RankCoupling::with_overlap(4_000, vocab, trec.top_k, trec.top_k_overlap, &mut rng)
+            .expect("valid coupling");
     let dgen = DocumentGenerator::new(&trec, coupling).expect("calibratable");
     let sample = dgen.corpus(200, &mut rng);
     let docs = dgen.corpus(1_000, &mut rng);
@@ -34,7 +35,9 @@ fn main() {
         filters.len(),
         filters.iter().map(move_types::Filter::len).sum::<usize>() as f64 / filters.len() as f64,
         docs.len(),
-        docs.iter().map(move_types::Document::distinct_terms).sum::<usize>() as f64
+        docs.iter()
+            .map(move_types::Document::distinct_terms)
+            .sum::<usize>() as f64
             / docs.len() as f64
     );
 

@@ -33,10 +33,26 @@ fn main() {
 
     section("keyword-refined follows (60% term-overlap threshold)");
     let follows = [
-        Follow { follower: "nina", author: "@chef", topics: "pasta recipes" },
-        Follow { follower: "omar", author: "@chef", topics: "grilling barbecue" },
-        Follow { follower: "nina", author: "@coach", topics: "marathon training" },
-        Follow { follower: "pete", author: "@coach", topics: "strength training" },
+        Follow {
+            follower: "nina",
+            author: "@chef",
+            topics: "pasta recipes",
+        },
+        Follow {
+            follower: "omar",
+            author: "@chef",
+            topics: "grilling barbecue",
+        },
+        Follow {
+            follower: "nina",
+            author: "@coach",
+            topics: "marathon training",
+        },
+        Follow {
+            follower: "pete",
+            author: "@coach",
+            topics: "strength training",
+        },
     ];
     // Filter terms combine the author handle with the topic keywords, so a
     // post only reaches followers of *that author* with *those interests*.
@@ -49,9 +65,18 @@ fn main() {
 
     section("posts");
     let posts = [
-        ("@chef", "Tonight's pasta special: hand rolled orecchiette recipes"),
-        ("@chef", "Low and slow barbecue brisket on the new grilling rig"),
-        ("@coach", "Week 6 of marathon training: the long run mindset"),
+        (
+            "@chef",
+            "Tonight's pasta special: hand rolled orecchiette recipes",
+        ),
+        (
+            "@chef",
+            "Low and slow barbecue brisket on the new grilling rig",
+        ),
+        (
+            "@coach",
+            "Week 6 of marathon training: the long run mindset",
+        ),
         ("@coach", "Recovery day stretching routine"),
     ];
     let mut coarse_deliveries = 0usize;

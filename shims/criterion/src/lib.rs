@@ -1,0 +1,293 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`,
+//! `BatchSize` and the `criterion_group!` / `criterion_main!` macros. The
+//! measurement loop is deliberately simple: a short calibration pass sizes
+//! the iteration count to roughly `TARGET_SAMPLE_TIME`, then `SAMPLES`
+//! timed samples are taken and the median per-iteration time is printed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 7;
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(40);
+
+/// How per-iteration inputs are sized in [`Bencher::iter_batched`].
+///
+/// The shim times each routine invocation individually, so the variants
+/// only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: many iterations per batch upstream.
+    SmallInput,
+    /// Large input: few iterations per batch upstream.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Identifier for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from just a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Median per-iteration time of the last run, for reporting.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the median iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in the target sample time?
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= TARGET_SAMPLE_TIME / 4 || n >= 1 << 24 {
+                break;
+            }
+            n = n.saturating_mul(4);
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed() / u32::try_from(n).unwrap_or(u32::MAX));
+        }
+        samples.sort();
+        self.elapsed_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        self.elapsed_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine takes `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        self.elapsed_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed_per_iter: Duration::ZERO,
+    };
+    f(&mut b);
+    let nanos = b.elapsed_per_iter.as_nanos();
+    if nanos >= 10_000_000 {
+        println!("{label:<50} {:>12.3} ms/iter", nanos as f64 / 1e6);
+    } else if nanos >= 10_000 {
+        println!("{label:<50} {:>12.3} us/iter", nanos as f64 / 1e3);
+    } else {
+        println!("{label:<50} {nanos:>12} ns/iter");
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+
+    /// Upstream configuration hook; ignored by the shim.
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Upstream configuration hook; ignored by the shim.
+    #[must_use]
+    pub fn measurement_time(self, _t: Duration) -> Self {
+        self
+    }
+
+    /// Upstream final-summary hook; a no-op in the shim.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream configuration hook; ignored by the shim.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Upstream configuration hook; ignored by the shim.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Prevents the compiler from optimizing away a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let _ = $config;
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}

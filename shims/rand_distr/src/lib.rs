@@ -1,0 +1,184 @@
+//! Offline shim for the subset of `rand_distr` 0.4 this workspace uses:
+//! [`LogNormal`] and [`Poisson`] (plus the [`Distribution`] trait
+//! re-exported from the `rand` shim).
+//!
+//! Sampling algorithms: standard normals via Box–Muller (polar form),
+//! Poisson via Knuth multiplication for small means and a
+//! normal approximation with continuity correction for large means —
+//! accurate to well under the tolerances the workload calibrators assert.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+use std::fmt;
+
+/// Error building a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Draws a standard normal via the Marsaglia polar method.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        let v = 2.0 * rng.gen::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !(std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite()) {
+            return Err(Error("normal std_dev must be finite and >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F> {
+    mu: F,
+    sigma: F,
+}
+
+impl LogNormal<f64> {
+    /// Creates the distribution from the underlying normal's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !(sigma.is_finite() && sigma >= 0.0 && mu.is_finite()) {
+            return Err(Error("log-normal sigma must be finite and >= 0"));
+        }
+        Ok(Self { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// The Poisson distribution with mean `lambda`; samples are returned as
+/// `f64` counts, matching upstream `rand_distr`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson<F> {
+    lambda: F,
+}
+
+impl Poisson<f64> {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(Error("poisson lambda must be finite and > 0"));
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth: multiply uniforms until the product drops below e^-λ.
+            let limit = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= limit {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        }
+        // Normal approximation with continuity correction, clamped at 0 —
+        // relative error is negligible for λ ≥ 30 at the workload's scales.
+        let draw = self.lambda + self.lambda.sqrt() * standard_normal(rng) + 0.5;
+        draw.floor().max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+        (0..n).map(|_| f()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let m = mean_of(200_000, || d.sample(&mut rng));
+        assert!((m - 3.0).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn log_normal_mean_is_exp_mu_plus_half_sigma_sq() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sigma = 0.5f64;
+        let d = LogNormal::new(-sigma * sigma / 2.0, sigma).unwrap();
+        let m = mean_of(200_000, || d.sample(&mut rng));
+        assert!((m - 1.0).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_small_and_large_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for lambda in [0.5, 4.0, 25.0, 80.0, 400.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let m = mean_of(100_000, || d.sample(&mut rng));
+            assert!(
+                (m - lambda).abs() < lambda.max(1.0) * 0.03,
+                "lambda {lambda}: mean {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(Poisson::new(0.0).is_err());
+    }
+}

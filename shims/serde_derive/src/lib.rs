@@ -1,0 +1,461 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` generating impls of the *serde shim's*
+//! [`Value`]-tree traits (`to_value` / `from_value`).
+//!
+//! The derive is hand-rolled over `proc_macro::TokenTree` (no `syn` /
+//! `quote` — they are unavailable offline) and supports exactly the shapes
+//! this workspace derives on:
+//!
+//! * structs with named fields → externally visible JSON objects,
+//! * tuple structs with one field → transparent (the inner value), which
+//!   also subsumes the `#[serde(transparent)]` newtype ids,
+//! * tuple structs with several fields → JSON arrays,
+//! * unit structs → `null`,
+//! * enums with unit and tuple variants → serde's default externally
+//!   tagged representation (`"Variant"` / `{"Variant": payload}`).
+//!
+//! All `#[serde(...)]`, `#[doc]`, and `#[default]` attributes are accepted
+//! and ignored (the only one the workspace uses, `transparent`, matches the
+//! default newtype behavior above).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What one parsed item looks like.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+/// Derives the serde shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => gen_serialize(&shape)
+            .parse()
+            .expect("generated code parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derives the serde shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(shape) => gen_deserialize(&shape)
+            .parse()
+            .expect("generated code parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens parse")
+}
+
+/// Skips `#[...]` attribute pairs starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("derive shim does not support generics on `{name}`"));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct {
+                    name,
+                    arity: count_top_level_items(&g.stream().into_iter().collect::<Vec<_>>()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Shape::Enum {
+                name,
+                variants: parse_variants(&g.stream().into_iter().collect::<Vec<_>>())?,
+            }),
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Field names of a named-field struct body.
+///
+/// A field name is an identifier directly followed by a lone `:` (not
+/// `::`) while not inside `<...>` generic arguments.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut angle: i32 = 0;
+    let mut expecting_field = true; // at start or just after a top-level `,`
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => expecting_field = true,
+                '#' if expecting_field => {
+                    // Attribute in field position: skip `#[...]`.
+                    i = skip_attrs(tokens, i);
+                    continue;
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if angle == 0 && expecting_field => {
+                let word = id.to_string();
+                if word == "pub" {
+                    i = skip_vis(tokens, i);
+                    continue;
+                }
+                // The next token must be a lone `:` for this to be a field.
+                match tokens.get(i + 1) {
+                    Some(TokenTree::Punct(p))
+                        if p.as_char() == ':' && p.spacing() == proc_macro::Spacing::Alone =>
+                    {
+                        fields.push(word);
+                        expecting_field = false;
+                    }
+                    _ => return Err(format!("unsupported field syntax near `{word}`")),
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Ok(fields)
+}
+
+/// Number of comma-separated items at angle-bracket depth 0 (tuple-struct
+/// arity), ignoring a trailing comma.
+fn count_top_level_items(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle: i32 = 0;
+    let mut items = 1;
+    let mut trailing = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    items += 1;
+                    trailing = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing = false;
+    }
+    if trailing {
+        items -= 1;
+    }
+    items
+}
+
+/// `(variant name, tuple payload arity)` pairs of an enum body.
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<(String, usize)>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(tokens, i);
+        let Some(tt) = tokens.get(i) else { break };
+        let name = match tt {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected enum variant, found {other:?}")),
+        };
+        i += 1;
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_top_level_items(&g.stream().into_iter().collect::<Vec<_>>())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "derive shim does not support struct variants (`{name}`)"
+                ));
+            }
+            _ => 0,
+        };
+        if arity == 0 {
+            variants.push((name, 0));
+        } else {
+            variants.push((name, arity));
+        }
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => return Err(format!("expected `,` between variants, found {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::Object(::std::vec![{pushes}])\
+                     }}\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\
+                 fn to_value(&self) -> ::serde::Value {{\
+                     ::serde::Serialize::to_value(&self.0)\
+                 }}\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::Array(::std::vec![{items}])\
+                     }}\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Value::String(\
+                             ::std::string::String::from({v:?})),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from({v:?}), \
+                                 ::serde::Value::Array(::std::vec![{items}]))]),",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             v.get({f:?}).ok_or_else(|| \
+                             ::serde::DeError::missing_field({f:?}))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\
+                         if !::std::matches!(v, ::serde::Value::Object(_)) {{\
+                             return ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"object\", v));\
+                         }}\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\
+                     }}\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\
+                 fn from_value(v: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::DeError> {{\
+                     ::std::result::Result::Ok(Self(\
+                         ::serde::Deserialize::from_value(v)?))\
+                 }}\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\
+                         match v {{\
+                             ::serde::Value::Array(items) if items.len() == {arity} => \
+                                 ::std::result::Result::Ok(Self({items})),\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"{arity}-element array\", other)),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\
+                 fn from_value(_v: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::DeError> {{\
+                     ::std::result::Result::Ok(Self)\
+                 }}\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, a)| *a > 0)
+                .map(|(v, arity)| match arity {
+                    1 => format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                    ),
+                    n => {
+                        let items: String = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?,"))
+                            .collect();
+                        format!(
+                            "{v:?} => match inner {{\
+                                 ::serde::Value::Array(items) if items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{v}({items})),\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::DeError::expected(\"{n}-element array\", other)),\
+                             }},"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\
+                         match v {{\
+                             ::serde::Value::String(s) => match s.as_str() {{\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::DeError::custom(::std::format!(\
+                                         \"unknown variant `{{other}}` of {name}\"))),\
+                             }},\
+                             ::serde::Value::Object(fields) if fields.len() == 1 => {{\
+                                 let (tag, inner) = &fields[0];\
+                                 match tag.as_str() {{\
+                                     {tagged_arms}\
+                                     other => ::std::result::Result::Err(\
+                                         ::serde::DeError::custom(::std::format!(\
+                                             \"unknown variant `{{other}}` of {name}\"))),\
+                                 }}\
+                             }}\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"enum representation\", other)),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}

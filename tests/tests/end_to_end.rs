@@ -48,8 +48,16 @@ fn alerts_pipeline_from_raw_text() {
         deliveries.push((id, out.matched));
     }
 
-    assert_eq!(deliveries[0].1, vec![FilterId(1)], "rust article → rust fan");
-    assert_eq!(deliveries[1].1, vec![FilterId(2)], "cup article → football fan");
+    assert_eq!(
+        deliveries[0].1,
+        vec![FilterId(1)],
+        "rust article → rust fan"
+    );
+    assert_eq!(
+        deliveries[1].1,
+        vec![FilterId(2)],
+        "cup article → football fan"
+    );
     assert_eq!(deliveries[2].1, vec![FilterId(3)], "ev article → ev fan");
     assert!(deliveries[3].1.is_empty(), "bakery article matches nobody");
 }

@@ -10,7 +10,10 @@ use move_types::{MatchSemantics, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn allocated_move(placement: PlacementStrategy, seed: u64) -> (MoveScheme, Vec<move_types::Filter>) {
+fn allocated_move(
+    placement: PlacementStrategy,
+    seed: u64,
+) -> (MoveScheme, Vec<move_types::Filter>) {
     let mut cfg = SystemConfig {
         nodes: 12,
         racks: 3,
@@ -121,7 +124,10 @@ fn failover_keeps_delivery_for_the_affected_terms() {
     let doc = move_types::Document::from_distinct_terms(0u64, [term]);
     let got = scheme.publish(0.0, &doc).expect("publish").matched;
     let want = brute_force(&filters, &doc, MatchSemantics::Boolean);
-    assert_eq!(got, want, "surviving replica rows must serve the home's terms");
+    assert_eq!(
+        got, want,
+        "surviving replica rows must serve the home's terms"
+    );
 }
 
 #[test]

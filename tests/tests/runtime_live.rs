@@ -1,0 +1,198 @@
+//! The live engine's core invariant: under real concurrency — OS-thread
+//! workers, bounded mailboxes, batching, allocation refreshes — the union
+//! of filters delivered by `move-runtime` equals the brute-force match set,
+//! for every scheme. Plus the backpressure stress case: tiny blocking
+//! mailboxes must neither deadlock nor lose deliveries.
+
+use move_core::{Dissemination, IlScheme, MoveScheme, RsScheme, SystemConfig};
+use move_index::brute_force;
+use move_integration_tests::{random_docs, random_filters};
+use move_runtime::{Engine, OverflowPolicy, RuntimeConfig};
+use move_types::{Document, Filter, FilterId, MatchSemantics};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn schemes(cfg: &SystemConfig) -> Vec<Box<dyn Dissemination + Send>> {
+    vec![
+        Box::new(MoveScheme::new(cfg.clone()).expect("valid config")),
+        Box::new(IlScheme::new(cfg.clone()).expect("valid config")),
+        Box::new(RsScheme::new(cfg.clone()).expect("valid config")),
+    ]
+}
+
+/// Tiny mailboxes and batches so every publish crosses the backpressure
+/// machinery instead of hiding in slack capacity.
+fn tight_config() -> RuntimeConfig {
+    RuntimeConfig {
+        mailbox_capacity: 2,
+        command_capacity: 4,
+        overflow: OverflowPolicy::Block,
+        batch_size: 3,
+        flush_interval: Duration::from_millis(1),
+    }
+}
+
+#[test]
+fn runtime_union_equals_brute_force_for_all_schemes() {
+    for seed in [3u64, 11, 42] {
+        let cfg = SystemConfig::small_test();
+        let filters = random_filters(250, 80, seed);
+        let docs = random_docs(30, 100, 20, seed ^ 0xD0C);
+        // Half the filters pre-registered (cloned into the worker shards at
+        // start), half registered live through the engine.
+        let (pre, live) = filters.split_at(filters.len() / 2);
+        for mut scheme in schemes(&cfg) {
+            for f in pre {
+                scheme.register(f).expect("register");
+            }
+            let name = scheme.name();
+            let engine = Engine::start(scheme, tight_config());
+            for f in live {
+                engine.register(f.clone());
+            }
+            for d in &docs {
+                let got = engine.publish_sync(d.clone());
+                let want = brute_force(&filters, d, MatchSemantics::Boolean);
+                assert_eq!(got, want, "{name} diverged on doc {} (seed {seed})", d.id());
+            }
+            let report = engine.shutdown().expect("clean shutdown");
+            assert_eq!(report.scheme, name);
+            assert_eq!(report.docs_published, docs.len() as u64);
+            assert_eq!(report.tasks_shed, 0, "Block policy never sheds");
+        }
+    }
+}
+
+#[test]
+fn runtime_move_stays_complete_across_allocation_refreshes() {
+    let mut cfg = SystemConfig::small_test();
+    cfg.capacity_per_node = 150; // force real grids
+    cfg.refresh_every_docs = 25; // several refresh cycles within the stream
+    let seed = 7u64;
+    let mut filters = random_filters(300, 60, seed);
+    // Skew: every third filter contains term 0, giving the optimizer a hot
+    // term worth replicating.
+    for (i, f) in filters.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *f = Filter::new(
+                f.id(),
+                f.terms().iter().copied().chain([move_types::TermId(0)]),
+            );
+        }
+    }
+    let sample = random_docs(40, 70, 10, seed ^ 0x5A);
+    let docs = random_docs(120, 70, 12, seed ^ 0xD0C);
+
+    let mut scheme = MoveScheme::new(cfg).expect("valid config");
+    for f in &filters {
+        scheme.register(f).expect("register");
+    }
+    scheme.observe_corpus(&sample);
+    scheme.allocate().expect("allocate");
+
+    let engine = Engine::start(Box::new(scheme), tight_config());
+    for d in &docs {
+        let got = engine.publish_sync(d.clone());
+        let want = brute_force(&filters, d, MatchSemantics::Boolean);
+        assert_eq!(got, want, "move diverged on doc {}", d.id());
+    }
+    let report = engine.shutdown().expect("clean shutdown");
+    assert!(
+        report.allocation_updates > 0,
+        "the stream must have re-shipped shards at least once \
+         ({} docs, refresh every 25)",
+        docs.len()
+    );
+}
+
+/// The ISSUE's stress bar: ≥4 nodes, ≥10k documents, small bounded
+/// mailboxes under the blocking policy — the run must terminate (no
+/// deadlock) and deliver exactly the brute-force set for every document
+/// (nothing lost, including work still queued when shutdown starts).
+#[test]
+fn stress_blocking_backpressure_loses_nothing() {
+    let cfg = SystemConfig::small_test(); // 6 nodes over 2 racks
+    let seed = 0xBEEF;
+    let filters = random_filters(300, 50, seed);
+    let docs = random_docs(10_000, 60, 8, seed ^ 0xD0C);
+
+    for mut scheme in schemes(&cfg) {
+        for f in &filters {
+            scheme.register(f).expect("register");
+        }
+        let name = scheme.name();
+        let engine = Engine::start(scheme, tight_config());
+        let deliveries = engine.deliveries();
+        for d in &docs {
+            engine.publish(d.clone());
+        }
+        // No flush: shutdown itself must drain every queued batch.
+        let report = engine.shutdown().expect("clean shutdown");
+        assert_eq!(report.docs_published, docs.len() as u64);
+        assert_eq!(report.tasks_shed, 0);
+
+        let mut by_doc: BTreeMap<_, Vec<FilterId>> = BTreeMap::new();
+        for d in deliveries.try_iter() {
+            by_doc.entry(d.doc).or_default().extend(d.matched);
+        }
+        for d in &docs {
+            let want = brute_force(&filters, d, MatchSemantics::Boolean);
+            let mut got = by_doc.remove(&d.id()).unwrap_or_default();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(got, want, "{name} lost deliveries for doc {}", d.id());
+        }
+        assert!(by_doc.is_empty(), "{name} delivered for unknown docs");
+    }
+}
+
+/// Under `Shed`, overflow drops whole batches but the books still balance:
+/// every routed task is either dispatched or counted shed, and whatever was
+/// delivered is sound (a subset of the brute-force set per document).
+#[test]
+fn shed_policy_accounts_for_every_task_and_stays_sound() {
+    let cfg = SystemConfig::small_test();
+    let seed = 0x5EED;
+    // Many filters per posting list make each task slow enough for the
+    // router to outrun the tiny mailboxes.
+    let filters = random_filters(4_000, 20, seed);
+    let docs = random_docs(400, 25, 10, seed ^ 0xD0C);
+
+    let config = RuntimeConfig {
+        mailbox_capacity: 1,
+        overflow: OverflowPolicy::Shed,
+        batch_size: 1,
+        ..RuntimeConfig::default()
+    };
+    let mut scheme: Box<dyn Dissemination + Send> =
+        Box::new(RsScheme::new(cfg).expect("valid config"));
+    for f in &filters {
+        scheme.register(f).expect("register");
+    }
+    let engine = Engine::start(scheme, config);
+    let deliveries = engine.deliveries();
+    for d in &docs {
+        engine.publish(d.clone());
+    }
+    let report = engine.shutdown().expect("clean shutdown");
+    // RS floods each document to every member of one replica group:
+    // 6 nodes over 3 groups = exactly 2 full-index tasks per document.
+    assert_eq!(
+        report.tasks_dispatched + report.tasks_shed,
+        2 * docs.len() as u64,
+        "dispatch accounting must cover every routed task"
+    );
+
+    let docs_by_id: BTreeMap<_, &Document> = docs.iter().map(|d| (d.id(), d)).collect();
+    for delivery in deliveries.try_iter() {
+        let doc = docs_by_id[&delivery.doc];
+        let want = brute_force(&filters, doc, MatchSemantics::Boolean);
+        for f in &delivery.matched {
+            assert!(
+                want.contains(f),
+                "unsound delivery {f} for doc {}",
+                doc.id()
+            );
+        }
+    }
+}

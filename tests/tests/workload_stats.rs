@@ -18,7 +18,11 @@ fn msn_like_trace_matches_published_statistics() {
     let filters = gen.trace(60_000, &mut rng);
     let report = FilterReport::measure(&filters, spec.vocabulary, spec.top_k);
 
-    assert!((report.mean_terms - 2.843).abs() < 0.05, "mean {}", report.mean_terms);
+    assert!(
+        (report.mean_terms - 2.843).abs() < 0.05,
+        "mean {}",
+        report.mean_terms
+    );
     assert!((report.cumulative_123[0] - 0.3133).abs() < 0.015);
     assert!((report.cumulative_123[1] - 0.6775).abs() < 0.015);
     assert!((report.cumulative_123[2] - 0.8531).abs() < 0.015);
@@ -30,7 +34,10 @@ fn msn_like_trace_matches_published_statistics() {
     // Fig. 4's plateau: no term's popularity far exceeds the 10⁻² ceiling.
     let pop = FilterReport::popularity(&filters, spec.vocabulary);
     let max_pop = pop.iter().copied().fold(0.0f64, f64::max);
-    assert!(max_pop < 0.02, "max popularity {max_pop} above the Fig. 4 plateau");
+    assert!(
+        max_pop < 0.02,
+        "max popularity {max_pop} above the Fig. 4 plateau"
+    );
 }
 
 #[test]
@@ -86,8 +93,9 @@ fn overlap_statistic_holds_in_combination() {
     let msn = MsnSpec::scaled(vocab);
     let trec = TrecSpec::wt().scaled(4_000);
     let mut rng = StdRng::seed_from_u64(4);
-    let coupling = RankCoupling::with_overlap(4_000, vocab, trec.top_k, trec.top_k_overlap, &mut rng)
-        .expect("valid coupling");
+    let coupling =
+        RankCoupling::with_overlap(4_000, vocab, trec.top_k, trec.top_k_overlap, &mut rng)
+            .expect("valid coupling");
     let fgen = FilterGenerator::new(&msn).expect("calibratable");
     let dgen = DocumentGenerator::new(&trec, coupling).expect("calibratable");
     let filters = fgen.trace(80_000, &mut rng);
@@ -112,5 +120,8 @@ fn document_lengths_disperse_with_lognormal_multiplier() {
     // σ = 0.6 log-normal ⇒ coefficient of variation well above a
     // Poisson-thin stream's.
     assert!(s.cv > 0.3, "length cv {} too tight", s.cv);
-    assert!(s.max > 3.0 * s.mean.min(s.max), "no long documents generated");
+    assert!(
+        s.max > 3.0 * s.mean.min(s.max),
+        "no long documents generated"
+    );
 }
