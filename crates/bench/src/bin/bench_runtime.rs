@@ -65,7 +65,7 @@ fn main() {
         // Setup (registration, MOVE's observe+allocate) is untimed, like the
         // simulator runs; the clock covers publish through full drain.
         let scheme = build_scheme(kind, &cfg, &w);
-        let engine = Engine::start(scheme, rt.clone());
+        let engine = Engine::start(scheme, rt.clone()).expect("spawn engine threads");
         let start = Instant::now();
         for d in &w.docs {
             engine.publish(d.clone());

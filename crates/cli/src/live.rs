@@ -39,7 +39,8 @@ impl LiveSession {
             ..SystemConfig::default()
         };
         let scheme = MoveScheme::new(config).map_err(|e| e.to_string())?;
-        let engine = Engine::start(Box::new(scheme), RuntimeConfig::default());
+        let engine =
+            Engine::start(Box::new(scheme), RuntimeConfig::default()).map_err(|e| e.to_string())?;
         Ok(Self {
             engine: Some(engine),
             pipeline: TextPipeline::default(),

@@ -41,10 +41,16 @@ pub fn decode_filter(bytes: &[u8]) -> Result<Filter> {
             bytes.len()
         )));
     }
-    let id = FilterId(u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes")));
+    let corrupt = || MoveError::InvalidConfig("corrupt filter record framing".into());
+    let id_bytes: [u8; 8] = bytes[..8].try_into().map_err(|_| corrupt())?;
+    let id = FilterId(u64::from_be_bytes(id_bytes));
     let terms = bytes[8..]
         .chunks_exact(4)
-        .map(|c| TermId(u32::from_be_bytes(c.try_into().expect("4 bytes"))));
+        .map(|c| {
+            let term_bytes: [u8; 4] = c.try_into().map_err(|_| corrupt())?;
+            Ok(TermId(u32::from_be_bytes(term_bytes)))
+        })
+        .collect::<Result<Vec<TermId>>>()?;
     Ok(Filter::new(id, terms))
 }
 

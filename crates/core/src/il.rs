@@ -159,6 +159,15 @@ impl Dissemination for IlScheme {
         for &t in filter.terms() {
             *self.term_popularity.entry(t).or_insert(0) += 1;
         }
+        // §III invariant: the filter is findable under every registration
+        // term's home node, or routing that term can never deliver it.
+        debug_assert!(
+            reg_terms.iter().all(|&t| {
+                self.indexes[self.cluster.home_of_term(t).as_usize()]
+                    .has_term_posting(filter.id(), t)
+            }),
+            "IL registration must post the filter at each registration term's home node"
+        );
         self.registered_under.insert(filter.id(), reg_terms);
         self.directory.insert(filter.id(), filter.clone());
         Ok(())

@@ -256,7 +256,9 @@ impl MoveScheme {
             new_allocations[i] = Some(grid);
         }
         self.allocations = new_allocations;
-        self.rebuild_indexes();
+        self.rebuild_indexes()?;
+        #[cfg(debug_assertions)]
+        self.debug_assert_grid_coverage();
         Ok(())
     }
 
@@ -339,7 +341,9 @@ impl MoveScheme {
                 copies as f64 * self.config.move_cost_per_copy;
             self.term_allocations.insert(t, grid);
         }
-        self.rebuild_indexes();
+        self.rebuild_indexes()?;
+        #[cfg(debug_assertions)]
+        self.debug_assert_grid_coverage();
         Ok(())
     }
 
@@ -358,17 +362,24 @@ impl MoveScheme {
 
     /// Rebuilds every serving index from the authoritative home layout and
     /// the current allocation grids.
-    fn rebuild_indexes(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`move_types::MoveError::UnknownFilter`] when a home pair
+    /// references a filter the directory no longer holds — an internal
+    /// consistency breach that registration/unregistration should make
+    /// impossible, surfaced as a typed error instead of a panic so a live
+    /// control plane can log and abort the refresh.
+    fn rebuild_indexes(&mut self) -> Result<()> {
         for idx in &mut self.indexes {
             *idx = InvertedIndex::new(self.config.semantics);
         }
         self.storage = vec![0; self.config.nodes];
         for i in 0..self.config.nodes {
             for &(t, fid) in &self.home_pairs[i] {
-                let filter = self
-                    .directory
-                    .get(&fid)
-                    .expect("directory is authoritative");
+                let Some(filter) = self.directory.get(&fid) else {
+                    return Err(move_types::MoveError::UnknownFilter(fid));
+                };
                 let grid = self
                     .term_allocations
                     .get(&t)
@@ -386,6 +397,48 @@ impl MoveScheme {
                             self.storage[node.as_usize()] += 1;
                         }
                     }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Debug-build invariant of the paper's §IV separation/replication
+    /// layout, checked after every `allocate()`: a registration pair
+    /// `(t, f)` governed by a grid is separated into exactly one column and
+    /// replicated down every row of that column — so each replica row
+    /// serves the pair exactly once, and the pair is stored on exactly
+    /// `rows` nodes. Violations mean a routed document could miss a filter
+    /// (lost delivery) or match it from two subsets of the same row
+    /// (duplicated work), the two failure modes the grid exists to exclude.
+    #[cfg(debug_assertions)]
+    fn debug_assert_grid_coverage(&self) {
+        for i in 0..self.config.nodes {
+            for &(t, fid) in &self.home_pairs[i] {
+                let grid = self
+                    .term_allocations
+                    .get(&t)
+                    .or(self.allocations[i].as_ref());
+                let Some(grid) = grid else {
+                    debug_assert!(
+                        self.indexes[i].has_term_posting(fid, t),
+                        "unallocated pair ({t}, {fid}) missing from home node {i}"
+                    );
+                    continue;
+                };
+                let col = grid.column_of(fid);
+                debug_assert!(col < grid.cols(), "column {col} out of grid range");
+                for row in 0..grid.rows() {
+                    let holders: Vec<usize> = (0..grid.cols())
+                        .filter(|&c| {
+                            self.indexes[grid.node(row, c).as_usize()].has_term_posting(fid, t)
+                        })
+                        .collect();
+                    debug_assert!(
+                        holders == [col],
+                        "pair ({t}, {fid}) held by columns {holders:?} in row {row} of home \
+                         {i}'s grid; must be exactly its separation column {col}"
+                    );
                 }
             }
         }

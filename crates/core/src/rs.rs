@@ -76,6 +76,15 @@ impl Dissemination for RsScheme {
             self.indexes[node.as_usize()].insert(filter.clone());
             self.storage[node.as_usize()] += 1;
         }
+        // Rendezvous invariant: one full copy per replica group, on the
+        // exact node `registration_targets` names — route() floods a single
+        // group, so a copy missing from any group loses deliveries.
+        debug_assert!(
+            self.registration_targets(filter)
+                .iter()
+                .all(|(node, _)| self.indexes[node.as_usize()].filter(filter.id()).is_some()),
+            "RS registration must store the filter once in every replica group"
+        );
         self.directory.insert(filter.id(), ());
         Ok(())
     }

@@ -93,6 +93,13 @@ impl InvertedIndex {
         true
     }
 
+    /// Whether a posting entry `(term, id)` is currently indexed — the
+    /// membership probe the allocation-coverage invariants use to verify
+    /// that a filter copy actually landed on a grid node.
+    pub fn has_term_posting(&self, id: FilterId, term: TermId) -> bool {
+        self.postings.get(&term).is_some_and(|pl| pl.contains(id))
+    }
+
     /// Unregisters a filter everywhere it is indexed; returns whether it was
     /// present.
     pub fn remove(&mut self, id: FilterId) -> bool {

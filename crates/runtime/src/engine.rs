@@ -1,9 +1,18 @@
-//! The engine façade and its router thread.
+//! The engine façade, its router, and the transport seam between them.
+//!
+//! The router's decision logic — routing plans, batching, flush ordering,
+//! the overflow policy, allocation-refresh fencing — lives in [`Router`],
+//! which is generic over a [`Transport`]: the production engine plugs in
+//! [`ThreadTransport`] (real worker threads behind bounded channels), while
+//! the deterministic interleaving harness in [`crate::interleave`] plugs in
+//! an in-process transport it can single-step. Both drivers therefore
+//! exercise the *same* router code path, so schedules the harness proves
+//! safe are schedules of the production router, not of a model of it.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use move_core::{Dissemination, MatchTask};
 use move_stats::LatencyHistogram;
-use move_types::{Document, Filter, FilterId, NodeId, Result};
+use move_types::{Document, Filter, FilterId, MoveError, NodeId, Result};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
@@ -16,11 +25,75 @@ use crate::worker::{Worker, WorkerFinal};
 /// Publisher-facing commands on the bounded router channel. The bound is
 /// the outermost backpressure stage: when the router stalls on a full
 /// worker mailbox (Block policy), this channel fills and `publish` blocks.
-enum Command {
+pub(crate) enum Command {
     Register(Filter),
     Publish(Box<Document>),
     Stats(Sender<Vec<NodeMetrics>>),
     Shutdown,
+}
+
+/// What happened to a document batch handed to the transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BatchOutcome {
+    /// The batch was enqueued on the worker's mailbox.
+    Delivered,
+    /// The mailbox was full under [`OverflowPolicy::Shed`]; the batch was
+    /// dropped.
+    Shed,
+    /// The worker is gone (its mailbox disconnected); the batch was
+    /// dropped without counting as shed.
+    Gone,
+}
+
+/// The router's outbound seam: how messages reach node workers.
+///
+/// Control messages (registration, allocation updates, stats requests,
+/// shutdown) must always be delivered — shedding them would corrupt worker
+/// state rather than just drop work — so [`Transport::control`] has no
+/// outcome. Document batches go through [`Transport::batch`], which applies
+/// the overflow policy.
+pub(crate) trait Transport {
+    /// Number of node workers reachable through this transport.
+    fn nodes(&self) -> usize;
+
+    /// Delivers a control message to node `n`, blocking if necessary.
+    fn control(&mut self, n: usize, msg: NodeMessage);
+
+    /// Delivers a document batch to node `n` under the overflow policy.
+    fn batch(&mut self, n: usize, msg: NodeMessage) -> BatchOutcome;
+}
+
+/// The production transport: one bounded crossbeam channel per worker
+/// thread.
+pub(crate) struct ThreadTransport {
+    workers: Vec<Sender<NodeMessage>>,
+    overflow: OverflowPolicy,
+}
+
+impl Transport for ThreadTransport {
+    fn nodes(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn control(&mut self, n: usize, msg: NodeMessage) {
+        // A failed send means the worker exited (engine teardown in
+        // progress); there is no one left to corrupt.
+        let _ = self.workers[n].send(msg);
+    }
+
+    fn batch(&mut self, n: usize, msg: NodeMessage) -> BatchOutcome {
+        match self.overflow {
+            OverflowPolicy::Block => match self.workers[n].send(msg) {
+                Ok(()) => BatchOutcome::Delivered,
+                Err(_) => BatchOutcome::Gone,
+            },
+            OverflowPolicy::Shed => match self.workers[n].try_send(msg) {
+                Ok(()) => BatchOutcome::Delivered,
+                Err(TrySendError::Full(_)) => BatchOutcome::Shed,
+                Err(TrySendError::Disconnected(_)) => BatchOutcome::Gone,
+            },
+        }
+    }
 }
 
 /// A running live engine over one dissemination scheme.
@@ -40,14 +113,19 @@ impl Engine {
     /// scheme's current state, so filters registered before `start` are
     /// served) plus the router thread owning `scheme`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the OS refuses to spawn threads.
-    #[must_use]
-    pub fn start(scheme: Box<dyn Dissemination + Send>, config: RuntimeConfig) -> Self {
+    /// Returns [`MoveError::Runtime`] if the OS refuses to spawn a thread;
+    /// any workers already spawned observe their mailboxes disconnect and
+    /// exit on their own.
+    pub fn start(scheme: Box<dyn Dissemination + Send>, config: RuntimeConfig) -> Result<Self> {
         let nodes = scheme.cluster().len();
-        let (delivery_tx, delivery_rx) = unbounded();
-        let (final_tx, final_rx) = unbounded();
+        // The delivery stream must outlive shutdown (consumers drain it
+        // after the workers exit) and bounding it would deadlock workers
+        // against consumers that only start reading after `shutdown()`.
+        let (delivery_tx, delivery_rx) = unbounded(); // xtask:allow-unbounded
+                                                      // Each worker sends exactly one final, so `nodes` slots suffice.
+        let (final_tx, final_rx) = bounded(nodes.max(1));
         let mut workers = Vec::with_capacity(nodes);
         let mut handles = Vec::with_capacity(nodes);
         for i in 0..nodes {
@@ -65,7 +143,7 @@ impl Engine {
                 .spawn(move || {
                     let _ = final_tx.send(worker.run());
                 })
-                .expect("spawn worker thread");
+                .map_err(|e| MoveError::Runtime(format!("spawn worker thread {i}: {e}")))?;
             workers.push(tx);
             handles.push(handle);
         }
@@ -73,25 +151,20 @@ impl Engine {
         drop(final_tx);
 
         let (cmd_tx, cmd_rx) = bounded(config.command_capacity);
-        let router = Router {
-            scheme,
-            config,
+        let transport = ThreadTransport {
             workers,
-            pending: vec![Vec::new(); nodes],
-            docs_published: 0,
-            tasks_dispatched: 0,
-            tasks_shed: 0,
-            allocation_updates: 0,
+            overflow: config.overflow,
         };
+        let router = Router::new(scheme, config, transport);
         let handle = thread::Builder::new()
             .name("move-router".into())
             .spawn(move || router.run(&cmd_rx, &final_rx, handles))
-            .expect("spawn router thread");
-        Self {
+            .map_err(|e| MoveError::Runtime(format!("spawn router thread: {e}")))?;
+        Ok(Self {
             commands: cmd_tx,
             deliveries: delivery_rx,
             router: Some(handle),
-        }
+        })
     }
 
     /// Registers a filter: the control plane places it, then the affected
@@ -114,7 +187,7 @@ impl Engine {
     /// all previously published documents have been fully matched.
     #[must_use]
     pub fn stats(&self) -> Vec<NodeMetrics> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = bounded(1);
         if self.commands.send(Command::Stats(tx)).is_err() {
             return Vec::new();
         }
@@ -161,31 +234,98 @@ impl Engine {
     /// # Errors
     ///
     /// Propagates a control-plane (allocation) error that aborted the
-    /// router; worker state is torn down either way.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the router thread itself panicked.
+    /// router, and reports a panicked router or worker thread as
+    /// [`MoveError::Runtime`]; worker state is torn down either way.
     pub fn shutdown(mut self) -> Result<RuntimeReport> {
         let _ = self.commands.send(Command::Shutdown);
-        let handle = self.router.take().expect("router not yet joined");
-        handle.join().expect("router thread panicked")
+        let Some(handle) = self.router.take() else {
+            return Err(MoveError::Runtime("router already joined".into()));
+        };
+        handle
+            .join()
+            .map_err(|_| MoveError::Runtime("router thread panicked".into()))?
     }
 }
 
-struct Router {
+/// The decision half of the engine: owns the scheme, accumulates per-node
+/// batches, and speaks to workers only through its [`Transport`].
+pub(crate) struct Router<T> {
     scheme: Box<dyn Dissemination + Send>,
     config: RuntimeConfig,
-    workers: Vec<Sender<NodeMessage>>,
+    pub(crate) transport: T,
     /// Per-node batch under accumulation.
     pending: Vec<Vec<DocTask>>,
-    docs_published: u64,
-    tasks_dispatched: u64,
-    tasks_shed: u64,
-    allocation_updates: u64,
+    pub(crate) docs_published: u64,
+    pub(crate) tasks_dispatched: u64,
+    pub(crate) tasks_shed: u64,
+    pub(crate) allocation_updates: u64,
 }
 
-impl Router {
+impl<T: Transport> Router<T> {
+    pub(crate) fn new(
+        scheme: Box<dyn Dissemination + Send>,
+        config: RuntimeConfig,
+        transport: T,
+    ) -> Self {
+        let nodes = transport.nodes();
+        Self {
+            scheme,
+            config,
+            transport,
+            pending: vec![Vec::new(); nodes],
+            docs_published: 0,
+            tasks_dispatched: 0,
+            tasks_shed: 0,
+            allocation_updates: 0,
+        }
+    }
+
+    /// Applies one publisher command. Returns `Ok(false)` when the command
+    /// asks the router to stop ([`Command::Shutdown`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates control-plane errors from the scheme (registration or
+    /// allocation-refresh failures).
+    pub(crate) fn handle_command(&mut self, cmd: Command) -> Result<bool> {
+        match cmd {
+            Command::Publish(doc) => self.publish(&Arc::new(*doc))?,
+            Command::Register(filter) => self.register(&filter)?,
+            Command::Stats(reply) => self.stats(&reply),
+            Command::Shutdown => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Flushes the remaining batches and sends every worker a
+    /// [`NodeMessage::Shutdown`], FIFO-ordered behind all earlier work.
+    pub(crate) fn shutdown_workers(&mut self) {
+        self.flush_all();
+        for n in 0..self.transport.nodes() {
+            self.transport.control(n, NodeMessage::Shutdown);
+        }
+    }
+
+    /// Merges worker finals with the router's own counters into the final
+    /// report.
+    pub(crate) fn into_report(self, mut results: Vec<WorkerFinal>) -> RuntimeReport {
+        results.sort_by_key(|f| f.metrics.node);
+        let mut merged = LatencyHistogram::new();
+        for f in &results {
+            merged.merge(&f.histogram);
+        }
+        RuntimeReport {
+            scheme: self.scheme.name().to_owned(),
+            docs_published: self.docs_published,
+            tasks_dispatched: self.tasks_dispatched,
+            tasks_shed: self.tasks_shed,
+            allocation_updates: self.allocation_updates,
+            nodes: results.into_iter().map(|f| f.metrics).collect(),
+            latency: merged.summary(),
+        }
+    }
+
+    /// The router thread's main loop (threaded driver only).
     fn run(
         mut self,
         commands: &Receiver<Command>,
@@ -195,40 +335,28 @@ impl Router {
         // Serve until shutdown or a control-plane error; tear the workers
         // down in both cases, then surface the error.
         let served = self.serve(commands);
-        self.flush_all();
-        for tx in &self.workers {
-            let _ = tx.send(NodeMessage::Shutdown);
-        }
-        self.workers.clear();
-        let mut results: Vec<WorkerFinal> = finals.iter().collect();
+        self.shutdown_workers();
+        let results: Vec<WorkerFinal> = finals.iter().collect();
+        let mut worker_panic = false;
         for handle in handles {
-            handle.join().expect("worker thread panicked");
+            worker_panic |= handle.join().is_err();
         }
         served?;
-
-        results.sort_by_key(|f| f.metrics.node);
-        let mut merged = LatencyHistogram::new();
-        for f in &results {
-            merged.merge(&f.histogram);
+        if worker_panic {
+            return Err(MoveError::Runtime("worker thread panicked".into()));
         }
-        Ok(RuntimeReport {
-            scheme: self.scheme.name().to_owned(),
-            docs_published: self.docs_published,
-            tasks_dispatched: self.tasks_dispatched,
-            tasks_shed: self.tasks_shed,
-            allocation_updates: self.allocation_updates,
-            nodes: results.into_iter().map(|f| f.metrics).collect(),
-            latency: merged.summary(),
-        })
+        Ok(self.into_report(results))
     }
 
     fn serve(&mut self, commands: &Receiver<Command>) -> Result<()> {
         loop {
             match commands.recv_timeout(self.config.flush_interval) {
-                Ok(Command::Publish(doc)) => self.publish(&Arc::new(*doc))?,
-                Ok(Command::Register(filter)) => self.register(&filter)?,
-                Ok(Command::Stats(reply)) => self.stats(&reply),
-                Ok(Command::Shutdown) | Err(RecvTimeoutError::Disconnected) => return Ok(()),
+                Ok(cmd) => {
+                    if !self.handle_command(cmd)? {
+                        return Ok(());
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Ok(()),
                 // Idle: age out partially filled batches.
                 Err(RecvTimeoutError::Timeout) => self.flush_all(),
             }
@@ -263,9 +391,10 @@ impl Router {
             self.allocation_updates += 1;
             // ...and before anything routed under the new one — mailbox
             // FIFO order guarantees both once the update is sent here.
-            for i in 0..self.workers.len() {
-                let index = Box::new(self.scheme.node_index(NodeId(i as u32)).clone());
-                let _ = self.workers[i].send(NodeMessage::AllocationUpdate { index });
+            for n in 0..self.transport.nodes() {
+                let index = Box::new(self.scheme.node_index(NodeId(n as u32)).clone());
+                self.transport
+                    .control(n, NodeMessage::AllocationUpdate { index });
             }
         }
         Ok(())
@@ -279,19 +408,24 @@ impl Router {
             // Flush first so documents published before this registration
             // are matched against the pre-registration shard.
             self.flush_node(n);
-            let _ = self.workers[n].send(NodeMessage::RegisterFilter {
-                filter: filter.clone(),
-                terms,
-            });
+            self.transport.control(
+                n,
+                NodeMessage::RegisterFilter {
+                    filter: filter.clone(),
+                    terms,
+                },
+            );
         }
         Ok(())
     }
 
     fn stats(&mut self, reply: &Sender<Vec<NodeMetrics>>) {
         self.flush_all();
-        let (tx, rx) = unbounded();
-        for w in &self.workers {
-            let _ = w.send(NodeMessage::StatsReport { reply: tx.clone() });
+        // One reply per worker, so this gather channel can never fill.
+        let (tx, rx) = bounded(self.transport.nodes().max(1));
+        for n in 0..self.transport.nodes() {
+            self.transport
+                .control(n, NodeMessage::StatsReport { reply: tx.clone() });
         }
         drop(tx);
         let mut all: Vec<NodeMetrics> = rx.iter().collect();
@@ -299,32 +433,26 @@ impl Router {
         let _ = reply.send(all);
     }
 
-    /// Ships node `n`'s accumulated batch. Only document batches obey the
-    /// overflow policy — control messages (registration, allocation
-    /// updates, stats, shutdown) always block, because shedding them would
-    /// corrupt worker state rather than just drop work.
+    /// Ships node `n`'s accumulated batch through the transport. Only
+    /// document batches obey the overflow policy — control messages always
+    /// go through (see [`Transport`]).
     fn flush_node(&mut self, n: usize) {
         if self.pending[n].is_empty() {
             return;
         }
         let batch = std::mem::take(&mut self.pending[n]);
         let count = batch.len() as u64;
-        let msg = NodeMessage::PublishDocument { batch };
-        match self.config.overflow {
-            OverflowPolicy::Block => {
-                if self.workers[n].send(msg).is_ok() {
-                    self.tasks_dispatched += count;
-                }
-            }
-            OverflowPolicy::Shed => match self.workers[n].try_send(msg) {
-                Ok(()) => self.tasks_dispatched += count,
-                Err(TrySendError::Full(_)) => self.tasks_shed += count,
-                Err(TrySendError::Disconnected(_)) => {}
-            },
+        match self
+            .transport
+            .batch(n, NodeMessage::PublishDocument { batch })
+        {
+            BatchOutcome::Delivered => self.tasks_dispatched += count,
+            BatchOutcome::Shed => self.tasks_shed += count,
+            BatchOutcome::Gone => {}
         }
     }
 
-    fn flush_all(&mut self) {
+    pub(crate) fn flush_all(&mut self) {
         for n in 0..self.pending.len() {
             self.flush_node(n);
         }

@@ -1,0 +1,423 @@
+//! Deterministic schedule-permutation harness for the engine.
+//!
+//! The production engine runs the router and every node worker on separate
+//! OS threads, so the interleaving of router sends and worker receives is
+//! chosen by the OS scheduler — unrepeatable and untestable. This module
+//! runs the **same** [`Router`](crate::engine) and
+//! [`Worker`](crate::worker) code single-threaded, with an explicit,
+//! seeded scheduler choosing at every step which component advances by one
+//! message. Each seed is one reproducible interleaving; sweeping seeds
+//! explores the schedule space (shutdown racing a publish, an allocation
+//! refresh landing mid-drain, shed-vs-block decisions under a full
+//! mailbox) and checks the engine's ordering guarantees on every one.
+//!
+//! # Fidelity
+//!
+//! The harness reuses the router's decision logic verbatim via the
+//! [`Transport`] seam, with two deliberate simplifications:
+//!
+//! * **Command atomicity.** One scripted operation (a publish or a
+//!   registration) runs to completion before any worker is stepped. Real
+//!   workers can interleave with the middle of a command, but since each
+//!   mailbox is FIFO and workers share no state, any such interleaving
+//!   produces the same per-mailbox message sequences as some command-atomic
+//!   schedule — command atomicity loses no observable outcomes.
+//! * **Virtual capacity.** Mailboxes are physically unbounded; the
+//!   configured capacity is enforced by the *scheduler*, which refuses to
+//!   advance the router under [`OverflowPolicy::Block`] while any mailbox
+//!   is at or over capacity (a real router would block inside the full
+//!   mailbox's `send`). Because one command may enqueue a couple of
+//!   messages per node, a mailbox can transiently overshoot the capacity
+//!   by the fan-out of a single command — equivalent to a real mailbox a
+//!   few slots larger, and irrelevant to the ordering properties checked
+//!   here. Under [`OverflowPolicy::Shed`] the shed decision is made
+//!   per-batch against the current queue length, exactly like the real
+//!   `try_send`.
+//!
+//! # Examples
+//!
+//! ```
+//! use move_core::{IlScheme, SystemConfig};
+//! use move_runtime::interleave::{run_schedule, InterleaveConfig, ScriptOp};
+//! use move_types::{Document, Filter, TermId};
+//!
+//! let scheme = Box::new(IlScheme::new(SystemConfig::small_test()).unwrap());
+//! let script = vec![
+//!     ScriptOp::Register(Filter::new(1u64, [TermId(3)])),
+//!     ScriptOp::Publish(Document::from_distinct_terms(1u64, [TermId(3)])),
+//! ];
+//! let out = run_schedule(scheme, script, &InterleaveConfig::default()).unwrap();
+//! let matched = &out.delivered[&move_types::DocId(1)];
+//! assert!(matched.contains(&move_types::FilterId(1)));
+//! ```
+
+use crossbeam::channel::{unbounded, Sender};
+use move_core::Dissemination;
+use move_types::{DocId, Document, Filter, FilterId, MoveError, NodeId, Result};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Duration;
+
+use crate::config::{OverflowPolicy, RuntimeConfig};
+use crate::engine::{BatchOutcome, Command, Router, Transport};
+use crate::message::NodeMessage;
+use crate::metrics::RuntimeReport;
+use crate::worker::{Worker, WorkerStep};
+
+/// Tuning knobs of one harness run.
+#[derive(Debug, Clone)]
+pub struct InterleaveConfig {
+    /// Seed of the scheduling RNG: same seed, same schedule, bit for bit.
+    pub seed: u64,
+    /// Virtual mailbox capacity (messages) enforced by the scheduler.
+    pub mailbox_capacity: usize,
+    /// Behaviour when a mailbox is at capacity.
+    pub overflow: OverflowPolicy,
+    /// Documents per node accumulated before a batch is sent (same knob as
+    /// [`RuntimeConfig::batch_size`]).
+    pub batch_size: usize,
+}
+
+impl Default for InterleaveConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            mailbox_capacity: 2,
+            overflow: OverflowPolicy::Block,
+            batch_size: 1,
+        }
+    }
+}
+
+/// One operation of the publisher script, applied by the router in script
+/// order (the router channel is FIFO; the schedule only varies *when* the
+/// workers observe the consequences).
+#[derive(Debug, Clone)]
+pub enum ScriptOp {
+    /// Register a filter through the control plane.
+    Register(Filter),
+    /// Publish a document through the data plane.
+    Publish(Document),
+}
+
+/// What one scheduled run produced.
+#[derive(Debug, Clone)]
+pub struct InterleaveReport {
+    /// The engine's merged report, identical in shape to what
+    /// [`Engine::shutdown`](crate::Engine::shutdown) returns.
+    pub report: RuntimeReport,
+    /// Union of matched filters per document across all nodes — the
+    /// quantity the equivalence oracle predicts.
+    pub delivered: BTreeMap<DocId, BTreeSet<FilterId>>,
+    /// Documents that had at least one batch shed (only non-empty under
+    /// [`OverflowPolicy::Shed`]). A shed doc may still appear in
+    /// `delivered` with a subset of its matches: shedding is per
+    /// node-batch, not per document.
+    pub shed_docs: BTreeSet<DocId>,
+    /// Scheduler steps taken (router commands + worker messages handled).
+    pub steps: u64,
+}
+
+/// The harness transport: physically unbounded mailboxes (capacity is the
+/// scheduler's job, see the module docs) plus shed bookkeeping.
+struct SimTransport {
+    // xtask:allow-unbounded — capacity is virtual, enforced by the
+    // scheduler; a bounded channel would block the single harness thread.
+    mailboxes: Vec<Sender<NodeMessage>>,
+    capacity: usize,
+    overflow: OverflowPolicy,
+    shed_docs: BTreeSet<DocId>,
+}
+
+impl SimTransport {
+    fn queue_len(&self, n: usize) -> usize {
+        self.mailboxes[n].len()
+    }
+
+    /// Whether any mailbox is at or over the virtual capacity — the state
+    /// in which a real router under [`OverflowPolicy::Block`] could be
+    /// blocked inside a send.
+    fn at_capacity(&self) -> bool {
+        self.mailboxes.iter().any(|m| m.len() >= self.capacity)
+    }
+}
+
+impl Transport for SimTransport {
+    fn nodes(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    fn control(&mut self, n: usize, msg: NodeMessage) {
+        let _ = self.mailboxes[n].send(msg);
+    }
+
+    fn batch(&mut self, n: usize, msg: NodeMessage) -> BatchOutcome {
+        if matches!(self.overflow, OverflowPolicy::Shed) && self.queue_len(n) >= self.capacity {
+            if let NodeMessage::PublishDocument { batch } = &msg {
+                for task in batch {
+                    self.shed_docs.insert(task.doc.id());
+                }
+            }
+            return BatchOutcome::Shed;
+        }
+        match self.mailboxes[n].send(msg) {
+            Ok(()) => BatchOutcome::Delivered,
+            Err(_) => BatchOutcome::Gone,
+        }
+    }
+}
+
+/// The scheduler's choice set: advance the router by one command, or one
+/// worker by one mailbox message.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    Router,
+    Worker(usize),
+}
+
+/// `xorshift64*` — deterministic, seedable, and good enough to pick
+/// scheduling actions uniformly.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        // The all-zero state is a fixed point of xorshift; remap it.
+        Self(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Runs `script` against `scheme` under one seeded schedule, then performs
+/// the engine's graceful shutdown (flush + drain) and returns everything
+/// observable.
+///
+/// The run is fully deterministic given `(scheme state, script, config)` —
+/// schemes with internal randomness (MOVE's row choice, RS's replica-group
+/// choice) should be built from a seeded [`SystemConfig`]
+/// (`move_core::SystemConfig`) for reproducibility.
+///
+/// # Errors
+///
+/// * Control-plane errors from the scheme (registration or allocation
+///   failures) propagate as-is.
+/// * A schedule in which no component can advance while work remains — a
+///   genuine deadlock of the engine's message protocol — is reported as
+///   [`MoveError::Internal`], as is exceeding the step budget (a livelock
+///   guard; the budget is proportional to the script's maximum fan-out and
+///   unreachable by any correct run).
+pub fn run_schedule(
+    scheme: Box<dyn Dissemination + Send>,
+    script: Vec<ScriptOp>,
+    config: &InterleaveConfig,
+) -> Result<InterleaveReport> {
+    let nodes = scheme.cluster().len();
+    // xtask:allow-unbounded — drained only after the run; bounding it
+    // would deadlock the single harness thread.
+    let (delivery_tx, delivery_rx) = unbounded();
+    let mut mailboxes = Vec::with_capacity(nodes);
+    let mut workers: Vec<Option<Worker>> = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        let node = NodeId(i as u32);
+        // xtask:allow-unbounded — virtual capacity, see SimTransport.
+        let (tx, rx) = unbounded();
+        workers.push(Some(Worker::new(
+            node,
+            scheme.node_index(node).clone(),
+            rx,
+            delivery_tx.clone(),
+        )));
+        mailboxes.push(tx);
+    }
+    drop(delivery_tx);
+
+    let transport = SimTransport {
+        mailboxes,
+        capacity: config.mailbox_capacity.max(1),
+        overflow: config.overflow,
+        shed_docs: BTreeSet::new(),
+    };
+    let runtime_config = RuntimeConfig {
+        mailbox_capacity: config.mailbox_capacity.max(1),
+        command_capacity: 1, // unused: the script stands in for the channel
+        overflow: config.overflow,
+        batch_size: config.batch_size.max(1),
+        flush_interval: Duration::from_millis(1), // unused: no idle loop
+    };
+    let mut router = Router::new(scheme, runtime_config, transport);
+
+    let mut script: VecDeque<ScriptOp> = script.into();
+    // Each script op enqueues at most ~2 messages per node (a batch plus an
+    // allocation update), shutdown adds one per node, and every message is
+    // handled in one step — so any correct run is far below this budget.
+    let budget = (script.len() as u64 + 2) * (2 * nodes as u64 + 4) * 4 + 1000;
+    let mut rng = Rng::new(config.seed);
+    let mut shutdown_sent = false;
+    let mut finals = Vec::with_capacity(nodes);
+    let mut steps: u64 = 0;
+    let mut actions: Vec<Action> = Vec::with_capacity(nodes + 1);
+
+    loop {
+        if shutdown_sent && workers.iter().all(Option::is_none) {
+            break; // graceful termination: every worker drained and stopped
+        }
+        actions.clear();
+        // The router may advance unless a Block-policy send could be
+        // blocked on a full mailbox right now.
+        let router_blocked =
+            matches!(config.overflow, OverflowPolicy::Block) && router.transport.at_capacity();
+        if !shutdown_sent && !router_blocked {
+            actions.push(Action::Router);
+        }
+        for (i, w) in workers.iter().enumerate() {
+            if w.is_some() && router.transport.queue_len(i) > 0 {
+                actions.push(Action::Worker(i));
+            }
+        }
+        if actions.is_empty() {
+            // Work remains but nothing can advance: the message protocol
+            // deadlocked (e.g. a lost shutdown would strand a worker here).
+            return Err(MoveError::Internal(format!(
+                "interleaving deadlock at step {steps}: no enabled actions \
+                 (seed {seed})",
+                seed = config.seed
+            )));
+        }
+        steps += 1;
+        if steps > budget {
+            return Err(MoveError::Internal(format!(
+                "interleaving livelock: step budget {budget} exceeded (seed {seed})",
+                seed = config.seed
+            )));
+        }
+        match actions[rng.below(actions.len())] {
+            Action::Router => match script.pop_front() {
+                Some(ScriptOp::Register(f)) => {
+                    router.handle_command(Command::Register(f))?;
+                }
+                Some(ScriptOp::Publish(d)) => {
+                    router.handle_command(Command::Publish(Box::new(d)))?;
+                }
+                None => {
+                    router.shutdown_workers();
+                    shutdown_sent = true;
+                }
+            },
+            Action::Worker(i) => {
+                let stopped = match workers[i].as_mut() {
+                    Some(w) => matches!(w.try_step(), WorkerStep::Stopped),
+                    None => false,
+                };
+                if stopped {
+                    if let Some(w) = workers[i].take() {
+                        finals.push(w.finish());
+                    }
+                }
+            }
+        }
+    }
+
+    let shed_docs = std::mem::take(&mut router.transport.shed_docs);
+    let report = router.into_report(finals);
+    let mut delivered: BTreeMap<DocId, BTreeSet<FilterId>> = BTreeMap::new();
+    for d in delivery_rx.try_iter() {
+        delivered.entry(d.doc).or_default().extend(d.matched);
+    }
+    Ok(InterleaveReport {
+        report,
+        delivered,
+        shed_docs,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use move_core::{IlScheme, SystemConfig};
+    use move_types::TermId;
+
+    fn small_scheme() -> Box<dyn Dissemination + Send> {
+        Box::new(IlScheme::new(SystemConfig::small_test()).unwrap())
+    }
+
+    fn small_script() -> Vec<ScriptOp> {
+        vec![
+            ScriptOp::Register(Filter::new(1u64, [TermId(3), TermId(5)])),
+            ScriptOp::Register(Filter::new(2u64, [TermId(4)])),
+            ScriptOp::Publish(Document::from_distinct_terms(1u64, [TermId(3)])),
+            ScriptOp::Publish(Document::from_distinct_terms(2u64, [TermId(4), TermId(5)])),
+        ]
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = InterleaveConfig {
+            seed: 42,
+            ..InterleaveConfig::default()
+        };
+        let a = run_schedule(small_scheme(), small_script(), &cfg).unwrap();
+        let b = run_schedule(small_scheme(), small_script(), &cfg).unwrap();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.delivered, b.delivered);
+    }
+
+    #[test]
+    fn different_seeds_same_deliveries() {
+        let mut outcomes = Vec::new();
+        for seed in 0..16 {
+            let cfg = InterleaveConfig {
+                seed,
+                ..InterleaveConfig::default()
+            };
+            let out = run_schedule(small_scheme(), small_script(), &cfg).unwrap();
+            assert!(out.shed_docs.is_empty(), "Block policy must not shed");
+            outcomes.push(out.delivered);
+        }
+        for w in outcomes.windows(2) {
+            assert_eq!(w[0], w[1], "delivery set must be schedule-independent");
+        }
+    }
+
+    #[test]
+    fn empty_script_shuts_down_cleanly() {
+        let out = run_schedule(small_scheme(), Vec::new(), &InterleaveConfig::default()).unwrap();
+        assert!(out.delivered.is_empty());
+        assert_eq!(out.report.docs_published, 0);
+    }
+
+    #[test]
+    fn shed_policy_accounts_for_every_task() {
+        let cfg = InterleaveConfig {
+            seed: 7,
+            mailbox_capacity: 1,
+            overflow: OverflowPolicy::Shed,
+            batch_size: 1,
+        };
+        let mut script = vec![ScriptOp::Register(Filter::new(1u64, [TermId(3)]))];
+        for i in 0..50u64 {
+            script.push(ScriptOp::Publish(Document::from_distinct_terms(
+                i,
+                [TermId(3)],
+            )));
+        }
+        let out = run_schedule(small_scheme(), script, &cfg).unwrap();
+        assert_eq!(out.report.docs_published, 50);
+        let executed: u64 = out.report.nodes.iter().map(|n| n.doc_tasks).sum();
+        assert_eq!(out.report.tasks_dispatched, executed);
+    }
+}

@@ -37,7 +37,7 @@
 //! use move_types::{Document, Filter, TermId};
 //!
 //! let scheme = Box::new(IlScheme::new(SystemConfig::small_test()).unwrap());
-//! let engine = Engine::start(scheme, RuntimeConfig::default());
+//! let engine = Engine::start(scheme, RuntimeConfig::default()).unwrap();
 //! engine.register(Filter::new(1u64, [TermId(3)]));
 //! let matched = engine.publish_sync(Document::from_distinct_terms(1u64, [TermId(3)]));
 //! assert_eq!(matched, vec![move_types::FilterId(1)]);
@@ -50,6 +50,9 @@
 
 mod config;
 mod engine;
+/// Deterministic schedule-permutation harness over the same router/worker
+/// code the threaded engine runs.
+pub mod interleave;
 mod message;
 mod metrics;
 mod worker;

@@ -1,6 +1,11 @@
 //! The per-node worker thread: a mailbox loop over [`NodeMessage`]s.
+//!
+//! The message-handling logic is factored into [`Worker::handle`] so two
+//! drivers can share it verbatim: the OS-thread loop of [`Worker::run`]
+//! (the production engine) and the single-stepped [`Worker::try_step`] the
+//! deterministic interleaving harness uses to explore message orders.
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use move_core::MatchTask;
 use move_index::InvertedIndex;
 use move_stats::LatencyHistogram;
@@ -15,6 +20,18 @@ use crate::metrics::NodeMetrics;
 pub(crate) struct WorkerFinal {
     pub metrics: NodeMetrics,
     pub histogram: LatencyHistogram,
+}
+
+/// Outcome of one harness-driven scheduling step; see [`Worker::try_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkerStep {
+    /// One message was dequeued and handled.
+    Handled,
+    /// The mailbox was empty — a real worker thread would be parked here.
+    Empty,
+    /// A [`NodeMessage::Shutdown`] was handled; the worker must not be
+    /// stepped again.
+    Stopped,
 }
 
 pub(crate) struct Worker {
@@ -61,30 +78,62 @@ impl Worker {
             let Ok(msg) = self.mailbox.recv() else {
                 break; // router gone: treat as shutdown after the drain
             };
-            self.messages_processed += 1;
-            match msg {
-                NodeMessage::RegisterFilter { filter, terms } => match terms {
-                    None => self.index.insert(filter),
-                    Some(terms) => {
-                        for t in terms {
-                            self.index.insert_for_term(filter.clone(), t);
-                        }
-                    }
-                },
-                NodeMessage::PublishDocument { batch } => {
-                    for task in batch {
-                        self.execute(task);
-                    }
-                }
-                NodeMessage::AllocationUpdate { index } => {
-                    self.index = *index;
-                }
-                NodeMessage::StatsReport { reply } => {
-                    let _ = reply.send(self.snapshot());
-                }
-                NodeMessage::Shutdown => break,
+            if !self.handle(msg) {
+                break;
             }
         }
+        self.finish()
+    }
+
+    /// Dequeues and handles at most one message — the interleaving
+    /// harness's scheduling quantum. Equivalent to one iteration of
+    /// [`Worker::run`], minus the blocking wait.
+    pub(crate) fn try_step(&mut self) -> WorkerStep {
+        self.queue_depth_hwm = self.queue_depth_hwm.max(self.mailbox.len() as u64);
+        match self.mailbox.try_recv() {
+            Ok(msg) => {
+                if self.handle(msg) {
+                    WorkerStep::Handled
+                } else {
+                    WorkerStep::Stopped
+                }
+            }
+            Err(TryRecvError::Empty) => WorkerStep::Empty,
+            Err(TryRecvError::Disconnected) => WorkerStep::Stopped,
+        }
+    }
+
+    /// Applies one protocol message to the worker state. Returns `false`
+    /// when the message asks the worker to stop ([`NodeMessage::Shutdown`]).
+    fn handle(&mut self, msg: NodeMessage) -> bool {
+        self.messages_processed += 1;
+        match msg {
+            NodeMessage::RegisterFilter { filter, terms } => match terms {
+                None => self.index.insert(filter),
+                Some(terms) => {
+                    for t in terms {
+                        self.index.insert_for_term(filter.clone(), t);
+                    }
+                }
+            },
+            NodeMessage::PublishDocument { batch } => {
+                for task in batch {
+                    self.execute(task);
+                }
+            }
+            NodeMessage::AllocationUpdate { index } => {
+                self.index = *index;
+            }
+            NodeMessage::StatsReport { reply } => {
+                let _ = reply.send(self.snapshot());
+            }
+            NodeMessage::Shutdown => return false,
+        }
+        true
+    }
+
+    /// Consumes the worker into its final counters and histogram.
+    pub(crate) fn finish(self) -> WorkerFinal {
         let metrics = self.snapshot();
         WorkerFinal {
             metrics,

@@ -168,7 +168,19 @@ impl LatencyHistogram {
 
     /// Folds another histogram into this one (the shutdown aggregation of
     /// per-worker histograms).
+    ///
+    /// Bucket layouts cannot mismatch: the layout (`SUB_BITS`, bucket
+    /// count) is a compile-time constant of this crate, so any two
+    /// `LatencyHistogram`s are merge-compatible by construction. If the
+    /// layout ever becomes configurable, mismatched-layout merges must be
+    /// rejected rather than zipped — the `debug_assert` below is the
+    /// tripwire for that future change.
     pub fn merge(&mut self, other: &Self) {
+        debug_assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histograms with different bucket layouts must not be merged"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -326,6 +338,70 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.value_at_percentile(99.0), 0);
         assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero_at_every_rank() {
+        let h = LatencyHistogram::new();
+        for p in [-5.0, 0.0, 0.1, 50.0, 99.9, 100.0, 250.0] {
+            assert_eq!(h.value_at_percentile(p), 0, "p{p} of empty");
+        }
+        let s = h.summary();
+        assert_eq!((s.min, s.p50, s.p90, s.p99, s.max), (0, 0, 0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        for v in [0u64, 1, 31, 32, 1_000_003, u64::MAX] {
+            let mut h = LatencyHistogram::new();
+            h.record(v);
+            assert_eq!(h.count(), 1);
+            assert_eq!(h.min(), v);
+            assert_eq!(h.max(), v);
+            for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
+                // A one-sample distribution has a single closest rank, so
+                // the layout's relative error must not leak through.
+                assert_eq!(h.value_at_percentile(p), v, "p{p} of single {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_identity_both_ways() {
+        let mut recorded = LatencyHistogram::new();
+        for v in [3u64, 14, 159, 2653] {
+            recorded.record(v);
+        }
+        let snapshot = recorded.clone();
+
+        let mut lhs = recorded.clone();
+        lhs.merge(&LatencyHistogram::new());
+        assert_eq!(lhs, snapshot, "merging empty into recorded");
+
+        let mut rhs = LatencyHistogram::new();
+        rhs.merge(&recorded);
+        assert_eq!(rhs, snapshot, "merging recorded into empty");
+        assert_eq!(rhs.min(), 3);
+        assert_eq!(rhs.max(), 2653);
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_tracks_global_extremes() {
+        let mut low = LatencyHistogram::new();
+        let mut high = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            low.record(v);
+            high.record(v + 1_000_000);
+        }
+        low.merge(&high);
+        assert_eq!(low.count(), 200);
+        assert_eq!(low.min(), 1);
+        assert_eq!(low.max(), 1_000_100);
+        // The median sits exactly at the gap between the two halves.
+        let p50 = low.value_at_percentile(50.0);
+        assert!((1..=104).contains(&p50), "p50 across the gap: {p50}");
+        assert!(low.value_at_percentile(75.0) > 1_000_000);
     }
 
     #[test]

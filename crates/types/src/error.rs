@@ -40,6 +40,20 @@ pub enum MoveError {
         /// Description of the unreachable target statistic.
         String,
     ),
+    /// The live execution engine failed outside the schemes' own logic: a
+    /// worker or router thread could not be spawned, panicked, or was torn
+    /// down twice. Carries a description of the failing runtime component.
+    Runtime(
+        /// Human-readable description of the runtime failure.
+        String,
+    ),
+    /// An internal invariant that should be unreachable was observed — the
+    /// typed replacement for `unreachable!()` in library code, so callers
+    /// get an error they can log instead of a crashed worker.
+    Internal(
+        /// Description of the violated invariant.
+        String,
+    ),
 }
 
 impl fmt::Display for MoveError {
@@ -59,6 +73,8 @@ impl fmt::Display for MoveError {
                 "node {node} capacity exceeded: requested {requested} of {capacity} filters"
             ),
             Self::Calibration(msg) => write!(f, "calibration failed: {msg}"),
+            Self::Runtime(msg) => write!(f, "runtime failure: {msg}"),
+            Self::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }

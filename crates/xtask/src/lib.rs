@@ -1,0 +1,705 @@
+//! Workspace-specific static analysis for the MOVE reproduction.
+//!
+//! `cargo run -p xtask -- lint` enforces four rules that `rustc` and
+//! `clippy` cannot express because they are *policies of this codebase*,
+//! not general Rust style:
+//!
+//! * **no-panic** — the library crates on the live data path (`move-core`,
+//!   `move-runtime`) must not contain `unwrap()`, `expect(…)`, `panic!`,
+//!   `unreachable!`, `todo!` or `unimplemented!` outside test code: a
+//!   worker that panics takes a node's shard with it, so every fallible
+//!   path must surface a typed [`MoveError`](../move_types) instead.
+//! * **no-unbounded** — channels must be bounded (backpressure is a core
+//!   design property of the engine) unless the call site carries an
+//!   explicit `xtask:allow-unbounded` marker comment justifying it.
+//! * **no-catch-all** — the files that dispatch on the engine's protocol
+//!   enums (`worker.rs`, `engine.rs`, `interleave.rs`) must not contain
+//!   `_ =>` match arms, so adding a protocol variant is a compile error at
+//!   every dispatch site instead of a silently ignored message.
+//! * **pub-docs** — every public item in `move-core` and `move-runtime`
+//!   carries a doc comment (the hard-failure version of
+//!   `#![warn(missing_docs)]`).
+//!
+//! The scanner is a line-oriented lexer, not a full parser: it strips
+//! comments, string/char literals and `#[cfg(test)]` regions, then matches
+//! per-line patterns. That is exact enough for these rules because the
+//! workspace is `rustfmt`-formatted (one item/arm per line).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule name for the panic-family ban.
+pub const NO_PANIC: &str = "no-panic";
+/// Rule name for the unbounded-channel ban.
+pub const NO_UNBOUNDED: &str = "no-unbounded";
+/// Rule name for the protocol catch-all ban.
+pub const NO_CATCH_ALL: &str = "no-catch-all";
+/// Rule name for the public-item documentation requirement.
+pub const PUB_DOCS: &str = "pub-docs";
+
+/// One finding: a rule violated at a specific line of a specific file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired (one of the `NO_*`/`PUB_DOCS` constants).
+    pub rule: &'static str,
+    /// What was found and why it is rejected.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The process exit code for a lint run: 0 when clean, 1 when any rule
+/// fired.
+#[must_use]
+pub fn exit_code(violations: &[Violation]) -> i32 {
+    i32::from(!violations.is_empty())
+}
+
+/// A source line after lexical preprocessing.
+struct Line {
+    /// The verbatim line (markers and doc comments are read from here).
+    raw: String,
+    /// The line with comments and string/char literal *contents* blanked
+    /// out, so pattern matches cannot fire inside them.
+    code: String,
+    /// Whether the line lies inside a `#[cfg(test)]` item or a `#[test]`
+    /// function.
+    in_test: bool,
+}
+
+/// Strips comments and literal contents from `source`, preserving the line
+/// structure, then marks test regions.
+fn preprocess(source: &str) -> Vec<Line> {
+    let code = strip_comments_and_literals(source);
+    let mut lines: Vec<Line> = source
+        .lines()
+        .zip(code.lines())
+        .map(|(raw, code)| Line {
+            raw: raw.to_owned(),
+            code: code.to_owned(),
+            in_test: false,
+        })
+        .collect();
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// The lexer pass: replaces comment bodies and string/char literal
+/// contents with spaces. Newlines are kept so line numbers survive.
+fn strip_comments_and_literals(source: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                    i += 1;
+                    out.push(' ');
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                    i += 1;
+                    out.push(' ');
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    let (hashes, consumed) = raw_string_open(&chars, i);
+                    state = State::RawStr(hashes);
+                    for _ in 0..consumed {
+                        out.push(' ');
+                    }
+                    i += consumed - 1;
+                }
+                '\'' if is_char_literal(&chars, i) => {
+                    state = State::Char;
+                    out.push('\'');
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '*' && next == Some('/') {
+                    out.push(' ');
+                    i += 1;
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && next == Some('*') {
+                    out.push(' ');
+                    i += 1;
+                    state = State::BlockComment(depth + 1);
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    state = State::Code;
+                    out.push('"');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && raw_string_closes(&chars, i, hashes) {
+                    for _ in 0..=hashes as usize {
+                        out.push(' ');
+                    }
+                    i += hashes as usize;
+                    state = State::Code;
+                } else if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    state = State::Code;
+                    out.push('\'');
+                }
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw string literal
+/// (`r"`, `r#"`, `br"`, …) rather than an identifier.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Reject when preceded by an identifier character: `for r in ..` vs
+    // an identifier ending in r like `var"` cannot occur.
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    j += 1; // past 'r'
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Returns (number of `#`s, characters consumed through the opening quote).
+fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // past 'r'
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j - i + 1) // +1 consumes the opening quote
+}
+
+/// Whether the quote at `i` is followed by `hashes` `#`s, closing the raw
+/// string.
+fn raw_string_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Whether the `'` at position `i` starts a char literal (vs a lifetime).
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Marks every line belonging to an item annotated `#[cfg(test)]` or
+/// `#[test]`, by brace-matching from the attribute to the end of the item.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        let code = lines[i].code.trim();
+        let is_test_attr =
+            code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") || code == "#[test]";
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut seen_open = false;
+        let mut j = i;
+        while j < lines.len() {
+            lines[j].in_test = true;
+            for c in lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if seen_open && depth <= 0 {
+                break;
+            }
+            // A braceless item (`#[cfg(test)] use …;`) ends at the first
+            // statement terminator.
+            if !seen_open && j > i && lines[j].code.trim_end().ends_with(';') {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// Crates whose non-test code must be panic-free and fully documented:
+/// the library data path.
+fn is_data_path(path: &str) -> bool {
+    path.starts_with("crates/core/src/") || path.starts_with("crates/runtime/src/")
+}
+
+/// Files that dispatch on the engine's protocol enums.
+fn is_protocol_dispatch(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/runtime/src/worker.rs"
+            | "crates/runtime/src/engine.rs"
+            | "crates/runtime/src/interleave.rs"
+    )
+}
+
+/// Crates subject to the unbounded-channel ban (everything but the shims,
+/// which *define* `unbounded`, and this linter itself, which names it).
+fn is_channel_scope(path: &str) -> bool {
+    path.starts_with("crates/") && !path.starts_with("crates/xtask/")
+}
+
+/// Lints one file given its workspace-relative `path` (which selects the
+/// applicable rules) and its contents.
+#[must_use]
+pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
+    let lines = preprocess(source);
+    let mut out = Vec::new();
+    if is_data_path(path) {
+        no_panic(path, &lines, &mut out);
+        pub_docs(path, &lines, &mut out);
+    }
+    if is_channel_scope(path) {
+        no_unbounded(path, &lines, &mut out);
+    }
+    if is_protocol_dispatch(path) {
+        no_catch_all(path, &lines, &mut out);
+    }
+    out
+}
+
+fn no_panic(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    const PATTERNS: [&str; 6] = [
+        ".unwrap()",
+        ".expect(",
+        "panic!",
+        "unreachable!",
+        "todo!(",
+        "unimplemented!(",
+    ];
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for pat in PATTERNS {
+            if line.code.contains(pat) {
+                out.push(Violation {
+                    path: path.to_owned(),
+                    line: idx + 1,
+                    rule: NO_PANIC,
+                    message: format!(
+                        "`{pat}` in non-test data-path code; return a typed \
+                         move_types::MoveError instead"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn no_unbounded(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    const MARKER: &str = "xtask:allow-unbounded";
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || !(line.code.contains("unbounded(") || line.code.contains("unbounded::<"))
+        {
+            continue;
+        }
+        // The justification marker may sit on the call line or on either
+        // of the two comment lines directly above it.
+        let allowed = (idx.saturating_sub(2)..=idx).any(|j| lines[j].raw.contains(MARKER));
+        if !allowed {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: idx + 1,
+                rule: NO_UNBOUNDED,
+                message: "unbounded channel without an `xtask:allow-unbounded` \
+                          justification; use a bounded channel (backpressure) or \
+                          add the marker with a reason"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+fn no_catch_all(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let t = line.code.trim_start();
+        if t.starts_with("_ =>") || t.starts_with("| _ =>") {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: idx + 1,
+                rule: NO_CATCH_ALL,
+                message: "catch-all `_ =>` arm in a protocol dispatch file; \
+                          list every variant so new messages fail to compile \
+                          here instead of being silently dropped"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// Whether a stripped, trimmed code line declares a `pub` item that
+/// requires a doc comment. `pub(crate)`/`pub(super)` items and `pub use`
+/// re-exports are exempt (the latter inherit the target's docs), as are
+/// `pub` fields — field visibility cannot be classified without type
+/// context, and `#![warn(missing_docs)]` already covers public fields.
+fn pub_item_needs_doc(code: &str) -> bool {
+    let Some(rest) = code.strip_prefix("pub ") else {
+        return false;
+    };
+    let mut words = rest.split_whitespace();
+    loop {
+        match words.next() {
+            Some("unsafe" | "async" | "extern") => {}
+            Some("const") => {
+                // `pub const fn f()` and `pub const X: T` both need docs.
+                return true;
+            }
+            Some("fn" | "struct" | "enum" | "trait" | "mod" | "type" | "static" | "union") => {
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn pub_docs(path: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    let mut has_doc = false;
+    let mut attr_depth: i64 = 0;
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            has_doc = false;
+            attr_depth = 0;
+            continue;
+        }
+        let code = line.code.trim();
+        let raw = line.raw.trim_start();
+        if attr_depth > 0 {
+            attr_depth += bracket_balance(code);
+            continue;
+        }
+        if raw.starts_with("///") || raw.starts_with("//!") || raw.starts_with("#[doc") {
+            has_doc = true;
+            continue;
+        }
+        if code.is_empty() {
+            // Comment-only lines keep an accumulated doc attached; truly
+            // blank lines detach it.
+            if raw.is_empty() {
+                has_doc = false;
+            }
+            continue;
+        }
+        if code.starts_with("#[") || code.starts_with("#!") {
+            attr_depth = bracket_balance(code);
+            continue;
+        }
+        if pub_item_needs_doc(code) && !has_doc {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: idx + 1,
+                rule: PUB_DOCS,
+                message: format!(
+                    "undocumented public item `{}`",
+                    code.split('{').next().unwrap_or(code).trim()
+                ),
+            });
+        }
+        has_doc = false;
+    }
+}
+
+/// Net `[`/`]` balance of a line — used to span multi-line attributes.
+fn bracket_balance(code: &str) -> i64 {
+    let mut depth = 0;
+    for c in code.chars() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+/// Lints every `.rs` file under `root/crates`, returning all findings
+/// sorted by path and line.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rust_files(&root.join("crates"), &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&file)?;
+        out.extend(lint_source(&rel, &source));
+    }
+    Ok(out)
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            // Skip build artifacts if a stray target/ exists in-tree.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_in_data_path_is_rejected() {
+        let src = "/// Doc.\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let v = lint_source("crates/core/src/bad.rs", src);
+        assert_eq!(rules(&v), [NO_PANIC]);
+        assert_eq!(v[0].line, 3);
+        assert_eq!(exit_code(&v), 1);
+    }
+
+    #[test]
+    fn every_panic_family_macro_is_rejected() {
+        for call in [
+            "x.expect(\"y\")",
+            "panic!(\"boom\")",
+            "unreachable!()",
+            "todo!()",
+            "unimplemented!()",
+        ] {
+            let src = format!("/// Doc.\npub fn f() {{\n    {call};\n}}\n");
+            let v = lint_source("crates/runtime/src/bad.rs", &src);
+            assert_eq!(rules(&v), [NO_PANIC], "for {call}");
+        }
+    }
+
+    #[test]
+    fn unwrap_outside_data_path_is_fine() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint_source("crates/bench/src/ok.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_module_is_fine() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                   None::<u32>.unwrap();\n    }\n}\n";
+        assert!(lint_source("crates/core/src/ok.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_comments_and_strings_is_fine() {
+        let src = "/// Call `x.unwrap()` like this:\n/// ```\n/// x.unwrap();\n/// ```\n\
+                   pub fn f() -> &'static str {\n    \".unwrap() and panic!\"\n}\n";
+        assert!(lint_source("crates/core/src/ok.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_module_is_still_linted() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\n\n\
+                   /// Doc.\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let v = lint_source("crates/core/src/bad.rs", src);
+        assert_eq!(rules(&v), [NO_PANIC]);
+        assert_eq!(v[0].line, 9);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "/// Doc.\npub fn f(x: Option<u32>) -> u32 {\n    \
+                   x.unwrap_or(0).max(x.unwrap_or_default())\n}\n";
+        assert!(lint_source("crates/core/src/ok.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_without_marker_is_rejected() {
+        let src = "/// Doc.\npub fn f() {\n    let (tx, rx) = unbounded::<u32>();\n    \
+                   let _ = (tx, rx);\n}\n";
+        let v = lint_source("crates/stats/src/bad.rs", src);
+        assert_eq!(rules(&v), [NO_UNBOUNDED]);
+    }
+
+    #[test]
+    fn unbounded_with_marker_is_fine() {
+        let same_line =
+            "pub fn f() {\n    let c = unbounded::<u32>(); // xtask:allow-unbounded: x\n}\n";
+        let line_above =
+            "pub fn f() {\n    // xtask:allow-unbounded — reason spanning\n    // two lines\n    \
+             let c = unbounded::<u32>();\n}\n";
+        assert!(lint_source("crates/stats/src/ok.rs", same_line).is_empty());
+        assert!(lint_source("crates/stats/src/ok.rs", line_above).is_empty());
+    }
+
+    #[test]
+    fn catch_all_in_protocol_dispatch_is_rejected() {
+        let src = "fn f(m: u32) {\n    match m {\n        0 => {}\n        _ => {}\n    }\n}\n";
+        let v = lint_source("crates/runtime/src/worker.rs", src);
+        assert_eq!(rules(&v), [NO_CATCH_ALL]);
+        assert_eq!(v[0].line, 4);
+        // The same code is fine elsewhere.
+        assert!(lint_source("crates/runtime/src/metrics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn binding_patterns_are_not_catch_alls() {
+        let src = "fn f(m: Result<u32, u32>) {\n    match m {\n        Ok(_) => {}\n        \
+                   Err(_) => {}\n    }\n}\n";
+        assert!(lint_source("crates/runtime/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_pub_item_is_rejected() {
+        let src = "pub struct Naked;\n";
+        let v = lint_source("crates/runtime/src/bad.rs", src);
+        assert_eq!(rules(&v), [PUB_DOCS]);
+        assert!(v[0].message.contains("Naked"));
+    }
+
+    #[test]
+    fn documented_and_crate_private_items_are_fine() {
+        let src = "/// Documented.\n#[derive(Debug, Clone)]\npub struct S;\n\n\
+                   pub(crate) struct Hidden;\n\npub use std::fmt;\n\n\
+                   /// Documented fn behind attributes.\n#[inline]\n#[must_use]\n\
+                   pub fn f() -> u32 {\n    0\n}\n";
+        assert!(lint_source("crates/core/src/ok.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_detached_by_blank_line_is_rejected() {
+        let src = "/// A doc that drifted away.\n\npub fn f() {}\n";
+        let v = lint_source("crates/core/src/bad.rs", src);
+        assert_eq!(rules(&v), [PUB_DOCS]);
+    }
+
+    #[test]
+    fn the_workspace_itself_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let v = lint_workspace(&root).expect("walk workspace");
+        assert!(
+            v.is_empty(),
+            "workspace lint must be clean:\n{}",
+            v.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Entry point: `cargo run -p xtask -- lint [workspace-root]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = args.next().map_or_else(
+                || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+                PathBuf::from,
+            );
+            let violations = match xtask::lint_workspace(&root) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("xtask lint: cannot walk {}: {e}", root.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            for v in &violations {
+                println!("{v}");
+            }
+            if violations.is_empty() {
+                println!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                println!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: cargo run -p xtask -- lint [workspace-root]\n\n\
+                 Runs the workspace-specific static analysis (no-panic, \
+                 no-unbounded, no-catch-all, pub-docs)."
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Cross-scheme equivalence: the three dissemination schemes are different
+//! *placements* of the same matching semantics, so for any filter set and
+//! any document, IL, RS and MOVE must deliver exactly the same filter set —
+//! and that set must equal the single-node brute-force oracle. 256
+//! generated cases per property give every scheme pair (IL≡RS, IL≡MOVE,
+//! RS≡MOVE) and every scheme-vs-oracle pair at least 256 comparisons.
+
+use move_core::{Dissemination, IlScheme, MoveScheme, RsScheme, SystemConfig};
+use move_index::brute_force;
+use move_integration_tests::{random_docs, random_filters};
+use move_types::{Document, Filter, FilterId, MatchSemantics, TermId};
+use proptest::prelude::*;
+
+fn register_all(scheme: &mut dyn Dissemination, filters: &[Filter]) {
+    for f in filters {
+        scheme.register(f).expect("register");
+    }
+}
+
+fn delivered(scheme: &mut dyn Dissemination, doc: &Document) -> Vec<FilterId> {
+    scheme.publish(0.0, doc).expect("publish").matched
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// IL ≡ RS ≡ MOVE ≡ brute force on a shared random workload.
+    #[test]
+    fn schemes_agree_pairwise_and_with_brute_force(
+        seed in 0u64..1_000_000,
+        n_filters in 30u64..150,
+        vocab in 20u32..120,
+        max_terms in 4usize..16,
+    ) {
+        let cfg = SystemConfig::small_test();
+        let filters = random_filters(n_filters, vocab, seed);
+        let docs = random_docs(6, vocab + 10, max_terms, seed ^ 0xD0C);
+
+        let mut il = IlScheme::new(cfg.clone()).expect("valid config");
+        let mut rs = RsScheme::new(cfg.clone()).expect("valid config");
+        let mut mv = MoveScheme::new(cfg).expect("valid config");
+        register_all(&mut il, &filters);
+        register_all(&mut rs, &filters);
+        register_all(&mut mv, &filters);
+
+        for d in &docs {
+            let il_got = delivered(&mut il, d);
+            let rs_got = delivered(&mut rs, d);
+            let mv_got = delivered(&mut mv, d);
+            let oracle = brute_force(&filters, d, MatchSemantics::Boolean);
+            prop_assert_eq!(&il_got, &rs_got, "IL ≢ RS on doc {} (seed {})", d.id(), seed);
+            prop_assert_eq!(&il_got, &mv_got, "IL ≢ MOVE on doc {} (seed {})", d.id(), seed);
+            prop_assert_eq!(&rs_got, &mv_got, "RS ≢ MOVE on doc {} (seed {})", d.id(), seed);
+            prop_assert_eq!(&il_got, &oracle, "IL ≢ oracle on doc {} (seed {})", d.id(), seed);
+        }
+    }
+
+    /// The equivalence survives MOVE's adaptive allocation: after observing
+    /// a skewed corpus and building real replica grids, MOVE still
+    /// delivers exactly what untouched IL and the oracle deliver.
+    #[test]
+    fn equivalence_survives_explicit_allocation(
+        seed in 0u64..1_000_000,
+        hot_share in 2u64..6,
+    ) {
+        let mut cfg = SystemConfig::small_test();
+        cfg.capacity_per_node = 150; // tight capacity forces real grids
+        let mut filters = random_filters(200, 60, seed);
+        // Skew: every `hot_share`-th filter subscribes to term 0, giving
+        // the allocator a hot term worth partitioning.
+        for (i, f) in filters.iter_mut().enumerate() {
+            if (i as u64).is_multiple_of(hot_share) {
+                *f = Filter::new(f.id(), f.terms().iter().copied().chain([TermId(0)]));
+            }
+        }
+        let sample = random_docs(30, 70, 10, seed ^ 0x5A);
+        let docs = random_docs(6, 70, 12, seed ^ 0xD0C);
+
+        let mut mv = MoveScheme::new(cfg.clone()).expect("valid config");
+        let mut il = IlScheme::new(cfg).expect("valid config");
+        register_all(&mut mv, &filters);
+        register_all(&mut il, &filters);
+        mv.observe_corpus(&sample);
+        mv.allocate().expect("allocate");
+
+        for d in &docs {
+            let mv_got = delivered(&mut mv, d);
+            let il_got = delivered(&mut il, d);
+            let oracle = brute_force(&filters, d, MatchSemantics::Boolean);
+            prop_assert_eq!(&mv_got, &il_got, "MOVE ≢ IL after allocation (seed {})", seed);
+            prop_assert_eq!(&mv_got, &oracle, "MOVE ≢ oracle after allocation (seed {})", seed);
+        }
+    }
+
+    /// The equivalence also holds *across* periodic allocation refreshes
+    /// driven by the maintenance cycle: at every point in a document
+    /// stream that repeatedly re-allocates, MOVE ≡ IL ≡ oracle.
+    #[test]
+    fn equivalence_survives_allocation_refreshes(
+        seed in 0u64..1_000_000,
+        refresh_every in 4u64..12,
+    ) {
+        let mut cfg = SystemConfig::small_test();
+        cfg.capacity_per_node = 150;
+        cfg.refresh_every_docs = refresh_every;
+        let mut filters = random_filters(200, 50, seed);
+        for (i, f) in filters.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *f = Filter::new(f.id(), f.terms().iter().copied().chain([TermId(0)]));
+            }
+        }
+        let sample = random_docs(30, 60, 10, seed ^ 0x5A);
+        let docs = random_docs(3 * refresh_every + 2, 60, 10, seed ^ 0xD0C);
+
+        let mut mv = MoveScheme::new(cfg.clone()).expect("valid config");
+        let mut il = IlScheme::new(cfg).expect("valid config");
+        register_all(&mut mv, &filters);
+        register_all(&mut il, &filters);
+        // Seed the first grids; under the proactive policy the periodic
+        // maintenance refresh only re-allocates once a layout exists.
+        mv.observe_corpus(&sample);
+        mv.allocate().expect("allocate");
+
+        let mut refreshes = 0u64;
+        for d in &docs {
+            let mv_got = delivered(&mut mv, d);
+            let il_got = delivered(&mut il, d);
+            let oracle = brute_force(&filters, d, MatchSemantics::Boolean);
+            prop_assert_eq!(&mv_got, &il_got, "MOVE ≢ IL mid-stream (seed {})", seed);
+            prop_assert_eq!(&mv_got, &oracle, "MOVE ≢ oracle mid-stream (seed {})", seed);
+            // The same observe/allocate cycle the live router runs after
+            // each publish; `true` means the layout was just rebuilt.
+            if mv.maintenance(d).expect("maintenance") {
+                refreshes += 1;
+            }
+        }
+        prop_assert!(
+            refreshes >= 2,
+            "stream of {} docs at refresh-every-{} must re-allocate repeatedly, saw {}",
+            docs.len(), refresh_every, refreshes
+        );
+    }
+}

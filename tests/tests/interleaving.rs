@@ -1,0 +1,221 @@
+//! Schedule-permutation sweep over the live engine's router/worker
+//! protocol: for every scheme, policy and seed, one deterministic
+//! interleaving of router commands and worker message handling is
+//! explored end to end (registration racing publishes, shutdown racing a
+//! half-drained cluster, allocation refreshes landing mid-stream, and
+//! shed-vs-block decisions at full mailboxes). Across **180 seeded
+//! schedules** the run must terminate (no deadlock, enforced inside the
+//! harness), never panic, and never lose a non-shed document.
+
+use move_core::{Dissemination, IlScheme, MoveScheme, RsScheme, SystemConfig};
+use move_index::brute_force;
+use move_integration_tests::{random_docs, random_filters};
+use move_runtime::interleave::{run_schedule, InterleaveConfig, ScriptOp};
+use move_runtime::OverflowPolicy;
+use move_types::{DocId, Filter, FilterId, MatchSemantics, TermId};
+use std::collections::{BTreeMap, BTreeSet};
+
+enum Kind {
+    Move,
+    Il,
+    Rs,
+}
+
+fn build(kind: &Kind, cfg: &SystemConfig) -> Box<dyn Dissemination + Send> {
+    match kind {
+        Kind::Move => Box::new(MoveScheme::new(cfg.clone()).expect("valid config")),
+        Kind::Il => Box::new(IlScheme::new(cfg.clone()).expect("valid config")),
+        Kind::Rs => Box::new(RsScheme::new(cfg.clone()).expect("valid config")),
+    }
+}
+
+/// Interleaves live registrations among the publishes: every third script
+/// slot registers the next live filter, so documents race registrations
+/// through the router's FIFO.
+fn interleaved_script(live: &[Filter], docs: &[move_types::Document]) -> Vec<ScriptOp> {
+    let mut script = Vec::with_capacity(live.len() + docs.len());
+    let mut live_iter = live.iter();
+    for (i, d) in docs.iter().enumerate() {
+        if i % 3 == 0 {
+            if let Some(f) = live_iter.next() {
+                script.push(ScriptOp::Register(f.clone()));
+            }
+        }
+        script.push(ScriptOp::Publish(d.clone()));
+    }
+    for f in live_iter {
+        script.push(ScriptOp::Register(f.clone()));
+    }
+    script
+}
+
+/// The oracle: each published document must be delivered to exactly the
+/// brute-force match set over the filters registered *before* it in the
+/// script (plus the pre-registered ones) — the router channel is FIFO, so
+/// registration order is part of the contract, whatever the schedule.
+fn expected_sets(pre: &[Filter], script: &[ScriptOp]) -> BTreeMap<DocId, BTreeSet<FilterId>> {
+    let mut known: Vec<Filter> = pre.to_vec();
+    let mut out = BTreeMap::new();
+    for op in script {
+        match op {
+            ScriptOp::Register(f) => known.push(f.clone()),
+            ScriptOp::Publish(d) => {
+                let want: BTreeSet<FilterId> = brute_force(&known, d, MatchSemantics::Boolean)
+                    .into_iter()
+                    .collect();
+                out.insert(d.id(), want);
+            }
+        }
+    }
+    out
+}
+
+/// 90 schedules (3 schemes × 30 seeds) under the blocking policy: complete
+/// delivery for every document, nothing shed, at varying (tiny) virtual
+/// mailbox capacities.
+#[test]
+fn block_policy_delivers_exactly_under_all_schedules() {
+    let cfg = SystemConfig::small_test();
+    let filters = random_filters(120, 50, 0xA11);
+    let docs = random_docs(20, 60, 10, 0xD0C);
+    let (pre, live) = filters.split_at(filters.len() / 2);
+    let script = interleaved_script(live, &docs);
+    let expected = expected_sets(pre, &script);
+
+    for kind in [Kind::Move, Kind::Il, Kind::Rs] {
+        for seed in 0..30u64 {
+            let mut scheme = build(&kind, &cfg);
+            for f in pre {
+                scheme.register(f).expect("register");
+            }
+            let name = scheme.name();
+            let icfg = InterleaveConfig {
+                seed,
+                mailbox_capacity: 1 + (seed as usize % 3),
+                overflow: OverflowPolicy::Block,
+                batch_size: 1 + (seed as usize % 2),
+            };
+            let out = run_schedule(scheme, script.clone(), &icfg)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            assert!(out.shed_docs.is_empty(), "{name} shed under Block");
+            assert_eq!(out.report.tasks_shed, 0, "{name} counted sheds under Block");
+            assert_eq!(out.report.docs_published, docs.len() as u64);
+            for d in &docs {
+                let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+                let want = &expected[&d.id()];
+                assert_eq!(
+                    &got,
+                    want,
+                    "{name} seed {seed}: doc {} delivered wrongly",
+                    d.id()
+                );
+            }
+        }
+    }
+}
+
+/// 60 schedules (3 schemes × 20 seeds) under the shedding policy at
+/// capacity 1: every delivery is sound, documents with no shed batch are
+/// complete, and the dispatched/executed books balance.
+#[test]
+fn shed_policy_is_sound_and_balances_the_books() {
+    let cfg = SystemConfig::small_test();
+    let filters = random_filters(120, 50, 0xA11);
+    let docs = random_docs(20, 60, 10, 0xD0C);
+    let (pre, live) = filters.split_at(filters.len() / 2);
+    let script = interleaved_script(live, &docs);
+    let expected = expected_sets(pre, &script);
+
+    for kind in [Kind::Move, Kind::Il, Kind::Rs] {
+        for seed in 100..120u64 {
+            let mut scheme = build(&kind, &cfg);
+            for f in pre {
+                scheme.register(f).expect("register");
+            }
+            let name = scheme.name();
+            let icfg = InterleaveConfig {
+                seed,
+                mailbox_capacity: 1,
+                overflow: OverflowPolicy::Shed,
+                batch_size: 1,
+            };
+            let out = run_schedule(scheme, script.clone(), &icfg)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            let executed: u64 = out.report.nodes.iter().map(|n| n.doc_tasks).sum();
+            assert_eq!(
+                out.report.tasks_dispatched, executed,
+                "{name} seed {seed}: dispatched tasks must all execute"
+            );
+            for (doc, got) in &out.delivered {
+                let want = &expected[doc];
+                assert!(
+                    got.is_subset(want),
+                    "{name} seed {seed}: unsound delivery for doc {doc}"
+                );
+            }
+            for d in &docs {
+                if out.shed_docs.contains(&d.id()) {
+                    continue; // partial delivery is the shed contract
+                }
+                let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+                assert_eq!(
+                    &got,
+                    &expected[&d.id()],
+                    "{name} seed {seed}: non-shed doc {} incomplete",
+                    d.id()
+                );
+            }
+        }
+    }
+}
+
+/// 30 seeded schedules of MOVE with a hot-term workload and a short
+/// refresh period: allocation updates land between queued batches on
+/// every schedule, and delivery stays exact throughout — the
+/// allocation-update-during-drain race.
+#[test]
+fn move_allocation_refresh_races_are_benign() {
+    let mut cfg = SystemConfig::small_test();
+    cfg.capacity_per_node = 150; // force real grids
+    cfg.refresh_every_docs = 5; // several refreshes inside the script
+    let mut filters = random_filters(200, 50, 0xA110C);
+    for (i, f) in filters.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *f = Filter::new(f.id(), f.terms().iter().copied().chain([TermId(0)]));
+        }
+    }
+    let sample = random_docs(30, 60, 10, 0x5A);
+    let docs = random_docs(25, 60, 10, 0xD0C);
+    let script: Vec<ScriptOp> = docs.iter().map(|d| ScriptOp::Publish(d.clone())).collect();
+    let expected = expected_sets(&filters, &script);
+
+    for seed in 200..230u64 {
+        let mut scheme = MoveScheme::new(cfg.clone()).expect("valid config");
+        for f in &filters {
+            scheme.register(f).expect("register");
+        }
+        scheme.observe_corpus(&sample);
+        scheme.allocate().expect("allocate");
+        let icfg = InterleaveConfig {
+            seed,
+            mailbox_capacity: 2,
+            overflow: OverflowPolicy::Block,
+            batch_size: 1,
+        };
+        let out = run_schedule(Box::new(scheme), script.clone(), &icfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            out.report.allocation_updates > 0,
+            "seed {seed}: the refresh cycle never fired"
+        );
+        for d in &docs {
+            let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+            assert_eq!(
+                &got,
+                &expected[&d.id()],
+                "seed {seed}: doc {} lost deliveries across a refresh",
+                d.id()
+            );
+        }
+    }
+}

@@ -46,7 +46,7 @@ fn runtime_union_equals_brute_force_for_all_schemes() {
                 scheme.register(f).expect("register");
             }
             let name = scheme.name();
-            let engine = Engine::start(scheme, tight_config());
+            let engine = Engine::start(scheme, tight_config()).expect("engine starts");
             for f in live {
                 engine.register(f.clone());
             }
@@ -90,7 +90,7 @@ fn runtime_move_stays_complete_across_allocation_refreshes() {
     scheme.observe_corpus(&sample);
     scheme.allocate().expect("allocate");
 
-    let engine = Engine::start(Box::new(scheme), tight_config());
+    let engine = Engine::start(Box::new(scheme), tight_config()).expect("engine starts");
     for d in &docs {
         let got = engine.publish_sync(d.clone());
         let want = brute_force(&filters, d, MatchSemantics::Boolean);
@@ -121,7 +121,7 @@ fn stress_blocking_backpressure_loses_nothing() {
             scheme.register(f).expect("register");
         }
         let name = scheme.name();
-        let engine = Engine::start(scheme, tight_config());
+        let engine = Engine::start(scheme, tight_config()).expect("engine starts");
         let deliveries = engine.deliveries();
         for d in &docs {
             engine.publish(d.clone());
@@ -169,7 +169,7 @@ fn shed_policy_accounts_for_every_task_and_stays_sound() {
     for f in &filters {
         scheme.register(f).expect("register");
     }
-    let engine = Engine::start(scheme, config);
+    let engine = Engine::start(scheme, config).expect("engine starts");
     let deliveries = engine.deliveries();
     for d in &docs {
         engine.publish(d.clone());
