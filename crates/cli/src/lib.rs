@@ -23,7 +23,7 @@
 
 mod live;
 
-pub use live::LiveSession;
+pub use live::{parse_fault_plan, LiveSession};
 
 use move_cluster::FailureMode;
 use move_core::{Dissemination, MoveScheme, SystemConfig};

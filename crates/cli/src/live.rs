@@ -1,19 +1,52 @@
 //! `live` mode: the same command language, executed by the concurrent
 //! `move-runtime` engine instead of the virtual-time simulator. Matching
 //! runs on one OS thread per node, and `stats` shows real wall-clock
-//! latency percentiles and queue depths.
+//! latency percentiles and queue depths. A seeded [`FaultPlan`] (the
+//! `--fault-plan` flag) crashes workers mid-session so supervised
+//! restarts and replica failover can be watched interactively.
 
 use crate::Command;
 use move_core::{MoveScheme, SystemConfig};
-use move_runtime::{Engine, RuntimeConfig};
+use move_runtime::{Engine, FaultPlan, RuntimeConfig};
 use move_text::TextPipeline;
 use move_types::TermDictionary;
+
+/// Parses a `--fault-plan` spec: `kill=<fraction>@<doc>[,seed=<seed>]`,
+/// e.g. `kill=0.3@10,seed=42` — crash 30% of the `nodes` workers
+/// (seed-chosen, staggered) starting at the 10th published document.
+///
+/// # Errors
+///
+/// Returns a usage message when the spec does not parse.
+pub fn parse_fault_plan(spec: &str, nodes: usize) -> Result<FaultPlan, String> {
+    let usage = || format!("bad fault plan `{spec}`; expected kill=<fraction>@<doc>[,seed=<seed>]");
+    let mut kill: Option<(f64, u64)> = None;
+    let mut seed = 0x9C0u64;
+    for part in spec.split(',') {
+        let (key, value) = part.split_once('=').ok_or_else(usage)?;
+        match key {
+            "kill" => {
+                let (frac, at_doc) = value.split_once('@').ok_or_else(usage)?;
+                let frac: f64 = frac.parse().map_err(|_| usage())?;
+                if !(0.0..=1.0).contains(&frac) {
+                    return Err(format!("kill fraction {frac} must be within 0..=1"));
+                }
+                kill = Some((frac, at_doc.parse().map_err(|_| usage())?));
+            }
+            "seed" => seed = value.parse().map_err(|_| usage())?,
+            _ => return Err(usage()),
+        }
+    }
+    let (fraction, at_doc) = kill.ok_or_else(usage)?;
+    Ok(FaultPlan::kill_fraction(nodes, fraction, at_doc, seed))
+}
 
 /// An interactive session over a live [`Engine`].
 ///
 /// Supports the structural subset of the shell: registration, publishing
-/// and stats. Failure injection and manual allocation stay simulator-only
-/// (the engine's control plane refreshes allocations by itself).
+/// and stats. Manual allocation stays simulator-only (the engine's control
+/// plane refreshes allocations by itself); failures are injected by a
+/// seeded [`FaultPlan`] rather than `fail` commands.
 #[derive(Debug)]
 pub struct LiveSession {
     engine: Option<Engine>,
@@ -31,6 +64,17 @@ impl LiveSession {
     ///
     /// Returns a message when the cluster configuration is rejected.
     pub fn new(nodes: usize, racks: usize) -> Result<Self, String> {
+        Self::with_fault_plan(nodes, racks, FaultPlan::none())
+    }
+
+    /// Boots the live engine with a seeded fault plan: workers crash on
+    /// schedule and the supervisor restarts them from their registration
+    /// journals mid-session.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the cluster configuration is rejected.
+    pub fn with_fault_plan(nodes: usize, racks: usize, plan: FaultPlan) -> Result<Self, String> {
         let config = SystemConfig {
             nodes,
             racks,
@@ -39,8 +83,8 @@ impl LiveSession {
             ..SystemConfig::default()
         };
         let scheme = MoveScheme::new(config).map_err(|e| e.to_string())?;
-        let engine =
-            Engine::start(Box::new(scheme), RuntimeConfig::default()).map_err(|e| e.to_string())?;
+        let engine = Engine::start_with_faults(Box::new(scheme), RuntimeConfig::default(), plan)
+            .map_err(|e| e.to_string())?;
         Ok(Self {
             engine: Some(engine),
             pipeline: TextPipeline::default(),
@@ -94,7 +138,8 @@ impl LiveSession {
                 out
             }
             Command::Unregister(_) | Command::Allocate | Command::Fail(_) | Command::Recover(_) => {
-                "not available in live mode (allocation is automatic; failures are simulator-only)"
+                "not available in live mode (allocation is automatic; inject failures \
+                 with --fault-plan kill=<fraction>@<doc>)"
                     .into()
             }
             Command::Help => "\
@@ -109,11 +154,16 @@ live-mode commands:
                 let engine = self.engine.take().expect("engine running");
                 match engine.shutdown() {
                     Ok(r) => format!(
-                        "engine drained: {} docs, {} tasks, p50 {:.1}us p99 {:.1}us — bye",
+                        "engine drained: {} docs, {} tasks, p50 {:.1}us p99 {:.1}us; \
+                         {} restarts, {} retries, {} failovers, {} docs lost — bye",
                         r.docs_published,
                         r.tasks_dispatched,
                         r.latency.p50 as f64 / 1e3,
                         r.latency.p99 as f64 / 1e3,
+                        r.restarts,
+                        r.retries,
+                        r.failovers,
+                        r.lost_docs.len(),
                     ),
                     Err(e) => format!("shutdown error: {e}"),
                 }
@@ -146,5 +196,48 @@ mod tests {
         let bye = s.run(Command::Quit);
         assert!(bye.contains("engine drained"), "{bye}");
         assert!(s.finished);
+    }
+
+    #[test]
+    fn fault_plan_specs_parse_or_explain() {
+        let plan = parse_fault_plan("kill=0.3@10,seed=42", 20).unwrap();
+        assert_eq!(plan.crashed_nodes().len(), 6, "30% of 20 workers");
+        let plan = parse_fault_plan("kill=0.5@0", 6).unwrap();
+        assert_eq!(plan.crashed_nodes().len(), 3, "default seed accepted");
+        for bad in [
+            "",
+            "kill=0.3",
+            "kill=ten@4",
+            "kill=1.5@4",
+            "pause=0.3@4",
+            "seed=7",
+        ] {
+            let err = parse_fault_plan(bad, 6).unwrap_err();
+            assert!(
+                err.contains("fault plan") || err.contains("within 0..=1"),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_session_restarts_workers_and_reports_it() {
+        let plan = parse_fault_plan("kill=0.34@1,seed=7", 6).unwrap();
+        let victims = plan.crashed_nodes().len();
+        assert!(victims >= 2);
+        let mut s = LiveSession::with_fault_plan(6, 2, plan).unwrap();
+        assert!(s
+            .run(Command::parse("register 1 rust news").unwrap())
+            .contains("registered f1"));
+        // Enough publishes to trip every scheduled crash and let the
+        // supervisor restart the victims from their journals.
+        for _ in 0..8 {
+            let _ = s.run(Command::parse("publish rust shipped a release").unwrap());
+        }
+        let bye = s.run(Command::Quit);
+        assert!(bye.contains("engine drained"), "{bye}");
+        for expect in ["restarts", "failovers", "docs lost"] {
+            assert!(bye.contains(expect), "{bye}");
+        }
     }
 }

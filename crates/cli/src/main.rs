@@ -1,10 +1,14 @@
 //! The `move-cli` interactive shell. See `move_cli` (the library) for the
 //! command language.
 //!
-//! Usage: `move-cli [live] [nodes] [racks]` — with `live`, commands run on
-//! the concurrent `move-runtime` engine instead of the simulator.
+//! Usage: `move-cli [live] [--fault-plan <spec>] [nodes] [racks]` — with
+//! `live`, commands run on the concurrent `move-runtime` engine instead of
+//! the simulator; `--fault-plan kill=<fraction>@<doc>[,seed=<seed>]`
+//! crashes that share of the workers mid-session so supervised restarts
+//! can be watched live.
 
-use move_cli::{Command, LiveSession, Session};
+use move_cli::{parse_fault_plan, Command, LiveSession, Session};
+use move_runtime::FaultPlan;
 use std::io::{BufRead, Write};
 
 enum Shell {
@@ -34,10 +38,42 @@ fn main() {
     if live {
         args.next();
     }
-    let nodes = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
-    let racks = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let mut fault_spec: Option<String> = None;
+    let mut positional = Vec::new();
+    while let Some(arg) = args.next() {
+        if let Some(spec) = arg.strip_prefix("--fault-plan=") {
+            fault_spec = Some(spec.to_owned());
+        } else if arg == "--fault-plan" {
+            match args.next() {
+                Some(spec) => fault_spec = Some(spec),
+                None => {
+                    eprintln!("--fault-plan needs a spec: kill=<fraction>@<doc>[,seed=<seed>]");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let nodes = positional.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let racks = positional.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let plan = match &fault_spec {
+        Some(spec) if !live => {
+            eprintln!("--fault-plan {spec} requires live mode (failures are plan-driven there)");
+            std::process::exit(1);
+        }
+        Some(spec) => match parse_fault_plan(spec, nodes) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("cannot start: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => FaultPlan::none(),
+    };
     let built = if live {
-        LiveSession::new(nodes, racks).map(Shell::Live)
+        LiveSession::with_fault_plan(nodes, racks, plan).map(Shell::Live)
     } else {
         Session::new(nodes, racks).map(|s| Shell::Sim(Box::new(s)))
     };

@@ -1,5 +1,6 @@
 //! Engine tuning knobs.
 
+use crate::supervisor::SupervisionPolicy;
 use std::time::Duration;
 
 /// What the router does when a worker's bounded mailbox is full.
@@ -33,6 +34,9 @@ pub struct RuntimeConfig {
     /// Maximum time a partially filled batch may wait before being flushed
     /// to its worker.
     pub flush_interval: Duration,
+    /// What the router does when it detects a dead worker (restart +
+    /// journal replay, or replica failover).
+    pub supervision: SupervisionPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -43,6 +47,7 @@ impl Default for RuntimeConfig {
             overflow: OverflowPolicy::Block,
             batch_size: 8,
             flush_interval: Duration::from_millis(2),
+            supervision: SupervisionPolicy::default(),
         }
     }
 }

@@ -1,25 +1,53 @@
 //! The engine façade, its router, and the transport seam between them.
 //!
 //! The router's decision logic — routing plans, batching, flush ordering,
-//! the overflow policy, allocation-refresh fencing — lives in [`Router`],
-//! which is generic over a [`Transport`]: the production engine plugs in
+//! the overflow policy, allocation-refresh fencing, and since PR 3 the
+//! fault-injection and supervision machinery — lives in [`Router`], which
+//! is generic over a [`Transport`]: the production engine plugs in
 //! [`ThreadTransport`] (real worker threads behind bounded channels), while
 //! the deterministic interleaving harness in [`crate::interleave`] plugs in
 //! an in-process transport it can single-step. Both drivers therefore
 //! exercise the *same* router code path, so schedules the harness proves
 //! safe are schedules of the production router, not of a model of it.
+//!
+//! # Failure semantics
+//!
+//! A worker is **dead** exactly when its mailbox receiver is gone: sends
+//! fail, which every send site observes. The router reacts per its
+//! [`SupervisionPolicy`]:
+//!
+//! * **restart** — respawn the worker from its registration journal's base
+//!   snapshot, replay the journaled registrations, and resend the batch
+//!   (with bounded retries and backoff). Registrations are journaled
+//!   before the send, so a send that discovers the death is itself covered
+//!   by the replay.
+//! * **failover** — declare the node dead in the scheme's membership and
+//!   re-route the stranded documents; the scheme's own routing (the same
+//!   `route` the simulator uses) then fails the hop over to the
+//!   placement's replica rows. Re-routed documents may produce duplicate
+//!   deliveries on nodes that already matched them — consumers union per
+//!   document, so duplicates are benign, and false deliveries remain
+//!   structurally impossible (workers only hold genuinely placed filters).
+//!
+//! Work already *queued* at a crashed worker dies with it (counted in
+//! [`RuntimeReport::tasks_lost`]): delivery is at-most-once for documents
+//! in flight at the moment of a crash, exactly-once otherwise.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use move_core::{Dissemination, MatchTask};
+use move_index::InvertedIndex;
 use move_stats::LatencyHistogram;
-use move_types::{Document, Filter, FilterId, MoveError, NodeId, Result};
+use move_types::{DocId, Document, Filter, FilterId, MoveError, NodeId, Result};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
 use crate::config::{OverflowPolicy, RuntimeConfig};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::message::{Delivery, DocTask, NodeMessage};
 use crate::metrics::{NodeMetrics, RuntimeReport};
+use crate::supervisor::Supervisor;
 use crate::worker::{Worker, WorkerFinal};
 
 /// Publisher-facing commands on the bounded router channel. The bound is
@@ -33,41 +61,93 @@ pub(crate) enum Command {
 }
 
 /// What happened to a document batch handed to the transport.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug)]
 pub(crate) enum BatchOutcome {
     /// The batch was enqueued on the worker's mailbox.
     Delivered,
     /// The mailbox was full under [`OverflowPolicy::Shed`]; the batch was
     /// dropped.
     Shed,
-    /// The worker is gone (its mailbox disconnected); the batch was
-    /// dropped without counting as shed.
-    Gone,
+    /// The worker is gone (its mailbox disconnected); the undelivered
+    /// tasks come back so the supervisor can resend or fail them over.
+    Gone(Vec<DocTask>),
+}
+
+/// Recovers the tasks of a batch message a dead worker's mailbox returned.
+pub(crate) fn reclaim(msg: NodeMessage) -> BatchOutcome {
+    match msg {
+        NodeMessage::PublishDocument { batch } => BatchOutcome::Gone(batch),
+        // `Transport::batch` is only ever called with `PublishDocument`;
+        // other returned messages carry no tasks to reclaim.
+        NodeMessage::RegisterFilter { .. }
+        | NodeMessage::AllocationUpdate { .. }
+        | NodeMessage::StatsReport { .. }
+        | NodeMessage::Fault { .. }
+        | NodeMessage::Ping { .. }
+        | NodeMessage::Shutdown => BatchOutcome::Gone(Vec::new()),
+    }
 }
 
 /// The router's outbound seam: how messages reach node workers.
 ///
 /// Control messages (registration, allocation updates, stats requests,
-/// shutdown) must always be delivered — shedding them would corrupt worker
-/// state rather than just drop work — so [`Transport::control`] has no
-/// outcome. Document batches go through [`Transport::batch`], which applies
-/// the overflow policy.
+/// shutdown, injected faults, heartbeats) must not be silently shed, so
+/// [`Transport::control`] reports only delivered-or-dead; document batches
+/// go through [`Transport::batch`], which applies the overflow policy.
+/// [`Transport::restart`] is the supervision hook: replace a dead worker
+/// with a fresh one booted from the given index shard.
 pub(crate) trait Transport {
     /// Number of node workers reachable through this transport.
     fn nodes(&self) -> usize;
 
     /// Delivers a control message to node `n`, blocking if necessary.
-    fn control(&mut self, n: usize, msg: NodeMessage);
+    /// Returns `false` when the worker is dead (mailbox disconnected).
+    fn control(&mut self, n: usize, msg: NodeMessage) -> bool;
 
     /// Delivers a document batch to node `n` under the overflow policy.
     fn batch(&mut self, n: usize, msg: NodeMessage) -> BatchOutcome;
+
+    /// Replaces a dead worker `n` with a fresh one serving `index`.
+    /// Returns `false` when this transport cannot restart workers (e.g.
+    /// during engine teardown).
+    fn restart(&mut self, n: usize, index: Box<InvertedIndex>) -> bool;
 }
 
 /// The production transport: one bounded crossbeam channel per worker
-/// thread.
+/// thread, plus everything needed to respawn one.
 pub(crate) struct ThreadTransport {
     workers: Vec<Sender<NodeMessage>>,
+    handles: Vec<JoinHandle<()>>,
     overflow: OverflowPolicy,
+    mailbox_capacity: usize,
+    delivery_tx: Sender<Delivery>,
+    /// `None` once shutdown starts — restarts are refused and the finals
+    /// channel can disconnect.
+    final_tx: Option<Sender<WorkerFinal>>,
+}
+
+impl ThreadTransport {
+    /// Spawns (or respawns) worker `n` serving `index`.
+    fn spawn_worker(&mut self, n: usize, index: InvertedIndex) -> Result<()> {
+        let Some(final_tx) = self.final_tx.clone() else {
+            return Err(MoveError::Runtime("engine is shutting down".into()));
+        };
+        let (tx, rx) = bounded(self.mailbox_capacity);
+        let worker = Worker::new(NodeId(n as u32), index, rx, self.delivery_tx.clone());
+        let handle = thread::Builder::new()
+            .name(format!("move-node-{n}"))
+            .spawn(move || {
+                let _ = final_tx.send(worker.run());
+            })
+            .map_err(|e| MoveError::Runtime(format!("spawn worker thread {n}: {e}")))?;
+        if n < self.workers.len() {
+            self.workers[n] = tx;
+        } else {
+            self.workers.push(tx);
+        }
+        self.handles.push(handle);
+        Ok(())
+    }
 }
 
 impl Transport for ThreadTransport {
@@ -75,24 +155,26 @@ impl Transport for ThreadTransport {
         self.workers.len()
     }
 
-    fn control(&mut self, n: usize, msg: NodeMessage) {
-        // A failed send means the worker exited (engine teardown in
-        // progress); there is no one left to corrupt.
-        let _ = self.workers[n].send(msg);
+    fn control(&mut self, n: usize, msg: NodeMessage) -> bool {
+        self.workers[n].send(msg).is_ok()
     }
 
     fn batch(&mut self, n: usize, msg: NodeMessage) -> BatchOutcome {
         match self.overflow {
             OverflowPolicy::Block => match self.workers[n].send(msg) {
                 Ok(()) => BatchOutcome::Delivered,
-                Err(_) => BatchOutcome::Gone,
+                Err(e) => reclaim(e.0),
             },
             OverflowPolicy::Shed => match self.workers[n].try_send(msg) {
                 Ok(()) => BatchOutcome::Delivered,
                 Err(TrySendError::Full(_)) => BatchOutcome::Shed,
-                Err(TrySendError::Disconnected(_)) => BatchOutcome::Gone,
+                Err(TrySendError::Disconnected(m)) => reclaim(m),
             },
         }
+    }
+
+    fn restart(&mut self, n: usize, index: Box<InvertedIndex>) -> bool {
+        self.spawn_worker(n, *index).is_ok()
     }
 }
 
@@ -111,7 +193,8 @@ pub struct Engine {
 impl Engine {
     /// Boots one worker thread per cluster node (shards cloned from the
     /// scheme's current state, so filters registered before `start` are
-    /// served) plus the router thread owning `scheme`.
+    /// served) plus the router thread owning `scheme`. No faults are
+    /// injected; see [`Engine::start_with_faults`].
     ///
     /// # Errors
     ///
@@ -119,46 +202,51 @@ impl Engine {
     /// any workers already spawned observe their mailboxes disconnect and
     /// exit on their own.
     pub fn start(scheme: Box<dyn Dissemination + Send>, config: RuntimeConfig) -> Result<Self> {
+        Self::start_with_faults(scheme, config, FaultPlan::none())
+    }
+
+    /// Like [`Engine::start`], but with a seeded [`FaultPlan`] the router
+    /// injects as it publishes — the wall-clock counterpart of the
+    /// simulator's `fail_fraction`. Recovery follows
+    /// [`RuntimeConfig::supervision`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoveError::Runtime`] if the OS refuses to spawn a thread.
+    pub fn start_with_faults(
+        scheme: Box<dyn Dissemination + Send>,
+        config: RuntimeConfig,
+        plan: FaultPlan,
+    ) -> Result<Self> {
         let nodes = scheme.cluster().len();
         // The delivery stream must outlive shutdown (consumers drain it
         // after the workers exit) and bounding it would deadlock workers
         // against consumers that only start reading after `shutdown()`.
         let (delivery_tx, delivery_rx) = unbounded(); // xtask:allow-unbounded
-                                                      // Each worker sends exactly one final, so `nodes` slots suffice.
-        let (final_tx, final_rx) = bounded(nodes.max(1));
-        let mut workers = Vec::with_capacity(nodes);
-        let mut handles = Vec::with_capacity(nodes);
+                                                      // Each worker *incarnation* sends exactly one final; restarts make
+                                                      // the count dynamic, so the channel is unbounded — its true bound
+                                                      // is initial workers + supervised restarts.
+        let (final_tx, final_rx) = unbounded(); // xtask:allow-unbounded
+        let mut transport = ThreadTransport {
+            workers: Vec::with_capacity(nodes),
+            handles: Vec::with_capacity(nodes),
+            overflow: config.overflow,
+            mailbox_capacity: config.mailbox_capacity,
+            delivery_tx,
+            final_tx: Some(final_tx),
+        };
+        let mut bases = Vec::with_capacity(nodes);
         for i in 0..nodes {
-            let node = NodeId(i as u32);
-            let (tx, rx) = bounded(config.mailbox_capacity);
-            let worker = Worker::new(
-                node,
-                scheme.node_index(node).clone(),
-                rx,
-                delivery_tx.clone(),
-            );
-            let final_tx = final_tx.clone();
-            let handle = thread::Builder::new()
-                .name(format!("move-node-{i}"))
-                .spawn(move || {
-                    let _ = final_tx.send(worker.run());
-                })
-                .map_err(|e| MoveError::Runtime(format!("spawn worker thread {i}: {e}")))?;
-            workers.push(tx);
-            handles.push(handle);
+            let index = scheme.node_index(NodeId(i as u32)).clone();
+            bases.push(index.clone());
+            transport.spawn_worker(i, index)?;
         }
-        drop(delivery_tx);
-        drop(final_tx);
 
         let (cmd_tx, cmd_rx) = bounded(config.command_capacity);
-        let transport = ThreadTransport {
-            workers,
-            overflow: config.overflow,
-        };
-        let router = Router::new(scheme, config, transport);
+        let router = Router::new(scheme, config, transport, plan, bases);
         let handle = thread::Builder::new()
             .name("move-router".into())
-            .spawn(move || router.run(&cmd_rx, &final_rx, handles))
+            .spawn(move || router.run(&cmd_rx, &final_rx))
             .map_err(|e| MoveError::Runtime(format!("spawn router thread: {e}")))?;
         Ok(Self {
             commands: cmd_tx,
@@ -248,13 +336,27 @@ impl Engine {
 }
 
 /// The decision half of the engine: owns the scheme, accumulates per-node
-/// batches, and speaks to workers only through its [`Transport`].
+/// batches, injects scheduled faults, supervises dead workers, and speaks
+/// to workers only through its [`Transport`].
 pub(crate) struct Router<T> {
     scheme: Box<dyn Dissemination + Send>,
     config: RuntimeConfig,
     pub(crate) transport: T,
     /// Per-node batch under accumulation.
     pending: Vec<Vec<DocTask>>,
+    /// Scheduled fault events, sorted by trigger point.
+    plan: Vec<FaultEvent>,
+    /// Index of the next unfired fault event.
+    next_fault: usize,
+    /// The supervision state: per-node registration journals + counters.
+    pub(crate) supervisor: Supervisor,
+    /// Nodes declared dead under the failover policy (never routed to
+    /// again until revived).
+    dead: Vec<bool>,
+    /// Documents whose re-routed tasks found no live replica.
+    pub(crate) lost_docs: BTreeSet<DocId>,
+    /// Tasks dropped because failover found no live replica.
+    tasks_failed: u64,
     pub(crate) docs_published: u64,
     pub(crate) tasks_dispatched: u64,
     pub(crate) tasks_shed: u64,
@@ -266,6 +368,8 @@ impl<T: Transport> Router<T> {
         scheme: Box<dyn Dissemination + Send>,
         config: RuntimeConfig,
         transport: T,
+        plan: FaultPlan,
+        bases: Vec<InvertedIndex>,
     ) -> Self {
         let nodes = transport.nodes();
         Self {
@@ -273,6 +377,12 @@ impl<T: Transport> Router<T> {
             config,
             transport,
             pending: vec![Vec::new(); nodes],
+            plan: plan.events,
+            next_fault: 0,
+            supervisor: Supervisor::new(bases),
+            dead: vec![false; nodes],
+            lost_docs: BTreeSet::new(),
+            tasks_failed: 0,
             docs_published: 0,
             tasks_dispatched: 0,
             tasks_shed: 0,
@@ -297,55 +407,90 @@ impl<T: Transport> Router<T> {
         Ok(true)
     }
 
+    /// Injects a fault into node `n`'s mailbox out of schedule — the
+    /// interleaving harness's `Crash` script op. A send to an
+    /// already-dead worker is ignored (nothing left to fault).
+    pub(crate) fn fault(&mut self, n: usize, action: crate::fault::FaultAction) {
+        let _ = self.transport.control(n, NodeMessage::Fault { action });
+    }
+
+    /// Restarts node `n` from its journal and welcomes it back into the
+    /// membership — the failover-then-the-node-returns transition (the
+    /// interleaving harness's `Restart` script op). Returns `false` when
+    /// the transport refuses.
+    pub(crate) fn revive(&mut self, n: usize) -> bool {
+        if !self.supervisor.restart_and_replay(n, &mut self.transport) {
+            return false;
+        }
+        self.dead[n] = false;
+        self.scheme
+            .cluster_mut()
+            .membership_mut()
+            .recover(NodeId(n as u32));
+        true
+    }
+
     /// Flushes the remaining batches and sends every worker a
     /// [`NodeMessage::Shutdown`], FIFO-ordered behind all earlier work.
+    /// Send failures are ignored: a dead worker is already shut down.
     pub(crate) fn shutdown_workers(&mut self) {
         self.flush_all();
         for n in 0..self.transport.nodes() {
-            self.transport.control(n, NodeMessage::Shutdown);
+            let _ = self.transport.control(n, NodeMessage::Shutdown);
         }
     }
 
     /// Merges worker finals with the router's own counters into the final
-    /// report.
-    pub(crate) fn into_report(self, mut results: Vec<WorkerFinal>) -> RuntimeReport {
-        results.sort_by_key(|f| f.metrics.node);
+    /// report. A node restarted mid-run contributed one final per
+    /// incarnation; they are summed (histograms merged) into one
+    /// [`NodeMetrics`] entry.
+    pub(crate) fn into_report(self, results: Vec<WorkerFinal>) -> RuntimeReport {
+        let node_count = self.transport.nodes();
         let mut merged = LatencyHistogram::new();
-        for f in &results {
+        let mut per_node: BTreeMap<usize, (NodeMetrics, LatencyHistogram)> = BTreeMap::new();
+        let mut worker_lost = 0u64;
+        let mut lost_docs: BTreeSet<DocId> = self.lost_docs;
+        for f in results {
             merged.merge(&f.histogram);
+            worker_lost += f.metrics.tasks_lost;
+            lost_docs.extend(f.lost_docs.iter().copied());
+            let i = f.metrics.node.as_usize().min(node_count.saturating_sub(1));
+            match per_node.get_mut(&i) {
+                None => {
+                    per_node.insert(i, (f.metrics, f.histogram));
+                }
+                Some((m, h)) => {
+                    m.messages_processed += f.metrics.messages_processed;
+                    m.doc_tasks += f.metrics.doc_tasks;
+                    m.postings_scanned += f.metrics.postings_scanned;
+                    m.deliveries += f.metrics.deliveries;
+                    m.queue_depth_hwm = m.queue_depth_hwm.max(f.metrics.queue_depth_hwm);
+                    m.tasks_lost += f.metrics.tasks_lost;
+                    h.merge(&f.histogram);
+                }
+            }
         }
+        let nodes = per_node
+            .into_values()
+            .map(|(mut m, h)| {
+                m.latency = h.summary();
+                m
+            })
+            .collect();
         RuntimeReport {
             scheme: self.scheme.name().to_owned(),
             docs_published: self.docs_published,
             tasks_dispatched: self.tasks_dispatched,
             tasks_shed: self.tasks_shed,
             allocation_updates: self.allocation_updates,
-            nodes: results.into_iter().map(|f| f.metrics).collect(),
+            restarts: self.supervisor.restarts,
+            retries: self.supervisor.retries,
+            failovers: self.supervisor.failovers,
+            tasks_lost: worker_lost + self.tasks_failed,
+            lost_docs: lost_docs.into_iter().collect(),
+            nodes,
             latency: merged.summary(),
         }
-    }
-
-    /// The router thread's main loop (threaded driver only).
-    fn run(
-        mut self,
-        commands: &Receiver<Command>,
-        finals: &Receiver<WorkerFinal>,
-        handles: Vec<JoinHandle<()>>,
-    ) -> Result<RuntimeReport> {
-        // Serve until shutdown or a control-plane error; tear the workers
-        // down in both cases, then surface the error.
-        let served = self.serve(commands);
-        self.shutdown_workers();
-        let results: Vec<WorkerFinal> = finals.iter().collect();
-        let mut worker_panic = false;
-        for handle in handles {
-            worker_panic |= handle.join().is_err();
-        }
-        served?;
-        if worker_panic {
-            return Err(MoveError::Runtime("worker thread panicked".into()));
-        }
-        Ok(self.into_report(results))
     }
 
     fn serve(&mut self, commands: &Receiver<Command>) -> Result<()> {
@@ -357,9 +502,46 @@ impl<T: Transport> Router<T> {
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => return Ok(()),
-                // Idle: age out partially filled batches.
-                Err(RecvTimeoutError::Timeout) => self.flush_all(),
+                // Idle: age out partially filled batches, then probe the
+                // workers so a death with no pending traffic still heals.
+                Err(RecvTimeoutError::Timeout) => {
+                    self.flush_all();
+                    self.heartbeat();
+                }
             }
+        }
+    }
+
+    /// Sends every live worker a [`NodeMessage::Ping`]. A worker is only
+    /// declared dead on a *failed send* (disconnected mailbox) — a slow
+    /// reply means a deep queue, not a death, so replies are not awaited.
+    fn heartbeat(&mut self) {
+        let (tx, _rx) = bounded(self.transport.nodes().max(1));
+        for n in 0..self.transport.nodes() {
+            if self.dead[n] {
+                continue;
+            }
+            if !self
+                .transport
+                .control(n, NodeMessage::Ping { reply: tx.clone() })
+            {
+                self.supervise_control_failure(n);
+            }
+        }
+    }
+
+    /// Fires every scheduled fault whose trigger point has been reached.
+    /// Sends to already-dead workers are ignored — a fault cannot kill a
+    /// node twice.
+    fn inject_faults(&mut self) {
+        while self.next_fault < self.plan.len()
+            && self.plan[self.next_fault].at_doc <= self.docs_published
+        {
+            let ev = self.plan[self.next_fault];
+            self.next_fault += 1;
+            let _ = self
+                .transport
+                .control(ev.node.as_usize(), NodeMessage::Fault { action: ev.action });
         }
     }
 
@@ -393,10 +575,16 @@ impl<T: Transport> Router<T> {
             // FIFO order guarantees both once the update is sent here.
             for n in 0..self.transport.nodes() {
                 let index = Box::new(self.scheme.node_index(NodeId(n as u32)).clone());
-                self.transport
-                    .control(n, NodeMessage::AllocationUpdate { index });
+                self.supervisor.record_snapshot(n, &index);
+                if !self
+                    .transport
+                    .control(n, NodeMessage::AllocationUpdate { index })
+                {
+                    self.supervise_control_failure(n);
+                }
             }
         }
+        self.inject_faults();
         Ok(())
     }
 
@@ -408,13 +596,19 @@ impl<T: Transport> Router<T> {
             // Flush first so documents published before this registration
             // are matched against the pre-registration shard.
             self.flush_node(n);
-            self.transport.control(
+            // Journal before sending: if the send finds the worker dead,
+            // the replay already covers this registration.
+            self.supervisor
+                .record_registration(n, filter, terms.as_ref());
+            if !self.transport.control(
                 n,
                 NodeMessage::RegisterFilter {
                     filter: filter.clone(),
                     terms,
                 },
-            );
+            ) {
+                self.supervise_control_failure(n);
+            }
         }
         Ok(())
     }
@@ -424,13 +618,129 @@ impl<T: Transport> Router<T> {
         // One reply per worker, so this gather channel can never fill.
         let (tx, rx) = bounded(self.transport.nodes().max(1));
         for n in 0..self.transport.nodes() {
-            self.transport
-                .control(n, NodeMessage::StatsReport { reply: tx.clone() });
+            // The snapshot doubles as a liveness probe: a failed send is
+            // supervised exactly like a failed heartbeat ping, so under
+            // the restart policy the revived worker still contributes a
+            // (fresh-incarnation) snapshot. A worker that stays dead
+            // simply contributes none — its sender clone drops unsent,
+            // so the gather below still terminates.
+            if !self
+                .transport
+                .control(n, NodeMessage::StatsReport { reply: tx.clone() })
+            {
+                self.supervise_control_failure(n);
+                let _ = self
+                    .transport
+                    .control(n, NodeMessage::StatsReport { reply: tx.clone() });
+            }
         }
         drop(tx);
         let mut all: Vec<NodeMetrics> = rx.iter().collect();
         all.sort_by_key(|m| m.node);
         let _ = reply.send(all);
+    }
+
+    /// A control send found worker `n` dead: restart-and-replay if the
+    /// policy allows (the journal already covers the lost message),
+    /// otherwise declare the node dead in the membership.
+    fn supervise_control_failure(&mut self, n: usize) {
+        if self.config.supervision.restart
+            && self.supervisor.restart_and_replay(n, &mut self.transport)
+        {
+            return;
+        }
+        self.mark_dead(n);
+    }
+
+    /// Declares node `n` dead both to the router (never routed to again)
+    /// and to the scheme's membership, so `route` fails subsequent
+    /// documents over to replica rows.
+    fn mark_dead(&mut self, n: usize) {
+        if !self.dead[n] {
+            self.dead[n] = true;
+            self.scheme
+                .cluster_mut()
+                .membership_mut()
+                .crash(NodeId(n as u32));
+        }
+    }
+
+    /// A batch send found worker `n` dead. Under the restart policy the
+    /// worker is respawned from its journal and the batch resent (bounded
+    /// retries with backoff); otherwise — or once retries are exhausted —
+    /// the stranded documents fail over to the replica set.
+    fn handle_gone(&mut self, n: usize, mut batch: Vec<DocTask>) {
+        if self.config.supervision.restart {
+            for attempt in 0..self.config.supervision.max_retries {
+                if attempt > 0 && !self.config.supervision.backoff.is_zero() {
+                    thread::sleep(self.config.supervision.backoff);
+                }
+                if !self.supervisor.restart_and_replay(n, &mut self.transport) {
+                    break;
+                }
+                self.supervisor.retries += 1;
+                let count = batch.len() as u64;
+                match self
+                    .transport
+                    .batch(n, NodeMessage::PublishDocument { batch })
+                {
+                    BatchOutcome::Delivered => {
+                        self.tasks_dispatched += count;
+                        return;
+                    }
+                    BatchOutcome::Shed => {
+                        self.tasks_shed += count;
+                        return;
+                    }
+                    BatchOutcome::Gone(b) => batch = b,
+                }
+            }
+        }
+        self.failover(n, batch);
+    }
+
+    /// Replica failover: declare `n` dead and re-route each stranded
+    /// document through the scheme, whose routing now avoids the corpse.
+    /// Re-routing the whole document may duplicate deliveries already made
+    /// by live nodes — benign, consumers union per document. A document
+    /// with no live replica left is counted lost.
+    fn failover(&mut self, n: usize, batch: Vec<DocTask>) {
+        self.mark_dead(n);
+        self.supervisor.failovers += batch.len() as u64;
+        // One re-route per distinct stranded document.
+        let mut by_doc: BTreeMap<DocId, (DocTask, u64)> = BTreeMap::new();
+        for task in batch {
+            by_doc
+                .entry(task.doc.id())
+                .and_modify(|(_, c)| *c += 1)
+                .or_insert((task, 1));
+        }
+        for (task, count) in by_doc.into_values() {
+            let steps = self.scheme.route(&task.doc);
+            let mut placed = false;
+            for step in steps {
+                if matches!(step.task, MatchTask::Forward) {
+                    continue;
+                }
+                let m = step.node.as_usize();
+                if self.dead[m] {
+                    continue; // schemes without liveness-aware routing
+                }
+                self.pending[m].push(DocTask {
+                    doc: Arc::clone(&task.doc),
+                    task: step.task,
+                    dispatched: task.dispatched,
+                });
+                placed = true;
+                if self.pending[m].len() >= self.config.batch_size {
+                    self.flush_node(m);
+                }
+            }
+            if !placed {
+                self.tasks_failed += count;
+                self.lost_docs.insert(task.doc.id());
+            }
+        }
     }
 
     /// Ships node `n`'s accumulated batch through the transport. Only
@@ -441,6 +751,11 @@ impl<T: Transport> Router<T> {
             return;
         }
         let batch = std::mem::take(&mut self.pending[n]);
+        if self.dead[n] {
+            // Known-dead node under failover: skip the doomed send.
+            self.failover(n, batch);
+            return;
+        }
         let count = batch.len() as u64;
         match self
             .transport
@@ -448,13 +763,53 @@ impl<T: Transport> Router<T> {
         {
             BatchOutcome::Delivered => self.tasks_dispatched += count,
             BatchOutcome::Shed => self.tasks_shed += count,
-            BatchOutcome::Gone => {}
+            BatchOutcome::Gone(b) => self.handle_gone(n, b),
         }
     }
 
+    /// Flushes until no batch remains pending anywhere. Failover inside
+    /// one flush may re-route tasks onto nodes this pass already visited,
+    /// so the sweep repeats until it finds nothing — each re-route either
+    /// lands on a live node or kills another corpse, so it terminates.
     pub(crate) fn flush_all(&mut self) {
-        for n in 0..self.pending.len() {
-            self.flush_node(n);
+        loop {
+            let mut any = false;
+            for n in 0..self.pending.len() {
+                if !self.pending[n].is_empty() {
+                    any = true;
+                    self.flush_node(n);
+                }
+            }
+            if !any {
+                return;
+            }
         }
+    }
+}
+
+impl Router<ThreadTransport> {
+    /// The router thread's main loop (threaded driver only).
+    fn run(
+        mut self,
+        commands: &Receiver<Command>,
+        finals: &Receiver<WorkerFinal>,
+    ) -> Result<RuntimeReport> {
+        // Serve until shutdown or a control-plane error; tear the workers
+        // down in both cases, then surface the error.
+        let served = self.serve(commands);
+        self.shutdown_workers();
+        // Drop our finals sender so the drain below observes disconnect
+        // once every worker incarnation has exited.
+        self.transport.final_tx = None;
+        let results: Vec<WorkerFinal> = finals.iter().collect();
+        let mut worker_panic = false;
+        for handle in std::mem::take(&mut self.transport.handles) {
+            worker_panic |= handle.join().is_err();
+        }
+        served?;
+        if worker_panic {
+            return Err(MoveError::Runtime("worker thread panicked".into()));
+        }
+        Ok(self.into_report(results))
     }
 }

@@ -1,0 +1,141 @@
+//! Fault injection: seeded worker crash/pause/slow schedules for the live
+//! engine.
+//!
+//! A [`FaultPlan`] is a list of [`FaultEvent`]s keyed on the router's
+//! published-document counter: when document number `at_doc` has been
+//! routed, the router injects the event's [`FaultAction`] into the target
+//! worker's mailbox as a [`NodeMessage::Fault`](crate::NodeMessage)
+//! control message. Because the injection travels through the same
+//! [`Transport`](crate::engine::Transport) seam as every other message, it
+//! is FIFO-ordered behind the work already queued for that worker — a
+//! crash therefore lands *mid-drain*, exactly like a real process death,
+//! and the same plan replays identically under the threaded engine and the
+//! deterministic interleaving harness.
+
+use move_types::NodeId;
+use std::time::Duration;
+
+/// What an injected fault does to the worker that dequeues it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The worker counts its remaining queued document tasks as lost and
+    /// exits immediately, dropping its mailbox — subsequent sends fail,
+    /// which is how the supervisor detects the death.
+    Crash,
+    /// The worker stalls for the given duration before handling its next
+    /// message (a GC pause / network partition stand-in). Threaded driver
+    /// only: the interleaving harness models delays with schedule steps.
+    Pause(Duration),
+    /// The worker sleeps this long before *every* subsequent match task —
+    /// a degraded-but-alive node that exercises backpressure, not
+    /// supervision.
+    Slow(Duration),
+}
+
+/// One scheduled fault: inject `action` into `node`'s mailbox once the
+/// router has published `at_doc` documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The worker to fault.
+    pub node: NodeId,
+    /// Fires when the router's published-document count reaches this value.
+    pub at_doc: u64,
+    /// What happens to the worker.
+    pub action: FaultAction,
+}
+
+/// A seeded, deterministic schedule of worker faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// The scheduled events, sorted by [`FaultEvent::at_doc`].
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults (what [`Engine::start`](crate::Engine)
+    /// uses).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether this plan schedules no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Builds a plan from explicit events (sorted by trigger point).
+    #[must_use]
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at_doc);
+        Self { events }
+    }
+
+    /// The paper's §VI failure regime: crash `fraction` of the `nodes`
+    /// workers, chosen by `seed`, starting once `at_doc` documents have
+    /// been published (one crash per subsequent document, so the deaths
+    /// are staggered mid-run rather than simultaneous).
+    #[must_use]
+    pub fn kill_fraction(nodes: usize, fraction: f64, at_doc: u64, seed: u64) -> Self {
+        let victims = ((nodes as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+        let mut order: Vec<usize> = (0..nodes).collect();
+        // Seeded Fisher–Yates over the node ids; xorshift64* keeps the
+        // plan reproducible without pulling a full RNG into this crate.
+        let mut state = seed | 1;
+        for i in (1..order.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let events = order
+            .into_iter()
+            .take(victims)
+            .enumerate()
+            .map(|(k, n)| FaultEvent {
+                node: NodeId(n as u32),
+                at_doc: at_doc + k as u64,
+                action: FaultAction::Crash,
+            })
+            .collect();
+        Self::from_events(events)
+    }
+
+    /// The node ids this plan crashes (deduplicated, sorted).
+    #[must_use]
+    pub fn crashed_nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::Crash))
+            .map(|e| e.node)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_fraction_is_seeded_and_sized() {
+        let a = FaultPlan::kill_fraction(20, 0.3, 50, 7);
+        let b = FaultPlan::kill_fraction(20, 0.3, 50, 7);
+        assert_eq!(a.events, b.events, "same seed, same plan");
+        assert_eq!(a.crashed_nodes().len(), 6, "30% of 20 nodes");
+        assert!(a.events.windows(2).all(|w| w[0].at_doc <= w[1].at_doc));
+        let c = FaultPlan::kill_fraction(20, 0.3, 50, 8);
+        assert_ne!(a.events, c.events, "different seed, different victims");
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::kill_fraction(10, 0.0, 0, 1).is_empty());
+    }
+}

@@ -8,8 +8,17 @@
 //! seeded scheduler choosing at every step which component advances by one
 //! message. Each seed is one reproducible interleaving; sweeping seeds
 //! explores the schedule space (shutdown racing a publish, an allocation
-//! refresh landing mid-drain, shed-vs-block decisions under a full
-//! mailbox) and checks the engine's ordering guarantees on every one.
+//! refresh landing mid-drain, a crash landing mid-batch, a failover racing
+//! the dead node's return) and checks the engine's ordering guarantees on
+//! every one.
+//!
+//! Since PR 3 the script can also inject faults: [`ScriptOp::Crash`] kills
+//! a worker through the same [`NodeMessage::Fault`](crate::NodeMessage)
+//! path the threaded engine's [`FaultPlan`](crate::FaultPlan) uses,
+//! [`ScriptOp::Restart`] brings a crashed node back through the
+//! supervisor's journal replay, and [`ScriptOp::Delay`] holds a worker's
+//! scheduling for a number of steps (the deterministic analog of
+//! [`FaultAction::Slow`]).
 //!
 //! # Fidelity
 //!
@@ -24,15 +33,22 @@
 //!   schedule — command atomicity loses no observable outcomes.
 //! * **Virtual capacity.** Mailboxes are physically unbounded; the
 //!   configured capacity is enforced by the *scheduler*, which refuses to
-//!   advance the router under [`OverflowPolicy::Block`] while any mailbox
-//!   is at or over capacity (a real router would block inside the full
-//!   mailbox's `send`). Because one command may enqueue a couple of
+//!   advance the router under [`OverflowPolicy::Block`] while any live
+//!   mailbox is at or over capacity (a real router would block inside the
+//!   full mailbox's `send`). Because one command may enqueue a couple of
 //!   messages per node, a mailbox can transiently overshoot the capacity
 //!   by the fan-out of a single command — equivalent to a real mailbox a
 //!   few slots larger, and irrelevant to the ordering properties checked
 //!   here. Under [`OverflowPolicy::Shed`] the shed decision is made
 //!   per-batch against the current queue length, exactly like the real
 //!   `try_send`.
+//!
+//! One fault-mode divergence from the threaded engine is *tighter*, not
+//! looser: a crash and the resulting mailbox disconnect happen in a single
+//! scheduler step, so the threaded engine's send-vs-receiver-drop race
+//! (a batch that arrives between the crash drain and the channel teardown)
+//! does not exist here and the books balance exactly —
+//! `dispatched == executed + lost` is asserted, not approximated.
 //!
 //! # Examples
 //!
@@ -53,14 +69,19 @@
 
 use crossbeam::channel::{unbounded, Sender};
 use move_core::Dissemination;
+use move_index::InvertedIndex;
 use move_types::{DocId, Document, Filter, FilterId, MoveError, NodeId, Result};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
 use std::time::Duration;
 
 use crate::config::{OverflowPolicy, RuntimeConfig};
 use crate::engine::{BatchOutcome, Command, Router, Transport};
-use crate::message::NodeMessage;
+use crate::fault::FaultAction;
+use crate::message::{Delivery, NodeMessage};
 use crate::metrics::RuntimeReport;
+use crate::supervisor::SupervisionPolicy;
 use crate::worker::{Worker, WorkerStep};
 
 /// Tuning knobs of one harness run.
@@ -75,6 +96,11 @@ pub struct InterleaveConfig {
     /// Documents per node accumulated before a batch is sent (same knob as
     /// [`RuntimeConfig::batch_size`]).
     pub batch_size: usize,
+    /// What the router does when a send finds a crashed worker (same knob
+    /// as [`RuntimeConfig::supervision`]). The default uses
+    /// [`Duration::ZERO`] backoff — retries cost schedule steps, not
+    /// wall-clock time.
+    pub supervision: SupervisionPolicy,
 }
 
 impl Default for InterleaveConfig {
@@ -84,6 +110,11 @@ impl Default for InterleaveConfig {
             mailbox_capacity: 2,
             overflow: OverflowPolicy::Block,
             batch_size: 1,
+            supervision: SupervisionPolicy {
+                restart: true,
+                max_retries: 3,
+                backoff: Duration::ZERO,
+            },
         }
     }
 }
@@ -97,6 +128,21 @@ pub enum ScriptOp {
     Register(Filter),
     /// Publish a document through the data plane.
     Publish(Document),
+    /// Enqueue a crash fault in the node's mailbox (FIFO behind queued
+    /// work, so the death lands mid-drain). No-op on an already-dead node.
+    Crash(NodeId),
+    /// Restart a crashed node from its registration journal and readmit it
+    /// to the membership — the "failed node returns" transition of the
+    /// paper's §VI. No-op when the node is alive.
+    Restart(NodeId),
+    /// Suspend the node's scheduling for the next `steps` scheduler steps
+    /// — the deterministic analog of [`FaultAction::Slow`].
+    Delay {
+        /// The worker to suspend.
+        node: NodeId,
+        /// How many scheduler steps it stays unschedulable.
+        steps: u64,
+    },
 }
 
 /// What one scheduled run produced.
@@ -113,16 +159,30 @@ pub struct InterleaveReport {
     /// `delivered` with a subset of its matches: shedding is per
     /// node-batch, not per document.
     pub shed_docs: BTreeSet<DocId>,
+    /// Documents that lost at least one task to a crash: destroyed in a
+    /// dead worker's queue, or re-routed and finding no live replica. The
+    /// at-most-once allowance of the fault-mode delivery oracle: a doc in
+    /// here may be missing (some of) its matches; a doc outside `lost_docs
+    /// ∪ shed_docs` must be delivered exactly.
+    pub lost_docs: BTreeSet<DocId>,
     /// Scheduler steps taken (router commands + worker messages handled).
     pub steps: u64,
 }
 
+/// The shared worker table: the scheduler steps the workers, while the
+/// transport's `restart` replaces dead entries — single-threaded, so a
+/// `RefCell` arbitrates (borrows are scoped to one action each).
+type WorkerTable = Rc<RefCell<Vec<Option<Worker>>>>;
+
 /// The harness transport: physically unbounded mailboxes (capacity is the
-/// scheduler's job, see the module docs) plus shed bookkeeping.
+/// scheduler's job, see the module docs) plus shed bookkeeping and the
+/// restart hook.
 struct SimTransport {
     // xtask:allow-unbounded — capacity is virtual, enforced by the
     // scheduler; a bounded channel would block the single harness thread.
     mailboxes: Vec<Sender<NodeMessage>>,
+    workers: WorkerTable,
+    delivery_tx: Sender<Delivery>,
     capacity: usize,
     overflow: OverflowPolicy,
     shed_docs: BTreeSet<DocId>,
@@ -135,7 +195,8 @@ impl SimTransport {
 
     /// Whether any mailbox is at or over the virtual capacity — the state
     /// in which a real router under [`OverflowPolicy::Block`] could be
-    /// blocked inside a send.
+    /// blocked inside a send. (A crashed worker's mailbox is empty — the
+    /// crash drains it — so dead nodes never wedge this check.)
     fn at_capacity(&self) -> bool {
         self.mailboxes.iter().any(|m| m.len() >= self.capacity)
     }
@@ -146,8 +207,8 @@ impl Transport for SimTransport {
         self.mailboxes.len()
     }
 
-    fn control(&mut self, n: usize, msg: NodeMessage) {
-        let _ = self.mailboxes[n].send(msg);
+    fn control(&mut self, n: usize, msg: NodeMessage) -> bool {
+        self.mailboxes[n].send(msg).is_ok()
     }
 
     fn batch(&mut self, n: usize, msg: NodeMessage) -> BatchOutcome {
@@ -161,8 +222,18 @@ impl Transport for SimTransport {
         }
         match self.mailboxes[n].send(msg) {
             Ok(()) => BatchOutcome::Delivered,
-            Err(_) => BatchOutcome::Gone,
+            Err(e) => crate::engine::reclaim(e.0),
         }
+    }
+
+    fn restart(&mut self, n: usize, index: Box<InvertedIndex>) -> bool {
+        // xtask:allow-unbounded — virtual capacity, same as the boot-time
+        // mailboxes.
+        let (tx, rx) = unbounded();
+        let worker = Worker::new(NodeId(n as u32), *index, rx, self.delivery_tx.clone());
+        self.workers.borrow_mut()[n] = Some(worker);
+        self.mailboxes[n] = tx;
+        true
     }
 }
 
@@ -230,23 +301,23 @@ pub fn run_schedule(
     // would deadlock the single harness thread.
     let (delivery_tx, delivery_rx) = unbounded();
     let mut mailboxes = Vec::with_capacity(nodes);
-    let mut workers: Vec<Option<Worker>> = Vec::with_capacity(nodes);
+    let mut table: Vec<Option<Worker>> = Vec::with_capacity(nodes);
+    let mut bases = Vec::with_capacity(nodes);
     for i in 0..nodes {
         let node = NodeId(i as u32);
+        let index = scheme.node_index(node).clone();
+        bases.push(index.clone());
         // xtask:allow-unbounded — virtual capacity, see SimTransport.
         let (tx, rx) = unbounded();
-        workers.push(Some(Worker::new(
-            node,
-            scheme.node_index(node).clone(),
-            rx,
-            delivery_tx.clone(),
-        )));
+        table.push(Some(Worker::new(node, index, rx, delivery_tx.clone())));
         mailboxes.push(tx);
     }
-    drop(delivery_tx);
+    let workers: WorkerTable = Rc::new(RefCell::new(table));
 
     let transport = SimTransport {
         mailboxes,
+        workers: Rc::clone(&workers),
+        delivery_tx,
         capacity: config.mailbox_capacity.max(1),
         overflow: config.overflow,
         shed_docs: BTreeSet::new(),
@@ -257,22 +328,36 @@ pub fn run_schedule(
         overflow: config.overflow,
         batch_size: config.batch_size.max(1),
         flush_interval: Duration::from_millis(1), // unused: no idle loop
+        supervision: config.supervision,
     };
-    let mut router = Router::new(scheme, runtime_config, transport);
+    let plan = crate::fault::FaultPlan::none();
+    let mut router = Router::new(scheme, runtime_config, transport, plan, bases);
 
+    let fault_ops = script
+        .iter()
+        .filter(|op| {
+            matches!(
+                op,
+                ScriptOp::Crash(_) | ScriptOp::Restart(_) | ScriptOp::Delay { .. }
+            )
+        })
+        .count() as u64;
     let mut script: VecDeque<ScriptOp> = script.into();
     // Each script op enqueues at most ~2 messages per node (a batch plus an
     // allocation update), shutdown adds one per node, and every message is
     // handled in one step — so any correct run is far below this budget.
-    let budget = (script.len() as u64 + 2) * (2 * nodes as u64 + 4) * 4 + 1000;
+    // Fault ops multiply it: each restart replays the full since-journal,
+    // and each delay parks a worker for a stretch of steps.
+    let budget = ((script.len() as u64 + 2) * (2 * nodes as u64 + 4) * 4 + 1000) * (1 + fault_ops);
     let mut rng = Rng::new(config.seed);
     let mut shutdown_sent = false;
     let mut finals = Vec::with_capacity(nodes);
+    let mut delays: Vec<u64> = vec![0; nodes];
     let mut steps: u64 = 0;
     let mut actions: Vec<Action> = Vec::with_capacity(nodes + 1);
 
     loop {
-        if shutdown_sent && workers.iter().all(Option::is_none) {
+        if shutdown_sent && workers.borrow().iter().all(Option::is_none) {
             break; // graceful termination: every worker drained and stopped
         }
         actions.clear();
@@ -283,12 +368,28 @@ pub fn run_schedule(
         if !shutdown_sent && !router_blocked {
             actions.push(Action::Router);
         }
-        for (i, w) in workers.iter().enumerate() {
-            if w.is_some() && router.transport.queue_len(i) > 0 {
+        for (i, w) in workers.borrow().iter().enumerate() {
+            if w.is_some() && delays[i] == 0 && router.transport.queue_len(i) > 0 {
                 actions.push(Action::Worker(i));
             }
         }
         if actions.is_empty() {
+            if delays.iter().any(|&d| d > 0) {
+                // Every runnable component is parked behind a Delay: time
+                // passes (one step), the delays tick down, and scheduling
+                // resumes — a stall, not a deadlock.
+                steps += 1;
+                if steps > budget {
+                    return Err(MoveError::Internal(format!(
+                        "interleaving livelock: step budget {budget} exceeded (seed {seed})",
+                        seed = config.seed
+                    )));
+                }
+                for d in &mut delays {
+                    *d = d.saturating_sub(1);
+                }
+                continue;
+            }
             // Work remains but nothing can advance: the message protocol
             // deadlocked (e.g. a lost shutdown would strand a worker here).
             return Err(MoveError::Internal(format!(
@@ -304,6 +405,9 @@ pub fn run_schedule(
                 seed = config.seed
             )));
         }
+        for d in &mut delays {
+            *d = d.saturating_sub(1);
+        }
         match actions[rng.below(actions.len())] {
             Action::Router => match script.pop_front() {
                 Some(ScriptOp::Register(f)) => {
@@ -312,18 +416,34 @@ pub fn run_schedule(
                 Some(ScriptOp::Publish(d)) => {
                     router.handle_command(Command::Publish(Box::new(d)))?;
                 }
+                Some(ScriptOp::Crash(n)) => {
+                    router.fault(n.as_usize(), FaultAction::Crash);
+                }
+                Some(ScriptOp::Restart(n)) => {
+                    let dead = workers.borrow()[n.as_usize()].is_none();
+                    if dead {
+                        // The transport always accepts restarts here, so
+                        // revive cannot fail; the guard keeps a Restart on
+                        // a live node from clobbering its counters.
+                        let _ = router.revive(n.as_usize());
+                    }
+                }
+                Some(ScriptOp::Delay { node, steps: s }) => {
+                    let n = node.as_usize();
+                    delays[n] = delays[n].max(s);
+                }
                 None => {
                     router.shutdown_workers();
                     shutdown_sent = true;
                 }
             },
             Action::Worker(i) => {
-                let stopped = match workers[i].as_mut() {
-                    Some(w) => matches!(w.try_step(), WorkerStep::Stopped),
-                    None => false,
+                let stepped = match workers.borrow_mut()[i].as_mut() {
+                    Some(w) => w.try_step(),
+                    None => WorkerStep::Empty,
                 };
-                if stopped {
-                    if let Some(w) = workers[i].take() {
+                if matches!(stepped, WorkerStep::Stopped) {
+                    if let Some(w) = workers.borrow_mut()[i].take() {
                         finals.push(w.finish());
                     }
                 }
@@ -333,6 +453,7 @@ pub fn run_schedule(
 
     let shed_docs = std::mem::take(&mut router.transport.shed_docs);
     let report = router.into_report(finals);
+    let lost_docs: BTreeSet<DocId> = report.lost_docs.iter().copied().collect();
     let mut delivered: BTreeMap<DocId, BTreeSet<FilterId>> = BTreeMap::new();
     for d in delivery_rx.try_iter() {
         delivered.entry(d.doc).or_default().extend(d.matched);
@@ -341,6 +462,7 @@ pub fn run_schedule(
         report,
         delivered,
         shed_docs,
+        lost_docs,
         steps,
     })
 }
@@ -386,6 +508,7 @@ mod tests {
             };
             let out = run_schedule(small_scheme(), small_script(), &cfg).unwrap();
             assert!(out.shed_docs.is_empty(), "Block policy must not shed");
+            assert!(out.lost_docs.is_empty(), "no faults, nothing lost");
             outcomes.push(out.delivered);
         }
         for w in outcomes.windows(2) {
@@ -407,6 +530,7 @@ mod tests {
             mailbox_capacity: 1,
             overflow: OverflowPolicy::Shed,
             batch_size: 1,
+            ..InterleaveConfig::default()
         };
         let mut script = vec![ScriptOp::Register(Filter::new(1u64, [TermId(3)]))];
         for i in 0..50u64 {
@@ -419,5 +543,43 @@ mod tests {
         assert_eq!(out.report.docs_published, 50);
         let executed: u64 = out.report.nodes.iter().map(|n| n.doc_tasks).sum();
         assert_eq!(out.report.tasks_dispatched, executed);
+    }
+
+    #[test]
+    fn crash_then_restart_recovers_registrations() {
+        // Crash the worker hosting the filter, restart it, and publish:
+        // the journal replay must restore the filter so the doc matches.
+        let filter = Filter::new(1u64, [TermId(3)]);
+        let home = small_scheme().registration_targets(&filter)[0].0;
+        for seed in 0..24u64 {
+            let cfg = InterleaveConfig {
+                seed,
+                ..InterleaveConfig::default()
+            };
+            let script = vec![
+                ScriptOp::Register(filter.clone()),
+                ScriptOp::Crash(home),
+                ScriptOp::Restart(home),
+                ScriptOp::Publish(Document::from_distinct_terms(1u64, [TermId(3)])),
+            ];
+            let out = run_schedule(small_scheme(), script, &cfg).unwrap();
+            // At-most-once: if the schedule let the crash land after the
+            // publish reached the mailbox (the Restart op no-ops on a
+            // not-yet-dead worker), the doc dies in the drained queue and
+            // must be reported lost; otherwise the journal replay must
+            // restore the filter and the doc must match it exactly.
+            let expected = BTreeSet::from([FilterId(1)]);
+            match out.delivered.get(&DocId(1)) {
+                Some(got) => assert_eq!(got, &expected, "seed {seed}: wrong match set"),
+                None => assert!(
+                    out.lost_docs.contains(&DocId(1)),
+                    "seed {seed}: undelivered doc must be reported lost"
+                ),
+            }
+            assert!(
+                out.report.restarts >= 1 || out.lost_docs.contains(&DocId(1)),
+                "seed {seed}: either the restart happened or the doc was lost"
+            );
+        }
     }
 }

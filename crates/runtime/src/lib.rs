@@ -50,14 +50,18 @@
 
 mod config;
 mod engine;
+mod fault;
 /// Deterministic schedule-permutation harness over the same router/worker
 /// code the threaded engine runs.
 pub mod interleave;
 mod message;
 mod metrics;
+mod supervisor;
 mod worker;
 
 pub use config::{OverflowPolicy, RuntimeConfig};
 pub use engine::Engine;
+pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use message::{Delivery, DocTask, NodeMessage};
 pub use metrics::{NodeMetrics, RuntimeReport};
+pub use supervisor::SupervisionPolicy;

@@ -7,6 +7,7 @@ use move_types::{DocId, Document, Filter, FilterId, NodeId, TermId};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::fault::FaultAction;
 use crate::metrics::NodeMetrics;
 
 /// One unit of matching work for a node: a document plus the task the
@@ -50,6 +51,21 @@ pub enum NodeMessage {
     StatsReport {
         /// Where to send the snapshot.
         reply: Sender<NodeMetrics>,
+    },
+    /// An injected fault from a [`FaultPlan`](crate::FaultPlan): crash,
+    /// pause, or slow the worker (see [`FaultAction`]). FIFO-ordered
+    /// behind queued work like every other message, so a crash lands
+    /// mid-drain.
+    Fault {
+        /// What happens to the worker.
+        action: FaultAction,
+    },
+    /// Supervisor heartbeat: reply with the worker's node id. A failed
+    /// *send* of this probe is how the idle-loop supervisor detects a
+    /// death it has no pending batch to trip over.
+    Ping {
+        /// Where to send the liveness acknowledgement.
+        reply: Sender<NodeId>,
     },
     /// Finish the remaining mailbox (it is drained, not dropped) and exit.
     Shutdown,

@@ -1,7 +1,7 @@
 //! Observability: per-node counters and the end-of-run report.
 
 use move_stats::LatencySummary;
-use move_types::NodeId;
+use move_types::{DocId, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Counters of one node worker.
@@ -19,6 +19,9 @@ pub struct NodeMetrics {
     pub deliveries: u64,
     /// Highest mailbox depth observed by the worker.
     pub queue_depth_hwm: u64,
+    /// Queued document tasks destroyed by an injected crash (0 on a
+    /// healthy node).
+    pub tasks_lost: u64,
     /// Wall-clock latency from router dispatch to match completion,
     /// nanoseconds.
     pub latency: LatencySummary,
@@ -38,7 +41,22 @@ pub struct RuntimeReport {
     pub tasks_shed: u64,
     /// Allocation refreshes that re-shipped index shards to the workers.
     pub allocation_updates: u64,
-    /// Per-node counters, indexed by node id.
+    /// Worker restarts the supervisor performed after detected deaths.
+    pub restarts: u64,
+    /// Batch sends retried across worker restarts.
+    pub retries: u64,
+    /// Document tasks re-routed to replica nodes after a failover.
+    pub failovers: u64,
+    /// Tasks lost to crashes: queued work destroyed with a dead worker
+    /// plus failover tasks that found no live replica. Always 0 in a
+    /// fault-free run.
+    pub tasks_lost: u64,
+    /// The documents those lost tasks belonged to (sorted, deduplicated) —
+    /// the at-most-once allowance: a document outside this list was
+    /// delivered completely, one inside it may be missing matches.
+    pub lost_docs: Vec<DocId>,
+    /// Per-node counters, indexed by node id (a node restarted mid-run
+    /// reports the merged counters of all its incarnations).
     pub nodes: Vec<NodeMetrics>,
     /// Match latency merged across all workers, nanoseconds.
     pub latency: LatencySummary,

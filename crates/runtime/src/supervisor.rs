@@ -1,0 +1,171 @@
+//! Worker supervision: the registration journal and the restart policy.
+//!
+//! A restarted worker thread starts from an **empty** mailbox, so whatever
+//! filter state the dead incarnation held must be rebuilt. The supervisor
+//! keeps, per node, exactly what the router has sent it: a **base index
+//! snapshot** (the shard cloned at engine start, replaced wholesale on
+//! every allocation refresh) plus the **registrations since** that
+//! snapshot. Replay = restart the worker with a clone of the base, then
+//! re-send the journaled registrations — byte-for-byte the same
+//! [`NodeMessage`]s the first incarnation received, so the rebuilt shard
+//! equals a fresh registration of the same filters (the property
+//! `fault_props.rs` pins down).
+//!
+//! Registrations are journaled *before* the send is attempted: if the send
+//! itself discovers the death, the replay already covers the message that
+//! found the body.
+
+use move_index::InvertedIndex;
+use move_types::{Filter, TermId};
+use std::time::Duration;
+
+use crate::engine::Transport;
+use crate::message::NodeMessage;
+
+/// What the router does when it finds a dead worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionPolicy {
+    /// `true`: restart the worker and replay its journal (self-healing
+    /// single-process mode). `false`: declare the node dead in the
+    /// scheme's membership and fail affected documents over to the
+    /// placement's replica set — the distributed-system stance Fig. 9c/9d
+    /// measures.
+    pub restart: bool,
+    /// How many times a batch send is retried across restarts before the
+    /// router gives up on the node and fails over.
+    pub max_retries: u32,
+    /// Wait between retry attempts (threaded driver only; the
+    /// deterministic harness runs with [`Duration::ZERO`]).
+    pub backoff: Duration,
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> Self {
+        Self {
+            restart: true,
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl SupervisionPolicy {
+    /// The failover stance: never restart, route around the dead node.
+    #[must_use]
+    pub fn failover() -> Self {
+        Self {
+            restart: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// One journaled registration, exactly as sent to the worker.
+#[derive(Debug, Clone)]
+pub(crate) struct JournaledRegistration {
+    pub filter: Filter,
+    pub terms: Option<Vec<TermId>>,
+}
+
+/// Per-node registration journal: base snapshot + registrations since.
+pub(crate) struct NodeJournal {
+    /// The worker's shard as of the last allocation update (or engine
+    /// start). A restarted worker is booted directly from a clone of this.
+    base: InvertedIndex,
+    /// Registrations sent after the base snapshot, in send order.
+    since: Vec<JournaledRegistration>,
+}
+
+/// The router's supervision state: one journal per node plus the degraded-
+/// mode counters that end up in the [`RuntimeReport`](crate::RuntimeReport).
+pub(crate) struct Supervisor {
+    journals: Vec<NodeJournal>,
+    /// Worker restarts performed.
+    pub restarts: u64,
+    /// Batch sends retried after a restart.
+    pub retries: u64,
+    /// Document tasks re-routed to replica nodes after a failover.
+    pub failovers: u64,
+}
+
+impl Supervisor {
+    /// Seeds one journal per node from the workers' initial shards.
+    pub(crate) fn new(bases: Vec<InvertedIndex>) -> Self {
+        Self {
+            journals: bases
+                .into_iter()
+                .map(|base| NodeJournal {
+                    base,
+                    since: Vec::new(),
+                })
+                .collect(),
+            restarts: 0,
+            retries: 0,
+            failovers: 0,
+        }
+    }
+
+    /// Journals a registration about to be sent to node `n`.
+    pub(crate) fn record_registration(
+        &mut self,
+        n: usize,
+        filter: &Filter,
+        terms: Option<&Vec<TermId>>,
+    ) {
+        self.journals[n].since.push(JournaledRegistration {
+            filter: filter.clone(),
+            terms: terms.cloned(),
+        });
+    }
+
+    /// Journals an allocation update: the new shard becomes the base and
+    /// the since-log resets (the shard already contains every filter the
+    /// log would replay).
+    pub(crate) fn record_snapshot(&mut self, n: usize, index: &InvertedIndex) {
+        self.journals[n].base = index.clone();
+        self.journals[n].since.clear();
+    }
+
+    /// The shard a restarted worker `n` must boot from.
+    pub(crate) fn base_index(&self, n: usize) -> InvertedIndex {
+        self.journals[n].base.clone()
+    }
+
+    /// Restarts worker `n` through the transport and replays its journal.
+    /// Returns `false` when the transport cannot restart workers.
+    pub(crate) fn restart_and_replay<T: Transport>(&mut self, n: usize, transport: &mut T) -> bool {
+        if !transport.restart(n, Box::new(self.base_index(n))) {
+            return false;
+        }
+        self.restarts += 1;
+        for reg in &self.journals[n].since {
+            // The fresh mailbox cannot be full or disconnected, but a
+            // failed send here would mean the restart raced another death;
+            // the next batch send detects it and supervises again.
+            let _ = transport.control(
+                n,
+                NodeMessage::RegisterFilter {
+                    filter: reg.filter.clone(),
+                    terms: reg.terms.clone(),
+                },
+            );
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use move_types::MatchSemantics;
+
+    #[test]
+    fn snapshot_resets_the_since_log() {
+        let base = InvertedIndex::new(MatchSemantics::Boolean);
+        let mut sup = Supervisor::new(vec![base.clone()]);
+        sup.record_registration(0, &Filter::new(1u64, [TermId(3)]), None);
+        assert_eq!(sup.journals[0].since.len(), 1);
+        sup.record_snapshot(0, &base);
+        assert!(sup.journals[0].since.is_empty());
+    }
+}

@@ -9,17 +9,22 @@ use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use move_core::MatchTask;
 use move_index::InvertedIndex;
 use move_stats::LatencyHistogram;
-use move_types::{FilterId, NodeId};
+use move_types::{DocId, FilterId, NodeId};
+use std::time::Duration;
 
+use crate::fault::FaultAction;
 use crate::message::{Delivery, DocTask, NodeMessage};
 use crate::metrics::NodeMetrics;
 
 /// What a worker hands back when it exits: its final counters plus the full
 /// latency histogram (the per-request [`NodeMetrics`] snapshot only carries
-/// the summary) so the router can merge an exact cluster-wide distribution.
+/// the summary) so the router can merge an exact cluster-wide distribution,
+/// and the documents whose queued tasks an injected crash destroyed (so
+/// delivery oracles can scope their at-most-once allowance).
 pub(crate) struct WorkerFinal {
     pub metrics: NodeMetrics,
     pub histogram: LatencyHistogram,
+    pub lost_docs: Vec<DocId>,
 }
 
 /// Outcome of one harness-driven scheduling step; see [`Worker::try_step`].
@@ -44,6 +49,12 @@ pub(crate) struct Worker {
     postings_scanned: u64,
     delivered: u64,
     queue_depth_hwm: u64,
+    /// Queued document tasks destroyed by an injected crash.
+    tasks_lost: u64,
+    /// The documents those lost tasks belonged to.
+    lost_docs: Vec<DocId>,
+    /// Per-task delay injected by [`FaultAction::Slow`].
+    slow: Option<Duration>,
     latency: LatencyHistogram,
 }
 
@@ -64,6 +75,9 @@ impl Worker {
             postings_scanned: 0,
             delivered: 0,
             queue_depth_hwm: 0,
+            tasks_lost: 0,
+            lost_docs: Vec::new(),
+            slow: None,
             latency: LatencyHistogram::new(),
         }
     }
@@ -127,9 +141,34 @@ impl Worker {
             NodeMessage::StatsReport { reply } => {
                 let _ = reply.send(self.snapshot());
             }
+            NodeMessage::Fault { action } => match action {
+                FaultAction::Crash => {
+                    self.crash();
+                    return false;
+                }
+                FaultAction::Pause(d) => std::thread::sleep(d),
+                FaultAction::Slow(d) => self.slow = Some(d),
+            },
+            NodeMessage::Ping { reply } => {
+                let _ = reply.send(self.node);
+            }
             NodeMessage::Shutdown => return false,
         }
         true
+    }
+
+    /// An injected crash: whatever is still queued dies with the worker.
+    /// The doomed document tasks are counted (and their doc ids recorded)
+    /// so the report can balance `dispatched == executed + lost`; control
+    /// messages in the queue are simply destroyed — the supervisor's
+    /// journal replay is what restores registrations.
+    fn crash(&mut self) {
+        while let Ok(msg) = self.mailbox.try_recv() {
+            if let NodeMessage::PublishDocument { batch } = msg {
+                self.tasks_lost += batch.len() as u64;
+                self.lost_docs.extend(batch.iter().map(|t| t.doc.id()));
+            }
+        }
     }
 
     /// Consumes the worker into its final counters and histogram.
@@ -138,10 +177,14 @@ impl Worker {
         WorkerFinal {
             metrics,
             histogram: self.latency,
+            lost_docs: self.lost_docs,
         }
     }
 
     fn execute(&mut self, task: DocTask) {
+        if let Some(d) = self.slow {
+            std::thread::sleep(d);
+        }
         let mut matched: Vec<FilterId> = Vec::new();
         match &task.task {
             // Forward steps never reach a worker (the router is the
@@ -183,6 +226,7 @@ impl Worker {
             postings_scanned: self.postings_scanned,
             deliveries: self.delivered,
             queue_depth_hwm: self.queue_depth_hwm,
+            tasks_lost: self.tasks_lost,
             latency: self.latency.summary(),
         }
     }

@@ -13,9 +13,10 @@
 //!   design property of the engine) unless the call site carries an
 //!   explicit `xtask:allow-unbounded` marker comment justifying it.
 //! * **no-catch-all** — the files that dispatch on the engine's protocol
-//!   enums (`worker.rs`, `engine.rs`, `interleave.rs`) must not contain
-//!   `_ =>` match arms, so adding a protocol variant is a compile error at
-//!   every dispatch site instead of a silently ignored message.
+//!   enums (`worker.rs`, `engine.rs`, `interleave.rs`, `fault.rs`,
+//!   `supervisor.rs`) must not contain `_ =>` match arms, so adding a
+//!   protocol variant is a compile error at every dispatch site instead
+//!   of a silently ignored message.
 //! * **pub-docs** — every public item in `move-core` and `move-runtime`
 //!   carries a doc comment (the hard-failure version of
 //!   `#![warn(missing_docs)]`).
@@ -334,6 +335,8 @@ fn is_protocol_dispatch(path: &str) -> bool {
         "crates/runtime/src/worker.rs"
             | "crates/runtime/src/engine.rs"
             | "crates/runtime/src/interleave.rs"
+            | "crates/runtime/src/fault.rs"
+            | "crates/runtime/src/supervisor.rs"
     )
 }
 

@@ -6,6 +6,8 @@ use move_types::{Document, Filter, TermId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+pub mod support;
+
 /// Generates `n` random filters of 1–3 terms over `vocab` terms.
 pub fn random_filters(n: u64, vocab: u32, seed: u64) -> Vec<Filter> {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -1,0 +1,112 @@
+//! Failure-oracle helpers shared between the simulated failure suite
+//! (`tests/failure.rs`), the live fault-injected suite
+//! (`tests/failure_live.rs`), and the journal-replay property tests —
+//! so the sim and the live engine are judged by the *same* oracles.
+
+use crate::{random_docs, random_filters};
+use move_core::{Dissemination, MoveScheme, PlacementStrategy, SystemConfig};
+use move_index::brute_force;
+use move_types::{DocId, Document, Filter, FilterId, MatchSemantics, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-document delivery sets, the shape both the sim's `publish` results
+/// and the live engine's delivery stream reduce to.
+pub type DeliverySets = BTreeMap<DocId, BTreeSet<FilterId>>;
+
+/// The §VI failure-experiment fixture: a 12-node / 3-rack allocated MOVE
+/// scheme (real replica grids) with 600 registered filters, observed and
+/// allocated, plus the filters for oracle computation. Deterministic in
+/// `seed` — building it twice gives byte-identical placements, which is
+/// what lets the live suite re-create "the same cluster" for its sim-side
+/// prediction.
+pub fn allocated_move(placement: PlacementStrategy, seed: u64) -> (MoveScheme, Vec<Filter>) {
+    let mut cfg = SystemConfig {
+        nodes: 12,
+        racks: 3,
+        capacity_per_node: 300,
+        expected_terms: 10_000,
+        placement,
+        ..SystemConfig::default()
+    };
+    cfg.seed = seed;
+    let filters = random_filters(600, 80, seed);
+    let sample = random_docs(60, 90, 12, seed ^ 0x5A);
+    let mut scheme = MoveScheme::new(cfg).expect("valid config");
+    for f in &filters {
+        scheme.register(f).expect("register");
+    }
+    scheme.observe_corpus(&sample);
+    scheme.allocate().expect("allocate");
+    (scheme, filters)
+}
+
+/// The brute-force oracle: the exact match set per document over the full
+/// filter population (what a fault-free run must deliver).
+pub fn oracle_sets(filters: &[Filter], docs: &[Document]) -> DeliverySets {
+    docs.iter()
+        .map(|d| {
+            let want: BTreeSet<FilterId> = brute_force(filters, d, MatchSemantics::Boolean)
+                .into_iter()
+                .collect();
+            (d.id(), want)
+        })
+        .collect()
+}
+
+/// The subset-of-oracle soundness check (the paper's "no false
+/// deliveries"): every delivered (document, filter) pair must appear in
+/// the oracle. Panics with `label` context on the first violation.
+pub fn assert_deliveries_sound(label: &str, oracle: &DeliverySets, delivered: &DeliverySets) {
+    for (doc, got) in delivered {
+        let want = oracle.get(doc).cloned().unwrap_or_default();
+        assert!(
+            got.is_subset(&want),
+            "{label}: false delivery for doc {doc}: got {got:?}, oracle {want:?}"
+        );
+    }
+}
+
+/// Delivered-pair availability over `docs`: delivered (doc, filter) pairs
+/// divided by oracle pairs — the delivery-side analog of the scheme's
+/// `filter_availability` (the Fig. 9d metric). Returns 1.0 when the
+/// oracle expects nothing.
+pub fn delivery_ratio(oracle: &DeliverySets, delivered: &DeliverySets, docs: &[DocId]) -> f64 {
+    let mut want_pairs = 0usize;
+    let mut got_pairs = 0usize;
+    for doc in docs {
+        let want = oracle.get(doc).cloned().unwrap_or_default();
+        let got = delivered.get(doc).cloned().unwrap_or_default();
+        want_pairs += want.len();
+        got_pairs += got.intersection(&want).count();
+    }
+    if want_pairs == 0 {
+        1.0
+    } else {
+        got_pairs as f64 / want_pairs as f64
+    }
+}
+
+/// Publishes `docs` through a (possibly degraded) sim scheme and collects
+/// its per-document delivery sets — the sim-side prediction the live
+/// engine is compared against.
+pub fn sim_delivery(scheme: &mut MoveScheme, docs: &[Document]) -> DeliverySets {
+    docs.iter()
+        .map(|d| {
+            let got: BTreeSet<FilterId> = scheme
+                .publish(0.0, d)
+                .expect("sim publish")
+                .matched
+                .into_iter()
+                .collect();
+            (d.id(), got)
+        })
+        .collect()
+}
+
+/// Crashes `nodes` in the scheme's membership — the sim-side mirror of a
+/// live [`FaultPlan`](move_runtime::FaultPlan)'s crash set.
+pub fn crash_all(scheme: &mut MoveScheme, nodes: &[NodeId]) {
+    for &n in nodes {
+        scheme.cluster_mut().membership_mut().crash(n);
+    }
+}

@@ -3,36 +3,15 @@
 //! gossip membership converges.
 
 use move_cluster::{FailureMode, Membership, NodeStatus};
-use move_core::{Dissemination, MoveScheme, PlacementStrategy, SystemConfig};
+use move_core::{Dissemination, PlacementStrategy};
 use move_index::brute_force;
-use move_integration_tests::{random_docs, random_filters};
+use move_integration_tests::random_docs;
+use move_integration_tests::support::{
+    allocated_move, assert_deliveries_sound, oracle_sets, sim_delivery,
+};
 use move_types::{MatchSemantics, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-fn allocated_move(
-    placement: PlacementStrategy,
-    seed: u64,
-) -> (MoveScheme, Vec<move_types::Filter>) {
-    let mut cfg = SystemConfig {
-        nodes: 12,
-        racks: 3,
-        capacity_per_node: 300,
-        expected_terms: 10_000,
-        placement,
-        ..SystemConfig::default()
-    };
-    cfg.seed = seed;
-    let filters = random_filters(600, 80, seed);
-    let sample = random_docs(60, 90, 12, seed ^ 0x5A);
-    let mut scheme = MoveScheme::new(cfg).expect("valid config");
-    for f in &filters {
-        scheme.register(f).expect("register");
-    }
-    scheme.observe_corpus(&sample);
-    scheme.allocate().expect("allocate");
-    (scheme, filters)
-}
 
 #[test]
 fn deliveries_under_failure_are_a_subset_of_the_oracle() {
@@ -42,14 +21,9 @@ fn deliveries_under_failure_are_a_subset_of_the_oracle() {
     scheme
         .cluster_mut()
         .fail_fraction(0.25, FailureMode::RandomNodes, &mut rng);
-    for d in &docs {
-        let got = scheme.publish(0.0, d).expect("publish").matched;
-        let want = brute_force(&filters, d, MatchSemantics::Boolean);
-        assert!(
-            got.iter().all(|id| want.contains(id)),
-            "delivered a non-matching filter under failure"
-        );
-    }
+    let oracle = oracle_sets(&filters, &docs);
+    let delivered = sim_delivery(&mut scheme, &docs);
+    assert_deliveries_sound("sim hybrid @0.25", &oracle, &delivered);
 }
 
 #[test]

@@ -1,0 +1,236 @@
+//! The sim failure oracles, run against the **live** engine with a seeded
+//! [`FaultPlan`]: a kill-30% plan crashes workers mid-run while real
+//! threads drain real mailboxes, and the same shared oracles that judge
+//! the simulator (`move_integration_tests::support`) judge the wall-clock
+//! run — zero false deliveries, completion under a watchdog bound, and
+//! post-crash availability no worse than the sim's Fig. 9d prediction for
+//! the identical placement and dead set.
+
+use move_core::{Dissemination, PlacementStrategy};
+use move_integration_tests::random_docs;
+use move_integration_tests::support::{
+    allocated_move, assert_deliveries_sound, crash_all, delivery_ratio, oracle_sets, sim_delivery,
+    DeliverySets,
+};
+use move_runtime::{
+    Engine, FaultPlan, OverflowPolicy, RuntimeConfig, RuntimeReport, SupervisionPolicy,
+};
+use move_types::DocId;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+const NODES: usize = 12;
+const KILL_AT: u64 = 60;
+
+fn fault_config(supervision: SupervisionPolicy) -> RuntimeConfig {
+    RuntimeConfig {
+        mailbox_capacity: 4,
+        command_capacity: 16,
+        overflow: OverflowPolicy::Block,
+        batch_size: 2,
+        flush_interval: Duration::from_millis(1),
+        supervision,
+    }
+}
+
+/// Drives the engine through `docs` under `plan` and returns the report
+/// plus per-document delivery sets, with shutdown under a watchdog bound
+/// (a wedged drain is a failed test, not a hung CI job).
+fn run_live(
+    scheme: Box<dyn Dissemination + Send>,
+    config: RuntimeConfig,
+    plan: FaultPlan,
+    docs: &[move_types::Document],
+) -> (RuntimeReport, DeliverySets) {
+    let engine = Engine::start_with_faults(scheme, config, plan).expect("engine starts");
+    let deliveries = engine.deliveries();
+    for d in docs {
+        engine.publish(d.clone());
+    }
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(engine.shutdown());
+    });
+    let report = match rx.recv_timeout(Duration::from_secs(120)) {
+        Ok(result) => result.expect("clean shutdown"),
+        Err(_) => panic!("engine shutdown exceeded 120s under faults: deadlock suspected"),
+    };
+    let mut delivered: DeliverySets = DeliverySets::new();
+    for d in deliveries.try_iter() {
+        delivered.entry(d.doc).or_default().extend(d.matched);
+    }
+    (report, delivered)
+}
+
+/// The acceptance criterion: a seeded plan kills 30% of the workers
+/// mid-run under the failover policy. The live engine must complete the
+/// workload, deliver zero false pairs, and — for documents published after
+/// the last crash landed — deliver *exactly* what the simulator delivers
+/// on the identical placement with the identical dead set, so the live
+/// availability is ≥ the sim's Fig. 9d prediction by construction.
+#[test]
+fn kill_30_percent_failover_matches_the_sim_prediction() {
+    for (placement, name) in [
+        (PlacementStrategy::Hybrid, "move"),
+        (PlacementStrategy::Ring, "ring"),
+        (PlacementStrategy::Rack, "rack"),
+    ] {
+        let (scheme, filters) = allocated_move(placement, 11);
+        let docs = random_docs(200, 90, 12, 0xD0C);
+        let oracle = oracle_sets(&filters, &docs);
+        let plan = FaultPlan::kill_fraction(NODES, 0.3, KILL_AT, 0x9C0);
+        let dead = plan.crashed_nodes();
+        assert_eq!(dead.len(), 4, "30% of 12 nodes");
+
+        let (report, delivered) = run_live(
+            Box::new(scheme),
+            fault_config(SupervisionPolicy::failover()),
+            plan,
+            &docs,
+        );
+        assert_eq!(
+            report.docs_published,
+            docs.len() as u64,
+            "{name}: completed"
+        );
+        assert_eq!(report.restarts, 0, "{name}: failover policy never restarts");
+        assert_deliveries_sound(name, &oracle, &delivered);
+
+        // The sim prediction: same placement (same seed ⇒ byte-identical
+        // grids), same dead set, same documents.
+        let (mut sim, _) = allocated_move(placement, 11);
+        crash_all(&mut sim, &dead);
+        // (Ring/Hybrid replication can keep availability at exactly 1.0
+        // for this dead set — that's the point of Fig. 9d — so no lower
+        // bound is asserted on the prediction itself.)
+        let availability = sim.filter_availability();
+        let predicted = sim_delivery(&mut sim, &docs);
+
+        // Documents routed once every crash has landed *and* been
+        // discovered (the supervisor learns lazily, on the first failed
+        // send) must match the sim set exactly — unless the report names
+        // them lost (a batch that reached a victim's mailbox during the
+        // staggered kill window dies in the crash drain: at-most-once).
+        let lost: BTreeSet<DocId> = report.lost_docs.iter().copied().collect();
+        let tail: Vec<DocId> = docs
+            .iter()
+            .map(move_types::Document::id)
+            .filter(|id| id.0 > KILL_AT + dead.len() as u64 + 8)
+            .collect();
+        let mut exact = 0usize;
+        for id in &tail {
+            if lost.contains(id) {
+                continue;
+            }
+            let got = delivered.get(id).cloned().unwrap_or_default();
+            let want = predicted.get(id).cloned().unwrap_or_default();
+            assert_eq!(
+                got, want,
+                "{name}: post-crash doc {id} diverged from the sim prediction"
+            );
+            exact += 1;
+        }
+        assert!(exact > 0, "{name}: the tail comparison never fired");
+
+        let surviving_tail: Vec<DocId> = tail
+            .iter()
+            .copied()
+            .filter(|id| !lost.contains(id))
+            .collect();
+        let live_ratio = delivery_ratio(&oracle, &delivered, &surviving_tail);
+        let sim_ratio = delivery_ratio(&oracle, &predicted, &surviving_tail);
+        assert!(
+            live_ratio >= sim_ratio - 1e-12,
+            "{name}: live availability {live_ratio} fell below the sim \
+             prediction {sim_ratio} (filter_availability {availability})"
+        );
+    }
+}
+
+/// The same 30% kill under **restart** supervision: the supervisor must
+/// respawn every victim from its registration journal, so routing never
+/// degrades — every document the report does not name lost is delivered
+/// exactly per the full fault-free oracle.
+#[test]
+fn kill_30_percent_with_restarts_is_at_most_once() {
+    let (scheme, filters) = allocated_move(PlacementStrategy::Hybrid, 13);
+    let docs = random_docs(200, 90, 12, 0xD0C ^ 13);
+    let oracle = oracle_sets(&filters, &docs);
+    let plan = FaultPlan::kill_fraction(NODES, 0.3, KILL_AT, 0x9C1);
+    let victims = plan.crashed_nodes().len() as u64;
+
+    let (report, delivered) = run_live(
+        Box::new(scheme),
+        fault_config(SupervisionPolicy::default()),
+        plan,
+        &docs,
+    );
+    assert_eq!(report.docs_published, docs.len() as u64);
+    assert!(
+        report.restarts >= victims,
+        "every victim must be restarted at least once \
+         ({} restarts for {victims} victims)",
+        report.restarts
+    );
+    assert_eq!(report.failovers, 0, "restart mode must not fail over");
+    assert_deliveries_sound("move restart @0.3", &oracle, &delivered);
+
+    let lost: BTreeSet<DocId> = report.lost_docs.iter().copied().collect();
+    for d in &docs {
+        if lost.contains(&d.id()) {
+            continue; // the documented at-most-once allowance
+        }
+        let got = delivered.get(&d.id()).cloned().unwrap_or_default();
+        assert_eq!(
+            got,
+            oracle[&d.id()],
+            "non-lost doc {} must be delivered exactly",
+            d.id()
+        );
+    }
+}
+
+/// The availability-monotone oracle, live: the delivered-pair ratio over
+/// post-crash documents never rises as the kill fraction grows (the same
+/// plan seed makes the smaller kill's victim set a prefix of the larger's,
+/// so the dead sets are nested). Ratios are taken over each run's
+/// *surviving* post-crash documents — routing-determined deliveries, not
+/// in-flight race noise — which is what makes this deterministic.
+#[test]
+fn live_availability_is_monotone_in_the_kill_fraction() {
+    let mut last = f64::INFINITY;
+    for kill in [0.0, 0.2, 0.4] {
+        let (scheme, filters) = allocated_move(PlacementStrategy::Hybrid, 17);
+        let docs = random_docs(120, 90, 12, 0xD0C ^ 17);
+        let oracle = oracle_sets(&filters, &docs);
+        let plan = FaultPlan::kill_fraction(NODES, kill, 30, 0x9C2);
+        let (report, delivered) = run_live(
+            Box::new(scheme),
+            fault_config(SupervisionPolicy::failover()),
+            plan,
+            &docs,
+        );
+        assert_deliveries_sound("monotone sweep", &oracle, &delivered);
+        let lost: BTreeSet<DocId> = report.lost_docs.iter().copied().collect();
+        let tail: Vec<DocId> = docs
+            .iter()
+            .map(move_types::Document::id)
+            .filter(|id| id.0 > 48 && !lost.contains(id))
+            .collect();
+        let ratio = delivery_ratio(&oracle, &delivered, &tail);
+        if kill == 0.0 {
+            let everything: Vec<DocId> = docs.iter().map(move_types::Document::id).collect();
+            let full = delivery_ratio(&oracle, &delivered, &everything);
+            assert!(
+                (full - 1.0).abs() < 1e-12,
+                "fault-free live run must deliver everything (got {full})"
+            );
+            assert_eq!(report.tasks_lost, 0);
+        }
+        assert!(
+            ratio <= last + 1e-12,
+            "availability rose from {last} to {ratio} at kill={kill}"
+        );
+        last = ratio;
+    }
+}

@@ -4,15 +4,24 @@
 //! explored end to end (registration racing publishes, shutdown racing a
 //! half-drained cluster, allocation refreshes landing mid-stream, and
 //! shed-vs-block decisions at full mailboxes). Across **180 seeded
-//! schedules** the run must terminate (no deadlock, enforced inside the
-//! harness), never panic, and never lose a non-shed document.
+//! fault-free schedules** the run must terminate (no deadlock, enforced
+//! inside the harness), never panic, and never lose a non-shed document.
+//!
+//! A further **102 fault-injected schedules** crash workers mid-stream
+//! (crash-during-publish, crash-during-drain, crash racing a registration)
+//! under both supervision stances: with restarts the oracle is documented
+//! at-most-once (sound deliveries; exact for every document that lost no
+//! task to a crash drain; `dispatched == executed + lost` balances
+//! exactly), and under replica failover — including the
+//! failover-then-the-node-returns transition — deliveries stay sound and
+//! documents published after the cluster heals are delivered exactly.
 
 use move_core::{Dissemination, IlScheme, MoveScheme, RsScheme, SystemConfig};
 use move_index::brute_force;
 use move_integration_tests::{random_docs, random_filters};
-use move_runtime::interleave::{run_schedule, InterleaveConfig, ScriptOp};
-use move_runtime::OverflowPolicy;
-use move_types::{DocId, Filter, FilterId, MatchSemantics, TermId};
+use move_runtime::interleave::{run_schedule, InterleaveConfig, InterleaveReport, ScriptOp};
+use move_runtime::{OverflowPolicy, SupervisionPolicy};
+use move_types::{DocId, Filter, FilterId, MatchSemantics, NodeId, TermId};
 use std::collections::{BTreeMap, BTreeSet};
 
 enum Kind {
@@ -65,9 +74,57 @@ fn expected_sets(pre: &[Filter], script: &[ScriptOp]) -> BTreeMap<DocId, BTreeSe
                     .collect();
                 out.insert(d.id(), want);
             }
+            // Faults change who answers, never what the answer is.
+            ScriptOp::Crash(_) | ScriptOp::Restart(_) | ScriptOp::Delay { .. } => {}
         }
     }
     out
+}
+
+/// The base fault-mode oracle: every delivery is sound (a subset of the
+/// brute-force match set — **zero false deliveries**, the acceptance
+/// criterion), and the books balance step-for-step: the sim crashes a
+/// worker and drops its mailbox in one atomic scheduler step, so
+/// `dispatched == executed + lost` holds with equality, not approximately.
+fn assert_sound(
+    label: &str,
+    expected: &BTreeMap<DocId, BTreeSet<FilterId>>,
+    out: &InterleaveReport,
+) {
+    for (doc, got) in &out.delivered {
+        let want = expected.get(doc).cloned().unwrap_or_default();
+        assert!(
+            got.is_subset(&want),
+            "{label}: false delivery for doc {doc}: {got:?} vs {want:?}"
+        );
+    }
+    let executed: u64 = out.report.nodes.iter().map(|n| n.doc_tasks).sum();
+    let lost_in_queues: u64 = out.report.nodes.iter().map(|n| n.tasks_lost).sum();
+    assert_eq!(
+        out.report.tasks_dispatched,
+        executed + lost_in_queues,
+        "{label}: dispatched tasks must execute or be counted lost"
+    );
+}
+
+/// The restart-mode delivery oracle: [`assert_sound`] plus exactness for
+/// every document that lost no task to a crash drain or a shed — under
+/// restart supervision routing never changes, so the *only* permitted gap
+/// is a task that died inside a crashed worker's queue (documented
+/// at-most-once), and the report must name those documents.
+fn assert_at_most_once(
+    label: &str,
+    expected: &BTreeMap<DocId, BTreeSet<FilterId>>,
+    out: &InterleaveReport,
+) {
+    assert_sound(label, expected, out);
+    for (doc, want) in expected {
+        if out.shed_docs.contains(doc) || out.lost_docs.contains(doc) {
+            continue; // the documented at-most-once allowance
+        }
+        let got = out.delivered.get(doc).cloned().unwrap_or_default();
+        assert_eq!(&got, want, "{label}: unaffected doc {doc} incomplete");
+    }
 }
 
 /// 90 schedules (3 schemes × 30 seeds) under the blocking policy: complete
@@ -94,6 +151,7 @@ fn block_policy_delivers_exactly_under_all_schedules() {
                 mailbox_capacity: 1 + (seed as usize % 3),
                 overflow: OverflowPolicy::Block,
                 batch_size: 1 + (seed as usize % 2),
+                ..InterleaveConfig::default()
             };
             let out = run_schedule(scheme, script.clone(), &icfg)
                 .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
@@ -138,6 +196,7 @@ fn shed_policy_is_sound_and_balances_the_books() {
                 mailbox_capacity: 1,
                 overflow: OverflowPolicy::Shed,
                 batch_size: 1,
+                ..InterleaveConfig::default()
             };
             let out = run_schedule(scheme, script.clone(), &icfg)
                 .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
@@ -201,6 +260,7 @@ fn move_allocation_refresh_races_are_benign() {
             mailbox_capacity: 2,
             overflow: OverflowPolicy::Block,
             batch_size: 1,
+            ..InterleaveConfig::default()
         };
         let out = run_schedule(Box::new(scheme), script.clone(), &icfg)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -217,5 +277,187 @@ fn move_allocation_refresh_races_are_benign() {
                 d.id()
             );
         }
+    }
+}
+
+/// 36 fault schedules (3 schemes × 12 seeds) under restart supervision:
+/// two seeded crashes land mid-publish-stream and late (crash-during-drain
+/// at shutdown), plus a scheduling delay and a racing `Restart`. The
+/// supervisor must restart the dead workers from their registration
+/// journals, and delivery must be exactly at-most-once: sound everywhere,
+/// exact for every document that lost no task, books balanced exactly.
+#[test]
+fn crash_with_restart_is_at_most_once() {
+    let cfg = SystemConfig::small_test();
+    let filters = random_filters(120, 50, 0xA11);
+    let docs = random_docs(20, 60, 10, 0xD0C);
+    let (pre, live) = filters.split_at(filters.len() / 2);
+    let base_script = interleaved_script(live, &docs);
+    let expected = expected_sets(pre, &base_script);
+
+    for kind in [Kind::Move, Kind::Il, Kind::Rs] {
+        let mut total_restarts = 0u64;
+        for seed in 300..312u64 {
+            let mut scheme = build(&kind, &cfg);
+            for f in pre {
+                scheme.register(f).expect("register");
+            }
+            let nodes = scheme.cluster().len() as u32;
+            let name = scheme.name();
+            let a = NodeId(seed as u32 % nodes);
+            let b = NodeId((seed as u32 + 1) % nodes);
+            let mut script = base_script.clone();
+            let len = script.len();
+            // Inserting fault ops shifts no register/publish past another,
+            // so `expected` (computed on the fault-free script) still holds.
+            script.insert(2 * len / 3, ScriptOp::Crash(b));
+            script.insert(len / 3, ScriptOp::Delay { node: b, steps: 4 });
+            script.insert(seed as usize % len, ScriptOp::Crash(a));
+            script.push(ScriptOp::Restart(a));
+            let icfg = InterleaveConfig {
+                seed,
+                mailbox_capacity: 1 + (seed as usize % 3),
+                overflow: OverflowPolicy::Block,
+                batch_size: 1 + (seed as usize % 2),
+                ..InterleaveConfig::default()
+            };
+            let out = run_schedule(scheme, script, &icfg)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            assert!(
+                out.shed_docs.is_empty(),
+                "{name} seed {seed}: Block must not shed"
+            );
+            assert_eq!(out.report.docs_published, docs.len() as u64);
+            assert_at_most_once(&format!("{name} seed {seed}"), &expected, &out);
+            total_restarts += out.report.restarts;
+        }
+        assert!(
+            total_restarts > 0,
+            "the 12-seed sweep never exercised a supervised restart"
+        );
+    }
+}
+
+/// 30 fault schedules of allocated MOVE (real replica grids) under the
+/// failover policy: two crashes mid-stream, no restarts allowed. Stranded
+/// documents must be re-routed through the scheme — which fails the hop
+/// over to live replica rows — with zero false deliveries and balanced
+/// books, and the sweep must actually exercise the failover path.
+#[test]
+fn failover_reroutes_documents_to_replicas() {
+    let mut cfg = SystemConfig::small_test();
+    cfg.capacity_per_node = 150; // force real grids (replica rows)
+    let filters = random_filters(200, 50, 0xF41);
+    let sample = random_docs(30, 60, 10, 0x5A);
+    let docs = random_docs(25, 60, 10, 0xD0C);
+    let base_script: Vec<ScriptOp> = docs.iter().map(|d| ScriptOp::Publish(d.clone())).collect();
+    let expected = expected_sets(&filters, &base_script);
+
+    let mut any_failover = false;
+    for seed in 400..430u64 {
+        let mut scheme = MoveScheme::new(cfg.clone()).expect("valid config");
+        for f in &filters {
+            scheme.register(f).expect("register");
+        }
+        scheme.observe_corpus(&sample);
+        scheme.allocate().expect("allocate");
+        let nodes = scheme.cluster().len() as u32;
+        let a = NodeId(seed as u32 % nodes);
+        let b = NodeId((seed as u32 + 3) % nodes);
+        let mut script = base_script.clone();
+        script.insert(15, ScriptOp::Crash(b));
+        script.insert(1 + seed as usize % 10, ScriptOp::Crash(a));
+        let icfg = InterleaveConfig {
+            seed,
+            mailbox_capacity: 2,
+            overflow: OverflowPolicy::Block,
+            batch_size: 1 + (seed as usize % 2),
+            supervision: SupervisionPolicy::failover(),
+        };
+        let out = run_schedule(Box::new(scheme), script, &icfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_sound(&format!("move seed {seed}"), &expected, &out);
+        assert_eq!(
+            out.report.restarts, 0,
+            "seed {seed}: the failover policy must never restart"
+        );
+        any_failover |= out.report.failovers > 0;
+    }
+    assert!(
+        any_failover,
+        "the 30-seed sweep never exercised the failover path"
+    );
+}
+
+/// 36 fault schedules (3 schemes × 12 seeds) of the failover-then-return
+/// transition: a node is crashed mid-stream under the failover policy,
+/// traffic routes around the corpse, then the node is restarted from its
+/// journal and readmitted to the membership. On every schedule where the
+/// revival actually fired (the crash won the race to the `Restart` op),
+/// documents published after the cluster healed must be delivered exactly.
+#[test]
+fn failover_then_original_node_returns() {
+    let cfg = SystemConfig::small_test();
+    let filters = random_filters(120, 50, 0xA11);
+    let docs = random_docs(20, 60, 10, 0xD0C);
+    let expected = expected_sets(
+        &filters,
+        &docs
+            .iter()
+            .map(|d| ScriptOp::Publish(d.clone()))
+            .collect::<Vec<_>>(),
+    );
+
+    for kind in [Kind::Move, Kind::Il, Kind::Rs] {
+        let mut healed_seeds = 0u32;
+        for seed in 500..512u64 {
+            let mut scheme = build(&kind, &cfg);
+            for f in &filters {
+                scheme.register(f).expect("register");
+            }
+            let nodes = scheme.cluster().len() as u32;
+            let name = scheme.name();
+            let victim = NodeId(seed as u32 % nodes);
+            let mut script: Vec<ScriptOp> = Vec::with_capacity(docs.len() + 2);
+            for (i, d) in docs.iter().enumerate() {
+                if i == 12 {
+                    script.push(ScriptOp::Crash(victim));
+                }
+                if i == 16 {
+                    script.push(ScriptOp::Restart(victim));
+                }
+                script.push(ScriptOp::Publish(d.clone()));
+            }
+            let icfg = InterleaveConfig {
+                seed,
+                mailbox_capacity: 2,
+                overflow: OverflowPolicy::Block,
+                batch_size: 1,
+                supervision: SupervisionPolicy::failover(),
+            };
+            let out = run_schedule(scheme, script, &icfg)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            assert_sound(&format!("{name} seed {seed}"), &expected, &out);
+            if out.report.restarts >= 1 {
+                healed_seeds += 1;
+                // The cluster is whole again: the tail must be exact.
+                for d in &docs[16..] {
+                    if out.lost_docs.contains(&d.id()) || out.shed_docs.contains(&d.id()) {
+                        continue;
+                    }
+                    let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+                    assert_eq!(
+                        &got,
+                        &expected[&d.id()],
+                        "{name} seed {seed}: post-revival doc {} incomplete",
+                        d.id()
+                    );
+                }
+            }
+        }
+        assert!(
+            healed_seeds > 0,
+            "the 12-seed sweep never completed a failover-then-return cycle"
+        );
     }
 }

@@ -7,7 +7,7 @@
 use move_core::{Dissemination, IlScheme, MoveScheme, RsScheme, SystemConfig};
 use move_index::brute_force;
 use move_integration_tests::{random_docs, random_filters};
-use move_runtime::{Engine, OverflowPolicy, RuntimeConfig};
+use move_runtime::{Engine, OverflowPolicy, RuntimeConfig, RuntimeReport};
 use move_types::{Document, Filter, FilterId, MatchSemantics};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -29,6 +29,35 @@ fn tight_config() -> RuntimeConfig {
         overflow: OverflowPolicy::Block,
         batch_size: 3,
         flush_interval: Duration::from_millis(1),
+        ..RuntimeConfig::default()
+    }
+}
+
+/// A fault-free run must report a quiet supervisor: no worker was ever
+/// restarted, no document failed over, nothing was lost. Asserted on the
+/// drained-engine report `shutdown()` returns, so it covers the full run.
+fn assert_fault_free(name: &str, report: &RuntimeReport) {
+    assert_eq!(report.restarts, 0, "{name}: restart in a fault-free run");
+    assert_eq!(report.retries, 0, "{name}: retry in a fault-free run");
+    assert_eq!(report.failovers, 0, "{name}: failover in a fault-free run");
+    assert_eq!(
+        report.tasks_lost, 0,
+        "{name}: lost tasks in a fault-free run"
+    );
+}
+
+/// Runs `engine.shutdown()` under a watchdog so a drain that wedges shows
+/// up as a bounded, descriptive panic instead of a CI-level timeout. The
+/// limit is a *bound*, not a sleep — the happy path returns the moment the
+/// drain completes.
+fn shutdown_within(engine: Engine, limit: Duration) -> RuntimeReport {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(engine.shutdown());
+    });
+    match rx.recv_timeout(limit) {
+        Ok(result) => result.expect("clean shutdown"),
+        Err(_) => panic!("engine shutdown exceeded {limit:?}: deadlock suspected"),
     }
 }
 
@@ -59,6 +88,7 @@ fn runtime_union_equals_brute_force_for_all_schemes() {
             assert_eq!(report.scheme, name);
             assert_eq!(report.docs_published, docs.len() as u64);
             assert_eq!(report.tasks_shed, 0, "Block policy never sheds");
+            assert_fault_free(name, &report);
         }
     }
 }
@@ -97,6 +127,7 @@ fn runtime_move_stays_complete_across_allocation_refreshes() {
         assert_eq!(got, want, "move diverged on doc {}", d.id());
     }
     let report = engine.shutdown().expect("clean shutdown");
+    assert_fault_free("move", &report);
     assert!(
         report.allocation_updates > 0,
         "the stream must have re-shipped shards at least once \
@@ -126,10 +157,12 @@ fn stress_blocking_backpressure_loses_nothing() {
         for d in &docs {
             engine.publish(d.clone());
         }
-        // No flush: shutdown itself must drain every queued batch.
-        let report = engine.shutdown().expect("clean shutdown");
+        // No flush: shutdown itself must drain every queued batch, within
+        // a watchdog bound so a backpressure deadlock fails fast.
+        let report = shutdown_within(engine, Duration::from_secs(120));
         assert_eq!(report.docs_published, docs.len() as u64);
         assert_eq!(report.tasks_shed, 0);
+        assert_fault_free(name, &report);
 
         let mut by_doc: BTreeMap<_, Vec<FilterId>> = BTreeMap::new();
         for d in deliveries.try_iter() {
@@ -175,6 +208,7 @@ fn shed_policy_accounts_for_every_task_and_stays_sound() {
         engine.publish(d.clone());
     }
     let report = engine.shutdown().expect("clean shutdown");
+    assert_fault_free("rs", &report);
     // RS floods each document to every member of one replica group:
     // 6 nodes over 3 groups = exactly 2 full-index tasks per document.
     assert_eq!(
