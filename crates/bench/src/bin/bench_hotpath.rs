@@ -1,0 +1,156 @@
+//! Hot-path microbenchmark: docs/sec and per-document match latency for
+//! IL, RS, and MOVE through both the single-threaded simulator publish
+//! path and the live threaded engine.
+//!
+//! Where `bench_runtime` measures the whole system (queueing, backpressure,
+//! fault machinery), this harness isolates the *match kernel* trajectory:
+//! it is the yardstick every data-plane optimisation is judged against.
+//! Emits `results/BENCH_hotpath.json`; EXPERIMENTS.md keeps the
+//! before/after table.
+
+use move_bench::{
+    build_scheme, paper_system, ExperimentConfig, Scale, SchemeKind, Table, Workload,
+};
+use move_runtime::{Engine, RuntimeConfig};
+use move_stats::LatencyHistogram;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct HotpathRun {
+    scheme: &'static str,
+    /// `sim` = synchronous `Dissemination::publish` loop on one thread;
+    /// `live` = `move-runtime` engine with real worker threads.
+    mode: &'static str,
+    elapsed_secs: f64,
+    docs_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    deliveries: u64,
+    postings_scanned: u64,
+}
+
+#[derive(Serialize)]
+struct HotpathReport {
+    scale: f64,
+    nodes: usize,
+    filters: usize,
+    docs: usize,
+    runs: Vec<HotpathRun>,
+}
+
+fn sim_run(kind: SchemeKind, cfg: &ExperimentConfig, w: &Workload) -> HotpathRun {
+    let mut scheme = build_scheme(kind, cfg, w);
+    let mut lat = LatencyHistogram::new();
+    let mut deliveries = 0u64;
+    let start = Instant::now();
+    for d in &w.docs {
+        let t0 = Instant::now();
+        let out = scheme.publish(0.0, d).expect("sim publish cannot fail");
+        lat.record(t0.elapsed().as_nanos() as u64);
+        deliveries += out.matched.len() as u64;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let postings_scanned = scheme
+        .cluster()
+        .ledgers()
+        .all()
+        .iter()
+        .map(|l| l.postings_scanned)
+        .sum();
+    let s = lat.summary();
+    HotpathRun {
+        scheme: kind.label(),
+        mode: "sim",
+        elapsed_secs: elapsed,
+        docs_per_sec: w.docs.len() as f64 / elapsed,
+        p50_us: s.p50 as f64 / 1e3,
+        p99_us: s.p99 as f64 / 1e3,
+        deliveries,
+        postings_scanned,
+    }
+}
+
+fn live_run(kind: SchemeKind, cfg: &ExperimentConfig, w: &Workload) -> HotpathRun {
+    let scheme = build_scheme(kind, cfg, w);
+    let engine = Engine::start(scheme, RuntimeConfig::default()).expect("spawn engine threads");
+    let start = Instant::now();
+    for d in &w.docs {
+        engine.publish(d.clone());
+    }
+    engine.flush();
+    let elapsed = start.elapsed().as_secs_f64();
+    let report = engine.shutdown().expect("engine ran to completion");
+    HotpathRun {
+        scheme: kind.label(),
+        mode: "live",
+        elapsed_secs: elapsed,
+        docs_per_sec: w.docs.len() as f64 / elapsed,
+        p50_us: report.latency.p50 as f64 / 1e3,
+        p99_us: report.latency.p99 as f64 / 1e3,
+        deliveries: report.deliveries(),
+        postings_scanned: report.postings_scanned(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("bench_hotpath ({scale})");
+    let nodes = 20;
+    let w = Workload::paper_cluster(scale)
+        .slice_filters(scale.count(1_000_000, 200) as usize)
+        .slice_docs(scale.count(100_000, 500) as usize);
+    let cfg = ExperimentConfig::new(paper_system(scale, nodes, w.vocabulary));
+
+    let mut table = Table::new(
+        "bench_hotpath",
+        &[
+            "scheme",
+            "mode",
+            "elapsed_s",
+            "docs_per_s",
+            "p50_us",
+            "p99_us",
+            "deliveries",
+            "postings",
+        ],
+    );
+    let mut runs = Vec::new();
+    for kind in [SchemeKind::Rs, SchemeKind::Il, SchemeKind::Move] {
+        for live in [false, true] {
+            let run = if live {
+                live_run(kind, &cfg, &w)
+            } else {
+                sim_run(kind, &cfg, &w)
+            };
+            table.row(&[
+                run.scheme.to_owned(),
+                run.mode.to_owned(),
+                format!("{:.3}", run.elapsed_secs),
+                format!("{:.0}", run.docs_per_sec),
+                format!("{:.1}", run.p50_us),
+                format!("{:.1}", run.p99_us),
+                run.deliveries.to_string(),
+                run.postings_scanned.to_string(),
+            ]);
+            println!(
+                "{}/{}: {:.0} docs/s, p50 {:.1}us p99 {:.1}us, {} deliveries",
+                run.scheme, run.mode, run.docs_per_sec, run.p50_us, run.p99_us, run.deliveries,
+            );
+            runs.push(run);
+        }
+    }
+    table.finish();
+
+    let bench = HotpathReport {
+        scale: scale.factor,
+        nodes,
+        filters: w.filters.len(),
+        docs: w.docs.len(),
+        runs,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("report serializes");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_hotpath.json", json).expect("write json report");
+    println!("wrote results/BENCH_hotpath.json");
+}

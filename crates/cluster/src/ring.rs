@@ -2,6 +2,16 @@
 
 use crate::stable_hash64;
 use move_types::{NodeId, TermId};
+use std::cell::RefCell;
+
+/// Upper bound on memoized term-home entries (16 MiB of `u32`s). Term ids
+/// beyond this are answered from the ring directly instead of cached, so a
+/// pathological id space cannot balloon the cache.
+const TERM_HOME_CACHE_MAX: usize = 1 << 22;
+
+/// Sentinel for "not yet computed" in the term-home cache. Never a valid
+/// physical node id (clusters are far smaller than `u32::MAX` nodes).
+const TERM_HOME_UNSET: u32 = u32::MAX;
 
 /// A consistent-hash ring with virtual nodes — the O(1)-hop DHT structure of
 /// Dynamo/Cassandra (paper §II, "Key/value platforms"). Every key hashes to
@@ -29,6 +39,14 @@ pub struct Ring {
     /// Physical members in insertion order.
     members: Vec<NodeId>,
     vnodes_per_node: usize,
+    /// Memoized [`Ring::home_of_term`] answers, indexed by the dense term
+    /// id ([`TERM_HOME_UNSET`] = not yet computed). Term routing is the
+    /// single hottest ring operation — every scheme resolves the home of
+    /// every document term on every publish — and the answer only changes
+    /// with membership, so [`Ring::add_node`]/[`Ring::remove_node`] drop
+    /// the whole cache. Pure memoization: answers are identical with the
+    /// cache disabled.
+    term_homes: RefCell<Vec<u32>>,
 }
 
 impl Ring {
@@ -46,6 +64,7 @@ impl Ring {
             vnodes: Vec::with_capacity(members.len() * vnodes_per_node),
             members: Vec::new(),
             vnodes_per_node,
+            term_homes: RefCell::new(Vec::new()),
         };
         for n in members {
             ring.add_node(n);
@@ -67,6 +86,7 @@ impl Ring {
             let pos = self.vnodes.partition_point(|&(t, _)| t < token);
             self.vnodes.insert(pos, (token, node));
         }
+        self.term_homes.borrow_mut().clear();
     }
 
     /// Removes a physical node and all its virtual nodes (no-op if absent).
@@ -81,6 +101,7 @@ impl Ring {
         assert!(self.members.len() > 1, "cannot remove the last ring member");
         self.members.retain(|&m| m != node);
         self.vnodes.retain(|&(_, owner)| owner != node);
+        self.term_homes.borrow_mut().clear();
     }
 
     /// Physical members, in insertion order.
@@ -111,9 +132,25 @@ impl Ring {
     }
 
     /// The home node of a term — where its posting list and filters live
-    /// (paper §III-B).
+    /// (paper §III-B). Memoized per term id: route computation and the
+    /// statistics observer both resolve every document term, so the hash +
+    /// vnode binary search would otherwise run twice per term per publish.
     pub fn home_of_term(&self, term: TermId) -> NodeId {
-        self.home_of_token(stable_hash64(&("term", term.0)))
+        let idx = term.as_usize();
+        if let Some(&raw) = self.term_homes.borrow().get(idx) {
+            if raw != TERM_HOME_UNSET {
+                return NodeId(raw);
+            }
+        }
+        let home = self.home_of_token(stable_hash64(&("term", term.0)));
+        if idx < TERM_HOME_CACHE_MAX {
+            let mut cache = self.term_homes.borrow_mut();
+            if cache.len() <= idx {
+                cache.resize(idx + 1, TERM_HOME_UNSET);
+            }
+            cache[idx] = home.0;
+        }
+        home
     }
 
     /// The first `n` *distinct physical* nodes walking the ring clockwise
@@ -245,6 +282,29 @@ mod tests {
             } else {
                 assert_ne!(new, NodeId(3));
             }
+        }
+    }
+
+    #[test]
+    fn term_home_cache_is_transparent_across_membership_changes() {
+        let mut r = ring(8);
+        // Memoized and uncached answers agree (second call hits the cache).
+        for t in 0..500u32 {
+            let uncached = r.home_of_token(stable_hash64(&("term", t)));
+            assert_eq!(r.home_of_term(TermId(t)), uncached);
+            assert_eq!(r.home_of_term(TermId(t)), uncached);
+        }
+        // Membership changes must drop stale entries.
+        r.remove_node(NodeId(2));
+        for t in 0..500u32 {
+            let uncached = r.home_of_token(stable_hash64(&("term", t)));
+            assert_eq!(r.home_of_term(TermId(t)), uncached);
+            assert_ne!(r.home_of_term(TermId(t)), NodeId(2));
+        }
+        r.add_node(NodeId(2));
+        for t in 0..500u32 {
+            let uncached = r.home_of_token(stable_hash64(&("term", t)));
+            assert_eq!(r.home_of_term(TermId(t)), uncached);
         }
     }
 

@@ -4,9 +4,10 @@ use crate::scheme::execute_steps;
 use crate::{encode_filter, Dissemination, MatchTask, RouteStep, SchemeOutput, SystemConfig};
 use move_bloom::CountingBloomFilter;
 use move_cluster::{Job, SimCluster, Stage};
-use move_index::InvertedIndex;
+use move_index::{InvertedIndex, MatchScratch};
 use move_types::{Document, Filter, FilterId, NodeId, Result, TermId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The `IL` scheme of the evaluation: a filter is registered on the home
 /// node of *each* of its terms; the home node of `t` indexes it under `t`
@@ -34,14 +35,14 @@ use std::collections::HashMap;
 pub struct IlScheme {
     config: SystemConfig,
     cluster: SimCluster,
-    indexes: Vec<InvertedIndex>,
+    indexes: Vec<Arc<InvertedIndex>>,
     /// Counting Bloom filter over all registered filter terms (§V).
     bloom: CountingBloomFilter,
     /// Filter copies (registration pairs) per node.
     storage: Vec<u64>,
     /// Directory for unregistration (the metadata any real deployment keeps
-    /// alongside the DHT).
-    directory: HashMap<FilterId, Filter>,
+    /// alongside the DHT). Bodies are shared with the serving indexes.
+    directory: HashMap<FilterId, Arc<Filter>>,
     /// Which of a filter's terms it was registered under (differs from all
     /// of them only in [`RegistrationMode::NeededTerms`]).
     registered_under: HashMap<FilterId, Vec<TermId>>,
@@ -49,6 +50,8 @@ pub struct IlScheme {
     /// the needed-terms mode selects by.
     term_popularity: HashMap<TermId, u64>,
     registration: RegistrationMode,
+    /// Reusable match-kernel working memory for `publish`.
+    scratch: MatchScratch,
 }
 
 /// How many of a filter's terms the distributed inverted list registers.
@@ -80,7 +83,7 @@ impl IlScheme {
         config.validate()?;
         let cluster = SimCluster::new(config.nodes, config.racks, config.cost)?;
         let indexes = (0..config.nodes)
-            .map(|_| InvertedIndex::new(config.semantics))
+            .map(|_| Arc::new(InvertedIndex::new(config.semantics)))
             .collect();
         let bloom = CountingBloomFilter::new(config.expected_terms, config.bloom_fpr);
         let storage = vec![0; config.nodes];
@@ -94,6 +97,7 @@ impl IlScheme {
             registered_under: HashMap::new(),
             term_popularity: HashMap::new(),
             registration: RegistrationMode::default(),
+            scratch: MatchScratch::new(),
         })
     }
 
@@ -145,9 +149,12 @@ impl Dissemination for IlScheme {
 
     fn register(&mut self, filter: &Filter) -> Result<()> {
         let reg_terms = self.registration_terms(filter);
+        // One shared body across every routing term and the directory.
+        let shared = Arc::new(filter.clone());
         for &t in &reg_terms {
             let home = self.cluster.home_of_term(t);
-            self.indexes[home.as_usize()].insert_for_term(filter.clone(), t);
+            Arc::make_mut(&mut self.indexes[home.as_usize()])
+                .insert_shared_for_term(Arc::clone(&shared), t);
             self.storage[home.as_usize()] += 1;
             self.bloom.insert(&t.0);
             // Persist the full filter body in the home node's filter store.
@@ -169,7 +176,7 @@ impl Dissemination for IlScheme {
             "IL registration must post the filter at each registration term's home node"
         );
         self.registered_under.insert(filter.id(), reg_terms);
-        self.directory.insert(filter.id(), filter.clone());
+        self.directory.insert(filter.id(), shared);
         Ok(())
     }
 
@@ -183,7 +190,7 @@ impl Dissemination for IlScheme {
             .unwrap_or_else(|| filter.terms().to_vec());
         for &t in &reg_terms {
             let home = self.cluster.home_of_term(t);
-            if self.indexes[home.as_usize()].remove_term_posting(id, t) {
+            if Arc::make_mut(&mut self.indexes[home.as_usize()]).remove_term_posting(id, t) {
                 self.storage[home.as_usize()] = self.storage[home.as_usize()].saturating_sub(1);
             }
             self.bloom.remove(&t.0);
@@ -210,6 +217,7 @@ impl Dissemination for IlScheme {
             &mut self.cluster,
             &self.indexes,
             &self.storage,
+            &mut self.scratch,
         );
         Ok(SchemeOutput {
             matched,
@@ -243,6 +251,10 @@ impl Dissemination for IlScheme {
 
     fn node_index(&self, node: NodeId) -> &InvertedIndex {
         &self.indexes[node.as_usize()]
+    }
+
+    fn shared_node_index(&self, node: NodeId) -> Arc<InvertedIndex> {
+        Arc::clone(&self.indexes[node.as_usize()])
     }
 
     fn registration_targets(&self, filter: &Filter) -> Vec<(NodeId, Option<Vec<TermId>>)> {

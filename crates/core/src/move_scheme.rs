@@ -8,11 +8,54 @@ use crate::{
 };
 use move_bloom::CountingBloomFilter;
 use move_cluster::{Job, SimCluster, Stage};
-use move_index::InvertedIndex;
+use move_index::{InvertedIndex, MatchScratch};
 use move_types::{Document, Filter, FilterId, NodeId, Result, TermId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Dense per-term `u64` counters indexed by the dictionary's dense term
+/// ids. The statistics observer bumps one of these for every term of every
+/// published document, which makes a hash map the wrong shape on the hot
+/// path; a plain vector (grown on first touch, zero = absent) turns each
+/// sample into an array access.
+#[derive(Debug, Clone, Default)]
+struct TermCounters {
+    counts: Vec<u64>,
+}
+
+impl TermCounters {
+    /// The count for `t` (zero when never incremented).
+    fn get(&self, t: TermId) -> u64 {
+        self.counts.get(t.as_usize()).copied().unwrap_or(0)
+    }
+
+    /// Increments the count for `t`, growing the table on first touch.
+    fn incr(&mut self, t: TermId) {
+        let i = t.as_usize();
+        if self.counts.len() <= i {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+    }
+
+    /// Decrements the count for `t`, saturating at zero.
+    fn decr(&mut self, t: TermId) {
+        if let Some(c) = self.counts.get_mut(t.as_usize()) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// `(term, count)` for every nonzero count, in ascending term order.
+    fn iter_nonzero(&self) -> impl Iterator<Item = (TermId, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (TermId(i as u32), c))
+    }
+}
 
 /// The MOVE system.
 ///
@@ -55,8 +98,9 @@ use std::collections::HashMap;
 pub struct MoveScheme {
     config: SystemConfig,
     cluster: SimCluster,
-    /// Match-serving inverted index per node.
-    indexes: Vec<InvertedIndex>,
+    /// Match-serving inverted index per node, shared with the live
+    /// runtime's shard snapshots (copy-on-write on mutation).
+    indexes: Vec<Arc<InvertedIndex>>,
     /// Registered-terms Bloom filter (counting, so unregistration works).
     bloom: CountingBloomFilter,
     /// Serving filter copies per node.
@@ -64,8 +108,9 @@ pub struct MoveScheme {
     /// Registration pairs `(term, filter)` per *home* node — the
     /// authoritative layout the allocation redistributes.
     home_pairs: Vec<Vec<(TermId, FilterId)>>,
-    /// Global filter bodies (the metadata directory).
-    directory: HashMap<FilterId, Filter>,
+    /// Global filter bodies (the metadata directory), shared with every
+    /// serving index that posts them.
+    directory: HashMap<FilterId, Arc<Filter>>,
     /// Current allocation grid per home node (node-aggregated mode).
     allocations: Vec<Option<Grid>>,
     /// Current allocation grid per term (per-term mode — §V's discarded
@@ -77,14 +122,16 @@ pub struct MoveScheme {
     hit_postings: Vec<u64>,
     /// Registered pairs per term (posting lengths at the home) — feeds the
     /// load sample.
-    term_pairs: HashMap<TermId, u64>,
+    term_pairs: TermCounters,
     /// Routing hits per term from the observed documents (`qₜ` sample,
     /// needed by the per-term aggregation mode).
-    term_hits: HashMap<TermId, u64>,
+    term_hits: TermCounters,
     docs_observed: u64,
     docs_since_refresh: u64,
     rule: FactorRule,
     grid_mode: GridMode,
+    /// Reusable match-kernel working memory for `publish`.
+    scratch: MatchScratch,
     rng: StdRng,
 }
 
@@ -99,7 +146,7 @@ impl MoveScheme {
         let cluster = SimCluster::new(config.nodes, config.racks, config.cost)?;
         Ok(Self {
             indexes: (0..config.nodes)
-                .map(|_| InvertedIndex::new(config.semantics))
+                .map(|_| Arc::new(InvertedIndex::new(config.semantics)))
                 .collect(),
             bloom: CountingBloomFilter::new(config.expected_terms, config.bloom_fpr),
             storage: vec![0; config.nodes],
@@ -109,12 +156,13 @@ impl MoveScheme {
             term_allocations: HashMap::new(),
             doc_hits: vec![0; config.nodes],
             hit_postings: vec![0; config.nodes],
-            term_pairs: HashMap::new(),
-            term_hits: HashMap::new(),
+            term_pairs: TermCounters::default(),
+            term_hits: TermCounters::default(),
             docs_observed: 0,
             docs_since_refresh: 0,
             rule: FactorRule::LoadBalance,
             grid_mode: GridMode::Optimal,
+            scratch: MatchScratch::new(),
             rng: StdRng::seed_from_u64(config.seed),
             cluster,
             config,
@@ -153,8 +201,8 @@ impl MoveScheme {
             if self.bloom.contains(&t.0) {
                 let home = self.cluster.home_of_term(t);
                 self.doc_hits[home.as_usize()] += 1;
-                self.hit_postings[home.as_usize()] += self.term_pairs.get(&t).copied().unwrap_or(0);
-                *self.term_hits.entry(t).or_insert(0) += 1;
+                self.hit_postings[home.as_usize()] += self.term_pairs.get(t);
+                self.term_hits.incr(t);
             }
         }
         self.docs_observed += 1;
@@ -275,18 +323,12 @@ impl MoveScheme {
     pub fn allocate_per_term(&mut self) -> Result<()> {
         let total = self.directory.len() as u64;
         let beta = self.config.cost.beta(total);
-        let mut terms: Vec<TermId> = self
-            .term_pairs
-            .iter()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(&t, _)| t)
-            .collect();
-        terms.sort_unstable();
+        let terms: Vec<TermId> = self.term_pairs.iter_nonzero().map(|(t, _)| t).collect();
         let stats: Vec<NodeStats> = terms
             .iter()
-            .map(|t| {
-                let pairs = self.term_pairs[t];
-                let hits = self.term_hits.get(t).copied().unwrap_or(0);
+            .map(|&t| {
+                let pairs = self.term_pairs.get(t);
+                let hits = self.term_hits.get(t);
                 NodeStats {
                     pairs,
                     doc_hits: hits,
@@ -371,9 +413,11 @@ impl MoveScheme {
     /// impossible, surfaced as a typed error instead of a panic so a live
     /// control plane can log and abort the refresh.
     fn rebuild_indexes(&mut self) -> Result<()> {
-        for idx in &mut self.indexes {
-            *idx = InvertedIndex::new(self.config.semantics);
-        }
+        // Collect every node's (term, filter) pairs first, then construct
+        // each shard sort-once via `build_from` — fresh `Arc`s, so shard
+        // snapshots the runtime still holds keep serving the old layout
+        // untouched.
+        let mut entries: Vec<Vec<(TermId, Arc<Filter>)>> = vec![Vec::new(); self.config.nodes];
         self.storage = vec![0; self.config.nodes];
         for i in 0..self.config.nodes {
             for &(t, fid) in &self.home_pairs[i] {
@@ -386,19 +430,22 @@ impl MoveScheme {
                     .or(self.allocations[i].as_ref());
                 match grid {
                     None => {
-                        self.indexes[i].insert_for_term(filter.clone(), t);
+                        entries[i].push((t, Arc::clone(filter)));
                         self.storage[i] += 1;
                     }
                     Some(grid) => {
                         let col = grid.column_of(fid);
                         for row in 0..grid.rows() {
                             let node = grid.node(row, col);
-                            self.indexes[node.as_usize()].insert_for_term(filter.clone(), t);
+                            entries[node.as_usize()].push((t, Arc::clone(filter)));
                             self.storage[node.as_usize()] += 1;
                         }
                     }
                 }
             }
+        }
+        for (idx, list) in self.indexes.iter_mut().zip(entries) {
+            *idx = Arc::new(InvertedIndex::build_from(self.config.semantics, list));
         }
         Ok(())
     }
@@ -486,10 +533,13 @@ impl Dissemination for MoveScheme {
     }
 
     fn register(&mut self, filter: &Filter) -> Result<()> {
+        // One shared body across every routing term, grid slot, and the
+        // directory.
+        let shared = Arc::new(filter.clone());
         for &t in filter.terms() {
             let home = self.cluster.home_of_term(t);
             self.home_pairs[home.as_usize()].push((t, filter.id()));
-            *self.term_pairs.entry(t).or_insert(0) += 1;
+            self.term_pairs.incr(t);
             self.bloom.insert(&t.0);
             self.cluster
                 .store_mut(home)
@@ -501,7 +551,8 @@ impl Dissemination for MoveScheme {
                 .or(self.allocations[home.as_usize()].as_ref());
             match grid {
                 None => {
-                    self.indexes[home.as_usize()].insert_for_term(filter.clone(), t);
+                    Arc::make_mut(&mut self.indexes[home.as_usize()])
+                        .insert_shared_for_term(Arc::clone(&shared), t);
                     self.storage[home.as_usize()] += 1;
                 }
                 Some(grid) => {
@@ -509,13 +560,14 @@ impl Dissemination for MoveScheme {
                     let slots: Vec<NodeId> =
                         (0..grid.rows()).map(|row| grid.node(row, col)).collect();
                     for node in slots {
-                        self.indexes[node.as_usize()].insert_for_term(filter.clone(), t);
+                        Arc::make_mut(&mut self.indexes[node.as_usize()])
+                            .insert_shared_for_term(Arc::clone(&shared), t);
                         self.storage[node.as_usize()] += 1;
                     }
                 }
             }
         }
-        self.directory.insert(filter.id(), filter.clone());
+        self.directory.insert(filter.id(), shared);
         Ok(())
     }
 
@@ -526,9 +578,7 @@ impl Dissemination for MoveScheme {
         for &t in filter.terms() {
             let home = self.cluster.home_of_term(t);
             self.home_pairs[home.as_usize()].retain(|&(pt, pf)| !(pt == t && pf == id));
-            if let Some(c) = self.term_pairs.get_mut(&t) {
-                *c = c.saturating_sub(1);
-            }
+            self.term_pairs.decr(t);
             self.bloom.remove(&t.0);
             self.cluster
                 .store_mut(home)
@@ -540,7 +590,8 @@ impl Dissemination for MoveScheme {
                 .or(self.allocations[home.as_usize()].as_ref());
             match grid {
                 None => {
-                    if self.indexes[home.as_usize()].remove_term_posting(id, t) {
+                    if Arc::make_mut(&mut self.indexes[home.as_usize()]).remove_term_posting(id, t)
+                    {
                         self.storage[home.as_usize()] =
                             self.storage[home.as_usize()].saturating_sub(1);
                     }
@@ -550,7 +601,9 @@ impl Dissemination for MoveScheme {
                     let slots: Vec<NodeId> =
                         (0..grid.rows()).map(|row| grid.node(row, col)).collect();
                     for node in slots {
-                        if self.indexes[node.as_usize()].remove_term_posting(id, t) {
+                        if Arc::make_mut(&mut self.indexes[node.as_usize()])
+                            .remove_term_posting(id, t)
+                        {
                             self.storage[node.as_usize()] =
                                 self.storage[node.as_usize()].saturating_sub(1);
                         }
@@ -571,6 +624,7 @@ impl Dissemination for MoveScheme {
             &mut self.cluster,
             &self.indexes,
             &self.storage,
+            &mut self.scratch,
         );
 
         self.maintenance(doc)?;
@@ -666,6 +720,10 @@ impl Dissemination for MoveScheme {
 
     fn node_index(&self, node: NodeId) -> &InvertedIndex {
         &self.indexes[node.as_usize()]
+    }
+
+    fn shared_node_index(&self, node: NodeId) -> Arc<InvertedIndex> {
+        Arc::clone(&self.indexes[node.as_usize()])
     }
 
     fn registration_targets(&self, filter: &Filter) -> Vec<(NodeId, Option<Vec<TermId>>)> {

@@ -4,11 +4,12 @@
 use crate::scheme::execute_steps;
 use crate::{Dissemination, MatchTask, RouteStep, SchemeOutput, SystemConfig};
 use move_cluster::{stable_hash64, Job, SimCluster, Stage};
-use move_index::InvertedIndex;
+use move_index::{InvertedIndex, MatchScratch};
 use move_types::{Document, Filter, FilterId, NodeId, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The `RS` scheme: filters are spread uniformly by hashing their id —
 /// giving perfectly balanced storage — and replicated into `g` *replica
@@ -24,12 +25,14 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct RsScheme {
     cluster: SimCluster,
-    indexes: Vec<InvertedIndex>,
+    indexes: Vec<Arc<InvertedIndex>>,
     /// Round-robin partition of the nodes into replica groups.
     groups: Vec<Vec<NodeId>>,
     storage: Vec<u64>,
     directory: HashMap<FilterId, ()>,
     rng: StdRng,
+    /// Reusable match-kernel working memory for `publish`.
+    scratch: MatchScratch,
 }
 
 impl RsScheme {
@@ -48,13 +51,14 @@ impl RsScheme {
         }
         Ok(Self {
             indexes: (0..config.nodes)
-                .map(|_| InvertedIndex::new(config.semantics))
+                .map(|_| Arc::new(InvertedIndex::new(config.semantics)))
                 .collect(),
             storage: vec![0; config.nodes],
             rng: StdRng::seed_from_u64(config.seed ^ 0x7573),
             cluster,
             groups,
             directory: HashMap::new(),
+            scratch: MatchScratch::new(),
         })
     }
 
@@ -71,9 +75,11 @@ impl Dissemination for RsScheme {
     }
 
     fn register(&mut self, filter: &Filter) -> Result<()> {
+        // One shared body across all replica groups.
+        let shared = Arc::new(filter.clone());
         for g in 0..self.groups.len() {
             let node = self.node_in_group(g, filter.id());
-            self.indexes[node.as_usize()].insert(filter.clone());
+            Arc::make_mut(&mut self.indexes[node.as_usize()]).insert_shared(Arc::clone(&shared));
             self.storage[node.as_usize()] += 1;
         }
         // Rendezvous invariant: one full copy per replica group, on the
@@ -95,7 +101,7 @@ impl Dissemination for RsScheme {
         }
         for g in 0..self.groups.len() {
             let node = self.node_in_group(g, id);
-            self.indexes[node.as_usize()].remove(id);
+            Arc::make_mut(&mut self.indexes[node.as_usize()]).remove(id);
             self.storage[node.as_usize()] = self.storage[node.as_usize()].saturating_sub(1);
         }
         Ok(true)
@@ -111,6 +117,7 @@ impl Dissemination for RsScheme {
             &mut self.cluster,
             &self.indexes,
             &self.storage,
+            &mut self.scratch,
         );
         Ok(SchemeOutput {
             matched,
@@ -133,6 +140,10 @@ impl Dissemination for RsScheme {
 
     fn node_index(&self, node: NodeId) -> &InvertedIndex {
         &self.indexes[node.as_usize()]
+    }
+
+    fn shared_node_index(&self, node: NodeId) -> Arc<InvertedIndex> {
+        Arc::clone(&self.indexes[node.as_usize()])
     }
 
     fn registration_targets(

@@ -4,8 +4,9 @@
 //! per-document dissemination decision.
 
 use move_cluster::{Job, SimCluster, Task};
-use move_index::InvertedIndex;
+use move_index::{InvertedIndex, MatchOutcome, MatchScratch};
 use move_types::{Document, Filter, FilterId, NodeId, Result, TermId};
+use std::sync::Arc;
 
 /// What a scheme produced for one published document.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,11 +83,12 @@ pub(crate) fn execute_steps(
     doc: &Document,
     ingress: NodeId,
     cluster: &mut SimCluster,
-    indexes: &[InvertedIndex],
+    indexes: &[Arc<InvertedIndex>],
     storage: &[u64],
+    scratch: &mut MatchScratch,
 ) -> (Vec<FilterId>, Vec<Task>, Vec<Task>) {
     let cost = *cluster.cost();
-    let mut matched: Vec<FilterId> = Vec::new();
+    let mut acc = MatchOutcome::default();
     let mut stage1: Vec<Task> = Vec::new();
     let mut stage2: Vec<Task> = Vec::new();
     for step in steps {
@@ -108,22 +110,20 @@ pub(crate) fn execute_steps(
             MatchTask::Terms(terms) => {
                 // A Bloom false positive still costs one failed
                 // posting-list lookup, so every routed term counts as a
-                // retrieval.
-                let lists = terms.len() as u64;
-                let mut postings = 0u64;
+                // retrieval (not `acc.lists_retrieved`, which only counts
+                // lists that exist).
+                let before = acc.postings_scanned;
                 for &t in terms {
-                    let outcome = indexes[node.as_usize()].match_term(doc, t);
-                    postings += outcome.postings_scanned;
-                    matched.extend(outcome.matched);
+                    indexes[node.as_usize()].match_term_into(doc, t, &mut acc);
                 }
-                (lists, postings)
+                (terms.len() as u64, acc.postings_scanned - before)
             }
             MatchTask::FullIndex => {
                 // SIFT attempts a posting-list lookup for every document
                 // term, found or not — the flooding tax.
-                let outcome = indexes[node.as_usize()].match_document(doc);
-                matched.extend(outcome.matched);
-                (doc.distinct_terms() as u64, outcome.postings_scanned)
+                let before = acc.postings_scanned;
+                indexes[node.as_usize()].match_document_into(doc, scratch, &mut acc);
+                (doc.distinct_terms() as u64, acc.postings_scanned - before)
             }
         };
         let service = transfer + cost.match_cost(lists, postings, storage[node.as_usize()]);
@@ -138,8 +138,8 @@ pub(crate) fn execute_steps(
             stage2.push(task);
         }
     }
-    matched.sort_unstable();
-    matched.dedup();
+    let mut matched = acc.matched;
+    scratch.sort_dedup(&mut matched);
     (matched, stage1, stage2)
 }
 
@@ -191,9 +191,18 @@ pub trait Dissemination {
     }
 
     /// Read access to a node's serving inverted index. The live runtime
-    /// clones per-node shards from here and re-ships them when
+    /// snapshots per-node shards from here and re-ships them when
     /// [`Dissemination::maintenance`] reports a layout change.
     fn node_index(&self, node: NodeId) -> &InvertedIndex;
+
+    /// A shared snapshot of a node's serving index. Schemes that store
+    /// their shards behind `Arc` override this with an `Arc::clone` so the
+    /// live runtime's boot and allocation-refresh paths ship structural
+    /// shares instead of deep copies; the default falls back to a deep
+    /// copy for exotic implementations.
+    fn shared_node_index(&self, node: NodeId) -> Arc<InvertedIndex> {
+        Arc::new(self.node_index(node).clone())
+    }
 
     /// Where [`Dissemination::register`] will place serving copies of
     /// `filter` under the *current* layout: `(node, Some(terms))` for an

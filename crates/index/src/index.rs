@@ -2,7 +2,10 @@
 
 use crate::PostingList;
 use move_types::{Document, Filter, FilterId, MatchSemantics, TermId};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The result of a match operation, including the work performed — the raw
 /// material of the cost model (posting-list retrievals are the disk seeks
@@ -17,6 +20,106 @@ pub struct MatchOutcome {
     pub postings_scanned: u64,
 }
 
+impl MatchOutcome {
+    /// Resets the outcome for reuse, keeping the `matched` allocation.
+    pub fn clear(&mut self) {
+        self.matched.clear();
+        self.lists_retrieved = 0;
+        self.postings_scanned = 0;
+    }
+}
+
+/// Reusable working memory for the match kernels: the concatenated posting
+/// ids of one document's terms, plus a dense-id bitmap for sort-free
+/// deduplication. Owned per worker (or per scheme) so the steady-state
+/// match kernel performs zero allocations.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    ids: Vec<FilterId>,
+    /// Bitmap over dense filter ids, used by [`MatchScratch::sort_dedup`].
+    /// Invariant: all-zero between calls (each extraction pass clears the
+    /// words it visits), so the buffer never needs a bulk reset.
+    words: Vec<u64>,
+}
+
+/// Hard ceiling on the dedup bitmap (8 MiB of `u64`s / ids below 2²⁹), so
+/// a single huge filter id cannot balloon the scratch allocation.
+const DEDUP_BITMAP_MAX_WORDS: u64 = 1 << 20;
+
+impl MatchScratch {
+    /// Creates an empty scratch buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sorts `ids` ascending and drops duplicates — the delivery-set
+    /// normalization every match accumulator ends with.
+    ///
+    /// Filter ids are dense in practice, so instead of a comparison sort
+    /// over the full concatenation this marks ids in a reusable bitmap and
+    /// re-emits them by scanning the touched word range in order: O(n +
+    /// max_id/64) versus O(n log n). Falls back to `sort_unstable` when
+    /// the id space is too sparse for the scan to pay (or ids exceed the
+    /// bitmap ceiling), so the result is identical either way.
+    pub fn sort_dedup(&mut self, ids: &mut Vec<FilterId>) {
+        Self::sort_dedup_in(&mut self.words, ids);
+    }
+
+    fn sort_dedup_in(words: &mut Vec<u64>, ids: &mut Vec<FilterId>) {
+        let mut max = 0u64;
+        for id in ids.iter() {
+            max = max.max(id.0);
+        }
+        let needed = max / 64 + 1;
+        let worthwhile = (ids.len() as u64).saturating_mul(4).max(64);
+        if ids.is_empty() || needed > worthwhile.min(DEDUP_BITMAP_MAX_WORDS) {
+            ids.sort_unstable();
+            ids.dedup();
+            return;
+        }
+        let needed = needed as usize;
+        if words.len() < needed {
+            words.resize(needed, 0);
+        }
+        for id in ids.iter() {
+            words[(id.0 / 64) as usize] |= 1u64 << (id.0 % 64);
+        }
+        ids.clear();
+        for (w, slot) in words.iter_mut().enumerate().take(needed) {
+            let mut word = std::mem::take(slot);
+            while word != 0 {
+                let bit = word.trailing_zeros() as u64;
+                ids.push(FilterId(w as u64 * 64 + bit));
+                word &= word - 1;
+            }
+        }
+    }
+}
+
+/// A stored filter body plus the number of posting entries referencing it.
+/// The refcount makes [`InvertedIndex::remove_term_posting`] O(log n)
+/// instead of a scan over every posting list.
+#[derive(Debug, Clone)]
+struct StoredFilter {
+    body: Arc<Filter>,
+    postings: u32,
+}
+
+/// Process-wide count of deep [`InvertedIndex`] clones — the test double
+/// behind the "allocation refreshes ship `Arc` snapshots, not copies"
+/// guarantee. Incremented by `<InvertedIndex as Clone>::clone`; an
+/// `Arc<InvertedIndex>` handed around the runtime does not touch it.
+static DEEP_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Deep clones performed process-wide since start (see
+/// [`InvertedIndex`]'s `Clone` impl). Test instrumentation: assert a
+/// hot path performs zero deep copies by sampling before and after.
+#[must_use]
+pub fn deep_clone_count() -> u64 {
+    DEEP_CLONES.load(Ordering::Relaxed)
+}
+
 /// A node-local inverted index over registered filters.
 ///
 /// Supports the paper's two registration styles: [`InvertedIndex::insert`]
@@ -26,11 +129,25 @@ pub struct MatchOutcome {
 /// f contain a term tⱼ (≠ tᵢ), the home node of tᵢ will not build the
 /// posting list for such tⱼ" (§III-B). Full filter bodies are stored either
 /// way, as the similarity-threshold semantics needs them.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct InvertedIndex {
     postings: HashMap<TermId, PostingList>,
-    filters: HashMap<FilterId, Filter>,
+    filters: HashMap<FilterId, StoredFilter>,
     semantics: MatchSemantics,
+}
+
+impl Clone for InvertedIndex {
+    /// A deep copy of every posting list (filter bodies stay shared behind
+    /// their `Arc`s). Counted in [`deep_clone_count`] so tests can pin hot
+    /// paths to structural sharing.
+    fn clone(&self) -> Self {
+        DEEP_CLONES.fetch_add(1, Ordering::Relaxed);
+        Self {
+            postings: self.postings.clone(),
+            filters: self.filters.clone(),
+            semantics: self.semantics,
+        }
+    }
 }
 
 impl InvertedIndex {
@@ -43,6 +160,49 @@ impl InvertedIndex {
         }
     }
 
+    /// Bulk construction from `(routing term, filter)` pairs: each pair
+    /// becomes one posting entry, exactly as a sequence of
+    /// [`InvertedIndex::insert_shared_for_term`] calls would, but each
+    /// posting list is built sort-once instead of by O(n) sorted inserts —
+    /// the allocation-rebuild fast path.
+    pub fn build_from<I>(semantics: MatchSemantics, entries: I) -> Self
+    where
+        I: IntoIterator<Item = (TermId, Arc<Filter>)>,
+    {
+        let mut lists: HashMap<TermId, Vec<FilterId>> = HashMap::new();
+        let mut filters: HashMap<FilterId, StoredFilter> = HashMap::new();
+        for (t, f) in entries {
+            debug_assert!(
+                f.contains(t),
+                "filter {} does not contain routing term {t}",
+                f.id()
+            );
+            lists.entry(t).or_default().push(f.id());
+            filters.entry(f.id()).or_insert(StoredFilter {
+                body: f,
+                postings: 0,
+            });
+        }
+        let postings = lists
+            .into_iter()
+            .map(|(t, mut ids)| {
+                ids.sort_unstable();
+                ids.dedup();
+                for id in &ids {
+                    if let Some(s) = filters.get_mut(id) {
+                        s.postings += 1;
+                    }
+                }
+                (t, PostingList::from_sorted(ids))
+            })
+            .collect();
+        Self {
+            postings,
+            filters,
+            semantics,
+        }
+    }
+
     /// The matching semantics in force.
     pub fn semantics(&self) -> MatchSemantics {
         self.semantics
@@ -50,10 +210,20 @@ impl InvertedIndex {
 
     /// Registers a filter, indexing it under all of its terms.
     pub fn insert(&mut self, filter: Filter) {
+        self.insert_shared(Arc::new(filter));
+    }
+
+    /// [`InvertedIndex::insert`] with a shared body: all posting entries
+    /// and the stored body reference one allocation, so registering the
+    /// same filter on many shards costs one `Arc` bump per shard.
+    pub fn insert_shared(&mut self, filter: Arc<Filter>) {
+        let mut added = 0u32;
         for &t in filter.terms() {
-            self.postings.entry(t).or_default().insert(filter.id());
+            if self.postings.entry(t).or_default().insert(filter.id()) {
+                added += 1;
+            }
         }
-        self.filters.insert(filter.id(), filter);
+        self.store_body(filter, added);
     }
 
     /// Registers a filter but builds a posting entry only for `term` — the
@@ -63,19 +233,48 @@ impl InvertedIndex {
     ///
     /// Debug-asserts that the filter actually contains `term`.
     pub fn insert_for_term(&mut self, filter: Filter, term: TermId) {
+        self.insert_shared_for_term(Arc::new(filter), term);
+    }
+
+    /// [`InvertedIndex::insert_for_term`] with a shared body (see
+    /// [`InvertedIndex::insert_shared`]).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the filter actually contains `term`.
+    pub fn insert_shared_for_term(&mut self, filter: Arc<Filter>, term: TermId) {
         debug_assert!(
             filter.contains(term),
             "filter {} does not contain routing term {term}",
             filter.id()
         );
-        self.postings.entry(term).or_default().insert(filter.id());
-        self.filters.insert(filter.id(), filter);
+        let added = u32::from(self.postings.entry(term).or_default().insert(filter.id()));
+        self.store_body(filter, added);
+    }
+
+    /// Stores (or refreshes) a filter body and bumps its posting refcount
+    /// by `added`.
+    fn store_body(&mut self, filter: Arc<Filter>, added: u32) {
+        match self.filters.entry(filter.id()) {
+            Entry::Occupied(mut o) => {
+                let s = o.get_mut();
+                s.body = filter;
+                s.postings += added;
+            }
+            Entry::Vacant(v) => {
+                v.insert(StoredFilter {
+                    body: filter,
+                    postings: added,
+                });
+            }
+        }
     }
 
     /// Removes a filter's posting under one specific term, dropping the
     /// stored filter body only when no posting references it anymore — the
     /// inverse of [`InvertedIndex::insert_for_term`]. Returns whether the
-    /// posting existed.
+    /// posting existed. O(log n) via the per-filter posting refcount (no
+    /// scan over other lists).
     pub fn remove_term_posting(&mut self, id: FilterId, term: TermId) -> bool {
         let Some(pl) = self.postings.get_mut(&term) else {
             return false;
@@ -86,9 +285,12 @@ impl InvertedIndex {
         if pl.is_empty() {
             self.postings.remove(&term);
         }
-        let referenced = self.postings.values().any(|pl| pl.contains(id));
-        if !referenced {
-            self.filters.remove(&id);
+        if let Entry::Occupied(mut o) = self.filters.entry(id) {
+            let s = o.get_mut();
+            s.postings = s.postings.saturating_sub(1);
+            if s.postings == 0 {
+                o.remove();
+            }
         }
         true
     }
@@ -103,10 +305,10 @@ impl InvertedIndex {
     /// Unregisters a filter everywhere it is indexed; returns whether it was
     /// present.
     pub fn remove(&mut self, id: FilterId) -> bool {
-        let Some(filter) = self.filters.remove(&id) else {
+        let Some(stored) = self.filters.remove(&id) else {
             return false;
         };
-        for t in filter.terms() {
+        for t in stored.body.terms() {
             if let Some(pl) = self.postings.get_mut(t) {
                 pl.remove(id);
                 if pl.is_empty() {
@@ -129,7 +331,13 @@ impl InvertedIndex {
 
     /// The stored filter body for `id`.
     pub fn filter(&self, id: FilterId) -> Option<&Filter> {
-        self.filters.get(&id)
+        self.filters.get(&id).map(|s| s.body.as_ref())
+    }
+
+    /// The shared handle to the stored filter body for `id` — lets callers
+    /// propagate the same allocation instead of cloning the body.
+    pub fn shared_filter(&self, id: FilterId) -> Option<&Arc<Filter>> {
+        self.filters.get(&id).map(|s| &s.body)
     }
 
     /// Length of the posting list of `term` (0 if absent).
@@ -154,29 +362,34 @@ impl InvertedIndex {
     /// construction (it contains `term`, which the document contains);
     /// under threshold semantics each stored filter body is checked.
     pub fn match_term(&self, doc: &Document, term: TermId) -> MatchOutcome {
-        debug_assert!(doc.contains(term), "document was routed by a term it lacks");
         let mut out = MatchOutcome::default();
+        self.match_term_into(doc, term, &mut out);
+        out
+    }
+
+    /// [`InvertedIndex::match_term`] writing into a caller-owned outcome:
+    /// appends matches to `out.matched` and adds to the work counters
+    /// without clearing, so a worker can accumulate several routed terms
+    /// (and many documents' worth of capacity) into one buffer. Ids
+    /// appended by a single call are sorted; accumulating callers dedup
+    /// across calls themselves.
+    pub fn match_term_into(&self, doc: &Document, term: TermId, out: &mut MatchOutcome) {
+        debug_assert!(doc.contains(term), "document was routed by a term it lacks");
         let Some(pl) = self.postings.get(&term) else {
-            return out;
+            return;
         };
-        out.lists_retrieved = 1;
-        out.postings_scanned = pl.len() as u64;
+        out.lists_retrieved += 1;
+        out.postings_scanned += pl.len() as u64;
         match self.semantics {
-            MatchSemantics::Boolean => out.matched = pl.ids().to_vec(),
+            MatchSemantics::Boolean => out.matched.extend_from_slice(pl.ids()),
             MatchSemantics::SimilarityThreshold(_) => {
-                out.matched = pl
-                    .ids()
-                    .iter()
-                    .copied()
-                    .filter(|id| {
-                        self.filters
-                            .get(id)
-                            .is_some_and(|f| self.semantics.matches(f, doc))
-                    })
-                    .collect();
+                out.matched.extend(pl.ids().iter().copied().filter(|id| {
+                    self.filters
+                        .get(id)
+                        .is_some_and(|s| self.semantics.matches(&s.body, doc))
+                }));
             }
         }
-        out
     }
 
     /// The centralized SIFT match: retrieve the posting lists of *all*
@@ -186,30 +399,60 @@ impl InvertedIndex {
     /// hurt (§VI-C).
     pub fn match_document(&self, doc: &Document) -> MatchOutcome {
         let mut out = MatchOutcome::default();
-        let mut hits: HashMap<FilterId, u32> = HashMap::new();
+        self.match_document_into(doc, &mut MatchScratch::new(), &mut out);
+        out
+    }
+
+    /// [`InvertedIndex::match_document`] with caller-owned buffers — the
+    /// allocation-free SIFT kernel. Instead of a `HashMap` hit accumulator
+    /// it concatenates the (sorted) posting slices of the document's terms
+    /// into `scratch` and sorts once: because every posting list holds a
+    /// filter id at most once, the run length of an id in the sorted
+    /// concatenation *is* its per-filter hit count. Matches are appended to
+    /// `out.matched` in ascending order; counters accumulate.
+    pub fn match_document_into(
+        &self,
+        doc: &Document,
+        scratch: &mut MatchScratch,
+        out: &mut MatchOutcome,
+    ) {
+        let MatchScratch { ids, words } = scratch;
+        ids.clear();
         for t in doc.terms() {
             if let Some(pl) = self.postings.get(t) {
                 out.lists_retrieved += 1;
                 out.postings_scanned += pl.len() as u64;
-                for &id in pl.ids() {
-                    *hits.entry(id).or_insert(0) += 1;
+                ids.extend_from_slice(pl.ids());
+            }
+        }
+        match self.semantics {
+            MatchSemantics::Boolean => {
+                MatchScratch::sort_dedup_in(words, ids);
+                out.matched.extend_from_slice(ids);
+            }
+            MatchSemantics::SimilarityThreshold(th) => {
+                // Threshold semantics needs per-id multiplicities (run
+                // lengths), which the bitmap erases — sort instead.
+                ids.sort_unstable();
+                let mut i = 0;
+                while i < ids.len() {
+                    let id = ids[i];
+                    let mut j = i + 1;
+                    while j < ids.len() && ids[j] == id {
+                        j += 1;
+                    }
+                    let count = (j - i) as u32;
+                    if self
+                        .filters
+                        .get(&id)
+                        .is_some_and(|s| f64::from(count) / s.body.len() as f64 >= th)
+                    {
+                        out.matched.push(id);
+                    }
+                    i = j;
                 }
             }
         }
-        out.matched = match self.semantics {
-            MatchSemantics::Boolean => hits.into_keys().collect(),
-            MatchSemantics::SimilarityThreshold(th) => hits
-                .into_iter()
-                .filter(|&(id, count)| {
-                    self.filters
-                        .get(&id)
-                        .is_some_and(|f| f64::from(count) / f.len() as f64 >= th)
-                })
-                .map(|(id, _)| id)
-                .collect(),
-        };
-        out.matched.sort_unstable();
-        out
     }
 }
 

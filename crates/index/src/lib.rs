@@ -38,5 +38,5 @@ mod index;
 mod posting;
 pub mod vsm;
 
-pub use index::{brute_force, InvertedIndex, MatchOutcome};
+pub use index::{brute_force, deep_clone_count, InvertedIndex, MatchOutcome, MatchScratch};
 pub use posting::PostingList;

@@ -31,11 +31,24 @@ impl PostingList {
         Self::default()
     }
 
-    /// Inserts a filter id (idempotent).
-    pub fn insert(&mut self, id: FilterId) {
-        if let Err(pos) = self.ids.binary_search(&id) {
-            self.ids.insert(pos, id);
+    /// Inserts a filter id (idempotent); returns whether the id was newly
+    /// added — the signal the index's per-filter posting refcount runs on.
+    pub fn insert(&mut self, id: FilterId) -> bool {
+        match self.ids.binary_search(&id) {
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                true
+            }
+            Ok(_) => false,
         }
+    }
+
+    /// Wraps an already sorted, deduplicated id vector without re-sorting —
+    /// the bulk [`InvertedIndex::build_from`](crate::InvertedIndex::build_from)
+    /// construction path.
+    pub(crate) fn from_sorted(ids: Vec<FilterId>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
+        Self { ids }
     }
 
     /// Removes a filter id; returns whether it was present.

@@ -84,3 +84,145 @@ proptest! {
         prop_assert_eq!(idx.total_postings(), expect);
     }
 }
+
+proptest! {
+    /// The bulk construction path must be indistinguishable from the
+    /// incremental one: same postings, same filters, same match results.
+    #[test]
+    fn build_from_equals_incremental_inserts(filters in arb_filters(), doc in arb_doc()) {
+        use std::sync::Arc;
+
+        let mut incremental = InvertedIndex::new(MatchSemantics::Boolean);
+        let mut entries: Vec<(TermId, Arc<Filter>)> = Vec::new();
+        for f in &filters {
+            let shared = Arc::new(f.clone());
+            for &t in f.terms() {
+                incremental.insert_for_term(f.clone(), t);
+                entries.push((t, Arc::clone(&shared)));
+            }
+        }
+        let bulk = InvertedIndex::build_from(MatchSemantics::Boolean, entries);
+        prop_assert_eq!(bulk.len(), incremental.len());
+        prop_assert_eq!(bulk.total_postings(), incremental.total_postings());
+        for f in &filters {
+            for &t in f.terms() {
+                prop_assert_eq!(bulk.posting_len(t), incremental.posting_len(t));
+            }
+        }
+        prop_assert_eq!(
+            bulk.match_document(&doc).matched,
+            incremental.match_document(&doc).matched
+        );
+        // And removal (the refcount path) behaves identically afterwards.
+        for f in filters.iter().take(filters.len() / 2) {
+            let mut b2 = bulk.clone();
+            let mut i2 = incremental.clone();
+            prop_assert_eq!(b2.remove(f.id()), i2.remove(f.id()));
+            prop_assert_eq!(b2.total_postings(), i2.total_postings());
+        }
+    }
+
+    /// Reusing one scratch/outcome pair across many documents must give
+    /// exactly the per-document results of fresh calls — the buffers carry
+    /// no state between documents.
+    #[test]
+    fn scratch_reuse_is_stateless(filters in arb_filters(), docs in prop::collection::vec(arb_doc(), 1..8), boolean in any::<bool>()) {
+        use move_index::{MatchOutcome, MatchScratch};
+
+        let semantics = if boolean {
+            MatchSemantics::Boolean
+        } else {
+            MatchSemantics::similarity_threshold(0.5)
+        };
+        let mut idx = InvertedIndex::new(semantics);
+        for f in &filters {
+            idx.insert(f.clone());
+        }
+        let mut scratch = MatchScratch::new();
+        let mut out = MatchOutcome::default();
+        for d in &docs {
+            out.clear();
+            idx.match_document_into(d, &mut scratch, &mut out);
+            let fresh = idx.match_document(d);
+            prop_assert_eq!(&out.matched, &fresh.matched);
+            prop_assert_eq!(out.lists_retrieved, fresh.lists_retrieved);
+            prop_assert_eq!(out.postings_scanned, fresh.postings_scanned);
+        }
+    }
+
+    /// The home-node kernel under threshold semantics: exactly the
+    /// brute-force matches among filters containing the routing term.
+    #[test]
+    fn match_term_threshold_equals_brute_force(filters in arb_filters(), doc in arb_doc(), th in 0.2f64..1.0) {
+        let semantics = MatchSemantics::similarity_threshold(th);
+        let mut idx = InvertedIndex::new(semantics);
+        for f in &filters {
+            idx.insert(f.clone());
+        }
+        for &t in doc.terms() {
+            let got = idx.match_term(&doc, t).matched;
+            let containing: Vec<Filter> = filters
+                .iter()
+                .filter(|f| f.terms().contains(&t))
+                .cloned()
+                .collect();
+            prop_assert_eq!(got, brute_force(&containing, &doc, semantics));
+        }
+    }
+
+    /// The per-filter posting refcount: dropping a filter's term postings
+    /// one by one keeps the body stored until the last posting goes, and
+    /// never disturbs other filters.
+    #[test]
+    fn term_posting_refcount_tracks_last_posting(filters in arb_filters()) {
+        let mut idx = InvertedIndex::new(MatchSemantics::Boolean);
+        for f in &filters {
+            idx.insert(f.clone());
+        }
+        let victim = &filters[0];
+        let terms: Vec<TermId> = victim.terms().to_vec();
+        for (i, &t) in terms.iter().enumerate() {
+            prop_assert!(idx.has_term_posting(victim.id(), t));
+            prop_assert!(idx.remove_term_posting(victim.id(), t));
+            prop_assert!(!idx.has_term_posting(victim.id(), t));
+            let body_should_remain = i + 1 < terms.len();
+            prop_assert_eq!(idx.filter(victim.id()).is_some(), body_should_remain);
+        }
+        prop_assert!(!idx.remove(victim.id()), "already fully removed");
+        // Everyone else is untouched.
+        for f in filters.iter().skip(1) {
+            prop_assert!(idx.filter(f.id()).is_some());
+        }
+    }
+}
+
+/// The dedup bitmap must agree with plain sort+dedup on adversarial id
+/// patterns: dense runs, sparse outliers (bitmap fallback), duplicates.
+#[test]
+fn sort_dedup_equals_sort_and_dedup() {
+    use move_index::MatchScratch;
+
+    let cases: Vec<Vec<u64>> = vec![
+        vec![],
+        vec![0],
+        vec![5, 5, 5, 5],
+        vec![9, 3, 9, 1, 0, 3],
+        (0..2000).rev().flat_map(|i| [i, i]).collect(),
+        vec![1, u64::MAX, 7, u64::MAX, 0],
+        vec![1 << 40, 3, 1 << 40, 2, 1],
+        (0..500).map(|i| i * 64).collect(),
+    ];
+    let mut scratch = MatchScratch::new();
+    for case in cases {
+        let mut via_scratch: Vec<FilterId> = case.iter().copied().map(FilterId).collect();
+        let mut via_sort = via_scratch.clone();
+        scratch.sort_dedup(&mut via_scratch);
+        via_sort.sort_unstable();
+        via_sort.dedup();
+        assert_eq!(via_scratch, via_sort, "case {case:?}");
+        // The bitmap invariant: a second use on the same scratch is clean.
+        let mut again: Vec<FilterId> = case.iter().copied().map(FilterId).collect();
+        scratch.sort_dedup(&mut again);
+        assert_eq!(again, via_sort, "reuse on case {case:?}");
+    }
+}

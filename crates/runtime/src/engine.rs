@@ -110,7 +110,7 @@ pub(crate) trait Transport {
     /// Replaces a dead worker `n` with a fresh one serving `index`.
     /// Returns `false` when this transport cannot restart workers (e.g.
     /// during engine teardown).
-    fn restart(&mut self, n: usize, index: Box<InvertedIndex>) -> bool;
+    fn restart(&mut self, n: usize, index: Arc<InvertedIndex>) -> bool;
 }
 
 /// The production transport: one bounded crossbeam channel per worker
@@ -128,7 +128,7 @@ pub(crate) struct ThreadTransport {
 
 impl ThreadTransport {
     /// Spawns (or respawns) worker `n` serving `index`.
-    fn spawn_worker(&mut self, n: usize, index: InvertedIndex) -> Result<()> {
+    fn spawn_worker(&mut self, n: usize, index: Arc<InvertedIndex>) -> Result<()> {
         let Some(final_tx) = self.final_tx.clone() else {
             return Err(MoveError::Runtime("engine is shutting down".into()));
         };
@@ -173,8 +173,8 @@ impl Transport for ThreadTransport {
         }
     }
 
-    fn restart(&mut self, n: usize, index: Box<InvertedIndex>) -> bool {
-        self.spawn_worker(n, *index).is_ok()
+    fn restart(&mut self, n: usize, index: Arc<InvertedIndex>) -> bool {
+        self.spawn_worker(n, index).is_ok()
     }
 }
 
@@ -237,8 +237,8 @@ impl Engine {
         };
         let mut bases = Vec::with_capacity(nodes);
         for i in 0..nodes {
-            let index = scheme.node_index(NodeId(i as u32)).clone();
-            bases.push(index.clone());
+            let index = scheme.shared_node_index(NodeId(i as u32));
+            bases.push(Arc::clone(&index));
             transport.spawn_worker(i, index)?;
         }
 
@@ -369,7 +369,7 @@ impl<T: Transport> Router<T> {
         config: RuntimeConfig,
         transport: T,
         plan: FaultPlan,
-        bases: Vec<InvertedIndex>,
+        bases: Vec<Arc<InvertedIndex>>,
     ) -> Self {
         let nodes = transport.nodes();
         Self {
@@ -574,7 +574,11 @@ impl<T: Transport> Router<T> {
             // ...and before anything routed under the new one — mailbox
             // FIFO order guarantees both once the update is sent here.
             for n in 0..self.transport.nodes() {
-                let index = Box::new(self.scheme.node_index(NodeId(n as u32)).clone());
+                // A structural share of the scheme's shard: the journal
+                // snapshot and the worker's serving copy are the same
+                // allocation, and the scheme copies-on-write at its next
+                // mutation — zero deep clones on the refresh path.
+                let index = self.scheme.shared_node_index(NodeId(n as u32));
                 self.supervisor.record_snapshot(n, &index);
                 if !self
                     .transport
@@ -591,6 +595,8 @@ impl<T: Transport> Router<T> {
     fn register(&mut self, filter: &Filter) -> Result<()> {
         let targets = self.scheme.registration_targets(filter);
         self.scheme.register(filter)?;
+        // One shared body for the journal and every target node's message.
+        let filter = Arc::new(filter.clone());
         for (node, terms) in targets {
             let n = node.as_usize();
             // Flush first so documents published before this registration
@@ -599,11 +605,11 @@ impl<T: Transport> Router<T> {
             // Journal before sending: if the send finds the worker dead,
             // the replay already covers this registration.
             self.supervisor
-                .record_registration(n, filter, terms.as_ref());
+                .record_registration(n, &filter, terms.as_ref());
             if !self.transport.control(
                 n,
                 NodeMessage::RegisterFilter {
-                    filter: filter.clone(),
+                    filter: Arc::clone(&filter),
                     terms,
                 },
             ) {

@@ -74,6 +74,7 @@ use move_types::{DocId, Document, Filter, FilterId, MoveError, NodeId, Result};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::config::{OverflowPolicy, RuntimeConfig};
@@ -226,11 +227,11 @@ impl Transport for SimTransport {
         }
     }
 
-    fn restart(&mut self, n: usize, index: Box<InvertedIndex>) -> bool {
+    fn restart(&mut self, n: usize, index: Arc<InvertedIndex>) -> bool {
         // xtask:allow-unbounded — virtual capacity, same as the boot-time
         // mailboxes.
         let (tx, rx) = unbounded();
-        let worker = Worker::new(NodeId(n as u32), *index, rx, self.delivery_tx.clone());
+        let worker = Worker::new(NodeId(n as u32), index, rx, self.delivery_tx.clone());
         self.workers.borrow_mut()[n] = Some(worker);
         self.mailboxes[n] = tx;
         true
@@ -305,8 +306,8 @@ pub fn run_schedule(
     let mut bases = Vec::with_capacity(nodes);
     for i in 0..nodes {
         let node = NodeId(i as u32);
-        let index = scheme.node_index(node).clone();
-        bases.push(index.clone());
+        let index = scheme.shared_node_index(node);
+        bases.push(Arc::clone(&index));
         // xtask:allow-unbounded — virtual capacity, see SimTransport.
         let (tx, rx) = unbounded();
         table.push(Some(Worker::new(node, index, rx, delivery_tx.clone())));

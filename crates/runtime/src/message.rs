@@ -30,8 +30,9 @@ pub enum NodeMessage {
     /// (inverted-list registration), or into the full local index when
     /// `terms` is `None` (RS replica registration).
     RegisterFilter {
-        /// The filter body.
-        filter: Filter,
+        /// The filter body — one shared allocation across every node and
+        /// routing term the registration fans out to.
+        filter: Arc<Filter>,
         /// Routing terms to index it under, or `None` for a full insert.
         terms: Option<Vec<TermId>>,
     },
@@ -43,8 +44,10 @@ pub enum NodeMessage {
     /// Replace the worker's index shard — sent after the control plane's
     /// allocation refresh rebuilt the filter layout.
     AllocationUpdate {
-        /// The node's new serving shard.
-        index: Box<InvertedIndex>,
+        /// The node's new serving shard — a structural share of the control
+        /// plane's copy, not a deep clone; the worker copies-on-write only
+        /// if it later mutates.
+        index: Arc<InvertedIndex>,
     },
     /// Reply with a snapshot of the worker's metrics. Doubles as a barrier:
     /// the reply proves every earlier message in this mailbox was handled.

@@ -17,6 +17,7 @@
 
 use move_index::InvertedIndex;
 use move_types::{Filter, TermId};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::engine::Transport;
@@ -63,15 +64,17 @@ impl SupervisionPolicy {
 /// One journaled registration, exactly as sent to the worker.
 #[derive(Debug, Clone)]
 pub(crate) struct JournaledRegistration {
-    pub filter: Filter,
+    pub filter: Arc<Filter>,
     pub terms: Option<Vec<TermId>>,
 }
 
 /// Per-node registration journal: base snapshot + registrations since.
 pub(crate) struct NodeJournal {
     /// The worker's shard as of the last allocation update (or engine
-    /// start). A restarted worker is booted directly from a clone of this.
-    base: InvertedIndex,
+    /// start) — a structural share of the snapshot the worker serves; the
+    /// worker copies-on-write if it mutates, so this stays immutable. A
+    /// restarted worker boots directly from another share of it.
+    base: Arc<InvertedIndex>,
     /// Registrations sent after the base snapshot, in send order.
     since: Vec<JournaledRegistration>,
 }
@@ -90,7 +93,7 @@ pub(crate) struct Supervisor {
 
 impl Supervisor {
     /// Seeds one journal per node from the workers' initial shards.
-    pub(crate) fn new(bases: Vec<InvertedIndex>) -> Self {
+    pub(crate) fn new(bases: Vec<Arc<InvertedIndex>>) -> Self {
         Self {
             journals: bases
                 .into_iter()
@@ -109,11 +112,11 @@ impl Supervisor {
     pub(crate) fn record_registration(
         &mut self,
         n: usize,
-        filter: &Filter,
+        filter: &Arc<Filter>,
         terms: Option<&Vec<TermId>>,
     ) {
         self.journals[n].since.push(JournaledRegistration {
-            filter: filter.clone(),
+            filter: Arc::clone(filter),
             terms: terms.cloned(),
         });
     }
@@ -121,20 +124,21 @@ impl Supervisor {
     /// Journals an allocation update: the new shard becomes the base and
     /// the since-log resets (the shard already contains every filter the
     /// log would replay).
-    pub(crate) fn record_snapshot(&mut self, n: usize, index: &InvertedIndex) {
-        self.journals[n].base = index.clone();
+    pub(crate) fn record_snapshot(&mut self, n: usize, index: &Arc<InvertedIndex>) {
+        self.journals[n].base = Arc::clone(index);
         self.journals[n].since.clear();
     }
 
-    /// The shard a restarted worker `n` must boot from.
-    pub(crate) fn base_index(&self, n: usize) -> InvertedIndex {
-        self.journals[n].base.clone()
+    /// The shard a restarted worker `n` must boot from (another share of
+    /// the journal base; the replay below re-adds the since-log).
+    pub(crate) fn base_index(&self, n: usize) -> Arc<InvertedIndex> {
+        Arc::clone(&self.journals[n].base)
     }
 
     /// Restarts worker `n` through the transport and replays its journal.
     /// Returns `false` when the transport cannot restart workers.
     pub(crate) fn restart_and_replay<T: Transport>(&mut self, n: usize, transport: &mut T) -> bool {
-        if !transport.restart(n, Box::new(self.base_index(n))) {
+        if !transport.restart(n, self.base_index(n)) {
             return false;
         }
         self.restarts += 1;
@@ -145,7 +149,7 @@ impl Supervisor {
             let _ = transport.control(
                 n,
                 NodeMessage::RegisterFilter {
-                    filter: reg.filter.clone(),
+                    filter: Arc::clone(&reg.filter),
                     terms: reg.terms.clone(),
                 },
             );
@@ -157,15 +161,36 @@ impl Supervisor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use move_types::MatchSemantics;
+    use move_types::{FilterId, MatchSemantics};
 
     #[test]
     fn snapshot_resets_the_since_log() {
-        let base = InvertedIndex::new(MatchSemantics::Boolean);
-        let mut sup = Supervisor::new(vec![base.clone()]);
-        sup.record_registration(0, &Filter::new(1u64, [TermId(3)]), None);
+        let base = Arc::new(InvertedIndex::new(MatchSemantics::Boolean));
+        let mut sup = Supervisor::new(vec![Arc::clone(&base)]);
+        sup.record_registration(0, &Arc::new(Filter::new(1u64, [TermId(3)])), None);
         assert_eq!(sup.journals[0].since.len(), 1);
         sup.record_snapshot(0, &base);
         assert!(sup.journals[0].since.is_empty());
+    }
+
+    #[test]
+    fn journal_base_is_isolated_from_later_shard_mutation() {
+        // The journal base is an `Arc` share of the worker's shard at
+        // snapshot time. A registration applied to the live shard *after*
+        // the snapshot goes through `Arc::make_mut`, which must diverge
+        // the worker's copy — never mutate the journal's.
+        let mut shard = Arc::new(InvertedIndex::new(MatchSemantics::Boolean));
+        Arc::make_mut(&mut shard).insert(Filter::new(1u64, [TermId(3)]));
+        let mut sup = Supervisor::new(vec![Arc::clone(&shard)]);
+        sup.record_snapshot(0, &shard);
+
+        Arc::make_mut(&mut shard).insert(Filter::new(2u64, [TermId(4)]));
+        assert!(shard.filter(FilterId(2)).is_some());
+        let base = sup.base_index(0);
+        assert!(
+            base.filter(FilterId(2)).is_none(),
+            "post-snapshot registration leaked into the journal base"
+        );
+        assert!(base.filter(FilterId(1)).is_some());
     }
 }

@@ -7,9 +7,10 @@
 
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use move_core::MatchTask;
-use move_index::InvertedIndex;
+use move_index::{InvertedIndex, MatchOutcome, MatchScratch};
 use move_stats::LatencyHistogram;
-use move_types::{DocId, FilterId, NodeId};
+use move_types::{DocId, NodeId};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::fault::FaultAction;
@@ -41,7 +42,9 @@ pub(crate) enum WorkerStep {
 
 pub(crate) struct Worker {
     node: NodeId,
-    index: InvertedIndex,
+    /// The serving shard. Shared with the router's journal snapshot;
+    /// registrations copy-on-write via [`Arc::make_mut`].
+    index: Arc<InvertedIndex>,
     mailbox: Receiver<NodeMessage>,
     deliveries: Sender<Delivery>,
     messages_processed: u64,
@@ -56,12 +59,16 @@ pub(crate) struct Worker {
     /// Per-task delay injected by [`FaultAction::Slow`].
     slow: Option<Duration>,
     latency: LatencyHistogram,
+    /// Reusable kernel buffers: steady-state matching allocates only when
+    /// a delivery is actually produced.
+    scratch: MatchScratch,
+    outcome: MatchOutcome,
 }
 
 impl Worker {
     pub(crate) fn new(
         node: NodeId,
-        index: InvertedIndex,
+        index: Arc<InvertedIndex>,
         mailbox: Receiver<NodeMessage>,
         deliveries: Sender<Delivery>,
     ) -> Self {
@@ -79,6 +86,8 @@ impl Worker {
             lost_docs: Vec::new(),
             slow: None,
             latency: LatencyHistogram::new(),
+            scratch: MatchScratch::new(),
+            outcome: MatchOutcome::default(),
         }
     }
 
@@ -122,21 +131,24 @@ impl Worker {
     fn handle(&mut self, msg: NodeMessage) -> bool {
         self.messages_processed += 1;
         match msg {
-            NodeMessage::RegisterFilter { filter, terms } => match terms {
-                None => self.index.insert(filter),
-                Some(terms) => {
-                    for t in terms {
-                        self.index.insert_for_term(filter.clone(), t);
+            NodeMessage::RegisterFilter { filter, terms } => {
+                let index = Arc::make_mut(&mut self.index);
+                match terms {
+                    None => index.insert_shared(filter),
+                    Some(terms) => {
+                        for t in terms {
+                            index.insert_shared_for_term(Arc::clone(&filter), t);
+                        }
                     }
                 }
-            },
+            }
             NodeMessage::PublishDocument { batch } => {
                 for task in batch {
                     self.execute(task);
                 }
             }
             NodeMessage::AllocationUpdate { index } => {
-                self.index = *index;
+                self.index = index;
             }
             NodeMessage::StatsReport { reply } => {
                 let _ = reply.send(self.snapshot());
@@ -185,35 +197,33 @@ impl Worker {
         if let Some(d) = self.slow {
             std::thread::sleep(d);
         }
-        let mut matched: Vec<FilterId> = Vec::new();
+        let out = &mut self.outcome;
+        out.clear();
         match &task.task {
             // Forward steps never reach a worker (the router is the
             // forwarding table), but stay executable for completeness.
             MatchTask::Forward => {}
             MatchTask::Terms(terms) => {
                 for &t in terms {
-                    let outcome = self.index.match_term(&task.doc, t);
-                    self.postings_scanned += outcome.postings_scanned;
-                    matched.extend(outcome.matched);
+                    self.index.match_term_into(&task.doc, t, out);
                 }
             }
             MatchTask::FullIndex => {
-                let outcome = self.index.match_document(&task.doc);
-                self.postings_scanned += outcome.postings_scanned;
-                matched.extend(outcome.matched);
+                self.index
+                    .match_document_into(&task.doc, &mut self.scratch, out);
             }
         }
+        self.postings_scanned += out.postings_scanned;
         let nanos = u64::try_from(task.dispatched.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.latency.record(nanos);
         self.doc_tasks += 1;
-        if !matched.is_empty() {
-            matched.sort_unstable();
-            matched.dedup();
-            self.delivered += matched.len() as u64;
+        if !out.matched.is_empty() {
+            self.scratch.sort_dedup(&mut out.matched);
+            self.delivered += out.matched.len() as u64;
             let _ = self.deliveries.send(Delivery {
                 doc: task.doc.id(),
                 node: self.node,
-                matched,
+                matched: out.matched.clone(),
             });
         }
     }

@@ -1,8 +1,9 @@
 //! Term interning.
 
-use crate::TermId;
-use serde::{Deserialize, Serialize};
+use crate::{MoveError, Result, TermId};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A bidirectional mapping between term strings and dense [`TermId`]s.
 ///
@@ -25,10 +26,12 @@ use std::collections::HashMap;
 /// assert_eq!(dict.term(a), Some("alpha"));
 /// assert_eq!(dict.len(), 2);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TermDictionary {
-    by_term: HashMap<String, TermId>,
-    by_id: Vec<String>,
+    /// Keyed by the same `Arc<str>` stored in `by_id`: each distinct term
+    /// string is allocated exactly once.
+    by_term: HashMap<Arc<str>, TermId>,
+    by_id: Vec<Arc<str>>,
 }
 
 impl TermDictionary {
@@ -46,17 +49,31 @@ impl TermDictionary {
     }
 
     /// Interns `term`, returning its id. Repeated calls with the same term
-    /// return the same id.
+    /// return the same id. Saturates at `TermId(u32::MAX)` if the id space
+    /// is ever exhausted (2³² distinct terms); use
+    /// [`TermDictionary::try_intern`] to observe that condition as an error.
     pub fn intern(&mut self, term: &str) -> TermId {
+        self.try_intern(term).unwrap_or(TermId(u32::MAX))
+    }
+
+    /// Interns `term`, returning its id, or [`MoveError::Internal`] once
+    /// `u32::MAX` distinct terms have been interned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoveError::Internal`] when the dense `u32` id space is
+    /// exhausted.
+    pub fn try_intern(&mut self, term: &str) -> Result<TermId> {
         if let Some(&id) = self.by_term.get(term) {
-            return id;
+            return Ok(id);
         }
-        let id = TermId(
-            u32::try_from(self.by_id.len()).expect("term dictionary overflowed u32 id space"),
-        );
-        self.by_term.insert(term.to_owned(), id);
-        self.by_id.push(term.to_owned());
-        id
+        let raw = u32::try_from(self.by_id.len())
+            .map_err(|_| MoveError::Internal("term dictionary overflowed u32 id space".into()))?;
+        let id = TermId(raw);
+        let shared: Arc<str> = Arc::from(term);
+        self.by_term.insert(Arc::clone(&shared), id);
+        self.by_id.push(shared);
+        Ok(id)
     }
 
     /// Looks up the id of `term` without interning it.
@@ -67,7 +84,7 @@ impl TermDictionary {
     /// Returns the term string for `id`, if `id` was produced by this
     /// dictionary.
     pub fn term(&self, id: TermId) -> Option<&str> {
-        self.by_id.get(id.as_usize()).map(String::as_str)
+        self.by_id.get(id.as_usize()).map(AsRef::as_ref)
     }
 
     /// Number of distinct terms interned so far.
@@ -85,7 +102,36 @@ impl TermDictionary {
         self.by_id
             .iter()
             .enumerate()
-            .map(|(i, s)| (TermId(i as u32), s.as_str()))
+            .map(|(i, s)| (TermId(i as u32), s.as_ref()))
+    }
+}
+
+impl Serialize for TermDictionary {
+    /// Serializes as the id-ordered term array; `by_term` is derived state
+    /// and rebuilt on deserialization.
+    fn to_value(&self) -> Value {
+        Value::Array(
+            self.by_id
+                .iter()
+                .map(|s| Value::String(s.to_string()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for TermDictionary {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let Value::Array(items) = v else {
+            return Err(DeError::expected("term array", v));
+        };
+        let mut dict = TermDictionary::with_capacity(items.len());
+        for item in items {
+            let Value::String(term) = item else {
+                return Err(DeError::expected("term string", item));
+            };
+            dict.intern(term);
+        }
+        Ok(dict)
     }
 }
 

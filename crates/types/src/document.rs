@@ -52,11 +52,11 @@ impl Document {
     {
         let mut all: Vec<TermId> = occurrences.into_iter().collect();
         all.sort_unstable();
-        let mut terms = Vec::new();
+        let mut terms: Vec<TermId> = Vec::new();
         let mut counts: Vec<u32> = Vec::new();
         for t in &all {
-            match terms.last() {
-                Some(&last) if last == *t => *counts.last_mut().expect("parallel") += 1,
+            match (terms.last(), counts.last_mut()) {
+                (Some(&last), Some(c)) if last == *t => *c += 1,
                 _ => {
                     terms.push(*t);
                     counts.push(1);

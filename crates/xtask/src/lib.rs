@@ -5,7 +5,8 @@
 //! not general Rust style:
 //!
 //! * **no-panic** — the library crates on the live data path (`move-core`,
-//!   `move-runtime`) must not contain `unwrap()`, `expect(…)`, `panic!`,
+//!   `move-runtime`) plus the foundational `move-types` and `move-index`
+//!   crates must not contain `unwrap()`, `expect(…)`, `panic!`,
 //!   `unreachable!`, `todo!` or `unimplemented!` outside test code: a
 //!   worker that panics takes a node's shard with it, so every fallible
 //!   path must surface a typed [`MoveError`](../move_types) instead.
@@ -25,6 +26,11 @@
 //! comments, string/char literals and `#[cfg(test)]` regions, then matches
 //! per-line patterns. That is exact enough for these rules because the
 //! workspace is `rustfmt`-formatted (one item/arm per line).
+//!
+//! `cargo run -p xtask -- check-bench [report.json]` additionally
+//! validates the schema of the hot-path benchmark report
+//! ([`check_bench_report`]), so CI notices when the bench harness and its
+//! consumers drift apart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -328,6 +334,15 @@ fn is_data_path(path: &str) -> bool {
     path.starts_with("crates/core/src/") || path.starts_with("crates/runtime/src/")
 }
 
+/// Crates whose non-test code must be panic-free but are not (yet) held to
+/// the pub-docs rule: the foundation types and the match kernels, which
+/// every data-path crate builds on.
+fn is_no_panic_scope(path: &str) -> bool {
+    is_data_path(path)
+        || path.starts_with("crates/types/src/")
+        || path.starts_with("crates/index/src/")
+}
+
 /// Files that dispatch on the engine's protocol enums.
 fn is_protocol_dispatch(path: &str) -> bool {
     matches!(
@@ -352,8 +367,10 @@ fn is_channel_scope(path: &str) -> bool {
 pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
     let lines = preprocess(source);
     let mut out = Vec::new();
-    if is_data_path(path) {
+    if is_no_panic_scope(path) {
         no_panic(path, &lines, &mut out);
+    }
+    if is_data_path(path) {
         pub_docs(path, &lines, &mut out);
     }
     if is_channel_scope(path) {
@@ -564,6 +581,112 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
+/// Validates the structure of a `results/BENCH_hotpath.json` report
+/// produced by `cargo run -p move-bench --bin bench_hotpath`, returning a
+/// human-readable message per schema problem (empty when the report is
+/// well-formed).
+///
+/// The schema is deliberately shallow — it guards the CI bench-smoke job
+/// against the harness silently rotting (wrong field names, empty run set,
+/// zeroed throughput), not against regressions in the numbers themselves:
+///
+/// * top level: object with numeric `scale`, `nodes`, `filters`, `docs`
+///   and a non-empty `runs` array;
+/// * each run: `scheme` ∈ {`il`, `rs`, `move`}, `mode` ∈ {`sim`, `live`},
+///   `docs_per_sec` > 0, and `p50_us` ≤ `p99_us` (both non-negative).
+#[must_use]
+pub fn check_bench_report(src: &str) -> Vec<String> {
+    use serde::Value;
+
+    let mut errors = Vec::new();
+    let root = match serde_json::parse_value(src) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("not valid JSON: {e}")],
+    };
+    if !matches!(root, Value::Object(_)) {
+        return vec![format!(
+            "top level must be an object, found {}",
+            root.kind()
+        )];
+    }
+    for field in ["scale", "nodes", "filters", "docs"] {
+        match root.get(field) {
+            None => errors.push(format!("missing top-level field `{field}`")),
+            Some(v) if v.as_f64().is_none() => {
+                errors.push(format!("`{field}` must be a number, found {}", v.kind()));
+            }
+            Some(_) => {}
+        }
+    }
+    let runs = match root.get("runs") {
+        None => {
+            errors.push("missing top-level field `runs`".to_string());
+            return errors;
+        }
+        Some(Value::Array(runs)) => runs,
+        Some(v) => {
+            errors.push(format!("`runs` must be an array, found {}", v.kind()));
+            return errors;
+        }
+    };
+    if runs.is_empty() {
+        errors.push("`runs` must not be empty".to_string());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        if !matches!(run, Value::Object(_)) {
+            errors.push(format!("runs[{i}] must be an object, found {}", run.kind()));
+            continue;
+        }
+        for (field, allowed) in [
+            ("scheme", &["il", "rs", "move"][..]),
+            ("mode", &["sim", "live"][..]),
+        ] {
+            match run.get(field) {
+                Some(Value::String(s)) if allowed.contains(&s.as_str()) => {}
+                Some(Value::String(s)) => errors.push(format!(
+                    "runs[{i}].{field}: `{s}` is not one of {allowed:?}"
+                )),
+                Some(v) => errors.push(format!(
+                    "runs[{i}].{field} must be a string, found {}",
+                    v.kind()
+                )),
+                None => errors.push(format!("runs[{i}] missing `{field}`")),
+            }
+        }
+        for field in ["elapsed_secs", "docs_per_sec", "p50_us", "p99_us"] {
+            match run.get(field).and_then(Value::as_f64) {
+                Some(x) if x.is_finite() && x >= 0.0 => {}
+                Some(_) => errors.push(format!("runs[{i}].{field} must be finite and >= 0")),
+                None => errors.push(format!("runs[{i}] missing numeric `{field}`")),
+            }
+        }
+        if let Some(dps) = run.get("docs_per_sec").and_then(Value::as_f64) {
+            if dps <= 0.0 {
+                errors.push(format!("runs[{i}].docs_per_sec must be > 0, got {dps}"));
+            }
+        }
+        if let (Some(p50), Some(p99)) = (
+            run.get("p50_us").and_then(Value::as_f64),
+            run.get("p99_us").and_then(Value::as_f64),
+        ) {
+            if p50 > p99 {
+                errors.push(format!("runs[{i}]: p50_us ({p50}) exceeds p99_us ({p99})"));
+            }
+        }
+        for field in ["deliveries", "postings_scanned"] {
+            match run.get(field) {
+                None => errors.push(format!("runs[{i}] missing `{field}`")),
+                Some(v) if v.as_u64().is_none() => errors.push(format!(
+                    "runs[{i}].{field} must be a non-negative integer, found {}",
+                    v.kind()
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    errors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,6 +813,85 @@ mod tests {
         let src = "/// A doc that drifted away.\n\npub fn f() {}\n";
         let v = lint_source("crates/core/src/bad.rs", src);
         assert_eq!(rules(&v), [PUB_DOCS]);
+    }
+
+    fn valid_report() -> String {
+        let run = |scheme: &str, mode: &str| {
+            format!(
+                "{{\"scheme\":\"{scheme}\",\"mode\":\"{mode}\",\
+                 \"elapsed_secs\":1.5,\"docs_per_sec\":3500.0,\
+                 \"p50_us\":60.5,\"p99_us\":900.0,\
+                 \"deliveries\":12345,\"postings_scanned\":67890}}"
+            )
+        };
+        format!(
+            "{{\"scale\":0.05,\"nodes\":20,\"filters\":50000,\"docs\":5000,\
+             \"runs\":[{},{}]}}",
+            run("rs", "sim"),
+            run("move", "live")
+        )
+    }
+
+    #[test]
+    fn bench_report_accepts_valid() {
+        let errors = check_bench_report(&valid_report());
+        assert!(errors.is_empty(), "unexpected errors: {errors:?}");
+    }
+
+    #[test]
+    fn bench_report_rejects_garbage_json() {
+        assert!(!check_bench_report("{not json").is_empty());
+        assert_eq!(check_bench_report("[1,2,3]").len(), 1);
+    }
+
+    #[test]
+    fn bench_report_rejects_empty_runs() {
+        let src = "{\"scale\":1,\"nodes\":2,\"filters\":3,\"docs\":4,\"runs\":[]}";
+        let errors = check_bench_report(src);
+        assert!(errors.iter().any(|e| e.contains("must not be empty")));
+    }
+
+    #[test]
+    fn bench_report_rejects_bad_run_fields() {
+        let report = valid_report()
+            .replace("\"rs\"", "\"ilx\"")
+            .replace("3500.0", "0.0")
+            .replace("900.0", "10.0");
+        let errors = check_bench_report(&report);
+        assert!(
+            errors.iter().any(|e| e.contains("not one of")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("must be > 0")),
+            "{errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.contains("exceeds p99_us")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn bench_report_rejects_missing_fields() {
+        let errors = check_bench_report("{\"runs\":[{}]}");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("missing top-level field `scale`")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("runs[0] missing `scheme`")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("missing numeric `docs_per_sec`")));
+    }
+
+    #[test]
+    fn the_committed_bench_report_is_valid() {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_hotpath.json");
+        let src = fs::read_to_string(path).expect("read committed bench report");
+        let errors = check_bench_report(&src);
+        assert!(errors.is_empty(), "committed report invalid: {errors:?}");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Entry point: `cargo run -p xtask -- lint [workspace-root]`.
+//! Entry point: `cargo run -p xtask -- <lint|check-bench> [path]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,11 +29,41 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("check-bench") => {
+            let path = args.next().map_or_else(
+                || {
+                    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                        .join("../../results/BENCH_hotpath.json")
+                },
+                PathBuf::from,
+            );
+            let src = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("xtask check-bench: cannot read {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let errors = xtask::check_bench_report(&src);
+            for e in &errors {
+                println!("{}: {e}", path.display());
+            }
+            if errors.is_empty() {
+                println!("xtask check-bench: {} is well-formed", path.display());
+                ExitCode::SUCCESS
+            } else {
+                println!("xtask check-bench: {} schema error(s)", errors.len());
+                ExitCode::FAILURE
+            }
+        }
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint [workspace-root]\n\n\
-                 Runs the workspace-specific static analysis (no-panic, \
-                 no-unbounded, no-catch-all, pub-docs)."
+                "usage: cargo run -p xtask -- lint [workspace-root]\n\
+                 \x20      cargo run -p xtask -- check-bench [report.json]\n\n\
+                 lint        runs the workspace-specific static analysis \
+                 (no-panic, no-unbounded, no-catch-all, pub-docs)\n\
+                 check-bench validates the schema of a bench_hotpath JSON \
+                 report (default: results/BENCH_hotpath.json)"
             );
             ExitCode::FAILURE
         }

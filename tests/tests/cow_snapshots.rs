@@ -1,0 +1,72 @@
+//! The clone-counter oracle for copy-on-write shards: a live MOVE run
+//! whose allocation refresh fires repeatedly must perform **zero** deep
+//! `InvertedIndex` copies — boot snapshots, supervisor journal bases, and
+//! every re-shipped shard are `Arc` shares of the scheme's own indexes.
+//!
+//! This file deliberately holds a single `#[test]`: the counter
+//! ([`move_index::deep_clone_count`]) is process-wide, so any concurrently
+//! running test that clones an index (property tests do, on purpose)
+//! would pollute the delta. Integration-test files compile to separate
+//! binaries, which gives this assertion a process of its own.
+
+use move_core::{Dissemination, MoveScheme, SystemConfig};
+use move_index::{brute_force, deep_clone_count};
+use move_integration_tests::{random_docs, random_filters};
+use move_runtime::{Engine, RuntimeConfig};
+use move_types::{FilterId, MatchSemantics};
+use std::collections::BTreeSet;
+
+#[test]
+fn live_refresh_cycle_performs_zero_deep_clones() {
+    let mut cfg = SystemConfig::small_test();
+    cfg.capacity_per_node = 150; // small enough to force real grids
+    cfg.refresh_every_docs = 10; // several refreshes across the run
+    let filters = random_filters(200, 50, 0xC0F);
+    let docs = random_docs(60, 60, 10, 0xD0C);
+
+    let mut scheme = MoveScheme::new(cfg).expect("valid config");
+    // Register everything *before* boot: the scheme's shards are uniquely
+    // owned here, so registration itself is copy-free, and from boot
+    // onward the engine must stay copy-free by sharing, not duplicating.
+    for f in &filters {
+        scheme.register(f).expect("register");
+    }
+    scheme.observe_corpus(&docs);
+    scheme.allocate().expect("allocate");
+
+    let before = deep_clone_count();
+    let engine = Engine::start(Box::new(scheme), RuntimeConfig::default()).expect("engine starts");
+    let deliveries = engine.deliveries();
+    for d in &docs {
+        engine.publish(d.clone());
+    }
+    engine.flush();
+    let report = engine.shutdown().expect("clean shutdown");
+    let after = deep_clone_count();
+
+    assert!(
+        report.allocation_updates > 0,
+        "workload never exercised the refresh path"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "a boot snapshot, journal base, or allocation refresh deep-copied \
+         an index shard instead of sharing it"
+    );
+
+    // The shared shards must still deliver exactly: union per doc equals
+    // brute force over the registered filters.
+    let mut got: std::collections::BTreeMap<move_types::DocId, BTreeSet<FilterId>> =
+        std::collections::BTreeMap::new();
+    for d in deliveries.try_iter() {
+        got.entry(d.doc).or_default().extend(d.matched);
+    }
+    for d in &docs {
+        let want: BTreeSet<FilterId> = brute_force(&filters, d, MatchSemantics::Boolean)
+            .into_iter()
+            .collect();
+        let have = got.get(&d.id()).cloned().unwrap_or_default();
+        assert_eq!(have, want, "doc {} delivery drifted", d.id());
+    }
+}

@@ -280,6 +280,57 @@ fn move_allocation_refresh_races_are_benign() {
     }
 }
 
+/// 20 seeded schedules of the copy-on-write shard protocol's worst case:
+/// live `RegisterFilter`s (which `Arc::make_mut` the worker's shard while
+/// the supervisor journal still shares it) interleaved with
+/// `AllocationUpdate`s (which replace the shard with a fresh `Arc`
+/// snapshot) landing mid-drain between queued batches. Whatever the
+/// interleaving, every document must be delivered to exactly the filters
+/// registered before it in router order — shard sharing is never allowed
+/// to make a worker serve a layout it was not shipped.
+#[test]
+fn registrations_race_arc_shard_refreshes_mid_drain() {
+    let mut cfg = SystemConfig::small_test();
+    cfg.capacity_per_node = 150; // force real grids
+    cfg.refresh_every_docs = 4; // refreshes land between the registrations
+    let filters = random_filters(160, 50, 0xA2C);
+    let docs = random_docs(24, 60, 10, 0xD0C2);
+    let (pre, live) = filters.split_at(filters.len() / 2);
+    let script = interleaved_script(live, &docs);
+    let expected = expected_sets(pre, &script);
+
+    for seed in 700..720u64 {
+        let mut scheme = MoveScheme::new(cfg.clone()).expect("valid config");
+        for f in pre {
+            scheme.register(f).expect("register");
+        }
+        scheme.observe_corpus(&docs);
+        scheme.allocate().expect("allocate");
+        let icfg = InterleaveConfig {
+            seed,
+            mailbox_capacity: 2,
+            overflow: OverflowPolicy::Block,
+            batch_size: 1,
+            ..InterleaveConfig::default()
+        };
+        let out = run_schedule(Box::new(scheme), script.clone(), &icfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            out.report.allocation_updates > 0,
+            "seed {seed}: no refresh landed, the race was not exercised"
+        );
+        for d in &docs {
+            let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+            assert_eq!(
+                &got,
+                &expected[&d.id()],
+                "seed {seed}: doc {} wrong across register/refresh race",
+                d.id()
+            );
+        }
+    }
+}
+
 /// 36 fault schedules (3 schemes × 12 seeds) under restart supervision:
 /// two seeded crashes land mid-publish-stream and late (crash-during-drain
 /// at shutdown), plus a scheduling delay and a racing `Restart`. The
