@@ -13,7 +13,9 @@ use move_bench::{
 };
 use move_runtime::{Engine, RuntimeConfig};
 use move_stats::LatencyHistogram;
+use move_types::{DocId, FilterId};
 use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 #[derive(Serialize)]
@@ -30,6 +32,22 @@ struct HotpathRun {
     postings_scanned: u64,
 }
 
+/// One point of the `--publishers` ingest-scaling sweep: the live engine
+/// with a router pool of `publishers` ingest threads, judged against the
+/// single-publisher baseline of the same scheme both on throughput
+/// (`speedup`) and on correctness (`deliveries_match` — the per-document
+/// delivery sets must be identical, publishers only change *who routes*,
+/// never *who receives*).
+#[derive(Serialize)]
+struct ScalingRun {
+    scheme: &'static str,
+    mode: &'static str,
+    publishers: usize,
+    docs_per_sec: f64,
+    speedup: f64,
+    deliveries_match: bool,
+}
+
 #[derive(Serialize)]
 struct HotpathReport {
     scale: f64,
@@ -37,6 +55,38 @@ struct HotpathReport {
     filters: usize,
     docs: usize,
     runs: Vec<HotpathRun>,
+    scaling: Vec<ScalingRun>,
+}
+
+type DeliveryMap = BTreeMap<DocId, BTreeSet<FilterId>>;
+
+/// Live-engine run with a `publishers`-wide ingest pool, also draining the
+/// delivery tap so the sweep can compare delivery maps across pool widths.
+fn pool_run(
+    kind: SchemeKind,
+    cfg: &ExperimentConfig,
+    w: &Workload,
+    publishers: usize,
+) -> (f64, DeliveryMap) {
+    let scheme = build_scheme(kind, cfg, w);
+    let config = RuntimeConfig {
+        publishers,
+        ..RuntimeConfig::default()
+    };
+    let engine = Engine::start(scheme, config).expect("spawn engine threads");
+    let deliveries = engine.deliveries();
+    let start = Instant::now();
+    for d in &w.docs {
+        engine.publish(d.clone());
+    }
+    engine.flush();
+    let elapsed = start.elapsed().as_secs_f64();
+    engine.shutdown().expect("engine ran to completion");
+    let mut map = DeliveryMap::new();
+    for d in deliveries.try_iter() {
+        map.entry(d.doc).or_default().extend(d.matched);
+    }
+    (w.docs.len() as f64 / elapsed, map)
 }
 
 fn sim_run(kind: SchemeKind, cfg: &ExperimentConfig, w: &Workload) -> HotpathRun {
@@ -93,6 +143,30 @@ fn live_run(kind: SchemeKind, cfg: &ExperimentConfig, w: &Workload) -> HotpathRu
     }
 }
 
+/// Parses `--publishers 1,2,4,8` from the CLI (the sweep of ingest-pool
+/// widths); defaults to the full 1/2/4/8 sweep and always measures the
+/// width-1 baseline first so every speedup has its denominator.
+fn publisher_sweep() -> Vec<usize> {
+    let mut sweep = vec![1usize, 2, 4, 8];
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--publishers" {
+            let spec = args.next().unwrap_or_default();
+            sweep = spec
+                .split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .collect();
+        }
+    }
+    if !sweep.contains(&1) {
+        sweep.insert(0, 1);
+    }
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
+}
+
 fn main() {
     let scale = Scale::from_env();
     println!("bench_hotpath ({scale})");
@@ -142,12 +216,52 @@ fn main() {
     }
     table.finish();
 
+    // The ingest-scaling sweep: router pools of increasing width on the
+    // two keyword-routed schemes (RS floods, so its router does no real
+    // work worth scaling). Correctness gate: every width must reproduce
+    // the width-1 delivery map exactly.
+    let sweep = publisher_sweep();
+    let mut scaling_table = Table::new(
+        "bench_hotpath_scaling",
+        &["scheme", "publishers", "docs_per_s", "speedup", "match"],
+    );
+    let mut scaling = Vec::new();
+    for kind in [SchemeKind::Il, SchemeKind::Move] {
+        let mut baseline: Option<(f64, DeliveryMap)> = None;
+        for &publishers in &sweep {
+            let (dps, map) = pool_run(kind, &cfg, &w, publishers);
+            let (base_dps, base_map) = baseline.get_or_insert_with(|| (dps, map.clone()));
+            let run = ScalingRun {
+                scheme: kind.label(),
+                mode: "live",
+                publishers,
+                docs_per_sec: dps,
+                speedup: dps / *base_dps,
+                deliveries_match: map == *base_map,
+            };
+            scaling_table.row(&[
+                run.scheme.to_owned(),
+                run.publishers.to_string(),
+                format!("{:.0}", run.docs_per_sec),
+                format!("{:.2}", run.speedup),
+                run.deliveries_match.to_string(),
+            ]);
+            println!(
+                "{}/live x{}: {:.0} docs/s, speedup {:.2}, deliveries_match {}",
+                run.scheme, run.publishers, run.docs_per_sec, run.speedup, run.deliveries_match,
+            );
+            scaling.push(run);
+        }
+    }
+    scaling_table.finish();
+
     let bench = HotpathReport {
         scale: scale.factor,
         nodes,
         filters: w.filters.len(),
         docs: w.docs.len(),
         runs,
+        scaling,
     };
     let json = serde_json::to_string_pretty(&bench).expect("report serializes");
     std::fs::create_dir_all("results").expect("create results/");

@@ -75,6 +75,24 @@ impl LiveSession {
     ///
     /// Returns a message when the cluster configuration is rejected.
     pub fn with_fault_plan(nodes: usize, racks: usize, plan: FaultPlan) -> Result<Self, String> {
+        Self::with_options(nodes, racks, plan, 1)
+    }
+
+    /// Boots the live engine with a seeded fault plan *and* a router pool
+    /// of `publishers` ingest threads (the `--publishers` flag): documents
+    /// are routed concurrently against the engine's immutable routing
+    /// snapshots, and the session report breaks routed/shed counts out per
+    /// ingest thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the cluster configuration is rejected.
+    pub fn with_options(
+        nodes: usize,
+        racks: usize,
+        plan: FaultPlan,
+        publishers: usize,
+    ) -> Result<Self, String> {
         let config = SystemConfig {
             nodes,
             racks,
@@ -82,8 +100,12 @@ impl LiveSession {
             expected_terms: 100_000,
             ..SystemConfig::default()
         };
+        let runtime = RuntimeConfig {
+            publishers: publishers.max(1),
+            ..RuntimeConfig::default()
+        };
         let scheme = MoveScheme::new(config).map_err(|e| e.to_string())?;
-        let engine = Engine::start_with_faults(Box::new(scheme), RuntimeConfig::default(), plan)
+        let engine = Engine::start_with_faults(Box::new(scheme), runtime, plan)
             .map_err(|e| e.to_string())?;
         Ok(Self {
             engine: Some(engine),
@@ -153,18 +175,27 @@ live-mode commands:
                 self.finished = true;
                 let engine = self.engine.take().expect("engine running");
                 match engine.shutdown() {
-                    Ok(r) => format!(
-                        "engine drained: {} docs, {} tasks, p50 {:.1}us p99 {:.1}us; \
-                         {} restarts, {} retries, {} failovers, {} docs lost — bye",
-                        r.docs_published,
-                        r.tasks_dispatched,
-                        r.latency.p50 as f64 / 1e3,
-                        r.latency.p99 as f64 / 1e3,
-                        r.restarts,
-                        r.retries,
-                        r.failovers,
-                        r.lost_docs.len(),
-                    ),
+                    Ok(r) => {
+                        let mut out = format!(
+                            "engine drained: {} docs, {} tasks, p50 {:.1}us p99 {:.1}us; \
+                             {} restarts, {} retries, {} failovers, {} docs lost — bye",
+                            r.docs_published,
+                            r.tasks_dispatched,
+                            r.latency.p50 as f64 / 1e3,
+                            r.latency.p99 as f64 / 1e3,
+                            r.restarts,
+                            r.retries,
+                            r.failovers,
+                            r.lost_docs.len(),
+                        );
+                        for m in &r.ingest {
+                            out.push_str(&format!(
+                                "\n  ingest t{}: {} docs routed, {} tasks dispatched, {} shed",
+                                m.thread, m.docs_routed, m.tasks_dispatched, m.tasks_shed,
+                            ));
+                        }
+                        out
+                    }
                     Err(e) => format!("shutdown error: {e}"),
                 }
             }
@@ -196,6 +227,23 @@ mod tests {
         let bye = s.run(Command::Quit);
         assert!(bye.contains("engine drained"), "{bye}");
         assert!(s.finished);
+    }
+
+    #[test]
+    fn pooled_session_reports_per_ingest_counters() {
+        let mut s = LiveSession::with_options(6, 2, FaultPlan::none(), 3).unwrap();
+        assert!(s
+            .run(Command::parse("register 1 rust news").unwrap())
+            .contains("registered f1"));
+        for _ in 0..6 {
+            let _ = s.run(Command::parse("publish rust shipped a release").unwrap());
+        }
+        let bye = s.run(Command::Quit);
+        assert!(bye.contains("engine drained: 6 docs"), "{bye}");
+        for thread in ["ingest t0:", "ingest t1:", "ingest t2:"] {
+            assert!(bye.contains(thread), "{bye}");
+        }
+        assert!(!bye.contains("ingest t3:"), "{bye}");
     }
 
     #[test]

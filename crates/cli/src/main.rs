@@ -1,11 +1,14 @@
 //! The `move-cli` interactive shell. See `move_cli` (the library) for the
 //! command language.
 //!
-//! Usage: `move-cli [live] [--fault-plan <spec>] [nodes] [racks]` — with
-//! `live`, commands run on the concurrent `move-runtime` engine instead of
-//! the simulator; `--fault-plan kill=<fraction>@<doc>[,seed=<seed>]`
-//! crashes that share of the workers mid-session so supervised restarts
-//! can be watched live.
+//! Usage: `move-cli [live] [--fault-plan <spec>] [--publishers <n>]
+//! [nodes] [racks]` — with `live`, commands run on the concurrent
+//! `move-runtime` engine instead of the simulator;
+//! `--fault-plan kill=<fraction>@<doc>[,seed=<seed>]` crashes that share
+//! of the workers mid-session so supervised restarts can be watched live;
+//! `--publishers <n>` routes documents through a pool of `n` concurrent
+//! ingest threads instead of the single router (the session report then
+//! breaks routed/shed counters out per ingest thread).
 
 use move_cli::{parse_fault_plan, Command, LiveSession, Session};
 use move_runtime::FaultPlan;
@@ -39,6 +42,7 @@ fn main() {
         args.next();
     }
     let mut fault_spec: Option<String> = None;
+    let mut publishers: Option<String> = None;
     let mut positional = Vec::new();
     while let Some(arg) = args.next() {
         if let Some(spec) = arg.strip_prefix("--fault-plan=") {
@@ -51,10 +55,34 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        } else if let Some(n) = arg.strip_prefix("--publishers=") {
+            publishers = Some(n.to_owned());
+        } else if arg == "--publishers" {
+            match args.next() {
+                Some(n) => publishers = Some(n),
+                None => {
+                    eprintln!("--publishers needs a thread count, e.g. --publishers 4");
+                    std::process::exit(1);
+                }
+            }
         } else {
             positional.push(arg);
         }
     }
+    let publishers = match publishers.as_deref() {
+        Some(_) if !live => {
+            eprintln!("--publishers requires live mode (the simulator is single-threaded)");
+            std::process::exit(1);
+        }
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--publishers needs a positive integer, got `{n}`");
+                std::process::exit(1);
+            }
+        },
+        None => 1,
+    };
     let mut positional = positional.into_iter();
     let nodes = positional.next().and_then(|a| a.parse().ok()).unwrap_or(20);
     let racks = positional.next().and_then(|a| a.parse().ok()).unwrap_or(4);
@@ -73,7 +101,7 @@ fn main() {
         None => FaultPlan::none(),
     };
     let built = if live {
-        LiveSession::with_fault_plan(nodes, racks, plan).map(Shell::Live)
+        LiveSession::with_options(nodes, racks, plan, publishers).map(Shell::Live)
     } else {
         Session::new(nodes, racks).map(|s| Shell::Sim(Box::new(s)))
     };

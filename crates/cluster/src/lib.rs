@@ -40,7 +40,7 @@ pub use cluster::{FailureMode, SimCluster};
 pub use cost::{CostLedger, CostModel, LedgerBoard};
 pub use hash::stable_hash64;
 pub use membership::{Membership, NodeStatus};
-pub use ring::Ring;
+pub use ring::{Ring, TermHomeTable};
 pub use sim::{Job, QueueSim, SimOutcome, Stage, Task};
 pub use store::{ColumnFamily, KvStore};
 pub use topology::Topology;

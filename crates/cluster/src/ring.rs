@@ -13,6 +13,52 @@ const TERM_HOME_CACHE_MAX: usize = 1 << 22;
 /// physical node id (clusters are far smaller than `u32::MAX` nodes).
 const TERM_HOME_UNSET: u32 = u32::MAX;
 
+/// A frozen, thread-safe term→home table, built from a [`Ring`] at a point
+/// in time. The [`Ring::home_of_term`] memoization is `RefCell`-based and
+/// therefore exclusive-access only; concurrent readers (the router pool's
+/// routing snapshots) instead freeze the current membership into this
+/// table, whose lookups are a plain array read for precomputed term ids
+/// and a pure binary search over its own vnode copy otherwise — no locks,
+/// no interior mutability, no stale answers (the table is rebuilt whenever
+/// the control plane publishes a new snapshot epoch).
+#[derive(Debug, Clone)]
+pub struct TermHomeTable {
+    /// Precomputed home node per dense term id.
+    homes: Vec<u32>,
+    /// `(token, owner)` copy of the ring for term ids beyond `homes`.
+    vnodes: Vec<(u64, NodeId)>,
+}
+
+impl TermHomeTable {
+    /// The home node of a term: an array read when precomputed, otherwise
+    /// the same hash + binary search the ring itself performs. Answers are
+    /// identical to [`Ring::home_of_term`] on the ring the table was
+    /// frozen from.
+    #[must_use]
+    pub fn home_of_term(&self, term: TermId) -> NodeId {
+        if let Some(&raw) = self.homes.get(term.as_usize()) {
+            return NodeId(raw);
+        }
+        let token = stable_hash64(&("term", term.0));
+        let pos = self.vnodes.partition_point(|&(t, _)| t < token);
+        let idx = if pos == self.vnodes.len() { 0 } else { pos };
+        self.vnodes[idx].1
+    }
+
+    /// Number of precomputed entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Whether the table has no precomputed entries (lookups still work —
+    /// they all take the binary-search path).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.homes.is_empty()
+    }
+}
+
 /// A consistent-hash ring with virtual nodes — the O(1)-hop DHT structure of
 /// Dynamo/Cassandra (paper §II, "Key/value platforms"). Every key hashes to
 /// a point on the 64-bit circle; the *home node* of the key is the physical
@@ -151,6 +197,25 @@ impl Ring {
             cache[idx] = home.0;
         }
         home
+    }
+
+    /// Freezes a thread-safe [`TermHomeTable`] with precomputed homes for
+    /// term ids `0..terms` (capped at the memoization bound so a
+    /// pathological id space cannot balloon the table). Ids beyond the
+    /// precomputed range are answered from the table's own vnode copy.
+    ///
+    /// Unlike the interior-mutability cache this does not change with
+    /// membership: callers freeze a fresh table per snapshot epoch.
+    #[must_use]
+    pub fn freeze_term_homes(&self, terms: usize) -> TermHomeTable {
+        let n = terms.min(TERM_HOME_CACHE_MAX);
+        let homes = (0..n)
+            .map(|i| self.home_of_token(stable_hash64(&("term", i as u32))).0)
+            .collect();
+        TermHomeTable {
+            homes,
+            vnodes: self.vnodes.clone(),
+        }
     }
 
     /// The first `n` *distinct physical* nodes walking the ring clockwise
@@ -305,6 +370,53 @@ mod tests {
         for t in 0..500u32 {
             let uncached = r.home_of_token(stable_hash64(&("term", t)));
             assert_eq!(r.home_of_term(TermId(t)), uncached);
+        }
+    }
+
+    #[test]
+    fn frozen_table_matches_ring_in_and_beyond_precomputed_range() {
+        let r = ring(8);
+        let table = r.freeze_term_homes(200);
+        assert_eq!(table.len(), 200);
+        assert!(!table.is_empty());
+        // Precomputed range: array reads agree with the memoized path.
+        for t in 0..200u32 {
+            assert_eq!(table.home_of_term(TermId(t)), r.home_of_term(TermId(t)));
+        }
+        // Beyond the range: the binary-search fallback still agrees.
+        for t in 200..1000u32 {
+            assert_eq!(table.home_of_term(TermId(t)), r.home_of_term(TermId(t)));
+        }
+    }
+
+    #[test]
+    fn frozen_table_is_a_point_in_time_snapshot() {
+        let mut r = ring(8);
+        let before = r.freeze_term_homes(500);
+        r.remove_node(NodeId(2));
+        let after = r.freeze_term_homes(500);
+        // The old table keeps answering with the old membership; a table
+        // frozen after the change agrees with the (cache-cleared) ring.
+        let mut moved = 0;
+        for t in 0..500u32 {
+            let term = TermId(t);
+            assert_eq!(after.home_of_term(term), r.home_of_term(term));
+            assert_ne!(after.home_of_term(term), NodeId(2));
+            if before.home_of_term(term) != after.home_of_term(term) {
+                assert_eq!(before.home_of_term(term), NodeId(2));
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "some terms must have been homed on node 2");
+    }
+
+    #[test]
+    fn frozen_table_cap_keeps_answers_exact() {
+        let r = ring(4);
+        let capped = r.freeze_term_homes(0);
+        assert!(capped.is_empty());
+        for t in 0..300u32 {
+            assert_eq!(capped.home_of_term(TermId(t)), r.home_of_term(TermId(t)));
         }
     }
 

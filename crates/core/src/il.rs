@@ -1,7 +1,9 @@
 //! The baseline: the pure distributed inverted list (paper §III).
 
 use crate::scheme::execute_steps;
-use crate::{encode_filter, Dissemination, MatchTask, RouteStep, SchemeOutput, SystemConfig};
+use crate::{
+    encode_filter, Dissemination, MatchTask, RouteStep, RoutingView, SchemeOutput, SystemConfig,
+};
 use move_bloom::CountingBloomFilter;
 use move_cluster::{Job, SimCluster, Stage};
 use move_index::{InvertedIndex, MatchScratch};
@@ -255,6 +257,25 @@ impl Dissemination for IlScheme {
 
     fn shared_node_index(&self, node: NodeId) -> Arc<InvertedIndex> {
         Arc::clone(&self.indexes[node.as_usize()])
+    }
+
+    fn routing_view(&self, epoch: u64) -> RoutingView {
+        let alive = (0..self.cluster.len())
+            .map(|n| self.cluster.is_alive(NodeId(n as u32)))
+            .collect();
+        let terms = self
+            .term_popularity
+            .keys()
+            .map(|t| t.as_usize() + 1)
+            .max()
+            .unwrap_or(0);
+        RoutingView::il(
+            epoch,
+            alive,
+            self.cluster.ring().freeze_term_homes(terms),
+            self.bloom.clone(),
+            self.config.use_bloom,
+        )
     }
 
     fn registration_targets(&self, filter: &Filter) -> Vec<(NodeId, Option<Vec<TermId>>)> {

@@ -48,6 +48,7 @@ mod placement;
 mod rs;
 mod scheme;
 mod single_node;
+mod snapshot;
 mod stats;
 
 pub use allocation::{AllocationFactors, FactorRule, Grid, GridMode};
@@ -60,4 +61,5 @@ pub use placement::PlacementStrategy;
 pub use rs::RsScheme;
 pub use scheme::{Dissemination, MatchTask, RouteStep, SchemeOutput};
 pub use single_node::{run_single_node, SingleNodeReport};
+pub use snapshot::{MoveViewParts, RoutingView, StatsDelta};
 pub use stats::NodeStats;

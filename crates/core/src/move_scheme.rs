@@ -4,7 +4,8 @@
 use crate::scheme::execute_steps;
 use crate::{
     encode_filter, AllocationFactors, AllocationPolicy, Dissemination, FactorRule, Grid, GridMode,
-    MatchTask, NodeStats, RouteStep, SchemeOutput, SystemConfig,
+    MatchTask, MoveViewParts, NodeStats, RouteStep, RoutingView, SchemeOutput, StatsDelta,
+    SystemConfig,
 };
 use move_bloom::CountingBloomFilter;
 use move_cluster::{Job, SimCluster, Stage};
@@ -748,11 +749,14 @@ impl Dissemination for MoveScheme {
         by_node.into_iter().map(|(n, ts)| (n, Some(ts))).collect()
     }
 
-    fn maintenance(&mut self, doc: &Document) -> Result<bool> {
-        // Live statistics feed the periodic refresh; the passive policy also
-        // triggers its first allocation from here.
+    fn note_published(&mut self, doc: &Document) {
+        // Live statistics feed the periodic refresh.
         self.observe(doc);
         self.docs_since_refresh += 1;
+    }
+
+    fn refresh_allocation(&mut self) -> Result<bool> {
+        // The passive policy also triggers its first allocation from here.
         if self.docs_since_refresh >= self.config.refresh_every_docs {
             self.docs_since_refresh = 0;
             if self.config.allocation_policy == AllocationPolicy::Passive
@@ -763,6 +767,58 @@ impl Dissemination for MoveScheme {
             }
         }
         Ok(false)
+    }
+
+    fn refresh_due(&self) -> bool {
+        self.docs_since_refresh >= self.config.refresh_every_docs
+    }
+
+    fn routing_view(&self, epoch: u64) -> RoutingView {
+        let alive = (0..self.cluster.len())
+            .map(|n| self.cluster.is_alive(NodeId(n as u32)))
+            .collect();
+        RoutingView::r#move(
+            epoch,
+            alive,
+            MoveViewParts {
+                homes: self
+                    .cluster
+                    .ring()
+                    .freeze_term_homes(self.term_pairs.counts.len()),
+                bloom: self.bloom.clone(),
+                use_bloom: self.config.use_bloom,
+                allocations: self.allocations.clone(),
+                term_allocations: self.term_allocations.clone(),
+                term_pairs: self.term_pairs.counts.clone(),
+            },
+        )
+    }
+
+    fn absorb_stats(&mut self, delta: &StatsDelta) {
+        for (i, &h) in delta.doc_hits.iter().enumerate() {
+            if let Some(c) = self.doc_hits.get_mut(i) {
+                *c += h;
+            }
+        }
+        for (i, &p) in delta.hit_postings.iter().enumerate() {
+            if let Some(c) = self.hit_postings.get_mut(i) {
+                *c += p;
+            }
+        }
+        for (i, &h) in delta.term_hits.iter().enumerate() {
+            if h > 0 {
+                if self.term_hits.counts.len() <= i {
+                    self.term_hits.counts.resize(i + 1, 0);
+                }
+                self.term_hits.counts[i] += h;
+            }
+        }
+        self.docs_observed += delta.docs;
+        self.docs_since_refresh += delta.docs;
+    }
+
+    fn doc_hits_per_node(&self) -> Vec<u64> {
+        self.doc_hits.clone()
     }
 
     fn storage_per_node(&self) -> Vec<u64> {

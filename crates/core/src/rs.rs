@@ -2,7 +2,7 @@
 //! [5] and ROAR [16]).
 
 use crate::scheme::execute_steps;
-use crate::{Dissemination, MatchTask, RouteStep, SchemeOutput, SystemConfig};
+use crate::{Dissemination, MatchTask, RouteStep, RoutingView, SchemeOutput, SystemConfig};
 use move_cluster::{stable_hash64, Job, SimCluster, Stage};
 use move_index::{InvertedIndex, MatchScratch};
 use move_types::{Document, Filter, FilterId, NodeId, Result};
@@ -144,6 +144,13 @@ impl Dissemination for RsScheme {
 
     fn shared_node_index(&self, node: NodeId) -> Arc<InvertedIndex> {
         Arc::clone(&self.indexes[node.as_usize()])
+    }
+
+    fn routing_view(&self, epoch: u64) -> RoutingView {
+        let alive = (0..self.cluster.len())
+            .map(|n| self.cluster.is_alive(NodeId(n as u32)))
+            .collect();
+        RoutingView::rs(epoch, alive, self.groups.clone())
     }
 
     fn registration_targets(

@@ -3,6 +3,7 @@
 //! simulator and the live [`move-runtime`] engine execute one and the same
 //! per-document dissemination decision.
 
+use crate::snapshot::{RoutingView, StatsDelta};
 use move_cluster::{Job, SimCluster, Task};
 use move_index::{InvertedIndex, MatchOutcome, MatchScratch};
 use move_types::{Document, Filter, FilterId, NodeId, Result, TermId};
@@ -217,12 +218,67 @@ pub trait Dissemination {
     /// the filter layout changed, so a live engine knows to re-ship index
     /// shards to its workers.
     ///
+    /// Equivalent to [`Dissemination::note_published`] followed by
+    /// [`Dissemination::refresh_allocation`]; the live engine calls the
+    /// two halves separately so a parallel ingest plane can batch the
+    /// observation side into [`StatsDelta`] shards.
+    ///
     /// # Errors
     ///
     /// Propagates allocation errors.
     fn maintenance(&mut self, doc: &Document) -> Result<bool> {
+        self.note_published(doc);
+        self.refresh_allocation()
+    }
+
+    /// The observation half of [`Dissemination::maintenance`]: record one
+    /// published document into the scheme's routing statistics without
+    /// triggering an allocation refresh. Default: no statistics.
+    fn note_published(&mut self, doc: &Document) {
         let _ = doc;
+    }
+
+    /// The refresh half of [`Dissemination::maintenance`]: if enough
+    /// documents have been observed since the last refresh, recompute the
+    /// allocation. Returns whether the filter layout changed. Default: no
+    /// adaptive allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    fn refresh_allocation(&mut self) -> Result<bool> {
         Ok(false)
+    }
+
+    /// Whether enough documents have been observed that the next
+    /// [`Dissemination::refresh_allocation`] call would run the optimizer.
+    /// The parallel ingest plane polls this to decide when to fence the
+    /// ingest threads. Default: never.
+    fn refresh_due(&self) -> bool {
+        false
+    }
+
+    /// An immutable snapshot of everything [`Dissemination::route`] reads,
+    /// stamped with `epoch`. [`RoutingView::route`] on the returned
+    /// snapshot must produce a plan with the same *delivery set* as
+    /// `route` would under the scheme state at the time of the call; the
+    /// randomized replica choices may differ (replicas are equivalent).
+    fn routing_view(&self, epoch: u64) -> RoutingView;
+
+    /// Merges a sharded-statistics delta (accumulated by ingest threads
+    /// via [`RoutingView::observe`]) back into the scheme, as if the
+    /// corresponding documents had been passed to
+    /// [`Dissemination::note_published`]. Default: no statistics, drop it.
+    fn absorb_stats(&mut self, delta: &StatsDelta) {
+        let _ = delta;
+    }
+
+    /// MOVE's merged `q′ᵢ` document-frequency sample per node (empty for
+    /// schemes without routing statistics); surfaced in the live runtime's
+    /// report so the serial-vs-parallel equivalence suite can compare the
+    /// final merged statistics.
+    fn doc_hits_per_node(&self) -> Vec<u64> {
+        Vec::new()
     }
 
     /// Filter copies currently stored per node (the storage-cost vector of

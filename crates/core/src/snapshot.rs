@@ -1,0 +1,509 @@
+//! Immutable, epoch-stamped routing snapshots and the sharded statistics
+//! residue — the split that lets many ingest threads route concurrently
+//! while one control thread keeps exclusive ownership of the mutable
+//! scheme state.
+//!
+//! [`Dissemination::route`](crate::Dissemination::route) takes `&mut self`
+//! only because routing was historically entangled with MOVE's `q′ᵢ`
+//! statistics collection and the schemes' fan-out RNGs. A [`RoutingView`]
+//! is the pure-function remainder: everything per-document routing reads —
+//! the frozen term→home table, the registered-terms Bloom filter, the
+//! allocation grids, the liveness vector — captured at one *epoch*. The
+//! control plane publishes a fresh view (epoch + 1) whenever registration,
+//! allocation, or membership changes it; ingest threads route any number
+//! of documents against the current view with a caller-owned RNG, and bump
+//! the mutable residue (document-frequency counters) into a local
+//! [`StatsDelta`] the control plane merges back at refresh epochs via
+//! [`Dissemination::absorb_stats`](crate::Dissemination::absorb_stats).
+
+use crate::{Grid, MatchTask, RouteStep};
+use move_bloom::CountingBloomFilter;
+use move_cluster::TermHomeTable;
+use move_types::{Document, NodeId, TermId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// The mutable residue of routing: MOVE's per-node document-frequency
+/// sample and per-term hit counters, accumulated locally by one ingest
+/// thread and merged into the scheme by the control plane at
+/// allocation-refresh epochs. IL and RS collect no routing statistics, so
+/// their deltas stay empty.
+#[derive(Debug, Clone, Default)]
+pub struct StatsDelta {
+    /// Documents observed into this delta.
+    pub docs: u64,
+    /// `q′ᵢ` sample: routing hits per node, indexed by node id.
+    pub doc_hits: Vec<u64>,
+    /// Load sample: posting entries the home would scan, per node.
+    pub hit_postings: Vec<u64>,
+    /// Routing hits per term (`qₜ` sample), dense by term id.
+    pub term_hits: Vec<u64>,
+}
+
+impl StatsDelta {
+    /// An empty delta sized for `nodes` cluster nodes.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            docs: 0,
+            doc_hits: vec![0; nodes],
+            hit_postings: vec![0; nodes],
+            term_hits: Vec::new(),
+        }
+    }
+
+    /// Whether the delta carries no observations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.docs == 0
+    }
+
+    /// Folds `other` into `self` (shard merge at a refresh epoch).
+    pub fn merge(&mut self, other: &StatsDelta) {
+        self.docs += other.docs;
+        if self.doc_hits.len() < other.doc_hits.len() {
+            self.doc_hits.resize(other.doc_hits.len(), 0);
+        }
+        for (a, b) in self.doc_hits.iter_mut().zip(&other.doc_hits) {
+            *a += b;
+        }
+        if self.hit_postings.len() < other.hit_postings.len() {
+            self.hit_postings.resize(other.hit_postings.len(), 0);
+        }
+        for (a, b) in self.hit_postings.iter_mut().zip(&other.hit_postings) {
+            *a += b;
+        }
+        if self.term_hits.len() < other.term_hits.len() {
+            self.term_hits.resize(other.term_hits.len(), 0);
+        }
+        for (a, b) in self.term_hits.iter_mut().zip(&other.term_hits) {
+            *a += b;
+        }
+    }
+
+    fn bump_term(&mut self, t: TermId) {
+        let i = t.as_usize();
+        if self.term_hits.len() <= i {
+            self.term_hits.resize(i + 1, 0);
+        }
+        self.term_hits[i] += 1;
+    }
+}
+
+/// The per-scheme shape of a [`RoutingView`].
+#[derive(Debug, Clone)]
+enum ViewKind {
+    /// Distributed inverted list: Bloom-pruned term homes.
+    Il {
+        homes: Arc<TermHomeTable>,
+        bloom: Arc<CountingBloomFilter>,
+        use_bloom: bool,
+    },
+    /// Rendezvous flooding: one randomly chosen replica group.
+    Rs { groups: Arc<Vec<Vec<NodeId>>> },
+    /// MOVE: IL fronting per-home (and per-term) allocation grids.
+    Move {
+        homes: Arc<TermHomeTable>,
+        bloom: Arc<CountingBloomFilter>,
+        use_bloom: bool,
+        allocations: Arc<Vec<Option<Grid>>>,
+        term_allocations: Arc<HashMap<TermId, Grid>>,
+        /// Registered pairs per term (posting lengths at the home) —
+        /// feeds the load sample of [`RoutingView::observe`].
+        term_pairs: Arc<Vec<u64>>,
+    },
+}
+
+/// The MOVE-specific ingredients of a snapshot, bundled so
+/// [`RoutingView::r#move`] stays a three-argument constructor: the frozen
+/// term→home table, the registered-terms Bloom filter, and both allocation
+/// grid maps plus the per-term posting lengths the observer samples.
+#[derive(Debug, Clone)]
+pub struct MoveViewParts {
+    /// Frozen term→home table.
+    pub homes: TermHomeTable,
+    /// Registered-terms counting Bloom filter at snapshot time.
+    pub bloom: CountingBloomFilter,
+    /// Whether routing consults the Bloom filter (the ablation toggle).
+    pub use_bloom: bool,
+    /// Per-home allocation grids (`None` where a home has no grid).
+    pub allocations: Vec<Option<Grid>>,
+    /// Per-term allocation grids (the term-granular ablation mode).
+    pub term_allocations: HashMap<TermId, Grid>,
+    /// Registered pairs per term (posting lengths at the home).
+    pub term_pairs: Vec<u64>,
+}
+
+/// An immutable snapshot of everything per-document routing reads,
+/// stamped with the epoch it was published at. Cheap to clone (the bulky
+/// parts are `Arc`-shared) and safe to consult from any number of threads;
+/// see the module docs for the publication protocol.
+#[derive(Debug, Clone)]
+pub struct RoutingView {
+    /// The control plane's publication counter: a view with a higher epoch
+    /// supersedes every lower one.
+    pub epoch: u64,
+    /// Liveness per node at snapshot time.
+    alive: Arc<Vec<bool>>,
+    kind: ViewKind,
+}
+
+impl RoutingView {
+    /// An IL snapshot (also the base of the MOVE one).
+    #[must_use]
+    pub fn il(
+        epoch: u64,
+        alive: Vec<bool>,
+        homes: TermHomeTable,
+        bloom: CountingBloomFilter,
+        use_bloom: bool,
+    ) -> Self {
+        Self {
+            epoch,
+            alive: Arc::new(alive),
+            kind: ViewKind::Il {
+                homes: Arc::new(homes),
+                bloom: Arc::new(bloom),
+                use_bloom,
+            },
+        }
+    }
+
+    /// An RS snapshot over the round-robin replica groups.
+    #[must_use]
+    pub fn rs(epoch: u64, alive: Vec<bool>, groups: Vec<Vec<NodeId>>) -> Self {
+        Self {
+            epoch,
+            alive: Arc::new(alive),
+            kind: ViewKind::Rs {
+                groups: Arc::new(groups),
+            },
+        }
+    }
+
+    /// A MOVE snapshot: term homes, Bloom filter, and allocation grids.
+    #[must_use]
+    pub fn r#move(epoch: u64, alive: Vec<bool>, parts: MoveViewParts) -> Self {
+        Self {
+            epoch,
+            alive: Arc::new(alive),
+            kind: ViewKind::Move {
+                homes: Arc::new(parts.homes),
+                bloom: Arc::new(parts.bloom),
+                use_bloom: parts.use_bloom,
+                allocations: Arc::new(parts.allocations),
+                term_allocations: Arc::new(parts.term_allocations),
+                term_pairs: Arc::new(parts.term_pairs),
+            },
+        }
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.alive.get(node.as_usize()).copied().unwrap_or(false)
+    }
+
+    /// Computes the routing plan for one document against this snapshot —
+    /// the same plan the owning scheme's
+    /// [`route`](crate::Dissemination::route) would produce at the moment
+    /// the snapshot was frozen. Pure except for `rng`, which makes the
+    /// randomized fan-out choices (MOVE's replica row, RS's replica
+    /// group); replicas hold identical filter subsets, so the *delivery
+    /// set* of the plan is RNG-independent.
+    #[must_use]
+    pub fn route(&self, doc: &Document, rng: &mut StdRng) -> Vec<RouteStep> {
+        match &self.kind {
+            ViewKind::Il {
+                homes,
+                bloom,
+                use_bloom,
+            } => {
+                let mut by_home: BTreeMap<NodeId, Vec<TermId>> = BTreeMap::new();
+                for &t in doc.terms() {
+                    if *use_bloom && !bloom.contains(&t.0) {
+                        continue;
+                    }
+                    let home = homes.home_of_term(t);
+                    if !self.is_alive(home) {
+                        continue;
+                    }
+                    by_home.entry(home).or_default().push(t);
+                }
+                by_home
+                    .into_iter()
+                    .map(|(home, terms)| RouteStep::direct(home, MatchTask::Terms(terms)))
+                    .collect()
+            }
+            ViewKind::Rs { groups } => {
+                let group = rng.gen_range(0..groups.len());
+                groups[group]
+                    .iter()
+                    .filter(|&&node| self.is_alive(node))
+                    .map(|&node| RouteStep::direct(node, MatchTask::FullIndex))
+                    .collect()
+            }
+            ViewKind::Move {
+                homes,
+                bloom,
+                use_bloom,
+                allocations,
+                term_allocations,
+                ..
+            } => {
+                let mut by_home: BTreeMap<NodeId, Vec<TermId>> = BTreeMap::new();
+                for &t in doc.terms() {
+                    if *use_bloom && !bloom.contains(&t.0) {
+                        continue;
+                    }
+                    let home = homes.home_of_term(t);
+                    if !self.is_alive(home) {
+                        continue;
+                    }
+                    by_home.entry(home).or_default().push(t);
+                }
+                let mut steps: Vec<RouteStep> = Vec::new();
+                for (home, mut terms) in by_home {
+                    if !term_allocations.is_empty() {
+                        let mut kept = Vec::with_capacity(terms.len());
+                        let mut routed_any = false;
+                        for t in terms {
+                            let Some(grid) = term_allocations.get(&t) else {
+                                kept.push(t);
+                                continue;
+                            };
+                            if !routed_any {
+                                steps.push(RouteStep::direct(home, MatchTask::Forward));
+                                routed_any = true;
+                            }
+                            let preferred = rng.gen_range(0..grid.rows());
+                            for col in 0..grid.cols() {
+                                let node = (0..grid.rows())
+                                    .map(|dr| grid.node((preferred + dr) % grid.rows(), col))
+                                    .find(|&n| self.is_alive(n));
+                                let Some(node) = node else {
+                                    continue;
+                                };
+                                steps.push(RouteStep::forwarded(
+                                    node,
+                                    MatchTask::Terms(vec![t]),
+                                    home,
+                                ));
+                            }
+                        }
+                        terms = kept;
+                        if terms.is_empty() {
+                            continue;
+                        }
+                    }
+                    match allocations[home.as_usize()].as_ref() {
+                        None => {
+                            steps.push(RouteStep::direct(home, MatchTask::Terms(terms)));
+                        }
+                        Some(grid) => {
+                            steps.push(RouteStep::direct(home, MatchTask::Forward));
+                            let preferred = rng.gen_range(0..grid.rows());
+                            for col in 0..grid.cols() {
+                                let node = (0..grid.rows())
+                                    .map(|dr| grid.node((preferred + dr) % grid.rows(), col))
+                                    .find(|&n| self.is_alive(n));
+                                let Some(node) = node else {
+                                    continue;
+                                };
+                                steps.push(RouteStep::forwarded(
+                                    node,
+                                    MatchTask::Terms(terms.clone()),
+                                    home,
+                                ));
+                            }
+                        }
+                    }
+                }
+                steps
+            }
+        }
+    }
+
+    /// Records one document into `delta` — the snapshot counterpart of
+    /// MOVE's statistics observer (`q′ᵢ` per home node, posting load,
+    /// per-term hits). A no-op for schemes without routing statistics.
+    pub fn observe(&self, doc: &Document, delta: &mut StatsDelta) {
+        let ViewKind::Move {
+            homes,
+            bloom,
+            term_pairs,
+            ..
+        } = &self.kind
+        else {
+            return;
+        };
+        for &t in doc.terms() {
+            if bloom.contains(&t.0) {
+                let home = homes.home_of_term(t).as_usize();
+                if delta.doc_hits.len() <= home {
+                    delta.doc_hits.resize(home + 1, 0);
+                    delta.hit_postings.resize(home + 1, 0);
+                }
+                delta.doc_hits[home] += 1;
+                delta.hit_postings[home] += term_pairs.get(t.as_usize()).copied().unwrap_or(0);
+                delta.bump_term(t);
+            }
+        }
+        delta.docs += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dissemination, IlScheme, MoveScheme, RsScheme, SystemConfig};
+    use move_types::Filter;
+    use rand::SeedableRng;
+
+    fn filter(id: u64, terms: &[u32]) -> Filter {
+        Filter::new(id, terms.iter().map(|&t| TermId(t)))
+    }
+
+    fn doc(id: u64, terms: &[u32]) -> Document {
+        Document::from_distinct_terms(id, terms.iter().map(|&t| TermId(t)))
+    }
+
+    fn docs() -> Vec<Document> {
+        (0..40u64)
+            .map(|id| {
+                let mut terms: Vec<u32> = vec![(id % 37) as u32, ((id * 13) % 53) as u32, 200];
+                terms.sort_unstable();
+                terms.dedup();
+                doc(id, &terms)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn il_view_route_matches_scheme_route() {
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        for id in 0..120u64 {
+            il.register(&filter(id, &[(id % 37) as u32])).unwrap();
+        }
+        let view = il.routing_view(3);
+        assert_eq!(view.epoch, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        for d in &docs() {
+            assert_eq!(view.route(d, &mut rng), il.route(d), "doc {}", d.id());
+        }
+    }
+
+    #[test]
+    fn il_view_is_a_point_in_time_snapshot() {
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        il.register(&filter(1, &[7])).unwrap();
+        let view = il.routing_view(0);
+        il.register(&filter(2, &[9])).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = doc(0, &[9]);
+        // The old view does not know term 9 yet (Bloom prunes it)…
+        assert!(view.route(&d, &mut rng).is_empty());
+        // …while a re-published view does.
+        assert_eq!(il.routing_view(1).route(&d, &mut rng), il.route(&d));
+    }
+
+    #[test]
+    fn rs_view_route_matches_scheme_route_given_same_group_choice() {
+        let mut rs = RsScheme::new(SystemConfig::small_test()).unwrap();
+        for id in 0..60u64 {
+            rs.register(&filter(id, &[(id % 11) as u32])).unwrap();
+        }
+        let view = rs.routing_view(1);
+        let d = doc(0, &[3]);
+        // Replica groups are interchangeable: whatever group either side
+        // picks, the flooded node count is one full group.
+        let mut rng = StdRng::seed_from_u64(9);
+        let via_view = view.route(&d, &mut rng);
+        let via_scheme = rs.route(&d);
+        assert_eq!(via_view.len(), via_scheme.len());
+        assert!(via_view
+            .iter()
+            .all(|s| s.task == MatchTask::FullIndex && s.from.is_none()));
+    }
+
+    #[test]
+    fn move_view_route_matches_scheme_route_unallocated() {
+        let mut mv = MoveScheme::new(SystemConfig::small_test()).unwrap();
+        for id in 0..120u64 {
+            mv.register(&filter(id, &[(id % 37) as u32])).unwrap();
+        }
+        let view = mv.routing_view(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        for d in &docs() {
+            assert_eq!(view.route(d, &mut rng), mv.route(d), "doc {}", d.id());
+        }
+    }
+
+    #[test]
+    fn move_view_route_covers_grid_columns_after_allocation() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.capacity_per_node = 60;
+        let mut mv = MoveScheme::new(cfg).unwrap();
+        for id in 0..300u64 {
+            mv.register(&filter(id, &[(id % 3) as u32])).unwrap();
+        }
+        mv.observe_corpus(&docs());
+        mv.allocate().unwrap();
+        let view = mv.routing_view(1);
+        let mut rng = StdRng::seed_from_u64(7);
+        for d in &docs() {
+            let via_view = view.route(d, &mut rng);
+            let via_scheme = mv.route(d);
+            // Row choices are independent draws, but the *shape* of the
+            // plan — which (from, task-kind) pairs appear, and how many
+            // grid columns are fanned to — is layout-determined.
+            let shape = |steps: &[RouteStep]| {
+                let mut s: Vec<(Option<NodeId>, bool)> = steps
+                    .iter()
+                    .map(|st| (st.from, st.task == MatchTask::Forward))
+                    .collect();
+                s.sort();
+                s
+            };
+            assert_eq!(shape(&via_view), shape(&via_scheme), "doc {}", d.id());
+        }
+    }
+
+    #[test]
+    fn move_view_observe_matches_scheme_observe() {
+        let mut a = MoveScheme::new(SystemConfig::small_test()).unwrap();
+        let mut b = MoveScheme::new(SystemConfig::small_test()).unwrap();
+        for id in 0..120u64 {
+            let f = filter(id, &[(id % 37) as u32]);
+            a.register(&f).unwrap();
+            b.register(&f).unwrap();
+        }
+        let view = b.routing_view(0);
+        let mut delta = StatsDelta::new(0);
+        for d in &docs() {
+            a.note_published(d);
+            view.observe(d, &mut delta);
+        }
+        assert_eq!(delta.docs, docs().len() as u64);
+        b.absorb_stats(&delta);
+        assert_eq!(a.doc_hits_per_node(), b.doc_hits_per_node());
+        assert_eq!(a.node_stats(), b.node_stats());
+    }
+
+    #[test]
+    fn stats_delta_merge_grows_and_sums() {
+        let mut a = StatsDelta::new(2);
+        a.docs = 1;
+        a.doc_hits[1] = 3;
+        let mut b = StatsDelta::new(4);
+        b.docs = 2;
+        b.doc_hits[3] = 5;
+        b.term_hits = vec![0, 7];
+        a.merge(&b);
+        assert_eq!(a.docs, 3);
+        assert_eq!(a.doc_hits, vec![0, 3, 0, 5]);
+        assert_eq!(a.term_hits, vec![0, 7]);
+        assert!(!a.is_empty());
+        assert!(StatsDelta::new(3).is_empty());
+    }
+}

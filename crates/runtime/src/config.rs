@@ -37,6 +37,13 @@ pub struct RuntimeConfig {
     /// What the router does when it detects a dead worker (restart +
     /// journal replay, or replica failover).
     pub supervision: SupervisionPolicy,
+    /// Publisher-facing ingest threads. `1` (the default) keeps the
+    /// classic single router thread; `> 1` boots a pool of that many
+    /// ingest threads routing concurrently against an immutable
+    /// [`RoutingView`](move_core::RoutingView) snapshot, with one control
+    /// thread retaining registration, allocation refresh, supervision and
+    /// fault injection.
+    pub publishers: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -48,6 +55,7 @@ impl Default for RuntimeConfig {
             batch_size: 8,
             flush_interval: Duration::from_millis(2),
             supervision: SupervisionPolicy::default(),
+            publishers: 1,
         }
     }
 }

@@ -34,29 +34,55 @@
 //! in flight at the moment of a crash, exactly-once otherwise.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
-use move_core::{Dissemination, MatchTask};
+use move_core::{Dissemination, MatchTask, RoutingView};
 use move_index::InvertedIndex;
 use move_stats::LatencyHistogram;
 use move_types::{DocId, Document, Filter, FilterId, MoveError, NodeId, Result};
-use std::collections::{BTreeMap, BTreeSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::config::{OverflowPolicy, RuntimeConfig};
 use crate::fault::{FaultEvent, FaultPlan};
+use crate::ingest::{IngestCommand, IngestShared, IngestTable, IngestThread, Pool};
 use crate::message::{Delivery, DocTask, NodeMessage};
-use crate::metrics::{NodeMetrics, RuntimeReport};
+use crate::metrics::{IngestMetrics, NodeMetrics, RuntimeReport};
 use crate::supervisor::Supervisor;
 use crate::worker::{Worker, WorkerFinal};
+
+/// The seed of the control thread's replica-choice RNG (ingest threads
+/// derive their own from it; see [`IngestThread::new`]).
+const VIEW_RNG_SEED: u64 = 0x1357_9BDF_2468_ACE0;
 
 /// Publisher-facing commands on the bounded router channel. The bound is
 /// the outermost backpressure stage: when the router stalls on a full
 /// worker mailbox (Block policy), this channel fills and `publish` blocks.
+/// In router-pool mode the same channel doubles as the ingest threads'
+/// up-link to the control thread ([`Command::Gone`],
+/// [`Command::IngestExited`]).
 pub(crate) enum Command {
     Register(Filter),
+    /// Pool-mode registration: acked only after the control thread has
+    /// barriered the ingest plane and placed the filter, so a publisher's
+    /// register→publish order is preserved end to end.
+    RegisterSync(Filter, Sender<()>),
     Publish(Box<Document>),
     Stats(Sender<Vec<NodeMetrics>>),
+    /// An ingest thread found worker `node` dead (or already declared
+    /// dead); the stranded batch comes to the control thread for
+    /// supervised restart or failover.
+    Gone {
+        node: usize,
+        batch: Vec<DocTask>,
+    },
+    /// An ingest thread exited; its final counters for the report.
+    IngestExited {
+        metrics: IngestMetrics,
+    },
     Shutdown,
 }
 
@@ -186,6 +212,10 @@ impl Transport for ThreadTransport {
 #[derive(Debug)]
 pub struct Engine {
     commands: Sender<Command>,
+    /// Ingest-thread command senders (empty in single-router mode).
+    ingest: Vec<Sender<IngestCommand>>,
+    /// Round-robin cursor over `ingest`.
+    next_ingest: AtomicUsize,
     deliveries: Receiver<Delivery>,
     router: Option<JoinHandle<Result<RuntimeReport>>>,
 }
@@ -243,13 +273,68 @@ impl Engine {
         }
 
         let (cmd_tx, cmd_rx) = bounded(config.command_capacity);
+        let publishers = config.publishers.max(1);
+        let command_capacity = config.command_capacity;
         let router = Router::new(scheme, config, transport, plan, bases);
+        if publishers == 1 {
+            let handle = thread::Builder::new()
+                .name("move-router".into())
+                .spawn(move || router.run(&cmd_rx, &final_rx))
+                .map_err(|e| MoveError::Runtime(format!("spawn router thread: {e}")))?;
+            return Ok(Self {
+                commands: cmd_tx,
+                ingest: Vec::new(),
+                next_ingest: AtomicUsize::new(0),
+                deliveries: delivery_rx,
+                router: Some(handle),
+            });
+        }
+
+        // Router-pool mode: N publisher-facing ingest threads route
+        // against the shared snapshot table; this thread becomes the
+        // control plane (registration, allocation refresh, supervision,
+        // fault injection).
+        let shared = Arc::new(IngestShared::new(
+            publishers,
+            nodes,
+            IngestTable {
+                view: router.view.clone(),
+                senders: router.transport.workers.clone(),
+                dead: router.dead.clone(),
+            },
+        ));
+        let mut ingest_txs = Vec::with_capacity(publishers);
+        let mut ingest_handles = Vec::with_capacity(publishers);
+        for t in 0..publishers {
+            let (tx, rx) = bounded(command_capacity);
+            let thread_state = IngestThread::new(
+                t,
+                nodes,
+                Arc::clone(&shared),
+                cmd_tx.clone(),
+                &router.config,
+                VIEW_RNG_SEED,
+            );
+            let handle = thread::Builder::new()
+                .name(format!("move-ingest-{t}"))
+                .spawn(move || thread_state.run(&rx))
+                .map_err(|e| MoveError::Runtime(format!("spawn ingest thread {t}: {e}")))?;
+            ingest_txs.push(tx);
+            ingest_handles.push(handle);
+        }
+        let pool = Pool {
+            shared,
+            ingest: ingest_txs.clone(),
+            handles: ingest_handles,
+        };
         let handle = thread::Builder::new()
             .name("move-router".into())
-            .spawn(move || router.run(&cmd_rx, &final_rx))
+            .spawn(move || router.run_pool(&cmd_rx, &final_rx, pool))
             .map_err(|e| MoveError::Runtime(format!("spawn router thread: {e}")))?;
         Ok(Self {
             commands: cmd_tx,
+            ingest: ingest_txs,
+            next_ingest: AtomicUsize::new(0),
             deliveries: delivery_rx,
             router: Some(handle),
         })
@@ -257,16 +342,36 @@ impl Engine {
 
     /// Registers a filter: the control plane places it, then the affected
     /// workers install serving copies (FIFO-ordered after any documents
-    /// already queued for them).
+    /// already queued for them). In router-pool mode the call is
+    /// synchronous — it returns only after the control thread has fenced
+    /// the ingest plane and placed the filter, so a subsequent `publish`
+    /// is guaranteed to route against the registered filter.
     pub fn register(&self, filter: Filter) {
-        let _ = self.commands.send(Command::Register(filter));
+        if self.ingest.is_empty() {
+            let _ = self.commands.send(Command::Register(filter));
+            return;
+        }
+        let (tx, rx) = bounded(1);
+        if self
+            .commands
+            .send(Command::RegisterSync(filter, tx))
+            .is_ok()
+        {
+            let _ = rx.recv();
+        }
     }
 
     /// Publishes a document into the pipeline. Blocks when the command
     /// channel is full — the backpressure the bounded mailboxes propagate
-    /// up under [`OverflowPolicy::Block`].
+    /// up under [`OverflowPolicy::Block`]. In router-pool mode documents
+    /// are round-robined over the ingest threads.
     pub fn publish(&self, doc: Document) {
-        let _ = self.commands.send(Command::Publish(Box::new(doc)));
+        if self.ingest.is_empty() {
+            let _ = self.commands.send(Command::Publish(Box::new(doc)));
+            return;
+        }
+        let i = self.next_ingest.fetch_add(1, Ordering::Relaxed) % self.ingest.len();
+        let _ = self.ingest[i].send(IngestCommand::Publish(Box::new(doc)));
     }
 
     /// Snapshot of every worker's metrics. This is also a **barrier**: the
@@ -325,6 +430,9 @@ impl Engine {
     /// router, and reports a panicked router or worker thread as
     /// [`MoveError::Runtime`]; worker state is torn down either way.
     pub fn shutdown(mut self) -> Result<RuntimeReport> {
+        for tx in &self.ingest {
+            let _ = tx.send(IngestCommand::Shutdown);
+        }
         let _ = self.commands.send(Command::Shutdown);
         let Some(handle) = self.router.take() else {
             return Err(MoveError::Runtime("router already joined".into()));
@@ -342,6 +450,23 @@ pub(crate) struct Router<T> {
     scheme: Box<dyn Dissemination + Send>,
     config: RuntimeConfig,
     pub(crate) transport: T,
+    /// The immutable routing snapshot every document is routed against —
+    /// the same object ingest threads hold in pool mode. Republished
+    /// (epoch + 1) on registration, allocation refresh, and membership
+    /// change; see [`Router::refresh_view`].
+    view: RoutingView,
+    /// Replica-row / replica-group choices for view-based routing. The
+    /// stream differs from the scheme's own RNG, which is fine: replicas
+    /// hold identical filter subsets, so delivery sets are unaffected.
+    view_rng: StdRng,
+    /// When nonzero, registration-driven view refreshes are deferred for
+    /// this many more published documents — the interleaving harness's
+    /// model of an ingest thread still routing on a stale snapshot.
+    /// Allocation refreshes and membership changes clear the pin (they
+    /// fence the real pool).
+    pin_docs: u64,
+    /// Final counters reported by exited ingest threads (pool mode).
+    ingest_metrics: Vec<IngestMetrics>,
     /// Per-node batch under accumulation.
     pending: Vec<Vec<DocTask>>,
     /// Scheduled fault events, sorted by trigger point.
@@ -355,6 +480,9 @@ pub(crate) struct Router<T> {
     dead: Vec<bool>,
     /// Documents whose re-routed tasks found no live replica.
     pub(crate) lost_docs: BTreeSet<DocId>,
+    /// `docs_published` at the most recent death discovery (see
+    /// [`RuntimeReport::deaths_settled_at`]).
+    deaths_settled_at: Option<u64>,
     /// Tasks dropped because failover found no live replica.
     tasks_failed: u64,
     pub(crate) docs_published: u64,
@@ -372,16 +500,22 @@ impl<T: Transport> Router<T> {
         bases: Vec<Arc<InvertedIndex>>,
     ) -> Self {
         let nodes = transport.nodes();
+        let view = scheme.routing_view(0);
         Self {
             scheme,
             config,
             transport,
+            view,
+            view_rng: StdRng::seed_from_u64(VIEW_RNG_SEED),
+            pin_docs: 0,
+            ingest_metrics: Vec::new(),
             pending: vec![Vec::new(); nodes],
             plan: plan.events,
             next_fault: 0,
             supervisor: Supervisor::new(bases),
             dead: vec![false; nodes],
             lost_docs: BTreeSet::new(),
+            deaths_settled_at: None,
             tasks_failed: 0,
             docs_published: 0,
             tasks_dispatched: 0,
@@ -401,10 +535,35 @@ impl<T: Transport> Router<T> {
         match cmd {
             Command::Publish(doc) => self.publish(&Arc::new(*doc))?,
             Command::Register(filter) => self.register(&filter)?,
+            Command::RegisterSync(filter, ack) => {
+                self.register(&filter)?;
+                let _ = ack.send(());
+            }
             Command::Stats(reply) => self.stats(&reply),
+            Command::Gone { node, batch } => self.handle_gone(node, batch),
+            Command::IngestExited { metrics } => self.ingest_metrics.push(metrics),
             Command::Shutdown => return Ok(false),
         }
         Ok(true)
+    }
+
+    /// Re-freezes the routing snapshot from the scheme's current state
+    /// under the next epoch. Every mutation of routing inputs —
+    /// registration, allocation refresh, membership change — funnels
+    /// through here; in pool mode the caller then republishes the ingest
+    /// table so the pool picks the new epoch up.
+    fn refresh_view(&mut self) {
+        let epoch = self.view.epoch + 1;
+        self.view = self.scheme.routing_view(epoch);
+    }
+
+    /// Defers registration-driven view refreshes for the next `docs`
+    /// published documents — the deterministic model of a snapshot-refresh
+    /// race (an ingest thread keeps routing on the old epoch while the
+    /// control plane has already advanced). Used by the interleaving
+    /// harness's `PinView` script op.
+    pub(crate) fn pin_view(&mut self, docs: u64) {
+        self.pin_docs = docs;
     }
 
     /// Injects a fault into node `n`'s mailbox out of schedule — the
@@ -427,6 +586,8 @@ impl<T: Transport> Router<T> {
             .cluster_mut()
             .membership_mut()
             .recover(NodeId(n as u32));
+        self.pin_docs = 0;
+        self.refresh_view();
         true
     }
 
@@ -477,17 +638,23 @@ impl<T: Transport> Router<T> {
                 m
             })
             .collect();
+        let mut ingest = self.ingest_metrics;
+        ingest.sort_by_key(|m| m.thread);
         RuntimeReport {
             scheme: self.scheme.name().to_owned(),
             docs_published: self.docs_published,
-            tasks_dispatched: self.tasks_dispatched,
-            tasks_shed: self.tasks_shed,
+            tasks_dispatched: self.tasks_dispatched
+                + ingest.iter().map(|m| m.tasks_dispatched).sum::<u64>(),
+            tasks_shed: self.tasks_shed + ingest.iter().map(|m| m.tasks_shed).sum::<u64>(),
             allocation_updates: self.allocation_updates,
             restarts: self.supervisor.restarts,
             retries: self.supervisor.retries,
             failovers: self.supervisor.failovers,
             tasks_lost: worker_lost + self.tasks_failed,
             lost_docs: lost_docs.into_iter().collect(),
+            deaths_settled_at: self.deaths_settled_at,
+            ingest,
+            q_hits: self.scheme.doc_hits_per_node(),
             nodes,
             latency: merged.summary(),
         }
@@ -546,7 +713,9 @@ impl<T: Transport> Router<T> {
     }
 
     fn publish(&mut self, doc: &Arc<Document>) -> Result<()> {
-        let steps = self.scheme.route(doc);
+        // Route against the immutable snapshot — the identical code path
+        // the ingest pool runs, so the serial router *is* a pool of one.
+        let steps = self.view.route(doc, &mut self.view_rng);
         self.docs_published += 1;
         let dispatched = Instant::now();
         for step in steps {
@@ -566,13 +735,31 @@ impl<T: Transport> Router<T> {
                 self.flush_node(n);
             }
         }
-        // The observe/allocate refresh cycle. A layout change must reach
-        // the workers *after* everything routed under the old layout...
-        if self.scheme.maintenance(doc)? {
+        // The observe/allocate refresh cycle, split so the pool can batch
+        // the observation half into sharded deltas.
+        self.scheme.note_published(doc);
+        self.apply_refresh()?;
+        // A pinned (stale) view ages out with published documents; the
+        // expiry refresh picks up any registrations deferred meanwhile.
+        if self.pin_docs > 0 {
+            self.pin_docs -= 1;
+            if self.pin_docs == 0 {
+                self.refresh_view();
+            }
+        }
+        self.inject_faults();
+        Ok(())
+    }
+
+    /// Runs the scheme's allocation refresh if it is due. A layout change
+    /// must reach the workers *after* everything routed under the old
+    /// layout (hence the flush) and before anything routed under the new
+    /// one — mailbox FIFO order guarantees both once the update is sent
+    /// here. Refreshes the routing snapshot afterwards either way it went.
+    fn apply_refresh(&mut self) -> Result<()> {
+        if self.scheme.refresh_allocation()? {
             self.flush_all();
             self.allocation_updates += 1;
-            // ...and before anything routed under the new one — mailbox
-            // FIFO order guarantees both once the update is sent here.
             for n in 0..self.transport.nodes() {
                 // A structural share of the scheme's shard: the journal
                 // snapshot and the worker's serving copy are the same
@@ -587,8 +774,9 @@ impl<T: Transport> Router<T> {
                     self.supervise_control_failure(n);
                 }
             }
+            self.pin_docs = 0;
+            self.refresh_view();
         }
-        self.inject_faults();
         Ok(())
     }
 
@@ -615,6 +803,11 @@ impl<T: Transport> Router<T> {
             ) {
                 self.supervise_control_failure(n);
             }
+        }
+        // A pinned view defers the refresh — the registration takes routing
+        // effect only at pin expiry, like a snapshot still in flight.
+        if self.pin_docs == 0 {
+            self.refresh_view();
         }
         Ok(())
     }
@@ -650,6 +843,7 @@ impl<T: Transport> Router<T> {
     /// policy allows (the journal already covers the lost message),
     /// otherwise declare the node dead in the membership.
     fn supervise_control_failure(&mut self, n: usize) {
+        self.deaths_settled_at = Some(self.docs_published);
         if self.config.supervision.restart
             && self.supervisor.restart_and_replay(n, &mut self.transport)
         {
@@ -668,6 +862,10 @@ impl<T: Transport> Router<T> {
                 .cluster_mut()
                 .membership_mut()
                 .crash(NodeId(n as u32));
+            // Membership changes always refresh immediately — the real
+            // pool fences around them, so no stale-view pin survives one.
+            self.pin_docs = 0;
+            self.refresh_view();
         }
     }
 
@@ -676,6 +874,10 @@ impl<T: Transport> Router<T> {
     /// retries with backoff); otherwise — or once retries are exhausted —
     /// the stranded documents fail over to the replica set.
     fn handle_gone(&mut self, n: usize, mut batch: Vec<DocTask>) {
+        // Every path into here found a dead mailbox, so this marks the
+        // latest death discovery (last write wins — the report exposes the
+        // point after which routing saw the fully settled dead set).
+        self.deaths_settled_at = Some(self.docs_published);
         if self.config.supervision.restart {
             for attempt in 0..self.config.supervision.max_retries {
                 if attempt > 0 && !self.config.supervision.backoff.is_zero() {
@@ -711,7 +913,15 @@ impl<T: Transport> Router<T> {
     /// by live nodes — benign, consumers union per document. A document
     /// with no live replica left is counted lost.
     fn failover(&mut self, n: usize, batch: Vec<DocTask>) {
+        let discovery = !self.dead[n];
         self.mark_dead(n);
+        if discovery {
+            // One discovered death usually means a correlated kill wave:
+            // sweep-probe the survivors so every corpse is found *now*,
+            // not lazily on its next routed batch — re-routing below (and
+            // all subsequent routing) then sees the full dead set.
+            self.heartbeat();
+        }
         self.supervisor.failovers += batch.len() as u64;
         // One re-route per distinct stranded document.
         let mut by_doc: BTreeMap<DocId, (DocTask, u64)> = BTreeMap::new();
@@ -817,5 +1027,296 @@ impl Router<ThreadTransport> {
             return Err(MoveError::Runtime("worker thread panicked".into()));
         }
         Ok(self.into_report(results))
+    }
+
+    /// The control thread's main loop in router-pool mode: ingest threads
+    /// own the publish hot path, this thread owns everything mutable —
+    /// registration, allocation refresh, supervision, fault injection.
+    fn run_pool(
+        mut self,
+        commands: &Receiver<Command>,
+        finals: &Receiver<WorkerFinal>,
+        mut pool: Pool,
+    ) -> Result<RuntimeReport> {
+        let served = self.serve_pool(commands, &pool);
+        // Every ingest thread has sent its exit notice by now (or the
+        // engine handle is gone); join them before tearing down workers so
+        // no batch is in flight past this point.
+        for handle in std::mem::take(&mut pool.handles) {
+            let _ = handle.join();
+        }
+        self.absorb_shards(&pool.shared);
+        self.docs_published = pool.shared.docs_published.load(Ordering::Relaxed);
+        self.pool_settle_faults();
+        self.shutdown_workers();
+        self.transport.final_tx = None;
+        let results: Vec<WorkerFinal> = finals.iter().collect();
+        let mut worker_panic = false;
+        for handle in std::mem::take(&mut self.transport.handles) {
+            worker_panic |= handle.join().is_err();
+        }
+        served?;
+        if worker_panic {
+            return Err(MoveError::Runtime("worker thread panicked".into()));
+        }
+        Ok(self.into_report(results))
+    }
+
+    /// Publishes the current routing table (view + worker senders +
+    /// dead-set) to the ingest plane. Cheap: the view's bulky innards are
+    /// `Arc`-shared, so this clones a few pointers per node.
+    fn publish_table(&self, pool: &Pool) {
+        pool.shared.publish_table(IngestTable {
+            view: self.view.clone(),
+            senders: self.transport.workers.clone(),
+            dead: self.dead.clone(),
+        });
+    }
+
+    /// Serves control commands until shutdown (all ingest threads exited)
+    /// or a control-plane error.
+    fn serve_pool(&mut self, commands: &Receiver<Command>, pool: &Pool) -> Result<()> {
+        // Commands deferred while waiting for barrier/fence acks (see
+        // `wait_for_acks`) are replayed from here first, preserving order.
+        let mut backlog: VecDeque<Command> = VecDeque::new();
+        let mut exited = 0usize;
+        let mut shutting_down = false;
+        loop {
+            let cmd = match backlog.pop_front() {
+                Some(cmd) => cmd,
+                None => match commands.recv_timeout(self.config.flush_interval) {
+                    Ok(cmd) => cmd,
+                    Err(RecvTimeoutError::Disconnected) => return Ok(()),
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.pool_tick(commands, &mut backlog, pool)?;
+                        continue;
+                    }
+                },
+            };
+            match cmd {
+                // Publishes normally go straight to the ingest threads; one
+                // arriving here (a raced engine handle) still routes fine.
+                Command::Publish(doc) => self.publish(&Arc::new(*doc))?,
+                Command::Register(filter) => {
+                    self.pool_register(&filter, commands, &mut backlog, pool)?;
+                }
+                Command::RegisterSync(filter, ack) => {
+                    self.pool_register(&filter, commands, &mut backlog, pool)?;
+                    let _ = ack.send(());
+                }
+                Command::Stats(reply) => {
+                    // Barrier the ingest plane first so "previously
+                    // published" includes documents still in ingest hands.
+                    self.pool_barrier(commands, &mut backlog, pool);
+                    self.docs_published = pool.shared.docs_published.load(Ordering::Relaxed);
+                    self.absorb_shards(&pool.shared);
+                    self.stats(&reply);
+                }
+                Command::Gone { node, batch } => {
+                    self.handle_gone(node, batch);
+                    // Restart or failover changed senders or the dead-set;
+                    // tell the ingest plane before it strands more batches.
+                    self.publish_table(pool);
+                }
+                Command::IngestExited { metrics } => {
+                    self.ingest_metrics.push(metrics);
+                    exited += 1;
+                    if shutting_down && exited == pool.ingest.len() {
+                        return Ok(());
+                    }
+                }
+                Command::Shutdown => {
+                    shutting_down = true;
+                    if exited == pool.ingest.len() {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The idle tick of the pool control plane: sync the published-count,
+    /// fire due faults, drain the statistics shards, run a due allocation
+    /// refresh under a fence, probe the workers, and republish the table.
+    fn pool_tick(
+        &mut self,
+        commands: &Receiver<Command>,
+        backlog: &mut VecDeque<Command>,
+        pool: &Pool,
+    ) -> Result<()> {
+        self.docs_published = pool.shared.docs_published.load(Ordering::Relaxed);
+        self.inject_faults();
+        self.absorb_shards(&pool.shared);
+        if self.scheme.refresh_due() {
+            self.pool_fence_refresh(commands, backlog, pool)?;
+        }
+        self.flush_all();
+        self.heartbeat();
+        // Republishing unconditionally is cheap (Arc clones) and heals any
+        // sender replaced by a heartbeat-driven restart above.
+        self.publish_table(pool);
+        Ok(())
+    }
+
+    /// Drains every ingest thread's statistics shard into the scheme —
+    /// the merge half of the sharded `q′ᵢ` accumulators.
+    fn absorb_shards(&mut self, shared: &IngestShared) {
+        for shard in &shared.shards {
+            let mut guard = shard.lock();
+            if guard.is_empty() {
+                continue;
+            }
+            let delta = std::mem::take(&mut *guard);
+            drop(guard);
+            self.scheme.absorb_stats(&delta);
+        }
+    }
+
+    /// Waits for `want` acks while keeping the shared command channel
+    /// drained — an ingest thread blocked on a full command channel could
+    /// otherwise never reach the barrier it must ack. Dead-worker batches
+    /// are handled inline (they cannot wait); everything else is deferred
+    /// to the backlog in arrival order.
+    fn wait_for_acks(
+        &mut self,
+        acks: &Receiver<()>,
+        want: usize,
+        commands: &Receiver<Command>,
+        backlog: &mut VecDeque<Command>,
+    ) {
+        let mut got = 0usize;
+        while got < want {
+            match acks.recv_timeout(Duration::from_millis(1)) {
+                Ok(()) => got += 1,
+                // All remaining ack senders dropped (ingest thread exited
+                // mid-protocol during teardown): stop waiting.
+                Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {
+                    while let Ok(cmd) = commands.try_recv() {
+                        if let Command::Gone { node, batch } = cmd {
+                            self.handle_gone(node, batch);
+                        } else {
+                            backlog.push_back(cmd);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Barriers the ingest plane: every thread flushes its pending batches
+    /// to the worker mailboxes and acks. On return, everything published
+    /// before the barrier is in mailbox FIFO order ahead of whatever the
+    /// control thread sends next.
+    fn pool_barrier(
+        &mut self,
+        commands: &Receiver<Command>,
+        backlog: &mut VecDeque<Command>,
+        pool: &Pool,
+    ) {
+        let (ack_tx, ack_rx) = bounded(pool.ingest.len().max(1));
+        let mut sent = 0usize;
+        for tx in &pool.ingest {
+            if tx
+                .send(IngestCommand::Barrier {
+                    ack: ack_tx.clone(),
+                })
+                .is_ok()
+            {
+                sent += 1;
+            }
+        }
+        drop(ack_tx);
+        self.wait_for_acks(&ack_rx, sent, commands, backlog);
+    }
+
+    /// Fires every still-due scheduled fault and supervises the fallout
+    /// before worker teardown. The pool fires faults from the idle tick
+    /// of the control loop, and a fast run can reach shutdown before a
+    /// single tick elapses — but the serial engine fires them
+    /// synchronously per publish, so the pooled report must account for
+    /// the same schedule. Runs after the ingest threads are joined: the
+    /// published-document count is final and no batch is in flight.
+    fn pool_settle_faults(&mut self) {
+        let due: Vec<usize> = self.plan[self.next_fault..]
+            .iter()
+            .take_while(|ev| ev.at_doc <= self.docs_published)
+            .map(|ev| ev.node.as_usize())
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        self.inject_faults();
+        for n in due {
+            if self.dead[n] {
+                continue;
+            }
+            // The fault is a FIFO-ordered poison pill the worker
+            // dequeues asynchronously. A ping queued behind it settles
+            // the outcome: a reply means the action left the worker
+            // alive (pause/slow), a dropped channel means it died.
+            let (tx, rx) = bounded(1);
+            if self.transport.control(n, NodeMessage::Ping { reply: tx }) {
+                let _ = rx.recv_timeout(Duration::from_secs(5));
+            }
+        }
+        // Probe the survivors: each failed send routes through the
+        // supervisor (restart or failover) exactly as a mid-run
+        // discovery would.
+        self.heartbeat();
+    }
+
+    /// Runs a due allocation refresh under a stop-the-world fence: every
+    /// ingest thread flushes and parks, the statistics shards are merged
+    /// (so the allocator sees complete `q′ᵢ`), the refresh ships the new
+    /// shards, the new table is published, and only then is the plane
+    /// released — no document routed under the old layout can be
+    /// dispatched after the [`NodeMessage::AllocationUpdate`].
+    fn pool_fence_refresh(
+        &mut self,
+        commands: &Receiver<Command>,
+        backlog: &mut VecDeque<Command>,
+        pool: &Pool,
+    ) -> Result<()> {
+        let (ack_tx, ack_rx) = bounded(pool.ingest.len().max(1));
+        let (rel_tx, rel_rx) = bounded(pool.ingest.len().max(1));
+        let mut fenced = 0usize;
+        for tx in &pool.ingest {
+            if tx
+                .send(IngestCommand::Fence {
+                    ack: ack_tx.clone(),
+                    release: rel_rx.clone(),
+                })
+                .is_ok()
+            {
+                fenced += 1;
+            }
+        }
+        drop(ack_tx);
+        self.wait_for_acks(&ack_rx, fenced, commands, backlog);
+        self.absorb_shards(&pool.shared);
+        self.apply_refresh()?;
+        self.publish_table(pool);
+        for _ in 0..fenced {
+            let _ = rel_tx.send(());
+        }
+        Ok(())
+    }
+
+    /// Pool-mode registration: barrier first so documents the publisher
+    /// enqueued before registering hit the worker mailboxes ahead of the
+    /// filter (preserving pre-registration matching), then place the
+    /// filter and publish the refreshed table.
+    fn pool_register(
+        &mut self,
+        filter: &Filter,
+        commands: &Receiver<Command>,
+        backlog: &mut VecDeque<Command>,
+        pool: &Pool,
+    ) -> Result<()> {
+        self.pool_barrier(commands, backlog, pool);
+        self.register(filter)?;
+        self.publish_table(pool);
+        Ok(())
     }
 }

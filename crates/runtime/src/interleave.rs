@@ -144,6 +144,17 @@ pub enum ScriptOp {
         /// How many scheduler steps it stays unschedulable.
         steps: u64,
     },
+    /// Pin the router's routing snapshot for the next `docs` published
+    /// documents: registrations landing meanwhile are placed on the workers
+    /// but do **not** refresh the snapshot until the pin expires — the
+    /// deterministic model of an ingest thread still routing on a stale
+    /// [`RoutingView`](move_core::RoutingView) epoch while the control
+    /// plane has already advanced. Allocation refreshes and membership
+    /// changes clear the pin early (the real pool fences around those).
+    PinView {
+        /// How many more published documents route on the stale snapshot.
+        docs: u64,
+    },
 }
 
 /// What one scheduled run produced.
@@ -330,6 +341,7 @@ pub fn run_schedule(
         batch_size: config.batch_size.max(1),
         flush_interval: Duration::from_millis(1), // unused: no idle loop
         supervision: config.supervision,
+        publishers: 1, // the harness drives the serial router directly
     };
     let plan = crate::fault::FaultPlan::none();
     let mut router = Router::new(scheme, runtime_config, transport, plan, bases);
@@ -432,6 +444,9 @@ pub fn run_schedule(
                 Some(ScriptOp::Delay { node, steps: s }) => {
                     let n = node.as_usize();
                     delays[n] = delays[n].max(s);
+                }
+                Some(ScriptOp::PinView { docs }) => {
+                    router.pin_view(docs);
                 }
                 None => {
                     router.shutdown_workers();

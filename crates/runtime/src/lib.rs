@@ -51,6 +51,7 @@
 mod config;
 mod engine;
 mod fault;
+mod ingest;
 /// Deterministic schedule-permutation harness over the same router/worker
 /// code the threaded engine runs.
 pub mod interleave;
@@ -63,5 +64,5 @@ pub use config::{OverflowPolicy, RuntimeConfig};
 pub use engine::Engine;
 pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use message::{Delivery, DocTask, NodeMessage};
-pub use metrics::{NodeMetrics, RuntimeReport};
+pub use metrics::{IngestMetrics, NodeMetrics, RuntimeReport};
 pub use supervisor::SupervisionPolicy;

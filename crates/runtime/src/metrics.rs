@@ -27,6 +27,20 @@ pub struct NodeMetrics {
     pub latency: LatencySummary,
 }
 
+/// Counters of one publisher-facing ingest thread (router-pool mode).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestMetrics {
+    /// Ingest-thread index (`0..publishers`).
+    pub thread: usize,
+    /// Documents this thread routed.
+    pub docs_routed: u64,
+    /// Node match tasks this thread dispatched to worker mailboxes.
+    pub tasks_dispatched: u64,
+    /// Node match tasks this thread dropped under
+    /// [`crate::OverflowPolicy::Shed`].
+    pub tasks_shed: u64,
+}
+
 /// What [`crate::Engine::shutdown`] returns.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeReport {
@@ -55,6 +69,24 @@ pub struct RuntimeReport {
     /// the at-most-once allowance: a document outside this list was
     /// delivered completely, one inside it may be missing matches.
     pub lost_docs: Vec<DocId>,
+    /// The published-document count at the moment the *last* worker death
+    /// was discovered (`None` when nothing died). Deaths are discovered
+    /// lazily — on the first failed send — so documents routed before this
+    /// point may have been routed under the pre-crash placement; documents
+    /// routed after it saw the fully settled dead set. The fault oracles
+    /// use this to compare post-crash deliveries against the simulator
+    /// without guessing at discovery latency.
+    pub deaths_settled_at: Option<u64>,
+    /// Per-ingest-thread routed/dispatched/shed counters (empty in the
+    /// classic single-router mode), so backpressure accounting stays exact
+    /// under the pool: the report's `tasks_dispatched`/`tasks_shed` totals
+    /// include these.
+    pub ingest: Vec<IngestMetrics>,
+    /// The scheme's merged `q′ᵢ` document-frequency statistics per node at
+    /// shutdown (empty for schemes without routing statistics) — lets the
+    /// serial-vs-parallel equivalence suite assert the sharded accumulators
+    /// merged to the same totals the serial observer would have produced.
+    pub q_hits: Vec<u64>,
     /// Per-node counters, indexed by node id (a node restarted mid-run
     /// reports the merged counters of all its incarnations).
     pub nodes: Vec<NodeMetrics>,

@@ -15,7 +15,8 @@
 //!   explicit `xtask:allow-unbounded` marker comment justifying it.
 //! * **no-catch-all** — the files that dispatch on the engine's protocol
 //!   enums (`worker.rs`, `engine.rs`, `interleave.rs`, `fault.rs`,
-//!   `supervisor.rs`) must not contain `_ =>` match arms, so adding a
+//!   `supervisor.rs`, `ingest.rs`, and the routing-snapshot kernel
+//!   `snapshot.rs`) must not contain `_ =>` match arms, so adding a
 //!   protocol variant is a compile error at every dispatch site instead
 //!   of a silently ignored message.
 //! * **pub-docs** — every public item in `move-core` and `move-runtime`
@@ -352,6 +353,8 @@ fn is_protocol_dispatch(path: &str) -> bool {
             | "crates/runtime/src/interleave.rs"
             | "crates/runtime/src/fault.rs"
             | "crates/runtime/src/supervisor.rs"
+            | "crates/runtime/src/ingest.rs"
+            | "crates/core/src/snapshot.rs"
     )
 }
 
@@ -593,7 +596,13 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// * top level: object with numeric `scale`, `nodes`, `filters`, `docs`
 ///   and a non-empty `runs` array;
 /// * each run: `scheme` ∈ {`il`, `rs`, `move`}, `mode` ∈ {`sim`, `live`},
-///   `docs_per_sec` > 0, and `p50_us` ≤ `p99_us` (both non-negative).
+///   `docs_per_sec` > 0, and `p50_us` ≤ `p99_us` (both non-negative);
+/// * when the optional `scaling` array (the `--publishers` sweep) is
+///   present: each entry has `scheme` ∈ {`il`, `rs`, `move`}, `mode` =
+///   `live`, integer `publishers` ≥ 1, `docs_per_sec` > 0, `speedup` > 0,
+///   and `deliveries_match` = `true` — a `false` means the router pool
+///   diverged from the serial delivery sets, which is a correctness
+///   failure, not a schema nit, so it fails the check.
 #[must_use]
 pub fn check_bench_report(src: &str) -> Vec<String> {
     use serde::Value;
@@ -684,7 +693,74 @@ pub fn check_bench_report(src: &str) -> Vec<String> {
             }
         }
     }
+    match root.get("scaling") {
+        None => {} // pre-pool reports carry no sweep; that is fine
+        Some(Value::Array(scaling)) => {
+            if scaling.is_empty() {
+                errors.push("`scaling` must not be empty when present".to_string());
+            }
+            for (i, entry) in scaling.iter().enumerate() {
+                check_scaling_entry(i, entry, &mut errors);
+            }
+        }
+        Some(v) => errors.push(format!("`scaling` must be an array, found {}", v.kind())),
+    }
     errors
+}
+
+/// Validates one entry of the `scaling` (`--publishers` sweep) array.
+fn check_scaling_entry(i: usize, entry: &serde::Value, errors: &mut Vec<String>) {
+    use serde::Value;
+
+    if !matches!(entry, Value::Object(_)) {
+        errors.push(format!(
+            "scaling[{i}] must be an object, found {}",
+            entry.kind()
+        ));
+        return;
+    }
+    match entry.get("scheme") {
+        Some(Value::String(s)) if ["il", "rs", "move"].contains(&s.as_str()) => {}
+        Some(Value::String(s)) => errors.push(format!(
+            "scaling[{i}].scheme: `{s}` is not one of [\"il\", \"rs\", \"move\"]"
+        )),
+        Some(v) => errors.push(format!(
+            "scaling[{i}].scheme must be a string, found {}",
+            v.kind()
+        )),
+        None => errors.push(format!("scaling[{i}] missing `scheme`")),
+    }
+    match entry.get("mode") {
+        Some(Value::String(s)) if s == "live" => {}
+        Some(_) => errors.push(format!(
+            "scaling[{i}].mode must be \"live\" (the sweep measures the live pool)"
+        )),
+        None => errors.push(format!("scaling[{i}] missing `mode`")),
+    }
+    match entry.get("publishers").and_then(Value::as_u64) {
+        Some(p) if p >= 1 => {}
+        Some(_) => errors.push(format!("scaling[{i}].publishers must be >= 1")),
+        None => errors.push(format!("scaling[{i}] missing integer `publishers`")),
+    }
+    for field in ["docs_per_sec", "speedup"] {
+        match entry.get(field).and_then(Value::as_f64) {
+            Some(x) if x.is_finite() && x > 0.0 => {}
+            Some(_) => errors.push(format!("scaling[{i}].{field} must be finite and > 0")),
+            None => errors.push(format!("scaling[{i}] missing numeric `{field}`")),
+        }
+    }
+    match entry.get("deliveries_match") {
+        Some(Value::Bool(true)) => {}
+        Some(Value::Bool(false)) => errors.push(format!(
+            "scaling[{i}].deliveries_match is false: the pool's delivery \
+             sets diverged from the serial router's"
+        )),
+        Some(v) => errors.push(format!(
+            "scaling[{i}].deliveries_match must be a bool, found {}",
+            v.kind()
+        )),
+        None => errors.push(format!("scaling[{i}] missing `deliveries_match`")),
+    }
 }
 
 #[cfg(test)]
@@ -884,6 +960,67 @@ mod tests {
         assert!(errors
             .iter()
             .any(|e| e.contains("missing numeric `docs_per_sec`")));
+    }
+
+    fn scaling_entry(scheme: &str, publishers: u64, speedup: f64, matched: bool) -> String {
+        format!(
+            "{{\"scheme\":\"{scheme}\",\"mode\":\"live\",\"publishers\":{publishers},\
+             \"docs_per_sec\":5000.0,\"speedup\":{speedup},\"deliveries_match\":{matched}}}"
+        )
+    }
+
+    fn report_with_scaling(entries: &[String]) -> String {
+        valid_report().replacen(
+            ",\"runs\":",
+            &format!(",\"scaling\":[{}],\"runs\":", entries.join(",")),
+            1,
+        )
+    }
+
+    #[test]
+    fn bench_report_accepts_a_valid_scaling_sweep() {
+        let report = report_with_scaling(&[
+            scaling_entry("il", 1, 1.0, true),
+            scaling_entry("il", 4, 2.7, true),
+            scaling_entry("move", 4, 2.4, true),
+        ]);
+        let errors = check_bench_report(&report);
+        assert!(errors.is_empty(), "unexpected errors: {errors:?}");
+        // And a report without the sweep stays valid (pre-pool schema).
+        assert!(check_bench_report(&valid_report()).is_empty());
+    }
+
+    #[test]
+    fn bench_report_rejects_bad_scaling_entries() {
+        let report = report_with_scaling(&[
+            scaling_entry("ilx", 0, -1.0, true),
+            "{\"scheme\":\"il\",\"mode\":\"sim\"}".to_string(),
+        ]);
+        let errors = check_bench_report(&report);
+        assert!(errors.iter().any(|e| e.contains("scaling[0].scheme")));
+        assert!(errors.iter().any(|e| e.contains("publishers must be >= 1")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("speedup must be finite and > 0")));
+        assert!(errors.iter().any(|e| e.contains("mode must be \"live\"")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("scaling[1] missing `deliveries_match`")));
+        assert!(check_bench_report(&report_with_scaling(&[]))
+            .iter()
+            .any(|e| e.contains("must not be empty when present")));
+    }
+
+    #[test]
+    fn bench_report_rejects_a_delivery_divergence() {
+        let report = report_with_scaling(&[scaling_entry("move", 4, 2.2, false)]);
+        let errors = check_bench_report(&report);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("deliveries_match is false")),
+            "{errors:?}"
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn fault_config(supervision: SupervisionPolicy) -> RuntimeConfig {
         batch_size: 2,
         flush_interval: Duration::from_millis(1),
         supervision,
+        ..RuntimeConfig::default()
     }
 }
 
@@ -111,11 +112,17 @@ fn kill_30_percent_failover_matches_the_sim_prediction() {
         // send) must match the sim set exactly — unless the report names
         // them lost (a batch that reached a victim's mailbox during the
         // staggered kill window dies in the crash drain: at-most-once).
+        // The report says exactly when the last death was discovered, so
+        // the tail cut is not a guess about discovery latency.
+        let settled = report
+            .deaths_settled_at
+            .expect("a kill plan must discover deaths");
+        let cut = settled.max(KILL_AT + dead.len() as u64 + 8);
         let lost: BTreeSet<DocId> = report.lost_docs.iter().copied().collect();
         let tail: Vec<DocId> = docs
             .iter()
             .map(move_types::Document::id)
-            .filter(|id| id.0 > KILL_AT + dead.len() as u64 + 8)
+            .filter(|id| id.0 > cut)
             .collect();
         let mut exact = 0usize;
         for id in &tail {

@@ -51,7 +51,10 @@ fn expected_sets(pre: &[Filter], script: &[ScriptOp]) -> BTreeMap<DocId, BTreeSe
                     .collect();
                 out.insert(d.id(), want);
             }
-            ScriptOp::Crash(_) | ScriptOp::Restart(_) | ScriptOp::Delay { .. } => {}
+            ScriptOp::Crash(_)
+            | ScriptOp::Restart(_)
+            | ScriptOp::Delay { .. }
+            | ScriptOp::PinView { .. } => {}
         }
     }
     out

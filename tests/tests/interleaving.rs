@@ -74,8 +74,14 @@ fn expected_sets(pre: &[Filter], script: &[ScriptOp]) -> BTreeMap<DocId, BTreeSe
                     .collect();
                 out.insert(d.id(), want);
             }
-            // Faults change who answers, never what the answer is.
-            ScriptOp::Crash(_) | ScriptOp::Restart(_) | ScriptOp::Delay { .. } => {}
+            // Faults change who answers, never what the answer is. (PinView
+            // schedules use their own bracketing oracle — see the
+            // `stale_snapshot_*` tests — so this exact-set oracle treats it
+            // as a no-op and must not be combined with mid-pin registers.)
+            ScriptOp::Crash(_)
+            | ScriptOp::Restart(_)
+            | ScriptOp::Delay { .. }
+            | ScriptOp::PinView { .. } => {}
         }
     }
     out
@@ -438,6 +444,159 @@ fn failover_reroutes_documents_to_replicas() {
         any_failover,
         "the 30-seed sweep never exercised the failover path"
     );
+}
+
+/// 40 schedules (2 schemes × 20 seeds) of a routing snapshot pinned across
+/// in-flight publishes: `PinView` freezes the router's view for the next N
+/// documents, a live registration lands mid-pin, and the schedule races
+/// worker drains against the stale-epoch routing. The registered filter's
+/// term is outside the pre-registered vocabulary, so the stale bloom prunes
+/// it **deterministically**: every pinned document is delivered to exactly
+/// the pre-registration match set (the new filter is installed on its
+/// workers but unreachable), and the first post-expiry document onward is
+/// delivered to exactly the full set — the bracketing oracle for
+/// stale-snapshot routing, collapsed to equalities by construction.
+#[test]
+fn stale_snapshot_suppresses_unpublished_terms_until_refresh() {
+    const PINNED: usize = 8;
+    let cfg = SystemConfig::small_test();
+    let pre = random_filters(120, 50, 0xA11);
+    let fresh_term = TermId(1_000); // outside every pre-filter's vocabulary
+    let fresh = Filter::new(FilterId(9_999), [fresh_term]);
+
+    // Every document carries the fresh term, so the fresh filter matches
+    // all of them — once the view catches up.
+    let docs: Vec<move_types::Document> = random_docs(16, 50, 9, 0xD0C)
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| {
+            move_types::Document::from_distinct_terms(
+                i as u64,
+                d.terms().iter().copied().chain([fresh_term]),
+            )
+        })
+        .collect();
+
+    let mut script: Vec<ScriptOp> = vec![
+        ScriptOp::PinView {
+            docs: PINNED as u64,
+        },
+        ScriptOp::Register(fresh.clone()),
+    ];
+    script.extend(docs.iter().map(|d| ScriptOp::Publish(d.clone())));
+
+    for kind in [Kind::Move, Kind::Il] {
+        for seed in 600..620u64 {
+            let mut scheme = build(&kind, &cfg);
+            for f in &pre {
+                scheme.register(f).expect("register");
+            }
+            let name = scheme.name();
+            let icfg = InterleaveConfig {
+                seed,
+                mailbox_capacity: 1 + (seed as usize % 3),
+                overflow: OverflowPolicy::Block,
+                batch_size: 1 + (seed as usize % 2),
+                ..InterleaveConfig::default()
+            };
+            let out = run_schedule(scheme, script.clone(), &icfg)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            assert!(out.shed_docs.is_empty(), "{name} shed under Block");
+            for (i, d) in docs.iter().enumerate() {
+                let mut want: BTreeSet<FilterId> = brute_force(&pre, d, MatchSemantics::Boolean)
+                    .into_iter()
+                    .collect();
+                if i >= PINNED {
+                    // The pin expired with the PINNED-th publish; the
+                    // refreshed bloom now admits the fresh term.
+                    want.insert(fresh.id());
+                }
+                let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+                assert_eq!(
+                    &got,
+                    &want,
+                    "{name} seed {seed}: doc {} (pinned={}) wrong under stale view",
+                    d.id(),
+                    i < PINNED
+                );
+            }
+        }
+    }
+}
+
+/// 20 schedules of the pin-vs-refresh race on allocated MOVE: the view is
+/// pinned for far longer than the stream, but the allocation-refresh cycle
+/// fires mid-pin — and a refresh **clears the pin early** (the control
+/// plane never lets a re-allocated grid ship under a stale epoch). The
+/// fresh filter is therefore suppressed exactly up to the first refresh
+/// boundary and delivered exactly from the next document on.
+#[test]
+fn stale_snapshot_pin_is_cleared_by_an_allocation_refresh() {
+    const REFRESH_EVERY: u64 = 6;
+    let mut cfg = SystemConfig::small_test();
+    cfg.capacity_per_node = 150; // force real grids
+    cfg.refresh_every_docs = REFRESH_EVERY;
+    let pre = random_filters(150, 50, 0xA11C);
+    let fresh_term = TermId(1_000);
+    let fresh = Filter::new(FilterId(9_999), [fresh_term]);
+    let sample = random_docs(30, 60, 10, 0x5A);
+    let docs: Vec<move_types::Document> = random_docs(18, 50, 9, 0xD0C3)
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| {
+            move_types::Document::from_distinct_terms(
+                i as u64,
+                d.terms().iter().copied().chain([fresh_term]),
+            )
+        })
+        .collect();
+
+    let mut script: Vec<ScriptOp> = vec![
+        // Pinned past the end of the stream: only a refresh can unpin.
+        ScriptOp::PinView { docs: 1_000 },
+        ScriptOp::Register(fresh.clone()),
+    ];
+    script.extend(docs.iter().map(|d| ScriptOp::Publish(d.clone())));
+
+    for seed in 650..670u64 {
+        let mut scheme = MoveScheme::new(cfg.clone()).expect("valid config");
+        for f in &pre {
+            scheme.register(f).expect("register");
+        }
+        scheme.observe_corpus(&sample);
+        scheme.allocate().expect("allocate");
+        let icfg = InterleaveConfig {
+            seed,
+            mailbox_capacity: 2,
+            overflow: OverflowPolicy::Block,
+            batch_size: 1 + (seed as usize % 2),
+            ..InterleaveConfig::default()
+        };
+        let out = run_schedule(Box::new(scheme), script.clone(), &icfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            out.report.allocation_updates > 0,
+            "seed {seed}: no refresh fired, the pin was never cleared"
+        );
+        for (i, d) in docs.iter().enumerate() {
+            let mut want: BTreeSet<FilterId> = brute_force(&pre, d, MatchSemantics::Boolean)
+                .into_iter()
+                .collect();
+            // The refresh lands inside publish #REFRESH_EVERY, after that
+            // document was already routed under the stale view — so the
+            // fresh filter reaches document REFRESH_EVERY+1 onward.
+            if i as u64 >= REFRESH_EVERY {
+                want.insert(fresh.id());
+            }
+            let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+            assert_eq!(
+                &got,
+                &want,
+                "seed {seed}: doc {} wrong across the pin/refresh boundary",
+                d.id()
+            );
+        }
+    }
 }
 
 /// 36 fault schedules (3 schemes × 12 seeds) of the failover-then-return
