@@ -1,0 +1,293 @@
+//! Join-under-load benchmark: a node joins the live cluster in the middle
+//! of a sustained publish stream, through the staged-layout rebalancer
+//! (`Engine::join_node`). Measures the throughput dip of the handover —
+//! the headline claim is that ingest never fully stalls: the ingest plane
+//! is fenced only for the layout commit, never for the partition copy —
+//! and oracle-checks the delivery sets against a from-scratch cluster
+//! built with N+1 nodes (elasticity must be invisible to subscribers).
+//!
+//! Emits `results/BENCH_rebalance.json` (validated by
+//! `cargo xtask check-bench`); EXPERIMENTS.md keeps the join-under-load
+//! table. `--smoke` shrinks the workload for CI.
+
+use move_bench::{
+    build_scheme, paper_system, ExperimentConfig, Scale, SchemeKind, Table, Workload,
+};
+use move_runtime::{Engine, RuntimeConfig};
+use move_types::{DocId, Document, FilterId};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Publisher-facing ingest threads for every live run.
+const PUBLISHERS: usize = 4;
+
+#[derive(Serialize)]
+struct RebalanceRun {
+    scheme: &'static str,
+    mode: &'static str,
+    publishers: usize,
+    /// Handover-window length in published documents.
+    window_docs: u64,
+    /// Throughput of the run containing the join, stream start to drain.
+    docs_per_sec: f64,
+    /// Throughput of the identical run without a join.
+    baseline_docs_per_sec: f64,
+    /// Slowest ingest bucket of the join run over the run's median bucket
+    /// — in (0, 1] by construction, and the no-stall witness: a fence that
+    /// parked ingest for the whole copy would crater this towards zero.
+    dip_ratio: f64,
+    joins: u64,
+    partitions_moved: u64,
+    docs_double_routed: u64,
+    handover_docs: u64,
+    handover_nanos: u64,
+    p99_us: f64,
+    /// Delivery-set oracle: join run ≡ no-join run ≡ a from-scratch
+    /// simulator cluster built with N+1 nodes, per document.
+    deliveries_match: bool,
+}
+
+#[derive(Serialize)]
+struct RebalanceReport {
+    scale: f64,
+    nodes: usize,
+    filters: usize,
+    docs: usize,
+    runs: Vec<RebalanceRun>,
+}
+
+type DeliveryMap = BTreeMap<DocId, BTreeSet<FilterId>>;
+
+/// Per-bucket ingest rates from one publisher thread, plus the delivery
+/// union and the end-of-run report.
+struct LiveOutcome {
+    rates: Vec<f64>,
+    elapsed_secs: f64,
+    delivered: DeliveryMap,
+    report: move_runtime::RuntimeReport,
+}
+
+/// Runs the stream through a pooled live engine. When `join_at` is set,
+/// the main thread triggers `join_node(window)` once the publisher passes
+/// that document; the publisher keeps the stream alive (recycling the doc
+/// list, which is delivery-idempotent) until the join commits, so the
+/// handover window always fills.
+fn live_run(
+    kind: SchemeKind,
+    cfg: &ExperimentConfig,
+    w: &Workload,
+    join_at: Option<(u64, u64)>,
+) -> (LiveOutcome, Option<move_runtime::JoinOutcome>) {
+    let scheme = build_scheme(kind, cfg, w);
+    let config = RuntimeConfig {
+        publishers: PUBLISHERS,
+        ..RuntimeConfig::default()
+    };
+    let engine = Arc::new(Engine::start(scheme, config).expect("spawn engine threads"));
+    let deliveries = engine.deliveries();
+    let published = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let bucket = (w.docs.len() / 24).max(25);
+
+    let feeder = {
+        let engine = Arc::clone(&engine);
+        let published = Arc::clone(&published);
+        let stop = Arc::clone(&stop);
+        let docs: Vec<Document> = w.docs.clone();
+        std::thread::spawn(move || {
+            let mut rates = Vec::new();
+            let start = Instant::now();
+            let mut t0 = Instant::now();
+            for (i, d) in docs.iter().enumerate() {
+                engine.publish(d.clone());
+                published.fetch_add(1, Ordering::Relaxed);
+                if (i + 1) % bucket == 0 {
+                    rates.push(bucket as f64 / t0.elapsed().as_secs_f64());
+                    t0 = Instant::now();
+                }
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            // Keep-alive: if a join is still windowing when the stream
+            // runs dry, recycle documents so the window can fill.
+            while !stop.load(Ordering::Relaxed) {
+                for d in &docs {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    engine.publish(d.clone());
+                }
+            }
+            (rates, elapsed)
+        })
+    };
+
+    let outcome = join_at.map(|(at_doc, window)| {
+        while published.load(Ordering::Relaxed) < at_doc {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let outcome = engine.join_node(window).expect("join commits under load");
+        println!(
+            "  {}: {} joined at doc {}, {} partitions moved, window {} docs / {:.1} ms",
+            kind.label(),
+            outcome.node,
+            published.load(Ordering::Relaxed),
+            outcome.partitions_moved,
+            outcome.handover_docs,
+            outcome.handover_nanos as f64 / 1e6,
+        );
+        outcome
+    });
+    stop.store(true, Ordering::Relaxed);
+    let (rates, elapsed_secs) = feeder.join().expect("publisher thread");
+    engine.flush();
+    let engine = Arc::into_inner(engine).expect("sole engine handle");
+    let report = engine.shutdown().expect("engine ran to completion");
+
+    let mut delivered = DeliveryMap::new();
+    for d in deliveries.try_iter() {
+        delivered.entry(d.doc).or_default().extend(d.matched);
+    }
+    (
+        LiveOutcome {
+            rates,
+            elapsed_secs,
+            delivered,
+            report,
+        },
+        outcome,
+    )
+}
+
+/// The from-scratch oracle: the same workload through a synchronous
+/// simulator cluster built with `nodes` from the start — the delivery sets
+/// an N+1 cluster would have produced had the joiner always been a member.
+fn fresh_cluster_deliveries(
+    kind: SchemeKind,
+    cfg: &ExperimentConfig,
+    w: &Workload,
+    nodes: usize,
+) -> DeliveryMap {
+    let mut grown = cfg.clone();
+    grown.system.nodes = nodes;
+    let mut scheme = build_scheme(kind, &grown, w);
+    let mut map = DeliveryMap::new();
+    for d in &w.docs {
+        let out = scheme.publish(0.0, d).expect("sim publish cannot fail");
+        map.insert(d.id(), out.matched.into_iter().collect());
+    }
+    map
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted.get(sorted.len() / 2).copied().unwrap_or(0.0)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = Scale::from_env();
+    println!(
+        "bench_rebalance ({scale}{})",
+        if smoke { ", smoke" } else { "" }
+    );
+    let nodes = 20;
+    let (max_filters, max_docs) = if smoke {
+        (2_000, 600)
+    } else {
+        (
+            scale.count(500_000, 200) as usize,
+            scale.count(60_000, 1_000) as usize,
+        )
+    };
+    let w = Workload::paper_cluster(scale)
+        .slice_filters(max_filters)
+        .slice_docs(max_docs);
+    let cfg = ExperimentConfig::new(paper_system(scale, nodes, w.vocabulary));
+    let join_at = w.docs.len() as u64 / 3;
+    let window = (w.docs.len() as u64 / 10).max(50);
+
+    let mut table = Table::new(
+        "bench_rebalance",
+        &[
+            "scheme",
+            "docs_per_s",
+            "baseline_docs_per_s",
+            "dip_ratio",
+            "partitions",
+            "doubled",
+            "window_docs",
+            "window_ms",
+            "match",
+        ],
+    );
+    let mut runs = Vec::new();
+    for kind in [SchemeKind::Il, SchemeKind::Move] {
+        let oracle = fresh_cluster_deliveries(kind, &cfg, &w, nodes + 1);
+        let (baseline, _) = live_run(kind, &cfg, &w, None);
+        let (join, outcome) = live_run(kind, &cfg, &w, Some((join_at, window)));
+        let outcome = outcome.expect("join run produced an outcome");
+        let deliveries_match = join.delivered == oracle && baseline.delivered == oracle;
+        let med = median(&join.rates);
+        let dip_ratio = if med > 0.0 {
+            join.rates.iter().copied().fold(f64::INFINITY, f64::min) / med
+        } else {
+            0.0
+        };
+        let run = RebalanceRun {
+            scheme: kind.label(),
+            mode: "live",
+            publishers: PUBLISHERS,
+            window_docs: window,
+            docs_per_sec: w.docs.len() as f64 / join.elapsed_secs,
+            baseline_docs_per_sec: w.docs.len() as f64 / baseline.elapsed_secs,
+            dip_ratio,
+            joins: join.report.joins,
+            partitions_moved: join.report.partitions_moved,
+            docs_double_routed: join.report.docs_double_routed,
+            handover_docs: outcome.handover_docs,
+            handover_nanos: outcome.handover_nanos,
+            p99_us: join.report.latency.p99 as f64 / 1e3,
+            deliveries_match,
+        };
+        table.row(&[
+            run.scheme.to_owned(),
+            format!("{:.0}", run.docs_per_sec),
+            format!("{:.0}", run.baseline_docs_per_sec),
+            format!("{:.3}", run.dip_ratio),
+            run.partitions_moved.to_string(),
+            run.docs_double_routed.to_string(),
+            run.handover_docs.to_string(),
+            format!("{:.1}", run.handover_nanos as f64 / 1e6),
+            run.deliveries_match.to_string(),
+        ]);
+        println!(
+            "{}/live: {:.0} docs/s (baseline {:.0}), dip {:.3}, {} partitions moved, \
+             {} docs double-routed, deliveries_match {}",
+            run.scheme,
+            run.docs_per_sec,
+            run.baseline_docs_per_sec,
+            run.dip_ratio,
+            run.partitions_moved,
+            run.docs_double_routed,
+            run.deliveries_match,
+        );
+        runs.push(run);
+    }
+    table.finish();
+
+    let bench = RebalanceReport {
+        scale: scale.factor,
+        nodes,
+        filters: w.filters.len(),
+        docs: w.docs.len(),
+        runs,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("report serializes");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_rebalance.json", json).expect("write json report");
+    println!("wrote results/BENCH_rebalance.json");
+}

@@ -53,6 +53,10 @@ pub struct LiveSession {
     pipeline: TextPipeline,
     dict: TermDictionary,
     next_doc: u64,
+    /// `--join <at-doc>`: once this many documents have been published, a
+    /// new node joins the running cluster (live partition rebalancing) and
+    /// the trigger clears.
+    join_at: Option<u64>,
     /// Set once [`Command::Quit`] has run.
     pub finished: bool,
 }
@@ -93,6 +97,25 @@ impl LiveSession {
         plan: FaultPlan,
         publishers: usize,
     ) -> Result<Self, String> {
+        Self::with_join(nodes, racks, plan, publishers, None)
+    }
+
+    /// Boots the live engine with every option, including the `--join`
+    /// trigger: after `join_at` published documents, a new node joins the
+    /// running cluster through the live rebalancer — layout staged, moved
+    /// partitions streamed to the new worker, commit — and the session
+    /// prints the migration outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the cluster configuration is rejected.
+    pub fn with_join(
+        nodes: usize,
+        racks: usize,
+        plan: FaultPlan,
+        publishers: usize,
+        join_at: Option<u64>,
+    ) -> Result<Self, String> {
         let config = SystemConfig {
             nodes,
             racks,
@@ -112,6 +135,7 @@ impl LiveSession {
             pipeline: TextPipeline::default(),
             dict: TermDictionary::new(),
             next_doc: 0,
+            join_at,
             finished: false,
         })
     }
@@ -135,12 +159,28 @@ impl LiveSession {
                 let doc = self.pipeline.document(self.next_doc, &text, &mut self.dict);
                 self.next_doc += 1;
                 let matched = engine.publish_sync(doc);
-                if matched.is_empty() {
-                    "no matching filters".into()
+                let mut out = if matched.is_empty() {
+                    String::from("no matching filters")
                 } else {
                     let ids: Vec<String> = matched.iter().map(ToString::to_string).collect();
                     format!("delivered to {}", ids.join(", "))
+                };
+                // The --join trigger: grow the cluster once the stream has
+                // passed the threshold. The shell publishes synchronously,
+                // so the handover window is empty and the join commits
+                // immediately — the interesting windowed path is driven by
+                // `bench_rebalance`, not the interactive shell.
+                if self.join_at.is_some_and(|at| self.next_doc >= at) {
+                    self.join_at = None;
+                    match engine.join_node(0) {
+                        Ok(o) => out.push_str(&format!(
+                            "\n{} joined the cluster: layout v{}, {} partitions moved",
+                            o.node, o.layout_version, o.partitions_moved
+                        )),
+                        Err(e) => out.push_str(&format!("\nnode join failed: {e}")),
+                    }
                 }
+                out
             }
             Command::Stats => {
                 let nodes = engine.stats();
@@ -178,7 +218,7 @@ live-mode commands:
                     Ok(r) => {
                         let mut out = format!(
                             "engine drained: {} docs, {} tasks, p50 {:.1}us p99 {:.1}us; \
-                             {} restarts, {} retries, {} failovers, {} docs lost — bye",
+                             {} restarts, {} retries, {} failovers, {} joins, {} docs lost — bye",
                             r.docs_published,
                             r.tasks_dispatched,
                             r.latency.p50 as f64 / 1e3,
@@ -186,6 +226,7 @@ live-mode commands:
                             r.restarts,
                             r.retries,
                             r.failovers,
+                            r.joins,
                             r.lost_docs.len(),
                         );
                         for m in &r.ingest {
@@ -244,6 +285,30 @@ mod tests {
             assert!(bye.contains(thread), "{bye}");
         }
         assert!(!bye.contains("ingest t3:"), "{bye}");
+    }
+
+    #[test]
+    fn join_trigger_grows_the_cluster_mid_session() {
+        let mut s = LiveSession::with_join(6, 2, FaultPlan::none(), 1, Some(2)).unwrap();
+        assert!(s
+            .run(Command::parse("register 1 rust news").unwrap())
+            .contains("registered f1"));
+        let first = s.run(Command::parse("publish rust shipped a release").unwrap());
+        assert!(
+            !first.contains("joined"),
+            "{first}: joined before the trigger"
+        );
+        let second = s.run(Command::parse("publish rust again").unwrap());
+        assert!(
+            second.contains("n6 joined the cluster: layout v"),
+            "{second}"
+        );
+        // The trigger fires once; matching still works on the grown cluster.
+        let third = s.run(Command::parse("publish rust once more").unwrap());
+        assert!(third.contains("delivered to f1"), "{third}");
+        assert!(!third.contains("joined"), "{third}");
+        let bye = s.run(Command::Quit);
+        assert!(bye.contains("1 joins"), "{bye}");
     }
 
     #[test]

@@ -2,13 +2,15 @@
 //! command language.
 //!
 //! Usage: `move-cli [live] [--fault-plan <spec>] [--publishers <n>]
-//! [nodes] [racks]` — with `live`, commands run on the concurrent
-//! `move-runtime` engine instead of the simulator;
+//! [--join <at-doc>] [nodes] [racks]` — with `live`, commands run on the
+//! concurrent `move-runtime` engine instead of the simulator;
 //! `--fault-plan kill=<fraction>@<doc>[,seed=<seed>]` crashes that share
 //! of the workers mid-session so supervised restarts can be watched live;
 //! `--publishers <n>` routes documents through a pool of `n` concurrent
 //! ingest threads instead of the single router (the session report then
-//! breaks routed/shed counters out per ingest thread).
+//! breaks routed/shed counters out per ingest thread); `--join <at-doc>`
+//! grows the cluster by one node through the live rebalancer once that
+//! many documents have been published.
 
 use move_cli::{parse_fault_plan, Command, LiveSession, Session};
 use move_runtime::FaultPlan;
@@ -43,6 +45,7 @@ fn main() {
     }
     let mut fault_spec: Option<String> = None;
     let mut publishers: Option<String> = None;
+    let mut join_spec: Option<String> = None;
     let mut positional = Vec::new();
     while let Some(arg) = args.next() {
         if let Some(spec) = arg.strip_prefix("--fault-plan=") {
@@ -65,6 +68,16 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        } else if let Some(n) = arg.strip_prefix("--join=") {
+            join_spec = Some(n.to_owned());
+        } else if arg == "--join" {
+            match args.next() {
+                Some(n) => join_spec = Some(n),
+                None => {
+                    eprintln!("--join needs a document count, e.g. --join 100");
+                    std::process::exit(1);
+                }
+            }
         } else {
             positional.push(arg);
         }
@@ -82,6 +95,20 @@ fn main() {
             }
         },
         None => 1,
+    };
+    let join_at = match join_spec.as_deref() {
+        Some(_) if !live => {
+            eprintln!("--join requires live mode (the simulator has no rebalancer)");
+            std::process::exit(1);
+        }
+        Some(n) => match n.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("--join needs a document count, got `{n}`");
+                std::process::exit(1);
+            }
+        },
+        None => None,
     };
     let mut positional = positional.into_iter();
     let nodes = positional.next().and_then(|a| a.parse().ok()).unwrap_or(20);
@@ -101,7 +128,7 @@ fn main() {
         None => FaultPlan::none(),
     };
     let built = if live {
-        LiveSession::with_options(nodes, racks, plan, publishers).map(Shell::Live)
+        LiveSession::with_join(nodes, racks, plan, publishers, join_at).map(Shell::Live)
     } else {
         Session::new(nodes, racks).map(|s| Shell::Sim(Box::new(s)))
     };

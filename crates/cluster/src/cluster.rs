@@ -1,6 +1,8 @@
 //! The assembled simulated cluster.
 
 use crate::cost::LedgerBoard;
+use crate::layout::{partition_of_term, ClusterLayout, LayoutDelta, RoleChange};
+use crate::ring::{TermHomeTable, TERM_HOME_CACHE_MAX};
 use crate::{CostModel, KvStore, Membership, Ring, Topology};
 use move_types::{MoveError, NodeId, Result, TermId};
 use rand::seq::SliceRandom;
@@ -38,6 +40,10 @@ pub struct SimCluster {
     cost: CostModel,
     stores: Vec<KvStore>,
     ledgers: LedgerBoard,
+    /// The committed partition layout — the source of truth for term
+    /// routing ([`SimCluster::home_of_term`]); seeded from the ring and
+    /// advanced by [`SimCluster::join_node`].
+    layout: ClusterLayout,
 }
 
 /// Virtual nodes per physical node (Cassandra's classic default magnitude).
@@ -62,13 +68,16 @@ impl SimCluster {
             )));
         }
         let topology = Topology::uniform(nodes, racks);
+        let ring = Ring::new(topology.nodes(), VNODES);
+        let layout = ClusterLayout::seed(&ring, topology.racks().len());
         Ok(Self {
-            ring: Ring::new(topology.nodes(), VNODES),
+            ring,
             topology,
             membership: Membership::new(nodes, SUSPECT_AFTER),
             cost,
             stores: (0..nodes).map(|_| KvStore::new(MEMTABLE_LIMIT)).collect(),
             ledgers: LedgerBoard::new(nodes),
+            layout,
         })
     }
 
@@ -147,9 +156,56 @@ impl SimCluster {
         self.membership.is_alive(node)
     }
 
-    /// The home node of a term (`put`/`get` routing target).
+    /// The committed partition layout.
+    pub fn layout(&self) -> &ClusterLayout {
+        &self.layout
+    }
+
+    /// Mutable partition layout (for staging role changes directly; most
+    /// callers go through [`SimCluster::join_node`]).
+    pub fn layout_mut(&mut self) -> &mut ClusterLayout {
+        &mut self.layout
+    }
+
+    /// The home node of a term (`put`/`get` routing target): the committed
+    /// layout's owner of the term's partition. Seeded layouts agree with
+    /// the ring; after a [`SimCluster::join_node`] the layout is the
+    /// source of truth (the ring keeps serving non-term keys).
     pub fn home_of_term(&self, term: TermId) -> NodeId {
-        self.ring.home_of_term(term)
+        NodeId(self.layout.assignment()[partition_of_term(term)])
+    }
+
+    /// Freezes a thread-safe [`TermHomeTable`] from the committed layout:
+    /// term ids `0..terms` are precomputed (capped at the memoization
+    /// bound), and ids beyond the range fold onto their partition — exact
+    /// for *all* term ids. Agrees with [`SimCluster::home_of_term`] at the
+    /// moment of freezing.
+    #[must_use]
+    pub fn freeze_term_homes(&self, terms: usize) -> TermHomeTable {
+        let n = terms.min(TERM_HOME_CACHE_MAX);
+        let assignment = self.layout.assignment();
+        let homes = (0..n)
+            .map(|t| assignment[partition_of_term(TermId(t as u32))])
+            .collect();
+        TermHomeTable::from_partitions(homes, std::sync::Arc::clone(assignment))
+    }
+
+    /// Admits one new node: extends ring, topology, membership, store and
+    /// ledger state, then stages + commits a weight-1 join in the layout.
+    /// Returns the new node's id and the layout delta (exactly which
+    /// partitions must move to it). The caller owns streaming the moved
+    /// partitions' filter state — the cluster only re-points routing.
+    pub fn join_node(&mut self) -> (NodeId, LayoutDelta) {
+        let id = self.topology.add_node();
+        self.ring.add_node(id);
+        self.membership.grow(1);
+        self.stores.push(KvStore::new(MEMTABLE_LIMIT));
+        self.ledgers.grow(1);
+        let rack = self.topology.rack_of(id);
+        self.layout.stage(RoleChange::Join { rack, weight: 1 });
+        let delta = self.layout.commit();
+        debug_assert_eq!(delta.joined.last().copied(), Some(id));
+        (id, delta)
     }
 
     /// Document-transfer cost between two nodes under the rack-aware cost
@@ -273,6 +329,41 @@ mod tests {
             .fail_fraction(0.0, FailureMode::RandomNodes, &mut rng)
             .is_empty());
         assert_eq!(c.live_nodes().len(), 10);
+    }
+
+    #[test]
+    fn frozen_homes_agree_with_cluster_for_all_ids() {
+        let c = cluster(9, 3);
+        let table = c.freeze_term_homes(300);
+        for t in 0..5000u32 {
+            assert_eq!(table.home_of_term(TermId(t)), c.home_of_term(TermId(t)));
+        }
+    }
+
+    #[test]
+    fn join_node_extends_every_subsystem() {
+        let mut c = cluster(6, 2);
+        let homes_before: Vec<NodeId> = (0..2000u32).map(|t| c.home_of_term(TermId(t))).collect();
+        let (id, delta) = c.join_node();
+        assert_eq!(id, NodeId(6));
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.nodes().len(), 7);
+        assert!(c.is_alive(id));
+        assert!(c.ring().members().contains(&id));
+        assert_eq!(c.ledgers().all().len(), 7);
+        assert_eq!(c.membership().live_nodes().len(), 7);
+        assert!(!delta.moved.is_empty());
+        // Only terms in moved partitions re-homed, and all onto the joiner.
+        for (t, &old) in homes_before.iter().enumerate() {
+            let new = c.home_of_term(TermId(t as u32));
+            if new != old {
+                assert_eq!(new, id, "term {t} moved to {new}, not the joiner");
+            }
+        }
+        // The joiner's store and ledger are usable.
+        c.store_mut(id).cf("f").put(b"k".as_ref(), b"v".as_ref());
+        assert!(c.store(id).cf_opt("f").is_some());
+        assert_eq!(c.layout().version(), 1);
     }
 
     #[test]

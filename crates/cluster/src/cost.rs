@@ -132,6 +132,12 @@ impl LedgerBoard {
         }
     }
 
+    /// Grows the board by `n` fresh (zeroed) ledgers — the accounting side
+    /// of a node join.
+    pub fn grow(&mut self, n: usize) {
+        self.ledgers.extend((0..n).map(|_| CostLedger::default()));
+    }
+
     /// Mutable ledger of a node.
     ///
     /// # Panics

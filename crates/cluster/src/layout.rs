@@ -1,0 +1,605 @@
+//! Versioned cluster layouts with staged role changes and an incremental,
+//! movement-minimising partition assignment — the elastic-growth
+//! counterpart of the ring (modeled on Garage's `ClusterLayout`).
+//!
+//! The term key space is folded onto a fixed set of [`PARTITIONS`]
+//! *term-partitions* ([`partition_of_term`]); a [`ClusterLayout`] maps each
+//! partition to the node that *homes* it. Role changes (join, leave,
+//! weight change) are **staged** first and take effect only at
+//! [`ClusterLayout::commit`], which recomputes the assignment
+//! *incrementally*: each node's target occupancy is apportioned from its
+//! weight (largest-remainder method), and only the partitions that must
+//! leave an overfull node are reassigned — every other `partition → node`
+//! edge survives the version bump. A from-scratch assignment
+//! ([`ClusterLayout::fresh_assignment`]) would scatter partitions across
+//! all nodes; the incremental recompute provably moves the minimum number
+//! needed to reach the new targets, which is what keeps a live node join
+//! cheap (only the moved partitions' filter state is streamed).
+
+use crate::ring::Ring;
+use crate::stable_hash64;
+use move_types::{NodeId, RackId};
+use std::sync::Arc;
+
+/// Number of term-partitions the key space is folded onto. Fixed for the
+/// lifetime of a cluster: routing state is exchanged per partition, so the
+/// unit of data movement is `1/256` of the term space.
+pub const PARTITIONS: usize = 256;
+
+/// The partition a term belongs to. Pure and stable: the same term always
+/// lands in the same partition, whatever the layout version.
+#[must_use]
+pub fn partition_of_term(term: move_types::TermId) -> usize {
+    (stable_hash64(&("part", term.0)) % PARTITIONS as u64) as usize
+}
+
+/// A node's role in a layout: where it sits and how much of the partition
+/// space it should carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRole {
+    /// The rack the node sits in (drives rack-aware placement).
+    pub rack: RackId,
+    /// Relative share of the partition space (0 = carries nothing, e.g. a
+    /// node that has left).
+    pub weight: u64,
+}
+
+/// A staged change to the role set, applied at the next
+/// [`ClusterLayout::commit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoleChange {
+    /// A new node joins; it receives the next free node id at commit time.
+    Join {
+        /// Rack of the joining node.
+        rack: RackId,
+        /// Weight of the joining node.
+        weight: u64,
+    },
+    /// A node leaves: its weight drops to 0 and its partitions are
+    /// redistributed (the id is never reused — indices stay stable).
+    Leave {
+        /// The leaving node.
+        node: NodeId,
+    },
+    /// A node's weight changes in place.
+    Weight {
+        /// The re-weighted node.
+        node: NodeId,
+        /// Its new weight.
+        weight: u64,
+    },
+}
+
+/// What one [`ClusterLayout::commit`] changed: the new version plus every
+/// `(partition, old home, new home)` edge that moved. Everything *not*
+/// listed here kept its pre-commit home — the quantity a live rebalance
+/// has to stream is exactly `moved`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayoutDelta {
+    /// The layout version this delta produced.
+    pub version: u64,
+    /// Moved partitions as `(partition, old home, new home)`.
+    pub moved: Vec<(usize, NodeId, NodeId)>,
+    /// Nodes that joined in this commit, in id order.
+    pub joined: Vec<NodeId>,
+}
+
+/// A versioned `partition → node` layout with staged role changes.
+///
+/// # Examples
+///
+/// ```
+/// use move_cluster::{ClusterLayout, Ring, RoleChange, PARTITIONS};
+/// use move_types::{NodeId, RackId};
+///
+/// let ring = Ring::new((0..4).map(NodeId), 64);
+/// let mut layout = ClusterLayout::seed(&ring, 2);
+/// layout.stage(RoleChange::Join { rack: RackId(0), weight: 1 });
+/// let delta = layout.commit();
+/// assert_eq!(delta.joined, vec![NodeId(4)]);
+/// // Every moved partition landed on the joiner; nothing else moved.
+/// assert!(delta.moved.iter().all(|&(_, _, new)| new == NodeId(4)));
+/// assert!(delta.moved.len() < PARTITIONS);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterLayout {
+    version: u64,
+    roles: Vec<NodeRole>,
+    /// `assignment[partition]` = home node id. Shared (`Arc`) so frozen
+    /// routing tables alias it without copying; commits copy-on-write.
+    assignment: Arc<Vec<u32>>,
+    staging: Vec<RoleChange>,
+}
+
+impl ClusterLayout {
+    /// Seeds version 0 from a ring: every current ring member gets weight 1
+    /// in its round-robin rack, and each partition is homed where the ring
+    /// homes the partition's token. Seeding is *not* a commit — nothing is
+    /// considered moved.
+    #[must_use]
+    pub fn seed(ring: &Ring, racks: usize) -> Self {
+        let racks = racks.max(1);
+        let roles: Vec<NodeRole> = ring
+            .members()
+            .iter()
+            .map(|n| NodeRole {
+                rack: RackId(n.as_usize() as u32 % racks as u32),
+                weight: 1,
+            })
+            .collect();
+        let mut assignment: Vec<u32> = (0..PARTITIONS)
+            .map(|p| ring.home_of(&("part", p as u32)).0)
+            .collect();
+        // Settle onto the exact apportioned targets right away (version 0
+        // precedes any data, so this costs nothing) — from a settled
+        // layout, a single weight-1 join moves partitions *only onto the
+        // joiner*, which is both the minimal movement and what keeps the
+        // live migration engine's copy traffic one-directional.
+        let targets = Self::targets(&roles);
+        let _ = Self::rebalance(&targets, &mut assignment);
+        Self {
+            version: 0,
+            roles,
+            assignment: Arc::new(assignment),
+            staging: Vec::new(),
+        }
+    }
+
+    /// The committed layout version (bumped by every [`Self::commit`]).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The committed roles, indexed by node id.
+    #[must_use]
+    pub fn roles(&self) -> &[NodeRole] {
+        &self.roles
+    }
+
+    /// Number of node ids the layout knows (including zero-weight leavers).
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// The committed `partition → node` assignment (length
+    /// [`PARTITIONS`]). The `Arc` lets routing snapshots alias it.
+    #[must_use]
+    pub fn assignment(&self) -> &Arc<Vec<u32>> {
+        &self.assignment
+    }
+
+    /// The committed home of one partition.
+    #[must_use]
+    pub fn home_of_partition(&self, partition: usize) -> NodeId {
+        NodeId(self.assignment[partition % PARTITIONS])
+    }
+
+    /// Stages a role change for the next commit.
+    pub fn stage(&mut self, change: RoleChange) {
+        self.staging.push(change);
+    }
+
+    /// The changes staged so far, in staging order.
+    #[must_use]
+    pub fn staged(&self) -> &[RoleChange] {
+        &self.staging
+    }
+
+    /// Whether any change is staged.
+    #[must_use]
+    pub fn has_staged(&self) -> bool {
+        !self.staging.is_empty()
+    }
+
+    /// Discards every staged change.
+    pub fn revert_staged(&mut self) {
+        self.staging.clear();
+    }
+
+    /// Applies the staged role changes and recomputes the assignment
+    /// incrementally, returning exactly what moved.
+    ///
+    /// Movement is minimal for the new targets: each node's target
+    /// occupancy is its weight-proportional share of [`PARTITIONS`]
+    /// (largest-remainder apportionment, ties to the lower node id), and
+    /// the recompute only evicts partitions from nodes *above* their
+    /// target, handing them to nodes below theirs in id order. Any
+    /// assignment meeting the same targets must move at least
+    /// `Σ max(0, occupancy − target)` partitions, which is precisely what
+    /// this moves.
+    ///
+    /// Committing with nothing staged bumps the version and moves nothing
+    /// unless occupancy already disagrees with the targets. If every node
+    /// has weight 0 the assignment is left untouched (there is nowhere to
+    /// move anything).
+    pub fn commit(&mut self) -> LayoutDelta {
+        let staged = std::mem::take(&mut self.staging);
+        let mut joined = Vec::new();
+        for change in staged {
+            match change {
+                RoleChange::Join { rack, weight } => {
+                    let id = NodeId(self.roles.len() as u32);
+                    self.roles.push(NodeRole { rack, weight });
+                    joined.push(id);
+                }
+                RoleChange::Leave { node } => {
+                    if let Some(role) = self.roles.get_mut(node.as_usize()) {
+                        role.weight = 0;
+                    }
+                }
+                RoleChange::Weight { node, weight } => {
+                    if let Some(role) = self.roles.get_mut(node.as_usize()) {
+                        role.weight = weight;
+                    }
+                }
+            }
+        }
+        self.version += 1;
+        let targets = Self::targets(&self.roles);
+        if targets.iter().all(|&t| t == 0) {
+            return LayoutDelta {
+                version: self.version,
+                moved: Vec::new(),
+                joined,
+            };
+        }
+        let moved = Self::rebalance(&targets, Arc::make_mut(&mut self.assignment).as_mut_slice());
+        LayoutDelta {
+            version: self.version,
+            moved,
+            joined,
+        }
+    }
+
+    /// Rewrites `assignment` in place to meet `targets` with the minimum
+    /// number of moves, returning the moves as `(partition, old, new)` in
+    /// partition order. Only partitions on nodes *above* their target are
+    /// evicted (lowest-numbered first); the pool is handed to nodes below
+    /// their target in id order.
+    fn rebalance(targets: &[u64], assignment: &mut [u32]) -> Vec<(usize, NodeId, NodeId)> {
+        let mut occupancy = vec![0u64; targets.len()];
+        for &owner in assignment.iter() {
+            if let Some(c) = occupancy.get_mut(owner as usize) {
+                *c += 1;
+            }
+        }
+        // Evict the lowest-numbered excess partitions of each overfull
+        // node into a pool...
+        let mut pool: Vec<(usize, NodeId)> = Vec::new();
+        for (p, owner) in assignment.iter_mut().enumerate() {
+            let o = *owner as usize;
+            let over = match (occupancy.get(o), targets.get(o)) {
+                (Some(&have), Some(&want)) => have > want,
+                // An owner outside the role table (impossible for a layout
+                // built through this API) is always evicted.
+                (Some(_) | None, None) | (None, Some(_)) => true,
+            };
+            if over {
+                pool.push((p, NodeId(*owner)));
+                if let Some(c) = occupancy.get_mut(o) {
+                    *c -= 1;
+                }
+            }
+        }
+        // ...and hand the pool to underfull nodes in id order.
+        let mut moved = Vec::new();
+        let mut next = pool.into_iter();
+        for (i, &target) in targets.iter().enumerate() {
+            while occupancy[i] < target {
+                if let Some((p, old)) = next.next() {
+                    assignment[p] = i as u32;
+                    occupancy[i] += 1;
+                    moved.push((p, old, NodeId(i as u32)));
+                } else {
+                    break;
+                }
+            }
+        }
+        moved.sort_unstable_by_key(|&(p, _, _)| p);
+        moved
+    }
+
+    /// Weight-proportional target occupancy per node: largest-remainder
+    /// apportionment of [`PARTITIONS`] seats, ties broken toward the lower
+    /// node id. Sums to [`PARTITIONS`] unless every weight is 0.
+    #[must_use]
+    pub fn targets(roles: &[NodeRole]) -> Vec<u64> {
+        let total: u128 = roles.iter().map(|r| u128::from(r.weight)).sum();
+        if total == 0 {
+            return vec![0; roles.len()];
+        }
+        let mut base = Vec::with_capacity(roles.len());
+        let mut remainders: Vec<(usize, u128)> = Vec::with_capacity(roles.len());
+        for (i, r) in roles.iter().enumerate() {
+            let num = PARTITIONS as u128 * u128::from(r.weight);
+            base.push((num / total) as u64);
+            remainders.push((i, num % total));
+        }
+        let assigned: u64 = base.iter().sum();
+        let mut leftover = (PARTITIONS as u64).saturating_sub(assigned);
+        remainders.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (i, _) in remainders {
+            if leftover == 0 {
+                break;
+            }
+            base[i] += 1;
+            leftover -= 1;
+        }
+        base
+    }
+
+    /// A from-scratch assignment over `roles` — highest-random-weight
+    /// (rendezvous) hashing across the positive-weight nodes, blind to any
+    /// previous assignment. The yardstick the incremental recompute is
+    /// judged against: a fresh assignment after a membership change
+    /// re-homes far more partitions than [`Self::commit`] moves.
+    #[must_use]
+    pub fn fresh_assignment(roles: &[NodeRole]) -> Vec<u32> {
+        (0..PARTITIONS)
+            .map(|p| {
+                let mut best = 0u32;
+                let mut best_score = 0u64;
+                let mut found = false;
+                for (i, r) in roles.iter().enumerate() {
+                    if r.weight == 0 {
+                        continue;
+                    }
+                    let score = stable_hash64(&("fresh", p as u32, i as u32));
+                    if !found || score > best_score {
+                        best = i as u32;
+                        best_score = score;
+                        found = true;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use move_types::TermId;
+
+    fn seeded(nodes: u32, racks: usize) -> ClusterLayout {
+        let ring = Ring::new((0..nodes).map(NodeId), 64);
+        ClusterLayout::seed(&ring, racks)
+    }
+
+    fn occupancy(layout: &ClusterLayout) -> Vec<u64> {
+        let mut counts = vec![0u64; layout.nodes()];
+        for &owner in layout.assignment().iter() {
+            counts[owner as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn partition_of_term_is_stable_and_in_range() {
+        for t in 0..10_000u32 {
+            let p = partition_of_term(TermId(t));
+            assert!(p < PARTITIONS);
+            assert_eq!(p, partition_of_term(TermId(t)));
+        }
+        // Every partition is hit by some term in a modest id space.
+        let mut seen = vec![false; PARTITIONS];
+        for t in 0..10_000u32 {
+            seen[partition_of_term(TermId(t))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some partition never used");
+    }
+
+    #[test]
+    fn seed_is_ring_derived_but_settled() {
+        let ring = Ring::new((0..8).map(NodeId), 64);
+        let layout = ClusterLayout::seed(&ring, 2);
+        assert_eq!(layout.version(), 0);
+        assert_eq!(layout.nodes(), 8);
+        // Settled: occupancy meets the apportioned targets exactly, so the
+        // first join's movement is one-directional (onto the joiner).
+        assert_eq!(occupancy(&layout), ClusterLayout::targets(layout.roles()));
+        // Ring-derived: most partitions still sit where the ring homes
+        // them (only the seed's balance corrections deviate).
+        let unchanged = (0..PARTITIONS)
+            .filter(|&p| layout.home_of_partition(p) == ring.home_of(&("part", p as u32)))
+            .count();
+        assert!(
+            unchanged > PARTITIONS / 2,
+            "settling rewrote {} of {PARTITIONS} partitions",
+            PARTITIONS - unchanged
+        );
+        // Deterministic: the same ring seeds the same layout.
+        let again = ClusterLayout::seed(&ring, 2);
+        assert_eq!(layout.assignment().as_ref(), again.assignment().as_ref());
+    }
+
+    #[test]
+    fn join_moves_strictly_less_than_a_fresh_reallocation() {
+        // The acceptance criterion: the incremental recompute must move
+        // strictly fewer partitions than a from-scratch assignment of the
+        // post-join role set would.
+        let mut layout = seeded(8, 2);
+        let before = layout.assignment().as_ref().clone();
+        layout.stage(RoleChange::Join {
+            rack: RackId(0),
+            weight: 1,
+        });
+        let delta = layout.commit();
+        assert_eq!(delta.joined, vec![NodeId(8)]);
+        assert!(!delta.moved.is_empty(), "a join must move something");
+        let fresh = ClusterLayout::fresh_assignment(layout.roles());
+        let fresh_moves = before
+            .iter()
+            .zip(fresh.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(
+            delta.moved.len() < fresh_moves,
+            "incremental moved {} but a fresh assignment moves {}",
+            delta.moved.len(),
+            fresh_moves
+        );
+        // And the incremental move count is exactly the apportionment
+        // excess — nothing gratuitous.
+        let targets = ClusterLayout::targets(layout.roles());
+        let mut before_counts = vec![0u64; layout.nodes()];
+        for &o in &before {
+            before_counts[o as usize] += 1;
+        }
+        let minimum: u64 = before_counts
+            .iter()
+            .zip(targets.iter())
+            .map(|(&have, &want)| have.saturating_sub(want))
+            .sum();
+        assert_eq!(delta.moved.len() as u64, minimum);
+    }
+
+    #[test]
+    fn pure_join_moves_only_onto_the_joiner() {
+        let mut layout = seeded(6, 2);
+        layout.stage(RoleChange::Join {
+            rack: RackId(1),
+            weight: 1,
+        });
+        let delta = layout.commit();
+        assert_eq!(delta.version, 1);
+        for &(p, old, new) in &delta.moved {
+            assert!(p < PARTITIONS);
+            assert_eq!(new, NodeId(6), "partition {p} moved to {new}, not joiner");
+            assert_ne!(old, new);
+        }
+        // The delta is consistent with the committed assignment.
+        for &(p, _, new) in &delta.moved {
+            assert_eq!(layout.home_of_partition(p), new);
+        }
+    }
+
+    #[test]
+    fn commit_meets_the_apportioned_targets_exactly() {
+        let mut layout = seeded(5, 2);
+        layout.stage(RoleChange::Join {
+            rack: RackId(0),
+            weight: 2, // double-weight joiner
+        });
+        let delta = layout.commit();
+        assert!(!delta.moved.is_empty());
+        let targets = ClusterLayout::targets(layout.roles());
+        assert_eq!(targets.iter().sum::<u64>(), PARTITIONS as u64);
+        assert_eq!(occupancy(&layout), targets);
+        // The double-weight node carries about twice a unit share.
+        assert!(targets[5] >= 2 * targets[0] - 1);
+    }
+
+    #[test]
+    fn leave_moves_exactly_the_leavers_partitions() {
+        let mut layout = seeded(8, 2);
+        let before = layout.assignment().as_ref().clone();
+        let leaver = NodeId(3);
+        let leaver_load = before.iter().filter(|&&o| o == leaver.0).count();
+        layout.stage(RoleChange::Leave { node: leaver });
+        let delta = layout.commit();
+        assert_eq!(delta.moved.len(), leaver_load);
+        assert!(delta.moved.iter().all(|&(_, old, _)| old == leaver));
+        assert!(occupancy(&layout)[3] == 0);
+        // Untouched partitions kept their homes.
+        for (p, &owner) in before.iter().enumerate() {
+            if owner != leaver.0 {
+                assert_eq!(layout.home_of_partition(p), NodeId(owner));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_commit_bumps_version_and_moves_nothing() {
+        let mut layout = seeded(4, 2);
+        let before = layout.assignment().as_ref().clone();
+        let delta = layout.commit();
+        assert_eq!(delta.version, 1);
+        assert_eq!(layout.version(), 1);
+        // The seed is already settled, so an empty commit is a fixed point.
+        assert!(delta.moved.is_empty(), "empty commit must move nothing");
+        assert_eq!(layout.assignment().as_ref(), &before);
+    }
+
+    #[test]
+    fn revert_staged_discards_changes() {
+        let mut layout = seeded(4, 2);
+        layout.stage(RoleChange::Join {
+            rack: RackId(0),
+            weight: 1,
+        });
+        assert!(layout.has_staged());
+        assert_eq!(layout.staged().len(), 1);
+        layout.revert_staged();
+        assert!(!layout.has_staged());
+        let delta = layout.commit();
+        assert!(delta.joined.is_empty());
+        assert_eq!(layout.nodes(), 4);
+    }
+
+    #[test]
+    fn weight_change_shifts_load_toward_the_heavier_node() {
+        let mut layout = seeded(6, 2);
+        layout.commit(); // settle onto exact targets first
+        let before = occupancy(&layout);
+        layout.stage(RoleChange::Weight {
+            node: NodeId(2),
+            weight: 3,
+        });
+        let delta = layout.commit();
+        let after = occupancy(&layout);
+        assert!(after[2] > before[2], "heavier node must gain partitions");
+        assert!(delta.moved.iter().all(|&(_, _, new)| new == NodeId(2)));
+    }
+
+    #[test]
+    fn all_weights_zero_leaves_assignment_untouched() {
+        let mut layout = seeded(3, 1);
+        let before = layout.assignment().as_ref().clone();
+        for n in 0..3u32 {
+            layout.stage(RoleChange::Leave { node: NodeId(n) });
+        }
+        let delta = layout.commit();
+        assert!(delta.moved.is_empty());
+        assert_eq!(layout.assignment().as_ref(), &before);
+    }
+
+    #[test]
+    fn targets_apportion_all_partitions() {
+        let roles = vec![
+            NodeRole {
+                rack: RackId(0),
+                weight: 1,
+            },
+            NodeRole {
+                rack: RackId(1),
+                weight: 2,
+            },
+            NodeRole {
+                rack: RackId(0),
+                weight: 4,
+            },
+        ];
+        let t = ClusterLayout::targets(&roles);
+        assert_eq!(t.iter().sum::<u64>(), PARTITIONS as u64);
+        assert!(t[2] > t[1] && t[1] > t[0]);
+    }
+
+    #[test]
+    fn fresh_assignment_skips_zero_weight_nodes() {
+        let mut roles = vec![
+            NodeRole {
+                rack: RackId(0),
+                weight: 1,
+            };
+            5
+        ];
+        roles[1].weight = 0;
+        let fresh = ClusterLayout::fresh_assignment(&roles);
+        assert_eq!(fresh.len(), PARTITIONS);
+        assert!(fresh.iter().all(|&o| o != 1 && (o as usize) < 5));
+    }
+}

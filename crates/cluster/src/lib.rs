@@ -12,6 +12,9 @@
 //!   detection and failure injection (random or rack-correlated);
 //! * [`store`] — an LSM-flavoured column-family store (memtable → sorted
 //!   runs → compaction), the BigTable data model Cassandra implements;
+//! * [`layout`] — versioned cluster layouts with staged role changes and a
+//!   movement-minimising partition assignment (elastic growth, modeled on
+//!   Garage's `ClusterLayout`);
 //! * [`cost`] — the latency cost model of paper Eq. 1/2 (`y_d` transfer,
 //!   `y_p` per-posting match, plus per-list seek and a disk-capacity knee);
 //! * [`sim`] — a discrete-event queueing simulator turning per-node service
@@ -28,6 +31,7 @@
 
 pub mod cluster;
 pub mod cost;
+pub mod layout;
 pub mod membership;
 pub mod ring;
 pub mod sim;
@@ -39,6 +43,7 @@ mod hash;
 pub use cluster::{FailureMode, SimCluster};
 pub use cost::{CostLedger, CostModel, LedgerBoard};
 pub use hash::stable_hash64;
+pub use layout::{partition_of_term, ClusterLayout, LayoutDelta, NodeRole, RoleChange, PARTITIONS};
 pub use membership::{Membership, NodeStatus};
 pub use ring::{Ring, TermHomeTable};
 pub use sim::{Job, QueueSim, SimOutcome, Stage, Task};

@@ -106,6 +106,25 @@ impl Membership {
         self.alive[node.as_usize()] = true;
     }
 
+    /// Grows the membership by `count` freshly-joined nodes, all up. Every
+    /// existing observer learns of the joiners as of the current round, so
+    /// a fresh joiner reads as `Up` everywhere until its heartbeat goes
+    /// silent — a join must not start life suspected.
+    pub fn grow(&mut self, count: usize) {
+        for _ in 0..count {
+            let entry = ViewEntry {
+                heartbeat: 0,
+                seen_round: self.round,
+            };
+            self.alive.push(true);
+            self.heartbeat.push(0);
+            for view in &mut self.views {
+                view.push(entry);
+            }
+            self.views.push(vec![entry; self.alive.len()]);
+        }
+    }
+
     /// Ids of nodes that are actually up.
     pub fn live_nodes(&self) -> Vec<NodeId> {
         (0..self.alive.len())
@@ -259,6 +278,29 @@ mod tests {
         assert_eq!(m.live_nodes(), vec![NodeId(0), NodeId(2), NodeId(4)]);
         assert!(!m.is_alive(NodeId(1)));
         assert!(m.is_alive(NodeId(0)));
+    }
+
+    #[test]
+    fn grown_node_starts_up_everywhere() {
+        let mut m = Membership::new(5, 3);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            m.gossip_round(&mut rng);
+        }
+        m.grow(1);
+        assert_eq!(m.len(), 6);
+        assert!(m.is_alive(NodeId(5)));
+        // Nobody suspects the fresh joiner — it was learned "just now".
+        for o in 0..6u32 {
+            assert_eq!(m.status_in_view(NodeId(o), NodeId(5)), NodeStatus::Up);
+        }
+        // And the joiner participates in gossip from the next round on.
+        let mut rounds = 0;
+        while !m.converged() && rounds < 200 {
+            m.gossip_round(&mut rng);
+            rounds += 1;
+        }
+        assert!(m.converged(), "not converged after {rounds} rounds");
     }
 
     #[test]

@@ -1,48 +1,78 @@
 //! The consistent-hash ring.
 
+use crate::layout::partition_of_term;
 use crate::stable_hash64;
 use move_types::{NodeId, TermId};
 use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Upper bound on memoized term-home entries (16 MiB of `u32`s). Term ids
 /// beyond this are answered from the ring directly instead of cached, so a
 /// pathological id space cannot balloon the cache.
-const TERM_HOME_CACHE_MAX: usize = 1 << 22;
+pub(crate) const TERM_HOME_CACHE_MAX: usize = 1 << 22;
 
 /// Sentinel for "not yet computed" in the term-home cache. Never a valid
 /// physical node id (clusters are far smaller than `u32::MAX` nodes).
 const TERM_HOME_UNSET: u32 = u32::MAX;
 
-/// A frozen, thread-safe term→home table, built from a [`Ring`] at a point
-/// in time. The [`Ring::home_of_term`] memoization is `RefCell`-based and
-/// therefore exclusive-access only; concurrent readers (the router pool's
-/// routing snapshots) instead freeze the current membership into this
-/// table, whose lookups are a plain array read for precomputed term ids
-/// and a pure binary search over its own vnode copy otherwise — no locks,
+/// How a [`TermHomeTable`] answers term ids beyond its precomputed range.
+#[derive(Debug, Clone)]
+enum Fallback {
+    /// `(token, owner)` copy of the ring — binary search, exactly what the
+    /// ring itself would do.
+    Vnodes(Vec<(u64, NodeId)>),
+    /// A committed layout's `partition → node` assignment — fold the term
+    /// onto its partition and read the owner.
+    Partitions(Arc<Vec<u32>>),
+}
+
+/// A frozen, thread-safe term→home table, built from a [`Ring`] or a
+/// committed cluster layout at a point in time. The
+/// [`Ring::home_of_term`] memoization is `RefCell`-based and therefore
+/// exclusive-access only; concurrent readers (the router pool's routing
+/// snapshots) instead freeze the current membership into this table, whose
+/// lookups are a plain array read for precomputed term ids and a pure
+/// fallback (vnode binary search or partition fold) otherwise — no locks,
 /// no interior mutability, no stale answers (the table is rebuilt whenever
 /// the control plane publishes a new snapshot epoch).
 #[derive(Debug, Clone)]
 pub struct TermHomeTable {
     /// Precomputed home node per dense term id.
     homes: Vec<u32>,
-    /// `(token, owner)` copy of the ring for term ids beyond `homes`.
-    vnodes: Vec<(u64, NodeId)>,
+    /// Answers for term ids beyond `homes`.
+    fallback: Fallback,
 }
 
 impl TermHomeTable {
+    /// Freezes a layout-backed table: `homes[t]` =
+    /// `assignment[partition_of_term(t)]`, and the fallback folds any id
+    /// beyond the precomputed range onto its partition. Exact for *all*
+    /// term ids, not just the precomputed ones.
+    pub(crate) fn from_partitions(homes: Vec<u32>, assignment: Arc<Vec<u32>>) -> Self {
+        Self {
+            homes,
+            fallback: Fallback::Partitions(assignment),
+        }
+    }
+
     /// The home node of a term: an array read when precomputed, otherwise
-    /// the same hash + binary search the ring itself performs. Answers are
-    /// identical to [`Ring::home_of_term`] on the ring the table was
-    /// frozen from.
+    /// the table's fallback (the same hash + binary search the ring
+    /// performs, or the layout's partition fold). Answers are identical to
+    /// the ring or layout the table was frozen from.
     #[must_use]
     pub fn home_of_term(&self, term: TermId) -> NodeId {
         if let Some(&raw) = self.homes.get(term.as_usize()) {
             return NodeId(raw);
         }
-        let token = stable_hash64(&("term", term.0));
-        let pos = self.vnodes.partition_point(|&(t, _)| t < token);
-        let idx = if pos == self.vnodes.len() { 0 } else { pos };
-        self.vnodes[idx].1
+        match &self.fallback {
+            Fallback::Vnodes(vnodes) => {
+                let token = stable_hash64(&("term", term.0));
+                let pos = vnodes.partition_point(|&(t, _)| t < token);
+                let idx = if pos == vnodes.len() { 0 } else { pos };
+                vnodes[idx].1
+            }
+            Fallback::Partitions(assignment) => NodeId(assignment[partition_of_term(term)]),
+        }
     }
 
     /// Number of precomputed entries.
@@ -85,14 +115,27 @@ pub struct Ring {
     /// Physical members in insertion order.
     members: Vec<NodeId>,
     vnodes_per_node: usize,
-    /// Memoized [`Ring::home_of_term`] answers, indexed by the dense term
-    /// id ([`TERM_HOME_UNSET`] = not yet computed). Term routing is the
-    /// single hottest ring operation — every scheme resolves the home of
-    /// every document term on every publish — and the answer only changes
-    /// with membership, so [`Ring::add_node`]/[`Ring::remove_node`] drop
-    /// the whole cache. Pure memoization: answers are identical with the
-    /// cache disabled.
-    term_homes: RefCell<Vec<u32>>,
+    /// Membership epoch: bumped by every effective
+    /// [`Ring::add_node`]/[`Ring::remove_node`]. Keys the term-home memo —
+    /// a cache filled under an older epoch self-invalidates on first
+    /// touch, so no code path has to remember an explicit clear.
+    epoch: u64,
+    /// Memoized [`Ring::home_of_term`] answers keyed by membership epoch.
+    /// Term routing is the single hottest ring operation — every scheme
+    /// resolves the home of every document term on every publish — and
+    /// the answer only changes with membership, so a cache stamped with a
+    /// stale epoch is discarded on first use instead of being trusted.
+    /// Pure memoization: answers are identical with the cache disabled.
+    term_homes: RefCell<TermHomeCache>,
+}
+
+/// The epoch-stamped memo behind [`Ring::home_of_term`]: `homes[term]` =
+/// node id or [`TERM_HOME_UNSET`], valid only while `epoch` matches the
+/// ring's current membership epoch.
+#[derive(Debug, Clone, Default)]
+struct TermHomeCache {
+    epoch: u64,
+    homes: Vec<u32>,
 }
 
 impl Ring {
@@ -110,7 +153,8 @@ impl Ring {
             vnodes: Vec::with_capacity(members.len() * vnodes_per_node),
             members: Vec::new(),
             vnodes_per_node,
-            term_homes: RefCell::new(Vec::new()),
+            epoch: 0,
+            term_homes: RefCell::new(TermHomeCache::default()),
         };
         for n in members {
             ring.add_node(n);
@@ -132,7 +176,7 @@ impl Ring {
             let pos = self.vnodes.partition_point(|&(t, _)| t < token);
             self.vnodes.insert(pos, (token, node));
         }
-        self.term_homes.borrow_mut().clear();
+        self.epoch += 1;
     }
 
     /// Removes a physical node and all its virtual nodes (no-op if absent).
@@ -147,7 +191,14 @@ impl Ring {
         assert!(self.members.len() > 1, "cannot remove the last ring member");
         self.members.retain(|&m| m != node);
         self.vnodes.retain(|&(_, owner)| owner != node);
-        self.term_homes.borrow_mut().clear();
+        self.epoch += 1;
+    }
+
+    /// The membership epoch: bumped by every effective
+    /// [`Ring::add_node`]/[`Ring::remove_node`]. Keys the term-home memo
+    /// and lets callers detect that routing answers may have changed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Physical members, in insertion order.
@@ -181,20 +232,31 @@ impl Ring {
     /// (paper §III-B). Memoized per term id: route computation and the
     /// statistics observer both resolve every document term, so the hash +
     /// vnode binary search would otherwise run twice per term per publish.
+    /// The memo is keyed by [`Ring::epoch`]: entries filled under an older
+    /// membership are discarded on first touch, never trusted.
     pub fn home_of_term(&self, term: TermId) -> NodeId {
         let idx = term.as_usize();
-        if let Some(&raw) = self.term_homes.borrow().get(idx) {
-            if raw != TERM_HOME_UNSET {
-                return NodeId(raw);
+        {
+            let cache = self.term_homes.borrow();
+            if cache.epoch == self.epoch {
+                if let Some(&raw) = cache.homes.get(idx) {
+                    if raw != TERM_HOME_UNSET {
+                        return NodeId(raw);
+                    }
+                }
             }
         }
         let home = self.home_of_token(stable_hash64(&("term", term.0)));
         if idx < TERM_HOME_CACHE_MAX {
             let mut cache = self.term_homes.borrow_mut();
-            if cache.len() <= idx {
-                cache.resize(idx + 1, TERM_HOME_UNSET);
+            if cache.epoch != self.epoch {
+                cache.homes.clear();
+                cache.epoch = self.epoch;
             }
-            cache[idx] = home.0;
+            if cache.homes.len() <= idx {
+                cache.homes.resize(idx + 1, TERM_HOME_UNSET);
+            }
+            cache.homes[idx] = home.0;
         }
         home
     }
@@ -214,7 +276,7 @@ impl Ring {
             .collect();
         TermHomeTable {
             homes,
-            vnodes: self.vnodes.clone(),
+            fallback: Fallback::Vnodes(self.vnodes.clone()),
         }
     }
 
@@ -371,6 +433,55 @@ mod tests {
             let uncached = r.home_of_token(stable_hash64(&("term", t)));
             assert_eq!(r.home_of_term(TermId(t)), uncached);
         }
+    }
+
+    #[test]
+    fn epoch_keyed_memo_rehomes_after_membership_flip() {
+        // Regression: the memo must be keyed by the membership epoch, so a
+        // layout/membership change re-homes terms without anyone calling an
+        // explicit clear. Warm the cache, flip membership, and check that
+        // every stale entry self-invalidates.
+        let mut r = ring(8);
+        let e0 = r.epoch();
+        let warmed: Vec<NodeId> = (0..800u32).map(|t| r.home_of_term(TermId(t))).collect();
+        // A second pass is served from the memo and must agree.
+        for (t, &home) in warmed.iter().enumerate() {
+            assert_eq!(r.home_of_term(TermId(t as u32)), home);
+        }
+        r.remove_node(NodeId(5));
+        assert!(r.epoch() > e0, "membership flip must bump the epoch");
+        let mut rehomed = 0;
+        for t in 0..800u32 {
+            let fresh = r.home_of_token(stable_hash64(&("term", t)));
+            assert_eq!(
+                r.home_of_term(TermId(t)),
+                fresh,
+                "term {t} served a stale memo entry across the epoch flip"
+            );
+            assert_ne!(r.home_of_term(TermId(t)), NodeId(5));
+            if warmed[t as usize] == NodeId(5) {
+                rehomed += 1;
+            }
+        }
+        assert!(rehomed > 0, "some terms must have re-homed off node 5");
+        // Flip again (re-add) — a third epoch, again no explicit clear.
+        let e1 = r.epoch();
+        r.add_node(NodeId(5));
+        assert!(r.epoch() > e1);
+        for t in 0..800u32 {
+            assert_eq!(
+                r.home_of_term(TermId(t)),
+                r.home_of_token(stable_hash64(&("term", t)))
+            );
+        }
+    }
+
+    #[test]
+    fn idempotent_add_does_not_bump_epoch() {
+        let mut r = ring(4);
+        let e = r.epoch();
+        r.add_node(NodeId(2)); // already a member: no routing change
+        assert_eq!(r.epoch(), e);
     }
 
     #[test]

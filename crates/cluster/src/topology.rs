@@ -49,6 +49,18 @@ impl Topology {
         }
     }
 
+    /// Adds one node, continuing the round-robin rack assignment, and
+    /// returns its id (always the next free id — ids are dense and never
+    /// reused).
+    pub fn add_node(&mut self) -> NodeId {
+        let n = self.rack_of.len();
+        let r = n % self.racks.len();
+        let id = NodeId(n as u32);
+        self.rack_of.push(RackId(r as u32));
+        self.racks[r].push(id);
+        id
+    }
+
     /// All nodes, ordered by id.
     pub fn nodes(&self) -> Vec<NodeId> {
         (0..self.rack_of.len()).map(|n| NodeId(n as u32)).collect()
@@ -123,6 +135,18 @@ mod tests {
     fn more_racks_than_nodes_is_clamped() {
         let t = Topology::uniform(3, 10);
         assert_eq!(t.racks().len(), 3);
+    }
+
+    #[test]
+    fn add_node_continues_round_robin() {
+        let mut t = Topology::uniform(7, 3);
+        let id = t.add_node();
+        assert_eq!(id, NodeId(7));
+        assert_eq!(t.rack_of(id), RackId(7 % 3));
+        assert_eq!(t.len(), 8);
+        assert!(t.racks()[7 % 3].contains(&id));
+        let sizes: Vec<usize> = t.racks().iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
     }
 
     #[test]

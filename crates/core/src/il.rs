@@ -1,11 +1,11 @@
 //! The baseline: the pure distributed inverted list (paper §III).
 
-use crate::scheme::execute_steps;
+use crate::scheme::{execute_steps, JoinSummary};
 use crate::{
     encode_filter, Dissemination, MatchTask, RouteStep, RoutingView, SchemeOutput, SystemConfig,
 };
 use move_bloom::CountingBloomFilter;
-use move_cluster::{Job, SimCluster, Stage};
+use move_cluster::{partition_of_term, Job, SimCluster, Stage};
 use move_index::{InvertedIndex, MatchScratch};
 use move_types::{Document, Filter, FilterId, NodeId, Result, TermId};
 use std::collections::HashMap;
@@ -209,6 +209,73 @@ impl Dissemination for IlScheme {
         Ok(true)
     }
 
+    fn join_node(&mut self) -> Result<JoinSummary> {
+        let (node, delta) = self.cluster.join_node();
+        self.config.nodes = self.cluster.len();
+        self.indexes
+            .push(Arc::new(InvertedIndex::new(self.config.semantics)));
+        self.storage.push(0);
+        let moved_to: HashMap<usize, (NodeId, NodeId)> = delta
+            .moved
+            .iter()
+            .map(|&(p, old, new)| (p, (old, new)))
+            .collect();
+        // Copy the serving state of every re-homed registered pair onto
+        // its new owner; the old homes keep their copies until
+        // `retire_join`, so both the pre- and post-join views deliver.
+        let mut moved_terms: std::collections::BTreeMap<TermId, NodeId> =
+            std::collections::BTreeMap::new();
+        let regs: Vec<(FilterId, Vec<TermId>)> = self
+            .registered_under
+            .iter()
+            .map(|(id, ts)| (*id, ts.clone()))
+            .collect();
+        for (id, reg_terms) in regs {
+            let Some(shared) = self.directory.get(&id).cloned() else {
+                continue;
+            };
+            for t in reg_terms {
+                let Some(&(old, new)) = moved_to.get(&partition_of_term(t)) else {
+                    continue;
+                };
+                Arc::make_mut(&mut self.indexes[new.as_usize()])
+                    .insert_shared_for_term(Arc::clone(&shared), t);
+                self.storage[new.as_usize()] += 1;
+                self.cluster
+                    .store_mut(new)
+                    .cf("filters")
+                    .put(id.0.to_be_bytes().to_vec(), encode_filter(&shared));
+                moved_terms.insert(t, old);
+            }
+        }
+        Ok(JoinSummary {
+            node,
+            layout_version: delta.version,
+            partitions_moved: delta.moved.len() as u64,
+            moved_terms: moved_terms.into_iter().collect(),
+        })
+    }
+
+    fn retire_join(&mut self, summary: &JoinSummary) -> Result<()> {
+        // Drop the retained old-home copies; the joiner has served these
+        // terms since `join_node`, so delivery is unaffected. Bodies in
+        // the old stores are left to compaction-time garbage collection.
+        for &(t, old) in &summary.moved_terms {
+            let ids: Vec<FilterId> = self
+                .registered_under
+                .iter()
+                .filter(|(_, ts)| ts.contains(&t))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in ids {
+                if Arc::make_mut(&mut self.indexes[old.as_usize()]).remove_term_posting(id, t) {
+                    self.storage[old.as_usize()] = self.storage[old.as_usize()].saturating_sub(1);
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn publish(&mut self, at: f64, doc: &Document) -> Result<SchemeOutput> {
         let ingress = self.ingress_of(doc);
         let steps = self.route(doc);
@@ -272,10 +339,11 @@ impl Dissemination for IlScheme {
         RoutingView::il(
             epoch,
             alive,
-            self.cluster.ring().freeze_term_homes(terms),
+            self.cluster.freeze_term_homes(terms),
             self.bloom.clone(),
             self.config.use_bloom,
         )
+        .with_layout_version(self.cluster.layout().version())
     }
 
     fn registration_targets(&self, filter: &Filter) -> Vec<(NodeId, Option<Vec<TermId>>)> {
@@ -477,6 +545,48 @@ mod tests {
     fn needed_terms_mode_rejects_boolean_semantics() {
         let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
         il.set_registration_mode(RegistrationMode::NeededTerms);
+    }
+
+    #[test]
+    fn join_keeps_delivery_complete_through_window_and_retirement() {
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let filters: Vec<Filter> = (0..300)
+            .map(|id| {
+                let len = rng.gen_range(1..=3);
+                let terms: Vec<u32> = (0..len).map(|_| rng.gen_range(0..200u32)).collect();
+                filter(id, &terms)
+            })
+            .collect();
+        for f in &filters {
+            il.register(f).unwrap();
+        }
+        let pairs_before: u64 = il.storage_per_node().iter().sum();
+        let summary = il.join_node().unwrap();
+        assert!(summary.partitions_moved >= 1);
+        assert!(!summary.moved_terms.is_empty());
+        for &(t, old) in &summary.moved_terms {
+            assert_eq!(il.cluster().home_of_term(t), summary.node);
+            assert_ne!(old, summary.node);
+        }
+        // Handover window open: old + new copies coexist, delivery complete.
+        assert!(il.storage_per_node().iter().sum::<u64>() > pairs_before);
+        let mut check = |il: &mut IlScheme, base: u64| {
+            for did in 0..40u64 {
+                let mut terms: Vec<u32> = (0..8).map(|_| rng.gen_range(0..250u32)).collect();
+                terms.sort_unstable();
+                terms.dedup();
+                let d = doc(base + did, &terms);
+                let got = il.publish(0.0, &d).unwrap().matched;
+                let want = brute_force(&filters, &d, MatchSemantics::Boolean);
+                assert_eq!(got, want, "doc {did}");
+            }
+        };
+        check(&mut il, 0);
+        // Retirement drops exactly the retained old copies.
+        il.retire_join(&summary).unwrap();
+        assert_eq!(il.storage_per_node().iter().sum::<u64>(), pairs_before);
+        check(&mut il, 1000);
     }
 
     #[test]

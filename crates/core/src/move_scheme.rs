@@ -1,14 +1,14 @@
 //! MOVE: the distributed inverted list plus adaptive filter allocation
 //! (paper §IV–V).
 
-use crate::scheme::execute_steps;
+use crate::scheme::{execute_steps, JoinSummary};
 use crate::{
     encode_filter, AllocationFactors, AllocationPolicy, Dissemination, FactorRule, Grid, GridMode,
     MatchTask, MoveViewParts, NodeStats, RouteStep, RoutingView, SchemeOutput, StatsDelta,
     SystemConfig,
 };
 use move_bloom::CountingBloomFilter;
-use move_cluster::{Job, SimCluster, Stage};
+use move_cluster::{partition_of_term, Job, SimCluster, Stage};
 use move_index::{InvertedIndex, MatchScratch};
 use move_types::{Document, Filter, FilterId, NodeId, Result, TermId};
 use rand::rngs::StdRng;
@@ -131,6 +131,10 @@ pub struct MoveScheme {
     docs_since_refresh: u64,
     rule: FactorRule,
     grid_mode: GridMode,
+    /// Terms inside a join's handover window: their pairs are deliberately
+    /// duplicated onto the joiner while the old homes keep serving, so the
+    /// grid-coverage invariant is relaxed for them until `retire_join`.
+    handover_terms: std::collections::BTreeSet<TermId>,
     /// Reusable match-kernel working memory for `publish`.
     scratch: MatchScratch,
     rng: StdRng,
@@ -161,6 +165,7 @@ impl MoveScheme {
             term_hits: TermCounters::default(),
             docs_observed: 0,
             docs_since_refresh: 0,
+            handover_terms: std::collections::BTreeSet::new(),
             rule: FactorRule::LoadBalance,
             grid_mode: GridMode::Optimal,
             scratch: MatchScratch::new(),
@@ -463,6 +468,13 @@ impl MoveScheme {
     fn debug_assert_grid_coverage(&self) {
         for i in 0..self.config.nodes {
             for &(t, fid) in &self.home_pairs[i] {
+                if self.handover_terms.contains(&t) {
+                    // Mid-handover a moved pair legitimately lives on both
+                    // its old home and the joiner (and under both of their
+                    // grids after a refresh); exactly-one-column resumes at
+                    // `retire_join`.
+                    continue;
+                }
                 let grid = self
                     .term_allocations
                     .get(&t)
@@ -613,6 +625,78 @@ impl Dissemination for MoveScheme {
             }
         }
         Ok(true)
+    }
+
+    fn join_node(&mut self) -> Result<JoinSummary> {
+        let (node, delta) = self.cluster.join_node();
+        self.config.nodes = self.cluster.len();
+        self.indexes
+            .push(Arc::new(InvertedIndex::new(self.config.semantics)));
+        self.storage.push(0);
+        self.home_pairs.push(Vec::new());
+        self.allocations.push(None);
+        self.doc_hits.push(0);
+        self.hit_postings.push(0);
+        let moved_to: HashMap<usize, (NodeId, NodeId)> = delta
+            .moved
+            .iter()
+            .map(|&(p, old, new)| (p, (old, new)))
+            .collect();
+        // Duplicate every re-homed registration pair into the joiner's
+        // home list — the old homes (and their grids) keep their copies
+        // until `retire_join`, so both layout versions serve completely
+        // through the handover window.
+        let mut moved_terms: std::collections::BTreeMap<TermId, NodeId> =
+            std::collections::BTreeMap::new();
+        let mut copied: Vec<(TermId, FilterId)> = Vec::new();
+        for (i, pairs) in self.home_pairs.iter().enumerate() {
+            for &(t, fid) in pairs {
+                if let Some(&(old, _)) = moved_to.get(&partition_of_term(t)) {
+                    if old.as_usize() == i {
+                        copied.push((t, fid));
+                        moved_terms.insert(t, old);
+                    }
+                }
+            }
+        }
+        for &(_, fid) in &copied {
+            if let Some(body) = self.directory.get(&fid).cloned() {
+                self.cluster
+                    .store_mut(node)
+                    .cf("filters")
+                    .put(fid.0.to_be_bytes().to_vec(), encode_filter(&body));
+            }
+        }
+        self.home_pairs[node.as_usize()].extend(copied);
+        self.handover_terms.extend(moved_terms.keys().copied());
+        self.rebuild_indexes()?;
+        #[cfg(debug_assertions)]
+        self.debug_assert_grid_coverage();
+        Ok(JoinSummary {
+            node,
+            layout_version: delta.version,
+            partitions_moved: delta.moved.len() as u64,
+            moved_terms: moved_terms.into_iter().collect(),
+        })
+    }
+
+    fn retire_join(&mut self, summary: &JoinSummary) -> Result<()> {
+        let moved: std::collections::HashSet<TermId> =
+            summary.moved_terms.iter().map(|&(t, _)| t).collect();
+        let joiner = summary.node.as_usize();
+        for (i, pairs) in self.home_pairs.iter_mut().enumerate() {
+            if i == joiner {
+                continue;
+            }
+            pairs.retain(|(t, _)| !moved.contains(t));
+        }
+        for t in &moved {
+            self.handover_terms.remove(t);
+        }
+        self.rebuild_indexes()?;
+        #[cfg(debug_assertions)]
+        self.debug_assert_grid_coverage();
+        Ok(())
     }
 
     fn publish(&mut self, at: f64, doc: &Document) -> Result<SchemeOutput> {
@@ -781,10 +865,7 @@ impl Dissemination for MoveScheme {
             epoch,
             alive,
             MoveViewParts {
-                homes: self
-                    .cluster
-                    .ring()
-                    .freeze_term_homes(self.term_pairs.counts.len()),
+                homes: self.cluster.freeze_term_homes(self.term_pairs.counts.len()),
                 bloom: self.bloom.clone(),
                 use_bloom: self.config.use_bloom,
                 allocations: self.allocations.clone(),
@@ -792,18 +873,24 @@ impl Dissemination for MoveScheme {
                 term_pairs: self.term_pairs.counts.clone(),
             },
         )
+        .with_layout_version(self.cluster.layout().version())
     }
 
     fn absorb_stats(&mut self, delta: &StatsDelta) {
+        // Shards observed against a post-join view may carry hits for a
+        // node this scheme learned about in the same control batch — grow
+        // rather than drop, mirroring `StatsDelta::merge`.
         for (i, &h) in delta.doc_hits.iter().enumerate() {
-            if let Some(c) = self.doc_hits.get_mut(i) {
-                *c += h;
+            if self.doc_hits.len() <= i {
+                self.doc_hits.resize(i + 1, 0);
             }
+            self.doc_hits[i] += h;
         }
         for (i, &p) in delta.hit_postings.iter().enumerate() {
-            if let Some(c) = self.hit_postings.get_mut(i) {
-                *c += p;
+            if self.hit_postings.len() <= i {
+                self.hit_postings.resize(i + 1, 0);
             }
+            self.hit_postings[i] += p;
         }
         for (i, &h) in delta.term_hits.iter().enumerate() {
             if h > 0 {
@@ -1068,15 +1155,23 @@ mod tests {
         let (mut sys, _, sample) = skewed_setup(400);
         sys.observe_corpus(&sample);
         sys.allocate().unwrap();
-        sys.cluster_mut().membership_mut().crash(NodeId(1));
-        sys.cluster_mut().membership_mut().crash(NodeId(4));
+        // Crash two cold nodes — not the hot term's home, so the
+        // availability floor below measures re-allocation, not the
+        // (layout-dependent) loss of the dominant home itself.
+        let hot_home = sys.cluster().home_of_term(TermId(0));
+        let victims: Vec<NodeId> = (0..6u32)
+            .map(NodeId)
+            .filter(|&n| n != hot_home)
+            .take(2)
+            .collect();
+        for &v in &victims {
+            sys.cluster_mut().membership_mut().crash(v);
+        }
         sys.allocate().unwrap();
         for i in 0..6u32 {
             if let Some(grid) = sys.allocation(NodeId(i)) {
                 assert!(
-                    grid.nodes()
-                        .iter()
-                        .all(|&n| n != NodeId(1) && n != NodeId(4)),
+                    grid.nodes().iter().all(|&n| !victims.contains(&n)),
                     "grid of home {i} uses a dead node: {:?}",
                     grid.nodes()
                 );
@@ -1158,6 +1253,40 @@ mod tests {
             term_tables > node_tables,
             "per-term mode should maintain more tables: {term_tables} vs {node_tables}"
         );
+    }
+
+    #[test]
+    fn join_preserves_completeness_with_grids_through_retirement() {
+        let (mut sys, filters, sample) = skewed_setup(120);
+        sys.observe_corpus(&sample);
+        sys.allocate().unwrap();
+        let summary = sys.join_node().unwrap();
+        assert!(summary.partitions_moved >= 1);
+        assert!(!summary.moved_terms.is_empty());
+        for &(t, old) in &summary.moved_terms {
+            assert_eq!(sys.cluster().home_of_term(t), summary.node);
+            assert_ne!(old, summary.node);
+        }
+        let check = |sys: &mut MoveScheme| {
+            for d in &sample {
+                let got = sys.publish(0.0, d).unwrap();
+                assert_eq!(
+                    got.matched,
+                    brute_force(&filters, d, MatchSemantics::Boolean),
+                    "doc {}",
+                    d.id()
+                );
+            }
+        };
+        // Handover window open: joiner serves the moved terms, old homes
+        // retain their (grid) copies.
+        check(&mut sys);
+        sys.retire_join(&summary).unwrap();
+        check(&mut sys);
+        // A post-retirement re-allocation over the grown cluster is still
+        // complete (the joiner now participates in grids and stats).
+        sys.allocate().unwrap();
+        check(&mut sys);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The rendezvous/flooding comparator (paper §VI-A, after Google web search
 //! [5] and ROAR [16]).
 
-use crate::scheme::execute_steps;
+use crate::scheme::{execute_steps, JoinSummary};
 use crate::{Dissemination, MatchTask, RouteStep, RoutingView, SchemeOutput, SystemConfig};
 use move_cluster::{stable_hash64, Job, SimCluster, Stage};
 use move_index::{InvertedIndex, MatchScratch};
@@ -99,12 +99,40 @@ impl Dissemination for RsScheme {
         if self.directory.remove(&id).is_none() {
             return Ok(false);
         }
-        for g in 0..self.groups.len() {
-            let node = self.node_in_group(g, id);
-            Arc::make_mut(&mut self.indexes[node.as_usize()]).remove(id);
-            self.storage[node.as_usize()] = self.storage[node.as_usize()].saturating_sub(1);
+        // Scan every node rather than recomputing `node_in_group`: a join
+        // changes a group's size and thus its rendezvous hashing, so
+        // copies registered before the join live where the *old* group
+        // shape put them.
+        for n in 0..self.indexes.len() {
+            if Arc::make_mut(&mut self.indexes[n]).remove(id) {
+                self.storage[n] = self.storage[n].saturating_sub(1);
+            }
         }
         Ok(true)
+    }
+
+    fn join_node(&mut self) -> Result<JoinSummary> {
+        let (node, delta) = self.cluster.join_node();
+        let semantics = self
+            .indexes
+            .first()
+            .map_or(move_types::MatchSemantics::Boolean, |i| i.semantics());
+        self.indexes.push(Arc::new(InvertedIndex::new(semantics)));
+        self.storage.push(0);
+        // Rendezvous has no term homes to stream: the joiner enters the
+        // smallest replica group and picks up new registrations from
+        // there. Existing copies stay where the old group shape hashed
+        // them — flooding a group reaches every member, so delivery is
+        // unaffected and nothing moves.
+        if let Some(group) = (0..self.groups.len()).min_by_key(|&g| (self.groups[g].len(), g)) {
+            self.groups[group].push(node);
+        }
+        Ok(JoinSummary {
+            node,
+            layout_version: delta.version,
+            partitions_moved: 0,
+            moved_terms: Vec::new(),
+        })
     }
 
     fn publish(&mut self, at: f64, doc: &Document) -> Result<SchemeOutput> {
@@ -151,6 +179,7 @@ impl Dissemination for RsScheme {
             .map(|n| self.cluster.is_alive(NodeId(n as u32)))
             .collect();
         RoutingView::rs(epoch, alive, self.groups.clone())
+            .with_layout_version(self.cluster.layout().version())
     }
 
     fn registration_targets(
@@ -244,6 +273,48 @@ mod tests {
         assert!(rs.unregister(FilterId(1)).unwrap());
         assert_eq!(rs.storage_per_node().iter().sum::<u64>(), 0);
         assert!(rs.publish(0.0, &doc(0, &[9])).unwrap().matched.is_empty());
+    }
+
+    #[test]
+    fn join_grows_a_group_without_moving_state() {
+        let mut rs = RsScheme::new(SystemConfig::small_test()).unwrap();
+        let filters: Vec<Filter> = (0..200)
+            .map(|id| filter(id, &[(id % 50) as u32, (id % 31) as u32]))
+            .collect();
+        for f in &filters {
+            rs.register(f).unwrap();
+        }
+        let summary = rs.join_node().unwrap();
+        assert!(summary.moved_terms.is_empty());
+        assert_eq!(summary.partitions_moved, 0);
+        assert_eq!(rs.groups.iter().map(Vec::len).sum::<usize>(), 7);
+        assert!(rs.groups.iter().any(|g| g.contains(&summary.node)));
+        // Old registrations are still delivered whichever group floods.
+        for did in 0..30u64 {
+            let mut terms = vec![(did % 50) as u32, ((did * 7) % 60) as u32];
+            terms.sort_unstable();
+            terms.dedup();
+            let d = doc(did, &terms);
+            let got = rs.publish(0.0, &d).unwrap();
+            assert_eq!(
+                got.matched,
+                brute_force(&filters, &d, MatchSemantics::Boolean)
+            );
+        }
+        // New registrations hash over the grown group and are delivered…
+        rs.register(&filter(9_999, &[1])).unwrap();
+        let d = doc(500, &[1]);
+        assert!(rs
+            .publish(0.0, &d)
+            .unwrap()
+            .matched
+            .contains(&FilterId(9_999)));
+        // …and pre-join copies can still be fully unregistered.
+        assert!(rs.unregister(FilterId(1)).unwrap());
+        let d = doc(501, &[1, 32]);
+        assert!(!rs.publish(0.0, &d).unwrap().matched.contains(&FilterId(1)));
+        // Retirement is a no-op for rendezvous.
+        rs.retire_join(&summary).unwrap();
     }
 
     #[test]

@@ -6,8 +6,28 @@
 use crate::snapshot::{RoutingView, StatsDelta};
 use move_cluster::{Job, SimCluster, Task};
 use move_index::{InvertedIndex, MatchOutcome, MatchScratch};
-use move_types::{Document, Filter, FilterId, NodeId, Result, TermId};
+use move_types::{Document, Filter, FilterId, MoveError, NodeId, Result, TermId};
 use std::sync::Arc;
+
+/// What a [`Dissemination::join_node`] did: the admitted node, the layout
+/// version the join committed, and exactly which *registered* terms
+/// re-homed (with their old home). The live migration engine drives its
+/// handover window from this — `moved_terms` is the double-route set, and
+/// the same summary is handed back to
+/// [`Dissemination::retire_join`] to drop the old copies once the window
+/// closes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinSummary {
+    /// The node that joined.
+    pub node: NodeId,
+    /// The layout version the join committed.
+    pub layout_version: u64,
+    /// Term-partitions the layout re-assigned (streamed state units).
+    pub partitions_moved: u64,
+    /// Registered terms whose home moved, each with its *old* home — the
+    /// nodes that keep serving those terms until the join is retired.
+    pub moved_terms: Vec<(TermId, NodeId)>,
+}
 
 /// What a scheme produced for one published document.
 #[derive(Debug, Clone, PartialEq)]
@@ -256,6 +276,37 @@ pub trait Dissemination {
     /// ingest threads. Default: never.
     fn refresh_due(&self) -> bool {
         false
+    }
+
+    /// Admits one new node to the scheme's cluster: commits the staged
+    /// layout change, grows every per-node structure, and *copies* the
+    /// serving state of re-homed terms onto the joiner while the old homes
+    /// keep their copies. After this returns, both the old and the new
+    /// routing views produce sound delivery sets; the old copies are
+    /// dropped by [`Dissemination::retire_join`] once every in-flight
+    /// document has drained. Default: the scheme does not support elastic
+    /// joins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoveError::InvalidConfig`] when the scheme is not
+    /// elastic; implementations propagate allocation errors.
+    fn join_node(&mut self) -> Result<JoinSummary> {
+        Err(MoveError::InvalidConfig(
+            "scheme does not support elastic node joins".into(),
+        ))
+    }
+
+    /// Ends the handover window of a [`Dissemination::join_node`]: removes
+    /// the retained old-home copies of the moved terms, leaving the joiner
+    /// as their only server. Default: nothing retained, nothing to do.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-rebuild errors.
+    fn retire_join(&mut self, summary: &JoinSummary) -> Result<()> {
+        let _ = summary;
+        Ok(())
     }
 
     /// An immutable snapshot of everything [`Dissemination::route`] reads,

@@ -145,8 +145,15 @@ pub struct RoutingView {
     /// The control plane's publication counter: a view with a higher epoch
     /// supersedes every lower one.
     pub epoch: u64,
+    /// The cluster-layout version the snapshot was frozen under (0 for
+    /// static clusters). Lets the migration engine tell pre- and post-join
+    /// views apart independently of the publication epoch.
+    pub layout_version: u64,
     /// Liveness per node at snapshot time.
     alive: Arc<Vec<bool>>,
+    /// During a join's handover window: re-homed terms mapped to their
+    /// *old* home, which [`RoutingView::route_handover`] double-routes to.
+    handover: Option<Arc<HashMap<TermId, NodeId>>>,
     kind: ViewKind,
 }
 
@@ -162,7 +169,9 @@ impl RoutingView {
     ) -> Self {
         Self {
             epoch,
+            layout_version: 0,
             alive: Arc::new(alive),
+            handover: None,
             kind: ViewKind::Il {
                 homes: Arc::new(homes),
                 bloom: Arc::new(bloom),
@@ -176,7 +185,9 @@ impl RoutingView {
     pub fn rs(epoch: u64, alive: Vec<bool>, groups: Vec<Vec<NodeId>>) -> Self {
         Self {
             epoch,
+            layout_version: 0,
             alive: Arc::new(alive),
+            handover: None,
             kind: ViewKind::Rs {
                 groups: Arc::new(groups),
             },
@@ -188,7 +199,9 @@ impl RoutingView {
     pub fn r#move(epoch: u64, alive: Vec<bool>, parts: MoveViewParts) -> Self {
         Self {
             epoch,
+            layout_version: 0,
             alive: Arc::new(alive),
+            handover: None,
             kind: ViewKind::Move {
                 homes: Arc::new(parts.homes),
                 bloom: Arc::new(parts.bloom),
@@ -198,6 +211,34 @@ impl RoutingView {
                 term_pairs: Arc::new(parts.term_pairs),
             },
         }
+    }
+
+    /// Stamps the snapshot with the cluster-layout version it was frozen
+    /// under.
+    #[must_use]
+    pub fn with_layout_version(mut self, version: u64) -> Self {
+        self.layout_version = version;
+        self
+    }
+
+    /// Attaches a handover map (re-homed term → old home) for a join's
+    /// double-route window. [`RoutingView::route_handover`] sends moved
+    /// terms to *both* homes until the join is retired and a view without
+    /// a handover map is published.
+    #[must_use]
+    pub fn with_handover(mut self, moved: HashMap<TermId, NodeId>) -> Self {
+        self.handover = if moved.is_empty() {
+            None
+        } else {
+            Some(Arc::new(moved))
+        };
+        self
+    }
+
+    /// Number of terms in the attached handover map (0 outside a window).
+    #[must_use]
+    pub fn handover_terms(&self) -> usize {
+        self.handover.as_ref().map_or(0, |h| h.len())
     }
 
     fn is_alive(&self, node: NodeId) -> bool {
@@ -322,6 +363,34 @@ impl RoutingView {
                 steps
             }
         }
+    }
+
+    /// [`RoutingView::route`] plus the join-window double-route: any
+    /// document term found in the attached handover map also gets a direct
+    /// step to the term's *old* home, so documents in flight while
+    /// partitions hand over are matched by whichever copy is complete.
+    /// Returns the plan and whether the document was double-routed.
+    /// Duplicate deliveries from the two copies are benign — delivery sets
+    /// are unions. Identical to `route` when no handover map is attached.
+    #[must_use]
+    pub fn route_handover(&self, doc: &Document, rng: &mut StdRng) -> (Vec<RouteStep>, bool) {
+        let mut steps = self.route(doc, rng);
+        let Some(handover) = &self.handover else {
+            return (steps, false);
+        };
+        let mut by_old: BTreeMap<NodeId, Vec<TermId>> = BTreeMap::new();
+        for &t in doc.terms() {
+            if let Some(&old) = handover.get(&t) {
+                if self.is_alive(old) {
+                    by_old.entry(old).or_default().push(t);
+                }
+            }
+        }
+        let doubled = !by_old.is_empty();
+        for (old, terms) in by_old {
+            steps.push(RouteStep::direct(old, MatchTask::Terms(terms)));
+        }
+        (steps, doubled)
     }
 
     /// Records one document into `delta` — the snapshot counterpart of
@@ -488,6 +557,39 @@ mod tests {
         b.absorb_stats(&delta);
         assert_eq!(a.doc_hits_per_node(), b.doc_hits_per_node());
         assert_eq!(a.node_stats(), b.node_stats());
+    }
+
+    #[test]
+    fn route_handover_double_routes_moved_terms_to_their_old_home() {
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        il.register(&filter(1, &[7])).unwrap();
+        let d = doc(0, &[7]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let new_home = il.routing_view(0).route(&d, &mut rng)[0].node;
+        let nodes = il.cluster().ring().len() as u32;
+        let old_home = NodeId((new_home.0 + 1) % nodes);
+        let mut moved = HashMap::new();
+        moved.insert(TermId(7), old_home);
+        let view = il
+            .routing_view(1)
+            .with_handover(moved)
+            .with_layout_version(1);
+        assert_eq!(view.layout_version, 1);
+        assert_eq!(view.handover_terms(), 1);
+        let (steps, doubled) = view.route_handover(&d, &mut rng);
+        assert!(doubled);
+        assert!(steps.iter().any(|s| s.node == old_home && s.from.is_none()));
+        assert!(steps.iter().any(|s| s.node == new_home));
+        // A document without re-homed terms is not double-routed…
+        let (other, doubled) = view.route_handover(&doc(1, &[9]), &mut rng);
+        assert!(!doubled);
+        assert_eq!(other, view.route(&doc(1, &[9]), &mut rng));
+        // …and a window-free view routes identically to `route`.
+        let plain = il.routing_view(2);
+        assert_eq!(plain.handover_terms(), 0);
+        let (steps, doubled) = plain.route_handover(&d, &mut rng);
+        assert!(!doubled);
+        assert_eq!(steps.len(), 1);
     }
 
     #[test]

@@ -83,6 +83,16 @@ pub(crate) enum Command {
     IngestExited {
         metrics: IngestMetrics,
     },
+    /// Stage a node join, run the handover window, and commit the new
+    /// layout — the live-rebalancing entry point (see [`crate::rebalance`]).
+    Join {
+        /// Documents the handover window stays open for (pool mode; the
+        /// serial router commits immediately — nothing publishes
+        /// concurrently with it).
+        window_docs: u64,
+        /// Where the migration outcome (or the staging error) goes.
+        reply: Sender<Result<crate::rebalance::JoinOutcome>>,
+    },
     Shutdown,
 }
 
@@ -107,6 +117,8 @@ pub(crate) fn reclaim(msg: NodeMessage) -> BatchOutcome {
         // other returned messages carry no tasks to reclaim.
         NodeMessage::RegisterFilter { .. }
         | NodeMessage::AllocationUpdate { .. }
+        | NodeMessage::InstallPartitions { .. }
+        | NodeMessage::RetirePartitions { .. }
         | NodeMessage::StatsReport { .. }
         | NodeMessage::Fault { .. }
         | NodeMessage::Ping { .. }
@@ -137,6 +149,11 @@ pub(crate) trait Transport {
     /// Returns `false` when this transport cannot restart workers (e.g.
     /// during engine teardown).
     fn restart(&mut self, n: usize, index: Arc<InvertedIndex>) -> bool;
+
+    /// Admits a **new** worker at index `nodes()` serving `index` — the
+    /// transport half of a staged node join. Returns `false` when this
+    /// transport cannot spawn workers (engine teardown).
+    fn join(&mut self, index: Arc<InvertedIndex>) -> bool;
 }
 
 /// The production transport: one bounded crossbeam channel per worker
@@ -200,6 +217,11 @@ impl Transport for ThreadTransport {
     }
 
     fn restart(&mut self, n: usize, index: Arc<InvertedIndex>) -> bool {
+        self.spawn_worker(n, index).is_ok()
+    }
+
+    fn join(&mut self, index: Arc<InvertedIndex>) -> bool {
+        let n = self.workers.len();
         self.spawn_worker(n, index).is_ok()
     }
 }
@@ -392,6 +414,32 @@ impl Engine {
         let _ = self.stats();
     }
 
+    /// Adds a node to the running cluster without stopping the publishers:
+    /// stages the next layout version, spawns the new worker with the
+    /// re-homed filter partitions, keeps ingest flowing (double-routing
+    /// affected documents to the partitions' old homes) for a handover
+    /// window of `window_docs` more published documents, then commits the
+    /// layout and retires the old copies. In serial mode (one publisher)
+    /// nothing publishes concurrently, so the window is empty and the join
+    /// commits immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoveError::Runtime`] when the engine is shutting down, and
+    /// propagates the scheme's staging error (e.g. a scheme without
+    /// elastic-join support).
+    pub fn join_node(&self, window_docs: u64) -> Result<crate::rebalance::JoinOutcome> {
+        let (tx, rx) = bounded(1);
+        self.commands
+            .send(Command::Join {
+                window_docs,
+                reply: tx,
+            })
+            .map_err(|_| MoveError::Runtime("engine is shutting down".into()))?;
+        rx.recv()
+            .map_err(|_| MoveError::Runtime("router exited during the join".into()))?
+    }
+
     /// A handle to the delivery stream (cloneable; deliveries already
     /// consumed elsewhere are not replayed).
     #[must_use]
@@ -447,14 +495,14 @@ impl Engine {
 /// batches, injects scheduled faults, supervises dead workers, and speaks
 /// to workers only through its [`Transport`].
 pub(crate) struct Router<T> {
-    scheme: Box<dyn Dissemination + Send>,
-    config: RuntimeConfig,
+    pub(crate) scheme: Box<dyn Dissemination + Send>,
+    pub(crate) config: RuntimeConfig,
     pub(crate) transport: T,
     /// The immutable routing snapshot every document is routed against —
     /// the same object ingest threads hold in pool mode. Republished
     /// (epoch + 1) on registration, allocation refresh, and membership
     /// change; see [`Router::refresh_view`].
-    view: RoutingView,
+    pub(crate) view: RoutingView,
     /// Replica-row / replica-group choices for view-based routing. The
     /// stream differs from the scheme's own RNG, which is fine: replicas
     /// hold identical filter subsets, so delivery sets are unaffected.
@@ -464,11 +512,11 @@ pub(crate) struct Router<T> {
     /// model of an ingest thread still routing on a stale snapshot.
     /// Allocation refreshes and membership changes clear the pin (they
     /// fence the real pool).
-    pin_docs: u64,
+    pub(crate) pin_docs: u64,
     /// Final counters reported by exited ingest threads (pool mode).
-    ingest_metrics: Vec<IngestMetrics>,
+    pub(crate) ingest_metrics: Vec<IngestMetrics>,
     /// Per-node batch under accumulation.
-    pending: Vec<Vec<DocTask>>,
+    pub(crate) pending: Vec<Vec<DocTask>>,
     /// Scheduled fault events, sorted by trigger point.
     plan: Vec<FaultEvent>,
     /// Index of the next unfired fault event.
@@ -477,7 +525,12 @@ pub(crate) struct Router<T> {
     pub(crate) supervisor: Supervisor,
     /// Nodes declared dead under the failover policy (never routed to
     /// again until revived).
-    dead: Vec<bool>,
+    pub(crate) dead: Vec<bool>,
+    /// The staged-but-uncommitted node join, if one is in its handover
+    /// window (see [`crate::rebalance`]).
+    pub(crate) pending_join: Option<crate::rebalance::PendingJoin>,
+    /// Live-rebalancing counters for the report.
+    pub(crate) migration: crate::rebalance::MigrationCounters,
     /// Documents whose re-routed tasks found no live replica.
     pub(crate) lost_docs: BTreeSet<DocId>,
     /// `docs_published` at the most recent death discovery (see
@@ -514,6 +567,8 @@ impl<T: Transport> Router<T> {
             next_fault: 0,
             supervisor: Supervisor::new(bases),
             dead: vec![false; nodes],
+            pending_join: None,
+            migration: crate::rebalance::MigrationCounters::default(),
             lost_docs: BTreeSet::new(),
             deaths_settled_at: None,
             tasks_failed: 0,
@@ -542,6 +597,14 @@ impl<T: Transport> Router<T> {
             Command::Stats(reply) => self.stats(&reply),
             Command::Gone { node, batch } => self.handle_gone(node, batch),
             Command::IngestExited { metrics } => self.ingest_metrics.push(metrics),
+            Command::Join { reply, .. } => {
+                // Serial router: no publisher runs concurrently with this
+                // command, so the handover window is empty — stage and
+                // commit back to back. The window knob only matters in
+                // pool mode (see `pool_join`).
+                let outcome = self.begin_join().and_then(|()| self.commit_join());
+                let _ = reply.send(outcome);
+            }
             Command::Shutdown => return Ok(false),
         }
         Ok(true)
@@ -551,10 +614,17 @@ impl<T: Transport> Router<T> {
     /// under the next epoch. Every mutation of routing inputs —
     /// registration, allocation refresh, membership change — funnels
     /// through here; in pool mode the caller then republishes the ingest
-    /// table so the pool picks the new epoch up.
-    fn refresh_view(&mut self) {
+    /// table so the pool picks the new epoch up. While a join is in its
+    /// handover window, the re-frozen view keeps carrying the handover
+    /// map — double-routing must survive any mid-window refresh until the
+    /// old copies are retired at commit.
+    pub(crate) fn refresh_view(&mut self) {
         let epoch = self.view.epoch + 1;
-        self.view = self.scheme.routing_view(epoch);
+        let mut view = self.scheme.routing_view(epoch);
+        if let Some(join) = &self.pending_join {
+            view = view.with_handover(join.moved_map());
+        }
+        self.view = view;
     }
 
     /// Defers registration-driven view refreshes for the next `docs`
@@ -647,6 +717,12 @@ impl<T: Transport> Router<T> {
                 + ingest.iter().map(|m| m.tasks_dispatched).sum::<u64>(),
             tasks_shed: self.tasks_shed + ingest.iter().map(|m| m.tasks_shed).sum::<u64>(),
             allocation_updates: self.allocation_updates,
+            joins: self.migration.joins,
+            partitions_moved: self.migration.partitions_moved,
+            docs_double_routed: self.migration.docs_double_routed
+                + ingest.iter().map(|m| m.docs_double_routed).sum::<u64>(),
+            handover_docs: self.migration.handover_docs,
+            handover_nanos: self.migration.handover_nanos,
             restarts: self.supervisor.restarts,
             retries: self.supervisor.retries,
             failovers: self.supervisor.failovers,
@@ -715,7 +791,12 @@ impl<T: Transport> Router<T> {
     fn publish(&mut self, doc: &Arc<Document>) -> Result<()> {
         // Route against the immutable snapshot — the identical code path
         // the ingest pool runs, so the serial router *is* a pool of one.
-        let steps = self.view.route(doc, &mut self.view_rng);
+        // During a handover window the view appends double-route steps to
+        // the moved partitions' old homes (duplicates are benign).
+        let (steps, doubled) = self.view.route_handover(doc, &mut self.view_rng);
+        if doubled {
+            self.migration.docs_double_routed += 1;
+        }
         self.docs_published += 1;
         let dispatched = Instant::now();
         for step in steps {
@@ -842,7 +923,7 @@ impl<T: Transport> Router<T> {
     /// A control send found worker `n` dead: restart-and-replay if the
     /// policy allows (the journal already covers the lost message),
     /// otherwise declare the node dead in the membership.
-    fn supervise_control_failure(&mut self, n: usize) {
+    pub(crate) fn supervise_control_failure(&mut self, n: usize) {
         self.deaths_settled_at = Some(self.docs_published);
         if self.config.supervision.restart
             && self.supervisor.restart_and_replay(n, &mut self.transport)
@@ -873,7 +954,7 @@ impl<T: Transport> Router<T> {
     /// worker is respawned from its journal and the batch resent (bounded
     /// retries with backoff); otherwise — or once retries are exhausted —
     /// the stranded documents fail over to the replica set.
-    fn handle_gone(&mut self, n: usize, mut batch: Vec<DocTask>) {
+    pub(crate) fn handle_gone(&mut self, n: usize, mut batch: Vec<DocTask>) {
         // Every path into here found a dead mailbox, so this marks the
         // latest death discovery (last write wins — the report exposes the
         // point after which routing saw the fully settled dead set).
@@ -932,7 +1013,12 @@ impl<T: Transport> Router<T> {
                 .or_insert((task, 1));
         }
         for (task, count) in by_doc.into_values() {
-            let steps = self.scheme.route(&task.doc);
+            // Re-route through the (just refreshed) routing view, not the
+            // bare scheme: during a join's handover window the view carries
+            // the double-route to the moved partitions' old homes, which is
+            // exactly what keeps those partitions served when the corpse is
+            // the joiner itself.
+            let (steps, _) = self.view.route_handover(&task.doc, &mut self.view_rng);
             let mut placed = false;
             for step in steps {
                 if matches!(step.task, MatchTask::Forward) {
@@ -1065,7 +1151,7 @@ impl Router<ThreadTransport> {
     /// Publishes the current routing table (view + worker senders +
     /// dead-set) to the ingest plane. Cheap: the view's bulky innards are
     /// `Arc`-shared, so this clones a few pointers per node.
-    fn publish_table(&self, pool: &Pool) {
+    pub(crate) fn publish_table(&self, pool: &Pool) {
         pool.shared.publish_table(IngestTable {
             view: self.view.clone(),
             senders: self.transport.workers.clone(),
@@ -1125,6 +1211,11 @@ impl Router<ThreadTransport> {
                         return Ok(());
                     }
                 }
+                Command::Join { window_docs, reply } => {
+                    let outcome =
+                        self.pool_join(window_docs, commands, &mut backlog, pool, &mut exited);
+                    let _ = reply.send(outcome);
+                }
                 Command::Shutdown => {
                     shutting_down = true;
                     if exited == pool.ingest.len() {
@@ -1160,7 +1251,7 @@ impl Router<ThreadTransport> {
 
     /// Drains every ingest thread's statistics shard into the scheme —
     /// the merge half of the sharded `q′ᵢ` accumulators.
-    fn absorb_shards(&mut self, shared: &IngestShared) {
+    pub(crate) fn absorb_shards(&mut self, shared: &IngestShared) {
         for shard in &shared.shards {
             let mut guard = shard.lock();
             if guard.is_empty() {
@@ -1177,7 +1268,7 @@ impl Router<ThreadTransport> {
     /// otherwise never reach the barrier it must ack. Dead-worker batches
     /// are handled inline (they cannot wait); everything else is deferred
     /// to the backlog in arrival order.
-    fn wait_for_acks(
+    pub(crate) fn wait_for_acks(
         &mut self,
         acks: &Receiver<()>,
         want: usize,
@@ -1208,7 +1299,7 @@ impl Router<ThreadTransport> {
     /// to the worker mailboxes and acks. On return, everything published
     /// before the barrier is in mailbox FIFO order ahead of whatever the
     /// control thread sends next.
-    fn pool_barrier(
+    pub(crate) fn pool_barrier(
         &mut self,
         commands: &Receiver<Command>,
         backlog: &mut VecDeque<Command>,

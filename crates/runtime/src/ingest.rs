@@ -143,6 +143,7 @@ pub(crate) struct IngestThread {
     docs_routed: u64,
     tasks_dispatched: u64,
     tasks_shed: u64,
+    docs_double_routed: u64,
 }
 
 impl IngestThread {
@@ -168,6 +169,7 @@ impl IngestThread {
             docs_routed: 0,
             tasks_dispatched: 0,
             tasks_shed: 0,
+            docs_double_routed: 0,
         }
     }
 
@@ -199,6 +201,7 @@ impl IngestThread {
                 docs_routed: self.docs_routed,
                 tasks_dispatched: self.tasks_dispatched,
                 tasks_shed: self.tasks_shed,
+                docs_double_routed: self.docs_double_routed,
             },
         });
     }
@@ -207,7 +210,14 @@ impl IngestThread {
     /// tasks into the per-node batches.
     fn publish(&mut self, doc: &Arc<Document>) {
         let table = Arc::clone(&self.shared.table.lock());
-        let steps = table.view.route(doc, &mut self.rng);
+        self.grow_to(table.senders.len());
+        // During a join's handover window the view appends double-route
+        // steps to the moved partitions' old homes — same code path as the
+        // serial router.
+        let (steps, doubled) = table.view.route_handover(doc, &mut self.rng);
+        if doubled {
+            self.docs_double_routed += 1;
+        }
         self.shared.docs_published.fetch_add(1, Ordering::Relaxed);
         self.docs_routed += 1;
         {
@@ -273,11 +283,20 @@ impl IngestThread {
         }
     }
 
+    /// Grows the per-node batch table after a node join published a wider
+    /// sender set (nodes never shrink; a dead node keeps its slot).
+    fn grow_to(&mut self, nodes: usize) {
+        if self.pending.len() < nodes {
+            self.pending.resize_with(nodes, Vec::new);
+        }
+    }
+
     /// Flushes every pending batch against the *current* table (senders
     /// may have been replaced by a supervised restart since the batches
     /// accumulated).
     fn flush_all(&mut self) {
         let table = Arc::clone(&self.shared.table.lock());
+        self.grow_to(table.senders.len());
         for n in 0..self.pending.len() {
             self.flush_node(&table, n);
         }

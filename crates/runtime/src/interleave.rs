@@ -155,6 +155,17 @@ pub enum ScriptOp {
         /// How many more published documents route on the stale snapshot.
         docs: u64,
     },
+    /// Stage a node join: spawn the joining worker, stream it the
+    /// re-homed filter partitions, and publish the handover
+    /// (double-routing) view — phase 1 of [`crate::rebalance`]. The
+    /// script ops between this and the matching [`ScriptOp::CommitJoin`]
+    /// run inside the handover window.
+    Join,
+    /// Commit the staged join: retire the moved partitions' old copies
+    /// and publish the committed view. Refused (and swallowed) when no
+    /// join is staged or the joining node crashed mid-window — the
+    /// handover view keeps serving, exactly like the threaded engine.
+    CommitJoin,
 }
 
 /// What one scheduled run produced.
@@ -245,6 +256,17 @@ impl Transport for SimTransport {
         let worker = Worker::new(NodeId(n as u32), index, rx, self.delivery_tx.clone());
         self.workers.borrow_mut()[n] = Some(worker);
         self.mailboxes[n] = tx;
+        true
+    }
+
+    fn join(&mut self, index: Arc<InvertedIndex>) -> bool {
+        // xtask:allow-unbounded — virtual capacity, same as the boot-time
+        // mailboxes.
+        let (tx, rx) = unbounded();
+        let n = self.mailboxes.len();
+        let worker = Worker::new(NodeId(n as u32), index, rx, self.delivery_tx.clone());
+        self.workers.borrow_mut().push(Some(worker));
+        self.mailboxes.push(tx);
         true
     }
 }
@@ -351,17 +373,27 @@ pub fn run_schedule(
         .filter(|op| {
             matches!(
                 op,
-                ScriptOp::Crash(_) | ScriptOp::Restart(_) | ScriptOp::Delay { .. }
+                ScriptOp::Crash(_)
+                    | ScriptOp::Restart(_)
+                    | ScriptOp::Delay { .. }
+                    | ScriptOp::Join
+                    | ScriptOp::CommitJoin
             )
         })
         .count() as u64;
+    let join_ops = script
+        .iter()
+        .filter(|op| matches!(op, ScriptOp::Join))
+        .count();
     let mut script: VecDeque<ScriptOp> = script.into();
     // Each script op enqueues at most ~2 messages per node (a batch plus an
     // allocation update), shutdown adds one per node, and every message is
     // handled in one step — so any correct run is far below this budget.
     // Fault ops multiply it: each restart replays the full since-journal,
-    // and each delay parks a worker for a stretch of steps.
-    let budget = ((script.len() as u64 + 2) * (2 * nodes as u64 + 4) * 4 + 1000) * (1 + fault_ops);
+    // and each delay parks a worker for a stretch of steps. Joins grow the
+    // cluster, so the per-node fan-out is sized at the maximum node count.
+    let max_nodes = (nodes + join_ops) as u64;
+    let budget = ((script.len() as u64 + 2) * (2 * max_nodes + 4) * 4 + 1000) * (1 + fault_ops);
     let mut rng = Rng::new(config.seed);
     let mut shutdown_sent = false;
     let mut finals = Vec::with_capacity(nodes);
@@ -372,6 +404,10 @@ pub fn run_schedule(
     loop {
         if shutdown_sent && workers.borrow().iter().all(Option::is_none) {
             break; // graceful termination: every worker drained and stopped
+        }
+        // A staged join may have grown the cluster since last step.
+        if delays.len() < router.transport.nodes() {
+            delays.resize(router.transport.nodes(), 0);
         }
         actions.clear();
         // The router may advance unless a Block-policy send could be
@@ -447,6 +483,16 @@ pub fn run_schedule(
                 }
                 Some(ScriptOp::PinView { docs }) => {
                     router.pin_view(docs);
+                }
+                Some(ScriptOp::Join) => {
+                    router.begin_join()?;
+                }
+                Some(ScriptOp::CommitJoin) => {
+                    // Refused when the joiner crashed mid-window (old
+                    // copies stay, the handover view keeps serving) or
+                    // when no join is staged — both are legal schedules,
+                    // so the refusal is swallowed, not propagated.
+                    let _ = router.commit_join();
                 }
                 None => {
                     router.shutdown_workers();

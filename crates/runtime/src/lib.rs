@@ -57,6 +57,8 @@ mod ingest;
 pub mod interleave;
 mod message;
 mod metrics;
+/// Live partition rebalancing: staged node joins committed under load.
+pub mod rebalance;
 mod supervisor;
 mod worker;
 
@@ -65,4 +67,5 @@ pub use engine::Engine;
 pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use message::{Delivery, DocTask, NodeMessage};
 pub use metrics::{IngestMetrics, NodeMetrics, RuntimeReport};
+pub use rebalance::JoinOutcome;
 pub use supervisor::SupervisionPolicy;

@@ -70,6 +70,27 @@ pub enum NodeMessage {
         /// Where to send the liveness acknowledgement.
         reply: Sender<NodeId>,
     },
+    /// Rebalancing hand-off to a **joining** worker: install the filter
+    /// partitions the staged layout re-homed onto this node. Sent as the
+    /// joiner's first mailbox message, so it is FIFO-ordered ahead of any
+    /// document routed under the handover view.
+    InstallPartitions {
+        /// The joiner's serving shard, already populated with the moved
+        /// partitions — a structural share of the control plane's copy.
+        index: Arc<InvertedIndex>,
+        /// The staged layout version this shard serves.
+        layout_version: u64,
+    },
+    /// Rebalancing retirement at an **old home**: replace the shard with
+    /// one that no longer carries the partitions moved to the joiner. Sent
+    /// after the commit fence, so every document double-routed during the
+    /// handover window was matched against the pre-retirement shard first.
+    RetirePartitions {
+        /// The node's post-retirement serving shard.
+        index: Arc<InvertedIndex>,
+        /// The committed layout version this shard serves.
+        layout_version: u64,
+    },
     /// Finish the remaining mailbox (it is drained, not dropped) and exit.
     Shutdown,
 }

@@ -39,6 +39,10 @@ pub struct IngestMetrics {
     /// Node match tasks this thread dropped under
     /// [`crate::OverflowPolicy::Shed`].
     pub tasks_shed: u64,
+    /// Documents this thread double-routed to a moved partition's old home
+    /// during a join's handover window.
+    #[serde(default)]
+    pub docs_double_routed: u64,
 }
 
 /// What [`crate::Engine::shutdown`] returns.
@@ -55,6 +59,24 @@ pub struct RuntimeReport {
     pub tasks_shed: u64,
     /// Allocation refreshes that re-shipped index shards to the workers.
     pub allocation_updates: u64,
+    /// Node joins committed by the live rebalancer (see
+    /// [`crate::rebalance`]).
+    #[serde(default)]
+    pub joins: u64,
+    /// Term-partitions re-homed onto joining nodes across all joins.
+    #[serde(default)]
+    pub partitions_moved: u64,
+    /// Documents double-routed to a moved partition's old home during
+    /// handover windows (router + ingest threads combined).
+    #[serde(default)]
+    pub docs_double_routed: u64,
+    /// Documents published inside handover windows.
+    #[serde(default)]
+    pub handover_docs: u64,
+    /// Total wall-clock nanoseconds spent inside handover windows
+    /// (stage → commit).
+    #[serde(default)]
+    pub handover_nanos: u64,
     /// Worker restarts the supervisor performed after detected deaths.
     pub restarts: u64,
     /// Batch sends retried across worker restarts.

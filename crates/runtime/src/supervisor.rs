@@ -121,6 +121,17 @@ impl Supervisor {
         });
     }
 
+    /// Admits a joining node: its journal starts from the shard the
+    /// migration engine installed (moved partitions included), with an
+    /// empty since-log — a crash of the joiner replays exactly what the
+    /// handover streamed to it.
+    pub(crate) fn admit(&mut self, base: &Arc<InvertedIndex>) {
+        self.journals.push(NodeJournal {
+            base: Arc::clone(base),
+            since: Vec::new(),
+        });
+    }
+
     /// Journals an allocation update: the new shard becomes the base and
     /// the since-log resets (the shard already contains every filter the
     /// log would replay).

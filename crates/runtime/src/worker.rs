@@ -150,6 +150,13 @@ impl Worker {
             NodeMessage::AllocationUpdate { index } => {
                 self.index = index;
             }
+            // Both rebalancing messages swap the serving shard exactly like
+            // an allocation update; the layout version is the control
+            // plane's bookkeeping, not the worker's.
+            NodeMessage::InstallPartitions { index, .. }
+            | NodeMessage::RetirePartitions { index, .. } => {
+                self.index = index;
+            }
             NodeMessage::StatsReport { reply } => {
                 let _ = reply.send(self.snapshot());
             }

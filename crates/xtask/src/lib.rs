@@ -15,8 +15,9 @@
 //!   explicit `xtask:allow-unbounded` marker comment justifying it.
 //! * **no-catch-all** — the files that dispatch on the engine's protocol
 //!   enums (`worker.rs`, `engine.rs`, `interleave.rs`, `fault.rs`,
-//!   `supervisor.rs`, `ingest.rs`, and the routing-snapshot kernel
-//!   `snapshot.rs`) must not contain `_ =>` match arms, so adding a
+//!   `supervisor.rs`, `ingest.rs`, the staged-join engine `rebalance.rs`,
+//!   the routing-snapshot kernel `snapshot.rs`, and the versioned-layout
+//!   kernel `layout.rs`) must not contain `_ =>` match arms, so adding a
 //!   protocol variant is a compile error at every dispatch site instead
 //!   of a silently ignored message.
 //! * **pub-docs** — every public item in `move-core` and `move-runtime`
@@ -30,8 +31,10 @@
 //!
 //! `cargo run -p xtask -- check-bench [report.json]` additionally
 //! validates the schema of the hot-path benchmark report
-//! ([`check_bench_report`]), so CI notices when the bench harness and its
-//! consumers drift apart.
+//! ([`check_bench_report`]) — or, when the file name contains
+//! `rebalance`, the join-under-load report ([`check_rebalance_report`]) —
+//! so CI notices when the bench harnesses and their consumers drift
+//! apart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -337,14 +340,19 @@ fn is_data_path(path: &str) -> bool {
 
 /// Crates whose non-test code must be panic-free but are not (yet) held to
 /// the pub-docs rule: the foundation types and the match kernels, which
-/// every data-path crate builds on.
+/// every data-path crate builds on, plus the versioned-layout kernel in
+/// `move-cluster` — a panic there poisons every scheme's view of the ring.
 fn is_no_panic_scope(path: &str) -> bool {
     is_data_path(path)
         || path.starts_with("crates/types/src/")
         || path.starts_with("crates/index/src/")
+        || path == "crates/cluster/src/layout.rs"
 }
 
-/// Files that dispatch on the engine's protocol enums.
+/// Files that dispatch on the engine's protocol enums. `rebalance.rs`
+/// (the staged-join engine) and `layout.rs` (the versioned-layout kernel)
+/// are included because a silently dropped control message or layout
+/// change there strands partitions mid-handover.
 fn is_protocol_dispatch(path: &str) -> bool {
     matches!(
         path,
@@ -354,7 +362,9 @@ fn is_protocol_dispatch(path: &str) -> bool {
             | "crates/runtime/src/fault.rs"
             | "crates/runtime/src/supervisor.rs"
             | "crates/runtime/src/ingest.rs"
+            | "crates/runtime/src/rebalance.rs"
             | "crates/core/src/snapshot.rs"
+            | "crates/cluster/src/layout.rs"
     )
 }
 
@@ -763,6 +773,158 @@ fn check_scaling_entry(i: usize, entry: &serde::Value, errors: &mut Vec<String>)
     }
 }
 
+/// Validates the structure of a `results/BENCH_rebalance.json` report
+/// produced by `cargo run -p move-bench --bin bench_rebalance`, returning
+/// a human-readable message per schema problem (empty when the report is
+/// well-formed).
+///
+/// Beyond field shapes, two of the checks are correctness gates rather
+/// than schema nits, because the bench is the acceptance harness for the
+/// elastic-cluster subsystem:
+///
+/// * `deliveries_match` must be `true` — a `false` means a join changed
+///   what subscribers received versus a from-scratch N+1 cluster;
+/// * `dip_ratio` must be > 0 and ≤ 1 — the slowest ingest bucket of the
+///   join run over the run's median bucket; 0 would mean ingest fully
+///   stalled during the handover, which the staged design forbids (the
+///   fence gates the commit, not the copy);
+/// * `partitions_moved` ≥ 1 for the keyword-routed schemes (`il`,
+///   `move`) — a join that moved nothing rebalanced nothing. `rs` floods
+///   every group, so it legitimately streams no partitions.
+#[must_use]
+pub fn check_rebalance_report(src: &str) -> Vec<String> {
+    use serde::Value;
+
+    let mut errors = Vec::new();
+    let root = match serde_json::parse_value(src) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("not valid JSON: {e}")],
+    };
+    if !matches!(root, Value::Object(_)) {
+        return vec![format!(
+            "top level must be an object, found {}",
+            root.kind()
+        )];
+    }
+    for field in ["scale", "nodes", "filters", "docs"] {
+        match root.get(field) {
+            None => errors.push(format!("missing top-level field `{field}`")),
+            Some(v) if v.as_f64().is_none() => {
+                errors.push(format!("`{field}` must be a number, found {}", v.kind()));
+            }
+            Some(_) => {}
+        }
+    }
+    let runs = match root.get("runs") {
+        None => {
+            errors.push("missing top-level field `runs`".to_string());
+            return errors;
+        }
+        Some(Value::Array(runs)) => runs,
+        Some(v) => {
+            errors.push(format!("`runs` must be an array, found {}", v.kind()));
+            return errors;
+        }
+    };
+    if runs.is_empty() {
+        errors.push("`runs` must not be empty".to_string());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        if !matches!(run, Value::Object(_)) {
+            errors.push(format!("runs[{i}] must be an object, found {}", run.kind()));
+            continue;
+        }
+        let scheme = match run.get("scheme") {
+            Some(Value::String(s)) if ["il", "rs", "move"].contains(&s.as_str()) => {
+                Some(s.as_str())
+            }
+            Some(Value::String(s)) => {
+                errors.push(format!(
+                    "runs[{i}].scheme: `{s}` is not one of [\"il\", \"rs\", \"move\"]"
+                ));
+                None
+            }
+            Some(v) => {
+                errors.push(format!(
+                    "runs[{i}].scheme must be a string, found {}",
+                    v.kind()
+                ));
+                None
+            }
+            None => {
+                errors.push(format!("runs[{i}] missing `scheme`"));
+                None
+            }
+        };
+        match run.get("mode") {
+            Some(Value::String(s)) if s == "live" => {}
+            Some(_) => errors.push(format!(
+                "runs[{i}].mode must be \"live\" (joins only exist on the live engine)"
+            )),
+            None => errors.push(format!("runs[{i}] missing `mode`")),
+        }
+        for (field, min) in [("publishers", 1), ("window_docs", 1), ("joins", 1)] {
+            match run.get(field).and_then(Value::as_u64) {
+                Some(x) if x >= min => {}
+                Some(x) => errors.push(format!("runs[{i}].{field} must be >= {min}, got {x}")),
+                None => errors.push(format!("runs[{i}] missing integer `{field}`")),
+            }
+        }
+        for field in ["docs_per_sec", "baseline_docs_per_sec"] {
+            match run.get(field).and_then(Value::as_f64) {
+                Some(x) if x.is_finite() && x > 0.0 => {}
+                Some(_) => errors.push(format!("runs[{i}].{field} must be finite and > 0")),
+                None => errors.push(format!("runs[{i}] missing numeric `{field}`")),
+            }
+        }
+        match run.get("dip_ratio").and_then(Value::as_f64) {
+            Some(x) if x.is_finite() && x > 0.0 && x <= 1.0 => {}
+            Some(x) => errors.push(format!(
+                "runs[{i}].dip_ratio must be in (0, 1]: got {x} — 0 means \
+                 ingest fully stalled during the handover"
+            )),
+            None => errors.push(format!("runs[{i}] missing numeric `dip_ratio`")),
+        }
+        match run.get("partitions_moved").and_then(Value::as_u64) {
+            Some(0) if scheme.is_none() || scheme == Some("rs") => {}
+            Some(0) => errors.push(format!(
+                "runs[{i}].partitions_moved is 0: a keyword-routed join \
+                 that moved nothing rebalanced nothing"
+            )),
+            Some(_) => {}
+            None => errors.push(format!("runs[{i}] missing integer `partitions_moved`")),
+        }
+        for field in ["docs_double_routed", "handover_docs", "handover_nanos"] {
+            match run.get(field) {
+                None => errors.push(format!("runs[{i}] missing `{field}`")),
+                Some(v) if v.as_u64().is_none() => errors.push(format!(
+                    "runs[{i}].{field} must be a non-negative integer, found {}",
+                    v.kind()
+                )),
+                Some(_) => {}
+            }
+        }
+        match run.get("p99_us").and_then(Value::as_f64) {
+            Some(x) if x.is_finite() && x >= 0.0 => {}
+            Some(_) => errors.push(format!("runs[{i}].p99_us must be finite and >= 0")),
+            None => errors.push(format!("runs[{i}] missing numeric `p99_us`")),
+        }
+        match run.get("deliveries_match") {
+            Some(Value::Bool(true)) => {}
+            Some(Value::Bool(false)) => errors.push(format!(
+                "runs[{i}].deliveries_match is false: the join changed the \
+                 delivery sets versus a from-scratch N+1 cluster"
+            )),
+            Some(v) => errors.push(format!(
+                "runs[{i}].deliveries_match must be a bool, found {}",
+                v.kind()
+            )),
+            None => errors.push(format!("runs[{i}] missing `deliveries_match`")),
+        }
+    }
+    errors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1021,6 +1183,113 @@ mod tests {
                 .any(|e| e.contains("deliveries_match is false")),
             "{errors:?}"
         );
+    }
+
+    fn valid_rebalance_report() -> String {
+        let run = |scheme: &str, partitions: u64| {
+            format!(
+                "{{\"scheme\":\"{scheme}\",\"mode\":\"live\",\"publishers\":4,\
+                 \"window_docs\":300,\"docs_per_sec\":9000.0,\
+                 \"baseline_docs_per_sec\":8500.0,\"dip_ratio\":0.4,\
+                 \"joins\":1,\"partitions_moved\":{partitions},\
+                 \"docs_double_routed\":515,\"handover_docs\":1715,\
+                 \"handover_nanos\":862929624,\"p99_us\":1488.0,\
+                 \"deliveries_match\":true}}"
+            )
+        };
+        format!(
+            "{{\"scale\":0.05,\"nodes\":20,\"filters\":25000,\"docs\":3000,\
+             \"runs\":[{},{}]}}",
+            run("il", 12),
+            run("move", 12)
+        )
+    }
+
+    #[test]
+    fn rebalance_report_accepts_valid() {
+        let errors = check_rebalance_report(&valid_rebalance_report());
+        assert!(errors.is_empty(), "unexpected errors: {errors:?}");
+    }
+
+    #[test]
+    fn rebalance_report_rejects_garbage_json() {
+        assert!(!check_rebalance_report("{not json").is_empty());
+        assert_eq!(check_rebalance_report("[1,2,3]").len(), 1);
+    }
+
+    #[test]
+    fn rebalance_report_rejects_empty_runs() {
+        let src = "{\"scale\":1,\"nodes\":2,\"filters\":3,\"docs\":4,\"runs\":[]}";
+        let errors = check_rebalance_report(src);
+        assert!(errors.iter().any(|e| e.contains("must not be empty")));
+    }
+
+    #[test]
+    fn rebalance_report_rejects_a_full_stall() {
+        for bad_dip in ["0.0", "1.5", "-0.2"] {
+            let report = valid_rebalance_report().replace("0.4", bad_dip);
+            let errors = check_rebalance_report(&report);
+            assert!(
+                errors.iter().any(|e| e.contains("dip_ratio must be in")),
+                "dip {bad_dip}: {errors:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebalance_report_rejects_a_delivery_divergence() {
+        let report = valid_rebalance_report().replace("true", "false");
+        let errors = check_rebalance_report(&report);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("deliveries_match is false")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn rebalance_report_rejects_a_join_that_moved_nothing() {
+        let report =
+            valid_rebalance_report().replace("\"partitions_moved\":12", "\"partitions_moved\":0");
+        let errors = check_rebalance_report(&report);
+        assert!(
+            errors.iter().any(|e| e.contains("moved nothing")),
+            "{errors:?}"
+        );
+        // RS floods every group, so zero moved partitions is legitimate.
+        let rs = report
+            .replace("\"il\"", "\"rs\"")
+            .replace("\"move\"", "\"rs\"");
+        assert!(
+            check_rebalance_report(&rs).is_empty(),
+            "rs may move nothing"
+        );
+    }
+
+    #[test]
+    fn rebalance_report_rejects_missing_fields() {
+        let errors = check_rebalance_report("{\"runs\":[{}]}");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("missing top-level field `scale`")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("runs[0] missing `scheme`")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("missing numeric `dip_ratio`")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("runs[0] missing integer `joins`")));
+    }
+
+    #[test]
+    fn the_committed_rebalance_report_is_valid() {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_rebalance.json");
+        let src = fs::read_to_string(path).expect("read committed rebalance report");
+        let errors = check_rebalance_report(&src);
+        assert!(errors.is_empty(), "committed report invalid: {errors:?}");
     }
 
     #[test]

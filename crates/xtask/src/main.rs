@@ -44,7 +44,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let errors = xtask::check_bench_report(&src);
+            // The file name picks the schema: BENCH_rebalance.json is the
+            // join-under-load report, anything else the hot-path report.
+            let is_rebalance = path
+                .file_name()
+                .is_some_and(|n| n.to_string_lossy().contains("rebalance"));
+            let errors = if is_rebalance {
+                xtask::check_rebalance_report(&src)
+            } else {
+                xtask::check_bench_report(&src)
+            };
             for e in &errors {
                 println!("{}: {e}", path.display());
             }
@@ -62,8 +71,10 @@ fn main() -> ExitCode {
                  \x20      cargo run -p xtask -- check-bench [report.json]\n\n\
                  lint        runs the workspace-specific static analysis \
                  (no-panic, no-unbounded, no-catch-all, pub-docs)\n\
-                 check-bench validates the schema of a bench_hotpath JSON \
-                 report (default: results/BENCH_hotpath.json)"
+                 check-bench validates the schema of a bench JSON report \
+                 (default: results/BENCH_hotpath.json; a file name \
+                 containing `rebalance` selects the bench_rebalance \
+                 join-under-load schema)"
             );
             ExitCode::FAILURE
         }

@@ -9,5 +9,12 @@ for b in $BINS; do
     && echo "ok: $b" || echo "FAILED: $b"
 done
 
+# Live-engine harnesses (wall-clock; JSON reports under results/).
+for b in bench_hotpath bench_rebalance; do
+  echo "=== $b (scale $SCALE) ==="
+  MOVE_SCALE=$SCALE cargo run --release -q -p move-bench --bin "$b" >"results/logs/$b.log" 2>&1 \
+    && echo "ok: $b" || echo "FAILED: $b"
+done
+
 echo "=== plot_results ==="
 cargo run --release -q -p move-bench --bin plot_results && echo "ok: plot_results"

@@ -54,7 +54,9 @@ fn expected_sets(pre: &[Filter], script: &[ScriptOp]) -> BTreeMap<DocId, BTreeSe
             ScriptOp::Crash(_)
             | ScriptOp::Restart(_)
             | ScriptOp::Delay { .. }
-            | ScriptOp::PinView { .. } => {}
+            | ScriptOp::PinView { .. }
+            | ScriptOp::Join
+            | ScriptOp::CommitJoin => {}
         }
     }
     out

@@ -78,10 +78,15 @@ fn expected_sets(pre: &[Filter], script: &[ScriptOp]) -> BTreeMap<DocId, BTreeSe
             // schedules use their own bracketing oracle — see the
             // `stale_snapshot_*` tests — so this exact-set oracle treats it
             // as a no-op and must not be combined with mid-pin registers.)
+            // Joins likewise only move partitions between nodes: the
+            // delivery set of every document is unchanged by a staged join,
+            // its handover window, or its commit.
             ScriptOp::Crash(_)
             | ScriptOp::Restart(_)
             | ScriptOp::Delay { .. }
-            | ScriptOp::PinView { .. } => {}
+            | ScriptOp::PinView { .. }
+            | ScriptOp::Join
+            | ScriptOp::CommitJoin => {}
         }
     }
     out
@@ -596,6 +601,184 @@ fn stale_snapshot_pin_is_cleared_by_an_allocation_refresh() {
                 d.id()
             );
         }
+    }
+}
+
+/// 48 schedules (3 schemes × 16 seeds) of a node join landing mid-drain:
+/// the join is staged a third of the way into the stream (worker mailboxes
+/// still holding pre-join batches), the handover window spans a third of
+/// the publishes, and the commit lands with batches in flight again. The
+/// delivery-set-equivalence property: whatever the schedule, every document
+/// is delivered to exactly the brute-force set — identical to what the same
+/// script produces with the join ops stripped, i.e. pre-join ≡
+/// post-join+rebalance ≡ brute force.
+#[test]
+fn join_during_drain_preserves_exact_delivery() {
+    let cfg = SystemConfig::small_test();
+    let filters = random_filters(120, 50, 0xA11);
+    let docs = random_docs(21, 60, 10, 0xD0C);
+    let (pre, live) = filters.split_at(filters.len() / 2);
+    let base_script = interleaved_script(live, &docs);
+    let expected = expected_sets(pre, &base_script);
+
+    for kind in [Kind::Move, Kind::Il, Kind::Rs] {
+        let mut moved_any = false;
+        for seed in 800..816u64 {
+            let mut scheme = build(&kind, &cfg);
+            for f in pre {
+                scheme.register(f).expect("register");
+            }
+            let name = scheme.name();
+            let mut script = base_script.clone();
+            let len = script.len();
+            // Inserting join ops shifts no register/publish past another,
+            // so `expected` (computed on the join-free script) still holds.
+            script.insert(2 * len / 3, ScriptOp::CommitJoin);
+            script.insert(len / 3, ScriptOp::Join);
+            let icfg = InterleaveConfig {
+                seed,
+                mailbox_capacity: 1 + (seed as usize % 3),
+                overflow: OverflowPolicy::Block,
+                batch_size: 1 + (seed as usize % 2),
+                ..InterleaveConfig::default()
+            };
+            let out = run_schedule(scheme, script, &icfg)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            assert!(out.shed_docs.is_empty(), "{name} shed under Block");
+            assert!(out.lost_docs.is_empty(), "{name} lost docs with no crash");
+            assert_eq!(
+                out.report.joins, 1,
+                "{name} seed {seed}: join not committed"
+            );
+            moved_any |= out.report.partitions_moved > 0;
+            for d in &docs {
+                let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+                assert_eq!(
+                    &got,
+                    &expected[&d.id()],
+                    "{name} seed {seed}: doc {} wrong across the join",
+                    d.id()
+                );
+            }
+        }
+        // RS streams nothing by design (flooded groups); the partition
+        // schemes must actually re-home partitions onto the joiner.
+        if !matches!(kind, Kind::Rs) {
+            assert!(moved_any, "the sweep never moved a partition on a join");
+        }
+    }
+}
+
+/// 20 schedules of a join racing MOVE's allocation-refresh cycle: a short
+/// refresh period fires re-allocations before, inside, and after the
+/// handover window, so `AllocationUpdate`s (whole-shard replacement) and
+/// the join's `InstallPartitions`/`RetirePartitions` land interleaved in
+/// the same mailboxes. Delivery must stay exact on every schedule, and
+/// both machineries must actually fire.
+#[test]
+fn join_races_an_allocation_refresh() {
+    let mut cfg = SystemConfig::small_test();
+    cfg.capacity_per_node = 150; // force real grids
+    cfg.refresh_every_docs = 5; // several refreshes inside the script
+    let filters = random_filters(200, 50, 0xA110C);
+    let sample = random_docs(30, 60, 10, 0x5A);
+    let docs = random_docs(24, 60, 10, 0xD0C);
+    let base_script: Vec<ScriptOp> = docs.iter().map(|d| ScriptOp::Publish(d.clone())).collect();
+    let expected = expected_sets(&filters, &base_script);
+
+    for seed in 830..850u64 {
+        let mut scheme = MoveScheme::new(cfg.clone()).expect("valid config");
+        for f in &filters {
+            scheme.register(f).expect("register");
+        }
+        scheme.observe_corpus(&sample);
+        scheme.allocate().expect("allocate");
+        let mut script = base_script.clone();
+        let len = script.len();
+        script.insert(2 * len / 3, ScriptOp::CommitJoin);
+        script.insert(len / 3, ScriptOp::Join);
+        let icfg = InterleaveConfig {
+            seed,
+            mailbox_capacity: 2,
+            overflow: OverflowPolicy::Block,
+            batch_size: 1,
+            ..InterleaveConfig::default()
+        };
+        let out = run_schedule(Box::new(scheme), script, &icfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            out.report.allocation_updates > 0,
+            "seed {seed}: the refresh cycle never fired"
+        );
+        assert_eq!(out.report.joins, 1, "seed {seed}: join not committed");
+        for d in &docs {
+            let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+            assert_eq!(
+                &got,
+                &expected[&d.id()],
+                "seed {seed}: doc {} wrong across the join/refresh race",
+                d.id()
+            );
+        }
+    }
+}
+
+/// 32 fault schedules (2 schemes × 16 seeds) of the joining node crashing
+/// inside its handover window, under the failover policy (no restarts).
+/// The commit must refuse to retire the old copies — there is no rollback,
+/// the old homes simply keep serving — so deliveries stay sound and every
+/// document that lost no queued task to the crash drain is delivered
+/// exactly (the moved terms' matches come from their old homes via the
+/// double-route).
+#[test]
+fn crash_of_joining_node_keeps_old_homes_serving() {
+    let cfg = SystemConfig::small_test();
+    let filters = random_filters(120, 50, 0xA11);
+    let docs = random_docs(20, 60, 10, 0xD0C);
+    let base_script: Vec<ScriptOp> = docs.iter().map(|d| ScriptOp::Publish(d.clone())).collect();
+    let expected = expected_sets(&filters, &base_script);
+    let joiner = NodeId(cfg.nodes as u32); // joins always append
+
+    for kind in [Kind::Move, Kind::Il] {
+        let mut any_crash_won = false;
+        for seed in 860..876u64 {
+            let mut scheme = build(&kind, &cfg);
+            for f in &filters {
+                scheme.register(f).expect("register");
+            }
+            let name = scheme.name();
+            let mut script = base_script.clone();
+            let len = script.len();
+            script.insert(3 * len / 4, ScriptOp::CommitJoin);
+            script.insert(len / 2, ScriptOp::Crash(joiner));
+            script.insert(len / 4, ScriptOp::Join);
+            let icfg = InterleaveConfig {
+                seed,
+                mailbox_capacity: 2,
+                overflow: OverflowPolicy::Block,
+                batch_size: 1 + (seed as usize % 2),
+                supervision: SupervisionPolicy::failover(),
+            };
+            let out = run_schedule(scheme, script, &icfg)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            assert_at_most_once(&format!("{name} seed {seed}"), &expected, &out);
+            // The dead joiner must have blocked the commit: no retirement,
+            // no counted join.
+            assert_eq!(
+                out.report.joins, 0,
+                "{name} seed {seed}: committed a join whose node died"
+            );
+            any_crash_won |= !out.lost_docs.is_empty() || out.report.failovers > 0;
+        }
+        assert!(
+            any_crash_won,
+            "{kind}: the sweep never actually killed the joiner mid-window",
+            kind = match kind {
+                Kind::Move => "move",
+                Kind::Il => "il",
+                Kind::Rs => "rs",
+            }
+        );
     }
 }
 

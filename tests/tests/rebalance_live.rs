@@ -1,0 +1,176 @@
+//! Live-engine node joins: a real threaded cluster (OS-thread workers,
+//! bounded mailboxes) grows by one node mid-stream, in serial-router and
+//! router-pool mode, and every document's delivered union must still equal
+//! the brute-force match set — documents before, inside, and after the
+//! handover window alike. The pool-mode case keeps publishers running
+//! *through* the join, pinning the headline property: the ingest plane is
+//! only fenced for the commit, never for the partition copy.
+
+use move_core::{Dissemination, IlScheme, MoveScheme, RsScheme, SystemConfig};
+use move_index::brute_force;
+use move_integration_tests::{random_docs, random_filters};
+use move_runtime::{Engine, OverflowPolicy, RuntimeConfig};
+use move_types::{DocId, FilterId, MatchSemantics, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn schemes(cfg: &SystemConfig) -> Vec<Box<dyn Dissemination + Send>> {
+    vec![
+        Box::new(MoveScheme::new(cfg.clone()).expect("valid config")),
+        Box::new(IlScheme::new(cfg.clone()).expect("valid config")),
+        Box::new(RsScheme::new(cfg.clone()).expect("valid config")),
+    ]
+}
+
+fn tight_config(publishers: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        mailbox_capacity: 4,
+        command_capacity: 8,
+        overflow: OverflowPolicy::Block,
+        batch_size: 2,
+        flush_interval: Duration::from_millis(1),
+        publishers,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Serial router: publish half the stream, join a node synchronously,
+/// publish the rest. Every document must match exactly (`publish_sync`
+/// compares inline), and the report must account the join.
+#[test]
+fn serial_join_mid_stream_delivers_exactly() {
+    let cfg = SystemConfig::small_test();
+    let filters = random_filters(250, 80, 0x10B);
+    let docs = random_docs(60, 100, 12, 0x10B ^ 0xD0C);
+
+    for mut scheme in schemes(&cfg) {
+        for f in &filters {
+            scheme.register(f).expect("register");
+        }
+        let name = scheme.name();
+        let nodes = scheme.cluster().len();
+        let engine = Engine::start(scheme, tight_config(1)).expect("engine starts");
+        let (before, after) = docs.split_at(docs.len() / 2);
+        for d in before {
+            let got = engine.publish_sync(d.clone());
+            let want = brute_force(&filters, d, MatchSemantics::Boolean);
+            assert_eq!(got, want, "{name}: doc {} wrong pre-join", d.id());
+        }
+        let outcome = engine.join_node(0).expect("join commits");
+        assert_eq!(
+            outcome.node,
+            NodeId(nodes as u32),
+            "{name}: joins append to the membership"
+        );
+        if name != "rs" {
+            assert!(
+                outcome.partitions_moved >= 1,
+                "{name}: a join must re-home at least one partition"
+            );
+        }
+        for d in after {
+            let got = engine.publish_sync(d.clone());
+            let want = brute_force(&filters, d, MatchSemantics::Boolean);
+            assert_eq!(got, want, "{name}: doc {} wrong post-join", d.id());
+        }
+        let report = engine.shutdown().expect("clean shutdown");
+        assert_eq!(report.joins, 1, "{name}: the join must be committed");
+        assert_eq!(report.partitions_moved, outcome.partitions_moved);
+        assert_eq!(report.tasks_lost, 0, "{name}: fault-free run");
+        assert_eq!(
+            report.nodes.len(),
+            nodes + 1,
+            "{name}: the joiner reports its own counters"
+        );
+    }
+}
+
+/// Router pool: four publishers keep the stream flowing while the control
+/// thread stages, windows, and commits a join. The join call itself waits
+/// for the handover window to fill with live traffic, so this test is the
+/// threaded proof that publishing continues during the copy. Every
+/// document's delivered union must equal brute force.
+#[test]
+fn pool_join_under_sustained_publish_delivers_exactly() {
+    const WINDOW: u64 = 30;
+    let cfg = SystemConfig::small_test();
+    let filters = random_filters(250, 80, 0x90B);
+    let docs = random_docs(240, 100, 12, 0x90B ^ 0xD0C);
+
+    for mut scheme in schemes(&cfg) {
+        for f in &filters {
+            scheme.register(f).expect("register");
+        }
+        let name = scheme.name();
+        let engine = Arc::new(Engine::start(scheme, tight_config(4)).expect("engine starts"));
+        let deliveries = engine.deliveries();
+
+        // A quarter of the stream lands before the join is even staged; the
+        // publisher thread then keeps the stream alive — recycling the doc
+        // list if it runs dry, which is delivery-idempotent (same unions) —
+        // until the join commits, so the handover window is guaranteed to
+        // fill with live traffic however the threads race.
+        let (head, tail) = docs.split_at(docs.len() / 4);
+        for d in head {
+            engine.publish(d.clone());
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let feeder = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let tail = tail.to_vec();
+            let all = docs.clone();
+            std::thread::spawn(move || {
+                for d in tail {
+                    engine.publish(d.clone());
+                }
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    for d in &all {
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            break;
+                        }
+                        engine.publish(d.clone());
+                    }
+                }
+            })
+        };
+        let outcome = engine.join_node(WINDOW).expect("join commits under load");
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(
+            outcome.handover_docs >= WINDOW,
+            "{name}: the handover window must have seen live traffic"
+        );
+        feeder.join().expect("publisher thread");
+
+        let engine = Arc::into_inner(engine).expect("sole engine handle");
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(engine.shutdown());
+        });
+        let report = match rx.recv_timeout(Duration::from_secs(120)) {
+            Ok(result) => result.expect("clean shutdown"),
+            Err(_) => panic!("{name}: shutdown exceeded 120s, deadlock suspected"),
+        };
+        assert_eq!(report.joins, 1, "{name}: the join must be committed");
+        assert!(
+            report.docs_published >= docs.len() as u64,
+            "{name}: the whole stream (plus recycled keep-alive traffic) published"
+        );
+        assert_eq!(report.tasks_shed, 0, "{name}: Block never sheds");
+        assert_eq!(report.tasks_lost, 0, "{name}: fault-free run");
+
+        let mut delivered: BTreeMap<DocId, BTreeSet<FilterId>> = BTreeMap::new();
+        for d in deliveries.try_iter() {
+            delivered.entry(d.doc).or_default().extend(d.matched);
+        }
+        for d in &docs {
+            let want: BTreeSet<FilterId> = brute_force(&filters, d, MatchSemantics::Boolean)
+                .into_iter()
+                .collect();
+            let got = delivered.remove(&d.id()).unwrap_or_default();
+            assert_eq!(got, want, "{name}: doc {} wrong across the join", d.id());
+        }
+        assert!(delivered.is_empty(), "{name}: deliveries for unknown docs");
+    }
+}
