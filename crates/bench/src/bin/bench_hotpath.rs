@@ -48,6 +48,21 @@ struct ScalingRun {
     deliveries_match: bool,
 }
 
+/// One point of the `--match-lanes` sweep: the live engine with every
+/// worker fanning batches over a work-stealing pool of `lanes` match
+/// lanes, judged against the single-lane baseline of the same scheme on
+/// throughput (`speedup`) and correctness (`deliveries_match` — lanes
+/// change *who scans which chunk*, never the delivered sets).
+#[derive(Serialize)]
+struct LaneRun {
+    scheme: &'static str,
+    mode: &'static str,
+    lanes: usize,
+    docs_per_sec: f64,
+    speedup: f64,
+    deliveries_match: bool,
+}
+
 #[derive(Serialize)]
 struct HotpathReport {
     scale: f64,
@@ -56,6 +71,7 @@ struct HotpathReport {
     docs: usize,
     runs: Vec<HotpathRun>,
     scaling: Vec<ScalingRun>,
+    lanes: Vec<LaneRun>,
 }
 
 type DeliveryMap = BTreeMap<DocId, BTreeSet<FilterId>>;
@@ -143,14 +159,44 @@ fn live_run(kind: SchemeKind, cfg: &ExperimentConfig, w: &Workload) -> HotpathRu
     }
 }
 
-/// Parses `--publishers 1,2,4,8` from the CLI (the sweep of ingest-pool
-/// widths); defaults to the full 1/2/4/8 sweep and always measures the
-/// width-1 baseline first so every speedup has its denominator.
-fn publisher_sweep() -> Vec<usize> {
-    let mut sweep = vec![1usize, 2, 4, 8];
+/// Live-engine run with `lanes` match lanes per worker (single-publisher
+/// router, so the sweep isolates the intra-node match pool), draining the
+/// delivery tap for the cross-width correctness gate.
+fn lane_run(
+    kind: SchemeKind,
+    cfg: &ExperimentConfig,
+    w: &Workload,
+    lanes: usize,
+) -> (f64, DeliveryMap) {
+    let scheme = build_scheme(kind, cfg, w);
+    let config = RuntimeConfig {
+        match_lanes: lanes,
+        ..RuntimeConfig::default()
+    };
+    let engine = Engine::start(scheme, config).expect("spawn engine threads");
+    let deliveries = engine.deliveries();
+    let start = Instant::now();
+    for d in &w.docs {
+        engine.publish(d.clone());
+    }
+    engine.flush();
+    let elapsed = start.elapsed().as_secs_f64();
+    engine.shutdown().expect("engine ran to completion");
+    let mut map = DeliveryMap::new();
+    for d in deliveries.try_iter() {
+        map.entry(d.doc).or_default().extend(d.matched);
+    }
+    (w.docs.len() as f64 / elapsed, map)
+}
+
+/// Parses a `--flag 1,2,4` width list from the CLI; falls back to
+/// `default`, and always includes width 1 so every speedup has its
+/// denominator.
+fn width_sweep(flag: &str, default: &[usize]) -> Vec<usize> {
+    let mut sweep = default.to_vec();
     let mut args = std::env::args();
     while let Some(a) = args.next() {
-        if a == "--publishers" {
+        if a == flag {
             let spec = args.next().unwrap_or_default();
             sweep = spec
                 .split(',')
@@ -220,7 +266,7 @@ fn main() {
     // two keyword-routed schemes (RS floods, so its router does no real
     // work worth scaling). Correctness gate: every width must reproduce
     // the width-1 delivery map exactly.
-    let sweep = publisher_sweep();
+    let sweep = width_sweep("--publishers", &[1, 2, 4, 8]);
     let mut scaling_table = Table::new(
         "bench_hotpath_scaling",
         &["scheme", "publishers", "docs_per_s", "speedup", "match"],
@@ -255,6 +301,44 @@ fn main() {
     }
     scaling_table.finish();
 
+    // The match-lane sweep: work-stealing pools of increasing width inside
+    // every worker, single-publisher router. Same correctness gate as the
+    // publisher sweep: every width must reproduce the width-1 delivery map.
+    let lane_sweep = width_sweep("--match-lanes", &[1, 2, 4]);
+    let mut lanes_table = Table::new(
+        "bench_hotpath_lanes",
+        &["scheme", "lanes", "docs_per_s", "speedup", "match"],
+    );
+    let mut lanes = Vec::new();
+    for kind in [SchemeKind::Il, SchemeKind::Move] {
+        let mut baseline: Option<(f64, DeliveryMap)> = None;
+        for &width in &lane_sweep {
+            let (dps, map) = lane_run(kind, &cfg, &w, width);
+            let (base_dps, base_map) = baseline.get_or_insert_with(|| (dps, map.clone()));
+            let run = LaneRun {
+                scheme: kind.label(),
+                mode: "live",
+                lanes: width,
+                docs_per_sec: dps,
+                speedup: dps / *base_dps,
+                deliveries_match: map == *base_map,
+            };
+            lanes_table.row(&[
+                run.scheme.to_owned(),
+                run.lanes.to_string(),
+                format!("{:.0}", run.docs_per_sec),
+                format!("{:.2}", run.speedup),
+                run.deliveries_match.to_string(),
+            ]);
+            println!(
+                "{}/live lanes={}: {:.0} docs/s, speedup {:.2}, deliveries_match {}",
+                run.scheme, run.lanes, run.docs_per_sec, run.speedup, run.deliveries_match,
+            );
+            lanes.push(run);
+        }
+    }
+    lanes_table.finish();
+
     let bench = HotpathReport {
         scale: scale.factor,
         nodes,
@@ -262,6 +346,7 @@ fn main() {
         docs: w.docs.len(),
         runs,
         scaling,
+        lanes,
     };
     let json = serde_json::to_string_pretty(&bench).expect("report serializes");
     std::fs::create_dir_all("results").expect("create results/");

@@ -97,14 +97,16 @@ impl LiveSession {
         plan: FaultPlan,
         publishers: usize,
     ) -> Result<Self, String> {
-        Self::with_join(nodes, racks, plan, publishers, None)
+        Self::with_join(nodes, racks, plan, publishers, 1, None)
     }
 
-    /// Boots the live engine with every option, including the `--join`
-    /// trigger: after `join_at` published documents, a new node joins the
-    /// running cluster through the live rebalancer — layout staged, moved
+    /// Boots the live engine with every option: the `--join` trigger
+    /// (after `join_at` published documents, a new node joins the running
+    /// cluster through the live rebalancer — layout staged, moved
     /// partitions streamed to the new worker, commit — and the session
-    /// prints the migration outcome.
+    /// prints the migration outcome) and the `--match-lanes` knob (each
+    /// worker fans its batches over a work-stealing pool of `match_lanes`
+    /// match lanes; 1 keeps the serial inline matcher).
     ///
     /// # Errors
     ///
@@ -114,6 +116,7 @@ impl LiveSession {
         racks: usize,
         plan: FaultPlan,
         publishers: usize,
+        match_lanes: usize,
         join_at: Option<u64>,
     ) -> Result<Self, String> {
         let config = SystemConfig {
@@ -125,6 +128,7 @@ impl LiveSession {
         };
         let runtime = RuntimeConfig {
             publishers: publishers.max(1),
+            match_lanes: match_lanes.max(1),
             ..RuntimeConfig::default()
         };
         let scheme = MoveScheme::new(config).map_err(|e| e.to_string())?;
@@ -289,7 +293,7 @@ mod tests {
 
     #[test]
     fn join_trigger_grows_the_cluster_mid_session() {
-        let mut s = LiveSession::with_join(6, 2, FaultPlan::none(), 1, Some(2)).unwrap();
+        let mut s = LiveSession::with_join(6, 2, FaultPlan::none(), 1, 1, Some(2)).unwrap();
         assert!(s
             .run(Command::parse("register 1 rust news").unwrap())
             .contains("registered f1"));

@@ -2,15 +2,17 @@
 //! command language.
 //!
 //! Usage: `move-cli [live] [--fault-plan <spec>] [--publishers <n>]
-//! [--join <at-doc>] [nodes] [racks]` — with `live`, commands run on the
-//! concurrent `move-runtime` engine instead of the simulator;
-//! `--fault-plan kill=<fraction>@<doc>[,seed=<seed>]` crashes that share
-//! of the workers mid-session so supervised restarts can be watched live;
-//! `--publishers <n>` routes documents through a pool of `n` concurrent
-//! ingest threads instead of the single router (the session report then
-//! breaks routed/shed counters out per ingest thread); `--join <at-doc>`
-//! grows the cluster by one node through the live rebalancer once that
-//! many documents have been published.
+//! [--match-lanes <n>] [--join <at-doc>] [nodes] [racks]` — with `live`,
+//! commands run on the concurrent `move-runtime` engine instead of the
+//! simulator; `--fault-plan kill=<fraction>@<doc>[,seed=<seed>]` crashes
+//! that share of the workers mid-session so supervised restarts can be
+//! watched live; `--publishers <n>` routes documents through a pool of
+//! `n` concurrent ingest threads instead of the single router (the
+//! session report then breaks routed/shed counters out per ingest
+//! thread); `--match-lanes <n>` fans each worker's match batches over a
+//! work-stealing pool of `n` match lanes instead of matching inline;
+//! `--join <at-doc>` grows the cluster by one node through the live
+//! rebalancer once that many documents have been published.
 
 use move_cli::{parse_fault_plan, Command, LiveSession, Session};
 use move_runtime::FaultPlan;
@@ -45,6 +47,7 @@ fn main() {
     }
     let mut fault_spec: Option<String> = None;
     let mut publishers: Option<String> = None;
+    let mut match_lanes: Option<String> = None;
     let mut join_spec: Option<String> = None;
     let mut positional = Vec::new();
     while let Some(arg) = args.next() {
@@ -65,6 +68,16 @@ fn main() {
                 Some(n) => publishers = Some(n),
                 None => {
                     eprintln!("--publishers needs a thread count, e.g. --publishers 4");
+                    std::process::exit(1);
+                }
+            }
+        } else if let Some(n) = arg.strip_prefix("--match-lanes=") {
+            match_lanes = Some(n.to_owned());
+        } else if arg == "--match-lanes" {
+            match args.next() {
+                Some(n) => match_lanes = Some(n),
+                None => {
+                    eprintln!("--match-lanes needs a lane count, e.g. --match-lanes 4");
                     std::process::exit(1);
                 }
             }
@@ -91,6 +104,20 @@ fn main() {
             Ok(n) if n >= 1 => n,
             _ => {
                 eprintln!("--publishers needs a positive integer, got `{n}`");
+                std::process::exit(1);
+            }
+        },
+        None => 1,
+    };
+    let match_lanes = match match_lanes.as_deref() {
+        Some(_) if !live => {
+            eprintln!("--match-lanes requires live mode (the simulator matches inline)");
+            std::process::exit(1);
+        }
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--match-lanes needs a positive integer, got `{n}`");
                 std::process::exit(1);
             }
         },
@@ -128,7 +155,8 @@ fn main() {
         None => FaultPlan::none(),
     };
     let built = if live {
-        LiveSession::with_join(nodes, racks, plan, publishers, join_at).map(Shell::Live)
+        LiveSession::with_join(nodes, racks, plan, publishers, match_lanes, join_at)
+            .map(Shell::Live)
     } else {
         Session::new(nodes, racks).map(|s| Shell::Sim(Box::new(s)))
     };

@@ -106,6 +106,15 @@ impl SimCluster {
         &self.ring
     }
 
+    /// Drops the ring's memoized term-home answers (see
+    /// [`Ring::invalidate_term_homes`]). Layout commits — a staged join's
+    /// `retire_join` — re-point term partitions without a ring-membership
+    /// change, so the ring's epoch-keyed memo would otherwise keep serving
+    /// the moved terms' pre-join homes to ring-based callers.
+    pub fn invalidate_term_homes(&self) {
+        self.ring.invalidate_term_homes();
+    }
+
     /// The rack topology.
     pub fn topology(&self) -> &Topology {
         &self.topology

@@ -525,6 +525,61 @@ mod tests {
     }
 
     #[test]
+    fn single_node_cluster_grows_to_two() {
+        // The smallest possible grow: N=1 → 2. The lone node owns every
+        // partition, so exactly the joiner's apportioned share must move —
+        // about half the space — and every move lands on the joiner.
+        let mut layout = seeded(1, 1);
+        assert_eq!(occupancy(&layout), vec![PARTITIONS as u64]);
+        layout.stage(RoleChange::Join {
+            rack: RackId(0),
+            weight: 1,
+        });
+        let delta = layout.commit();
+        assert_eq!(delta.joined, vec![NodeId(1)]);
+        let targets = ClusterLayout::targets(layout.roles());
+        assert_eq!(targets, vec![PARTITIONS as u64 / 2, PARTITIONS as u64 / 2]);
+        assert_eq!(delta.moved.len() as u64, targets[1]);
+        assert!(delta
+            .moved
+            .iter()
+            .all(|&(_, old, new)| { old == NodeId(0) && new == NodeId(1) }));
+        assert_eq!(occupancy(&layout), targets);
+    }
+
+    #[test]
+    fn repeated_grow_is_idempotent_between_joins() {
+        // Each join moves only what the new targets require; a commit with
+        // nothing staged in between is a fixed point (no gratuitous churn),
+        // and versions grow strictly monotonically throughout.
+        let mut layout = seeded(2, 1);
+        let mut last_version = layout.version();
+        for expected_id in 2..6u32 {
+            layout.stage(RoleChange::Join {
+                rack: RackId(0),
+                weight: 1,
+            });
+            let delta = layout.commit();
+            assert!(delta.version > last_version, "versions must be monotonic");
+            last_version = delta.version;
+            assert_eq!(delta.joined, vec![NodeId(expected_id)]);
+            assert!(delta
+                .moved
+                .iter()
+                .all(|&(_, _, new)| new == NodeId(expected_id)));
+            assert_eq!(occupancy(&layout), ClusterLayout::targets(layout.roles()));
+            // Settled: an empty re-commit moves nothing.
+            let before = layout.assignment().as_ref().clone();
+            let idle = layout.commit();
+            assert!(idle.version > last_version);
+            last_version = idle.version;
+            assert!(idle.moved.is_empty(), "settled layout re-committed moves");
+            assert!(idle.joined.is_empty());
+            assert_eq!(layout.assignment().as_ref(), &before);
+        }
+    }
+
+    #[test]
     fn revert_staged_discards_changes() {
         let mut layout = seeded(4, 2);
         layout.stage(RoleChange::Join {

@@ -261,6 +261,32 @@ impl Ring {
         home
     }
 
+    /// Drops every memoized [`Ring::home_of_term`] answer immediately.
+    ///
+    /// The memo self-invalidates on membership change (it is keyed by
+    /// [`Ring::epoch`]), but a *layout* change — a staged join committed by
+    /// `retire_join` — re-points term partitions without touching ring
+    /// membership, so entries filled before the commit would otherwise
+    /// survive it and serve the moved terms' pre-join homes. Callers that
+    /// re-home terms outside the ring's own membership operations must
+    /// call this at the point the new homes become authoritative.
+    pub fn invalidate_term_homes(&self) {
+        let mut cache = self.term_homes.borrow_mut();
+        cache.homes.clear();
+    }
+
+    /// Number of term-home answers currently memoized — diagnostic for
+    /// cache-invalidation tests; answers never depend on it.
+    #[must_use]
+    pub fn memoized_term_homes(&self) -> usize {
+        self.term_homes
+            .borrow()
+            .homes
+            .iter()
+            .filter(|&&h| h != TERM_HOME_UNSET)
+            .count()
+    }
+
     /// Freezes a thread-safe [`TermHomeTable`] with precomputed homes for
     /// term ids `0..terms` (capped at the memoization bound so a
     /// pathological id space cannot balloon the table). Ids beyond the
@@ -474,6 +500,28 @@ mod tests {
                 r.home_of_token(stable_hash64(&("term", t)))
             );
         }
+    }
+
+    #[test]
+    fn invalidate_drops_the_memo_without_an_epoch_bump() {
+        // Regression: a staged join's `retire_join` re-points term
+        // partitions through the *layout*, never touching ring membership —
+        // so the epoch-keyed self-invalidation does not fire and entries
+        // warmed during the handover window would survive the commit.
+        // The explicit clear is the only thing standing between a retired
+        // join and a stale memoized home.
+        let r = ring(8);
+        let warmed: Vec<NodeId> = (0..300u32).map(|t| r.home_of_term(TermId(t))).collect();
+        assert_eq!(r.memoized_term_homes(), 300);
+        let e = r.epoch();
+        r.invalidate_term_homes();
+        assert_eq!(r.epoch(), e, "invalidation is not a membership change");
+        assert_eq!(r.memoized_term_homes(), 0, "the memo must be dropped");
+        // Recomputed answers agree with the warmed ones (pure memoization).
+        for (t, &home) in warmed.iter().enumerate() {
+            assert_eq!(r.home_of_term(TermId(t as u32)), home);
+        }
+        assert_eq!(r.memoized_term_homes(), 300, "the memo refills");
     }
 
     #[test]

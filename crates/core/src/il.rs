@@ -273,6 +273,9 @@ impl Dissemination for IlScheme {
                 }
             }
         }
+        // The old copies are gone: ring-memoized homes for the moved terms
+        // must not outlive them (the layout commit bumps no ring epoch).
+        self.cluster.invalidate_term_homes();
         Ok(())
     }
 
@@ -587,6 +590,55 @@ mod tests {
         il.retire_join(&summary).unwrap();
         assert_eq!(il.storage_per_node().iter().sum::<u64>(), pairs_before);
         check(&mut il, 1000);
+    }
+
+    #[test]
+    fn join_with_zero_registered_filters_moves_partitions_but_no_terms() {
+        // Growing an empty cluster: the layout still rebalances partitions
+        // onto the joiner, but with no registered filters there is nothing
+        // to hand over, and retirement is a clean no-op on storage.
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        assert_eq!(il.storage_per_node().iter().sum::<u64>(), 0);
+        let summary = il.join_node().unwrap();
+        assert!(summary.partitions_moved >= 1);
+        assert!(summary.moved_terms.is_empty());
+        assert_eq!(il.storage_per_node().iter().sum::<u64>(), 0);
+        il.retire_join(&summary).unwrap();
+        assert_eq!(il.storage_per_node().iter().sum::<u64>(), 0);
+        // The grown cluster still registers and matches normally.
+        il.register(&filter(0, &[7])).unwrap();
+        let got = il.publish(0.0, &doc(1, &[7])).unwrap().matched;
+        assert_eq!(got, vec![FilterId(0)]);
+    }
+
+    #[test]
+    fn a_retired_join_drops_ring_homes_memoized_in_the_window() {
+        // Regression: `retire_join` commits a layout change without any
+        // ring-membership change, so ring term-home entries memoized during
+        // the handover window survive the commit unless the retirement
+        // explicitly invalidates them.
+        let mut il = IlScheme::new(SystemConfig::small_test()).unwrap();
+        for id in 0..200u64 {
+            il.register(&filter(id, &[(id % 120) as u32])).unwrap();
+        }
+        let summary = il.join_node().unwrap();
+        assert!(!summary.moved_terms.is_empty());
+        // Warm the ring memo under the post-join epoch, mid-window — the
+        // exact entries the retirement must not let outlive the old copies.
+        for &(t, _) in &summary.moved_terms {
+            let _ = il.cluster().ring().home_of_term(t);
+        }
+        assert!(il.cluster().ring().memoized_term_homes() > 0);
+        il.retire_join(&summary).unwrap();
+        assert_eq!(
+            il.cluster().ring().memoized_term_homes(),
+            0,
+            "retire_join must drop ring homes memoized during the window"
+        );
+        // The moved terms keep serving from the joiner after retirement.
+        for &(t, _) in &summary.moved_terms {
+            assert_eq!(il.cluster().home_of_term(t), summary.node);
+        }
     }
 
     #[test]

@@ -693,6 +693,9 @@ impl Dissemination for MoveScheme {
         for t in &moved {
             self.handover_terms.remove(t);
         }
+        // The old copies are gone: ring-memoized homes for the moved terms
+        // must not outlive them (the layout commit bumps no ring epoch).
+        self.cluster.invalidate_term_homes();
         self.rebuild_indexes()?;
         #[cfg(debug_assertions)]
         self.debug_assert_grid_coverage();

@@ -392,6 +392,17 @@ impl InvertedIndex {
         }
     }
 
+    /// [`InvertedIndex::match_term_into`] over a slice of terms — the
+    /// chunked scan unit of the work-stealing match lanes. Appends and
+    /// accumulates exactly like a loop of per-term calls would: summing
+    /// the outcomes of disjoint chunks reproduces the counters (and,
+    /// after one sort+dedup, the match set) of the unchunked scan.
+    pub fn match_terms_into(&self, doc: &Document, terms: &[TermId], out: &mut MatchOutcome) {
+        for &t in terms {
+            self.match_term_into(doc, t, out);
+        }
+    }
+
     /// The centralized SIFT match: retrieve the posting lists of *all*
     /// document terms, accumulate per-filter hit counts, and emit the
     /// filters satisfying the semantics. This is what each rendezvous node
@@ -556,6 +567,37 @@ mod tests {
         union.sort_unstable();
         union.dedup();
         assert_eq!(union, idx.match_document(&doc).matched);
+    }
+
+    #[test]
+    fn chunked_term_scans_sum_to_the_sift_outcome() {
+        // The match-lane contract: disjoint chunks of the document's terms,
+        // each scanned with `match_terms_into`, must sum to the exact
+        // counters of the one-shot SIFT kernel — and the concatenated
+        // matches, canonicalized once, must be the same set.
+        let filters = vec![
+            f(1, &[1, 2]),
+            f(2, &[2, 3]),
+            f(3, &[4]),
+            f(4, &[1, 4]),
+            f(5, &[9]),
+        ];
+        let idx = boolean_index(&filters);
+        let doc = d(&[1, 2, 4, 7]);
+        let whole = idx.match_document(&doc);
+        for chunk in 1..=4 {
+            let mut sum = MatchOutcome::default();
+            for c in doc.terms().chunks(chunk) {
+                idx.match_terms_into(&doc, c, &mut sum);
+            }
+            assert_eq!(sum.lists_retrieved, whole.lists_retrieved, "chunk {chunk}");
+            assert_eq!(
+                sum.postings_scanned, whole.postings_scanned,
+                "chunk {chunk}"
+            );
+            MatchScratch::new().sort_dedup(&mut sum.matched);
+            assert_eq!(sum.matched, whole.matched, "chunk {chunk}");
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crate::config::{OverflowPolicy, RuntimeConfig};
+use crate::config::{BatchController, OverflowPolicy, RuntimeConfig};
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::ingest::{IngestCommand, IngestShared, IngestTable, IngestThread, Pool};
 use crate::message::{Delivery, DocTask, NodeMessage};
@@ -163,6 +163,8 @@ pub(crate) struct ThreadTransport {
     handles: Vec<JoinHandle<()>>,
     overflow: OverflowPolicy,
     mailbox_capacity: usize,
+    /// Match lanes per worker (1 = inline matching; see [`crate::lanes`]).
+    match_lanes: usize,
     delivery_tx: Sender<Delivery>,
     /// `None` once shutdown starts — restarts are refused and the finals
     /// channel can disconnect.
@@ -176,7 +178,14 @@ impl ThreadTransport {
             return Err(MoveError::Runtime("engine is shutting down".into()));
         };
         let (tx, rx) = bounded(self.mailbox_capacity);
-        let worker = Worker::new(NodeId(n as u32), index, rx, self.delivery_tx.clone());
+        let worker = Worker::with_lanes(
+            NodeId(n as u32),
+            index,
+            rx,
+            self.delivery_tx.clone(),
+            self.match_lanes,
+            false,
+        );
         let handle = thread::Builder::new()
             .name(format!("move-node-{n}"))
             .spawn(move || {
@@ -284,6 +293,7 @@ impl Engine {
             handles: Vec::with_capacity(nodes),
             overflow: config.overflow,
             mailbox_capacity: config.mailbox_capacity,
+            match_lanes: config.match_lanes.max(1),
             delivery_tx,
             final_tx: Some(final_tx),
         };
@@ -517,6 +527,9 @@ pub(crate) struct Router<T> {
     pub(crate) ingest_metrics: Vec<IngestMetrics>,
     /// Per-node batch under accumulation.
     pub(crate) pending: Vec<Vec<DocTask>>,
+    /// The router's own batch-size governor (see [`crate::BatchPolicy`]);
+    /// ingest threads each own an independent one.
+    batcher: BatchController,
     /// Scheduled fault events, sorted by trigger point.
     plan: Vec<FaultEvent>,
     /// Index of the next unfired fault event.
@@ -554,9 +567,11 @@ impl<T: Transport> Router<T> {
     ) -> Self {
         let nodes = transport.nodes();
         let view = scheme.routing_view(0);
+        let batcher = BatchController::new(&config);
         Self {
             scheme,
             config,
+            batcher,
             transport,
             view,
             view_rng: StdRng::seed_from_u64(VIEW_RNG_SEED),
@@ -697,6 +712,8 @@ impl<T: Transport> Router<T> {
                     m.deliveries += f.metrics.deliveries;
                     m.queue_depth_hwm = m.queue_depth_hwm.max(f.metrics.queue_depth_hwm);
                     m.tasks_lost += f.metrics.tasks_lost;
+                    m.steals += f.metrics.steals;
+                    m.lane_units += f.metrics.lane_units;
                     h.merge(&f.histogram);
                 }
             }
@@ -729,6 +746,10 @@ impl<T: Transport> Router<T> {
             tasks_lost: worker_lost + self.tasks_failed,
             lost_docs: lost_docs.into_iter().collect(),
             deaths_settled_at: self.deaths_settled_at,
+            batch_limit_hwm: ingest
+                .iter()
+                .map(|m| m.batch_limit_hwm)
+                .fold(self.batcher.hwm() as u64, u64::max),
             ingest,
             q_hits: self.scheme.doc_hits_per_node(),
             nodes,
@@ -812,7 +833,7 @@ impl<T: Transport> Router<T> {
                 task: step.task,
                 dispatched,
             });
-            if self.pending[n].len() >= self.config.batch_size {
+            if self.pending[n].len() >= self.batcher.limit() {
                 self.flush_node(n);
             }
         }
@@ -1034,7 +1055,7 @@ impl<T: Transport> Router<T> {
                     dispatched: task.dispatched,
                 });
                 placed = true;
-                if self.pending[m].len() >= self.config.batch_size {
+                if self.pending[m].len() >= self.batcher.limit() {
                     self.flush_node(m);
                 }
             }
@@ -1053,6 +1074,9 @@ impl<T: Transport> Router<T> {
             return;
         }
         let batch = std::mem::take(&mut self.pending[n]);
+        // Feed the adaptive controller this batch's residency — the age of
+        // its oldest task. A no-op under `BatchPolicy::Fixed`.
+        self.batcher.observe(batch[0].dispatched.elapsed());
         if self.dead[n] {
             // Known-dead node under failover: skip the doomed send.
             self.failover(n, batch);

@@ -41,7 +41,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::config::{OverflowPolicy, RuntimeConfig};
+use crate::config::{BatchController, OverflowPolicy, RuntimeConfig};
 use crate::engine::{reclaim, BatchOutcome, Command};
 use crate::message::{DocTask, NodeMessage};
 use crate::metrics::IngestMetrics;
@@ -131,7 +131,9 @@ pub(crate) struct IngestThread {
     shared: Arc<IngestShared>,
     control: Sender<Command>,
     overflow: OverflowPolicy,
-    batch_size: usize,
+    /// This thread's batch-size governor (see [`crate::BatchPolicy`]) —
+    /// independent per thread, so each adapts to its own node mix.
+    batcher: BatchController,
     flush_interval: Duration,
     /// Per-node batch under accumulation (thread-local, flushed on size,
     /// idleness, and every barrier/fence/shutdown).
@@ -162,7 +164,7 @@ impl IngestThread {
             shared,
             control,
             overflow: config.overflow,
-            batch_size: config.batch_size,
+            batcher: BatchController::new(config),
             flush_interval: config.flush_interval,
             pending: vec![Vec::new(); nodes],
             rng: StdRng::seed_from_u64(seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
@@ -202,6 +204,7 @@ impl IngestThread {
                 tasks_dispatched: self.tasks_dispatched,
                 tasks_shed: self.tasks_shed,
                 docs_double_routed: self.docs_double_routed,
+                batch_limit_hwm: self.batcher.hwm() as u64,
             },
         });
     }
@@ -239,7 +242,7 @@ impl IngestThread {
                 task: step.task,
                 dispatched,
             });
-            if self.pending[n].len() >= self.batch_size {
+            if self.pending[n].len() >= self.batcher.limit() {
                 self.flush_node(&table, n);
             }
         }
@@ -254,6 +257,9 @@ impl IngestThread {
             return;
         }
         let batch = std::mem::take(&mut self.pending[n]);
+        // Feed the adaptive controller this batch's residency — the age of
+        // its oldest task. A no-op under `BatchPolicy::Fixed`.
+        self.batcher.observe(batch[0].dispatched.elapsed());
         if table.dead[n] {
             let _ = self.control.send(Command::Gone { node: n, batch });
             return;

@@ -95,8 +95,17 @@ pub struct InterleaveConfig {
     /// Behaviour when a mailbox is at capacity.
     pub overflow: OverflowPolicy,
     /// Documents per node accumulated before a batch is sent (same knob as
-    /// [`RuntimeConfig::batch_size`]).
+    /// [`RuntimeConfig::batch_size`]). The harness always pins
+    /// [`BatchPolicy::Fixed`](crate::BatchPolicy) — the adaptive
+    /// controller's wall-clock feedback would make schedules
+    /// nondeterministic.
     pub batch_size: usize,
+    /// Match lanes per worker (same knob as
+    /// [`RuntimeConfig::match_lanes`]). With more than one lane the
+    /// workers' pool steps — pop, steal, merge, finalize — become
+    /// schedulable actions of their own, so seeds explore steal orders and
+    /// merge orders as well as message orders.
+    pub match_lanes: usize,
     /// What the router does when a send finds a crashed worker (same knob
     /// as [`RuntimeConfig::supervision`]). The default uses
     /// [`Duration::ZERO`] backoff — retries cost schedule steps, not
@@ -111,6 +120,7 @@ impl Default for InterleaveConfig {
             mailbox_capacity: 2,
             overflow: OverflowPolicy::Block,
             batch_size: 1,
+            match_lanes: 1,
             supervision: SupervisionPolicy {
                 restart: true,
                 max_retries: 3,
@@ -166,6 +176,17 @@ pub enum ScriptOp {
     /// join is staged or the joining node crashed mid-window — the
     /// handover view keeps serving, exactly like the threaded engine.
     CommitJoin,
+    /// Permanently deschedule one of a worker's match lanes mid-run — the
+    /// deterministic model of a helper lane thread dying. The crashed
+    /// lane's queued units stay stealable, so in-flight batches still
+    /// complete exactly; lane 0 (the worker thread itself) is refused.
+    /// No-op with [`InterleaveConfig::match_lanes`] of 1.
+    CrashLane {
+        /// The worker whose lane dies.
+        node: NodeId,
+        /// The lane index (`1..match_lanes`; 0 is refused).
+        lane: usize,
+    },
 }
 
 /// What one scheduled run produced.
@@ -208,6 +229,8 @@ struct SimTransport {
     delivery_tx: Sender<Delivery>,
     capacity: usize,
     overflow: OverflowPolicy,
+    /// Match lanes per worker, applied to restarted and joined workers too.
+    lanes: usize,
     shed_docs: BTreeSet<DocId>,
 }
 
@@ -253,7 +276,14 @@ impl Transport for SimTransport {
         // xtask:allow-unbounded — virtual capacity, same as the boot-time
         // mailboxes.
         let (tx, rx) = unbounded();
-        let worker = Worker::new(NodeId(n as u32), index, rx, self.delivery_tx.clone());
+        let worker = Worker::with_lanes(
+            NodeId(n as u32),
+            index,
+            rx,
+            self.delivery_tx.clone(),
+            self.lanes,
+            true,
+        );
         self.workers.borrow_mut()[n] = Some(worker);
         self.mailboxes[n] = tx;
         true
@@ -264,19 +294,30 @@ impl Transport for SimTransport {
         // mailboxes.
         let (tx, rx) = unbounded();
         let n = self.mailboxes.len();
-        let worker = Worker::new(NodeId(n as u32), index, rx, self.delivery_tx.clone());
+        let worker = Worker::with_lanes(
+            NodeId(n as u32),
+            index,
+            rx,
+            self.delivery_tx.clone(),
+            self.lanes,
+            true,
+        );
         self.workers.borrow_mut().push(Some(worker));
         self.mailboxes.push(tx);
         true
     }
 }
 
-/// The scheduler's choice set: advance the router by one command, or one
-/// worker by one mailbox message.
+/// The scheduler's choice set: advance the router by one command, one
+/// worker by one mailbox message, or one match lane by one pool step
+/// (pop / steal / execute / merge one unit).
 #[derive(Debug, Clone, Copy)]
 enum Action {
     Router,
     Worker(usize),
+    /// `(node, lane)` — only offered while that node's pool has a batch in
+    /// flight.
+    Lane(usize, usize),
 }
 
 /// `xorshift64*` — deterministic, seedable, and good enough to pick
@@ -331,6 +372,7 @@ pub fn run_schedule(
     config: &InterleaveConfig,
 ) -> Result<InterleaveReport> {
     let nodes = scheme.cluster().len();
+    let lanes = config.match_lanes.max(1);
     // xtask:allow-unbounded — drained only after the run; bounding it
     // would deadlock the single harness thread.
     let (delivery_tx, delivery_rx) = unbounded();
@@ -343,7 +385,14 @@ pub fn run_schedule(
         bases.push(Arc::clone(&index));
         // xtask:allow-unbounded — virtual capacity, see SimTransport.
         let (tx, rx) = unbounded();
-        table.push(Some(Worker::new(node, index, rx, delivery_tx.clone())));
+        table.push(Some(Worker::with_lanes(
+            node,
+            index,
+            rx,
+            delivery_tx.clone(),
+            lanes,
+            true,
+        )));
         mailboxes.push(tx);
     }
     let workers: WorkerTable = Rc::new(RefCell::new(table));
@@ -354,6 +403,7 @@ pub fn run_schedule(
         delivery_tx,
         capacity: config.mailbox_capacity.max(1),
         overflow: config.overflow,
+        lanes,
         shed_docs: BTreeSet::new(),
     };
     let runtime_config = RuntimeConfig {
@@ -361,9 +411,14 @@ pub fn run_schedule(
         command_capacity: 1, // unused: the script stands in for the channel
         overflow: config.overflow,
         batch_size: config.batch_size.max(1),
+        // The adaptive controller reads wall clocks; pin it off so the
+        // schedule (and everything derived from it) is a pure function of
+        // the seed.
+        batch_policy: crate::config::BatchPolicy::Fixed,
         flush_interval: Duration::from_millis(1), // unused: no idle loop
         supervision: config.supervision,
         publishers: 1, // the harness drives the serial router directly
+        match_lanes: lanes,
     };
     let plan = crate::fault::FaultPlan::none();
     let mut router = Router::new(scheme, runtime_config, transport, plan, bases);
@@ -378,6 +433,7 @@ pub fn run_schedule(
                     | ScriptOp::Delay { .. }
                     | ScriptOp::Join
                     | ScriptOp::CommitJoin
+                    | ScriptOp::CrashLane { .. }
             )
         })
         .count() as u64;
@@ -393,7 +449,11 @@ pub fn run_schedule(
     // and each delay parks a worker for a stretch of steps. Joins grow the
     // cluster, so the per-node fan-out is sized at the maximum node count.
     let max_nodes = (nodes + join_ops) as u64;
-    let budget = ((script.len() as u64 + 2) * (2 * max_nodes + 4) * 4 + 1000) * (1 + fault_ops);
+    // With match lanes, each batch message expands into several pool-unit
+    // steps (chunked scans), so the budget scales with the lane count too.
+    let budget = ((script.len() as u64 + 2) * (2 * max_nodes + 4) * 4 + 1000)
+        * (1 + fault_ops)
+        * (1 + lanes as u64);
     let mut rng = Rng::new(config.seed);
     let mut shutdown_sent = false;
     let mut finals = Vec::with_capacity(nodes);
@@ -418,7 +478,21 @@ pub fn run_schedule(
             actions.push(Action::Router);
         }
         for (i, w) in workers.borrow().iter().enumerate() {
-            if w.is_some() && delays[i] == 0 && router.transport.queue_len(i) > 0 {
+            let Some(w) = w else { continue };
+            if delays[i] != 0 {
+                continue;
+            }
+            if w.pool_busy() {
+                // A batch is in flight: the worker completes it before its
+                // next receive (the threaded driver blocks inside the pool
+                // here), so the mailbox action is suppressed and the
+                // individual lane steps become the schedulable actions.
+                for lane in 0..w.lane_count() {
+                    if !w.lane_crashed(lane) {
+                        actions.push(Action::Lane(i, lane));
+                    }
+                }
+            } else if router.transport.queue_len(i) > 0 {
                 actions.push(Action::Worker(i));
             }
         }
@@ -494,6 +568,13 @@ pub fn run_schedule(
                     // so the refusal is swallowed, not propagated.
                     let _ = router.commit_join();
                 }
+                Some(ScriptOp::CrashLane { node, lane }) => {
+                    // The pool refuses lane 0 and out-of-range lanes; a
+                    // crash on an already-dead worker is a no-op too.
+                    if let Some(w) = workers.borrow()[node.as_usize()].as_ref() {
+                        w.crash_lane(lane);
+                    }
+                }
                 None => {
                     router.shutdown_workers();
                     shutdown_sent = true;
@@ -508,6 +589,14 @@ pub fn run_schedule(
                     if let Some(w) = workers.borrow_mut()[i].take() {
                         finals.push(w.finish());
                     }
+                }
+            }
+            Action::Lane(i, lane) => {
+                if let Some(w) = workers.borrow_mut()[i].as_mut() {
+                    // A step on a live lane of a busy pool always finds a
+                    // unit (pop or steal) — the return value only matters
+                    // for the threaded helper loop.
+                    let _ = w.step_lane(lane);
                 }
             }
         }
@@ -605,6 +694,59 @@ mod tests {
         assert_eq!(out.report.docs_published, 50);
         let executed: u64 = out.report.nodes.iter().map(|n| n.doc_tasks).sum();
         assert_eq!(out.report.tasks_dispatched, executed);
+    }
+
+    #[test]
+    fn lanes_deliver_the_serial_outcome_on_every_seed() {
+        let serial = run_schedule(small_scheme(), small_script(), &InterleaveConfig::default())
+            .unwrap()
+            .delivered;
+        for seed in 0..32u64 {
+            let cfg = InterleaveConfig {
+                seed,
+                match_lanes: 3,
+                batch_size: 2,
+                ..InterleaveConfig::default()
+            };
+            let out = run_schedule(small_scheme(), small_script(), &cfg).unwrap();
+            assert_eq!(
+                out.delivered, serial,
+                "seed {seed}: lanes changed deliveries"
+            );
+            assert!(out.lost_docs.is_empty());
+        }
+    }
+
+    #[test]
+    fn a_crashed_lane_never_loses_a_batch() {
+        for seed in 0..32u64 {
+            let cfg = InterleaveConfig {
+                seed,
+                match_lanes: 4,
+                batch_size: 4,
+                ..InterleaveConfig::default()
+            };
+            let mut script = vec![ScriptOp::Register(Filter::new(1u64, [TermId(3)]))];
+            for i in 0..8u64 {
+                script.push(ScriptOp::Publish(Document::from_distinct_terms(
+                    i,
+                    [TermId(3)],
+                )));
+                if i == 3 {
+                    // Lands mid-stream: depending on the seed the lane dies
+                    // before, during, or after a batch is in flight.
+                    script.push(ScriptOp::CrashLane {
+                        node: NodeId(0),
+                        lane: 2,
+                    });
+                }
+            }
+            let out = run_schedule(small_scheme(), script, &cfg).unwrap();
+            assert_eq!(out.report.docs_published, 8, "seed {seed}");
+            assert_eq!(out.delivered.len(), 8, "seed {seed}: every doc must match");
+            let executed: u64 = out.report.nodes.iter().map(|n| n.doc_tasks).sum();
+            assert_eq!(out.report.tasks_dispatched, executed, "seed {seed}");
+        }
     }
 
     #[test]

@@ -1,0 +1,533 @@
+//! The intra-node work-stealing match executor ("match lanes").
+//!
+//! A worker with [`RuntimeConfig::match_lanes`](crate::RuntimeConfig) > 1
+//! does not execute a document batch inline: it splits every
+//! [`DocTask`](crate::DocTask) into *units* (chunked posting-list scans),
+//! deals the units round-robin across a small set of per-lane deques, and
+//! lets the lanes race — a lane whose own deque runs dry steals the back
+//! half of the longest other deque. Each lane owns a private
+//! [`MatchScratch`]/[`MatchOutcome`] pair, so the kernels stay
+//! allocation-free and nothing is shared but the pool's one mutex.
+//!
+//! Two drivers run the *same* [`MatchPool::step_lane`] code:
+//!
+//! * the threaded worker ([`Worker::run`](crate::worker)) spawns
+//!   `match_lanes - 1` helper OS threads and participates as lane 0,
+//!   blocking until the batch completes so the mailbox keeps its FIFO
+//!   semantics (an `AllocationUpdate` behind a batch is still observed
+//!   strictly after it);
+//! * the interleaving harness ([`crate::interleave`]) spawns no threads at
+//!   all and single-steps individual lanes under a seeded schedule,
+//!   exploring steal orders, merge orders, and lane crashes
+//!   deterministically.
+//!
+//! # Why the merge is order-independent
+//!
+//! Units only ever *append* to their task's accumulator: per-unit matched
+//! ids plus work counters. Addition commutes, and the finalize step (run
+//! by whichever lane merges the task's last unit) passes the concatenated
+//! ids through the same dense-bitmap
+//! [`MatchScratch::sort_dedup`] the serial worker uses — a sorted,
+//! deduplicated set is a canonical form, so the delivery is byte-identical
+//! for every steal schedule, and identical to the serial worker's. The
+//! equivalence property suite in `tests/tests/match_pool.rs` pins this.
+
+use crossbeam::channel::Sender;
+use move_core::MatchTask;
+use move_index::{InvertedIndex, MatchOutcome, MatchScratch};
+use move_types::{MatchSemantics, NodeId, TermId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::message::{Delivery, DocTask};
+
+/// Posting-list scans per unit: a [`MatchTask::Terms`] list (or a
+/// full-index document's term list) is cut into chunks of this many terms,
+/// so one oversized task still spreads across lanes. Small enough that a
+/// typical batch yields several stealable units, large enough that the
+/// per-unit lock round-trip stays amortized.
+const TERM_CHUNK: usize = 8;
+
+/// What one scheduling quantum of a lane did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LaneStep {
+    /// The lane executed (and merged) one unit — possibly after stealing.
+    Worked,
+    /// Nothing to pop and nothing to steal: every remaining unit of the
+    /// batch is in flight on another lane (or the pool is idle).
+    Idle,
+}
+
+/// A lane's private kernel buffers; reused across units so steady-state
+/// matching allocates only when a delivery is produced.
+#[derive(Debug, Default)]
+pub(crate) struct LaneCtx {
+    pub(crate) scratch: MatchScratch,
+    outcome: MatchOutcome,
+}
+
+/// One schedulable slice of a document task.
+#[derive(Debug)]
+struct Unit {
+    /// Index of the owning task in the batch's accumulator table.
+    task: usize,
+    kind: UnitKind,
+}
+
+#[derive(Debug)]
+enum UnitKind {
+    /// Match a chunk of the task's routed terms (inverted-list step).
+    RoutedTerms(Vec<TermId>),
+    /// Match a `[start, end)` slice of the *document's* terms against the
+    /// full local index — only valid under boolean semantics, where the
+    /// union of per-term matches equals the SIFT result exactly (counters
+    /// included).
+    DocTerms(usize, usize),
+    /// Run the whole SIFT kernel in one unit — threshold semantics needs
+    /// per-filter hit multiplicities, which cannot be split across lanes.
+    FullDoc,
+    /// Execute nothing, but finalize the task (latency + task count) —
+    /// [`MatchTask::Forward`] and empty term lists.
+    Noop,
+}
+
+/// Per-task accumulator: partial results merge in as units finish, in
+/// whatever order the lanes produce them.
+#[derive(Debug)]
+struct TaskAcc {
+    doc: Arc<move_types::Document>,
+    dispatched: Instant,
+    /// Units of this task not yet merged.
+    remaining: usize,
+    /// Concatenated per-unit matches; canonicalized at finalize.
+    matched: Vec<move_types::FilterId>,
+    postings_scanned: u64,
+}
+
+/// Counters of one completed batch, absorbed into the worker's own
+/// counters after the batch (so the worker's snapshot and
+/// [`WorkerFinal`](crate::worker) merging stay unchanged).
+#[derive(Debug, Default)]
+pub(crate) struct BatchTotals {
+    pub(crate) doc_tasks: u64,
+    pub(crate) postings_scanned: u64,
+    pub(crate) delivered: u64,
+    pub(crate) steals: u64,
+    pub(crate) units: u64,
+    /// Per-task dispatch→finalize latencies, nanoseconds.
+    pub(crate) latencies: Vec<u64>,
+}
+
+/// Everything the lanes share, guarded by the pool's one mutex.
+#[derive(Debug)]
+struct PoolState {
+    /// The serving shard the active batch matches against — the snapshot
+    /// taken at [`MatchPool::begin_batch`]; an `AllocationUpdate` queued
+    /// behind the batch cannot bleed into it.
+    index: Option<Arc<InvertedIndex>>,
+    /// One work deque per lane.
+    deques: Vec<VecDeque<Unit>>,
+    tasks: Vec<TaskAcc>,
+    /// Units not yet merged (queued plus in flight).
+    remaining: usize,
+    /// Units sitting in deques (equals `remaining` under the harness,
+    /// where a step executes its unit atomically).
+    queued: usize,
+    /// Harness-injected lane deaths: a crashed lane is never stepped
+    /// again, but its queued units stay stealable, so the batch still
+    /// completes exactly.
+    crashed: Vec<bool>,
+    totals: BatchTotals,
+    /// Set at worker exit; parks helper lane threads permanently.
+    shutdown: bool,
+}
+
+/// The work-stealing pool owned by one node worker. See the module docs.
+#[derive(Debug)]
+pub(crate) struct MatchPool {
+    node: NodeId,
+    deliveries: Sender<Delivery>,
+    lanes: usize,
+    state: Mutex<PoolState>,
+    /// Signals helper lanes that a batch was queued (or shutdown set).
+    work: Condvar,
+    /// Signals the batch owner that `remaining` hit zero.
+    done: Condvar,
+}
+
+impl MatchPool {
+    pub(crate) fn new(node: NodeId, lanes: usize, deliveries: Sender<Delivery>) -> Self {
+        let lanes = lanes.max(1);
+        Self {
+            node,
+            deliveries,
+            lanes,
+            state: Mutex::new(PoolState {
+                index: None,
+                deques: (0..lanes).map(|_| VecDeque::new()).collect(),
+                tasks: Vec::new(),
+                remaining: 0,
+                queued: 0,
+                crashed: vec![false; lanes],
+                totals: BatchTotals::default(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Whether a batch is in flight (units not yet merged).
+    pub(crate) fn busy(&self) -> bool {
+        self.state.lock().remaining > 0
+    }
+
+    /// Whether a lane was crashed by the harness.
+    pub(crate) fn lane_crashed(&self, lane: usize) -> bool {
+        self.state.lock().crashed.get(lane).copied().unwrap_or(true)
+    }
+
+    /// Harness fault injection: permanently deschedules `lane`. Lane 0 is
+    /// the worker thread itself — it cannot die without the whole worker
+    /// crashing — so crashing it is refused.
+    pub(crate) fn crash_lane(&self, lane: usize) {
+        if lane == 0 || lane >= self.lanes {
+            return;
+        }
+        self.state.lock().crashed[lane] = true;
+    }
+
+    /// Splits `batch` into units against the `index` snapshot and deals
+    /// them round-robin across the lane deques. Must not be called while a
+    /// batch is in flight — the worker completes each batch before
+    /// touching its mailbox again.
+    pub(crate) fn begin_batch(&self, index: &Arc<InvertedIndex>, batch: Vec<DocTask>) {
+        let semantics = index.semantics();
+        let mut st = self.state.lock();
+        debug_assert_eq!(st.remaining, 0, "previous batch still in flight");
+        st.index = Some(Arc::clone(index));
+        st.tasks.clear();
+        let mut dealt = 0usize;
+        for task in batch {
+            let slot = st.tasks.len();
+            let mut units = 0usize;
+            let mut push = |st: &mut PoolState, kind: UnitKind| {
+                st.deques[dealt % self.lanes].push_back(Unit { task: slot, kind });
+                dealt += 1;
+                units += 1;
+            };
+            match &task.task {
+                MatchTask::Forward => push(&mut st, UnitKind::Noop),
+                MatchTask::Terms(terms) => {
+                    if terms.is_empty() {
+                        push(&mut st, UnitKind::Noop);
+                    } else {
+                        for chunk in terms.chunks(TERM_CHUNK) {
+                            push(&mut st, UnitKind::RoutedTerms(chunk.to_vec()));
+                        }
+                    }
+                }
+                MatchTask::FullIndex => match semantics {
+                    MatchSemantics::Boolean => {
+                        let n = task.doc.terms().len();
+                        if n == 0 {
+                            push(&mut st, UnitKind::Noop);
+                        } else {
+                            let mut start = 0;
+                            while start < n {
+                                let end = (start + TERM_CHUNK).min(n);
+                                push(&mut st, UnitKind::DocTerms(start, end));
+                                start = end;
+                            }
+                        }
+                    }
+                    MatchSemantics::SimilarityThreshold(_) => push(&mut st, UnitKind::FullDoc),
+                },
+            }
+            st.tasks.push(TaskAcc {
+                doc: task.doc,
+                dispatched: task.dispatched,
+                remaining: units,
+                matched: Vec::new(),
+                postings_scanned: 0,
+            });
+        }
+        st.remaining = dealt;
+        st.queued = dealt;
+        drop(st);
+        self.work.notify_all();
+    }
+
+    /// One scheduling quantum of `lane`: pop the lane's own deque, steal
+    /// the back half of the longest other deque if it is empty, execute
+    /// the unit against the batch snapshot, and merge the partial result —
+    /// finalizing the task (canonical sort+dedup, delivery, latency) when
+    /// its last unit lands, and the batch when *its* last unit lands.
+    pub(crate) fn step_lane(&self, lane: usize, ctx: &mut LaneCtx) -> LaneStep {
+        let mut st = self.state.lock();
+        if st.remaining == 0 || st.crashed[lane] {
+            return LaneStep::Idle;
+        }
+        let unit = match st.deques[lane].pop_front() {
+            Some(u) => u,
+            None => {
+                // Steal half: victim is the longest deque (lowest index
+                // breaks ties — a pure function of state, so the harness
+                // schedule fully determines every steal).
+                let victim = (0..self.lanes)
+                    .filter(|&v| v != lane)
+                    .max_by_key(|&v| (st.deques[v].len(), usize::MAX - v));
+                let Some(v) = victim.filter(|&v| !st.deques[v].is_empty()) else {
+                    return LaneStep::Idle; // all in flight on other lanes
+                };
+                let keep = st.deques[v].len() / 2;
+                let mut stolen = st.deques[v].split_off(keep);
+                std::mem::swap(&mut stolen, &mut st.deques[lane]);
+                debug_assert!(stolen.is_empty());
+                st.totals.steals += 1;
+                match st.deques[lane].pop_front() {
+                    Some(u) => u,
+                    None => return LaneStep::Idle, // unreachable: stole ≥ 1
+                }
+            }
+        };
+        // A dequeued unit implies an active batch, whose snapshot is
+        // installed by `begin_batch` before any unit is dealt.
+        let Some(index) = st.index.as_ref().map(Arc::clone) else {
+            debug_assert!(false, "active batch has no snapshot");
+            st.deques[lane].push_front(unit);
+            return LaneStep::Idle;
+        };
+        st.queued -= 1;
+        let doc = Arc::clone(&st.tasks[unit.task].doc);
+        drop(st);
+
+        // Execute outside the lock — this is the parallel section.
+        let out = &mut ctx.outcome;
+        out.clear();
+        match &unit.kind {
+            UnitKind::RoutedTerms(terms) => index.match_terms_into(&doc, terms, out),
+            UnitKind::DocTerms(s, e) => index.match_terms_into(&doc, &doc.terms()[*s..*e], out),
+            UnitKind::FullDoc => index.match_document_into(&doc, &mut ctx.scratch, out),
+            UnitKind::Noop => {}
+        }
+
+        let mut st = self.state.lock();
+        let finalize = {
+            let t = &mut st.tasks[unit.task];
+            t.matched.extend_from_slice(&out.matched);
+            t.postings_scanned += out.postings_scanned;
+            t.remaining -= 1;
+            t.remaining == 0
+        };
+        st.totals.units += 1;
+        if finalize {
+            let (doc_id, dispatched, postings, mut matched) = {
+                let t = &mut st.tasks[unit.task];
+                (
+                    t.doc.id(),
+                    t.dispatched,
+                    t.postings_scanned,
+                    std::mem::take(&mut t.matched),
+                )
+            };
+            st.totals.doc_tasks += 1;
+            st.totals.postings_scanned += postings;
+            let nanos = u64::try_from(dispatched.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            st.totals.latencies.push(nanos);
+            if !matched.is_empty() {
+                // The same canonicalization as the serial worker: sorted,
+                // deduplicated — identical bytes for every merge order.
+                ctx.scratch.sort_dedup(&mut matched);
+                st.totals.delivered += matched.len() as u64;
+                let _ = self.deliveries.send(Delivery {
+                    doc: doc_id,
+                    node: self.node,
+                    matched,
+                });
+            }
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            st.index = None;
+            drop(st);
+            self.done.notify_all();
+        }
+        LaneStep::Worked
+    }
+
+    /// Blocks until the active batch completes (threaded driver only; the
+    /// harness polls [`MatchPool::busy`] instead).
+    pub(crate) fn wait_done(&self) {
+        let mut st = self.state.lock();
+        while st.remaining > 0 {
+            self.done.wait(&mut st);
+        }
+    }
+
+    /// Swaps out the finished batch's counters for the worker to absorb.
+    pub(crate) fn take_totals(&self) -> BatchTotals {
+        std::mem::take(&mut self.state.lock().totals)
+    }
+
+    /// The helper-lane OS-thread loop (lanes `1..lanes` of the threaded
+    /// driver): park until a batch is dealt, then step until nothing is
+    /// left to pop or steal.
+    pub(crate) fn run_lane(self: &Arc<Self>, lane: usize) {
+        let mut ctx = LaneCtx::default();
+        loop {
+            {
+                let mut st = self.state.lock();
+                while !st.shutdown && st.queued == 0 {
+                    self.work.wait(&mut st);
+                }
+                if st.shutdown {
+                    return;
+                }
+            }
+            while self.step_lane(lane, &mut ctx) == LaneStep::Worked {}
+        }
+    }
+
+    /// Parks every helper lane permanently (worker exit).
+    pub(crate) fn shutdown_lanes(&self) {
+        self.state.lock().shutdown = true;
+        self.work.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use move_types::{Document, Filter, FilterId};
+
+    fn pool_of(lanes: usize) -> (Arc<MatchPool>, crossbeam::channel::Receiver<Delivery>) {
+        // xtask:allow-unbounded — drained synchronously by the test.
+        let (tx, rx) = unbounded();
+        (Arc::new(MatchPool::new(NodeId(0), lanes, tx)), rx)
+    }
+
+    fn index_with(filters: &[Filter]) -> Arc<InvertedIndex> {
+        let mut idx = InvertedIndex::new(MatchSemantics::Boolean);
+        for f in filters {
+            idx.insert(f.clone());
+        }
+        Arc::new(idx)
+    }
+
+    fn task(doc: Document, t: MatchTask) -> DocTask {
+        DocTask {
+            doc: Arc::new(doc),
+            task: t,
+            dispatched: Instant::now(),
+        }
+    }
+
+    /// Drives every queued unit on one lane — the degenerate schedule.
+    fn drain_on(pool: &MatchPool, lane: usize) {
+        let mut ctx = LaneCtx::default();
+        while pool.step_lane(lane, &mut ctx) == LaneStep::Worked {}
+        assert!(
+            !pool.busy(),
+            "single-threaded drain must complete the batch"
+        );
+    }
+
+    #[test]
+    fn a_batch_on_one_lane_matches_serially() {
+        let idx = index_with(&[
+            Filter::new(1u64, [TermId(3)]),
+            Filter::new(2u64, [TermId(3), TermId(4)]),
+        ]);
+        let (pool, rx) = pool_of(4);
+        let doc = Document::from_distinct_terms(9u64, [TermId(3), TermId(4)]);
+        pool.begin_batch(&idx, vec![task(doc, MatchTask::FullIndex)]);
+        drain_on(&pool, 0);
+        let d = rx.try_recv().unwrap();
+        assert_eq!(d.matched, vec![FilterId(1), FilterId(2)]);
+        let totals = pool.take_totals();
+        assert_eq!(totals.doc_tasks, 1);
+        assert_eq!(totals.delivered, 2);
+        assert_eq!(totals.postings_scanned, 3);
+        assert_eq!(totals.latencies.len(), 1);
+    }
+
+    #[test]
+    fn stealing_lane_completes_anothers_deque() {
+        let idx = index_with(&[Filter::new(1u64, [TermId(1)])]);
+        let (pool, rx) = pool_of(2);
+        let batch: Vec<DocTask> = (0..6u64)
+            .map(|i| {
+                task(
+                    Document::from_distinct_terms(i, [TermId(1)]),
+                    MatchTask::Terms(vec![TermId(1)]),
+                )
+            })
+            .collect();
+        pool.begin_batch(&idx, batch);
+        // Lane 1 alone must steal lane 0's deals and finish everything.
+        drain_on(&pool, 1);
+        let totals = pool.take_totals();
+        assert_eq!(totals.doc_tasks, 6);
+        assert!(
+            totals.steals >= 1,
+            "lane 1 can only reach lane 0's units by stealing"
+        );
+        assert_eq!(rx.try_iter().count(), 6);
+    }
+
+    #[test]
+    fn crashed_lane_units_are_stolen_dry() {
+        let idx = index_with(&[Filter::new(1u64, [TermId(1)])]);
+        let (pool, rx) = pool_of(3);
+        let batch: Vec<DocTask> = (0..9u64)
+            .map(|i| {
+                task(
+                    Document::from_distinct_terms(i, [TermId(1)]),
+                    MatchTask::Terms(vec![TermId(1)]),
+                )
+            })
+            .collect();
+        pool.begin_batch(&idx, batch);
+        pool.crash_lane(2);
+        let mut ctx = LaneCtx::default();
+        assert_eq!(
+            pool.step_lane(2, &mut ctx),
+            LaneStep::Idle,
+            "dead lane never works"
+        );
+        drain_on(&pool, 0);
+        assert_eq!(pool.take_totals().doc_tasks, 9);
+        assert_eq!(rx.try_iter().count(), 9);
+    }
+
+    #[test]
+    fn crash_lane_refuses_lane_zero() {
+        let (pool, _rx) = pool_of(2);
+        pool.crash_lane(0);
+        assert!(!pool.lane_crashed(0), "lane 0 is the worker thread itself");
+        pool.crash_lane(7);
+        assert!(pool.lane_crashed(7), "out-of-range lanes read as dead");
+    }
+
+    #[test]
+    fn forward_tasks_finalize_without_matching() {
+        let idx = index_with(&[Filter::new(1u64, [TermId(1)])]);
+        let (pool, rx) = pool_of(2);
+        let doc = Document::from_distinct_terms(5u64, [TermId(1)]);
+        pool.begin_batch(&idx, vec![task(doc, MatchTask::Forward)]);
+        drain_on(&pool, 0);
+        let totals = pool.take_totals();
+        assert_eq!(totals.doc_tasks, 1);
+        assert_eq!(totals.delivered, 0);
+        assert_eq!(totals.latencies.len(), 1);
+        assert!(rx.try_recv().is_err());
+    }
+}

@@ -55,6 +55,7 @@ mod ingest;
 /// Deterministic schedule-permutation harness over the same router/worker
 /// code the threaded engine runs.
 pub mod interleave;
+mod lanes;
 mod message;
 mod metrics;
 /// Live partition rebalancing: staged node joins committed under load.
@@ -62,7 +63,7 @@ pub mod rebalance;
 mod supervisor;
 mod worker;
 
-pub use config::{OverflowPolicy, RuntimeConfig};
+pub use config::{BatchPolicy, OverflowPolicy, RuntimeConfig};
 pub use engine::Engine;
 pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use message::{Delivery, DocTask, NodeMessage};

@@ -22,6 +22,14 @@ pub struct NodeMetrics {
     /// Queued document tasks destroyed by an injected crash (0 on a
     /// healthy node).
     pub tasks_lost: u64,
+    /// Work-stealing steals performed by this node's match lanes (0 when
+    /// [`crate::RuntimeConfig::match_lanes`] is 1).
+    #[serde(default)]
+    pub steals: u64,
+    /// Chunked match units executed by this node's match lanes (0 when
+    /// matching runs inline on the worker thread).
+    #[serde(default)]
+    pub lane_units: u64,
     /// Wall-clock latency from router dispatch to match completion,
     /// nanoseconds.
     pub latency: LatencySummary,
@@ -43,6 +51,11 @@ pub struct IngestMetrics {
     /// during a join's handover window.
     #[serde(default)]
     pub docs_double_routed: u64,
+    /// Highest batch limit this thread's adaptive controller reached
+    /// (equals the fixed batch size under
+    /// [`crate::BatchPolicy::Fixed`]).
+    #[serde(default)]
+    pub batch_limit_hwm: u64,
 }
 
 /// What [`crate::Engine::shutdown`] returns.
@@ -109,6 +122,10 @@ pub struct RuntimeReport {
     /// serial-vs-parallel equivalence suite assert the sharded accumulators
     /// merged to the same totals the serial observer would have produced.
     pub q_hits: Vec<u64>,
+    /// Highest per-node batch limit any dispatcher's adaptive controller
+    /// reached (the router's own, maxed with every ingest thread's).
+    #[serde(default)]
+    pub batch_limit_hwm: u64,
     /// Per-node counters, indexed by node id (a node restarted mid-run
     /// reports the merged counters of all its incarnations).
     pub nodes: Vec<NodeMetrics>,
@@ -127,5 +144,11 @@ impl RuntimeReport {
     #[must_use]
     pub fn deliveries(&self) -> u64 {
         self.nodes.iter().map(|n| n.deliveries).sum()
+    }
+
+    /// Total work-stealing steals across the cluster's match lanes.
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.nodes.iter().map(|n| n.steals).sum()
     }
 }

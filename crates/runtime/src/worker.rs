@@ -4,6 +4,15 @@
 //! drivers can share it verbatim: the OS-thread loop of [`Worker::run`]
 //! (the production engine) and the single-stepped [`Worker::try_step`] the
 //! deterministic interleaving harness uses to explore message orders.
+//!
+//! With [`RuntimeConfig::match_lanes`](crate::RuntimeConfig) > 1 the
+//! worker fans each document batch out over a work-stealing
+//! [`MatchPool`] instead of matching inline; the batch completes before
+//! the next mailbox message is handled, so the mailbox's FIFO semantics
+//! (allocation updates ordered behind batches, crashes landing mid-drain)
+//! are unchanged. The threaded driver parks `match_lanes - 1` helper
+//! threads on the pool; the harness single-steps lanes via
+//! [`Worker::step_lane`].
 
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use move_core::MatchTask;
@@ -14,6 +23,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::fault::FaultAction;
+use crate::lanes::{BatchTotals, LaneCtx, LaneStep, MatchPool};
 use crate::message::{Delivery, DocTask, NodeMessage};
 use crate::metrics::NodeMetrics;
 
@@ -63,15 +73,40 @@ pub(crate) struct Worker {
     /// a delivery is actually produced.
     scratch: MatchScratch,
     outcome: MatchOutcome,
+    /// The work-stealing match pool (`None` with one lane — inline match).
+    pool: Option<Arc<MatchPool>>,
+    /// Per-lane kernel buffers for harness-driven lane steps (the threaded
+    /// helper threads own their own).
+    lane_ctxs: Vec<LaneCtx>,
+    /// `true` when an external scheduler steps the lanes
+    /// ([`Worker::step_lane`]); the worker then *begins* pool batches in
+    /// [`Worker::handle`] instead of driving them to completion.
+    external_lanes: bool,
+    /// Steals performed by this worker's lanes (absorbed batch totals).
+    steals: u64,
+    /// Chunked units executed by this worker's lanes.
+    lane_units: u64,
 }
 
 impl Worker {
-    pub(crate) fn new(
+    /// A worker whose batches fan out over `lanes` match lanes (1 =
+    /// inline matching, no pool at all). With
+    /// `external_lanes`, lane steps are driven by the caller (the
+    /// interleaving harness) instead of helper threads.
+    pub(crate) fn with_lanes(
         node: NodeId,
         index: Arc<InvertedIndex>,
         mailbox: Receiver<NodeMessage>,
         deliveries: Sender<Delivery>,
+        lanes: usize,
+        external_lanes: bool,
     ) -> Self {
+        let pool = (lanes > 1).then(|| Arc::new(MatchPool::new(node, lanes, deliveries.clone())));
+        let lane_ctxs = if external_lanes && pool.is_some() {
+            (0..lanes).map(|_| LaneCtx::default()).collect()
+        } else {
+            Vec::new()
+        };
         Self {
             node,
             index,
@@ -88,6 +123,11 @@ impl Worker {
             latency: LatencyHistogram::new(),
             scratch: MatchScratch::new(),
             outcome: MatchOutcome::default(),
+            pool,
+            lane_ctxs,
+            external_lanes,
+            steals: 0,
+            lane_units: 0,
         }
     }
 
@@ -96,6 +136,22 @@ impl Worker {
     /// behind any queued work, and a disconnected channel is only reported
     /// once empty.
     pub(crate) fn run(mut self) -> WorkerFinal {
+        // Helper lanes 1..n; the worker thread itself is lane 0. A refused
+        // thread spawn degrades capacity, not correctness — lane 0 alone
+        // completes every batch.
+        let mut helpers = Vec::new();
+        if let Some(pool) = &self.pool {
+            for lane in 1..pool.lanes() {
+                let p = Arc::clone(pool);
+                let name = format!("move-node-{}-lane-{lane}", self.node);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || p.run_lane(lane))
+                {
+                    helpers.push(h);
+                }
+            }
+        }
         loop {
             self.queue_depth_hwm = self.queue_depth_hwm.max(self.mailbox.len() as u64);
             let Ok(msg) = self.mailbox.recv() else {
@@ -105,13 +161,26 @@ impl Worker {
                 break;
             }
         }
+        if let Some(pool) = &self.pool {
+            pool.shutdown_lanes();
+        }
+        for h in helpers {
+            let _ = h.join();
+        }
         self.finish()
     }
 
     /// Dequeues and handles at most one message — the interleaving
     /// harness's scheduling quantum. Equivalent to one iteration of
-    /// [`Worker::run`], minus the blocking wait.
+    /// [`Worker::run`], minus the blocking wait. Must not be called while
+    /// [`Worker::pool_busy`] — the threaded worker completes each batch
+    /// before its next receive, and the harness scheduler mirrors that by
+    /// stepping lanes instead.
     pub(crate) fn try_step(&mut self) -> WorkerStep {
+        debug_assert!(
+            !self.pool_busy(),
+            "mailbox stepped while a batch is in flight"
+        );
         self.queue_depth_hwm = self.queue_depth_hwm.max(self.mailbox.len() as u64);
         match self.mailbox.try_recv() {
             Ok(msg) => {
@@ -124,6 +193,49 @@ impl Worker {
             Err(TryRecvError::Empty) => WorkerStep::Empty,
             Err(TryRecvError::Disconnected) => WorkerStep::Stopped,
         }
+    }
+
+    /// Whether the worker's pool has a batch in flight (always `false`
+    /// without a pool, and outside harness mode — the threaded driver
+    /// never returns control mid-batch).
+    pub(crate) fn pool_busy(&self) -> bool {
+        self.pool.as_ref().is_some_and(|p| p.busy())
+    }
+
+    /// Match lanes of this worker (1 = inline matching).
+    pub(crate) fn lane_count(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.lanes())
+    }
+
+    /// Whether `lane` was crashed by the harness.
+    pub(crate) fn lane_crashed(&self, lane: usize) -> bool {
+        self.pool.as_ref().is_some_and(|p| p.lane_crashed(lane))
+    }
+
+    /// Harness fault injection: permanently deschedule one helper lane
+    /// (lane 0, the worker thread itself, is refused by the pool).
+    pub(crate) fn crash_lane(&self, lane: usize) {
+        if let Some(pool) = &self.pool {
+            pool.crash_lane(lane);
+        }
+    }
+
+    /// One harness scheduling quantum of match lane `lane`: pop / steal /
+    /// execute / merge one unit, absorbing the batch's counters into the
+    /// worker when its last unit lands. Returns whether the lane worked.
+    pub(crate) fn step_lane(&mut self, lane: usize) -> bool {
+        let Some(pool) = self.pool.clone() else {
+            return false;
+        };
+        let Some(ctx) = self.lane_ctxs.get_mut(lane) else {
+            return false;
+        };
+        let worked = pool.step_lane(lane, ctx) == LaneStep::Worked;
+        if !pool.busy() {
+            let totals = pool.take_totals();
+            self.absorb(totals);
+        }
+        worked
     }
 
     /// Applies one protocol message to the worker state. Returns `false`
@@ -143,8 +255,15 @@ impl Worker {
                 }
             }
             NodeMessage::PublishDocument { batch } => {
-                for task in batch {
-                    self.execute(task);
+                // The pool path skips [`FaultAction::Slow`] workers: the
+                // injected per-task delay models a degraded machine, which
+                // parallel lanes would mask — matching stays inline there.
+                if self.pool.is_some() && self.slow.is_none() {
+                    self.pool_batch(batch);
+                } else {
+                    for task in batch {
+                        self.execute(task);
+                    }
                 }
             }
             NodeMessage::AllocationUpdate { index } => {
@@ -174,6 +293,53 @@ impl Worker {
             NodeMessage::Shutdown => return false,
         }
         true
+    }
+
+    /// Fans a batch out over the match pool. In the threaded driver the
+    /// worker participates as lane 0 and blocks until the batch completes;
+    /// in harness mode the batch is only *begun* — the scheduler steps the
+    /// lanes via [`Worker::step_lane`].
+    fn pool_batch(&mut self, batch: Vec<DocTask>) {
+        // The sole caller guards on `self.pool.is_some()`; matching inline
+        // is the correct degraded behaviour if that invariant ever breaks.
+        let Some(pool) = self.pool.as_ref().map(Arc::clone) else {
+            debug_assert!(false, "pool path requires a pool");
+            for task in batch {
+                self.execute(task);
+            }
+            return;
+        };
+        pool.begin_batch(&self.index, batch);
+        if self.external_lanes {
+            return;
+        }
+        let mut ctx = LaneCtx::default();
+        std::mem::swap(&mut ctx.scratch, &mut self.scratch);
+        loop {
+            match pool.step_lane(0, &mut ctx) {
+                LaneStep::Worked => {}
+                LaneStep::Idle => {
+                    pool.wait_done();
+                    break;
+                }
+            }
+        }
+        std::mem::swap(&mut ctx.scratch, &mut self.scratch);
+        let totals = pool.take_totals();
+        self.absorb(totals);
+    }
+
+    /// Folds a completed batch's pool counters into the worker's own, so
+    /// snapshots and finals look exactly like the inline path's.
+    fn absorb(&mut self, totals: BatchTotals) {
+        self.doc_tasks += totals.doc_tasks;
+        self.postings_scanned += totals.postings_scanned;
+        self.delivered += totals.delivered;
+        self.steals += totals.steals;
+        self.lane_units += totals.units;
+        for nanos in totals.latencies {
+            self.latency.record(nanos);
+        }
     }
 
     /// An injected crash: whatever is still queued dies with the worker.
@@ -244,6 +410,8 @@ impl Worker {
             deliveries: self.delivered,
             queue_depth_hwm: self.queue_depth_hwm,
             tasks_lost: self.tasks_lost,
+            steals: self.steals,
+            lane_units: self.lane_units,
             latency: self.latency.summary(),
         }
     }

@@ -357,6 +357,7 @@ fn is_protocol_dispatch(path: &str) -> bool {
     matches!(
         path,
         "crates/runtime/src/worker.rs"
+            | "crates/runtime/src/lanes.rs"
             | "crates/runtime/src/engine.rs"
             | "crates/runtime/src/interleave.rs"
             | "crates/runtime/src/fault.rs"
@@ -612,7 +613,13 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 ///   `live`, integer `publishers` ≥ 1, `docs_per_sec` > 0, `speedup` > 0,
 ///   and `deliveries_match` = `true` — a `false` means the router pool
 ///   diverged from the serial delivery sets, which is a correctness
-///   failure, not a schema nit, so it fails the check.
+///   failure, not a schema nit, so it fails the check;
+/// * when the optional `lanes` array (the `--match-lanes` sweep over the
+///   workers' work-stealing match pools) is present: each entry has
+///   `scheme` ∈ {`il`, `rs`, `move`}, `mode` = `live`, integer `lanes` ≥
+///   1, `docs_per_sec` > 0, `speedup` > 0, and `deliveries_match` =
+///   `true` — same correctness gate as the publisher sweep, now over
+///   intra-node lane counts.
 #[must_use]
 pub fn check_bench_report(src: &str) -> Vec<String> {
     use serde::Value;
@@ -715,7 +722,74 @@ pub fn check_bench_report(src: &str) -> Vec<String> {
         }
         Some(v) => errors.push(format!("`scaling` must be an array, found {}", v.kind())),
     }
+    match root.get("lanes") {
+        None => {} // pre-pool reports carry no lane sweep; that is fine
+        Some(Value::Array(lanes)) => {
+            if lanes.is_empty() {
+                errors.push("`lanes` must not be empty when present".to_string());
+            }
+            for (i, entry) in lanes.iter().enumerate() {
+                check_lane_entry(i, entry, &mut errors);
+            }
+        }
+        Some(v) => errors.push(format!("`lanes` must be an array, found {}", v.kind())),
+    }
     errors
+}
+
+/// Validates one entry of the `lanes` (`--match-lanes` sweep) array.
+fn check_lane_entry(i: usize, entry: &serde::Value, errors: &mut Vec<String>) {
+    use serde::Value;
+
+    if !matches!(entry, Value::Object(_)) {
+        errors.push(format!(
+            "lanes[{i}] must be an object, found {}",
+            entry.kind()
+        ));
+        return;
+    }
+    match entry.get("scheme") {
+        Some(Value::String(s)) if ["il", "rs", "move"].contains(&s.as_str()) => {}
+        Some(Value::String(s)) => errors.push(format!(
+            "lanes[{i}].scheme: `{s}` is not one of [\"il\", \"rs\", \"move\"]"
+        )),
+        Some(v) => errors.push(format!(
+            "lanes[{i}].scheme must be a string, found {}",
+            v.kind()
+        )),
+        None => errors.push(format!("lanes[{i}] missing `scheme`")),
+    }
+    match entry.get("mode") {
+        Some(Value::String(s)) if s == "live" => {}
+        Some(_) => errors.push(format!(
+            "lanes[{i}].mode must be \"live\" (the sweep measures the live pool)"
+        )),
+        None => errors.push(format!("lanes[{i}] missing `mode`")),
+    }
+    match entry.get("lanes").and_then(Value::as_u64) {
+        Some(l) if l >= 1 => {}
+        Some(_) => errors.push(format!("lanes[{i}].lanes must be >= 1")),
+        None => errors.push(format!("lanes[{i}] missing integer `lanes`")),
+    }
+    for field in ["docs_per_sec", "speedup"] {
+        match entry.get(field).and_then(Value::as_f64) {
+            Some(x) if x.is_finite() && x > 0.0 => {}
+            Some(_) => errors.push(format!("lanes[{i}].{field} must be finite and > 0")),
+            None => errors.push(format!("lanes[{i}] missing numeric `{field}`")),
+        }
+    }
+    match entry.get("deliveries_match") {
+        Some(Value::Bool(true)) => {}
+        Some(Value::Bool(false)) => errors.push(format!(
+            "lanes[{i}].deliveries_match is false: the match pool's delivery \
+             sets diverged from the single-lane worker's"
+        )),
+        Some(v) => errors.push(format!(
+            "lanes[{i}].deliveries_match must be a bool, found {}",
+            v.kind()
+        )),
+        None => errors.push(format!("lanes[{i}] missing `deliveries_match`")),
+    }
 }
 
 /// Validates one entry of the `scaling` (`--publishers` sweep) array.
@@ -1181,6 +1255,69 @@ mod tests {
             errors
                 .iter()
                 .any(|e| e.contains("deliveries_match is false")),
+            "{errors:?}"
+        );
+    }
+
+    fn lane_entry(scheme: &str, lanes: u64, speedup: f64, matched: bool) -> String {
+        format!(
+            "{{\"scheme\":\"{scheme}\",\"mode\":\"live\",\"lanes\":{lanes},\
+             \"docs_per_sec\":5000.0,\"speedup\":{speedup},\"deliveries_match\":{matched}}}"
+        )
+    }
+
+    fn report_with_lanes(entries: &[String]) -> String {
+        valid_report().replacen(
+            ",\"runs\":",
+            &format!(",\"lanes\":[{}],\"runs\":", entries.join(",")),
+            1,
+        )
+    }
+
+    #[test]
+    fn bench_report_accepts_a_valid_lane_sweep() {
+        let report = report_with_lanes(&[
+            lane_entry("il", 1, 1.0, true),
+            lane_entry("il", 4, 1.1, true),
+            lane_entry("move", 2, 1.05, true),
+        ]);
+        let errors = check_bench_report(&report);
+        assert!(errors.is_empty(), "unexpected errors: {errors:?}");
+    }
+
+    #[test]
+    fn bench_report_rejects_bad_lane_entries() {
+        let report = report_with_lanes(&[
+            lane_entry("ilx", 0, -1.0, true),
+            "{\"scheme\":\"il\",\"mode\":\"sim\"}".to_string(),
+        ]);
+        let errors = check_bench_report(&report);
+        assert!(errors.iter().any(|e| e.contains("lanes[0].scheme")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("lanes[0].lanes must be >= 1")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("lanes[0].speedup must be finite and > 0")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("lanes[1].mode must be \"live\"")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("lanes[1] missing `deliveries_match`")));
+        assert!(check_bench_report(&report_with_lanes(&[]))
+            .iter()
+            .any(|e| e.contains("`lanes` must not be empty when present")));
+    }
+
+    #[test]
+    fn bench_report_rejects_a_lane_delivery_divergence() {
+        let report = report_with_lanes(&[lane_entry("move", 4, 1.1, false)]);
+        let errors = check_bench_report(&report);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("lanes[0].deliveries_match is false")),
             "{errors:?}"
         );
     }

@@ -56,7 +56,8 @@ fn expected_sets(pre: &[Filter], script: &[ScriptOp]) -> BTreeMap<DocId, BTreeSe
             | ScriptOp::Delay { .. }
             | ScriptOp::PinView { .. }
             | ScriptOp::Join
-            | ScriptOp::CommitJoin => {}
+            | ScriptOp::CommitJoin
+            | ScriptOp::CrashLane { .. } => {}
         }
     }
     out

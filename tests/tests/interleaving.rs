@@ -80,13 +80,15 @@ fn expected_sets(pre: &[Filter], script: &[ScriptOp]) -> BTreeMap<DocId, BTreeSe
             // as a no-op and must not be combined with mid-pin registers.)
             // Joins likewise only move partitions between nodes: the
             // delivery set of every document is unchanged by a staged join,
-            // its handover window, or its commit.
+            // its handover window, or its commit. A crashed match lane only
+            // changes which lane executes the remaining units.
             ScriptOp::Crash(_)
             | ScriptOp::Restart(_)
             | ScriptOp::Delay { .. }
             | ScriptOp::PinView { .. }
             | ScriptOp::Join
-            | ScriptOp::CommitJoin => {}
+            | ScriptOp::CommitJoin
+            | ScriptOp::CrashLane { .. } => {}
         }
     }
     out
@@ -158,6 +160,7 @@ fn block_policy_delivers_exactly_under_all_schedules() {
             }
             let name = scheme.name();
             let icfg = InterleaveConfig {
+                match_lanes: 1,
                 seed,
                 mailbox_capacity: 1 + (seed as usize % 3),
                 overflow: OverflowPolicy::Block,
@@ -203,6 +206,7 @@ fn shed_policy_is_sound_and_balances_the_books() {
             }
             let name = scheme.name();
             let icfg = InterleaveConfig {
+                match_lanes: 1,
                 seed,
                 mailbox_capacity: 1,
                 overflow: OverflowPolicy::Shed,
@@ -267,6 +271,7 @@ fn move_allocation_refresh_races_are_benign() {
         scheme.observe_corpus(&sample);
         scheme.allocate().expect("allocate");
         let icfg = InterleaveConfig {
+            match_lanes: 1,
             seed,
             mailbox_capacity: 2,
             overflow: OverflowPolicy::Block,
@@ -318,6 +323,7 @@ fn registrations_race_arc_shard_refreshes_mid_drain() {
         scheme.observe_corpus(&docs);
         scheme.allocate().expect("allocate");
         let icfg = InterleaveConfig {
+            match_lanes: 1,
             seed,
             mailbox_capacity: 2,
             overflow: OverflowPolicy::Block,
@@ -377,6 +383,7 @@ fn crash_with_restart_is_at_most_once() {
             script.insert(seed as usize % len, ScriptOp::Crash(a));
             script.push(ScriptOp::Restart(a));
             let icfg = InterleaveConfig {
+                match_lanes: 1,
                 seed,
                 mailbox_capacity: 1 + (seed as usize % 3),
                 overflow: OverflowPolicy::Block,
@@ -430,6 +437,7 @@ fn failover_reroutes_documents_to_replicas() {
         script.insert(15, ScriptOp::Crash(b));
         script.insert(1 + seed as usize % 10, ScriptOp::Crash(a));
         let icfg = InterleaveConfig {
+            match_lanes: 1,
             seed,
             mailbox_capacity: 2,
             overflow: OverflowPolicy::Block,
@@ -498,6 +506,7 @@ fn stale_snapshot_suppresses_unpublished_terms_until_refresh() {
             }
             let name = scheme.name();
             let icfg = InterleaveConfig {
+                match_lanes: 1,
                 seed,
                 mailbox_capacity: 1 + (seed as usize % 3),
                 overflow: OverflowPolicy::Block,
@@ -571,6 +580,7 @@ fn stale_snapshot_pin_is_cleared_by_an_allocation_refresh() {
         scheme.observe_corpus(&sample);
         scheme.allocate().expect("allocate");
         let icfg = InterleaveConfig {
+            match_lanes: 1,
             seed,
             mailbox_capacity: 2,
             overflow: OverflowPolicy::Block,
@@ -636,6 +646,7 @@ fn join_during_drain_preserves_exact_delivery() {
             script.insert(2 * len / 3, ScriptOp::CommitJoin);
             script.insert(len / 3, ScriptOp::Join);
             let icfg = InterleaveConfig {
+                match_lanes: 1,
                 seed,
                 mailbox_capacity: 1 + (seed as usize % 3),
                 overflow: OverflowPolicy::Block,
@@ -698,6 +709,7 @@ fn join_races_an_allocation_refresh() {
         script.insert(2 * len / 3, ScriptOp::CommitJoin);
         script.insert(len / 3, ScriptOp::Join);
         let icfg = InterleaveConfig {
+            match_lanes: 1,
             seed,
             mailbox_capacity: 2,
             overflow: OverflowPolicy::Block,
@@ -753,6 +765,7 @@ fn crash_of_joining_node_keeps_old_homes_serving() {
             script.insert(len / 2, ScriptOp::Crash(joiner));
             script.insert(len / 4, ScriptOp::Join);
             let icfg = InterleaveConfig {
+                match_lanes: 1,
                 seed,
                 mailbox_capacity: 2,
                 overflow: OverflowPolicy::Block,
@@ -822,6 +835,7 @@ fn failover_then_original_node_returns() {
                 script.push(ScriptOp::Publish(d.clone()));
             }
             let icfg = InterleaveConfig {
+                match_lanes: 1,
                 seed,
                 mailbox_capacity: 2,
                 overflow: OverflowPolicy::Block,

@@ -1,0 +1,571 @@
+//! Serial-vs-parallel equivalence for the work-stealing match plane: a
+//! worker fanning its batches over N match lanes (chunked posting scans,
+//! steal-half deques, per-lane scratch, canonical merge) must be
+//! **observationally identical** to the serial worker — byte-identical
+//! delivery sets and exact `RuntimeReport` accounting — on every
+//! schedule the deterministic pool-interleaving harness can produce.
+//!
+//! Three layers of evidence:
+//!
+//! 1. A 256-case property per scheme family comparing a pooled run
+//!    against its serial twin, checking the delivered map *and* every
+//!    schedule-independent counter (published, dispatched, shed, lost,
+//!    executed tasks, postings scanned, deliveries).
+//! 2. 60 seeded pool-interleave schedules of the three named races —
+//!    steal-during-allocation-refresh, steal-during-join-handover, and
+//!    lane-crash-mid-batch — each asserting exact delivery.
+//! 3. A 256-case `MatchScratch` aliasing property (two lanes reusing
+//!    scratches never leak dedup state into each other), plus the real
+//!    threaded engine at 4 lanes against its serial twin.
+
+use move_core::{Dissemination, IlScheme, MoveScheme, RsScheme, SystemConfig};
+use move_index::{brute_force, MatchScratch};
+use move_integration_tests::{random_docs, random_filters};
+use move_runtime::interleave::{run_schedule, InterleaveConfig, InterleaveReport, ScriptOp};
+use move_runtime::{Engine, FaultPlan, OverflowPolicy, RuntimeConfig, RuntimeReport};
+use move_types::{DocId, Document, Filter, FilterId, MatchSemantics, NodeId};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+fn build(pick: u8, cfg: &SystemConfig) -> Box<dyn Dissemination + Send> {
+    match pick % 3 {
+        0 => Box::new(MoveScheme::new(cfg.clone()).expect("valid config")),
+        1 => Box::new(IlScheme::new(cfg.clone()).expect("valid config")),
+        _ => Box::new(RsScheme::new(cfg.clone()).expect("valid config")),
+    }
+}
+
+/// Interleaves live registrations among the publishes (every third slot),
+/// so pooled batches race filter installs exactly like the serial runs.
+fn interleaved_script(live: &[Filter], docs: &[Document]) -> Vec<ScriptOp> {
+    let mut script = Vec::with_capacity(live.len() + docs.len());
+    let mut live_iter = live.iter();
+    for (i, d) in docs.iter().enumerate() {
+        if i % 3 == 0 {
+            if let Some(f) = live_iter.next() {
+                script.push(ScriptOp::Register(f.clone()));
+            }
+        }
+        script.push(ScriptOp::Publish(d.clone()));
+    }
+    for f in live_iter {
+        script.push(ScriptOp::Register(f.clone()));
+    }
+    script
+}
+
+/// Brute-force oracle over router order: each document matches exactly the
+/// filters registered before it in the script (plus the pre-registered
+/// set), whatever the schedule and however many lanes execute it.
+fn expected_sets(pre: &[Filter], script: &[ScriptOp]) -> BTreeMap<DocId, BTreeSet<FilterId>> {
+    let mut known: Vec<Filter> = pre.to_vec();
+    let mut out = BTreeMap::new();
+    for op in script {
+        match op {
+            ScriptOp::Register(f) => known.push(f.clone()),
+            ScriptOp::Publish(d) => {
+                let want: BTreeSet<FilterId> = brute_force(&known, d, MatchSemantics::Boolean)
+                    .into_iter()
+                    .collect();
+                out.insert(d.id(), want);
+            }
+            // Joins, pins and lane faults change who computes the answer,
+            // never what the answer is.
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The schedule-independent observables of one run — everything the
+/// equivalence property compares between a serial and a pooled execution.
+/// Deliberately excludes schedule-dependent telemetry (queue HWMs,
+/// latency, steals, lane units).
+#[derive(Debug, PartialEq, Eq)]
+struct Books {
+    delivered: BTreeMap<DocId, BTreeSet<FilterId>>,
+    lost_docs: BTreeSet<DocId>,
+    shed_docs: BTreeSet<DocId>,
+    docs_published: u64,
+    tasks_dispatched: u64,
+    tasks_shed: u64,
+    tasks_lost: u64,
+    doc_tasks: u64,
+    postings_scanned: u64,
+    deliveries: u64,
+}
+
+fn books(out: &InterleaveReport) -> Books {
+    Books {
+        delivered: out.delivered.clone(),
+        lost_docs: out.lost_docs.clone(),
+        shed_docs: out.shed_docs.clone(),
+        docs_published: out.report.docs_published,
+        tasks_dispatched: out.report.tasks_dispatched,
+        tasks_shed: out.report.tasks_shed,
+        tasks_lost: out.report.tasks_lost,
+        doc_tasks: out.report.nodes.iter().map(|n| n.doc_tasks).sum(),
+        postings_scanned: out.report.nodes.iter().map(|n| n.postings_scanned).sum(),
+        deliveries: out.report.nodes.iter().map(|n| n.deliveries).sum(),
+    }
+}
+
+fn lane_units(report: &RuntimeReport) -> u64 {
+    report.nodes.iter().map(|n| n.lane_units).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The core equivalence property, 256 generated cases: for a random
+    /// scheme, workload, lane count, mailbox capacity and batch size, a
+    /// pooled schedule produces byte-identical delivery sets and exactly
+    /// the serial run's books.
+    #[test]
+    fn pooled_lanes_reproduce_the_serial_books(
+        seed in 0u64..1_000_000,
+        lanes in 2usize..5,
+        mailbox in 1usize..4,
+        batch in 1usize..4,
+        pick in 0u8..3,
+        n_filters in 40u64..120,
+        vocab in 20u32..80,
+    ) {
+        let cfg = SystemConfig::small_test();
+        let filters = random_filters(n_filters, vocab, seed);
+        let docs = random_docs(8, vocab + 10, 10, seed ^ 0xD0C);
+        let (pre, live) = filters.split_at(filters.len() / 2);
+        let script = interleaved_script(live, &docs);
+
+        let run = |match_lanes: usize| {
+            let mut scheme = build(pick, &cfg);
+            for f in pre {
+                scheme.register(f).expect("register");
+            }
+            let icfg = InterleaveConfig {
+                seed,
+                mailbox_capacity: mailbox,
+                overflow: OverflowPolicy::Block,
+                batch_size: batch,
+                match_lanes,
+                ..InterleaveConfig::default()
+            };
+            run_schedule(scheme, script.clone(), &icfg)
+                .unwrap_or_else(|e| panic!("seed {seed} lanes {match_lanes}: {e}"))
+        };
+        let serial = run(1);
+        let pooled = run(lanes);
+
+        prop_assert_eq!(
+            books(&serial),
+            books(&pooled),
+            "seed {} pick {} lanes {}: pooled books diverged from serial",
+            seed, pick, lanes
+        );
+        // The pool actually executed the batches (this is not a vacuous
+        // comparison of two serial runs).
+        prop_assert_eq!(lane_units(&serial.report), 0);
+        if pooled.report.tasks_dispatched > 0 {
+            prop_assert!(
+                lane_units(&pooled.report) > 0,
+                "seed {seed}: dispatched tasks but the pool never ran a unit"
+            );
+        }
+        // And both land on the brute-force oracle, not merely on each other.
+        let expected = expected_sets(pre, &script);
+        for d in &docs {
+            let got = pooled.delivered.get(&d.id()).cloned().unwrap_or_default();
+            prop_assert_eq!(
+                &got,
+                &expected[&d.id()],
+                "seed {} lanes {}: doc {} diverged from oracle",
+                seed, lanes, d.id()
+            );
+        }
+    }
+
+    /// Shed accounting stays exact under lanes: with capacity-1 mailboxes
+    /// and the shedding policy, the pooled run sheds *the same batches* as
+    /// the serial run (sheds happen at routing time, before the pool ever
+    /// sees the task) and every delivered set remains sound.
+    #[test]
+    fn pooled_lanes_shed_exactly_like_the_serial_router(
+        seed in 0u64..1_000_000,
+        lanes in 2usize..5,
+        pick in 0u8..3,
+    ) {
+        let cfg = SystemConfig::small_test();
+        let filters = random_filters(80, 40, seed);
+        let docs = random_docs(8, 50, 10, seed ^ 0xD0C);
+        let script: Vec<ScriptOp> = docs.iter().map(|d| ScriptOp::Publish(d.clone())).collect();
+
+        let run = |match_lanes: usize| {
+            let mut scheme = build(pick, &cfg);
+            for f in &filters {
+                scheme.register(f).expect("register");
+            }
+            let icfg = InterleaveConfig {
+                seed,
+                mailbox_capacity: 1,
+                overflow: OverflowPolicy::Shed,
+                batch_size: 1,
+                match_lanes,
+                ..InterleaveConfig::default()
+            };
+            run_schedule(scheme, script.clone(), &icfg)
+                .unwrap_or_else(|e| panic!("seed {seed} lanes {match_lanes}: {e}"))
+        };
+        let serial = run(1);
+        let pooled = run(lanes);
+
+        // Sheds are a router decision and the router is schedule-driven,
+        // so the *sets* can differ between two schedules — but the books
+        // must balance identically: everything dispatched executes, and
+        // every delivery is sound against the full filter set.
+        let executed: u64 = pooled.report.nodes.iter().map(|n| n.doc_tasks).sum();
+        prop_assert_eq!(pooled.report.tasks_dispatched, executed);
+        prop_assert_eq!(
+            pooled.report.tasks_dispatched + pooled.report.tasks_shed,
+            serial.report.tasks_dispatched + serial.report.tasks_shed,
+            "seed {}: routed-task totals diverged under lanes", seed
+        );
+        let expected = expected_sets(&filters, &script);
+        for (doc, got) in &pooled.delivered {
+            prop_assert!(
+                got.is_subset(&expected[doc]),
+                "seed {}: unsound pooled delivery for doc {}", seed, doc
+            );
+        }
+        for d in &docs {
+            if pooled.shed_docs.contains(&d.id()) {
+                continue;
+            }
+            let got = pooled.delivered.get(&d.id()).cloned().unwrap_or_default();
+            prop_assert_eq!(
+                &got, &expected[&d.id()],
+                "seed {}: non-shed doc {} incomplete under lanes", seed, d.id()
+            );
+        }
+    }
+
+    /// Satellite: two lanes reusing their `MatchScratch` buffers across
+    /// interleaved dedup calls never alias state — each call's answer is
+    /// identical to a fresh scratch's, including after the scratches swap
+    /// lanes (the worker swaps scratches into lane contexts per batch) and
+    /// across the dense-bitmap/sparse-sort fallback boundary.
+    #[test]
+    fn scratch_reuse_across_two_lanes_never_aliases(
+        dense_a in prop::collection::vec(0u64..4096, 0..200),
+        dense_b in prop::collection::vec(0u64..4096, 0..200),
+        sparse in prop::collection::vec(0u64..1_000_000_000, 0..20),
+        rounds in 1usize..4,
+    ) {
+        fn naive(ids: &[FilterId]) -> Vec<FilterId> {
+            let set: BTreeSet<FilterId> = ids.iter().copied().collect();
+            set.into_iter().collect()
+        }
+        let to_ids = |xs: &[u64]| -> Vec<FilterId> { xs.iter().map(|&x| FilterId(x)).collect() };
+        // Lane B's working set shares ids with lane A's and adds sparse
+        // outliers, so a leaked bitmap bit in either scratch would
+        // resurrect an id the other lane never saw.
+        let set_a = to_ids(&dense_a);
+        let set_b: Vec<FilterId> = to_ids(&dense_b)
+            .into_iter()
+            .chain(to_ids(&sparse))
+            .chain(set_a.iter().copied().take(set_a.len() / 2))
+            .collect();
+        let want_a = naive(&set_a);
+        let want_b = naive(&set_b);
+
+        let mut lane_a = MatchScratch::new();
+        let mut lane_b = MatchScratch::new();
+        for round in 0..rounds {
+            let mut ids = set_a.clone();
+            lane_a.sort_dedup(&mut ids);
+            prop_assert_eq!(&ids, &want_a, "lane A round {}", round);
+            let mut ids = set_b.clone();
+            lane_b.sort_dedup(&mut ids);
+            prop_assert_eq!(&ids, &want_b, "lane B round {}", round);
+            // Cross over: each lane's scratch now handles the *other*
+            // lane's set, as after a worker/lane scratch swap.
+            let mut ids = set_b.clone();
+            lane_a.sort_dedup(&mut ids);
+            prop_assert_eq!(&ids, &want_b, "lane A crossed round {}", round);
+            let mut ids = set_a.clone();
+            lane_b.sort_dedup(&mut ids);
+            prop_assert_eq!(&ids, &want_a, "lane B crossed round {}", round);
+            std::mem::swap(&mut lane_a, &mut lane_b);
+        }
+    }
+}
+
+/// 20 seeded schedules of lane steals racing MOVE's allocation-refresh
+/// cycle: a short refresh period fires re-allocations while pool batches
+/// are mid-drain, so `AllocationUpdate`s land between pool steps on many
+/// seeds. Delivery must stay exact on every schedule, the refresh cycle
+/// must actually fire, and across the sweep the steal path itself must be
+/// exercised (some lane must steal from a sibling's deque).
+#[test]
+fn steals_race_an_allocation_refresh() {
+    let mut cfg = SystemConfig::small_test();
+    cfg.capacity_per_node = 150; // force real grids
+    cfg.refresh_every_docs = 5; // several refreshes inside the script
+    let filters = random_filters(200, 50, 0x57EA1);
+    let sample = random_docs(30, 60, 10, 0x5A);
+    let docs = random_docs(24, 60, 10, 0xD0C);
+    let script: Vec<ScriptOp> = docs.iter().map(|d| ScriptOp::Publish(d.clone())).collect();
+    let expected = expected_sets(&filters, &script);
+
+    let mut total_steals = 0u64;
+    for seed in 900..920u64 {
+        let mut scheme = MoveScheme::new(cfg.clone()).expect("valid config");
+        for f in &filters {
+            scheme.register(f).expect("register");
+        }
+        scheme.observe_corpus(&sample);
+        scheme.allocate().expect("allocate");
+        let icfg = InterleaveConfig {
+            seed,
+            mailbox_capacity: 2,
+            overflow: OverflowPolicy::Block,
+            batch_size: 2,
+            match_lanes: 3,
+            ..InterleaveConfig::default()
+        };
+        let out = run_schedule(Box::new(scheme), script.clone(), &icfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            out.report.allocation_updates > 0,
+            "seed {seed}: the refresh cycle never fired"
+        );
+        assert!(
+            lane_units(&out.report) > 0,
+            "seed {seed}: the pool never executed a unit"
+        );
+        total_steals += out.report.steals();
+        for d in &docs {
+            let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+            assert_eq!(
+                &got,
+                &expected[&d.id()],
+                "seed {seed}: doc {} wrong across a steal/refresh race",
+                d.id()
+            );
+        }
+    }
+    assert!(
+        total_steals > 0,
+        "the 20-seed sweep never exercised the steal path"
+    );
+}
+
+/// 16 seeded schedules of lane steals racing a join handover: the join is
+/// staged a third into the stream (pool batches still draining pre-join
+/// work), the handover window spans a third of the publishes, and the
+/// commit lands with batches in flight again — all while 3 lanes split
+/// and steal every batch. Delivery must be exact and the join committed
+/// on every schedule.
+#[test]
+fn steals_race_a_join_handover() {
+    let cfg = SystemConfig::small_test();
+    let filters = random_filters(120, 50, 0xA11);
+    let docs = random_docs(21, 60, 10, 0xD0C);
+    let (pre, live) = filters.split_at(filters.len() / 2);
+    let base_script = interleaved_script(live, &docs);
+    let expected = expected_sets(pre, &base_script);
+
+    for kind in 0u8..2 {
+        for seed in 930..938u64 {
+            let mut scheme = build(kind, &cfg);
+            for f in pre {
+                scheme.register(f).expect("register");
+            }
+            let name = scheme.name();
+            let mut script = base_script.clone();
+            let len = script.len();
+            script.insert(2 * len / 3, ScriptOp::CommitJoin);
+            script.insert(len / 3, ScriptOp::Join);
+            let icfg = InterleaveConfig {
+                seed,
+                mailbox_capacity: 2,
+                overflow: OverflowPolicy::Block,
+                batch_size: 1 + (seed as usize % 2),
+                match_lanes: 3,
+                ..InterleaveConfig::default()
+            };
+            let out = run_schedule(scheme, script, &icfg)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            assert_eq!(
+                out.report.joins, 1,
+                "{name} seed {seed}: join not committed"
+            );
+            assert!(out.lost_docs.is_empty(), "{name} lost docs with no crash");
+            assert!(
+                lane_units(&out.report) > 0,
+                "{name} seed {seed}: the pool never executed a unit"
+            );
+            for d in &docs {
+                let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+                assert_eq!(
+                    &got,
+                    &expected[&d.id()],
+                    "{name} seed {seed}: doc {} wrong across the join handover",
+                    d.id()
+                );
+            }
+        }
+    }
+}
+
+/// 24 seeded schedules of lanes crashing mid-batch: helper lanes die while
+/// their deques still hold units (and more batches follow), on two
+/// different nodes and at several stream positions. A dead lane's queued
+/// units stay stealable, so *nothing* may be lost — delivery stays exact
+/// on every schedule and the books balance with equality.
+#[test]
+fn a_lane_crash_mid_batch_never_loses_a_delivery() {
+    let cfg = SystemConfig::small_test();
+    let filters = random_filters(120, 50, 0xC4A5);
+    let docs = random_docs(20, 60, 10, 0xC4A5 ^ 0xD0C);
+    let (pre, live) = filters.split_at(filters.len() / 2);
+    let base_script = interleaved_script(live, &docs);
+    let expected = expected_sets(pre, &base_script);
+
+    for seed in 950..974u64 {
+        let mut scheme = build(1, &cfg); // IL
+        for f in pre {
+            scheme.register(f).expect("register");
+        }
+        let nodes = scheme.cluster().len() as u32;
+        let mut script = base_script.clone();
+        let len = script.len();
+        // Three lane deaths: early, mid and late, on rotating nodes, so
+        // crashes land before, inside and after most batches.
+        script.insert(
+            3 * len / 4,
+            ScriptOp::CrashLane {
+                node: NodeId((seed as u32 + 1) % nodes),
+                lane: 3,
+            },
+        );
+        script.insert(
+            len / 2,
+            ScriptOp::CrashLane {
+                node: NodeId(seed as u32 % nodes),
+                lane: 2,
+            },
+        );
+        script.insert(
+            len / 4,
+            ScriptOp::CrashLane {
+                node: NodeId(seed as u32 % nodes),
+                lane: 1,
+            },
+        );
+        let icfg = InterleaveConfig {
+            seed,
+            mailbox_capacity: 1 + (seed as usize % 3),
+            overflow: OverflowPolicy::Block,
+            batch_size: 1 + (seed as usize % 3),
+            match_lanes: 4,
+            ..InterleaveConfig::default()
+        };
+        let out =
+            run_schedule(scheme, script, &icfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(out.report.docs_published, docs.len() as u64);
+        assert!(
+            out.lost_docs.is_empty(),
+            "seed {seed}: a lane crash lost a doc"
+        );
+        let executed: u64 = out.report.nodes.iter().map(|n| n.doc_tasks).sum();
+        assert_eq!(
+            out.report.tasks_dispatched, executed,
+            "seed {seed}: a lane crash lost a dispatched task"
+        );
+        for d in &docs {
+            let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+            assert_eq!(
+                &got,
+                &expected[&d.id()],
+                "seed {seed}: doc {} wrong after lane crashes",
+                d.id()
+            );
+        }
+    }
+}
+
+/// The threaded engine end to end: real OS lane threads at 4 lanes per
+/// worker against the serial engine on the identical workload. Delivery
+/// sets must be byte-identical (and equal the oracle), the report totals
+/// must agree, and the pooled run must show lane activity.
+#[test]
+fn threaded_lanes_match_the_serial_engine_end_to_end() {
+    let cfg = SystemConfig::small_test();
+    let filters = random_filters(250, 80, 0x1A4E5);
+    let docs = random_docs(120, 100, 12, 0x1A4E5 ^ 0xD0C);
+    let (pre, live) = filters.split_at(filters.len() / 2);
+
+    let run = |match_lanes: usize| {
+        let mut scheme = IlScheme::new(cfg.clone()).expect("valid config");
+        for f in pre {
+            scheme.register(f).expect("register");
+        }
+        let config = RuntimeConfig {
+            mailbox_capacity: 4,
+            overflow: OverflowPolicy::Block,
+            batch_size: 2,
+            flush_interval: Duration::from_millis(1),
+            match_lanes,
+            ..RuntimeConfig::default()
+        };
+        let engine = Engine::start_with_faults(Box::new(scheme), config, FaultPlan::none())
+            .expect("engine starts");
+        let deliveries = engine.deliveries();
+        for f in live {
+            engine.register(f.clone());
+        }
+        for d in &docs {
+            engine.publish(d.clone());
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(engine.shutdown());
+        });
+        let report = match rx.recv_timeout(Duration::from_secs(120)) {
+            Ok(result) => result.expect("clean shutdown"),
+            Err(_) => panic!("lanes={match_lanes} shutdown exceeded 120s: deadlock suspected"),
+        };
+        let mut delivered: BTreeMap<DocId, BTreeSet<FilterId>> = BTreeMap::new();
+        for d in deliveries.try_iter() {
+            delivered.entry(d.doc).or_default().extend(d.matched);
+        }
+        (report, delivered)
+    };
+    let (serial_report, serial_delivered) = run(1);
+    let (pooled_report, pooled_delivered) = run(4);
+
+    assert_eq!(serial_delivered, pooled_delivered, "delivery sets diverged");
+    assert_eq!(pooled_report.docs_published, docs.len() as u64);
+    assert_eq!(
+        pooled_report.tasks_dispatched, serial_report.tasks_dispatched,
+        "dispatch totals diverged under lanes"
+    );
+    assert_eq!(pooled_report.tasks_lost, 0);
+    assert_eq!(
+        lane_units(&serial_report),
+        0,
+        "serial mode must not run a pool"
+    );
+    assert!(
+        lane_units(&pooled_report) > 0,
+        "the 4-lane engine never executed a pool unit"
+    );
+    for d in &docs {
+        let want: BTreeSet<FilterId> = brute_force(&filters, d, MatchSemantics::Boolean)
+            .into_iter()
+            .collect();
+        let got = pooled_delivered.get(&d.id()).cloned().unwrap_or_default();
+        assert_eq!(got, want, "doc {} diverged from oracle under lanes", d.id());
+    }
+}

@@ -115,6 +115,19 @@ fn pool_delivers_the_same_sets_as_the_serial_router() {
                 );
                 let routed: u64 = report.ingest.iter().map(|m| m.docs_routed).sum();
                 assert_eq!(routed, docs.len() as u64, "{name}: pool routed everything");
+                // Fault-free, so the data plane lives entirely in ingest
+                // hands: per-thread counters must sum *exactly* to the
+                // report totals — nothing dispatched or shed off-ledger.
+                let dispatched: u64 = report.ingest.iter().map(|m| m.tasks_dispatched).sum();
+                let shed: u64 = report.ingest.iter().map(|m| m.tasks_shed).sum();
+                assert_eq!(
+                    dispatched, report.tasks_dispatched,
+                    "{name}: per-thread dispatch must sum to the report total"
+                );
+                assert_eq!(
+                    shed, report.tasks_shed,
+                    "{name}: per-thread shed must sum to the report total"
+                );
             } else {
                 assert!(report.ingest.is_empty(), "{name}: serial mode has no pool");
             }
@@ -163,6 +176,18 @@ fn pool_sharded_stats_merge_to_the_serial_totals() {
             report.q_hits.iter().sum::<u64>() > 0,
             "x{publishers}: the statistics observer never fired"
         );
+        if publishers > 1 {
+            let routed: u64 = report.ingest.iter().map(|m| m.docs_routed).sum();
+            assert_eq!(
+                routed, report.docs_published,
+                "x{publishers}: per-thread routing must sum to docs_published"
+            );
+            let dispatched: u64 = report.ingest.iter().map(|m| m.tasks_dispatched).sum();
+            assert_eq!(
+                dispatched, report.tasks_dispatched,
+                "x{publishers}: per-thread dispatch must sum to the report total"
+            );
+        }
         q_hits.push((publishers, report.q_hits));
     }
     for pair in q_hits.windows(2) {
@@ -257,6 +282,12 @@ fn pool_shed_accounting_covers_every_task() {
         2 * docs.len() as u64,
         "per-thread counters must carry the whole data plane"
     );
+    let routed: u64 = report.ingest.iter().map(|m| m.docs_routed).sum();
+    assert_eq!(
+        routed,
+        docs.len() as u64,
+        "per-thread routing must sum to docs_published even while shedding"
+    );
     for (doc, got) in &delivered {
         let d = docs.iter().find(|d| d.id() == *doc).expect("known doc");
         let want: BTreeSet<FilterId> = brute_force(&filters, d, MatchSemantics::Boolean)
@@ -301,8 +332,37 @@ fn pool_crash_restart_stays_at_most_once() {
         report.restarts
     );
     assert_eq!(report.failovers, 0, "restart mode must not fail over");
+    // Every document is still routed exactly once by exactly one ingest
+    // thread, faults or not — the per-thread ledger covers the stream.
+    let routed: u64 = report.ingest.iter().map(|m| m.docs_routed).sum();
+    assert_eq!(
+        routed,
+        docs.len() as u64,
+        "per-thread routing must sum to docs_published under faults"
+    );
 
+    // The report's settle barrier replaces any guess about discovery
+    // latency: it names the published-count at which the last death was
+    // discovered. It can only trip at-or-after the kill point, and every
+    // lost document must sit at-or-before the barrier plus the bounded
+    // in-flight window (pool threads' hands + victim mailboxes) — losses
+    // are confined to the kill window, never the settled tail.
+    let settled = report
+        .deaths_settled_at
+        .expect("a kill plan must discover deaths");
+    assert!(
+        settled >= 60,
+        "deaths cannot settle before they are injected"
+    );
+    assert!(settled <= docs.len() as u64);
+    let in_flight = 4 * (4 * 2 + 1) as u64 + 16; // publishers * (mailbox * batch + hand) + slack
     let lost: BTreeSet<DocId> = report.lost_docs.iter().copied().collect();
+    for id in &lost {
+        assert!(
+            id.0 <= settled + in_flight,
+            "doc {id} lost beyond the settle barrier ({settled}) + in-flight bound"
+        );
+    }
     for d in &docs {
         let want: BTreeSet<FilterId> = brute_force(&filters, d, MatchSemantics::Boolean)
             .into_iter()
