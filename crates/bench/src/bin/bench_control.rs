@@ -1,0 +1,388 @@
+//! Control-plane benchmark: storage and churn throughput of the
+//! filter-aggregation layer (DESIGN.md §12) at million-subscriber scale.
+//!
+//! A Zipf-popular predicate pool ([`move_workload::ChurnWorkload`]) drives
+//! a population of subscribers whose predicates heavily alias each other —
+//! the regime aggregation exists for. For every scheme the harness runs an
+//! *aggregated* configuration against its *verbatim* twin
+//! (`aggregate_filters = false`, the pre-aggregation baseline) fed the
+//! identical operation sequence, and reports per mode:
+//!
+//! * **bytes/filter** — posting-index bytes across all nodes plus the
+//!   aggregation layer's own bookkeeping, over the live population;
+//! * **registrations/sec**, **unregistrations/sec** — single-threaded
+//!   control-operation rates over a sustained churn burst;
+//! * **docs/sec-under-churn** — live-engine publish throughput while the
+//!   population turns over concurrently through the engine's control
+//!   plane.
+//!
+//! Two hard gates ride in the report and are enforced by
+//! `cargo run -p xtask -- check-bench results/BENCH_control.json`:
+//! `deliveries_match` (aggregated deliveries byte-identical to both the
+//! verbatim twin and the brute-force oracle at every probed document) and
+//! `bytes_reduction >= 4` (aggregation must cut storage at least 4× under
+//! the pool's 20× aliasing).
+
+use move_bench::{paper_system, Dataset, Scale, SchemeKind, Table, Workload};
+use move_core::{Dissemination, IlScheme, MoveScheme, RsScheme, SystemConfig};
+use move_index::brute_force;
+use move_runtime::{Engine, RuntimeConfig};
+use move_types::{Document, Filter, FilterId, MatchSemantics, NodeId};
+use move_workload::{ChurnOp, ChurnSpec, ChurnWorkload, MsnSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ControlRun {
+    scheme: &'static str,
+    /// `aggregated` = canonical predicates + fan-out sets;
+    /// `verbatim` = one posting set per subscription (the baseline).
+    mode: &'static str,
+    subscribers: u64,
+    /// Distinct canonical predicates live after the churn burst (equals
+    /// the subscriber count in verbatim mode).
+    canonical_filters: u64,
+    /// (Σ node posting-index bytes + aggregation bookkeeping bytes) per
+    /// live subscriber, after the churn burst.
+    bytes_per_filter: f64,
+    /// Verbatim `bytes_per_filter` over this run's — only on aggregated
+    /// runs, patched once the twin has run.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    bytes_reduction: Option<f64>,
+    /// Wall seconds to bulk-register the initial population (sim-side).
+    bulk_register_secs: f64,
+    registrations_per_sec: f64,
+    unregistrations_per_sec: f64,
+    /// Live-engine publish throughput with churn applied concurrently
+    /// through the control plane.
+    docs_per_sec_under_churn: f64,
+    /// Fraction of live registrations that hit an already-live canonical
+    /// (Subscribe fast path; 0 in verbatim mode).
+    canonical_hit_rate: f64,
+    /// Aggregated deliveries byte-identical to the verbatim twin and the
+    /// brute-force oracle on every probed document.
+    deliveries_match: bool,
+}
+
+#[derive(Serialize)]
+struct ControlReport {
+    scale: f64,
+    nodes: usize,
+    subscribers: u64,
+    predicate_pool: usize,
+    churn_ticks: usize,
+    docs: usize,
+    runs: Vec<ControlRun>,
+}
+
+type DeliveryMap = BTreeMap<u64, Vec<FilterId>>;
+
+/// Builds a scheme, bulk-registers the initial population (timed), and for
+/// MOVE runs the offline observation + proactive allocation (untimed, as
+/// in the paper's setup phase).
+fn setup_scheme(
+    kind: SchemeKind,
+    system: &SystemConfig,
+    initial: &[Filter],
+    sample: &[Document],
+) -> (Box<dyn Dissemination + Send>, f64) {
+    match kind {
+        SchemeKind::Move => {
+            let mut m = MoveScheme::new(system.clone()).expect("valid config");
+            let t0 = Instant::now();
+            for f in initial {
+                m.register(f).expect("bulk register");
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            m.observe_corpus(sample);
+            m.allocate().expect("allocation fits");
+            (Box::new(m), secs)
+        }
+        SchemeKind::Il => {
+            let mut s = IlScheme::new(system.clone()).expect("valid config");
+            let t0 = Instant::now();
+            for f in initial {
+                s.register(f).expect("bulk register");
+            }
+            (Box::new(s), t0.elapsed().as_secs_f64())
+        }
+        SchemeKind::Rs => {
+            let mut s = RsScheme::new(system.clone()).expect("valid config");
+            let t0 = Instant::now();
+            for f in initial {
+                s.register(f).expect("bulk register");
+            }
+            (Box::new(s), t0.elapsed().as_secs_f64())
+        }
+    }
+}
+
+/// Applies one churn op to a sim-side scheme, keeping verbatim mode
+/// semantically identical to aggregated mode: the aggregation layer
+/// displaces a re-registering subscriber internally, the verbatim baseline
+/// needs the explicit leave-then-join.
+fn apply_sim(scheme: &mut dyn Dissemination, live: &mut BTreeSet<u64>, op: &ChurnOp) {
+    match op {
+        ChurnOp::Register(f) => {
+            if !live.insert(f.id().0) {
+                scheme.unregister(f.id()).expect("displace");
+            }
+            scheme.register(f).expect("register");
+        }
+        ChurnOp::Unregister(id) => {
+            live.remove(&id.0);
+            scheme.unregister(*id).expect("unregister");
+        }
+    }
+}
+
+/// Posting-index bytes across the cluster plus the aggregation layer's
+/// own maps, per live subscriber.
+fn bytes_per_filter(scheme: &dyn Dissemination) -> f64 {
+    let nodes = scheme.cluster().len();
+    let index_bytes: u64 = (0..nodes)
+        .map(|n| scheme.node_index(NodeId(n as u32)).estimated_bytes() as u64)
+        .sum();
+    let total = index_bytes + scheme.aggregation_bytes();
+    total as f64 / scheme.registered_filters().max(1) as f64
+}
+
+struct RunOutput {
+    run: ControlRun,
+    deliveries: DeliveryMap,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_mode(
+    kind: SchemeKind,
+    system: &SystemConfig,
+    churn: &ChurnWorkload,
+    seed: u64,
+    sample: &[Document],
+    oracle_docs: &[Document],
+    live_docs: &[Document],
+    ticks: usize,
+    aggregated: bool,
+) -> RunOutput {
+    let mut churn = churn.clone();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let mut system = system.clone();
+    system.aggregate_filters = aggregated;
+    let mode = if aggregated { "aggregated" } else { "verbatim" };
+
+    // Phase 1: bulk registration of the initial population, timed.
+    let initial = churn.initial_filters();
+    let mut live: BTreeSet<u64> = initial.iter().map(|f| f.id().0).collect();
+    let (mut scheme, bulk_register_secs) = setup_scheme(kind, &system, &initial, sample);
+
+    // Phase 2: sustained churn burst, each control op timed individually —
+    // the single-threaded control-plane op rates.
+    let (mut regs, mut unregs) = (0u64, 0u64);
+    let (mut reg_secs, mut unreg_secs) = (0.0f64, 0.0f64);
+    for _ in 0..ticks {
+        for op in churn.tick(&mut rng) {
+            let t = Instant::now();
+            apply_sim(scheme.as_mut(), &mut live, &op);
+            let dt = t.elapsed().as_secs_f64();
+            match op {
+                ChurnOp::Register(_) => {
+                    regs += 1;
+                    reg_secs += dt;
+                }
+                ChurnOp::Unregister(_) => {
+                    unregs += 1;
+                    unreg_secs += dt;
+                }
+            }
+        }
+    }
+    let bpf = bytes_per_filter(scheme.as_ref());
+    let canonical_filters = scheme.canonical_filters();
+
+    // Phase 3: delivery oracle — churn keeps running between probe
+    // documents, every delivery set is checked byte-for-byte against the
+    // brute-force match over the live population, and the map is kept for
+    // the aggregated-vs-verbatim comparison.
+    let mut deliveries = DeliveryMap::new();
+    let mut oracle_ok = true;
+    for (i, d) in oracle_docs.iter().enumerate() {
+        if i % 8 == 7 {
+            for op in churn.tick(&mut rng) {
+                apply_sim(scheme.as_mut(), &mut live, &op);
+            }
+        }
+        let got = scheme.publish(0.0, d).expect("publish").matched;
+        let population: Vec<Filter> = churn.live().collect();
+        let want = brute_force(&population, d, MatchSemantics::Boolean);
+        if got != want {
+            oracle_ok = false;
+        }
+        deliveries.insert(d.id().0, got);
+    }
+
+    // Phase 4: live engine under churn — publish throughput while the
+    // population turns over through the engine's control plane.
+    let engine = Engine::start(scheme, RuntimeConfig::default()).expect("engine starts");
+    let chunk = live_docs.len().div_ceil(ticks.max(1)).max(1);
+    let t0 = Instant::now();
+    for docs in live_docs.chunks(chunk) {
+        for op in churn.tick(&mut rng) {
+            match op {
+                ChurnOp::Register(f) => {
+                    // The live router displaces re-registrations itself in
+                    // aggregated mode; verbatim needs the explicit leave.
+                    if !live.insert(f.id().0) && !aggregated {
+                        engine.unregister(f.id());
+                    }
+                    engine.register(f);
+                }
+                ChurnOp::Unregister(id) => {
+                    live.remove(&id.0);
+                    engine.unregister(id);
+                }
+            }
+        }
+        for d in docs {
+            engine.publish(d.clone());
+        }
+    }
+    engine.flush();
+    let live_elapsed = t0.elapsed().as_secs_f64();
+    let report = engine.shutdown().expect("clean shutdown");
+    let canonical_hit_rate = report.canonical_hits as f64 / report.registrations.max(1) as f64;
+
+    RunOutput {
+        run: ControlRun {
+            scheme: kind.label(),
+            mode,
+            subscribers: live.len() as u64,
+            canonical_filters,
+            bytes_per_filter: bpf,
+            bytes_reduction: None,
+            bulk_register_secs,
+            registrations_per_sec: regs as f64 / reg_secs.max(1e-9),
+            unregistrations_per_sec: unregs as f64 / unreg_secs.max(1e-9),
+            docs_per_sec_under_churn: live_docs.len() as f64 / live_elapsed.max(1e-9),
+            canonical_hit_rate,
+            deliveries_match: oracle_ok,
+        },
+        deliveries,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("bench_control ({scale})");
+    let nodes = 20;
+    let seed = 42u64;
+    // Documents (and the shared vocabulary) come from the standard
+    // WT-calibrated generator; the filter side is the churn pool.
+    let w = Workload::build(scale, Dataset::Wt, 1_000, 100_000, seed);
+    let subscribers = scale.count(1_000_000, 2_000);
+    let spec = ChurnSpec {
+        subscribers,
+        predicate_pool: ((subscribers / 20).max(8) as usize).min(50_000),
+        filter_spec: MsnSpec::scaled(w.vocabulary),
+        ..ChurnSpec::paper()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let churn = ChurnWorkload::new(&spec, &mut rng).expect("churn spec is feasible");
+    let system = paper_system(scale, nodes, w.vocabulary);
+    let oracle_docs: Vec<Document> = w.docs.iter().take(64).cloned().collect();
+    let live_docs: Vec<Document> = w
+        .docs
+        .iter()
+        .skip(oracle_docs.len())
+        .take(scale.count(20_000, 400) as usize)
+        .cloned()
+        .collect();
+    let ticks = 6;
+
+    let mut table = Table::new(
+        "bench_control",
+        &[
+            "scheme",
+            "mode",
+            "subscribers",
+            "canonicals",
+            "bytes_per_filter",
+            "reg_per_s",
+            "unreg_per_s",
+            "docs_per_s",
+            "hit_rate",
+            "match",
+        ],
+    );
+    let mut runs: Vec<ControlRun> = Vec::new();
+    for kind in [SchemeKind::Rs, SchemeKind::Il, SchemeKind::Move] {
+        let mut pair: Vec<RunOutput> = Vec::new();
+        for aggregated in [true, false] {
+            pair.push(run_mode(
+                kind,
+                &system,
+                &churn,
+                seed,
+                &w.sample,
+                &oracle_docs,
+                &live_docs,
+                ticks,
+                aggregated,
+            ));
+        }
+        let twins_match = pair[0].deliveries == pair[1].deliveries;
+        let verbatim_bpf = pair[1].run.bytes_per_filter;
+        for (i, mut out) in pair.into_iter().enumerate() {
+            out.run.deliveries_match &= twins_match;
+            if i == 0 {
+                out.run.bytes_reduction = Some(verbatim_bpf / out.run.bytes_per_filter.max(1e-9));
+            }
+            table.row(&[
+                out.run.scheme.to_owned(),
+                out.run.mode.to_owned(),
+                out.run.subscribers.to_string(),
+                out.run.canonical_filters.to_string(),
+                format!("{:.1}", out.run.bytes_per_filter),
+                format!("{:.0}", out.run.registrations_per_sec),
+                format!("{:.0}", out.run.unregistrations_per_sec),
+                format!("{:.0}", out.run.docs_per_sec_under_churn),
+                format!("{:.3}", out.run.canonical_hit_rate),
+                out.run.deliveries_match.to_string(),
+            ]);
+            println!(
+                "{}/{}: {:.1} B/filter{}, {:.0} reg/s, {:.0} unreg/s, {:.0} docs/s \
+                 under churn, hit rate {:.3}, deliveries_match {}",
+                out.run.scheme,
+                out.run.mode,
+                out.run.bytes_per_filter,
+                out.run
+                    .bytes_reduction
+                    .map(|r| format!(" ({r:.1}x reduction)"))
+                    .unwrap_or_default(),
+                out.run.registrations_per_sec,
+                out.run.unregistrations_per_sec,
+                out.run.docs_per_sec_under_churn,
+                out.run.canonical_hit_rate,
+                out.run.deliveries_match,
+            );
+            runs.push(out.run);
+        }
+    }
+    table.finish();
+
+    let bench = ControlReport {
+        scale: scale.factor,
+        nodes,
+        subscribers,
+        predicate_pool: spec.predicate_pool,
+        churn_ticks: ticks,
+        docs: live_docs.len(),
+        runs,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("report serializes");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_control.json", json).expect("write json report");
+    println!("wrote results/BENCH_control.json");
+}

@@ -23,7 +23,7 @@
 
 mod live;
 
-pub use live::{parse_fault_plan, LiveSession};
+pub use live::{parse_churn_plan, parse_fault_plan, LiveSession};
 
 use move_cluster::FailureMode;
 use move_core::{Dissemination, MoveScheme, SystemConfig};

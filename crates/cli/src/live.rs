@@ -9,7 +9,49 @@ use crate::Command;
 use move_core::{MoveScheme, SystemConfig};
 use move_runtime::{Engine, FaultPlan, RuntimeConfig};
 use move_text::TextPipeline;
-use move_types::TermDictionary;
+use move_types::{Filter, TermDictionary, TermId};
+use move_workload::{ChurnOp, ChurnSpec, ChurnWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Synthetic churn subscribers live far above any interactively registered
+/// filter id, so `stats`/delivery output can tell them apart.
+const CHURN_ID_BASE: u64 = 1 << 40;
+/// Synthetic churn predicates use term ids far above anything the text
+/// pipeline interns, so interactive documents never match the background
+/// population — churn is control-plane load, not delivery noise.
+const CHURN_TERM_BASE: u32 = 1 << 20;
+
+/// Background registration churn riding an interactive live session: a
+/// synthetic subscriber population that turns over through the engine's
+/// control plane while the user publishes.
+#[derive(Debug)]
+struct ChurnState {
+    workload: ChurnWorkload,
+    rng: StdRng,
+}
+
+impl ChurnState {
+    /// Remaps a synthetic filter into the reserved id/term ranges.
+    fn remap(filter: &Filter) -> Filter {
+        Filter::new(
+            CHURN_ID_BASE + filter.id().0,
+            filter.terms().iter().map(|t| TermId(CHURN_TERM_BASE + t.0)),
+        )
+    }
+
+    /// Applies one churn tick through the engine's control plane.
+    fn tick(&mut self, engine: &Engine) {
+        for op in self.workload.tick(&mut self.rng) {
+            match op {
+                ChurnOp::Register(f) => engine.register(Self::remap(&f)),
+                ChurnOp::Unregister(id) => {
+                    engine.unregister(move_types::FilterId(CHURN_ID_BASE + id.0))
+                }
+            }
+        }
+    }
+}
 
 /// Parses a `--fault-plan` spec: `kill=<fraction>@<doc>[,seed=<seed>]`,
 /// e.g. `kill=0.3@10,seed=42` — crash 30% of the `nodes` workers
@@ -41,6 +83,28 @@ pub fn parse_fault_plan(spec: &str, nodes: usize) -> Result<FaultPlan, String> {
     Ok(FaultPlan::kill_fraction(nodes, fraction, at_doc, seed))
 }
 
+/// Parses a `--churn` spec: `<rate>@<pool>`, e.g. `0.02@500` — boot a
+/// synthetic population of 500 subscribers and turn over 2% of it through
+/// the engine's control plane per published document.
+///
+/// # Errors
+///
+/// Returns a usage message when the spec does not parse or the rate is
+/// outside `(0, 1]` / the pool is zero.
+pub fn parse_churn_plan(spec: &str) -> Result<(f64, u64), String> {
+    let usage = || format!("bad churn spec `{spec}`; expected <rate>@<pool>, e.g. 0.02@500");
+    let (rate, pool) = spec.split_once('@').ok_or_else(usage)?;
+    let rate: f64 = rate.parse().map_err(|_| usage())?;
+    let pool: u64 = pool.parse().map_err(|_| usage())?;
+    if !(rate > 0.0 && rate <= 1.0) {
+        return Err(format!("churn rate {rate} must be within (0, 1]"));
+    }
+    if pool == 0 {
+        return Err("churn pool must be positive".into());
+    }
+    Ok((rate, pool))
+}
+
 /// An interactive session over a live [`Engine`].
 ///
 /// Supports the structural subset of the shell: registration, publishing
@@ -57,6 +121,9 @@ pub struct LiveSession {
     /// new node joins the running cluster (live partition rebalancing) and
     /// the trigger clears.
     join_at: Option<u64>,
+    /// `--churn <rate>@<pool>`: a synthetic subscriber population churning
+    /// through the control plane, one tick per published document.
+    churn: Option<ChurnState>,
     /// Set once [`Command::Quit`] has run.
     pub finished: bool,
 }
@@ -119,6 +186,32 @@ impl LiveSession {
         match_lanes: usize,
         join_at: Option<u64>,
     ) -> Result<Self, String> {
+        Self::with_churn(nodes, racks, plan, publishers, match_lanes, join_at, None)
+    }
+
+    /// Boots the live engine with every option plus the `--churn
+    /// <rate>@<pool>` background load: a synthetic population of `pool`
+    /// subscribers is bulk-registered through the control plane at boot,
+    /// and each published document advances one churn tick turning over
+    /// `rate` of the population (registrations, displacements and
+    /// unregistrations riding the engine's aggregation layer; the session
+    /// report shows the control-plane counters at quit). Synthetic
+    /// subscribers use reserved id and term ranges, so they never match
+    /// interactive documents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the cluster configuration is rejected or
+    /// the churn population cannot be generated.
+    pub fn with_churn(
+        nodes: usize,
+        racks: usize,
+        plan: FaultPlan,
+        publishers: usize,
+        match_lanes: usize,
+        join_at: Option<u64>,
+        churn: Option<(f64, u64)>,
+    ) -> Result<Self, String> {
         let config = SystemConfig {
             nodes,
             racks,
@@ -134,12 +227,28 @@ impl LiveSession {
         let scheme = MoveScheme::new(config).map_err(|e| e.to_string())?;
         let engine = Engine::start_with_faults(Box::new(scheme), runtime, plan)
             .map_err(|e| e.to_string())?;
+        let churn = match churn {
+            None => None,
+            Some((rate, pool)) => {
+                let spec = ChurnSpec {
+                    churn_fraction: rate,
+                    ..ChurnSpec::scaled(pool)
+                };
+                let mut rng = StdRng::seed_from_u64(0xC0_D0);
+                let workload = ChurnWorkload::new(&spec, &mut rng).map_err(|e| e.to_string())?;
+                for f in workload.initial_filters() {
+                    engine.register(ChurnState::remap(&f));
+                }
+                Some(ChurnState { workload, rng })
+            }
+        };
         Ok(Self {
             engine: Some(engine),
             pipeline: TextPipeline::default(),
             dict: TermDictionary::new(),
             next_doc: 0,
             join_at,
+            churn,
             finished: false,
         })
     }
@@ -162,6 +271,13 @@ impl LiveSession {
             Command::Publish(text) => {
                 let doc = self.pipeline.document(self.next_doc, &text, &mut self.dict);
                 self.next_doc += 1;
+                // Background churn rides the publish cadence: one tick of
+                // population turnover through the control plane per
+                // document, applied before the publish so the delivery
+                // reflects the post-tick population.
+                if let Some(churn) = self.churn.as_mut() {
+                    churn.tick(engine);
+                }
                 let matched = engine.publish_sync(doc);
                 let mut out = if matched.is_empty() {
                     String::from("no matching filters")
@@ -237,6 +353,17 @@ live-mode commands:
                             out.push_str(&format!(
                                 "\n  ingest t{}: {} docs routed, {} tasks dispatched, {} shed",
                                 m.thread, m.docs_routed, m.tasks_dispatched, m.tasks_shed,
+                            ));
+                        }
+                        if r.registrations + r.unregistrations > 0 {
+                            out.push_str(&format!(
+                                "\n  control plane: {} registrations ({} canonical hits), \
+                                 {} unregistrations, {} canonicals live, {} fan-out bytes",
+                                r.registrations,
+                                r.canonical_hits,
+                                r.unregistrations,
+                                r.canonical_filters,
+                                r.aggregation_bytes,
                             ));
                         }
                         out
@@ -335,6 +462,47 @@ mod tests {
                 "{bad}: {err}"
             );
         }
+    }
+
+    #[test]
+    fn churn_plan_specs_parse_or_explain() {
+        assert_eq!(parse_churn_plan("0.02@500").unwrap(), (0.02, 500));
+        assert_eq!(parse_churn_plan("1@8").unwrap(), (1.0, 8));
+        for bad in [
+            "",
+            "0.02",
+            "fast@500",
+            "0.02@many",
+            "0@500",
+            "1.5@500",
+            "0.02@0",
+        ] {
+            let err = parse_churn_plan(bad).unwrap_err();
+            assert!(err.contains("churn"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn churned_session_stays_exact_and_reports_control_counters() {
+        let mut s =
+            LiveSession::with_churn(6, 2, FaultPlan::none(), 1, 1, None, Some((0.1, 60))).unwrap();
+        assert!(s
+            .run(Command::parse("register 1 rust news").unwrap())
+            .contains("registered f1"));
+        // Interactive deliveries must be untouched by the background
+        // population: churn subscribers live in reserved id/term ranges.
+        for _ in 0..5 {
+            let out = s.run(Command::parse("publish rust shipped a release").unwrap());
+            assert_eq!(out, "delivered to f1", "{out}");
+        }
+        let out = s.run(Command::parse("publish nothing relevant here").unwrap());
+        assert!(out.contains("no matching"), "{out}");
+        let bye = s.run(Command::Quit);
+        assert!(bye.contains("engine drained"), "{bye}");
+        assert!(bye.contains("control plane:"), "{bye}");
+        assert!(bye.contains("registrations"), "{bye}");
+        assert!(bye.contains("canonicals live"), "{bye}");
+        assert!(bye.contains("fan-out bytes"), "{bye}");
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! command language.
 //!
 //! Usage: `move-cli [live] [--fault-plan <spec>] [--publishers <n>]
-//! [--match-lanes <n>] [--join <at-doc>] [nodes] [racks]` — with `live`,
+//! [--match-lanes <n>] [--join <at-doc>] [--churn <rate>@<pool>]
+//! [nodes] [racks]` — with `live`,
 //! commands run on the concurrent `move-runtime` engine instead of the
 //! simulator; `--fault-plan kill=<fraction>@<doc>[,seed=<seed>]` crashes
 //! that share of the workers mid-session so supervised restarts can be
@@ -12,15 +13,19 @@
 //! thread); `--match-lanes <n>` fans each worker's match batches over a
 //! work-stealing pool of `n` match lanes instead of matching inline;
 //! `--join <at-doc>` grows the cluster by one node through the live
-//! rebalancer once that many documents have been published.
+//! rebalancer once that many documents have been published;
+//! `--churn <rate>@<pool>` boots a synthetic population of `pool`
+//! subscribers and turns over `rate` of it through the engine's control
+//! plane per published document (the quit report then shows the
+//! control-plane counters: registrations, canonical hits, fan-out bytes).
 
-use move_cli::{parse_fault_plan, Command, LiveSession, Session};
+use move_cli::{parse_churn_plan, parse_fault_plan, Command, LiveSession, Session};
 use move_runtime::FaultPlan;
 use std::io::{BufRead, Write};
 
 enum Shell {
     Sim(Box<Session>),
-    Live(LiveSession),
+    Live(Box<LiveSession>),
 }
 
 impl Shell {
@@ -49,6 +54,7 @@ fn main() {
     let mut publishers: Option<String> = None;
     let mut match_lanes: Option<String> = None;
     let mut join_spec: Option<String> = None;
+    let mut churn_spec: Option<String> = None;
     let mut positional = Vec::new();
     while let Some(arg) = args.next() {
         if let Some(spec) = arg.strip_prefix("--fault-plan=") {
@@ -78,6 +84,16 @@ fn main() {
                 Some(n) => match_lanes = Some(n),
                 None => {
                     eprintln!("--match-lanes needs a lane count, e.g. --match-lanes 4");
+                    std::process::exit(1);
+                }
+            }
+        } else if let Some(n) = arg.strip_prefix("--churn=") {
+            churn_spec = Some(n.to_owned());
+        } else if arg == "--churn" {
+            match args.next() {
+                Some(n) => churn_spec = Some(n),
+                None => {
+                    eprintln!("--churn needs a spec: <rate>@<pool>, e.g. --churn 0.02@500");
                     std::process::exit(1);
                 }
             }
@@ -137,6 +153,20 @@ fn main() {
         },
         None => None,
     };
+    let churn = match churn_spec.as_deref() {
+        Some(_) if !live => {
+            eprintln!("--churn requires live mode (churn rides the engine's control plane)");
+            std::process::exit(1);
+        }
+        Some(spec) => match parse_churn_plan(spec) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("cannot start: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
     let mut positional = positional.into_iter();
     let nodes = positional.next().and_then(|a| a.parse().ok()).unwrap_or(20);
     let racks = positional.next().and_then(|a| a.parse().ok()).unwrap_or(4);
@@ -155,8 +185,8 @@ fn main() {
         None => FaultPlan::none(),
     };
     let built = if live {
-        LiveSession::with_join(nodes, racks, plan, publishers, match_lanes, join_at)
-            .map(Shell::Live)
+        LiveSession::with_churn(nodes, racks, plan, publishers, match_lanes, join_at, churn)
+            .map(|s| Shell::Live(Box::new(s)))
     } else {
         Session::new(nodes, racks).map(|s| Shell::Sim(Box::new(s)))
     };

@@ -56,6 +56,12 @@ pub struct SystemConfig {
     /// Charge per filter copy moved during (re-)allocation, in virtual
     /// seconds, billed to the source home node.
     pub move_cost_per_copy: f64,
+    /// Whether the control plane aggregates identical predicates onto one
+    /// canonical filter with a compressed subscriber fan-out set
+    /// (DESIGN.md §12). Off, every subscription stores its own posting
+    /// entries — the verbatim baseline `bench_control` compares against.
+    #[serde(default)]
+    pub aggregate_filters: bool,
 }
 
 impl Default for SystemConfig {
@@ -78,6 +84,7 @@ impl Default for SystemConfig {
             expected_terms: 1_000_000,
             seed: 0x5eed,
             move_cost_per_copy: 2e-6,
+            aggregate_filters: true,
         }
     }
 }

@@ -2,11 +2,14 @@
 
 use crate::scheme::{execute_steps, JoinSummary};
 use crate::{
-    encode_filter, Dissemination, MatchTask, RouteStep, RoutingView, SchemeOutput, SystemConfig,
+    encode_filter, Dissemination, MatchTask, RegisterOp, RegisterOps, RouteStep, RoutingView,
+    SchemeOutput, SystemConfig, UnregisterOp,
 };
 use move_bloom::CountingBloomFilter;
 use move_cluster::{partition_of_term, Job, SimCluster, Stage};
-use move_index::{InvertedIndex, MatchScratch};
+use move_index::{
+    FanoutTable, FilterAggregator, InvertedIndex, MatchScratch, RegisterOutcome, UnregisterOutcome,
+};
 use move_types::{Document, Filter, FilterId, NodeId, Result, TermId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -52,6 +55,13 @@ pub struct IlScheme {
     /// the needed-terms mode selects by.
     term_popularity: HashMap<TermId, u64>,
     registration: RegistrationMode,
+    /// Canonicalizing aggregation layer: identical predicates collapse to
+    /// one canonical filter whose postings are stored once (DESIGN.md §12).
+    aggregator: FilterAggregator,
+    /// Whether aggregation is on ([`SystemConfig::aggregate_filters`]);
+    /// off, every subscription is its own canonical — the verbatim
+    /// baseline.
+    aggregate: bool,
     /// Reusable match-kernel working memory for `publish`.
     scratch: MatchScratch,
 }
@@ -89,6 +99,7 @@ impl IlScheme {
             .collect();
         let bloom = CountingBloomFilter::new(config.expected_terms, config.bloom_fpr);
         let storage = vec![0; config.nodes];
+        let aggregate = config.aggregate_filters;
         Ok(Self {
             config,
             cluster,
@@ -99,6 +110,8 @@ impl IlScheme {
             registered_under: HashMap::new(),
             term_popularity: HashMap::new(),
             registration: RegistrationMode::default(),
+            aggregator: FilterAggregator::new(),
+            aggregate,
             scratch: MatchScratch::new(),
         })
     }
@@ -142,30 +155,24 @@ impl IlScheme {
             _ => filter.terms().to_vec(),
         }
     }
-}
 
-impl Dissemination for IlScheme {
-    fn name(&self) -> &'static str {
-        "il"
-    }
-
-    fn register(&mut self, filter: &Filter) -> Result<()> {
-        let reg_terms = self.registration_terms(filter);
-        // One shared body across every routing term and the directory.
-        let shared = Arc::new(filter.clone());
+    /// Installs a canonical body's posting entries on the home node of each
+    /// registration term — the pre-aggregation `register` body.
+    fn register_canonical(&mut self, shared: &Arc<Filter>) -> Result<()> {
+        let reg_terms = self.registration_terms(shared);
         for &t in &reg_terms {
             let home = self.cluster.home_of_term(t);
             Arc::make_mut(&mut self.indexes[home.as_usize()])
-                .insert_shared_for_term(Arc::clone(&shared), t);
+                .insert_shared_for_term(Arc::clone(shared), t);
             self.storage[home.as_usize()] += 1;
             self.bloom.insert(&t.0);
             // Persist the full filter body in the home node's filter store.
             self.cluster
                 .store_mut(home)
                 .cf("filters")
-                .put(filter.id().0.to_be_bytes().to_vec(), encode_filter(filter));
+                .put(shared.id().0.to_be_bytes().to_vec(), encode_filter(shared));
         }
-        for &t in filter.terms() {
+        for &t in shared.terms() {
             *self.term_popularity.entry(t).or_insert(0) += 1;
         }
         // §III invariant: the filter is findable under every registration
@@ -173,18 +180,20 @@ impl Dissemination for IlScheme {
         debug_assert!(
             reg_terms.iter().all(|&t| {
                 self.indexes[self.cluster.home_of_term(t).as_usize()]
-                    .has_term_posting(filter.id(), t)
+                    .has_term_posting(shared.id(), t)
             }),
             "IL registration must post the filter at each registration term's home node"
         );
-        self.registered_under.insert(filter.id(), reg_terms);
-        self.directory.insert(filter.id(), shared);
+        self.registered_under.insert(shared.id(), reg_terms);
+        self.directory.insert(shared.id(), Arc::clone(shared));
         Ok(())
     }
 
-    fn unregister(&mut self, id: FilterId) -> Result<bool> {
+    /// Drops a canonical body's posting entries — the pre-aggregation
+    /// `unregister` body. Returns whether the canonical was registered.
+    fn unregister_canonical(&mut self, id: FilterId) -> bool {
         let Some(filter) = self.directory.remove(&id) else {
-            return Ok(false);
+            return false;
         };
         let reg_terms = self
             .registered_under
@@ -206,7 +215,162 @@ impl Dissemination for IlScheme {
                 *c = c.saturating_sub(1);
             }
         }
-        Ok(true)
+        true
+    }
+
+    /// Where a live canonical's serving copies currently are, grouped per
+    /// node — the removal targets of [`UnregisterOp::RemoveCanonical`].
+    fn unregistration_targets(&self, id: FilterId) -> Vec<(NodeId, Option<Vec<TermId>>)> {
+        let mut by_home: std::collections::BTreeMap<NodeId, Vec<TermId>> =
+            std::collections::BTreeMap::new();
+        for &t in self
+            .registered_under
+            .get(&id)
+            .map_or(&[][..], Vec::as_slice)
+        {
+            by_home
+                .entry(self.cluster.home_of_term(t))
+                .or_default()
+                .push(t);
+        }
+        by_home.into_iter().map(|(n, ts)| (n, Some(ts))).collect()
+    }
+
+    /// Expands matched canonical ids to subscriber ids (identity without
+    /// aggregation).
+    fn expand_matched(&mut self, canonical: Vec<FilterId>) -> Vec<FilterId> {
+        if !self.aggregate {
+            return canonical;
+        }
+        let mut out = Vec::with_capacity(canonical.len());
+        self.aggregator.expand_into(&canonical, &mut out);
+        self.scratch.sort_dedup(&mut out);
+        out
+    }
+}
+
+impl Dissemination for IlScheme {
+    fn name(&self) -> &'static str {
+        "il"
+    }
+
+    fn register(&mut self, filter: &Filter) -> Result<()> {
+        self.register_op(filter).map(|_| ())
+    }
+
+    fn unregister(&mut self, id: FilterId) -> Result<bool> {
+        Ok(!matches!(
+            self.unregister_op(id)?,
+            UnregisterOp::NotRegistered
+        ))
+    }
+
+    fn register_op(&mut self, filter: &Filter) -> Result<RegisterOps> {
+        if !self.aggregate {
+            // Verbatim baseline: every subscription is its own canonical.
+            let targets = self.registration_targets(filter);
+            let shared = Arc::new(filter.clone());
+            self.register_canonical(&shared)?;
+            return Ok(RegisterOps {
+                displaced: None,
+                op: RegisterOp::NewCanonical {
+                    canonical: shared,
+                    subscriber: filter.id(),
+                    targets,
+                },
+            });
+        }
+        let displaced = match self.aggregator.canonical_of(filter.id()) {
+            Some(c) => {
+                let same = self
+                    .aggregator
+                    .canonical_body(c)
+                    .is_some_and(|b| b.terms() == filter.terms());
+                if same {
+                    return Ok(RegisterOps {
+                        displaced: None,
+                        op: RegisterOp::NoOp,
+                    });
+                }
+                // Same subscriber id, new predicate: displace the old
+                // subscription first so the ops stream stays replayable.
+                Some(self.unregister_op(filter.id())?)
+            }
+            None => None,
+        };
+        match self.aggregator.register(filter) {
+            RegisterOutcome::AlreadyRegistered => Ok(RegisterOps {
+                displaced,
+                op: RegisterOp::NoOp,
+            }),
+            RegisterOutcome::Subscribed { canonical } => Ok(RegisterOps {
+                displaced,
+                op: RegisterOp::Subscribe {
+                    canonical: canonical.as_filter_id(),
+                    subscriber: filter.id(),
+                },
+            }),
+            RegisterOutcome::NewCanonical { canonical } => {
+                let targets = self.registration_targets(&canonical);
+                self.register_canonical(&canonical)?;
+                Ok(RegisterOps {
+                    displaced,
+                    op: RegisterOp::NewCanonical {
+                        canonical,
+                        subscriber: filter.id(),
+                        targets,
+                    },
+                })
+            }
+        }
+    }
+
+    fn unregister_op(&mut self, id: FilterId) -> Result<UnregisterOp> {
+        if !self.aggregate {
+            let targets = self.unregistration_targets(id);
+            return Ok(if self.unregister_canonical(id) {
+                UnregisterOp::RemoveCanonical {
+                    canonical: id,
+                    subscriber: id,
+                    targets,
+                }
+            } else {
+                UnregisterOp::NotRegistered
+            });
+        }
+        match self.aggregator.unregister(id) {
+            UnregisterOutcome::NotRegistered => Ok(UnregisterOp::NotRegistered),
+            UnregisterOutcome::Unsubscribed { canonical } => Ok(UnregisterOp::Unsubscribe {
+                canonical: canonical.as_filter_id(),
+                subscriber: id,
+            }),
+            UnregisterOutcome::RemovedCanonical { canonical } => {
+                let cid = canonical.id();
+                let targets = self.unregistration_targets(cid);
+                self.unregister_canonical(cid);
+                Ok(UnregisterOp::RemoveCanonical {
+                    canonical: cid,
+                    subscriber: id,
+                    targets,
+                })
+            }
+        }
+    }
+
+    fn fanout_table(&self) -> Arc<FanoutTable> {
+        self.aggregator.fanout_snapshot()
+    }
+
+    fn canonical_filters(&self) -> u64 {
+        self.directory.len() as u64
+    }
+
+    fn aggregation_bytes(&self) -> u64 {
+        if self.aggregate {
+            self.aggregator.estimated_bytes() as u64
+        } else {
+            0
+        }
     }
 
     fn join_node(&mut self) -> Result<JoinSummary> {
@@ -291,6 +455,7 @@ impl Dissemination for IlScheme {
             &self.storage,
             &mut self.scratch,
         );
+        let matched = self.expand_matched(matched);
         Ok(SchemeOutput {
             matched,
             job: Job {
@@ -374,7 +539,11 @@ impl Dissemination for IlScheme {
     }
 
     fn registered_filters(&self) -> u64 {
-        self.directory.len() as u64
+        if self.aggregate {
+            self.aggregator.subscriber_count() as u64
+        } else {
+            self.directory.len() as u64
+        }
     }
 }
 

@@ -59,7 +59,10 @@ pub use metrics::{availability, load_vectors, normalize_to, LoadVectors};
 pub use move_scheme::MoveScheme;
 pub use placement::PlacementStrategy;
 pub use rs::RsScheme;
-pub use scheme::{Dissemination, JoinSummary, MatchTask, RouteStep, SchemeOutput};
+pub use scheme::{
+    Dissemination, JoinSummary, MatchTask, RegisterOp, RegisterOps, RouteStep, SchemeOutput,
+    UnregisterOp,
+};
 pub use single_node::{run_single_node, SingleNodeReport};
 pub use snapshot::{MoveViewParts, RoutingView, StatsDelta};
 pub use stats::NodeStats;

@@ -4,12 +4,14 @@
 use crate::scheme::{execute_steps, JoinSummary};
 use crate::{
     encode_filter, AllocationFactors, AllocationPolicy, Dissemination, FactorRule, Grid, GridMode,
-    MatchTask, MoveViewParts, NodeStats, RouteStep, RoutingView, SchemeOutput, StatsDelta,
-    SystemConfig,
+    MatchTask, MoveViewParts, NodeStats, RegisterOp, RegisterOps, RouteStep, RoutingView,
+    SchemeOutput, StatsDelta, SystemConfig, UnregisterOp,
 };
 use move_bloom::CountingBloomFilter;
 use move_cluster::{partition_of_term, Job, SimCluster, Stage};
-use move_index::{InvertedIndex, MatchScratch};
+use move_index::{
+    FanoutTable, FilterAggregator, InvertedIndex, MatchScratch, RegisterOutcome, UnregisterOutcome,
+};
 use move_types::{Document, Filter, FilterId, NodeId, Result, TermId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -135,6 +137,12 @@ pub struct MoveScheme {
     /// duplicated onto the joiner while the old homes keep serving, so the
     /// grid-coverage invariant is relaxed for them until `retire_join`.
     handover_terms: std::collections::BTreeSet<TermId>,
+    /// Canonicalizing aggregation layer: identical predicates collapse to
+    /// one canonical filter whose grid copies are stored once
+    /// (DESIGN.md §12).
+    aggregator: FilterAggregator,
+    /// Whether aggregation is on ([`SystemConfig::aggregate_filters`]).
+    aggregate: bool,
     /// Reusable match-kernel working memory for `publish`.
     scratch: MatchScratch,
     rng: StdRng,
@@ -166,6 +174,8 @@ impl MoveScheme {
             docs_observed: 0,
             docs_since_refresh: 0,
             handover_terms: std::collections::BTreeSet::new(),
+            aggregator: FilterAggregator::new(),
+            aggregate: config.aggregate_filters,
             rule: FactorRule::LoadBalance,
             grid_mode: GridMode::Optimal,
             scratch: MatchScratch::new(),
@@ -504,6 +514,102 @@ impl MoveScheme {
         }
     }
 
+    /// Registers a canonical body on the home (or grid slots) of each of
+    /// its terms — the pre-aggregation `register` body.
+    fn register_canonical(&mut self, shared: &Arc<Filter>) -> Result<()> {
+        for &t in shared.terms() {
+            let home = self.cluster.home_of_term(t);
+            self.home_pairs[home.as_usize()].push((t, shared.id()));
+            self.term_pairs.incr(t);
+            self.bloom.insert(&t.0);
+            self.cluster
+                .store_mut(home)
+                .cf("filters")
+                .put(shared.id().0.to_be_bytes().to_vec(), encode_filter(shared));
+            let grid = self
+                .term_allocations
+                .get(&t)
+                .or(self.allocations[home.as_usize()].as_ref());
+            match grid {
+                None => {
+                    Arc::make_mut(&mut self.indexes[home.as_usize()])
+                        .insert_shared_for_term(Arc::clone(shared), t);
+                    self.storage[home.as_usize()] += 1;
+                }
+                Some(grid) => {
+                    let col = grid.column_of(shared.id());
+                    let slots: Vec<NodeId> =
+                        (0..grid.rows()).map(|row| grid.node(row, col)).collect();
+                    for node in slots {
+                        Arc::make_mut(&mut self.indexes[node.as_usize()])
+                            .insert_shared_for_term(Arc::clone(shared), t);
+                        self.storage[node.as_usize()] += 1;
+                    }
+                }
+            }
+        }
+        self.directory.insert(shared.id(), Arc::clone(shared));
+        Ok(())
+    }
+
+    /// Drops a canonical body's home pairs and serving copies — the
+    /// pre-aggregation `unregister` body. Returns whether the canonical was
+    /// registered.
+    fn unregister_canonical(&mut self, id: FilterId) -> bool {
+        let Some(filter) = self.directory.remove(&id) else {
+            return false;
+        };
+        for &t in filter.terms() {
+            let home = self.cluster.home_of_term(t);
+            self.home_pairs[home.as_usize()].retain(|&(pt, pf)| !(pt == t && pf == id));
+            self.term_pairs.decr(t);
+            self.bloom.remove(&t.0);
+            self.cluster
+                .store_mut(home)
+                .cf("filters")
+                .delete(id.0.to_be_bytes().to_vec());
+            let grid = self
+                .term_allocations
+                .get(&t)
+                .or(self.allocations[home.as_usize()].as_ref());
+            match grid {
+                None => {
+                    if Arc::make_mut(&mut self.indexes[home.as_usize()]).remove_term_posting(id, t)
+                    {
+                        self.storage[home.as_usize()] =
+                            self.storage[home.as_usize()].saturating_sub(1);
+                    }
+                }
+                Some(grid) => {
+                    let col = grid.column_of(id);
+                    let slots: Vec<NodeId> =
+                        (0..grid.rows()).map(|row| grid.node(row, col)).collect();
+                    for node in slots {
+                        if Arc::make_mut(&mut self.indexes[node.as_usize()])
+                            .remove_term_posting(id, t)
+                        {
+                            self.storage[node.as_usize()] =
+                                self.storage[node.as_usize()].saturating_sub(1);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Expands matched canonical ids to subscriber ids (identity without
+    /// aggregation).
+    fn expand_matched(&mut self, canonical: Vec<FilterId>) -> Vec<FilterId> {
+        if !self.aggregate {
+            return canonical;
+        }
+        let mut out = Vec::with_capacity(canonical.len());
+        self.aggregator.expand_into(&canonical, &mut out);
+        self.scratch.sort_dedup(&mut out);
+        out
+    }
+
     /// Fraction of registered filters with at least one surviving stored
     /// copy (Fig. 9d's availability): an unallocated registration pair
     /// survives while its home node is alive; an allocated pair survives
@@ -546,85 +652,127 @@ impl Dissemination for MoveScheme {
     }
 
     fn register(&mut self, filter: &Filter) -> Result<()> {
-        // One shared body across every routing term, grid slot, and the
-        // directory.
-        let shared = Arc::new(filter.clone());
-        for &t in filter.terms() {
-            let home = self.cluster.home_of_term(t);
-            self.home_pairs[home.as_usize()].push((t, filter.id()));
-            self.term_pairs.incr(t);
-            self.bloom.insert(&t.0);
-            self.cluster
-                .store_mut(home)
-                .cf("filters")
-                .put(filter.id().0.to_be_bytes().to_vec(), encode_filter(filter));
-            let grid = self
-                .term_allocations
-                .get(&t)
-                .or(self.allocations[home.as_usize()].as_ref());
-            match grid {
-                None => {
-                    Arc::make_mut(&mut self.indexes[home.as_usize()])
-                        .insert_shared_for_term(Arc::clone(&shared), t);
-                    self.storage[home.as_usize()] += 1;
-                }
-                Some(grid) => {
-                    let col = grid.column_of(filter.id());
-                    let slots: Vec<NodeId> =
-                        (0..grid.rows()).map(|row| grid.node(row, col)).collect();
-                    for node in slots {
-                        Arc::make_mut(&mut self.indexes[node.as_usize()])
-                            .insert_shared_for_term(Arc::clone(&shared), t);
-                        self.storage[node.as_usize()] += 1;
-                    }
-                }
-            }
-        }
-        self.directory.insert(filter.id(), shared);
-        Ok(())
+        self.register_op(filter).map(|_| ())
     }
 
     fn unregister(&mut self, id: FilterId) -> Result<bool> {
-        let Some(filter) = self.directory.remove(&id) else {
-            return Ok(false);
+        Ok(!matches!(
+            self.unregister_op(id)?,
+            UnregisterOp::NotRegistered
+        ))
+    }
+
+    fn register_op(&mut self, filter: &Filter) -> Result<RegisterOps> {
+        if !self.aggregate {
+            // Verbatim baseline: every subscription is its own canonical.
+            let targets = self.registration_targets(filter);
+            let shared = Arc::new(filter.clone());
+            self.register_canonical(&shared)?;
+            return Ok(RegisterOps {
+                displaced: None,
+                op: RegisterOp::NewCanonical {
+                    canonical: shared,
+                    subscriber: filter.id(),
+                    targets,
+                },
+            });
+        }
+        let displaced = match self.aggregator.canonical_of(filter.id()) {
+            Some(c) => {
+                let same = self
+                    .aggregator
+                    .canonical_body(c)
+                    .is_some_and(|b| b.terms() == filter.terms());
+                if same {
+                    return Ok(RegisterOps {
+                        displaced: None,
+                        op: RegisterOp::NoOp,
+                    });
+                }
+                // Same subscriber id, new predicate: displace the old
+                // subscription first so the ops stream stays replayable.
+                Some(self.unregister_op(filter.id())?)
+            }
+            None => None,
         };
-        for &t in filter.terms() {
-            let home = self.cluster.home_of_term(t);
-            self.home_pairs[home.as_usize()].retain(|&(pt, pf)| !(pt == t && pf == id));
-            self.term_pairs.decr(t);
-            self.bloom.remove(&t.0);
-            self.cluster
-                .store_mut(home)
-                .cf("filters")
-                .delete(id.0.to_be_bytes().to_vec());
-            let grid = self
-                .term_allocations
-                .get(&t)
-                .or(self.allocations[home.as_usize()].as_ref());
-            match grid {
-                None => {
-                    if Arc::make_mut(&mut self.indexes[home.as_usize()]).remove_term_posting(id, t)
-                    {
-                        self.storage[home.as_usize()] =
-                            self.storage[home.as_usize()].saturating_sub(1);
-                    }
-                }
-                Some(grid) => {
-                    let col = grid.column_of(id);
-                    let slots: Vec<NodeId> =
-                        (0..grid.rows()).map(|row| grid.node(row, col)).collect();
-                    for node in slots {
-                        if Arc::make_mut(&mut self.indexes[node.as_usize()])
-                            .remove_term_posting(id, t)
-                        {
-                            self.storage[node.as_usize()] =
-                                self.storage[node.as_usize()].saturating_sub(1);
-                        }
-                    }
-                }
+        match self.aggregator.register(filter) {
+            RegisterOutcome::AlreadyRegistered => Ok(RegisterOps {
+                displaced,
+                op: RegisterOp::NoOp,
+            }),
+            RegisterOutcome::Subscribed { canonical } => Ok(RegisterOps {
+                displaced,
+                op: RegisterOp::Subscribe {
+                    canonical: canonical.as_filter_id(),
+                    subscriber: filter.id(),
+                },
+            }),
+            RegisterOutcome::NewCanonical { canonical } => {
+                let targets = self.registration_targets(&canonical);
+                self.register_canonical(&canonical)?;
+                Ok(RegisterOps {
+                    displaced,
+                    op: RegisterOp::NewCanonical {
+                        canonical,
+                        subscriber: filter.id(),
+                        targets,
+                    },
+                })
             }
         }
-        Ok(true)
+    }
+
+    fn unregister_op(&mut self, id: FilterId) -> Result<UnregisterOp> {
+        if !self.aggregate {
+            let targets = self
+                .directory
+                .get(&id)
+                .map(|body| self.registration_targets(&Arc::clone(body)))
+                .unwrap_or_default();
+            return Ok(if self.unregister_canonical(id) {
+                UnregisterOp::RemoveCanonical {
+                    canonical: id,
+                    subscriber: id,
+                    targets,
+                }
+            } else {
+                UnregisterOp::NotRegistered
+            });
+        }
+        match self.aggregator.unregister(id) {
+            UnregisterOutcome::NotRegistered => Ok(UnregisterOp::NotRegistered),
+            UnregisterOutcome::Unsubscribed { canonical } => Ok(UnregisterOp::Unsubscribe {
+                canonical: canonical.as_filter_id(),
+                subscriber: id,
+            }),
+            UnregisterOutcome::RemovedCanonical { canonical } => {
+                let cid = canonical.id();
+                // Targets before removal: where the serving copies are now.
+                let targets = self.registration_targets(&canonical);
+                self.unregister_canonical(cid);
+                Ok(UnregisterOp::RemoveCanonical {
+                    canonical: cid,
+                    subscriber: id,
+                    targets,
+                })
+            }
+        }
+    }
+
+    fn fanout_table(&self) -> Arc<FanoutTable> {
+        self.aggregator.fanout_snapshot()
+    }
+
+    fn canonical_filters(&self) -> u64 {
+        self.directory.len() as u64
+    }
+
+    fn aggregation_bytes(&self) -> u64 {
+        if self.aggregate {
+            self.aggregator.estimated_bytes() as u64
+        } else {
+            0
+        }
     }
 
     fn join_node(&mut self) -> Result<JoinSummary> {
@@ -714,6 +862,7 @@ impl Dissemination for MoveScheme {
             &self.storage,
             &mut self.scratch,
         );
+        let matched = self.expand_matched(matched);
 
         self.maintenance(doc)?;
 
@@ -924,7 +1073,11 @@ impl Dissemination for MoveScheme {
     }
 
     fn registered_filters(&self) -> u64 {
-        self.directory.len() as u64
+        if self.aggregate {
+            self.aggregator.subscriber_count() as u64
+        } else {
+            self.directory.len() as u64
+        }
     }
 }
 

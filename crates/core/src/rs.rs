@@ -2,9 +2,14 @@
 //! [5] and ROAR [16]).
 
 use crate::scheme::{execute_steps, JoinSummary};
-use crate::{Dissemination, MatchTask, RouteStep, RoutingView, SchemeOutput, SystemConfig};
+use crate::{
+    Dissemination, MatchTask, RegisterOp, RegisterOps, RouteStep, RoutingView, SchemeOutput,
+    SystemConfig, UnregisterOp,
+};
 use move_cluster::{stable_hash64, Job, SimCluster, Stage};
-use move_index::{InvertedIndex, MatchScratch};
+use move_index::{
+    FanoutTable, FilterAggregator, InvertedIndex, MatchScratch, RegisterOutcome, UnregisterOutcome,
+};
 use move_types::{Document, Filter, FilterId, NodeId, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -31,6 +36,11 @@ pub struct RsScheme {
     storage: Vec<u64>,
     directory: HashMap<FilterId, ()>,
     rng: StdRng,
+    /// Canonicalizing aggregation layer: identical predicates collapse to
+    /// one canonical filter replicated once per group (DESIGN.md §12).
+    aggregator: FilterAggregator,
+    /// Whether aggregation is on ([`SystemConfig::aggregate_filters`]).
+    aggregate: bool,
     /// Reusable match-kernel working memory for `publish`.
     scratch: MatchScratch,
 }
@@ -58,6 +68,8 @@ impl RsScheme {
             cluster,
             groups,
             directory: HashMap::new(),
+            aggregator: FilterAggregator::new(),
+            aggregate: config.aggregate_filters,
             scratch: MatchScratch::new(),
         })
     }
@@ -67,37 +79,33 @@ impl RsScheme {
         let members = &self.groups[group];
         members[(stable_hash64(&("rs", id.0)) % members.len() as u64) as usize]
     }
-}
 
-impl Dissemination for RsScheme {
-    fn name(&self) -> &'static str {
-        "rs"
-    }
-
-    fn register(&mut self, filter: &Filter) -> Result<()> {
-        // One shared body across all replica groups.
-        let shared = Arc::new(filter.clone());
+    /// Stores a canonical body once per replica group — the
+    /// pre-aggregation `register` body.
+    fn register_canonical(&mut self, shared: &Arc<Filter>) -> Result<()> {
         for g in 0..self.groups.len() {
-            let node = self.node_in_group(g, filter.id());
-            Arc::make_mut(&mut self.indexes[node.as_usize()]).insert_shared(Arc::clone(&shared));
+            let node = self.node_in_group(g, shared.id());
+            Arc::make_mut(&mut self.indexes[node.as_usize()]).insert_shared(Arc::clone(shared));
             self.storage[node.as_usize()] += 1;
         }
         // Rendezvous invariant: one full copy per replica group, on the
         // exact node `registration_targets` names — route() floods a single
         // group, so a copy missing from any group loses deliveries.
         debug_assert!(
-            self.registration_targets(filter)
+            self.registration_targets(shared)
                 .iter()
-                .all(|(node, _)| self.indexes[node.as_usize()].filter(filter.id()).is_some()),
+                .all(|(node, _)| self.indexes[node.as_usize()].filter(shared.id()).is_some()),
             "RS registration must store the filter once in every replica group"
         );
-        self.directory.insert(filter.id(), ());
+        self.directory.insert(shared.id(), ());
         Ok(())
     }
 
-    fn unregister(&mut self, id: FilterId) -> Result<bool> {
+    /// Drops a canonical body from every node — the pre-aggregation
+    /// `unregister` body. Returns whether the canonical was registered.
+    fn unregister_canonical(&mut self, id: FilterId) -> bool {
         if self.directory.remove(&id).is_none() {
-            return Ok(false);
+            return false;
         }
         // Scan every node rather than recomputing `node_in_group`: a join
         // changes a group's size and thus its rendezvous hashing, so
@@ -108,7 +116,152 @@ impl Dissemination for RsScheme {
                 self.storage[n] = self.storage[n].saturating_sub(1);
             }
         }
-        Ok(true)
+        true
+    }
+
+    /// Removal targets for a canonical: every node drops the full body
+    /// (copies may sit anywhere after joins reshape the groups).
+    fn unregistration_targets(&self) -> Vec<(NodeId, Option<Vec<move_types::TermId>>)> {
+        (0..self.cluster.len())
+            .map(|n| (NodeId(n as u32), None))
+            .collect()
+    }
+
+    /// Expands matched canonical ids to subscriber ids (identity without
+    /// aggregation).
+    fn expand_matched(&mut self, canonical: Vec<FilterId>) -> Vec<FilterId> {
+        if !self.aggregate {
+            return canonical;
+        }
+        let mut out = Vec::with_capacity(canonical.len());
+        self.aggregator.expand_into(&canonical, &mut out);
+        self.scratch.sort_dedup(&mut out);
+        out
+    }
+}
+
+impl Dissemination for RsScheme {
+    fn name(&self) -> &'static str {
+        "rs"
+    }
+
+    fn register(&mut self, filter: &Filter) -> Result<()> {
+        self.register_op(filter).map(|_| ())
+    }
+
+    fn unregister(&mut self, id: FilterId) -> Result<bool> {
+        Ok(!matches!(
+            self.unregister_op(id)?,
+            UnregisterOp::NotRegistered
+        ))
+    }
+
+    fn register_op(&mut self, filter: &Filter) -> Result<RegisterOps> {
+        if !self.aggregate {
+            // Verbatim baseline: every subscription is its own canonical.
+            let targets = self.registration_targets(filter);
+            let shared = Arc::new(filter.clone());
+            self.register_canonical(&shared)?;
+            return Ok(RegisterOps {
+                displaced: None,
+                op: RegisterOp::NewCanonical {
+                    canonical: shared,
+                    subscriber: filter.id(),
+                    targets,
+                },
+            });
+        }
+        let displaced = match self.aggregator.canonical_of(filter.id()) {
+            Some(c) => {
+                let same = self
+                    .aggregator
+                    .canonical_body(c)
+                    .is_some_and(|b| b.terms() == filter.terms());
+                if same {
+                    return Ok(RegisterOps {
+                        displaced: None,
+                        op: RegisterOp::NoOp,
+                    });
+                }
+                // Same subscriber id, new predicate: displace the old
+                // subscription first so the ops stream stays replayable.
+                Some(self.unregister_op(filter.id())?)
+            }
+            None => None,
+        };
+        match self.aggregator.register(filter) {
+            RegisterOutcome::AlreadyRegistered => Ok(RegisterOps {
+                displaced,
+                op: RegisterOp::NoOp,
+            }),
+            RegisterOutcome::Subscribed { canonical } => Ok(RegisterOps {
+                displaced,
+                op: RegisterOp::Subscribe {
+                    canonical: canonical.as_filter_id(),
+                    subscriber: filter.id(),
+                },
+            }),
+            RegisterOutcome::NewCanonical { canonical } => {
+                let targets = self.registration_targets(&canonical);
+                self.register_canonical(&canonical)?;
+                Ok(RegisterOps {
+                    displaced,
+                    op: RegisterOp::NewCanonical {
+                        canonical,
+                        subscriber: filter.id(),
+                        targets,
+                    },
+                })
+            }
+        }
+    }
+
+    fn unregister_op(&mut self, id: FilterId) -> Result<UnregisterOp> {
+        if !self.aggregate {
+            let targets = self.unregistration_targets();
+            return Ok(if self.unregister_canonical(id) {
+                UnregisterOp::RemoveCanonical {
+                    canonical: id,
+                    subscriber: id,
+                    targets,
+                }
+            } else {
+                UnregisterOp::NotRegistered
+            });
+        }
+        match self.aggregator.unregister(id) {
+            UnregisterOutcome::NotRegistered => Ok(UnregisterOp::NotRegistered),
+            UnregisterOutcome::Unsubscribed { canonical } => Ok(UnregisterOp::Unsubscribe {
+                canonical: canonical.as_filter_id(),
+                subscriber: id,
+            }),
+            UnregisterOutcome::RemovedCanonical { canonical } => {
+                let cid = canonical.id();
+                let targets = self.unregistration_targets();
+                self.unregister_canonical(cid);
+                Ok(UnregisterOp::RemoveCanonical {
+                    canonical: cid,
+                    subscriber: id,
+                    targets,
+                })
+            }
+        }
+    }
+
+    fn fanout_table(&self) -> Arc<FanoutTable> {
+        self.aggregator.fanout_snapshot()
+    }
+
+    fn canonical_filters(&self) -> u64 {
+        self.directory.len() as u64
+    }
+
+    fn aggregation_bytes(&self) -> u64 {
+        if self.aggregate {
+            self.aggregator.estimated_bytes() as u64
+        } else {
+            0
+        }
     }
 
     fn join_node(&mut self) -> Result<JoinSummary> {
@@ -147,6 +300,7 @@ impl Dissemination for RsScheme {
             &self.storage,
             &mut self.scratch,
         );
+        let matched = self.expand_matched(matched);
         Ok(SchemeOutput {
             matched,
             job: Job {
@@ -204,7 +358,11 @@ impl Dissemination for RsScheme {
     }
 
     fn registered_filters(&self) -> u64 {
-        self.directory.len() as u64
+        if self.aggregate {
+            self.aggregator.subscriber_count() as u64
+        } else {
+            self.directory.len() as u64
+        }
     }
 }
 
@@ -246,7 +404,11 @@ mod tests {
 
     #[test]
     fn storage_is_replicated_g_times_and_even() {
-        let cfg = SystemConfig::small_test(); // 6 nodes, 3 groups
+        // Verbatim baseline: rendezvous evenness needs one copy per
+        // subscription (the 40 distinct predicates would otherwise
+        // collapse to 40 canonicals).
+        let mut cfg = SystemConfig::small_test(); // 6 nodes, 3 groups
+        cfg.aggregate_filters = false;
         let mut rs = RsScheme::new(cfg).unwrap();
         for id in 0..600u64 {
             rs.register(&filter(id, &[id as u32 % 40])).unwrap();
@@ -255,6 +417,33 @@ mod tests {
         assert_eq!(st.iter().sum::<u64>(), 600 * 3);
         // Two nodes per group → ~300 each; hashing keeps it tight.
         assert!(st.iter().all(|&s| (200..400).contains(&s)), "{st:?}");
+    }
+
+    #[test]
+    fn aggregation_stores_one_copy_set_per_predicate() {
+        let mut rs = RsScheme::new(SystemConfig::small_test()).unwrap();
+        for id in 0..600u64 {
+            rs.register(&filter(id, &[id as u32 % 40])).unwrap();
+        }
+        // 40 distinct predicates × 3 replica groups, regardless of the
+        // 600 subscriptions.
+        assert_eq!(rs.storage_per_node().iter().sum::<u64>(), 40 * 3);
+        assert_eq!(rs.canonical_filters(), 40);
+        assert_eq!(rs.registered_filters(), 600);
+        assert!(rs.aggregation_bytes() > 0);
+        // Delivery still fans out to every subscriber of the predicate.
+        let got = rs.publish(0.0, &doc(0, &[7])).unwrap().matched;
+        let want: Vec<FilterId> = (0..600).filter(|id| id % 40 == 7).map(FilterId).collect();
+        assert_eq!(got, want);
+        // Unsubscribing all but one subscriber keeps the canonical alive;
+        // the last departure drops the replicas.
+        for id in (7..600).step_by(40).skip(1) {
+            assert!(rs.unregister(FilterId(id)).unwrap());
+        }
+        assert_eq!(rs.storage_per_node().iter().sum::<u64>(), 40 * 3);
+        assert!(rs.unregister(FilterId(7)).unwrap());
+        assert_eq!(rs.storage_per_node().iter().sum::<u64>(), 39 * 3);
+        assert!(rs.publish(0.0, &doc(1, &[7])).unwrap().matched.is_empty());
     }
 
     #[test]

@@ -5,9 +5,79 @@
 
 use crate::snapshot::{RoutingView, StatsDelta};
 use move_cluster::{Job, SimCluster, Task};
-use move_index::{InvertedIndex, MatchOutcome, MatchScratch};
+use move_index::{FanoutTable, InvertedIndex, MatchOutcome, MatchScratch};
 use move_types::{Document, Filter, FilterId, MoveError, NodeId, Result, TermId};
 use std::sync::Arc;
+
+/// The control-plane effect of one registration — what a live router must
+/// ship to its workers (DESIGN.md §12). Produced by
+/// [`Dissemination::register_op`], which has already applied the same
+/// mutation to the scheme's own serving state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegisterOp {
+    /// First subscriber of a new canonical predicate: install the
+    /// canonical body's posting entries on `targets`, then broadcast the
+    /// subscription to every worker's fan-out table.
+    NewCanonical {
+        /// The canonical body (canonical id + shared term set).
+        canonical: Arc<Filter>,
+        /// The subscriber joining it.
+        subscriber: FilterId,
+        /// Where the canonical's serving copies go, as
+        /// [`Dissemination::registration_targets`] describes them.
+        targets: Vec<(NodeId, Option<Vec<TermId>>)>,
+    },
+    /// The predicate was already canonical: no index mutation anywhere —
+    /// only the broadcast subscription. This is the aggregation win: a
+    /// canonical hit skips posting updates *and* the routing-view refresh.
+    Subscribe {
+        /// The existing canonical's id.
+        canonical: FilterId,
+        /// The subscriber joining it.
+        subscriber: FilterId,
+    },
+    /// The subscriber was already registered with this exact predicate.
+    NoOp,
+}
+
+/// One registration's full effect: an optional displaced prior subscription
+/// (the same subscriber id re-registering with a different predicate) that
+/// must be applied first, then the registration itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterOps {
+    /// Unregistration of the subscriber's previous predicate, if any.
+    pub displaced: Option<UnregisterOp>,
+    /// The registration proper.
+    pub op: RegisterOp,
+}
+
+/// The control-plane effect of one unregistration — the inverse of
+/// [`RegisterOp`], produced by [`Dissemination::unregister_op`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnregisterOp {
+    /// The subscriber was not registered.
+    NotRegistered,
+    /// Other subscribers remain on the predicate: broadcast only the
+    /// fan-out removal, leave every posting entry in place.
+    Unsubscribe {
+        /// The canonical the subscriber left.
+        canonical: FilterId,
+        /// The departing subscriber.
+        subscriber: FilterId,
+    },
+    /// Last subscriber gone: broadcast the fan-out removal and drop the
+    /// canonical's posting entries from `targets`.
+    RemoveCanonical {
+        /// The retired canonical's id.
+        canonical: FilterId,
+        /// The departing subscriber.
+        subscriber: FilterId,
+        /// Where the canonical's serving copies live under the current
+        /// layout: `(node, Some(terms))` removes per-term postings,
+        /// `(node, None)` removes the full body.
+        targets: Vec<(NodeId, Option<Vec<TermId>>)>,
+    },
+}
 
 /// What a [`Dissemination::join_node`] did: the admitted node, the layout
 /// version the join committed, and exactly which *registered* terms
@@ -186,6 +256,76 @@ pub trait Dissemination {
     ///
     /// Propagates routing errors.
     fn unregister(&mut self, id: FilterId) -> Result<bool>;
+
+    /// Registers a filter and reports the control-plane operations a live
+    /// router must ship (DESIGN.md §12). Equivalent to
+    /// [`Dissemination::register`] plus the op description; aggregating
+    /// schemes implement registration here and delegate `register` to it.
+    ///
+    /// The default covers non-aggregating implementations: every filter is
+    /// its own canonical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacity and routing errors.
+    fn register_op(&mut self, filter: &Filter) -> Result<RegisterOps> {
+        let targets = self.registration_targets(filter);
+        self.register(filter)?;
+        Ok(RegisterOps {
+            displaced: None,
+            op: RegisterOp::NewCanonical {
+                canonical: Arc::new(filter.clone()),
+                subscriber: filter.id(),
+                targets,
+            },
+        })
+    }
+
+    /// Unregisters a subscriber and reports the control-plane operations a
+    /// live router must ship — the inverse of
+    /// [`Dissemination::register_op`].
+    ///
+    /// The default covers non-aggregating implementations: the filter's
+    /// copies may be anywhere, so every node is told to drop the full body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors.
+    fn unregister_op(&mut self, id: FilterId) -> Result<UnregisterOp> {
+        let targets = (0..self.cluster().len())
+            .map(|n| (NodeId(n as u32), None))
+            .collect();
+        if self.unregister(id)? {
+            Ok(UnregisterOp::RemoveCanonical {
+                canonical: id,
+                subscriber: id,
+                targets,
+            })
+        } else {
+            Ok(UnregisterOp::NotRegistered)
+        }
+    }
+
+    /// A cheap shared snapshot of the canonical→subscribers fan-out table.
+    /// Workers boot from (and rebalance joiners are seeded with) this;
+    /// non-aggregating schemes return an empty table, whose identity
+    /// fallback expands every matched id to itself.
+    fn fanout_table(&self) -> Arc<FanoutTable> {
+        Arc::new(FanoutTable::new())
+    }
+
+    /// Number of live canonical predicates (equals
+    /// [`Dissemination::registered_filters`] without aggregation).
+    fn canonical_filters(&self) -> u64 {
+        self.registered_filters()
+    }
+
+    /// Approximate heap bytes of the aggregation layer (canonical
+    /// directory, subscription map, fan-out sets); zero without
+    /// aggregation.
+    fn aggregation_bytes(&self) -> u64 {
+        0
+    }
 
     /// Publishes a document arriving at virtual time `at`, returning the
     /// delivery set and the task graph. Also charges the per-node cost

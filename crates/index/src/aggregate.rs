@@ -1,0 +1,357 @@
+//! Canonicalizing filter aggregation (DESIGN.md §12).
+//!
+//! A million near-duplicate subscriptions must not cost a million posting
+//! entries. The [`FilterAggregator`] splits *subscriber identity* from
+//! *predicate identity*: filters with the same semantics and sorted term
+//! set (and the same θ for threshold semantics — θ is a system-wide
+//! property of [`MatchSemantics`], so identical term sets under one
+//! configured semantics are identical predicates) collapse onto one
+//! canonical predicate. Posting entries are stored once under the
+//! canonical id; a compressed [`FanoutTable`] maps each canonical back to
+//! its subscribers, expanded only at delivery finalize.
+//!
+//! Canonical ids live in `FilterId` space: the first subscriber donates its
+//! id when that id is not already serving as another live canonical, which
+//! keeps all-unique workloads bit-identical to the unaggregated layout.
+//! Collisions (a reused subscriber id whose value is already a canonical of
+//! a *different* predicate) fall back to a synthetic id with the top bit
+//! set ([`SYNTH_BIT`]).
+
+use crate::fanout::FanoutTable;
+use move_types::{CanonicalFilterId, Filter, FilterId, TermId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Top bit of a synthetic canonical id. Real subscriber ids with this bit
+/// set are astronomically unlikely in practice (the workload generators
+/// allocate densely from zero), and the aggregator checks for collisions
+/// anyway before donating an id.
+pub const SYNTH_BIT: u64 = 1 << 63;
+
+/// Outcome of [`FilterAggregator::register`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterOutcome {
+    /// First subscriber of a new predicate: the canonical body must now be
+    /// registered with the index layer.
+    NewCanonical {
+        /// The canonical filter body (canonical id + the shared term set).
+        canonical: Arc<Filter>,
+    },
+    /// The predicate already had a canonical entry; only the fan-out set
+    /// grew.
+    Subscribed {
+        /// The existing canonical's id.
+        canonical: CanonicalFilterId,
+    },
+    /// The subscriber was already registered with this exact predicate —
+    /// an idempotent no-op.
+    AlreadyRegistered,
+}
+
+/// Outcome of [`FilterAggregator::unregister`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnregisterOutcome {
+    /// The subscriber was not registered.
+    NotRegistered,
+    /// Other subscribers remain on the predicate; only the fan-out set
+    /// shrank.
+    Unsubscribed {
+        /// The canonical the subscriber left.
+        canonical: CanonicalFilterId,
+    },
+    /// Last subscriber gone: the canonical body must now be removed from
+    /// the index layer.
+    RemovedCanonical {
+        /// The removed canonical's body (its terms drive index removal).
+        canonical: Arc<Filter>,
+    },
+}
+
+/// One live canonical predicate.
+#[derive(Debug, Clone)]
+struct CanonicalEntry {
+    /// The canonical body: canonical id + the shared sorted term set.
+    body: Arc<Filter>,
+}
+
+/// The canonicalizing aggregation layer one scheme (or engine) owns.
+///
+/// # Examples
+///
+/// ```
+/// use move_index::{FilterAggregator, RegisterOutcome};
+/// use move_types::{Filter, TermId};
+///
+/// let mut agg = FilterAggregator::new();
+/// let a = Filter::new(1u64, [TermId(5), TermId(9)]);
+/// let b = Filter::new(2u64, [TermId(9), TermId(5)]); // same predicate
+/// assert!(matches!(agg.register(&a), RegisterOutcome::NewCanonical { .. }));
+/// assert!(matches!(agg.register(&b), RegisterOutcome::Subscribed { .. }));
+/// assert_eq!(agg.canonical_count(), 1);
+/// assert_eq!(agg.subscriber_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FilterAggregator {
+    /// Sorted term set → live canonical entry.
+    by_terms: HashMap<Vec<TermId>, CanonicalEntry>,
+    /// Subscriber → its canonical id.
+    subscriptions: HashMap<FilterId, FilterId>,
+    /// Canonical id → subscriber sets, shared with workers by `Arc`
+    /// snapshot; mutations go through `Arc::make_mut`, so an outstanding
+    /// snapshot keeps its pre-mutation view.
+    fanout: Arc<FanoutTable>,
+    /// Monotonic counter for synthetic canonical ids.
+    next_synth: u64,
+}
+
+impl FilterAggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `filter` as a subscription, collapsing it onto an existing
+    /// canonical predicate when one matches.
+    ///
+    /// Re-registering a live subscriber id with the *same* predicate is an
+    /// idempotent no-op; with a *different* predicate it is first
+    /// unregistered (callers see that as a separate [`unregister`]
+    /// beforehand — the aggregator itself refuses the dangling state).
+    ///
+    /// [`unregister`]: FilterAggregator::unregister
+    pub fn register(&mut self, filter: &Filter) -> RegisterOutcome {
+        if let Some(&canonical) = self.subscriptions.get(&filter.id()) {
+            if let Some(entry) = self.by_terms.get(filter.terms()) {
+                if entry.body.id() == canonical {
+                    return RegisterOutcome::AlreadyRegistered;
+                }
+            }
+            // Same subscriber id, new predicate: move the subscription.
+            self.unregister(filter.id());
+        }
+        if let Some(entry) = self.by_terms.get(filter.terms()) {
+            let canonical = entry.body.id();
+            Arc::make_mut(&mut self.fanout).subscribe(canonical, filter.id());
+            self.subscriptions.insert(filter.id(), canonical);
+            return RegisterOutcome::Subscribed {
+                canonical: canonical.into(),
+            };
+        }
+        let canonical_id = self.allocate_canonical_id(filter.id());
+        let body = Arc::new(Filter::new(canonical_id, filter.terms().iter().copied()));
+        self.by_terms.insert(
+            filter.terms().to_vec(),
+            CanonicalEntry {
+                body: Arc::clone(&body),
+            },
+        );
+        Arc::make_mut(&mut self.fanout).subscribe(canonical_id, filter.id());
+        self.subscriptions.insert(filter.id(), canonical_id);
+        RegisterOutcome::NewCanonical { canonical: body }
+    }
+
+    /// Removes subscriber `id`, dropping its canonical when it was the last.
+    pub fn unregister(&mut self, id: FilterId) -> UnregisterOutcome {
+        let Some(canonical) = self.subscriptions.remove(&id) else {
+            return UnregisterOutcome::NotRegistered;
+        };
+        Arc::make_mut(&mut self.fanout).unsubscribe(canonical, id);
+        if self.fanout.get(canonical).is_some() {
+            return UnregisterOutcome::Unsubscribed {
+                canonical: canonical.into(),
+            };
+        }
+        // Last subscriber gone: retire the canonical entry.
+        let terms: Option<Vec<TermId>> = self
+            .by_terms
+            .iter()
+            .find(|(_, e)| e.body.id() == canonical)
+            .map(|(k, _)| k.clone());
+        match terms.and_then(|k| self.by_terms.remove(&k)) {
+            Some(entry) => UnregisterOutcome::RemovedCanonical {
+                canonical: entry.body,
+            },
+            // Unreachable by construction (every subscription points at a
+            // live entry), but a typed answer beats a panic in a control
+            // plane.
+            None => UnregisterOutcome::NotRegistered,
+        }
+    }
+
+    /// The canonical id the first subscriber donates — or a synthetic id
+    /// when that value already names a live canonical of another predicate.
+    fn allocate_canonical_id(&mut self, first: FilterId) -> FilterId {
+        let in_use = self.by_terms.values().any(|e| e.body.id() == first);
+        if !in_use {
+            return first;
+        }
+        loop {
+            let candidate = FilterId(SYNTH_BIT | self.next_synth);
+            self.next_synth += 1;
+            let taken = self.by_terms.values().any(|e| e.body.id() == candidate);
+            if !taken {
+                return candidate;
+            }
+        }
+    }
+
+    /// The canonical a live subscriber is attached to.
+    pub fn canonical_of(&self, subscriber: FilterId) -> Option<CanonicalFilterId> {
+        self.subscriptions.get(&subscriber).map(|&c| c.into())
+    }
+
+    /// The canonical body for a live canonical id.
+    pub fn canonical_body(&self, canonical: CanonicalFilterId) -> Option<&Arc<Filter>> {
+        self.by_terms
+            .values()
+            .find(|e| e.body.id() == canonical.as_filter_id())
+            .map(|e| &e.body)
+    }
+
+    /// A cheap shared snapshot of the canonical→subscribers table.
+    pub fn fanout_snapshot(&self) -> Arc<FanoutTable> {
+        Arc::clone(&self.fanout)
+    }
+
+    /// Expands matched canonical ids to subscriber ids, appending to `out`
+    /// (identity fallback for ids without a table entry).
+    pub fn expand_into(&self, matched: &[FilterId], out: &mut Vec<FilterId>) {
+        self.fanout.expand_into(matched, out);
+    }
+
+    /// Number of live canonical predicates.
+    pub fn canonical_count(&self) -> usize {
+        self.by_terms.len()
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Live subscriber ids, in arbitrary order.
+    pub fn subscribers(&self) -> impl Iterator<Item = FilterId> + '_ {
+        self.subscriptions.keys().copied()
+    }
+
+    /// Approximate heap footprint of the aggregation layer in bytes:
+    /// canonical directory + subscription map + fan-out sets.
+    pub fn estimated_bytes(&self) -> usize {
+        let terms: usize = self
+            .by_terms
+            .keys()
+            .map(|k| k.capacity() * std::mem::size_of::<TermId>())
+            .sum();
+        let directory = self.by_terms.capacity()
+            * (std::mem::size_of::<Vec<TermId>>() + std::mem::size_of::<CanonicalEntry>());
+        let subs = self.subscriptions.capacity() * 2 * std::mem::size_of::<FilterId>();
+        terms + directory + subs + self.fanout.estimated_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter(id: u64, terms: &[u32]) -> Filter {
+        Filter::new(id, terms.iter().map(|&t| TermId(t)))
+    }
+
+    #[test]
+    fn identical_predicates_share_one_canonical() {
+        let mut agg = FilterAggregator::new();
+        let out = agg.register(&filter(10, &[1, 2]));
+        let RegisterOutcome::NewCanonical { canonical } = out else {
+            panic!("first registration must mint a canonical");
+        };
+        assert_eq!(canonical.id(), FilterId(10), "first subscriber donates id");
+        assert!(matches!(
+            agg.register(&filter(11, &[2, 1])),
+            RegisterOutcome::Subscribed { canonical } if canonical == CanonicalFilterId(10)
+        ));
+        assert!(matches!(
+            agg.register(&filter(11, &[2, 1])),
+            RegisterOutcome::AlreadyRegistered
+        ));
+        assert_eq!(agg.canonical_count(), 1);
+        assert_eq!(agg.subscriber_count(), 2);
+        let snap = agg.fanout_snapshot();
+        let mut out = Vec::new();
+        snap.expand_into(&[FilterId(10)], &mut out);
+        assert_eq!(out, [FilterId(10), FilterId(11)]);
+    }
+
+    #[test]
+    fn unregister_retires_canonical_on_last_subscriber() {
+        let mut agg = FilterAggregator::new();
+        agg.register(&filter(1, &[7]));
+        agg.register(&filter(2, &[7]));
+        assert!(matches!(
+            agg.unregister(FilterId(1)),
+            UnregisterOutcome::Unsubscribed { canonical } if canonical == CanonicalFilterId(1)
+        ));
+        let UnregisterOutcome::RemovedCanonical { canonical } = agg.unregister(FilterId(2)) else {
+            panic!("last unsubscribe must retire the canonical");
+        };
+        assert_eq!(canonical.id(), FilterId(1));
+        assert_eq!(canonical.terms(), &[TermId(7)]);
+        assert!(matches!(
+            agg.unregister(FilterId(2)),
+            UnregisterOutcome::NotRegistered
+        ));
+        assert_eq!(agg.canonical_count(), 0);
+        assert_eq!(agg.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn reused_canonical_id_falls_back_to_synthetic() {
+        let mut agg = FilterAggregator::new();
+        agg.register(&filter(5, &[1])); // canonical f5 for {1}
+        agg.register(&filter(9, &[1])); // joins f5
+        agg.unregister(FilterId(5)); // f5 the *subscriber* leaves; canonical f5 lives on via f9
+        let out = agg.register(&filter(5, &[2])); // id 5 reused for a new predicate
+        let RegisterOutcome::NewCanonical { canonical } = out else {
+            panic!("new predicate must mint a canonical");
+        };
+        assert_eq!(
+            canonical.id(),
+            FilterId(SYNTH_BIT),
+            "id 5 is a live canonical of another predicate, so synthetic"
+        );
+        let mut expanded = Vec::new();
+        agg.expand_into(&[FilterId(5), FilterId(SYNTH_BIT)], &mut expanded);
+        expanded.sort_unstable();
+        assert_eq!(expanded, [FilterId(5), FilterId(9)]);
+    }
+
+    #[test]
+    fn re_registering_with_new_predicate_moves_the_subscription() {
+        let mut agg = FilterAggregator::new();
+        agg.register(&filter(1, &[1]));
+        agg.register(&filter(2, &[1]));
+        // Subscriber 2 switches predicates: old canonical keeps subscriber 1.
+        assert!(matches!(
+            agg.register(&filter(2, &[3])),
+            RegisterOutcome::NewCanonical { .. }
+        ));
+        assert_eq!(agg.canonical_count(), 2);
+        assert_eq!(agg.subscriber_count(), 2);
+        let mut out = Vec::new();
+        agg.expand_into(&[FilterId(1)], &mut out);
+        assert_eq!(out, [FilterId(1)]);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_churn() {
+        let mut agg = FilterAggregator::new();
+        agg.register(&filter(1, &[1]));
+        let snap = agg.fanout_snapshot();
+        agg.register(&filter(2, &[1]));
+        let mut before = Vec::new();
+        snap.expand_into(&[FilterId(1)], &mut before);
+        assert_eq!(before, [FilterId(1)], "snapshot must not see later churn");
+        let mut after = Vec::new();
+        agg.expand_into(&[FilterId(1)], &mut after);
+        assert_eq!(after, [FilterId(1), FilterId(2)]);
+    }
+}

@@ -1,0 +1,435 @@
+//! Compressed subscriber fan-out sets.
+//!
+//! The control-plane aggregation layer (DESIGN.md §12) stores each
+//! canonical predicate's posting entries once and keeps the mapping back to
+//! its subscribers in a [`FanOutSet`] — a sorted-run/bitmap hybrid in the
+//! style of a roaring bitmap. Subscriber ids are split into 64 Ki-wide
+//! chunks keyed by the high bits; each chunk holds either a sorted array of
+//! low 16-bit halves (sparse) or a dense 8 KiB bitmap (past
+//! [`ARRAY_TO_BITMAP`] entries). Containers sit behind `Arc`s, so cloning a
+//! whole set — or a whole [`FanoutTable`] — is O(chunks) pointer bumps, and
+//! a mutation copies at most one ≤ 8 KiB container (`Arc::make_mut`). That
+//! is what lets every worker hold a coherent snapshot of the global
+//! fan-out table while the control plane churns it.
+
+use move_types::FilterId;
+use std::sync::Arc;
+
+/// Entries per chunk at which a sorted array container is converted into a
+/// dense bitmap. At 4096 × 2 bytes the array equals the 8 KiB bitmap, so
+/// past this point the bitmap is strictly smaller and O(1) to update.
+pub const ARRAY_TO_BITMAP: usize = 4096;
+
+/// Number of `u64` words in a dense bitmap container (covers 65 536 ids).
+const BITMAP_WORDS: usize = 1024;
+
+/// One 64 Ki-id chunk of a fan-out set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Container {
+    /// Sorted low-16-bit halves of the member ids — the sparse shape.
+    Array(Vec<u16>),
+    /// Dense bitmap over the chunk — the shape past [`ARRAY_TO_BITMAP`].
+    Bitmap(Box<[u64; BITMAP_WORDS]>),
+}
+
+impl Container {
+    fn len(&self) -> usize {
+        match self {
+            Container::Array(v) => v.len(),
+            Container::Bitmap(words) => words.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+
+    fn contains(&self, low: u16) -> bool {
+        match self {
+            Container::Array(v) => v.binary_search(&low).is_ok(),
+            Container::Bitmap(words) => words[(low >> 6) as usize] & (1u64 << (low & 63)) != 0,
+        }
+    }
+
+    /// Inserts `low`; returns whether it was newly added. Converts array →
+    /// bitmap when the array outgrows [`ARRAY_TO_BITMAP`].
+    fn insert(&mut self, low: u16) -> bool {
+        match self {
+            Container::Array(v) => match v.binary_search(&low) {
+                Ok(_) => false,
+                Err(pos) => {
+                    if v.len() >= ARRAY_TO_BITMAP {
+                        let mut words = Box::new([0u64; BITMAP_WORDS]);
+                        for &x in v.iter() {
+                            words[(x >> 6) as usize] |= 1u64 << (x & 63);
+                        }
+                        words[(low >> 6) as usize] |= 1u64 << (low & 63);
+                        *self = Container::Bitmap(words);
+                        true
+                    } else {
+                        v.insert(pos, low);
+                        true
+                    }
+                }
+            },
+            Container::Bitmap(words) => {
+                let word = &mut words[(low >> 6) as usize];
+                let bit = 1u64 << (low & 63);
+                let fresh = *word & bit == 0;
+                *word |= bit;
+                fresh
+            }
+        }
+    }
+
+    /// Removes `low`; returns whether it was present. Converts bitmap →
+    /// array when membership falls back under half the threshold (hysteresis
+    /// so a churning set does not thrash between shapes).
+    fn remove(&mut self, low: u16) -> bool {
+        match self {
+            Container::Array(v) => match v.binary_search(&low) {
+                Ok(pos) => {
+                    v.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
+            Container::Bitmap(words) => {
+                let word = &mut words[(low >> 6) as usize];
+                let bit = 1u64 << (low & 63);
+                if *word & bit == 0 {
+                    return false;
+                }
+                *word &= !bit;
+                if self.len() < ARRAY_TO_BITMAP / 2 {
+                    let mut v = Vec::with_capacity(self.len());
+                    self.for_each(|x| v.push(x));
+                    *self = Container::Array(v);
+                }
+                true
+            }
+        }
+    }
+
+    /// Calls `f` with every member low half, ascending.
+    fn for_each(&self, mut f: impl FnMut(u16)) {
+        match self {
+            Container::Array(v) => {
+                for &x in v {
+                    f(x);
+                }
+            }
+            Container::Bitmap(words) => {
+                for (i, &w) in words.iter().enumerate() {
+                    let mut w = w;
+                    while w != 0 {
+                        let bit = w.trailing_zeros();
+                        f(((i as u32) << 6 | bit) as u16);
+                        w &= w - 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn estimated_bytes(&self) -> usize {
+        match self {
+            Container::Array(v) => v.capacity() * 2,
+            Container::Bitmap(_) => BITMAP_WORDS * 8,
+        }
+    }
+}
+
+/// A compressed set of subscriber [`FilterId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use move_index::FanOutSet;
+/// use move_types::FilterId;
+///
+/// let mut set = FanOutSet::new();
+/// set.insert(FilterId(70_000));
+/// set.insert(FilterId(3));
+/// let mut out = Vec::new();
+/// set.union_into(&mut out);
+/// assert_eq!(out, [FilterId(3), FilterId(70_000)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FanOutSet {
+    /// `(chunk_high, container)` sorted by chunk key (`id >> 16`).
+    chunks: Vec<(u64, Arc<Container>)>,
+    /// Cached total membership, kept in lockstep by `insert`/`remove`.
+    len: usize,
+}
+
+impl FanOutSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn split(id: FilterId) -> (u64, u16) {
+        (id.0 >> 16, (id.0 & 0xFFFF) as u16)
+    }
+
+    /// Inserts a subscriber; returns whether it was newly added.
+    pub fn insert(&mut self, id: FilterId) -> bool {
+        let (high, low) = Self::split(id);
+        let fresh = match self.chunks.binary_search_by_key(&high, |c| c.0) {
+            Ok(pos) => Arc::make_mut(&mut self.chunks[pos].1).insert(low),
+            Err(pos) => {
+                self.chunks
+                    .insert(pos, (high, Arc::new(Container::Array(vec![low]))));
+                true
+            }
+        };
+        if fresh {
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Removes a subscriber; returns whether it was present.
+    pub fn remove(&mut self, id: FilterId) -> bool {
+        let (high, low) = Self::split(id);
+        let Ok(pos) = self.chunks.binary_search_by_key(&high, |c| c.0) else {
+            return false;
+        };
+        let container = Arc::make_mut(&mut self.chunks[pos].1);
+        if !container.remove(low) {
+            return false;
+        }
+        if container.len() == 0 {
+            self.chunks.remove(pos);
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// Whether the set contains `id`.
+    pub fn contains(&self, id: FilterId) -> bool {
+        let (high, low) = Self::split(id);
+        match self.chunks.binary_search_by_key(&high, |c| c.0) {
+            Ok(pos) => self.chunks[pos].1.contains(low),
+            Err(_) => false,
+        }
+    }
+
+    /// Number of subscribers in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends every member to `out` in ascending order — the delivery
+    /// finalize path's canonical-to-subscribers expansion.
+    pub fn union_into(&self, out: &mut Vec<FilterId>) {
+        out.reserve(self.len);
+        for (high, container) in &self.chunks {
+            let base = high << 16;
+            container.for_each(|low| out.push(FilterId(base | low as u64)));
+        }
+    }
+
+    /// The members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = FilterId> + '_ {
+        // Chunks are few; collecting per chunk keeps the iterator simple
+        // without materializing the whole set at once.
+        self.chunks.iter().flat_map(|(high, container)| {
+            let base = high << 16;
+            let mut v = Vec::with_capacity(container.len());
+            container.for_each(|low| v.push(FilterId(base | low as u64)));
+            v.into_iter()
+        })
+    }
+
+    /// Approximate heap footprint in bytes (containers + chunk directory).
+    pub fn estimated_bytes(&self) -> usize {
+        let directory = self.chunks.capacity() * std::mem::size_of::<(u64, Arc<Container>)>();
+        directory
+            + self
+                .chunks
+                .iter()
+                .map(|(_, c)| c.estimated_bytes())
+                .sum::<usize>()
+    }
+}
+
+/// The global canonical-to-subscribers table every worker snapshots.
+///
+/// Keys are canonical ids (in `FilterId` space); values are the compressed
+/// subscriber sets. The table itself clones cheaply: the map is rebuilt but
+/// every [`FanOutSet`] shares its containers until mutated.
+#[derive(Debug, Clone, Default)]
+pub struct FanoutTable {
+    sets: std::collections::HashMap<FilterId, FanOutSet>,
+}
+
+impl FanoutTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `subscriber` to `canonical`'s fan-out set; returns whether the
+    /// pair was newly added.
+    pub fn subscribe(&mut self, canonical: FilterId, subscriber: FilterId) -> bool {
+        self.sets.entry(canonical).or_default().insert(subscriber)
+    }
+
+    /// Removes `subscriber` from `canonical`'s fan-out set (dropping the
+    /// entry when it drains); returns whether the pair was present.
+    pub fn unsubscribe(&mut self, canonical: FilterId, subscriber: FilterId) -> bool {
+        let Some(set) = self.sets.get_mut(&canonical) else {
+            return false;
+        };
+        let removed = set.remove(subscriber);
+        if set.is_empty() {
+            self.sets.remove(&canonical);
+        }
+        removed
+    }
+
+    /// The fan-out set of `canonical`, if any subscriber is registered.
+    pub fn get(&self, canonical: FilterId) -> Option<&FanOutSet> {
+        self.sets.get(&canonical)
+    }
+
+    /// Expands matched canonical ids to subscriber ids, appending to `out`.
+    ///
+    /// A matched id with no table entry expands to itself — the identity
+    /// fallback that keeps unaggregated flows (and replay against an older
+    /// table) delivering exactly what they matched.
+    pub fn expand_into(&self, matched: &[FilterId], out: &mut Vec<FilterId>) {
+        for &c in matched {
+            match self.sets.get(&c) {
+                Some(set) => set.union_into(out),
+                None => out.push(c),
+            }
+        }
+    }
+
+    /// Number of canonical entries.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Total subscribers across all canonical entries.
+    pub fn subscribers(&self) -> usize {
+        self.sets.values().map(FanOutSet::len).sum()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        let map = self.sets.capacity()
+            * (std::mem::size_of::<FilterId>() + std::mem::size_of::<FanOutSet>());
+        map + self
+            .sets
+            .values()
+            .map(FanOutSet::estimated_bytes)
+            .sum::<usize>()
+    }
+
+    /// Iterates `(canonical, fan-out set)` entries in arbitrary order.
+    pub fn entries(&self) -> impl Iterator<Item = (FilterId, &FanOutSet)> + '_ {
+        self.sets.iter().map(|(&c, s)| (c, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn set_matches_btreeset_under_random_churn() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut set = FanOutSet::new();
+        let mut oracle: BTreeSet<FilterId> = BTreeSet::new();
+        for _ in 0..20_000 {
+            let id = FilterId(rng.gen_range(0..200_000u64));
+            if rng.gen_range(0..3u32) == 0 {
+                assert_eq!(set.remove(id), oracle.remove(&id));
+            } else {
+                assert_eq!(set.insert(id), oracle.insert(id));
+            }
+        }
+        assert_eq!(set.len(), oracle.len());
+        let mut got = Vec::new();
+        set.union_into(&mut got);
+        let want: Vec<FilterId> = oracle.iter().copied().collect();
+        assert_eq!(got, want);
+        assert_eq!(set.iter().collect::<Vec<_>>(), want);
+        for probe in (0..200_000u64).step_by(997) {
+            assert_eq!(
+                set.contains(FilterId(probe)),
+                oracle.contains(&FilterId(probe))
+            );
+        }
+    }
+
+    #[test]
+    fn dense_chunk_converts_to_bitmap_and_back() {
+        let mut set = FanOutSet::new();
+        // One chunk, filled past the array threshold.
+        for i in 0..(ARRAY_TO_BITMAP as u64 + 500) {
+            set.insert(FilterId(i));
+        }
+        assert!(matches!(&*set.chunks[0].1, Container::Bitmap(_)));
+        let bitmap_bytes = set.estimated_bytes();
+        assert!(bitmap_bytes >= BITMAP_WORDS * 8);
+        // Drain below half the threshold: hysteresis converts back.
+        for i in 0..(ARRAY_TO_BITMAP as u64) {
+            set.remove(FilterId(i));
+        }
+        assert!(matches!(&*set.chunks[0].1, Container::Array(_)));
+        assert_eq!(set.len(), 500);
+        let mut out = Vec::new();
+        set.union_into(&mut out);
+        assert_eq!(out.len(), 500);
+        assert_eq!(out[0], FilterId(ARRAY_TO_BITMAP as u64));
+    }
+
+    #[test]
+    fn clone_shares_containers_until_mutated() {
+        let mut a = FanOutSet::new();
+        for i in 0..100u64 {
+            a.insert(FilterId(i));
+        }
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.chunks[0].1, &b.chunks[0].1));
+        a.insert(FilterId(100));
+        assert!(!Arc::ptr_eq(&a.chunks[0].1, &b.chunks[0].1));
+        assert_eq!(b.len(), 100);
+        assert_eq!(a.len(), 101);
+    }
+
+    #[test]
+    fn table_expand_uses_identity_fallback() {
+        let mut table = FanoutTable::new();
+        table.subscribe(FilterId(1), FilterId(10));
+        table.subscribe(FilterId(1), FilterId(11));
+        let mut out = Vec::new();
+        table.expand_into(&[FilterId(1), FilterId(7)], &mut out);
+        assert_eq!(out, [FilterId(10), FilterId(11), FilterId(7)]);
+    }
+
+    #[test]
+    fn table_unsubscribe_drops_drained_entries() {
+        let mut table = FanoutTable::new();
+        assert!(table.subscribe(FilterId(1), FilterId(10)));
+        assert!(!table.subscribe(FilterId(1), FilterId(10)));
+        assert!(table.unsubscribe(FilterId(1), FilterId(10)));
+        assert!(!table.unsubscribe(FilterId(1), FilterId(10)));
+        assert!(table.is_empty());
+        assert_eq!(table.subscribers(), 0);
+    }
+}

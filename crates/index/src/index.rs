@@ -193,7 +193,11 @@ impl InvertedIndex {
                         s.postings += 1;
                     }
                 }
-                (t, PostingList::from_sorted(ids))
+                // One sorted-batch merge instead of per-id inserts — for a
+                // fresh list this is a straight memcpy.
+                let mut pl = PostingList::new();
+                pl.extend_sorted(&ids);
+                (t, pl)
             })
             .collect();
         Self {
@@ -353,6 +357,34 @@ impl InvertedIndex {
     /// Total posting entries across all lists (the index's storage weight).
     pub fn total_postings(&self) -> u64 {
         self.postings.values().map(|p| p.len() as u64).sum()
+    }
+
+    /// Ids of every stored filter body, in arbitrary order.
+    pub fn filter_ids(&self) -> impl Iterator<Item = FilterId> + '_ {
+        self.filters.keys().copied()
+    }
+
+    /// Approximate heap footprint of the index in bytes: posting lists,
+    /// the filter directory, and the term bodies behind it. `Arc`-shared
+    /// filter bodies are charged once per index that stores them, which is
+    /// what the control-plane bytes/filter accounting wants (each node
+    /// would hold its own copy across real machines).
+    pub fn estimated_bytes(&self) -> usize {
+        let lists: usize = self
+            .postings
+            .values()
+            .map(PostingList::estimated_bytes)
+            .sum();
+        let posting_map = self.postings.capacity()
+            * (std::mem::size_of::<TermId>() + std::mem::size_of::<PostingList>());
+        let bodies: usize = self
+            .filters
+            .values()
+            .map(|s| std::mem::size_of::<Filter>() + std::mem::size_of_val(s.body.terms()))
+            .sum();
+        let filter_map = self.filters.capacity()
+            * (std::mem::size_of::<FilterId>() + std::mem::size_of::<StoredFilter>());
+        lists + posting_map + bodies + filter_map
     }
 
     /// The home-node match (§III-B): retrieve only the posting list of
@@ -646,6 +678,41 @@ mod tests {
         assert!(got.matched.is_empty());
         assert_eq!(got.lists_retrieved, 0);
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn heavy_unregister_churn_leaves_no_drained_terms() {
+        // Regression guard: `remove` and `remove_term_posting` must prune a
+        // term's posting entry (and the filter's refcount slot) the moment
+        // its list drains, or a long-lived node leaks one empty list per
+        // term it ever served and `terms()` reports ghosts to the router.
+        let mut idx = InvertedIndex::new(MatchSemantics::Boolean);
+        for round in 0u64..50 {
+            for id in 0u64..40 {
+                let fid = round * 40 + id;
+                let terms = [(fid % 17) as u32, (fid % 23) as u32 + 17];
+                idx.insert(f(fid, &terms));
+            }
+            // Drain via both removal paths.
+            for id in 0u64..40 {
+                let fid = round * 40 + id;
+                if fid % 2 == 0 {
+                    assert!(idx.remove(FilterId(fid)));
+                } else {
+                    let body = idx.filter(FilterId(fid)).cloned().expect("stored");
+                    for &t in body.terms() {
+                        assert!(idx.remove_term_posting(FilterId(fid), t));
+                    }
+                }
+            }
+            assert!(idx.is_empty(), "round {round}: filters must drain");
+            assert_eq!(
+                idx.terms().count(),
+                0,
+                "round {round}: drained terms must be pruned"
+            );
+            assert_eq!(idx.total_postings(), 0);
+        }
     }
 
     #[test]

@@ -34,9 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
+pub mod fanout;
 mod index;
 mod posting;
 pub mod vsm;
 
+pub use aggregate::{FilterAggregator, RegisterOutcome, UnregisterOutcome};
+pub use fanout::{FanOutSet, FanoutTable};
 pub use index::{brute_force, deep_clone_count, InvertedIndex, MatchOutcome, MatchScratch};
 pub use posting::PostingList;

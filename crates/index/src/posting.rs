@@ -43,12 +43,78 @@ impl PostingList {
         }
     }
 
-    /// Wraps an already sorted, deduplicated id vector without re-sorting —
-    /// the bulk [`InvertedIndex::build_from`](crate::InvertedIndex::build_from)
-    /// construction path.
+    /// Wraps an already sorted, deduplicated id vector without re-sorting.
+    /// The bulk construction paths go through
+    /// [`PostingList::extend_sorted`]; this remains as a test fixture.
+    #[cfg(test)]
     pub(crate) fn from_sorted(ids: Vec<FilterId>) -> Self {
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
         Self { ids }
+    }
+
+    /// Merges a sorted, deduplicated batch of ids in one pass; returns how
+    /// many were newly added.
+    ///
+    /// Per-id [`PostingList::insert`] pays an O(n) memmove for every id
+    /// landing in the middle of a hot term's list, so bulk registration
+    /// (index construction, journal replay) over `k` ids costs O(n·k).
+    /// This path merges the two sorted runs back-to-front into the final
+    /// allocation instead — O(n + k) and at most one reallocation.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert that `batch` is strictly sorted.
+    pub fn extend_sorted(&mut self, batch: &[FilterId]) -> usize {
+        debug_assert!(
+            batch.windows(2).all(|w| w[0] < w[1]),
+            "batch must be sorted and deduplicated"
+        );
+        if batch.is_empty() {
+            return 0;
+        }
+        if self.ids.is_empty() {
+            self.ids.extend_from_slice(batch);
+            return batch.len();
+        }
+        // Fast path: the batch appends strictly after the current tail —
+        // the common case when ids are registered in ascending order.
+        if let (Some(&tail), Some(&head)) = (self.ids.last(), batch.first()) {
+            if tail < head {
+                self.ids.extend_from_slice(batch);
+                return batch.len();
+            }
+        }
+        let fresh = batch.iter().filter(|id| !self.contains(**id)).count();
+        if fresh == 0 {
+            return 0;
+        }
+        let old_len = self.ids.len();
+        self.ids.resize(old_len + fresh, FilterId(0));
+        // Merge back-to-front so existing ids move at most once.
+        let mut write = self.ids.len();
+        let mut a = old_len; // existing run cursor (exclusive)
+        let mut b = batch.len(); // batch cursor (exclusive)
+        while b > 0 {
+            write -= 1;
+            if a > 0 && self.ids[a - 1] >= batch[b - 1] {
+                if self.ids[a - 1] == batch[b - 1] {
+                    b -= 1; // duplicate: keep the existing copy
+                }
+                a -= 1;
+                self.ids[write] = self.ids[a];
+            } else {
+                b -= 1;
+                self.ids[write] = batch[b];
+            }
+        }
+        debug_assert!(self.ids.windows(2).all(|w| w[0] < w[1]));
+        fresh
+    }
+
+    /// Approximate heap footprint of this list in bytes — the control-plane
+    /// accounting `bench_control` reports as bytes/filter.
+    pub fn estimated_bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<FilterId>()
     }
 
     /// Removes a filter id; returns whether it was present.
@@ -136,5 +202,53 @@ mod tests {
         let pl = PostingList::new();
         assert!(pl.is_empty());
         assert!(!pl.contains(FilterId(0)));
+    }
+
+    #[test]
+    fn extend_sorted_equals_repeated_insert() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for case in 0..200 {
+            let base_len = rng.gen_range(0..30);
+            let batch_len = rng.gen_range(0..30);
+            let mut base: Vec<FilterId> = (0..base_len)
+                .map(|_| FilterId(rng.gen_range(0..60u64)))
+                .collect();
+            base.sort_unstable();
+            base.dedup();
+            let mut batch: Vec<FilterId> = (0..batch_len)
+                .map(|_| FilterId(rng.gen_range(0..60u64)))
+                .collect();
+            batch.sort_unstable();
+            batch.dedup();
+
+            let mut merged = PostingList::from_sorted(base.clone());
+            let mut oracle = PostingList::from_sorted(base);
+            let added = merged.extend_sorted(&batch);
+            let mut oracle_added = 0;
+            for &id in &batch {
+                if oracle.insert(id) {
+                    oracle_added += 1;
+                }
+            }
+            assert_eq!(merged, oracle, "case {case} diverged");
+            assert_eq!(added, oracle_added, "case {case} counted wrong");
+        }
+    }
+
+    #[test]
+    fn extend_sorted_append_and_noop_paths() {
+        let mut pl = PostingList::from_sorted(vec![FilterId(1), FilterId(2)]);
+        // Pure append.
+        assert_eq!(pl.extend_sorted(&[FilterId(5), FilterId(9)]), 2);
+        // All duplicates.
+        assert_eq!(pl.extend_sorted(&[FilterId(1), FilterId(9)]), 0);
+        // Empty batch.
+        assert_eq!(pl.extend_sorted(&[]), 0);
+        assert_eq!(
+            pl.ids(),
+            &[FilterId(1), FilterId(2), FilterId(5), FilterId(9)]
+        );
     }
 }

@@ -34,8 +34,8 @@
 //! in flight at the moment of a crash, exactly-once otherwise.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
-use move_core::{Dissemination, MatchTask, RoutingView};
-use move_index::InvertedIndex;
+use move_core::{Dissemination, MatchTask, RegisterOp, RoutingView, UnregisterOp};
+use move_index::{FanoutTable, InvertedIndex};
 use move_stats::LatencyHistogram;
 use move_types::{DocId, Document, Filter, FilterId, MoveError, NodeId, Result};
 use rand::rngs::StdRng;
@@ -51,7 +51,7 @@ use crate::fault::{FaultEvent, FaultPlan};
 use crate::ingest::{IngestCommand, IngestShared, IngestTable, IngestThread, Pool};
 use crate::message::{Delivery, DocTask, NodeMessage};
 use crate::metrics::{IngestMetrics, NodeMetrics, RuntimeReport};
-use crate::supervisor::Supervisor;
+use crate::supervisor::{JournalOp, Supervisor};
 use crate::worker::{Worker, WorkerFinal};
 
 /// The seed of the control thread's replica-choice RNG (ingest threads
@@ -70,6 +70,9 @@ pub(crate) enum Command {
     /// barriered the ingest plane and placed the filter, so a publisher's
     /// register→publish order is preserved end to end.
     RegisterSync(Filter, Sender<()>),
+    Unregister(FilterId),
+    /// Pool-mode unregistration, acked like [`Command::RegisterSync`].
+    UnregisterSync(FilterId, Sender<()>),
     Publish(Box<Document>),
     Stats(Sender<Vec<NodeMetrics>>),
     /// An ingest thread found worker `node` dead (or already declared
@@ -116,6 +119,9 @@ pub(crate) fn reclaim(msg: NodeMessage) -> BatchOutcome {
         // `Transport::batch` is only ever called with `PublishDocument`;
         // other returned messages carry no tasks to reclaim.
         NodeMessage::RegisterFilter { .. }
+        | NodeMessage::UnregisterFilter { .. }
+        | NodeMessage::Subscribe { .. }
+        | NodeMessage::Unsubscribe { .. }
         | NodeMessage::AllocationUpdate { .. }
         | NodeMessage::InstallPartitions { .. }
         | NodeMessage::RetirePartitions { .. }
@@ -145,15 +151,16 @@ pub(crate) trait Transport {
     /// Delivers a document batch to node `n` under the overflow policy.
     fn batch(&mut self, n: usize, msg: NodeMessage) -> BatchOutcome;
 
-    /// Replaces a dead worker `n` with a fresh one serving `index`.
-    /// Returns `false` when this transport cannot restart workers (e.g.
-    /// during engine teardown).
-    fn restart(&mut self, n: usize, index: Arc<InvertedIndex>) -> bool;
+    /// Replaces a dead worker `n` with a fresh one serving `index` and
+    /// expanding deliveries through `fanout`. Returns `false` when this
+    /// transport cannot restart workers (e.g. during engine teardown).
+    fn restart(&mut self, n: usize, index: Arc<InvertedIndex>, fanout: Arc<FanoutTable>) -> bool;
 
-    /// Admits a **new** worker at index `nodes()` serving `index` — the
-    /// transport half of a staged node join. Returns `false` when this
-    /// transport cannot spawn workers (engine teardown).
-    fn join(&mut self, index: Arc<InvertedIndex>) -> bool;
+    /// Admits a **new** worker at index `nodes()` serving `index` with
+    /// fan-out table `fanout` — the transport half of a staged node join.
+    /// Returns `false` when this transport cannot spawn workers (engine
+    /// teardown).
+    fn join(&mut self, index: Arc<InvertedIndex>, fanout: Arc<FanoutTable>) -> bool;
 }
 
 /// The production transport: one bounded crossbeam channel per worker
@@ -172,8 +179,14 @@ pub(crate) struct ThreadTransport {
 }
 
 impl ThreadTransport {
-    /// Spawns (or respawns) worker `n` serving `index`.
-    fn spawn_worker(&mut self, n: usize, index: Arc<InvertedIndex>) -> Result<()> {
+    /// Spawns (or respawns) worker `n` serving `index`, expanding
+    /// deliveries through `fanout`.
+    fn spawn_worker(
+        &mut self,
+        n: usize,
+        index: Arc<InvertedIndex>,
+        fanout: Arc<FanoutTable>,
+    ) -> Result<()> {
         let Some(final_tx) = self.final_tx.clone() else {
             return Err(MoveError::Runtime("engine is shutting down".into()));
         };
@@ -181,6 +194,7 @@ impl ThreadTransport {
         let worker = Worker::with_lanes(
             NodeId(n as u32),
             index,
+            fanout,
             rx,
             self.delivery_tx.clone(),
             self.match_lanes,
@@ -225,13 +239,13 @@ impl Transport for ThreadTransport {
         }
     }
 
-    fn restart(&mut self, n: usize, index: Arc<InvertedIndex>) -> bool {
-        self.spawn_worker(n, index).is_ok()
+    fn restart(&mut self, n: usize, index: Arc<InvertedIndex>, fanout: Arc<FanoutTable>) -> bool {
+        self.spawn_worker(n, index, fanout).is_ok()
     }
 
-    fn join(&mut self, index: Arc<InvertedIndex>) -> bool {
+    fn join(&mut self, index: Arc<InvertedIndex>, fanout: Arc<FanoutTable>) -> bool {
         let n = self.workers.len();
-        self.spawn_worker(n, index).is_ok()
+        self.spawn_worker(n, index, fanout).is_ok()
     }
 }
 
@@ -297,11 +311,15 @@ impl Engine {
             delivery_tx,
             final_tx: Some(final_tx),
         };
+        // Filters registered before `start` may already be aggregated;
+        // every worker boots from the scheme's current fan-out snapshot
+        // (empty for non-aggregating schemes — identity expansion).
+        let fanout = scheme.fanout_table();
         let mut bases = Vec::with_capacity(nodes);
         for i in 0..nodes {
             let index = scheme.shared_node_index(NodeId(i as u32));
             bases.push(Arc::clone(&index));
-            transport.spawn_worker(i, index)?;
+            transport.spawn_worker(i, index, Arc::clone(&fanout))?;
         }
 
         let (cmd_tx, cmd_rx) = bounded(config.command_capacity);
@@ -389,6 +407,21 @@ impl Engine {
             .send(Command::RegisterSync(filter, tx))
             .is_ok()
         {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Unregisters a subscriber: the control plane removes the
+    /// subscription and — when it was the predicate's last — drops the
+    /// canonical's serving copies from the affected workers. Synchronous
+    /// in router-pool mode, like [`Engine::register`].
+    pub fn unregister(&self, id: FilterId) {
+        if self.ingest.is_empty() {
+            let _ = self.commands.send(Command::Unregister(id));
+            return;
+        }
+        let (tx, rx) = bounded(1);
+        if self.commands.send(Command::UnregisterSync(id, tx)).is_ok() {
             let _ = rx.recv();
         }
     }
@@ -555,6 +588,12 @@ pub(crate) struct Router<T> {
     pub(crate) tasks_dispatched: u64,
     pub(crate) tasks_shed: u64,
     pub(crate) allocation_updates: u64,
+    /// Live registrations applied (post-start churn included).
+    pub(crate) registrations: u64,
+    /// Live unregistrations applied.
+    pub(crate) unregistrations: u64,
+    /// Registrations that hit an already-live canonical predicate.
+    pub(crate) canonical_hits: u64,
 }
 
 impl<T: Transport> Router<T> {
@@ -568,6 +607,7 @@ impl<T: Transport> Router<T> {
         let nodes = transport.nodes();
         let view = scheme.routing_view(0);
         let batcher = BatchController::new(&config);
+        let supervisor = Supervisor::new(bases, scheme.fanout_table());
         Self {
             scheme,
             config,
@@ -580,7 +620,7 @@ impl<T: Transport> Router<T> {
             pending: vec![Vec::new(); nodes],
             plan: plan.events,
             next_fault: 0,
-            supervisor: Supervisor::new(bases),
+            supervisor,
             dead: vec![false; nodes],
             pending_join: None,
             migration: crate::rebalance::MigrationCounters::default(),
@@ -591,6 +631,9 @@ impl<T: Transport> Router<T> {
             tasks_dispatched: 0,
             tasks_shed: 0,
             allocation_updates: 0,
+            registrations: 0,
+            unregistrations: 0,
+            canonical_hits: 0,
         }
     }
 
@@ -607,6 +650,11 @@ impl<T: Transport> Router<T> {
             Command::Register(filter) => self.register(&filter)?,
             Command::RegisterSync(filter, ack) => {
                 self.register(&filter)?;
+                let _ = ack.send(());
+            }
+            Command::Unregister(id) => self.unregister(id)?,
+            Command::UnregisterSync(id, ack) => {
+                self.unregister(id)?;
                 let _ = ack.send(());
             }
             Command::Stats(reply) => self.stats(&reply),
@@ -750,6 +798,11 @@ impl<T: Transport> Router<T> {
                 .iter()
                 .map(|m| m.batch_limit_hwm)
                 .fold(self.batcher.hwm() as u64, u64::max),
+            registrations: self.registrations,
+            unregistrations: self.unregistrations,
+            canonical_hits: self.canonical_hits,
+            canonical_filters: self.scheme.canonical_filters(),
+            aggregation_bytes: self.scheme.aggregation_bytes(),
             ingest,
             q_hits: self.scheme.doc_hits_per_node(),
             nodes,
@@ -883,35 +936,173 @@ impl<T: Transport> Router<T> {
     }
 
     fn register(&mut self, filter: &Filter) -> Result<()> {
-        let targets = self.scheme.registration_targets(filter);
-        self.scheme.register(filter)?;
-        // One shared body for the journal and every target node's message.
-        let filter = Arc::new(filter.clone());
-        for (node, terms) in targets {
-            let n = node.as_usize();
-            // Flush first so documents published before this registration
-            // are matched against the pre-registration shard.
-            self.flush_node(n);
-            // Journal before sending: if the send finds the worker dead,
-            // the replay already covers this registration.
-            self.supervisor
-                .record_registration(n, &filter, terms.as_ref());
-            if !self.transport.control(
-                n,
-                NodeMessage::RegisterFilter {
-                    filter: Arc::clone(&filter),
-                    terms,
-                },
-            ) {
-                self.supervise_control_failure(n);
+        // The scheme applies the mutation to its own serving state and
+        // describes what the workers must be told (DESIGN.md §12).
+        let ops = self.scheme.register_op(filter)?;
+        let mut layout_changed = false;
+        if let Some(displaced) = ops.displaced {
+            // The same subscriber id re-registering with a different
+            // predicate: its old subscription leaves first.
+            layout_changed |= self.ship_unregister_op(displaced);
+        }
+        match ops.op {
+            RegisterOp::NoOp => {}
+            RegisterOp::Subscribe {
+                canonical,
+                subscriber,
+            } => {
+                // Canonical hit: no posting entry moves anywhere and the
+                // routing inputs are untouched, so the (comparatively
+                // expensive) view refresh is skipped — the control-plane
+                // aggregation win under registration churn.
+                self.registrations += 1;
+                self.canonical_hits += 1;
+                self.broadcast_subscription(canonical, subscriber, true);
+            }
+            RegisterOp::NewCanonical {
+                canonical,
+                subscriber,
+                targets,
+            } => {
+                self.registrations += 1;
+                let id = canonical.id();
+                for (node, terms) in targets {
+                    let n = node.as_usize();
+                    // Flush first so documents published before this
+                    // registration are matched against the
+                    // pre-registration shard.
+                    self.flush_node(n);
+                    // Journal before sending: if the send finds the worker
+                    // dead, the replay already covers this registration.
+                    self.supervisor.record_op(
+                        n,
+                        JournalOp::Register {
+                            filter: Arc::clone(&canonical),
+                            terms: terms.clone(),
+                        },
+                    );
+                    if !self.transport.control(
+                        n,
+                        NodeMessage::RegisterFilter {
+                            filter: Arc::clone(&canonical),
+                            terms,
+                        },
+                    ) {
+                        self.supervise_control_failure(n);
+                    }
+                }
+                // Subscribe *after* the serving copies: a document slotted
+                // between the two on a target node expands the canonical
+                // through the identity fallback — exactly the one live
+                // subscriber it has.
+                self.broadcast_subscription(id, subscriber, true);
+                layout_changed = true;
             }
         }
         // A pinned view defers the refresh — the registration takes routing
         // effect only at pin expiry, like a snapshot still in flight.
-        if self.pin_docs == 0 {
+        if layout_changed && self.pin_docs == 0 {
             self.refresh_view();
         }
         Ok(())
+    }
+
+    fn unregister(&mut self, id: FilterId) -> Result<()> {
+        let op = self.scheme.unregister_op(id)?;
+        if matches!(op, UnregisterOp::NotRegistered) {
+            return Ok(());
+        }
+        self.unregistrations += 1;
+        if self.ship_unregister_op(op) && self.pin_docs == 0 {
+            self.refresh_view();
+        }
+        Ok(())
+    }
+
+    /// Ships one unregistration's worker messages; returns whether the
+    /// posting layout changed (and the routing view therefore went stale).
+    fn ship_unregister_op(&mut self, op: UnregisterOp) -> bool {
+        match op {
+            UnregisterOp::NotRegistered => false,
+            UnregisterOp::Unsubscribe {
+                canonical,
+                subscriber,
+            } => {
+                self.broadcast_subscription(canonical, subscriber, false);
+                false
+            }
+            UnregisterOp::RemoveCanonical {
+                canonical,
+                subscriber,
+                targets,
+            } => {
+                // Postings first, fan-out entry second: a document slotted
+                // between the two on a target node no longer matches the
+                // canonical, so the (already drained, possibly dropped)
+                // fan-out entry is never consulted for it — no spurious
+                // identity-fallback delivery of a long-gone donor id.
+                for (node, terms) in targets {
+                    let n = node.as_usize();
+                    self.flush_node(n);
+                    self.supervisor.record_op(
+                        n,
+                        JournalOp::Unregister {
+                            id: canonical,
+                            terms: terms.clone(),
+                        },
+                    );
+                    if !self.transport.control(
+                        n,
+                        NodeMessage::UnregisterFilter {
+                            id: canonical,
+                            terms,
+                        },
+                    ) {
+                        self.supervise_control_failure(n);
+                    }
+                }
+                self.broadcast_subscription(canonical, subscriber, false);
+                true
+            }
+        }
+    }
+
+    /// Broadcasts a fan-out mutation — `Subscribe` when `add`, else
+    /// `Unsubscribe` — to every worker, journaled per node so a restart
+    /// replays subscription refcounts exactly.
+    fn broadcast_subscription(&mut self, canonical: FilterId, subscriber: FilterId, add: bool) {
+        for n in 0..self.transport.nodes() {
+            // Flush first: a document routed before this control op must
+            // expand through the pre-op fan-out table.
+            self.flush_node(n);
+            let (op, msg) = if add {
+                (
+                    JournalOp::Subscribe {
+                        canonical,
+                        subscriber,
+                    },
+                    NodeMessage::Subscribe {
+                        canonical,
+                        subscriber,
+                    },
+                )
+            } else {
+                (
+                    JournalOp::Unsubscribe {
+                        canonical,
+                        subscriber,
+                    },
+                    NodeMessage::Unsubscribe {
+                        canonical,
+                        subscriber,
+                    },
+                )
+            };
+            self.supervisor.record_op(n, op);
+            if !self.transport.control(n, msg) {
+                self.supervise_control_failure(n);
+            }
+        }
     }
 
     fn stats(&mut self, reply: &Sender<Vec<NodeMetrics>>) {
@@ -1214,6 +1405,13 @@ impl Router<ThreadTransport> {
                     self.pool_register(&filter, commands, &mut backlog, pool)?;
                     let _ = ack.send(());
                 }
+                Command::Unregister(id) => {
+                    self.pool_unregister(id, commands, &mut backlog, pool)?;
+                }
+                Command::UnregisterSync(id, ack) => {
+                    self.pool_unregister(id, commands, &mut backlog, pool)?;
+                    let _ = ack.send(());
+                }
                 Command::Stats(reply) => {
                     // Barrier the ingest plane first so "previously
                     // published" includes documents still in ingest hands.
@@ -1431,6 +1629,22 @@ impl Router<ThreadTransport> {
     ) -> Result<()> {
         self.pool_barrier(commands, backlog, pool);
         self.register(filter)?;
+        self.publish_table(pool);
+        Ok(())
+    }
+
+    /// Pool-mode unregistration: the same barrier discipline as
+    /// [`Router::pool_register`], so documents published before the call
+    /// still expand through the pre-unregistration fan-out table.
+    fn pool_unregister(
+        &mut self,
+        id: FilterId,
+        commands: &Receiver<Command>,
+        backlog: &mut VecDeque<Command>,
+        pool: &Pool,
+    ) -> Result<()> {
+        self.pool_barrier(commands, backlog, pool);
+        self.unregister(id)?;
         self.publish_table(pool);
         Ok(())
     }

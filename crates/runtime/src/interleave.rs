@@ -69,7 +69,7 @@
 
 use crossbeam::channel::{unbounded, Sender};
 use move_core::Dissemination;
-use move_index::InvertedIndex;
+use move_index::{FanoutTable, InvertedIndex};
 use move_types::{DocId, Document, Filter, FilterId, MoveError, NodeId, Result};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -137,6 +137,8 @@ impl Default for InterleaveConfig {
 pub enum ScriptOp {
     /// Register a filter through the control plane.
     Register(Filter),
+    /// Unregister a subscriber through the control plane.
+    Unregister(FilterId),
     /// Publish a document through the data plane.
     Publish(Document),
     /// Enqueue a crash fault in the node's mailbox (FIFO behind queued
@@ -272,13 +274,14 @@ impl Transport for SimTransport {
         }
     }
 
-    fn restart(&mut self, n: usize, index: Arc<InvertedIndex>) -> bool {
+    fn restart(&mut self, n: usize, index: Arc<InvertedIndex>, fanout: Arc<FanoutTable>) -> bool {
         // xtask:allow-unbounded — virtual capacity, same as the boot-time
         // mailboxes.
         let (tx, rx) = unbounded();
         let worker = Worker::with_lanes(
             NodeId(n as u32),
             index,
+            fanout,
             rx,
             self.delivery_tx.clone(),
             self.lanes,
@@ -289,7 +292,7 @@ impl Transport for SimTransport {
         true
     }
 
-    fn join(&mut self, index: Arc<InvertedIndex>) -> bool {
+    fn join(&mut self, index: Arc<InvertedIndex>, fanout: Arc<FanoutTable>) -> bool {
         // xtask:allow-unbounded — virtual capacity, same as the boot-time
         // mailboxes.
         let (tx, rx) = unbounded();
@@ -297,6 +300,7 @@ impl Transport for SimTransport {
         let worker = Worker::with_lanes(
             NodeId(n as u32),
             index,
+            fanout,
             rx,
             self.delivery_tx.clone(),
             self.lanes,
@@ -376,6 +380,7 @@ pub fn run_schedule(
     // xtask:allow-unbounded — drained only after the run; bounding it
     // would deadlock the single harness thread.
     let (delivery_tx, delivery_rx) = unbounded();
+    let fanout = scheme.fanout_table();
     let mut mailboxes = Vec::with_capacity(nodes);
     let mut table: Vec<Option<Worker>> = Vec::with_capacity(nodes);
     let mut bases = Vec::with_capacity(nodes);
@@ -388,6 +393,7 @@ pub fn run_schedule(
         table.push(Some(Worker::with_lanes(
             node,
             index,
+            Arc::clone(&fanout),
             rx,
             delivery_tx.clone(),
             lanes,
@@ -535,6 +541,9 @@ pub fn run_schedule(
             Action::Router => match script.pop_front() {
                 Some(ScriptOp::Register(f)) => {
                     router.handle_command(Command::Register(f))?;
+                }
+                Some(ScriptOp::Unregister(id)) => {
+                    router.handle_command(Command::Unregister(id))?;
                 }
                 Some(ScriptOp::Publish(d)) => {
                     router.handle_command(Command::Publish(Box::new(d)))?;

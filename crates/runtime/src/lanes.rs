@@ -34,7 +34,7 @@
 
 use crossbeam::channel::Sender;
 use move_core::MatchTask;
-use move_index::{InvertedIndex, MatchOutcome, MatchScratch};
+use move_index::{FanoutTable, InvertedIndex, MatchOutcome, MatchScratch};
 use move_types::{MatchSemantics, NodeId, TermId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -127,6 +127,9 @@ struct PoolState {
     /// taken at [`MatchPool::begin_batch`]; an `AllocationUpdate` queued
     /// behind the batch cannot bleed into it.
     index: Option<Arc<InvertedIndex>>,
+    /// The fan-out table snapshot of the active batch — a `Subscribe`
+    /// queued behind the batch cannot bleed into its deliveries.
+    fanout: Option<Arc<FanoutTable>>,
     /// One work deque per lane.
     deques: Vec<VecDeque<Unit>>,
     tasks: Vec<TaskAcc>,
@@ -166,6 +169,7 @@ impl MatchPool {
             lanes,
             state: Mutex::new(PoolState {
                 index: None,
+                fanout: None,
                 deques: (0..lanes).map(|_| VecDeque::new()).collect(),
                 tasks: Vec::new(),
                 remaining: 0,
@@ -207,11 +211,17 @@ impl MatchPool {
     /// them round-robin across the lane deques. Must not be called while a
     /// batch is in flight — the worker completes each batch before
     /// touching its mailbox again.
-    pub(crate) fn begin_batch(&self, index: &Arc<InvertedIndex>, batch: Vec<DocTask>) {
+    pub(crate) fn begin_batch(
+        &self,
+        index: &Arc<InvertedIndex>,
+        fanout: &Arc<FanoutTable>,
+        batch: Vec<DocTask>,
+    ) {
         let semantics = index.semantics();
         let mut st = self.state.lock();
         debug_assert_eq!(st.remaining, 0, "previous batch still in flight");
         st.index = Some(Arc::clone(index));
+        st.fanout = Some(Arc::clone(fanout));
         st.tasks.clear();
         let mut dealt = 0usize;
         for task in batch {
@@ -343,19 +353,28 @@ impl MatchPool {
             st.totals.latencies.push(nanos);
             if !matched.is_empty() {
                 // The same canonicalization as the serial worker: sorted,
-                // deduplicated — identical bytes for every merge order.
+                // deduplicated — identical bytes for every merge order —
+                // then canonical→subscriber expansion against the batch's
+                // fan-out snapshot, and a second canonical pass.
                 ctx.scratch.sort_dedup(&mut matched);
-                st.totals.delivered += matched.len() as u64;
+                let mut expanded = Vec::with_capacity(matched.len());
+                match st.fanout.as_ref() {
+                    Some(fanout) => fanout.expand_into(&matched, &mut expanded),
+                    None => expanded.extend_from_slice(&matched),
+                }
+                ctx.scratch.sort_dedup(&mut expanded);
+                st.totals.delivered += expanded.len() as u64;
                 let _ = self.deliveries.send(Delivery {
                     doc: doc_id,
                     node: self.node,
-                    matched,
+                    matched: expanded,
                 });
             }
         }
         st.remaining -= 1;
         if st.remaining == 0 {
             st.index = None;
+            st.fanout = None;
             drop(st);
             self.done.notify_all();
         }
@@ -422,6 +441,10 @@ mod tests {
         Arc::new(idx)
     }
 
+    fn empty_fanout() -> Arc<FanoutTable> {
+        Arc::new(FanoutTable::new())
+    }
+
     fn task(doc: Document, t: MatchTask) -> DocTask {
         DocTask {
             doc: Arc::new(doc),
@@ -448,7 +471,7 @@ mod tests {
         ]);
         let (pool, rx) = pool_of(4);
         let doc = Document::from_distinct_terms(9u64, [TermId(3), TermId(4)]);
-        pool.begin_batch(&idx, vec![task(doc, MatchTask::FullIndex)]);
+        pool.begin_batch(&idx, &empty_fanout(), vec![task(doc, MatchTask::FullIndex)]);
         drain_on(&pool, 0);
         let d = rx.try_recv().unwrap();
         assert_eq!(d.matched, vec![FilterId(1), FilterId(2)]);
@@ -471,7 +494,7 @@ mod tests {
                 )
             })
             .collect();
-        pool.begin_batch(&idx, batch);
+        pool.begin_batch(&idx, &empty_fanout(), batch);
         // Lane 1 alone must steal lane 0's deals and finish everything.
         drain_on(&pool, 1);
         let totals = pool.take_totals();
@@ -495,7 +518,7 @@ mod tests {
                 )
             })
             .collect();
-        pool.begin_batch(&idx, batch);
+        pool.begin_batch(&idx, &empty_fanout(), batch);
         pool.crash_lane(2);
         let mut ctx = LaneCtx::default();
         assert_eq!(
@@ -522,7 +545,7 @@ mod tests {
         let idx = index_with(&[Filter::new(1u64, [TermId(1)])]);
         let (pool, rx) = pool_of(2);
         let doc = Document::from_distinct_terms(5u64, [TermId(1)]);
-        pool.begin_batch(&idx, vec![task(doc, MatchTask::Forward)]);
+        pool.begin_batch(&idx, &empty_fanout(), vec![task(doc, MatchTask::Forward)]);
         drain_on(&pool, 0);
         let totals = pool.take_totals();
         assert_eq!(totals.doc_tasks, 1);

@@ -2,7 +2,7 @@
 
 use crossbeam::channel::Sender;
 use move_core::MatchTask;
-use move_index::InvertedIndex;
+use move_index::{FanoutTable, InvertedIndex};
 use move_types::{DocId, Document, Filter, FilterId, NodeId, TermId};
 use std::sync::Arc;
 use std::time::Instant;
@@ -35,6 +35,35 @@ pub enum NodeMessage {
         filter: Arc<Filter>,
         /// Routing terms to index it under, or `None` for a full insert.
         terms: Option<Vec<TermId>>,
+    },
+    /// Drop serving copies of a canonical filter: its posting entries
+    /// under the given routing terms, or the full body when `terms` is
+    /// `None` (RS replica removal). The inverse of
+    /// [`NodeMessage::RegisterFilter`], sent when a canonical's last
+    /// subscriber unregisters.
+    UnregisterFilter {
+        /// The canonical filter to drop.
+        id: FilterId,
+        /// Routing terms to remove it under, or `None` for a full removal.
+        terms: Option<Vec<TermId>>,
+    },
+    /// Add a subscriber to a canonical's fan-out set (DESIGN.md §12).
+    /// Broadcast to every worker so delivery expansion is layout-
+    /// independent; a canonical hit ships *only* this message — the
+    /// aggregation win.
+    Subscribe {
+        /// The canonical predicate subscribed to.
+        canonical: FilterId,
+        /// The subscriber joining it.
+        subscriber: FilterId,
+    },
+    /// Remove a subscriber from a canonical's fan-out set. Broadcast like
+    /// [`NodeMessage::Subscribe`].
+    Unsubscribe {
+        /// The canonical predicate left.
+        canonical: FilterId,
+        /// The departing subscriber.
+        subscriber: FilterId,
     },
     /// A batch of documents to match.
     PublishDocument {
@@ -78,6 +107,9 @@ pub enum NodeMessage {
         /// The joiner's serving shard, already populated with the moved
         /// partitions — a structural share of the control plane's copy.
         index: Arc<InvertedIndex>,
+        /// The control plane's canonical→subscribers table at admission —
+        /// the joiner missed every earlier subscription broadcast.
+        fanout: Arc<FanoutTable>,
         /// The staged layout version this shard serves.
         layout_version: u64,
     },

@@ -126,6 +126,26 @@ pub struct RuntimeReport {
     /// reached (the router's own, maxed with every ingest thread's).
     #[serde(default)]
     pub batch_limit_hwm: u64,
+    /// Live filter registrations applied through the engine's control
+    /// plane after start (churn workloads; 0 for static filter sets).
+    #[serde(default)]
+    pub registrations: u64,
+    /// Live filter unregistrations applied through the control plane.
+    #[serde(default)]
+    pub unregistrations: u64,
+    /// Registrations that hit an already-live canonical predicate, so the
+    /// control plane shipped only a `Subscribe` broadcast — no posting
+    /// entries were written anywhere (the aggregation win; DESIGN.md §12).
+    #[serde(default)]
+    pub canonical_hits: u64,
+    /// Distinct canonical predicates live at shutdown (equals the live
+    /// filter count when aggregation is disabled).
+    #[serde(default)]
+    pub canonical_filters: u64,
+    /// Control-plane aggregation bookkeeping bytes at shutdown: canonical
+    /// maps plus compressed fan-out sets. 0 when aggregation is disabled.
+    #[serde(default)]
+    pub aggregation_bytes: u64,
     /// Per-node counters, indexed by node id (a node restarted mid-run
     /// reports the merged counters of all its incarnations).
     pub nodes: Vec<NodeMetrics>,

@@ -127,8 +127,13 @@ impl<T: Transport> Router<T> {
         // The worker boots empty; the moved partitions arrive as its first
         // mailbox message, FIFO-ordered ahead of any document routed under
         // the handover view published below.
+        // The joiner missed every subscription broadcast sent so far, so
+        // it is seeded with the scheme's current fan-out snapshot — first
+        // with the worker's boot copy, then (same message as the shard)
+        // with the one the install pins alongside the moved partitions.
+        let fanout = self.scheme.fanout_table();
         let empty = Arc::new(InvertedIndex::new(index.semantics()));
-        if !self.transport.join(empty) {
+        if !self.transport.join(empty, Arc::clone(&fanout)) {
             return Err(MoveError::Runtime(
                 "transport refused to spawn the joining worker".into(),
             ));
@@ -137,14 +142,16 @@ impl<T: Transport> Router<T> {
             node.as_usize(),
             NodeMessage::InstallPartitions {
                 index: Arc::clone(&index),
+                fanout: Arc::clone(&fanout),
                 layout_version: summary.layout_version,
             },
         );
         debug_assert!(installed, "a freshly spawned worker cannot be dead");
         let _ = installed;
-        // The joiner's journal base is the installed shard: a crash of the
-        // joining node replays exactly what the handover streamed to it.
-        self.supervisor.admit(&index);
+        // The joiner's journal base is the installed shard plus the seeded
+        // fan-out table: a crash of the joining node replays exactly what
+        // the handover streamed to it.
+        self.supervisor.admit(&index, &fanout);
         self.pending.push(Vec::new());
         self.dead.push(false);
         self.migration.partitions_moved += summary.partitions_moved;

@@ -2,21 +2,23 @@
 //!
 //! A restarted worker thread starts from an **empty** mailbox, so whatever
 //! filter state the dead incarnation held must be rebuilt. The supervisor
-//! keeps, per node, exactly what the router has sent it: a **base index
-//! snapshot** (the shard cloned at engine start, replaced wholesale on
-//! every allocation refresh) plus the **registrations since** that
-//! snapshot. Replay = restart the worker with a clone of the base, then
-//! re-send the journaled registrations — byte-for-byte the same
-//! [`NodeMessage`]s the first incarnation received, so the rebuilt shard
-//! equals a fresh registration of the same filters (the property
+//! keeps, per node, exactly what the router has sent it: a **base
+//! snapshot** (the shard plus the canonical→subscribers fan-out table
+//! cloned at engine start, replaced wholesale on every allocation
+//! refresh) plus the **control ops since** that snapshot — registrations,
+//! unregistrations, subscribes, and unsubscribes, in send order. Replay =
+//! restart the worker with a clone of the base, then re-send the
+//! journaled ops — byte-for-byte the same [`NodeMessage`]s the first
+//! incarnation received, so the rebuilt shard *and* fan-out refcounts
+//! equal a fresh registration of the same filters (the property
 //! `fault_props.rs` pins down).
 //!
-//! Registrations are journaled *before* the send is attempted: if the send
-//! itself discovers the death, the replay already covers the message that
-//! found the body.
+//! Ops are journaled *before* the send is attempted: if the send itself
+//! discovers the death, the replay already covers the message that found
+//! the body.
 
-use move_index::InvertedIndex;
-use move_types::{Filter, TermId};
+use move_index::{FanoutTable, InvertedIndex};
+use move_types::{Filter, FilterId, TermId};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -61,22 +63,72 @@ impl SupervisionPolicy {
     }
 }
 
-/// One journaled registration, exactly as sent to the worker.
+/// One journaled control op, exactly as sent to the worker.
 #[derive(Debug, Clone)]
-pub(crate) struct JournaledRegistration {
-    pub filter: Arc<Filter>,
-    pub terms: Option<Vec<TermId>>,
+pub(crate) enum JournalOp {
+    /// A [`NodeMessage::RegisterFilter`].
+    Register {
+        filter: Arc<Filter>,
+        terms: Option<Vec<TermId>>,
+    },
+    /// A [`NodeMessage::UnregisterFilter`].
+    Unregister {
+        id: FilterId,
+        terms: Option<Vec<TermId>>,
+    },
+    /// A [`NodeMessage::Subscribe`].
+    Subscribe {
+        canonical: FilterId,
+        subscriber: FilterId,
+    },
+    /// A [`NodeMessage::Unsubscribe`].
+    Unsubscribe {
+        canonical: FilterId,
+        subscriber: FilterId,
+    },
 }
 
-/// Per-node registration journal: base snapshot + registrations since.
+impl JournalOp {
+    fn to_message(&self) -> NodeMessage {
+        match self {
+            JournalOp::Register { filter, terms } => NodeMessage::RegisterFilter {
+                filter: Arc::clone(filter),
+                terms: terms.clone(),
+            },
+            JournalOp::Unregister { id, terms } => NodeMessage::UnregisterFilter {
+                id: *id,
+                terms: terms.clone(),
+            },
+            JournalOp::Subscribe {
+                canonical,
+                subscriber,
+            } => NodeMessage::Subscribe {
+                canonical: *canonical,
+                subscriber: *subscriber,
+            },
+            JournalOp::Unsubscribe {
+                canonical,
+                subscriber,
+            } => NodeMessage::Unsubscribe {
+                canonical: *canonical,
+                subscriber: *subscriber,
+            },
+        }
+    }
+}
+
+/// Per-node control journal: base snapshot + ops since.
 pub(crate) struct NodeJournal {
     /// The worker's shard as of the last allocation update (or engine
     /// start) — a structural share of the snapshot the worker serves; the
     /// worker copies-on-write if it mutates, so this stays immutable. A
     /// restarted worker boots directly from another share of it.
     base: Arc<InvertedIndex>,
-    /// Registrations sent after the base snapshot, in send order.
-    since: Vec<JournaledRegistration>,
+    /// The worker's fan-out table at the same snapshot — replayed refcounts
+    /// start from it, so subscribe/unsubscribe counts rebuild exactly.
+    fanout: Arc<FanoutTable>,
+    /// Control ops sent after the base snapshot, in send order.
+    since: Vec<JournalOp>,
 }
 
 /// The router's supervision state: one journal per node plus the degraded-
@@ -92,13 +144,15 @@ pub(crate) struct Supervisor {
 }
 
 impl Supervisor {
-    /// Seeds one journal per node from the workers' initial shards.
-    pub(crate) fn new(bases: Vec<Arc<InvertedIndex>>) -> Self {
+    /// Seeds one journal per node from the workers' initial shards and the
+    /// shared boot-time fan-out snapshot.
+    pub(crate) fn new(bases: Vec<Arc<InvertedIndex>>, fanout: Arc<FanoutTable>) -> Self {
         Self {
             journals: bases
                 .into_iter()
                 .map(|base| NodeJournal {
                     base,
+                    fanout: Arc::clone(&fanout),
                     since: Vec::new(),
                 })
                 .collect(),
@@ -108,36 +162,52 @@ impl Supervisor {
         }
     }
 
-    /// Journals a registration about to be sent to node `n`.
-    pub(crate) fn record_registration(
-        &mut self,
-        n: usize,
-        filter: &Arc<Filter>,
-        terms: Option<&Vec<TermId>>,
-    ) {
-        self.journals[n].since.push(JournaledRegistration {
-            filter: Arc::clone(filter),
-            terms: terms.cloned(),
-        });
+    /// Journals a control op about to be sent to node `n`.
+    pub(crate) fn record_op(&mut self, n: usize, op: JournalOp) {
+        self.journals[n].since.push(op);
     }
 
-    /// Admits a joining node: its journal starts from the shard the
-    /// migration engine installed (moved partitions included), with an
-    /// empty since-log — a crash of the joiner replays exactly what the
-    /// handover streamed to it.
-    pub(crate) fn admit(&mut self, base: &Arc<InvertedIndex>) {
+    /// Admits a joining node: its journal starts from the shard and fan-out
+    /// table the migration engine installed (moved partitions included),
+    /// with an empty since-log — a crash of the joiner replays exactly what
+    /// the handover streamed to it.
+    pub(crate) fn admit(&mut self, base: &Arc<InvertedIndex>, fanout: &Arc<FanoutTable>) {
         self.journals.push(NodeJournal {
             base: Arc::clone(base),
+            fanout: Arc::clone(fanout),
             since: Vec::new(),
         });
     }
 
-    /// Journals an allocation update: the new shard becomes the base and
-    /// the since-log resets (the shard already contains every filter the
-    /// log would replay).
+    /// Journals an allocation update: the new shard becomes the index base
+    /// and the since-log resets — but only its registration/unregistration
+    /// entries are obsolete (the shard already contains every filter the
+    /// log would replay). Subscribe/unsubscribe deltas since the fan-out
+    /// base are folded into a fresh fan-out snapshot first, so refcounts
+    /// survive the reset.
     pub(crate) fn record_snapshot(&mut self, n: usize, index: &Arc<InvertedIndex>) {
-        self.journals[n].base = Arc::clone(index);
-        self.journals[n].since.clear();
+        let journal = &mut self.journals[n];
+        let mut fanout = Arc::clone(&journal.fanout);
+        for op in &journal.since {
+            match op {
+                JournalOp::Subscribe {
+                    canonical,
+                    subscriber,
+                } => {
+                    Arc::make_mut(&mut fanout).subscribe(*canonical, *subscriber);
+                }
+                JournalOp::Unsubscribe {
+                    canonical,
+                    subscriber,
+                } => {
+                    Arc::make_mut(&mut fanout).unsubscribe(*canonical, *subscriber);
+                }
+                JournalOp::Register { .. } | JournalOp::Unregister { .. } => {}
+            }
+        }
+        journal.base = Arc::clone(index);
+        journal.fanout = fanout;
+        journal.since.clear();
     }
 
     /// The shard a restarted worker `n` must boot from (another share of
@@ -146,24 +216,23 @@ impl Supervisor {
         Arc::clone(&self.journals[n].base)
     }
 
+    /// The fan-out table a restarted worker `n` must boot from.
+    pub(crate) fn base_fanout(&self, n: usize) -> Arc<FanoutTable> {
+        Arc::clone(&self.journals[n].fanout)
+    }
+
     /// Restarts worker `n` through the transport and replays its journal.
     /// Returns `false` when the transport cannot restart workers.
     pub(crate) fn restart_and_replay<T: Transport>(&mut self, n: usize, transport: &mut T) -> bool {
-        if !transport.restart(n, self.base_index(n)) {
+        if !transport.restart(n, self.base_index(n), self.base_fanout(n)) {
             return false;
         }
         self.restarts += 1;
-        for reg in &self.journals[n].since {
+        for op in &self.journals[n].since {
             // The fresh mailbox cannot be full or disconnected, but a
             // failed send here would mean the restart raced another death;
             // the next batch send detects it and supervises again.
-            let _ = transport.control(
-                n,
-                NodeMessage::RegisterFilter {
-                    filter: Arc::clone(&reg.filter),
-                    terms: reg.terms.clone(),
-                },
-            );
+            let _ = transport.control(n, op.to_message());
         }
         true
     }
@@ -177,11 +246,54 @@ mod tests {
     #[test]
     fn snapshot_resets_the_since_log() {
         let base = Arc::new(InvertedIndex::new(MatchSemantics::Boolean));
-        let mut sup = Supervisor::new(vec![Arc::clone(&base)]);
-        sup.record_registration(0, &Arc::new(Filter::new(1u64, [TermId(3)])), None);
+        let mut sup = Supervisor::new(vec![Arc::clone(&base)], Arc::new(FanoutTable::new()));
+        sup.record_op(
+            0,
+            JournalOp::Register {
+                filter: Arc::new(Filter::new(1u64, [TermId(3)])),
+                terms: None,
+            },
+        );
         assert_eq!(sup.journals[0].since.len(), 1);
         sup.record_snapshot(0, &base);
         assert!(sup.journals[0].since.is_empty());
+    }
+
+    #[test]
+    fn snapshot_folds_fanout_deltas_into_the_base() {
+        // An allocation refresh obsoletes journaled registrations (the new
+        // shard carries them) but NOT subscription refcounts — those must
+        // fold into the fan-out base or a post-refresh restart would lose
+        // subscribers.
+        let base = Arc::new(InvertedIndex::new(MatchSemantics::Boolean));
+        let mut sup = Supervisor::new(vec![Arc::clone(&base)], Arc::new(FanoutTable::new()));
+        sup.record_op(
+            0,
+            JournalOp::Subscribe {
+                canonical: FilterId(7),
+                subscriber: FilterId(100),
+            },
+        );
+        sup.record_op(
+            0,
+            JournalOp::Subscribe {
+                canonical: FilterId(7),
+                subscriber: FilterId(101),
+            },
+        );
+        sup.record_op(
+            0,
+            JournalOp::Unsubscribe {
+                canonical: FilterId(7),
+                subscriber: FilterId(100),
+            },
+        );
+        sup.record_snapshot(0, &base);
+        assert!(sup.journals[0].since.is_empty());
+        let fanout = sup.base_fanout(0);
+        let mut out = Vec::new();
+        fanout.expand_into(&[FilterId(7)], &mut out);
+        assert_eq!(out, vec![FilterId(101)]);
     }
 
     #[test]
@@ -192,7 +304,7 @@ mod tests {
         // the worker's copy — never mutate the journal's.
         let mut shard = Arc::new(InvertedIndex::new(MatchSemantics::Boolean));
         Arc::make_mut(&mut shard).insert(Filter::new(1u64, [TermId(3)]));
-        let mut sup = Supervisor::new(vec![Arc::clone(&shard)]);
+        let mut sup = Supervisor::new(vec![Arc::clone(&shard)], Arc::new(FanoutTable::new()));
         sup.record_snapshot(0, &shard);
 
         Arc::make_mut(&mut shard).insert(Filter::new(2u64, [TermId(4)]));

@@ -16,7 +16,7 @@
 
 use crossbeam::channel::{Receiver, Sender, TryRecvError};
 use move_core::MatchTask;
-use move_index::{InvertedIndex, MatchOutcome, MatchScratch};
+use move_index::{FanoutTable, InvertedIndex, MatchOutcome, MatchScratch};
 use move_stats::LatencyHistogram;
 use move_types::{DocId, NodeId};
 use std::sync::Arc;
@@ -55,6 +55,11 @@ pub(crate) struct Worker {
     /// The serving shard. Shared with the router's journal snapshot;
     /// registrations copy-on-write via [`Arc::make_mut`].
     index: Arc<InvertedIndex>,
+    /// Canonical→subscribers fan-out table (DESIGN.md §12), maintained by
+    /// broadcast [`NodeMessage::Subscribe`]/[`NodeMessage::Unsubscribe`];
+    /// matched canonical ids expand through it at delivery finalize.
+    /// Copy-on-write like the index, so pool batch snapshots are stable.
+    fanout: Arc<FanoutTable>,
     mailbox: Receiver<NodeMessage>,
     deliveries: Sender<Delivery>,
     messages_processed: u64,
@@ -96,6 +101,7 @@ impl Worker {
     pub(crate) fn with_lanes(
         node: NodeId,
         index: Arc<InvertedIndex>,
+        fanout: Arc<FanoutTable>,
         mailbox: Receiver<NodeMessage>,
         deliveries: Sender<Delivery>,
         lanes: usize,
@@ -110,6 +116,7 @@ impl Worker {
         Self {
             node,
             index,
+            fanout,
             mailbox,
             deliveries,
             messages_processed: 0,
@@ -254,6 +261,31 @@ impl Worker {
                     }
                 }
             }
+            NodeMessage::UnregisterFilter { id, terms } => {
+                let index = Arc::make_mut(&mut self.index);
+                match terms {
+                    None => {
+                        index.remove(id);
+                    }
+                    Some(terms) => {
+                        for t in terms {
+                            index.remove_term_posting(id, t);
+                        }
+                    }
+                }
+            }
+            NodeMessage::Subscribe {
+                canonical,
+                subscriber,
+            } => {
+                Arc::make_mut(&mut self.fanout).subscribe(canonical, subscriber);
+            }
+            NodeMessage::Unsubscribe {
+                canonical,
+                subscriber,
+            } => {
+                Arc::make_mut(&mut self.fanout).unsubscribe(canonical, subscriber);
+            }
             NodeMessage::PublishDocument { batch } => {
                 // The pool path skips [`FaultAction::Slow`] workers: the
                 // injected per-task delay models a degraded machine, which
@@ -272,8 +304,13 @@ impl Worker {
             // Both rebalancing messages swap the serving shard exactly like
             // an allocation update; the layout version is the control
             // plane's bookkeeping, not the worker's.
-            NodeMessage::InstallPartitions { index, .. }
-            | NodeMessage::RetirePartitions { index, .. } => {
+            NodeMessage::InstallPartitions { index, fanout, .. } => {
+                self.index = index;
+                // The joiner missed every pre-admission Subscribe
+                // broadcast; the control plane's snapshot is its baseline.
+                self.fanout = fanout;
+            }
+            NodeMessage::RetirePartitions { index, .. } => {
                 self.index = index;
             }
             NodeMessage::StatsReport { reply } => {
@@ -309,7 +346,7 @@ impl Worker {
             }
             return;
         };
-        pool.begin_batch(&self.index, batch);
+        pool.begin_batch(&self.index, &self.fanout, batch);
         if self.external_lanes {
             return;
         }
@@ -392,11 +429,16 @@ impl Worker {
         self.doc_tasks += 1;
         if !out.matched.is_empty() {
             self.scratch.sort_dedup(&mut out.matched);
-            self.delivered += out.matched.len() as u64;
+            // Delivery finalize: expand matched canonical ids to their
+            // subscribers (identity for ids without a fan-out entry).
+            let mut matched = Vec::with_capacity(out.matched.len());
+            self.fanout.expand_into(&out.matched, &mut matched);
+            self.scratch.sort_dedup(&mut matched);
+            self.delivered += matched.len() as u64;
             let _ = self.deliveries.send(Delivery {
                 doc: task.doc.id(),
                 node: self.node,
-                matched: out.matched.clone(),
+                matched,
             });
         }
     }

@@ -79,6 +79,38 @@ id_type!(
 );
 
 id_type!(
+    /// Identifier of a *canonical* (deduplicated) filter predicate.
+    ///
+    /// The control-plane aggregation layer collapses every registered
+    /// [`Filter`](crate::Filter) with the same semantics and sorted term
+    /// set onto one canonical predicate; posting entries are stored once
+    /// under the canonical id, and a compressed fan-out set maps it back to
+    /// its subscriber [`FilterId`]s. Canonical ids live in the same integer
+    /// space as filter ids (the first subscriber usually donates its id),
+    /// so the two convert explicitly — the newtype exists to keep the
+    /// aggregator's API boundary honest.
+    CanonicalFilterId,
+    u64,
+    "c"
+);
+
+impl CanonicalFilterId {
+    /// The canonical id as it appears inside posting lists and match
+    /// results, where canonical predicates occupy the `FilterId` space.
+    #[inline]
+    pub fn as_filter_id(self) -> FilterId {
+        FilterId(self.0)
+    }
+}
+
+impl From<FilterId> for CanonicalFilterId {
+    #[inline]
+    fn from(id: FilterId) -> Self {
+        Self(id.0)
+    }
+}
+
+id_type!(
     /// Identifier of a cluster node (a simulated commodity machine).
     NodeId,
     u32,

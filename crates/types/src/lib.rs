@@ -40,7 +40,7 @@ pub use dictionary::TermDictionary;
 pub use document::Document;
 pub use error::MoveError;
 pub use filter::Filter;
-pub use ids::{DocId, FilterId, NodeId, RackId, TermId};
+pub use ids::{CanonicalFilterId, DocId, FilterId, NodeId, RackId, TermId};
 pub use semantics::MatchSemantics;
 
 /// Convenient result alias used across the workspace.

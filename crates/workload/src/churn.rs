@@ -1,0 +1,318 @@
+//! Sustained registration-churn workloads for the control-plane
+//! experiments (DESIGN.md §12).
+//!
+//! Real subscription populations are heavy-tailed in *predicates*, not
+//! just terms: millions of subscribers share a far smaller pool of
+//! distinct keyword queries (the MSN trace's 4 M queries collapse onto
+//! repeated popular queries). [`ChurnWorkload`] models that regime
+//! directly — a fixed pool of distinct predicates drawn from the
+//! MSN-calibrated filter law, a Zipf popularity law *over the pool*, and
+//! a subscriber population assigned predicates by that law. Aggregation's
+//! payoff (shared posting entries, compressed fan-out sets) and the
+//! canonical-hit fast path both depend on this subscriber-to-predicate
+//! collapse, so the pool law is the knob the control-plane benchmark
+//! sweeps.
+//!
+//! Churn is generated in *ticks*: each tick turns over a fixed fraction of
+//! the population (the paper-scale target is 1 %/sec at 1 M subscribers).
+//! Every churn event unregisters one live subscriber; half the events also
+//! bring a fresh subscriber in under a newly drawn predicate
+//! (leave-then-join, exercising the register path end to end), the other
+//! half re-register the *same* subscriber under a different predicate
+//! (the displacement path, where one control operation must atomically
+//! unsubscribe and resubscribe).
+
+use crate::{FilterGenerator, MsnSpec};
+use move_stats::Zipf;
+use move_types::{Filter, FilterId, MoveError, Result, TermId};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Parameters of a registration-churn workload.
+#[derive(Debug, Clone)]
+pub struct ChurnSpec {
+    /// Live subscriber population size (1,000,000 at paper scale).
+    pub subscribers: u64,
+    /// Distinct predicates in the shared pool. The aggregation ratio is
+    /// roughly `subscribers / predicate_pool` before popularity skew.
+    pub predicate_pool: usize,
+    /// Zipf exponent of predicate popularity over the pool (1.0 gives the
+    /// classic heavy head; 0.0 spreads subscribers uniformly).
+    pub pool_exponent: f64,
+    /// Fraction of the population churned per [`ChurnWorkload::tick`]
+    /// (0.01 = the paper-scale 1 %/sec target at one tick per second).
+    pub churn_fraction: f64,
+    /// Shape of the individual predicates (term count and term popularity
+    /// laws; see [`FilterGenerator`]).
+    pub filter_spec: MsnSpec,
+}
+
+impl ChurnSpec {
+    /// The control-plane benchmark's defaults at full scale: 1 M
+    /// subscribers over 50 k distinct predicates (20× aliasing before
+    /// skew), Zipf(1.0) pool popularity, 1 % churn per tick.
+    pub fn paper() -> Self {
+        Self {
+            subscribers: 1_000_000,
+            predicate_pool: 50_000,
+            pool_exponent: 1.0,
+            churn_fraction: 0.01,
+            filter_spec: MsnSpec::paper(),
+        }
+    }
+
+    /// The paper shape scaled down: `subscribers` population, pool scaled
+    /// to keep the 20× aliasing ratio (floor 8), vocabulary scaled with
+    /// the population.
+    pub fn scaled(subscribers: u64) -> Self {
+        let paper = Self::paper();
+        let pool = ((subscribers / 20).max(8) as usize).min(paper.predicate_pool);
+        let vocab = ((subscribers as usize) * 4).clamp(512, paper.filter_spec.vocabulary);
+        Self {
+            subscribers,
+            predicate_pool: pool,
+            filter_spec: MsnSpec::scaled(vocab),
+            ..paper
+        }
+    }
+}
+
+/// One control-plane operation emitted by a churn tick, in the order it
+/// must be applied.
+#[derive(Debug, Clone)]
+pub enum ChurnOp {
+    /// Register this filter (a fresh subscriber, or a live subscriber
+    /// switching predicates — the latter displaces its old subscription
+    /// inside the scheme).
+    Register(Filter),
+    /// Unregister this subscriber.
+    Unregister(FilterId),
+}
+
+/// A churning subscriber population over a Zipf-popular predicate pool.
+///
+/// # Examples
+///
+/// ```
+/// use move_workload::{ChurnSpec, ChurnWorkload};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut churn = ChurnWorkload::new(&ChurnSpec::scaled(500), &mut rng).unwrap();
+/// let initial = churn.initial_filters();
+/// assert_eq!(initial.len(), 500);
+/// let ops = churn.tick(&mut rng);
+/// assert!(!ops.is_empty());
+/// assert_eq!(churn.live().count(), 500); // turnover preserves the population
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChurnWorkload {
+    /// The distinct predicate pool (sorted term sets, deduplicated).
+    pool: Vec<Vec<TermId>>,
+    /// Popularity law over `pool` indices.
+    law: Zipf,
+    /// Live population: subscriber id → pool index.
+    live: BTreeMap<u64, usize>,
+    /// The live ids again, unordered, for O(1) uniform victim picks at
+    /// million-subscriber scale (a `BTreeMap` rank query is O(n)).
+    ids: Vec<u64>,
+    /// Next fresh subscriber id (ids are never reused, so a delivery
+    /// stream can attribute every filter id to one subscription epoch).
+    next_id: u64,
+    /// Churn events per tick.
+    events_per_tick: usize,
+}
+
+impl ChurnWorkload {
+    /// Builds the predicate pool and the initial (unregistered) population
+    /// assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoveError::Calibration`] when the filter spec cannot be
+    /// calibrated, or [`MoveError::InvalidConfig`] when the spec's
+    /// vocabulary cannot yield `predicate_pool` distinct predicates.
+    pub fn new<R: Rng + ?Sized>(spec: &ChurnSpec, rng: &mut R) -> Result<Self> {
+        let gen = FilterGenerator::new(&spec.filter_spec)?;
+        // Draw until the pool holds the requested number of *distinct*
+        // term sets. Popular short predicates collide often, so allow a
+        // generous attempt budget before declaring the spec infeasible.
+        let mut seen: BTreeMap<Vec<TermId>, ()> = BTreeMap::new();
+        let mut pool = Vec::with_capacity(spec.predicate_pool);
+        let budget = spec.predicate_pool.saturating_mul(64).max(1024);
+        for _ in 0..budget {
+            if pool.len() == spec.predicate_pool {
+                break;
+            }
+            let f = gen.generate(0u64, rng);
+            let terms = f.terms().to_vec();
+            if seen.insert(terms.clone(), ()).is_none() {
+                pool.push(terms);
+            }
+        }
+        if pool.len() < spec.predicate_pool {
+            return Err(MoveError::InvalidConfig(format!(
+                "vocabulary {} yielded only {} of {} distinct predicates",
+                spec.filter_spec.vocabulary,
+                pool.len(),
+                spec.predicate_pool
+            )));
+        }
+        let law = Zipf::new(pool.len(), spec.pool_exponent);
+        let mut live = BTreeMap::new();
+        for id in 0..spec.subscribers {
+            live.insert(id, law.sample(rng));
+        }
+        let events = ((spec.subscribers as f64) * spec.churn_fraction).round() as usize;
+        let ids = live.keys().copied().collect();
+        Ok(Self {
+            pool,
+            law,
+            live,
+            ids,
+            next_id: spec.subscribers,
+            events_per_tick: events.max(1),
+        })
+    }
+
+    /// The initial population as filters, ready for bulk registration.
+    pub fn initial_filters(&self) -> Vec<Filter> {
+        self.live
+            .iter()
+            .map(|(&id, &p)| Filter::new(id, self.pool[p].iter().copied()))
+            .collect()
+    }
+
+    /// The live population (current subscriber → predicate assignment) as
+    /// filters — the brute-force oracle's view.
+    pub fn live(&self) -> impl Iterator<Item = Filter> + '_ {
+        self.live
+            .iter()
+            .map(|(&id, &p)| Filter::new(id, self.pool[p].iter().copied()))
+    }
+
+    /// Number of distinct predicates currently held by the live
+    /// population (the expected canonical count under aggregation).
+    pub fn distinct_live_predicates(&self) -> usize {
+        let mut used: Vec<usize> = self.live.values().copied().collect();
+        used.sort_unstable();
+        used.dedup();
+        used.len()
+    }
+
+    /// Churn events per tick.
+    pub fn events_per_tick(&self) -> usize {
+        self.events_per_tick
+    }
+
+    /// Generates one tick of churn: `events_per_tick` turnover events,
+    /// alternating leave-then-join (fresh subscriber id) with in-place
+    /// predicate switches (displacement). The returned ops are already
+    /// applied to the internal population model, so [`ChurnWorkload::live`]
+    /// reflects the post-tick state.
+    pub fn tick<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<ChurnOp> {
+        let mut ops = Vec::with_capacity(self.events_per_tick * 2);
+        for event in 0..self.events_per_tick {
+            if self.live.is_empty() {
+                break;
+            }
+            // Uniform victim pick over the live population.
+            let k = rng.gen_range(0..self.ids.len());
+            let victim = self.ids[k];
+            let predicate = self.law.sample(rng);
+            if event % 2 == 0 {
+                // Leave-then-join: the victim departs, a fresh subscriber
+                // arrives under an independently drawn predicate.
+                self.live.remove(&victim);
+                self.ids.swap_remove(k);
+                ops.push(ChurnOp::Unregister(FilterId(victim)));
+                let id = self.next_id;
+                self.next_id += 1;
+                self.live.insert(id, predicate);
+                self.ids.push(id);
+                ops.push(ChurnOp::Register(Filter::new(
+                    id,
+                    self.pool[predicate].iter().copied(),
+                )));
+            } else {
+                // Displacement: the same subscriber re-registers under a
+                // different predicate in one control operation.
+                self.live.insert(victim, predicate);
+                ops.push(ChurnOp::Register(Filter::new(
+                    victim,
+                    self.pool[predicate].iter().copied(),
+                )));
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn workload(subscribers: u64, seed: u64) -> ChurnWorkload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ChurnWorkload::new(&ChurnSpec::scaled(subscribers), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn pool_is_distinct_and_population_aliases_it() {
+        let w = workload(400, 1);
+        let distinct: BTreeSet<&Vec<TermId>> = w.pool.iter().collect();
+        assert_eq!(distinct.len(), w.pool.len(), "pool must be distinct");
+        // 400 subscribers over a ≤20-entry pool: aliasing is guaranteed.
+        assert!(w.distinct_live_predicates() <= w.pool.len());
+        assert!(w.distinct_live_predicates() < 400);
+        assert_eq!(w.initial_filters().len(), 400);
+    }
+
+    #[test]
+    fn ticks_preserve_population_and_model_tracks_ops() {
+        let mut w = workload(300, 2);
+        let mut rng = StdRng::seed_from_u64(99);
+        // Shadow model applies the emitted ops independently.
+        let mut shadow: BTreeMap<FilterId, Vec<TermId>> = w
+            .initial_filters()
+            .into_iter()
+            .map(|f| (f.id(), f.terms().to_vec()))
+            .collect();
+        for _ in 0..5 {
+            for op in w.tick(&mut rng) {
+                match op {
+                    ChurnOp::Register(f) => {
+                        shadow.insert(f.id(), f.terms().to_vec());
+                    }
+                    ChurnOp::Unregister(id) => {
+                        assert!(shadow.remove(&id).is_some(), "unregister of a ghost");
+                    }
+                }
+            }
+            assert_eq!(w.live().count(), 300, "turnover preserves the population");
+            let live: BTreeMap<FilterId, Vec<TermId>> =
+                w.live().map(|f| (f.id(), f.terms().to_vec())).collect();
+            assert_eq!(live, shadow, "emitted ops must reproduce the model");
+        }
+    }
+
+    #[test]
+    fn popularity_skew_concentrates_the_head() {
+        let w = workload(2_000, 3);
+        // Zipf(1.0) over the pool: the most popular predicate must hold
+        // far more subscribers than the uniform share.
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for &p in w.live.values() {
+            *counts.entry(p).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        let uniform = 2_000 / w.pool.len();
+        assert!(
+            max > 2 * uniform,
+            "Zipf head ({max}) should beat uniform share ({uniform})"
+        );
+    }
+}

@@ -39,12 +39,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod docs;
 mod filters;
 mod overlap;
 mod report;
 mod spec;
 
+pub use churn::{ChurnOp, ChurnSpec, ChurnWorkload};
 pub use docs::DocumentGenerator;
 pub use filters::FilterGenerator;
 pub use overlap::RankCoupling;

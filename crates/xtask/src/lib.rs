@@ -16,8 +16,10 @@
 //! * **no-catch-all** — the files that dispatch on the engine's protocol
 //!   enums (`worker.rs`, `engine.rs`, `interleave.rs`, `fault.rs`,
 //!   `supervisor.rs`, `ingest.rs`, the staged-join engine `rebalance.rs`,
-//!   the routing-snapshot kernel `snapshot.rs`, and the versioned-layout
-//!   kernel `layout.rs`) must not contain `_ =>` match arms, so adding a
+//!   the routing-snapshot kernel `snapshot.rs`, the versioned-layout
+//!   kernel `layout.rs`, and the control-plane aggregation layer
+//!   `aggregate.rs`/`fanout.rs`) must not contain `_ =>` match arms, so
+//!   adding a
 //!   protocol variant is a compile error at every dispatch site instead
 //!   of a silently ignored message.
 //! * **pub-docs** — every public item in `move-core` and `move-runtime`
@@ -32,9 +34,10 @@
 //! `cargo run -p xtask -- check-bench [report.json]` additionally
 //! validates the schema of the hot-path benchmark report
 //! ([`check_bench_report`]) — or, when the file name contains
-//! `rebalance`, the join-under-load report ([`check_rebalance_report`]) —
-//! so CI notices when the bench harnesses and their consumers drift
-//! apart.
+//! `rebalance`, the join-under-load report ([`check_rebalance_report`]),
+//! or `control`, the control-plane aggregation report
+//! ([`check_control_report`]) — so CI notices when the bench harnesses
+//! and their consumers drift apart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -352,7 +355,10 @@ fn is_no_panic_scope(path: &str) -> bool {
 /// Files that dispatch on the engine's protocol enums. `rebalance.rs`
 /// (the staged-join engine) and `layout.rs` (the versioned-layout kernel)
 /// are included because a silently dropped control message or layout
-/// change there strands partitions mid-handover.
+/// change there strands partitions mid-handover; `aggregate.rs` and
+/// `fanout.rs` (the control-plane aggregation layer) because a silently
+/// ignored register/unregister outcome desynchronizes the fan-out
+/// refcounts from the posting entries.
 fn is_protocol_dispatch(path: &str) -> bool {
     matches!(
         path,
@@ -366,6 +372,8 @@ fn is_protocol_dispatch(path: &str) -> bool {
             | "crates/runtime/src/rebalance.rs"
             | "crates/core/src/snapshot.rs"
             | "crates/cluster/src/layout.rs"
+            | "crates/index/src/aggregate.rs"
+            | "crates/index/src/fanout.rs"
     )
 }
 
@@ -999,6 +1007,180 @@ pub fn check_rebalance_report(src: &str) -> Vec<String> {
     errors
 }
 
+/// Validates the structure of a `results/BENCH_control.json` report
+/// produced by `cargo run -p move-bench --bin bench_control`, returning a
+/// human-readable message per problem (empty when the report is
+/// well-formed).
+///
+/// Beyond field shapes, three checks are correctness gates, because the
+/// bench is the acceptance harness for the control-plane aggregation
+/// layer (DESIGN.md §12):
+///
+/// * `deliveries_match` must be `true` on every run — a `false` means the
+///   aggregated delivery sets diverged from the verbatim twin or the
+///   brute-force oracle under churn;
+/// * every aggregated run's `bytes_per_filter` must be strictly below its
+///   scheme's verbatim run — aggregation that grows storage is a bug, not
+///   a trade-off;
+/// * every aggregated run's `bytes_reduction` must be ≥ 4 — the pool's
+///   20× predicate aliasing must buy at least a 4× storage cut.
+#[must_use]
+pub fn check_control_report(src: &str) -> Vec<String> {
+    use serde::Value;
+
+    let mut errors = Vec::new();
+    let root = match serde_json::parse_value(src) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("not valid JSON: {e}")],
+    };
+    if !matches!(root, Value::Object(_)) {
+        return vec![format!(
+            "top level must be an object, found {}",
+            root.kind()
+        )];
+    }
+    for field in [
+        "scale",
+        "nodes",
+        "subscribers",
+        "predicate_pool",
+        "churn_ticks",
+        "docs",
+    ] {
+        match root.get(field) {
+            None => errors.push(format!("missing top-level field `{field}`")),
+            Some(v) if v.as_f64().is_none() => {
+                errors.push(format!("`{field}` must be a number, found {}", v.kind()));
+            }
+            Some(_) => {}
+        }
+    }
+    let runs = match root.get("runs") {
+        None => {
+            errors.push("missing top-level field `runs`".to_string());
+            return errors;
+        }
+        Some(Value::Array(runs)) => runs,
+        Some(v) => {
+            errors.push(format!("`runs` must be an array, found {}", v.kind()));
+            return errors;
+        }
+    };
+    if runs.is_empty() {
+        errors.push("`runs` must not be empty".to_string());
+    }
+    // scheme → (aggregated bytes/filter, verbatim bytes/filter) for the
+    // cross-run storage gate.
+    let mut bytes: std::collections::BTreeMap<String, (Option<f64>, Option<f64>)> =
+        std::collections::BTreeMap::new();
+    for (i, run) in runs.iter().enumerate() {
+        if !matches!(run, Value::Object(_)) {
+            errors.push(format!("runs[{i}] must be an object, found {}", run.kind()));
+            continue;
+        }
+        let scheme = match run.get("scheme") {
+            Some(Value::String(s)) if ["il", "rs", "move"].contains(&s.as_str()) => Some(s.clone()),
+            Some(Value::String(s)) => {
+                errors.push(format!(
+                    "runs[{i}].scheme: `{s}` is not one of [\"il\", \"rs\", \"move\"]"
+                ));
+                None
+            }
+            Some(v) => {
+                errors.push(format!(
+                    "runs[{i}].scheme must be a string, found {}",
+                    v.kind()
+                ));
+                None
+            }
+            None => {
+                errors.push(format!("runs[{i}] missing `scheme`"));
+                None
+            }
+        };
+        let aggregated = match run.get("mode") {
+            Some(Value::String(s)) if s == "aggregated" => Some(true),
+            Some(Value::String(s)) if s == "verbatim" => Some(false),
+            Some(_) => {
+                errors.push(format!(
+                    "runs[{i}].mode must be \"aggregated\" or \"verbatim\""
+                ));
+                None
+            }
+            None => {
+                errors.push(format!("runs[{i}] missing `mode`"));
+                None
+            }
+        };
+        for field in ["subscribers", "canonical_filters"] {
+            match run.get(field).and_then(Value::as_u64) {
+                Some(x) if x >= 1 => {}
+                Some(x) => errors.push(format!("runs[{i}].{field} must be >= 1, got {x}")),
+                None => errors.push(format!("runs[{i}] missing integer `{field}`")),
+            }
+        }
+        for field in [
+            "bytes_per_filter",
+            "registrations_per_sec",
+            "unregistrations_per_sec",
+            "docs_per_sec_under_churn",
+        ] {
+            match run.get(field).and_then(Value::as_f64) {
+                Some(x) if x.is_finite() && x > 0.0 => {}
+                Some(_) => errors.push(format!("runs[{i}].{field} must be finite and > 0")),
+                None => errors.push(format!("runs[{i}] missing numeric `{field}`")),
+            }
+        }
+        if let (Some(scheme), Some(aggregated)) = (&scheme, aggregated) {
+            let slot = bytes.entry(scheme.clone()).or_default();
+            let bpf = run.get("bytes_per_filter").and_then(Value::as_f64);
+            if aggregated {
+                slot.0 = bpf;
+            } else {
+                slot.1 = bpf;
+            }
+        }
+        if aggregated == Some(true) {
+            match run.get("bytes_reduction").and_then(Value::as_f64) {
+                Some(r) if r >= 4.0 => {}
+                Some(r) => errors.push(format!(
+                    "runs[{i}].bytes_reduction is {r:.2}: aggregation must \
+                     cut storage at least 4x under the pool's aliasing"
+                )),
+                None => errors.push(format!(
+                    "runs[{i}] (aggregated) missing numeric `bytes_reduction`"
+                )),
+            }
+        }
+        match run.get("deliveries_match") {
+            Some(Value::Bool(true)) => {}
+            Some(Value::Bool(false)) => errors.push(format!(
+                "runs[{i}].deliveries_match is false: aggregated deliveries \
+                 diverged from the verbatim twin or the brute-force oracle"
+            )),
+            Some(v) => errors.push(format!(
+                "runs[{i}].deliveries_match must be a bool, found {}",
+                v.kind()
+            )),
+            None => errors.push(format!("runs[{i}] missing `deliveries_match`")),
+        }
+    }
+    for (scheme, (agg, verb)) in &bytes {
+        match (agg, verb) {
+            (Some(a), Some(v)) if a < v => {}
+            (Some(a), Some(v)) => errors.push(format!(
+                "{scheme}: aggregated bytes/filter ({a:.1}) must be strictly \
+                 below the verbatim baseline ({v:.1})"
+            )),
+            _ => errors.push(format!(
+                "{scheme}: report must contain both an aggregated and a \
+                 verbatim run"
+            )),
+        }
+    }
+    errors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1419,6 +1601,116 @@ mod tests {
         assert!(errors
             .iter()
             .any(|e| e.contains("runs[0] missing integer `joins`")));
+    }
+
+    fn valid_control_report() -> String {
+        let run = |scheme: &str, aggregated: bool| {
+            let (mode, canonicals, bpf, reduction) = if aggregated {
+                ("aggregated", 2446, 47.7, ",\"bytes_reduction\":5.7")
+            } else {
+                ("verbatim", 50000, 273.3, "")
+            };
+            format!(
+                "{{\"scheme\":\"{scheme}\",\"mode\":\"{mode}\",\
+                 \"subscribers\":50000,\"canonical_filters\":{canonicals},\
+                 \"bytes_per_filter\":{bpf}{reduction},\
+                 \"bulk_register_secs\":0.5,\
+                 \"registrations_per_sec\":1345074.0,\
+                 \"unregistrations_per_sec\":1368521.0,\
+                 \"docs_per_sec_under_churn\":2024.0,\
+                 \"canonical_hit_rate\":0.994,\
+                 \"deliveries_match\":true}}"
+            )
+        };
+        format!(
+            "{{\"scale\":0.05,\"nodes\":20,\"subscribers\":50000,\
+             \"predicate_pool\":2500,\"churn_ticks\":6,\"docs\":1000,\
+             \"runs\":[{},{}]}}",
+            run("il", true),
+            run("il", false)
+        )
+    }
+
+    #[test]
+    fn control_report_accepts_valid() {
+        let errors = check_control_report(&valid_control_report());
+        assert!(errors.is_empty(), "unexpected errors: {errors:?}");
+    }
+
+    #[test]
+    fn control_report_rejects_garbage_json() {
+        assert!(!check_control_report("{not json").is_empty());
+        assert_eq!(check_control_report("[1,2,3]").len(), 1);
+    }
+
+    #[test]
+    fn control_report_rejects_a_delivery_divergence() {
+        let report = valid_control_report().replace("true", "false");
+        let errors = check_control_report(&report);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("deliveries_match is false")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn control_report_rejects_a_weak_reduction() {
+        let report =
+            valid_control_report().replace("\"bytes_reduction\":5.7", "\"bytes_reduction\":2.0");
+        let errors = check_control_report(&report);
+        assert!(
+            errors.iter().any(|e| e.contains("at least 4x")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn control_report_rejects_aggregation_that_grew_storage() {
+        let report = valid_control_report()
+            .replace("\"bytes_per_filter\":47.7", "\"bytes_per_filter\":300.0");
+        let errors = check_control_report(&report);
+        assert!(errors.iter().any(|e| e.contains("strictly")), "{errors:?}");
+    }
+
+    #[test]
+    fn control_report_requires_both_modes_per_scheme() {
+        // Drop the verbatim run: the storage gate has no baseline.
+        let report = valid_control_report();
+        let agg_only = {
+            let cut = report.rfind(",{").expect("two runs");
+            format!("{}]}}", &report[..cut])
+        };
+        let errors = check_control_report(&agg_only);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("both an aggregated and a")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn control_report_rejects_missing_fields() {
+        let errors = check_control_report("{\"runs\":[{}]}");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("missing top-level field `subscribers`")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("runs[0] missing `scheme`")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("missing numeric `bytes_per_filter`")));
+    }
+
+    #[test]
+    fn the_committed_control_report_is_valid() {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_control.json");
+        let src = fs::read_to_string(path).expect("read committed control report");
+        let errors = check_control_report(&src);
+        assert!(errors.is_empty(), "committed report invalid: {errors:?}");
     }
 
     #[test]

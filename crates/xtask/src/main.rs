@@ -45,12 +45,16 @@ fn main() -> ExitCode {
                 }
             };
             // The file name picks the schema: BENCH_rebalance.json is the
-            // join-under-load report, anything else the hot-path report.
-            let is_rebalance = path
+            // join-under-load report, BENCH_control.json the control-plane
+            // aggregation report, anything else the hot-path report.
+            let name = path
                 .file_name()
-                .is_some_and(|n| n.to_string_lossy().contains("rebalance"));
-            let errors = if is_rebalance {
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let errors = if name.contains("rebalance") {
                 xtask::check_rebalance_report(&src)
+            } else if name.contains("control") {
+                xtask::check_control_report(&src)
             } else {
                 xtask::check_bench_report(&src)
             };

@@ -10,7 +10,7 @@ for b in $BINS; do
 done
 
 # Live-engine harnesses (wall-clock; JSON reports under results/).
-for b in bench_hotpath bench_rebalance; do
+for b in bench_hotpath bench_rebalance bench_control; do
   echo "=== $b (scale $SCALE) ==="
   MOVE_SCALE=$SCALE cargo run --release -q -p move-bench --bin "$b" >"results/logs/$b.log" 2>&1 \
     && echo "ok: $b" || echo "FAILED: $b"

@@ -1,0 +1,170 @@
+//! Control-plane aggregation equivalence (DESIGN.md §12).
+//!
+//! The aggregating index collapses identical predicates to one canonical
+//! filter whose posting entries are stored once, expanding matches back to
+//! subscriber ids at delivery. These properties pin the only contract that
+//! matters: under **any** interleaving of register / unregister / publish —
+//! including subscriber-id displacement (the same id re-registering with a
+//! different predicate) and MOVE's allocation refreshes rebuilding every
+//! node index mid-stream — the delivery sets are byte-identical to both
+//! the brute-force oracle over the live (non-canonical) subscriber set and
+//! a verbatim (aggregation-off) twin scheme fed the same operations.
+
+use move_core::{Dissemination, IlScheme, MoveScheme, RsScheme, SystemConfig};
+use move_index::brute_force;
+use move_types::{Document, Filter, FilterId, MatchSemantics, TermId};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Distinct predicates in the shared pool. Small on purpose: with far more
+/// subscribers than predicates, most registrations alias an existing
+/// canonical — the regime aggregation exists for.
+const POOL: usize = 10;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Register `subscriber` under pool predicate `predicate` (mod POOL).
+    /// A live subscriber re-registering takes the displacement path.
+    Register {
+        subscriber: u64,
+        predicate: usize,
+    },
+    Unregister(u64),
+    Publish(Vec<u32>),
+}
+
+/// The shared predicate pool: POOL distinct sorted term sets over a small
+/// vocabulary, sized 1–3 terms.
+fn predicate_pool() -> Vec<Vec<TermId>> {
+    (0..POOL)
+        .map(|i| {
+            let len = 1 + i % 3;
+            (0..len)
+                .map(|k| TermId(((i * 7 + k * 5) % 24) as u32))
+                .collect()
+        })
+        .collect()
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        5 => (0u64..32, 0usize..POOL)
+            .prop_map(|(subscriber, predicate)| Op::Register { subscriber, predicate }),
+        2 => (0u64..32).prop_map(Op::Unregister),
+        4 => prop::collection::btree_set(0u32..24, 1..8)
+            .prop_map(|ts| Op::Publish(ts.into_iter().collect())),
+    ];
+    prop::collection::vec(op, 1..48)
+}
+
+/// Drives one interleaving against an aggregated scheme and its verbatim
+/// twin, asserting byte-identical deliveries against the brute-force
+/// oracle at every publish.
+fn check_interleaving(
+    label: &str,
+    aggregated: &mut dyn Dissemination,
+    verbatim: &mut dyn Dissemination,
+    ops: &[Op],
+) {
+    let pool = predicate_pool();
+    let mut model: BTreeMap<u64, Filter> = BTreeMap::new();
+    let mut doc_id = 0u64;
+    for op in ops {
+        match op {
+            Op::Register {
+                subscriber,
+                predicate,
+            } => {
+                let f = Filter::new(*subscriber, pool[*predicate].iter().copied());
+                if model.contains_key(subscriber) {
+                    // The aggregated scheme displaces internally; the
+                    // verbatim twin models the same op as leave-then-join.
+                    verbatim
+                        .unregister(FilterId(*subscriber))
+                        .expect("unregister");
+                }
+                aggregated.register(&f).expect("register aggregated");
+                verbatim.register(&f).expect("register verbatim");
+                model.insert(*subscriber, f);
+            }
+            Op::Unregister(subscriber) => {
+                let existed = model.remove(subscriber).is_some();
+                let got_a = aggregated
+                    .unregister(FilterId(*subscriber))
+                    .expect("unregister");
+                let got_v = verbatim
+                    .unregister(FilterId(*subscriber))
+                    .expect("unregister");
+                prop_assert_eq!(got_a, existed, "{}: aggregated presence", label);
+                prop_assert_eq!(got_v, existed, "{}: verbatim presence", label);
+            }
+            Op::Publish(terms) => {
+                let d = Document::from_distinct_terms(doc_id, terms.iter().copied().map(TermId));
+                doc_id += 1;
+                let got_a = aggregated.publish(0.0, &d).expect("publish").matched;
+                let got_v = verbatim.publish(0.0, &d).expect("publish").matched;
+                let want = brute_force(model.values(), &d, MatchSemantics::Boolean);
+                prop_assert_eq!(&got_a, &want, "{}: aggregated vs oracle", label);
+                prop_assert_eq!(&got_a, &got_v, "{}: aggregated vs verbatim", label);
+            }
+        }
+    }
+    // Bookkeeping invariants: subscriber count tracks the model, canonical
+    // count tracks the distinct live predicates, and the aggregation layer
+    // reports a real footprint whenever it holds anything.
+    prop_assert_eq!(
+        aggregated.registered_filters(),
+        model.len() as u64,
+        "{}: subscriber count",
+        label
+    );
+    let distinct: BTreeSet<&[TermId]> = model.values().map(Filter::terms).collect();
+    prop_assert_eq!(
+        aggregated.canonical_filters(),
+        distinct.len() as u64,
+        "{}: canonical count",
+        label
+    );
+    prop_assert_eq!(verbatim.canonical_filters(), model.len() as u64);
+    if !model.is_empty() {
+        prop_assert!(
+            aggregated.aggregation_bytes() > 0,
+            "{}: zero footprint",
+            label
+        );
+    }
+}
+
+fn config(seed: u64, aggregate: bool) -> SystemConfig {
+    let mut cfg = SystemConfig::small_test();
+    cfg.capacity_per_node = 400;
+    cfg.seed = seed;
+    cfg.aggregate_filters = aggregate;
+    // MOVE only: frequent refreshes, so most interleavings cross at least
+    // one full allocation rebuild (grids recomputed, indexes rebuilt).
+    cfg.refresh_every_docs = 5;
+    cfg
+}
+
+proptest! {
+    // 256 interleavings, each driven through all three schemes.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn aggregated_delivery_is_byte_identical(ops in arb_ops(), seed in 0u64..1000) {
+        let mut il = IlScheme::new(config(seed, true)).expect("il");
+        let mut il_v = IlScheme::new(config(seed, false)).expect("il");
+        check_interleaving("il", &mut il, &mut il_v, &ops);
+
+        let mut rs = RsScheme::new(config(seed, true)).expect("rs");
+        let mut rs_v = RsScheme::new(config(seed, false)).expect("rs");
+        check_interleaving("rs", &mut rs, &mut rs_v, &ops);
+
+        // MOVE crosses allocation refreshes mid-interleaving: every 5th
+        // publish rebuilds the grids and node indexes from the canonical
+        // directory, so the equivalence also covers rebuilt state.
+        let mut mv = MoveScheme::new(config(seed, true)).expect("move");
+        let mut mv_v = MoveScheme::new(config(seed, false)).expect("move");
+        check_interleaving("move", &mut mv, &mut mv_v, &ops);
+    }
+}

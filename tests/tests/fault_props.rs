@@ -45,6 +45,7 @@ fn expected_sets(pre: &[Filter], script: &[ScriptOp]) -> BTreeMap<DocId, BTreeSe
     for op in script {
         match op {
             ScriptOp::Register(f) => known.push(f.clone()),
+            ScriptOp::Unregister(id) => known.retain(|f| f.id() != *id),
             ScriptOp::Publish(d) => {
                 let want: BTreeSet<FilterId> = brute_force(&known, d, MatchSemantics::Boolean)
                     .into_iter()

@@ -179,6 +179,95 @@ fn stress_blocking_backpressure_loses_nothing() {
     }
 }
 
+/// Live control-plane churn (DESIGN.md §12): subscribers register,
+/// re-register with different predicates (displacement), and unregister
+/// while documents stream through the running engine. Predicates come from
+/// a small shared pool, so most registrations alias a live canonical and
+/// take the Subscribe-broadcast fast path; unregistering the last
+/// subscriber of a canonical takes the full RemoveCanonical path. Every
+/// publish must still deliver exactly the brute-force set over the live
+/// subscriber population, and the report's churn counters must balance.
+#[test]
+fn live_churn_stays_exact_and_counts_balance() {
+    let pool: Vec<Vec<move_types::TermId>> = (0..8)
+        .map(|i| {
+            (0..1 + i % 3)
+                .map(|k| move_types::TermId(((i * 5 + k * 7) % 20) as u32))
+                .collect()
+        })
+        .collect();
+    for seed in [2u64, 19] {
+        let cfg = {
+            let mut c = SystemConfig::small_test();
+            c.seed = seed;
+            c
+        };
+        let docs = random_docs(60, 20, 6, seed ^ 0xD0C);
+        for mut scheme in schemes(&cfg) {
+            // A few static subscribers registered before start, cloned into
+            // the worker shards (two share pool predicate 0 → aggregated).
+            let mut model: BTreeMap<u64, Filter> = BTreeMap::new();
+            for s in 0..4u64 {
+                let f = Filter::new(s, pool[(s as usize) % 2].iter().copied());
+                scheme.register(&f).expect("register");
+                model.insert(s, f);
+            }
+            let name = scheme.name();
+            let engine = Engine::start(scheme, tight_config()).expect("engine starts");
+            let mut expected_regs = 0u64;
+            let mut expected_unregs = 0u64;
+            for (i, d) in docs.iter().enumerate() {
+                // Deterministic churn weave: register (often aliasing),
+                // displace, or unregister between publishes.
+                let step = (seed as usize).wrapping_add(i * 7);
+                match step % 4 {
+                    0 | 1 => {
+                        let s = (step % 12) as u64;
+                        let f = Filter::new(s, pool[step % pool.len()].iter().copied());
+                        engine.register(f.clone());
+                        // Re-registering the identical predicate is a NoOp
+                        // on the control plane and does not count.
+                        if model.get(&s).map(Filter::terms) != Some(f.terms()) {
+                            expected_regs += 1;
+                        }
+                        model.insert(s, f);
+                    }
+                    2 => {
+                        let s = (step % 12) as u64;
+                        engine.unregister(FilterId(s));
+                        if model.remove(&s).is_some() {
+                            expected_unregs += 1;
+                        }
+                    }
+                    _ => {}
+                }
+                let got = engine.publish_sync(d.clone());
+                let want = brute_force(model.values(), d, MatchSemantics::Boolean);
+                assert_eq!(got, want, "{name} diverged on doc {} (seed {seed})", d.id());
+            }
+            let report = engine.shutdown().expect("clean shutdown");
+            assert_fault_free(name, &report);
+            assert_eq!(report.registrations, expected_regs, "{name} registrations");
+            assert_eq!(
+                report.unregistrations, expected_unregs,
+                "{name} unregistrations"
+            );
+            assert!(
+                report.canonical_hits > 0,
+                "{name}: a shared pool of 8 predicates across 12 subscribers \
+                 must alias at least once"
+            );
+            // Aggregation collapses the live population onto the pool.
+            assert_eq!(report.canonical_filters as usize, {
+                let distinct: std::collections::BTreeSet<&[move_types::TermId]> =
+                    model.values().map(Filter::terms).collect();
+                distinct.len()
+            });
+            assert!(report.aggregation_bytes > 0, "{name}: zero footprint");
+        }
+    }
+}
+
 /// Under `Shed`, overflow drops whole batches but the books still balance:
 /// every routed task is either dispatched or counted shed, and whatever was
 /// delivered is sound (a subset of the brute-force set per document).
