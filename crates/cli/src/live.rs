@@ -186,7 +186,16 @@ impl LiveSession {
         match_lanes: usize,
         join_at: Option<u64>,
     ) -> Result<Self, String> {
-        Self::with_churn(nodes, racks, plan, publishers, match_lanes, join_at, None)
+        Self::with_churn(
+            nodes,
+            racks,
+            plan,
+            publishers,
+            match_lanes,
+            move_runtime::DEFAULT_LANE_COST_TARGET,
+            join_at,
+            None,
+        )
     }
 
     /// Boots the live engine with every option plus the `--churn
@@ -197,18 +206,24 @@ impl LiveSession {
     /// unregistrations riding the engine's aggregation layer; the session
     /// report shows the control-plane counters at quit). Synthetic
     /// subscribers use reserved id and term ranges, so they never match
-    /// interactive documents.
+    /// interactive documents. `lane_cost_target` is the `--lane-cost-target`
+    /// knob: the posting-scan cost (ids scanned per unit of work) the lane
+    /// planner packs into each stealable unit — smaller targets mean finer
+    /// units and more steal opportunities, larger targets less scheduling
+    /// overhead.
     ///
     /// # Errors
     ///
     /// Returns a message when the cluster configuration is rejected or
     /// the churn population cannot be generated.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_churn(
         nodes: usize,
         racks: usize,
         plan: FaultPlan,
         publishers: usize,
         match_lanes: usize,
+        lane_cost_target: usize,
         join_at: Option<u64>,
         churn: Option<(f64, u64)>,
     ) -> Result<Self, String> {
@@ -222,6 +237,7 @@ impl LiveSession {
         let runtime = RuntimeConfig {
             publishers: publishers.max(1),
             match_lanes: match_lanes.max(1),
+            lane_cost_target: lane_cost_target.max(1),
             ..RuntimeConfig::default()
         };
         let scheme = MoveScheme::new(config).map_err(|e| e.to_string())?;
@@ -484,8 +500,17 @@ mod tests {
 
     #[test]
     fn churned_session_stays_exact_and_reports_control_counters() {
-        let mut s =
-            LiveSession::with_churn(6, 2, FaultPlan::none(), 1, 1, None, Some((0.1, 60))).unwrap();
+        let mut s = LiveSession::with_churn(
+            6,
+            2,
+            FaultPlan::none(),
+            1,
+            1,
+            move_runtime::DEFAULT_LANE_COST_TARGET,
+            None,
+            Some((0.1, 60)),
+        )
+        .unwrap();
         assert!(s
             .run(Command::parse("register 1 rust news").unwrap())
             .contains("registered f1"));

@@ -2,7 +2,8 @@
 //! command language.
 //!
 //! Usage: `move-cli [live] [--fault-plan <spec>] [--publishers <n>]
-//! [--match-lanes <n>] [--join <at-doc>] [--churn <rate>@<pool>]
+//! [--match-lanes <n>] [--lane-cost-target <cost>] [--join <at-doc>]
+//! [--churn <rate>@<pool>]
 //! [nodes] [racks]` — with `live`,
 //! commands run on the concurrent `move-runtime` engine instead of the
 //! simulator; `--fault-plan kill=<fraction>@<doc>[,seed=<seed>]` crashes
@@ -12,6 +13,9 @@
 //! session report then breaks routed/shed counters out per ingest
 //! thread); `--match-lanes <n>` fans each worker's match batches over a
 //! work-stealing pool of `n` match lanes instead of matching inline;
+//! `--lane-cost-target <cost>` sets the posting-scan cost the lane
+//! planner packs into each stealable unit (smaller = finer units, more
+//! steal opportunities; larger = less scheduling overhead);
 //! `--join <at-doc>` grows the cluster by one node through the live
 //! rebalancer once that many documents have been published;
 //! `--churn <rate>@<pool>` boots a synthetic population of `pool`
@@ -53,6 +57,7 @@ fn main() {
     let mut fault_spec: Option<String> = None;
     let mut publishers: Option<String> = None;
     let mut match_lanes: Option<String> = None;
+    let mut cost_target: Option<String> = None;
     let mut join_spec: Option<String> = None;
     let mut churn_spec: Option<String> = None;
     let mut positional = Vec::new();
@@ -84,6 +89,16 @@ fn main() {
                 Some(n) => match_lanes = Some(n),
                 None => {
                     eprintln!("--match-lanes needs a lane count, e.g. --match-lanes 4");
+                    std::process::exit(1);
+                }
+            }
+        } else if let Some(n) = arg.strip_prefix("--lane-cost-target=") {
+            cost_target = Some(n.to_owned());
+        } else if arg == "--lane-cost-target" {
+            match args.next() {
+                Some(n) => cost_target = Some(n),
+                None => {
+                    eprintln!("--lane-cost-target needs a scan cost, e.g. --lane-cost-target 4096");
                     std::process::exit(1);
                 }
             }
@@ -139,6 +154,20 @@ fn main() {
         },
         None => 1,
     };
+    let lane_cost_target = match cost_target.as_deref() {
+        Some(_) if !live => {
+            eprintln!("--lane-cost-target requires live mode (the simulator matches inline)");
+            std::process::exit(1);
+        }
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--lane-cost-target needs a positive integer, got `{n}`");
+                std::process::exit(1);
+            }
+        },
+        None => move_runtime::DEFAULT_LANE_COST_TARGET,
+    };
     let join_at = match join_spec.as_deref() {
         Some(_) if !live => {
             eprintln!("--join requires live mode (the simulator has no rebalancer)");
@@ -185,8 +214,17 @@ fn main() {
         None => FaultPlan::none(),
     };
     let built = if live {
-        LiveSession::with_churn(nodes, racks, plan, publishers, match_lanes, join_at, churn)
-            .map(|s| Shell::Live(Box::new(s)))
+        LiveSession::with_churn(
+            nodes,
+            racks,
+            plan,
+            publishers,
+            match_lanes,
+            lane_cost_target,
+            join_at,
+            churn,
+        )
+        .map(|s| Shell::Live(Box::new(s)))
     } else {
         Session::new(nodes, racks).map(|s| Shell::Sim(Box::new(s)))
     };

@@ -282,6 +282,30 @@ mod tests {
     }
 
     #[test]
+    fn estimated_bytes_includes_the_fanout_table() {
+        // The aggregation-layer figure the runtime reports as
+        // `aggregation_bytes` must carry the fan-out table's own bytes —
+        // a fan-out set growing under shared-predicate subscriptions has
+        // to show up, or the control-plane accounting under-reports
+        // exactly the structure aggregation adds.
+        let mut agg = FilterAggregator::new();
+        agg.register(&filter(1, &[7]));
+        let lone = agg.estimated_bytes();
+        assert!(lone >= agg.fanout_snapshot().estimated_bytes());
+        for id in 2..200u64 {
+            agg.register(&filter(id, &[7]));
+        }
+        let crowded = agg.estimated_bytes();
+        let fanout = agg.fanout_snapshot().estimated_bytes();
+        assert!(fanout > 0, "199 subscribers of one canonical need a set");
+        assert!(
+            crowded >= lone + fanout,
+            "aggregate bytes ({crowded}) must grow by at least the fan-out \
+             set's footprint ({fanout}) over the lone subscriber ({lone})"
+        );
+    }
+
+    #[test]
     fn unregister_retires_canonical_on_last_subscriber() {
         let mut agg = FilterAggregator::new();
         agg.register(&filter(1, &[7]));

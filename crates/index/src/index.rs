@@ -46,6 +46,16 @@ pub struct MatchScratch {
 /// a single huge filter id cannot balloon the scratch allocation.
 const DEDUP_BITMAP_MAX_WORDS: u64 = 1 << 20;
 
+/// Most posting lists a boolean document match feeds through the galloping
+/// block-wise union ([`crate::blocks::union_lists_into`]) before the
+/// kernel switches to concatenate-and-bitmap-dedup. The union advances by
+/// scanning every cursor per emitted id, so its per-id cost grows with the
+/// list count: with a handful of long lists the block-summary bulk copies
+/// win outright, but a term-rich document under the flooding scheme
+/// retrieves dozens of short interleaved lists and the cursor scans
+/// swamp the sequential concat path (measured ~4× on the RS hot path).
+const UNION_MAX_LISTS: usize = 4;
+
 impl MatchScratch {
     /// Creates an empty scratch buffer.
     #[must_use]
@@ -349,6 +359,14 @@ impl InvertedIndex {
         self.postings.get(&term).map_or(0, PostingList::len)
     }
 
+    /// The posting list of `term`, if one exists — direct list access for
+    /// the term-major batch kernel of the match lanes, which scans each
+    /// distinct term's blocks once per batch and scatters the ids into
+    /// every subscribing document's outcome.
+    pub fn posting(&self, term: TermId) -> Option<&PostingList> {
+        self.postings.get(&term)
+    }
+
     /// Terms that currently have a posting list.
     pub fn terms(&self) -> impl Iterator<Item = TermId> + '_ {
         self.postings.keys().copied()
@@ -413,9 +431,14 @@ impl InvertedIndex {
         out.lists_retrieved += 1;
         out.postings_scanned += pl.len() as u64;
         match self.semantics {
-            MatchSemantics::Boolean => out.matched.extend_from_slice(pl.ids()),
+            MatchSemantics::Boolean => {
+                out.matched.reserve(pl.len());
+                for block in pl.blocks() {
+                    out.matched.extend_from_slice(block.as_slice());
+                }
+            }
             MatchSemantics::SimilarityThreshold(_) => {
-                out.matched.extend(pl.ids().iter().copied().filter(|id| {
+                out.matched.extend(pl.iter().filter(|id| {
                     self.filters
                         .get(id)
                         .is_some_and(|s| self.semantics.matches(&s.body, doc))
@@ -447,12 +470,27 @@ impl InvertedIndex {
     }
 
     /// [`InvertedIndex::match_document`] with caller-owned buffers — the
-    /// allocation-free SIFT kernel. Instead of a `HashMap` hit accumulator
-    /// it concatenates the (sorted) posting slices of the document's terms
-    /// into `scratch` and sorts once: because every posting list holds a
-    /// filter id at most once, the run length of an id in the sorted
-    /// concatenation *is* its per-filter hit count. Matches are appended to
-    /// `out.matched` in ascending order; counters accumulate.
+    /// SIFT kernel with steady-state id buffers reused across documents
+    /// (only small per-call cursor vectors are allocated).
+    ///
+    /// Under boolean semantics, a document touching at most
+    /// [`UNION_MAX_LISTS`] posting lists is combined by the galloping
+    /// block-wise union of [`crate::blocks`]: block summaries (min/max id)
+    /// let whole blocks be bulk-copied when they cannot overlap any other
+    /// list, so the sorted, deduplicated match set is produced directly
+    /// with no post-hoc sort pass. Term-rich documents switch to
+    /// concatenating every list's blocks and deduplicating through the
+    /// dense bitmap — the union's per-id cursor scans grow with the list
+    /// count while the concat path stays sequential. Both produce the same
+    /// canonical set, and counters always charge the full posting
+    /// lengths — the cost model's retrieval charge is layout-independent.
+    ///
+    /// Under threshold semantics it concatenates the (sorted) posting
+    /// slices of the document's terms into `scratch` and sorts once:
+    /// because every posting list holds a filter id at most once, the run
+    /// length of an id in the sorted concatenation *is* its per-filter hit
+    /// count. Matches are appended to `out.matched` in ascending order;
+    /// counters accumulate.
     pub fn match_document_into(
         &self,
         doc: &Document,
@@ -461,19 +499,39 @@ impl InvertedIndex {
     ) {
         let MatchScratch { ids, words } = scratch;
         ids.clear();
-        for t in doc.terms() {
-            if let Some(pl) = self.postings.get(t) {
-                out.lists_retrieved += 1;
-                out.postings_scanned += pl.len() as u64;
-                ids.extend_from_slice(pl.ids());
-            }
-        }
         match self.semantics {
             MatchSemantics::Boolean => {
-                MatchScratch::sort_dedup_in(words, ids);
+                let mut lists: Vec<&crate::blocks::BlockStore> =
+                    Vec::with_capacity(doc.terms().len());
+                for t in doc.terms() {
+                    if let Some(pl) = self.postings.get(t) {
+                        out.lists_retrieved += 1;
+                        out.postings_scanned += pl.len() as u64;
+                        lists.push(pl.store());
+                    }
+                }
+                if lists.len() <= UNION_MAX_LISTS {
+                    crate::blocks::union_lists_into(&lists, ids);
+                } else {
+                    for l in &lists {
+                        for block in l.blocks() {
+                            ids.extend_from_slice(block.as_slice());
+                        }
+                    }
+                    MatchScratch::sort_dedup_in(words, ids);
+                }
                 out.matched.extend_from_slice(ids);
             }
             MatchSemantics::SimilarityThreshold(th) => {
+                for t in doc.terms() {
+                    if let Some(pl) = self.postings.get(t) {
+                        out.lists_retrieved += 1;
+                        out.postings_scanned += pl.len() as u64;
+                        for block in pl.blocks() {
+                            ids.extend_from_slice(block.as_slice());
+                        }
+                    }
+                }
                 // Threshold semantics needs per-id multiplicities (run
                 // lengths), which the bitmap erases — sort instead.
                 ids.sort_unstable();
@@ -546,6 +604,32 @@ mod tests {
         );
         assert_eq!(got.lists_retrieved, 2); // terms 2 and 3 have lists
         assert_eq!(got.postings_scanned, 3); // f1,f3 under 2; f2 under 3
+    }
+
+    /// A term-rich boolean document retrieves more than [`UNION_MAX_LISTS`]
+    /// posting lists, which switches the kernel from the galloping block
+    /// union to the concat-and-bitmap-dedup path — the two must produce
+    /// the same canonical match set. The filters interleave their ids
+    /// across terms and share terms (cross-list duplicates), so dedup and
+    /// ordering are both load-bearing here.
+    #[test]
+    fn sift_term_rich_boolean_takes_the_concat_path_and_stays_exact() {
+        let doc_terms: Vec<u32> = (1..=10).collect();
+        assert!(doc_terms.len() > UNION_MAX_LISTS);
+        // Filter k subscribes to terms k and k+1 (wrapping), so adjacent
+        // posting lists overlap and every id appears in two lists.
+        let filters: Vec<Filter> = (0..30u64)
+            .map(|k| f(k, &[(k % 10 + 1) as u32, ((k + 1) % 10 + 1) as u32]))
+            .collect();
+        let idx = boolean_index(&filters);
+        let doc = d(&doc_terms);
+        let got = idx.match_document(&doc);
+        assert_eq!(
+            got.matched,
+            brute_force(&filters, &doc, MatchSemantics::Boolean)
+        );
+        assert_eq!(got.lists_retrieved, 10);
+        assert_eq!(got.postings_scanned, 60); // 30 filters × 2 entries
     }
 
     #[test]
@@ -713,6 +797,26 @@ mod tests {
             );
             assert_eq!(idx.total_postings(), 0);
         }
+    }
+
+    #[test]
+    fn estimated_bytes_covers_the_blocked_posting_layout() {
+        // 200 single-term filters under one term: two 1072-byte posting
+        // blocks (see the posting-list fixture test). The index figure
+        // must charge at least those blocks plus every stored body — the
+        // block overhead of the layout may not be hidden — and stay a
+        // sane multiple of the true payload.
+        let mut idx = InvertedIndex::new(MatchSemantics::Boolean);
+        for id in 0..200u64 {
+            idx.insert(f(id, &[1]));
+        }
+        let block_bytes = idx
+            .terms()
+            .map(|t| idx.posting(t).map_or(0, PostingList::estimated_bytes))
+            .sum::<usize>();
+        assert_eq!(block_bytes, 2 * 1072);
+        let body_bytes = 200 * std::mem::size_of::<Filter>();
+        assert!(idx.estimated_bytes() >= block_bytes + body_bytes);
     }
 
     #[test]

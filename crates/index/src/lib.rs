@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+mod blocks;
 pub mod fanout;
 mod index;
 mod posting;
 pub mod vsm;
 
 pub use aggregate::{FilterAggregator, RegisterOutcome, UnregisterOutcome};
+pub use blocks::{PostingBlock, BLOCK_CAP};
 pub use fanout::{FanOutSet, FanoutTable};
 pub use index::{brute_force, deep_clone_count, InvertedIndex, MatchOutcome, MatchScratch};
 pub use posting::PostingList;

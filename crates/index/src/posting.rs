@@ -1,12 +1,21 @@
 //! Posting lists.
 
+use crate::blocks::{BlockStore, PostingBlock};
 use move_types::FilterId;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The posting list of one term: the sorted ids of every filter containing
 /// that term. "The set, typically implemented as a posting list, maintains
 /// all documents containing the term" (paper §II) — here the indexed objects
 /// are filters.
+///
+/// Ids live in fixed-size blocks with summary headers (see
+/// [`crate::blocks`]): iteration order, idempotence and return values are
+/// exactly those of the flat sorted-`Vec` layout this replaced — the
+/// property suite in `tests/` pins the two against each other — while
+/// snapshots share untouched blocks by `Arc` and the match kernels prune
+/// on block summaries.
 ///
 /// # Examples
 ///
@@ -18,11 +27,12 @@ use serde::{Deserialize, Serialize};
 /// pl.insert(FilterId(9));
 /// pl.insert(FilterId(3));
 /// pl.insert(FilterId(9)); // idempotent
-/// assert_eq!(pl.ids(), &[FilterId(3), FilterId(9)]);
+/// let ids: Vec<FilterId> = pl.iter().collect();
+/// assert_eq!(ids, vec![FilterId(3), FilterId(9)]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PostingList {
-    ids: Vec<FilterId>,
+    store: BlockStore,
 }
 
 impl PostingList {
@@ -33,14 +43,9 @@ impl PostingList {
 
     /// Inserts a filter id (idempotent); returns whether the id was newly
     /// added — the signal the index's per-filter posting refcount runs on.
+    /// Costs one block copy-on-write and at most one ≤ block-size memmove.
     pub fn insert(&mut self, id: FilterId) -> bool {
-        match self.ids.binary_search(&id) {
-            Err(pos) => {
-                self.ids.insert(pos, id);
-                true
-            }
-            Ok(_) => false,
-        }
+        self.store.insert(id)
     }
 
     /// Wraps an already sorted, deduplicated id vector without re-sorting.
@@ -49,103 +54,101 @@ impl PostingList {
     #[cfg(test)]
     pub(crate) fn from_sorted(ids: Vec<FilterId>) -> Self {
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
-        Self { ids }
+        let mut pl = Self::new();
+        pl.store.extend_sorted(&ids);
+        pl
     }
 
     /// Merges a sorted, deduplicated batch of ids in one pass; returns how
     /// many were newly added.
     ///
-    /// Per-id [`PostingList::insert`] pays an O(n) memmove for every id
-    /// landing in the middle of a hot term's list, so bulk registration
-    /// (index construction, journal replay) over `k` ids costs O(n·k).
-    /// This path merges the two sorted runs back-to-front into the final
-    /// allocation instead — O(n + k) and at most one reallocation.
+    /// Per-id [`PostingList::insert`] pays a block copy-on-write for every
+    /// id, so bulk registration (index construction, journal replay) over
+    /// `k` ids would copy hot blocks `k` times. This path merges the batch
+    /// into the blocks it overlaps and rebuilds only that span — blocks
+    /// outside it keep their `Arc`, so snapshot sharing survives the merge.
     ///
     /// # Panics
     ///
     /// Debug builds assert that `batch` is strictly sorted.
     pub fn extend_sorted(&mut self, batch: &[FilterId]) -> usize {
-        debug_assert!(
-            batch.windows(2).all(|w| w[0] < w[1]),
-            "batch must be sorted and deduplicated"
-        );
-        if batch.is_empty() {
-            return 0;
-        }
-        if self.ids.is_empty() {
-            self.ids.extend_from_slice(batch);
-            return batch.len();
-        }
-        // Fast path: the batch appends strictly after the current tail —
-        // the common case when ids are registered in ascending order.
-        if let (Some(&tail), Some(&head)) = (self.ids.last(), batch.first()) {
-            if tail < head {
-                self.ids.extend_from_slice(batch);
-                return batch.len();
-            }
-        }
-        let fresh = batch.iter().filter(|id| !self.contains(**id)).count();
-        if fresh == 0 {
-            return 0;
-        }
-        let old_len = self.ids.len();
-        self.ids.resize(old_len + fresh, FilterId(0));
-        // Merge back-to-front so existing ids move at most once.
-        let mut write = self.ids.len();
-        let mut a = old_len; // existing run cursor (exclusive)
-        let mut b = batch.len(); // batch cursor (exclusive)
-        while b > 0 {
-            write -= 1;
-            if a > 0 && self.ids[a - 1] >= batch[b - 1] {
-                if self.ids[a - 1] == batch[b - 1] {
-                    b -= 1; // duplicate: keep the existing copy
-                }
-                a -= 1;
-                self.ids[write] = self.ids[a];
-            } else {
-                b -= 1;
-                self.ids[write] = batch[b];
-            }
-        }
-        debug_assert!(self.ids.windows(2).all(|w| w[0] < w[1]));
-        fresh
+        self.store.extend_sorted(batch)
     }
 
-    /// Approximate heap footprint of this list in bytes — the control-plane
+    /// Approximate heap footprint of this list in bytes — block payloads,
+    /// `Arc` headers and the block-pointer vector — the control-plane
     /// accounting `bench_control` reports as bytes/filter.
     pub fn estimated_bytes(&self) -> usize {
-        self.ids.capacity() * std::mem::size_of::<FilterId>()
+        self.store.estimated_bytes()
     }
 
-    /// Removes a filter id; returns whether it was present.
+    /// Removes a filter id; returns whether it was present. A block
+    /// drained by the removal is pruned immediately.
     pub fn remove(&mut self, id: FilterId) -> bool {
-        match self.ids.binary_search(&id) {
-            Ok(pos) => {
-                self.ids.remove(pos);
-                true
-            }
-            Err(_) => false,
-        }
+        self.store.remove(id)
     }
 
-    /// Whether the list contains `id`.
+    /// Whether the list contains `id` — a block-summary probe plus one
+    /// in-block binary search.
     pub fn contains(&self, id: FilterId) -> bool {
-        self.ids.binary_search(&id).is_ok()
+        self.store.contains(id)
     }
 
-    /// The sorted filter ids.
-    pub fn ids(&self) -> &[FilterId] {
-        &self.ids
+    /// The sorted filter ids, in ascending order across blocks.
+    pub fn iter(&self) -> impl Iterator<Item = FilterId> + '_ {
+        self.store.iter()
+    }
+
+    /// The list's blocks, ascending and non-overlapping — the unit the
+    /// match kernels scan, skip and bulk-copy by summary.
+    pub fn blocks(&self) -> &[Arc<PostingBlock>] {
+        self.store.blocks()
+    }
+
+    /// Internal handle for the block-level kernels in [`crate::blocks`].
+    pub(crate) fn store(&self) -> &BlockStore {
+        &self.store
     }
 
     /// Number of postings.
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.store.len()
     }
 
     /// Whether the list is empty.
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.store.is_empty()
+    }
+}
+
+impl PartialEq for PostingList {
+    /// Logical equality: same ids in the same order. Block boundaries are
+    /// a storage artifact (they depend on insertion history) and do not
+    /// participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for PostingList {}
+
+impl Serialize for PostingList {
+    /// Serializes as the flat sorted id array — the wire format is
+    /// layout-independent, so snapshots taken under the flat layout and
+    /// the blocked layout are interchangeable.
+    fn to_value(&self) -> serde::Value {
+        self.iter().collect::<Vec<FilterId>>().to_value()
+    }
+}
+
+impl Deserialize for PostingList {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let mut ids = Vec::<FilterId>::from_value(v)?;
+        ids.sort_unstable();
+        ids.dedup();
+        let mut pl = Self::new();
+        pl.store.extend_sorted(&ids);
+        Ok(pl)
     }
 }
 
@@ -154,7 +157,9 @@ impl FromIterator<FilterId> for PostingList {
         let mut ids: Vec<FilterId> = iter.into_iter().collect();
         ids.sort_unstable();
         ids.dedup();
-        Self { ids }
+        let mut pl = Self::new();
+        pl.store.extend_sorted(&ids);
+        pl
     }
 }
 
@@ -170,13 +175,17 @@ impl Extend<FilterId> for PostingList {
 mod tests {
     use super::*;
 
+    fn collected(pl: &PostingList) -> Vec<FilterId> {
+        pl.iter().collect()
+    }
+
     #[test]
     fn insert_keeps_sorted_unique() {
         let mut pl = PostingList::new();
         for raw in [5u64, 1, 3, 5, 1] {
             pl.insert(FilterId(raw));
         }
-        assert_eq!(pl.ids(), &[FilterId(1), FilterId(3), FilterId(5)]);
+        assert_eq!(collected(&pl), vec![FilterId(1), FilterId(3), FilterId(5)]);
         assert_eq!(pl.len(), 3);
     }
 
@@ -194,7 +203,7 @@ mod tests {
         let pl: PostingList = [FilterId(2), FilterId(2), FilterId(0)]
             .into_iter()
             .collect();
-        assert_eq!(pl.ids(), &[FilterId(0), FilterId(2)]);
+        assert_eq!(collected(&pl), vec![FilterId(0), FilterId(2)]);
     }
 
     #[test]
@@ -210,15 +219,15 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(42);
         for case in 0..200 {
-            let base_len = rng.gen_range(0..30);
-            let batch_len = rng.gen_range(0..30);
+            let base_len = rng.gen_range(0..300);
+            let batch_len = rng.gen_range(0..300);
             let mut base: Vec<FilterId> = (0..base_len)
-                .map(|_| FilterId(rng.gen_range(0..60u64)))
+                .map(|_| FilterId(rng.gen_range(0..600u64)))
                 .collect();
             base.sort_unstable();
             base.dedup();
             let mut batch: Vec<FilterId> = (0..batch_len)
-                .map(|_| FilterId(rng.gen_range(0..60u64)))
+                .map(|_| FilterId(rng.gen_range(0..600u64)))
                 .collect();
             batch.sort_unstable();
             batch.dedup();
@@ -247,8 +256,43 @@ mod tests {
         // Empty batch.
         assert_eq!(pl.extend_sorted(&[]), 0);
         assert_eq!(
-            pl.ids(),
-            &[FilterId(1), FilterId(2), FilterId(5), FilterId(9)]
+            collected(&pl),
+            vec![FilterId(1), FilterId(2), FilterId(5), FilterId(9)]
         );
+    }
+
+    #[test]
+    fn serde_round_trips_across_layout() {
+        let pl: PostingList = (0..300u64).map(|i| FilterId(i * 7)).collect();
+        let json = serde_json::to_string(&pl).expect("serialize");
+        let back: PostingList = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(pl, back);
+        // The wire format is the flat id list, not the block structure.
+        let flat: Vec<FilterId> = serde_json::from_str(&json).expect("flat decode");
+        assert_eq!(flat, collected(&pl));
+    }
+
+    #[test]
+    fn estimated_bytes_grows_with_blocks() {
+        let small: PostingList = (0..10u64).map(FilterId).collect();
+        let large: PostingList = (0..2000u64).map(FilterId).collect();
+        assert!(small.estimated_bytes() > 0);
+        assert!(large.estimated_bytes() > small.estimated_bytes());
+    }
+
+    #[test]
+    fn estimated_bytes_matches_the_hand_computed_fixture() {
+        // Hand computation, independent of the accounting code: a block is
+        // its repr(C) struct — min (8) + max (8) + len (4, padded to 8) +
+        // 128 × 8-byte ids = 1048 bytes — plus a 16-byte `Arc` header
+        // (strong + weak counts) and the list's 8-byte pointer to it:
+        // 1072 bytes per block. 300 ids fill ⌈300 / 128⌉ = 3 blocks.
+        let pl: PostingList = (0..300u64).map(FilterId).collect();
+        assert_eq!(pl.blocks().len(), 3);
+        assert_eq!(pl.estimated_bytes(), 3 * 1072);
+        // One id still costs a whole block — the fixed-block overhead the
+        // accounting must not hide.
+        let one: PostingList = [FilterId(7)].into_iter().collect();
+        assert_eq!(one.estimated_bytes(), 1072);
     }
 }

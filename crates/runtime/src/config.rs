@@ -174,7 +174,19 @@ pub struct RuntimeConfig {
     /// buffers — see [`crate::lanes`]. Delivery sets and counters are
     /// identical either way; only the core count changes.
     pub match_lanes: usize,
+    /// Per-unit scan-cost target of the lane planner, in posting entries:
+    /// a batch is split into stealable units whose summed posting-list
+    /// lengths approach this target (lowered automatically when the batch
+    /// is too small to fill `4 × match_lanes` units at it). Smaller
+    /// targets mean finer-grained stealing at more per-unit merge
+    /// overhead. Ignored with one lane.
+    pub lane_cost_target: usize,
 }
+
+/// Default [`RuntimeConfig::lane_cost_target`]: enough posting entries
+/// per unit that the unit's scan dwarfs its lock round-trip, small enough
+/// that realistic batches still split across lanes.
+pub const DEFAULT_LANE_COST_TARGET: usize = 4096;
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
@@ -188,6 +200,7 @@ impl Default for RuntimeConfig {
             supervision: SupervisionPolicy::default(),
             publishers: 1,
             match_lanes: 1,
+            lane_cost_target: DEFAULT_LANE_COST_TARGET,
         }
     }
 }

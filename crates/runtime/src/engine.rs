@@ -172,6 +172,9 @@ pub(crate) struct ThreadTransport {
     mailbox_capacity: usize,
     /// Match lanes per worker (1 = inline matching; see [`crate::lanes`]).
     match_lanes: usize,
+    /// Per-unit scan-cost target of the lane planner
+    /// ([`RuntimeConfig::lane_cost_target`]).
+    lane_cost_target: usize,
     delivery_tx: Sender<Delivery>,
     /// `None` once shutdown starts — restarts are refused and the finals
     /// channel can disconnect.
@@ -198,6 +201,7 @@ impl ThreadTransport {
             rx,
             self.delivery_tx.clone(),
             self.match_lanes,
+            self.lane_cost_target,
             false,
         );
         let handle = thread::Builder::new()
@@ -308,6 +312,7 @@ impl Engine {
             overflow: config.overflow,
             mailbox_capacity: config.mailbox_capacity,
             match_lanes: config.match_lanes.max(1),
+            lane_cost_target: config.lane_cost_target.max(1),
             delivery_tx,
             final_tx: Some(final_tx),
         };

@@ -106,6 +106,12 @@ pub struct InterleaveConfig {
     /// schedulable actions of their own, so seeds explore steal orders and
     /// merge orders as well as message orders.
     pub match_lanes: usize,
+    /// Per-unit scan-cost target of the lane planner (same knob as
+    /// [`RuntimeConfig::lane_cost_target`]). The harness default is 1 —
+    /// one unit per term group or task item — so the tiny workloads of
+    /// interleaving schedules still produce several stealable units and
+    /// the seeds keep exploring steal and merge orders.
+    pub lane_cost_target: usize,
     /// What the router does when a send finds a crashed worker (same knob
     /// as [`RuntimeConfig::supervision`]). The default uses
     /// [`Duration::ZERO`] backoff — retries cost schedule steps, not
@@ -121,6 +127,7 @@ impl Default for InterleaveConfig {
             overflow: OverflowPolicy::Block,
             batch_size: 1,
             match_lanes: 1,
+            lane_cost_target: 1,
             supervision: SupervisionPolicy {
                 restart: true,
                 max_retries: 3,
@@ -233,6 +240,8 @@ struct SimTransport {
     overflow: OverflowPolicy,
     /// Match lanes per worker, applied to restarted and joined workers too.
     lanes: usize,
+    /// Lane planner cost target, applied with `lanes`.
+    cost_target: usize,
     shed_docs: BTreeSet<DocId>,
 }
 
@@ -285,6 +294,7 @@ impl Transport for SimTransport {
             rx,
             self.delivery_tx.clone(),
             self.lanes,
+            self.cost_target,
             true,
         );
         self.workers.borrow_mut()[n] = Some(worker);
@@ -304,6 +314,7 @@ impl Transport for SimTransport {
             rx,
             self.delivery_tx.clone(),
             self.lanes,
+            self.cost_target,
             true,
         );
         self.workers.borrow_mut().push(Some(worker));
@@ -377,6 +388,7 @@ pub fn run_schedule(
 ) -> Result<InterleaveReport> {
     let nodes = scheme.cluster().len();
     let lanes = config.match_lanes.max(1);
+    let cost_target = config.lane_cost_target.max(1);
     // xtask:allow-unbounded — drained only after the run; bounding it
     // would deadlock the single harness thread.
     let (delivery_tx, delivery_rx) = unbounded();
@@ -397,6 +409,7 @@ pub fn run_schedule(
             rx,
             delivery_tx.clone(),
             lanes,
+            cost_target,
             true,
         )));
         mailboxes.push(tx);
@@ -410,6 +423,7 @@ pub fn run_schedule(
         capacity: config.mailbox_capacity.max(1),
         overflow: config.overflow,
         lanes,
+        cost_target,
         shed_docs: BTreeSet::new(),
     };
     let runtime_config = RuntimeConfig {
@@ -425,6 +439,7 @@ pub fn run_schedule(
         supervision: config.supervision,
         publishers: 1, // the harness drives the serial router directly
         match_lanes: lanes,
+        lane_cost_target: cost_target,
     };
     let plan = crate::fault::FaultPlan::none();
     let mut router = Router::new(scheme, runtime_config, transport, plan, bases);
@@ -456,7 +471,8 @@ pub fn run_schedule(
     // cluster, so the per-node fan-out is sized at the maximum node count.
     let max_nodes = (nodes + join_ops) as u64;
     // With match lanes, each batch message expands into several pool-unit
-    // steps (chunked scans), so the budget scales with the lane count too.
+    // steps (cost-packed term groups or task items; at most one unit per
+    // term occurrence), so the budget scales with the lane count too.
     let budget = ((script.len() as u64 + 2) * (2 * max_nodes + 4) * 4 + 1000)
         * (1 + fault_ops)
         * (1 + lanes as u64);

@@ -1,13 +1,41 @@
 //! The intra-node work-stealing match executor ("match lanes").
 //!
 //! A worker with [`RuntimeConfig::match_lanes`](crate::RuntimeConfig) > 1
-//! does not execute a document batch inline: it splits every
-//! [`DocTask`](crate::DocTask) into *units* (chunked posting-list scans),
-//! deals the units round-robin across a small set of per-lane deques, and
-//! lets the lanes race — a lane whose own deque runs dry steals the back
-//! half of the longest other deque. Each lane owns a private
-//! [`MatchScratch`]/[`MatchOutcome`] pair, so the kernels stay
-//! allocation-free and nothing is shared but the pool's one mutex.
+//! does not execute a document batch inline: it plans the batch into
+//! *units* — cost-balanced bundles of posting-list scans — deals the units
+//! round-robin across a small set of per-lane deques, and lets the lanes
+//! race — a lane whose own deque runs dry steals the back half of the
+//! longest other deque. Each lane owns a private [`LaneCtx`] (kernel
+//! scratch plus a preallocated merge buffer), so the kernels stay
+//! allocation-free in steady state and nothing is shared but the pool's
+//! one mutex.
+//!
+//! # Cost-model planning
+//!
+//! Earlier revisions dealt fixed eight-term chunks, which made unit size
+//! blind to posting-list length: lanes fought over cache-cold crumbs and
+//! the per-unit lock round-trips dominated. The planner now sizes units by
+//! *summed posting cost* (via [`InvertedIndex::posting_len`]) toward a
+//! per-unit scan-cost target ([`RuntimeConfig::lane_cost_target`]),
+//! clamped so a batch still yields roughly `4 × lanes` stealable units
+//! when its total cost is small. Steal granularity is whole units. The
+//! same model also decides when *not* to parallelise: a batch whose total
+//! cost cannot feed every lane one target-sized unit is matched inline by
+//! the threaded worker ([`MatchPool::should_inline`]) — coordination would
+//! cost more than the scans it spreads.
+//!
+//! Under **boolean** semantics the plan is *term-major*: the batch's
+//! documents usually share popular terms, so each distinct term becomes
+//! one scan that walks the term's posting blocks once — cache-hot — and
+//! scatters the ids into every subscribing document's accumulator. (Under
+//! boolean semantics a term's whole posting list matches any document
+//! containing the term, so no per-document recheck is needed, and the
+//! per-task counters are charged exactly as the serial doc-major loop
+//! would charge them.) Under **threshold** semantics the plan stays
+//! doc-major — per-filter hit multiplicities cannot be split across terms
+//! of different units arbitrarily cheaply — with whole tasks packed
+//! together (or one oversized task's term list split) toward the same
+//! cost target.
 //!
 //! Two drivers run the *same* [`MatchPool::step_lane`] code:
 //!
@@ -23,32 +51,34 @@
 //!
 //! # Why the merge is order-independent
 //!
-//! Units only ever *append* to their task's accumulator: per-unit matched
-//! ids plus work counters. Addition commutes, and the finalize step (run
-//! by whichever lane merges the task's last unit) passes the concatenated
-//! ids through the same dense-bitmap
+//! Units only ever *append* to their tasks' accumulators: per-unit matched
+//! ids plus work counters, staged in the lane's private merge buffer and
+//! committed under one lock acquisition. Addition commutes, and the
+//! finalize step (run by whichever lane merges the task's last unit)
+//! passes the concatenated ids through the same dense-bitmap
 //! [`MatchScratch::sort_dedup`] the serial worker uses — a sorted,
 //! deduplicated set is a canonical form, so the delivery is byte-identical
-//! for every steal schedule, and identical to the serial worker's. The
-//! equivalence property suite in `tests/tests/match_pool.rs` pins this.
+//! for every plan, lane count and steal schedule, and identical to the
+//! serial worker's. The equivalence property suite in
+//! `tests/tests/match_pool.rs` pins this.
 
 use crossbeam::channel::Sender;
 use move_core::MatchTask;
 use move_index::{FanoutTable, InvertedIndex, MatchOutcome, MatchScratch};
-use move_types::{MatchSemantics, NodeId, TermId};
+use move_types::{Document, FilterId, MatchSemantics, NodeId, TermId};
 use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::message::{Delivery, DocTask};
 
-/// Posting-list scans per unit: a [`MatchTask::Terms`] list (or a
-/// full-index document's term list) is cut into chunks of this many terms,
-/// so one oversized task still spreads across lanes. Small enough that a
-/// typical batch yields several stealable units, large enough that the
-/// per-unit lock round-trip stays amortized.
-const TERM_CHUNK: usize = 8;
+/// Floor on the effective per-unit cost: below this many posting entries
+/// the per-unit lock round-trip costs more than the scan it schedules, so
+/// the planner stops splitting (unless the configured target is even
+/// smaller — the harness pins a target of 1 to force fine-grained units).
+const MIN_UNIT_COST: usize = 256;
 
 /// What one scheduling quantum of a lane did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,49 +90,71 @@ pub(crate) enum LaneStep {
     Idle,
 }
 
-/// A lane's private kernel buffers; reused across units so steady-state
-/// matching allocates only when a delivery is produced.
+/// One staged partial result: a range of the lane's merge buffer destined
+/// for one task's accumulator, plus the scan work it represents.
+#[derive(Debug)]
+struct Part {
+    task: usize,
+    start: usize,
+    end: usize,
+    postings: u64,
+}
+
+/// A lane's private buffers: kernel scratch, a reusable outcome, and the
+/// merge buffer unit partials are staged in. Reused across units so
+/// steady-state matching allocates only when a delivery is produced.
 #[derive(Debug, Default)]
 pub(crate) struct LaneCtx {
     pub(crate) scratch: MatchScratch,
     outcome: MatchOutcome,
+    /// Flat staging area for a unit's matched ids; `parts` slices it per
+    /// task. Committed to the task accumulators under one lock
+    /// acquisition, then truncated — capacity persists across units.
+    buf: Vec<FilterId>,
+    parts: Vec<Part>,
 }
 
-/// One schedulable slice of a document task.
+/// One item of a unit's work list.
 #[derive(Debug)]
+enum Item {
+    /// Term-major (boolean): walk `term`'s posting blocks once and scatter
+    /// the ids into every listed task's accumulator. Tasks appear once per
+    /// occurrence of the term in their term list, so the counters charge
+    /// exactly what the serial per-term loop would.
+    TermScan { term: TermId, tasks: Vec<usize> },
+    /// Doc-major: match a slice of the task's routed terms against the
+    /// batch snapshot (threshold semantics re-checks each stored body).
+    Terms {
+        task: usize,
+        doc: Arc<Document>,
+        terms: Vec<TermId>,
+    },
+    /// Doc-major: the whole SIFT kernel — threshold semantics needs
+    /// per-filter hit multiplicities, which cannot leave one unit.
+    FullDoc { task: usize, doc: Arc<Document> },
+}
+
+/// One schedulable, whole-unit-stealable slice of a batch.
+#[derive(Debug, Default)]
 struct Unit {
-    /// Index of the owning task in the batch's accumulator table.
-    task: usize,
-    kind: UnitKind,
-}
-
-#[derive(Debug)]
-enum UnitKind {
-    /// Match a chunk of the task's routed terms (inverted-list step).
-    RoutedTerms(Vec<TermId>),
-    /// Match a `[start, end)` slice of the *document's* terms against the
-    /// full local index — only valid under boolean semantics, where the
-    /// union of per-term matches equals the SIFT result exactly (counters
-    /// included).
-    DocTerms(usize, usize),
-    /// Run the whole SIFT kernel in one unit — threshold semantics needs
-    /// per-filter hit multiplicities, which cannot be split across lanes.
-    FullDoc,
-    /// Execute nothing, but finalize the task (latency + task count) —
-    /// [`MatchTask::Forward`] and empty term lists.
-    Noop,
+    items: Vec<Item>,
+    /// Distinct indices of the tasks this unit contributes to; merging the
+    /// unit decrements each of their `remaining` counts once. Tasks with
+    /// no work at all ([`MatchTask::Forward`], empty term lists) ride
+    /// along here so they still finalize (latency + task count).
+    tasks: Vec<usize>,
 }
 
 /// Per-task accumulator: partial results merge in as units finish, in
 /// whatever order the lanes produce them.
 #[derive(Debug)]
 struct TaskAcc {
-    doc: Arc<move_types::Document>,
+    doc: Arc<Document>,
     dispatched: Instant,
     /// Units of this task not yet merged.
     remaining: usize,
     /// Concatenated per-unit matches; canonicalized at finalize.
-    matched: Vec<move_types::FilterId>,
+    matched: Vec<FilterId>,
     postings_scanned: u64,
 }
 
@@ -153,6 +205,13 @@ pub(crate) struct MatchPool {
     node: NodeId,
     deliveries: Sender<Delivery>,
     lanes: usize,
+    /// Per-unit scan-cost target (posting entries) the planner packs
+    /// toward — [`RuntimeConfig::lane_cost_target`](crate::RuntimeConfig).
+    cost_target: usize,
+    /// Hardware threads of the host, sampled once at construction — the
+    /// fan-out decision in [`MatchPool::should_inline`] needs to know
+    /// whether two lanes can run at the same time at all.
+    hw_threads: usize,
     state: Mutex<PoolState>,
     /// Signals helper lanes that a batch was queued (or shutdown set).
     work: Condvar,
@@ -161,12 +220,21 @@ pub(crate) struct MatchPool {
 }
 
 impl MatchPool {
-    pub(crate) fn new(node: NodeId, lanes: usize, deliveries: Sender<Delivery>) -> Self {
+    pub(crate) fn new(
+        node: NodeId,
+        lanes: usize,
+        cost_target: usize,
+        deliveries: Sender<Delivery>,
+    ) -> Self {
         let lanes = lanes.max(1);
         Self {
             node,
             deliveries,
             lanes,
+            cost_target: cost_target.max(1),
+            hw_threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
             state: Mutex::new(PoolState {
                 index: None,
                 fanout: None,
@@ -207,66 +275,262 @@ impl MatchPool {
         self.state.lock().crashed[lane] = true;
     }
 
-    /// Splits `batch` into units against the `index` snapshot and deals
-    /// them round-robin across the lane deques. Must not be called while a
-    /// batch is in flight — the worker completes each batch before
-    /// touching its mailbox again.
+    /// The effective per-unit cost the planner packs toward: the
+    /// configured target, lowered when the batch's total cost is too small
+    /// to fill `4 × lanes` units at it (so moderate batches still spread
+    /// across every lane), floored at [`MIN_UNIT_COST`] — unless the
+    /// configured target is smaller still, which wins: the harness pins a
+    /// target of 1 to force maximally fine-grained schedules.
+    fn effective_target(&self, total_cost: usize) -> usize {
+        let spread = total_cost / (self.lanes * 4).max(1);
+        spread.clamp(MIN_UNIT_COST.min(self.cost_target), self.cost_target)
+    }
+
+    /// Whether `batch` is too small for fan-out to pay: when the summed
+    /// posting cost cannot fill one target-sized unit per lane, the pool's
+    /// coordination (planning, lock round-trips, lane wake-ups, merge)
+    /// costs more than the scans it would spread, so the threaded worker
+    /// matches such batches inline instead — the cost model deciding *not*
+    /// to parallelise is as much a part of the scheduler as the splitting.
+    /// The interleaving harness ignores this and always pools: its job is
+    /// to explore pool schedules, not to be fast.
+    ///
+    /// The cost sum is the planner's own quantity: summing
+    /// `posting_len × occurrences` per (task, term) pair equals the
+    /// term-major per-group total and the doc-major per-task total alike.
+    pub(crate) fn should_inline(&self, index: &InvertedIndex, batch: &[DocTask]) -> bool {
+        // A host that cannot run two lanes concurrently makes every
+        // fan-out a pure loss — the helper threads only time-slice against
+        // lane 0 — so no batch is large enough to pay there. A micro cost
+        // target (below [`MIN_UNIT_COST`]) is the explicit pool-anyway
+        // override: the harness and the pool's own test suites pin targets
+        // of 1 to drive the machinery on any hardware.
+        if self.hw_threads < 2 && self.cost_target >= MIN_UNIT_COST {
+            return true;
+        }
+        let threshold = self.cost_target.saturating_mul(self.lanes);
+        let mut total = 0usize;
+        for task in batch {
+            let terms: &[TermId] = match &task.task {
+                MatchTask::Forward => &[],
+                MatchTask::Terms(terms) => terms,
+                MatchTask::FullIndex => task.doc.terms(),
+            };
+            for &t in terms {
+                total = total.saturating_add(index.posting_len(t).max(1));
+                if total >= threshold {
+                    return false;
+                }
+            }
+        }
+        total < threshold
+    }
+
+    /// Plans a batch into cost-balanced units. See the module docs: term-
+    /// major under boolean semantics, doc-major under threshold. Every
+    /// task lands in at least one unit's `tasks` list (workless tasks ride
+    /// along for finalization), and per-task scan counters are charged
+    /// exactly as the serial loop would charge them.
+    fn plan(&self, index: &InvertedIndex, batch: &[DocTask]) -> Vec<Unit> {
+        match index.semantics() {
+            MatchSemantics::Boolean => self.plan_term_major(index, batch),
+            MatchSemantics::SimilarityThreshold(_) => self.plan_doc_major(index, batch),
+        }
+    }
+
+    /// Boolean planning: group the batch by distinct term (first-seen
+    /// order, so plans are a pure function of the batch), cost each group
+    /// at `posting_len × subscribers`, and pack groups into units toward
+    /// the effective target.
+    fn plan_term_major(&self, index: &InvertedIndex, batch: &[DocTask]) -> Vec<Unit> {
+        let mut slots: HashMap<TermId, usize> = HashMap::new();
+        let mut groups: Vec<(TermId, Vec<usize>)> = Vec::new();
+        let mut workless: Vec<usize> = Vec::new();
+        for (ti, task) in batch.iter().enumerate() {
+            let terms: &[TermId] = match &task.task {
+                MatchTask::Forward => &[],
+                MatchTask::Terms(terms) => terms,
+                MatchTask::FullIndex => task.doc.terms(),
+            };
+            if terms.is_empty() {
+                workless.push(ti);
+                continue;
+            }
+            for &t in terms {
+                let slot = *slots.entry(t).or_insert_with(|| {
+                    groups.push((t, Vec::new()));
+                    groups.len() - 1
+                });
+                groups[slot].1.push(ti);
+            }
+        }
+        let cost_of =
+            |g: &(TermId, Vec<usize>)| index.posting_len(g.0).max(1).saturating_mul(g.1.len());
+        let total: usize = groups.iter().map(cost_of).sum();
+        let target = self.effective_target(total);
+        let mut units: Vec<Unit> = Vec::new();
+        let mut open = Unit::default();
+        let mut open_cost = 0usize;
+        for group in groups {
+            open_cost += cost_of(&group);
+            for &ti in &group.1 {
+                if !open.tasks.contains(&ti) {
+                    open.tasks.push(ti);
+                }
+            }
+            let (term, tasks) = group;
+            open.items.push(Item::TermScan { term, tasks });
+            if open_cost >= target {
+                units.push(std::mem::take(&mut open));
+                open_cost = 0;
+            }
+        }
+        Self::close_plan(units, open, workless)
+    }
+
+    /// Threshold planning: whole tasks pack together toward the effective
+    /// target; a single oversized routed-terms task splits by term (the
+    /// per-term threshold check is independent per term, so chunk sums
+    /// reproduce the serial counters — the SIFT kernel itself cannot
+    /// split).
+    fn plan_doc_major(&self, index: &InvertedIndex, batch: &[DocTask]) -> Vec<Unit> {
+        let term_cost = |t: TermId| index.posting_len(t).max(1);
+        let total: usize = batch
+            .iter()
+            .map(|task| match &task.task {
+                MatchTask::Forward => 0,
+                MatchTask::Terms(terms) => terms.iter().map(|&t| term_cost(t)).sum(),
+                MatchTask::FullIndex => task.doc.terms().iter().map(|&t| term_cost(t)).sum(),
+            })
+            .sum();
+        let target = self.effective_target(total);
+        let mut units: Vec<Unit> = Vec::new();
+        let mut open = Unit::default();
+        let mut open_cost = 0usize;
+        let mut workless: Vec<usize> = Vec::new();
+        let mut close_if_full = |open: &mut Unit, open_cost: &mut usize| {
+            if *open_cost >= target {
+                units.push(std::mem::take(open));
+                *open_cost = 0;
+            }
+        };
+        for (ti, task) in batch.iter().enumerate() {
+            match &task.task {
+                MatchTask::Forward => workless.push(ti),
+                MatchTask::Terms(terms) if terms.is_empty() => workless.push(ti),
+                MatchTask::Terms(terms) => {
+                    // Cost-sized term chunks; small tasks stay whole and
+                    // share a unit with their batch neighbours.
+                    let mut chunk: Vec<TermId> = Vec::new();
+                    let mut chunk_cost = 0usize;
+                    for &t in terms {
+                        chunk.push(t);
+                        chunk_cost += term_cost(t);
+                        if chunk_cost >= target {
+                            if !open.tasks.contains(&ti) {
+                                open.tasks.push(ti);
+                            }
+                            open.items.push(Item::Terms {
+                                task: ti,
+                                doc: Arc::clone(&task.doc),
+                                terms: std::mem::take(&mut chunk),
+                            });
+                            open_cost += chunk_cost;
+                            chunk_cost = 0;
+                            close_if_full(&mut open, &mut open_cost);
+                        }
+                    }
+                    if !chunk.is_empty() {
+                        if !open.tasks.contains(&ti) {
+                            open.tasks.push(ti);
+                        }
+                        open.items.push(Item::Terms {
+                            task: ti,
+                            doc: Arc::clone(&task.doc),
+                            terms: chunk,
+                        });
+                        open_cost += chunk_cost;
+                        close_if_full(&mut open, &mut open_cost);
+                    }
+                }
+                MatchTask::FullIndex => {
+                    open.tasks.push(ti);
+                    open.items.push(Item::FullDoc {
+                        task: ti,
+                        doc: Arc::clone(&task.doc),
+                    });
+                    open_cost += task
+                        .doc
+                        .terms()
+                        .iter()
+                        .map(|&t| term_cost(t))
+                        .sum::<usize>();
+                    close_if_full(&mut open, &mut open_cost);
+                }
+            }
+        }
+        Self::close_plan(units, open, workless)
+    }
+
+    /// Seals a plan: flush the open unit, then attach the workless tasks
+    /// (forwards, empty term lists) to the last unit so they finalize with
+    /// the batch — or to a dedicated unit when the whole batch is
+    /// workless.
+    fn close_plan(mut units: Vec<Unit>, open: Unit, workless: Vec<usize>) -> Vec<Unit> {
+        if !open.tasks.is_empty() || !open.items.is_empty() {
+            units.push(open);
+        }
+        if !workless.is_empty() {
+            if let Some(last) = units.last_mut() {
+                last.tasks.extend(workless);
+            } else {
+                units.push(Unit {
+                    items: Vec::new(),
+                    tasks: workless,
+                });
+            }
+        }
+        units
+    }
+
+    /// Plans `batch` into cost-balanced units against the `index` snapshot
+    /// and deals them round-robin across the lane deques. Must not be
+    /// called while a batch is in flight — the worker completes each batch
+    /// before touching its mailbox again.
     pub(crate) fn begin_batch(
         &self,
         index: &Arc<InvertedIndex>,
         fanout: &Arc<FanoutTable>,
         batch: Vec<DocTask>,
     ) {
-        let semantics = index.semantics();
+        let units = self.plan(index, &batch);
+        let mut remaining_per_task = vec![0usize; batch.len()];
+        for unit in &units {
+            for &ti in &unit.tasks {
+                remaining_per_task[ti] += 1;
+            }
+        }
+        debug_assert!(
+            batch.is_empty() || remaining_per_task.iter().all(|&r| r > 0),
+            "every task must be owned by at least one unit"
+        );
         let mut st = self.state.lock();
         debug_assert_eq!(st.remaining, 0, "previous batch still in flight");
         st.index = Some(Arc::clone(index));
         st.fanout = Some(Arc::clone(fanout));
         st.tasks.clear();
-        let mut dealt = 0usize;
-        for task in batch {
-            let slot = st.tasks.len();
-            let mut units = 0usize;
-            let mut push = |st: &mut PoolState, kind: UnitKind| {
-                st.deques[dealt % self.lanes].push_back(Unit { task: slot, kind });
-                dealt += 1;
-                units += 1;
-            };
-            match &task.task {
-                MatchTask::Forward => push(&mut st, UnitKind::Noop),
-                MatchTask::Terms(terms) => {
-                    if terms.is_empty() {
-                        push(&mut st, UnitKind::Noop);
-                    } else {
-                        for chunk in terms.chunks(TERM_CHUNK) {
-                            push(&mut st, UnitKind::RoutedTerms(chunk.to_vec()));
-                        }
-                    }
-                }
-                MatchTask::FullIndex => match semantics {
-                    MatchSemantics::Boolean => {
-                        let n = task.doc.terms().len();
-                        if n == 0 {
-                            push(&mut st, UnitKind::Noop);
-                        } else {
-                            let mut start = 0;
-                            while start < n {
-                                let end = (start + TERM_CHUNK).min(n);
-                                push(&mut st, UnitKind::DocTerms(start, end));
-                                start = end;
-                            }
-                        }
-                    }
-                    MatchSemantics::SimilarityThreshold(_) => push(&mut st, UnitKind::FullDoc),
-                },
-            }
+        for (task, remaining) in batch.into_iter().zip(remaining_per_task) {
             st.tasks.push(TaskAcc {
                 doc: task.doc,
                 dispatched: task.dispatched,
-                remaining: units,
+                remaining,
                 matched: Vec::new(),
                 postings_scanned: 0,
             });
+        }
+        let dealt = units.len();
+        for (i, unit) in units.into_iter().enumerate() {
+            st.deques[i % self.lanes].push_back(unit);
         }
         st.remaining = dealt;
         st.queued = dealt;
@@ -276,9 +540,10 @@ impl MatchPool {
 
     /// One scheduling quantum of `lane`: pop the lane's own deque, steal
     /// the back half of the longest other deque if it is empty, execute
-    /// the unit against the batch snapshot, and merge the partial result —
-    /// finalizing the task (canonical sort+dedup, delivery, latency) when
-    /// its last unit lands, and the batch when *its* last unit lands.
+    /// the unit against the batch snapshot (staging partials in the lane's
+    /// merge buffer), and commit them under one lock acquisition —
+    /// finalizing each task whose last unit lands (canonical sort+dedup,
+    /// delivery, latency), and the batch when *its* last unit lands.
     pub(crate) fn step_lane(&self, lane: usize, ctx: &mut LaneCtx) -> LaneStep {
         let mut st = self.state.lock();
         if st.remaining == 0 || st.crashed[lane] {
@@ -315,60 +580,95 @@ impl MatchPool {
             return LaneStep::Idle;
         };
         st.queued -= 1;
-        let doc = Arc::clone(&st.tasks[unit.task].doc);
         drop(st);
 
-        // Execute outside the lock — this is the parallel section.
-        let out = &mut ctx.outcome;
-        out.clear();
-        match &unit.kind {
-            UnitKind::RoutedTerms(terms) => index.match_terms_into(&doc, terms, out),
-            UnitKind::DocTerms(s, e) => index.match_terms_into(&doc, &doc.terms()[*s..*e], out),
-            UnitKind::FullDoc => index.match_document_into(&doc, &mut ctx.scratch, out),
-            UnitKind::Noop => {}
+        // Execute outside the lock — this is the parallel section. Every
+        // partial stages into the lane-private merge buffer.
+        ctx.buf.clear();
+        ctx.parts.clear();
+        for item in &unit.items {
+            match item {
+                Item::TermScan { term, tasks } => {
+                    let Some(pl) = index.posting(*term) else {
+                        continue; // absent list: serial charges nothing too
+                    };
+                    let postings = pl.len() as u64;
+                    let start = ctx.buf.len();
+                    for block in pl.blocks() {
+                        ctx.buf.extend_from_slice(block.as_slice());
+                    }
+                    let end = ctx.buf.len();
+                    let mut first = true;
+                    for &ti in tasks {
+                        if first {
+                            first = false;
+                            ctx.parts.push(Part {
+                                task: ti,
+                                start,
+                                end,
+                                postings,
+                            });
+                        } else {
+                            // Scatter: re-emit the scanned run (cache-hot
+                            // copy within the buffer) for each further
+                            // subscribing task.
+                            let s = ctx.buf.len();
+                            ctx.buf.extend_from_within(start..end);
+                            ctx.parts.push(Part {
+                                task: ti,
+                                start: s,
+                                end: s + (end - start),
+                                postings,
+                            });
+                        }
+                    }
+                }
+                Item::Terms { task, doc, terms } => {
+                    let out = &mut ctx.outcome;
+                    out.clear();
+                    index.match_terms_into(doc, terms, out);
+                    let start = ctx.buf.len();
+                    ctx.buf.extend_from_slice(&out.matched);
+                    ctx.parts.push(Part {
+                        task: *task,
+                        start,
+                        end: ctx.buf.len(),
+                        postings: out.postings_scanned,
+                    });
+                }
+                Item::FullDoc { task, doc } => {
+                    let out = &mut ctx.outcome;
+                    out.clear();
+                    index.match_document_into(doc, &mut ctx.scratch, out);
+                    let start = ctx.buf.len();
+                    ctx.buf.extend_from_slice(&out.matched);
+                    ctx.parts.push(Part {
+                        task: *task,
+                        start,
+                        end: ctx.buf.len(),
+                        postings: out.postings_scanned,
+                    });
+                }
+            }
         }
 
+        // Commit: one lock acquisition merges every partial, decrements
+        // each owned task once, and finalizes the ones that completed.
         let mut st = self.state.lock();
-        let finalize = {
-            let t = &mut st.tasks[unit.task];
-            t.matched.extend_from_slice(&out.matched);
-            t.postings_scanned += out.postings_scanned;
-            t.remaining -= 1;
-            t.remaining == 0
-        };
+        for part in &ctx.parts {
+            let t = &mut st.tasks[part.task];
+            t.matched.extend_from_slice(&ctx.buf[part.start..part.end]);
+            t.postings_scanned += part.postings;
+        }
         st.totals.units += 1;
-        if finalize {
-            let (doc_id, dispatched, postings, mut matched) = {
-                let t = &mut st.tasks[unit.task];
-                (
-                    t.doc.id(),
-                    t.dispatched,
-                    t.postings_scanned,
-                    std::mem::take(&mut t.matched),
-                )
+        for &ti in &unit.tasks {
+            let finalize = {
+                let t = &mut st.tasks[ti];
+                t.remaining -= 1;
+                t.remaining == 0
             };
-            st.totals.doc_tasks += 1;
-            st.totals.postings_scanned += postings;
-            let nanos = u64::try_from(dispatched.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            st.totals.latencies.push(nanos);
-            if !matched.is_empty() {
-                // The same canonicalization as the serial worker: sorted,
-                // deduplicated — identical bytes for every merge order —
-                // then canonical→subscriber expansion against the batch's
-                // fan-out snapshot, and a second canonical pass.
-                ctx.scratch.sort_dedup(&mut matched);
-                let mut expanded = Vec::with_capacity(matched.len());
-                match st.fanout.as_ref() {
-                    Some(fanout) => fanout.expand_into(&matched, &mut expanded),
-                    None => expanded.extend_from_slice(&matched),
-                }
-                ctx.scratch.sort_dedup(&mut expanded);
-                st.totals.delivered += expanded.len() as u64;
-                let _ = self.deliveries.send(Delivery {
-                    doc: doc_id,
-                    node: self.node,
-                    matched: expanded,
-                });
+            if finalize {
+                self.finalize_task(&mut st, ctx, ti);
             }
         }
         st.remaining -= 1;
@@ -379,6 +679,44 @@ impl MatchPool {
             self.done.notify_all();
         }
         LaneStep::Worked
+    }
+
+    /// Emits a completed task: latency, counters, and — when anything
+    /// matched — the canonical delivery. Runs under the pool lock, on
+    /// whichever lane merged the task's last unit.
+    fn finalize_task(&self, st: &mut PoolState, ctx: &mut LaneCtx, ti: usize) {
+        let (doc_id, dispatched, postings, mut matched) = {
+            let t = &mut st.tasks[ti];
+            (
+                t.doc.id(),
+                t.dispatched,
+                t.postings_scanned,
+                std::mem::take(&mut t.matched),
+            )
+        };
+        st.totals.doc_tasks += 1;
+        st.totals.postings_scanned += postings;
+        let nanos = u64::try_from(dispatched.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        st.totals.latencies.push(nanos);
+        if !matched.is_empty() {
+            // The same canonicalization as the serial worker: sorted,
+            // deduplicated — identical bytes for every merge order — then
+            // canonical→subscriber expansion against the batch's fan-out
+            // snapshot, and a second canonical pass.
+            ctx.scratch.sort_dedup(&mut matched);
+            let mut expanded = Vec::with_capacity(matched.len());
+            match st.fanout.as_ref() {
+                Some(fanout) => fanout.expand_into(&matched, &mut expanded),
+                None => expanded.extend_from_slice(&matched),
+            }
+            ctx.scratch.sort_dedup(&mut expanded);
+            st.totals.delivered += expanded.len() as u64;
+            let _ = self.deliveries.send(Delivery {
+                doc: doc_id,
+                node: self.node,
+                matched: expanded,
+            });
+        }
     }
 
     /// Blocks until the active batch completes (threaded driver only; the
@@ -425,12 +763,19 @@ impl MatchPool {
 mod tests {
     use super::*;
     use crossbeam::channel::unbounded;
-    use move_types::{Document, Filter, FilterId};
+    use move_types::Filter;
 
     fn pool_of(lanes: usize) -> (Arc<MatchPool>, crossbeam::channel::Receiver<Delivery>) {
+        pool_with_target(lanes, 4096)
+    }
+
+    fn pool_with_target(
+        lanes: usize,
+        target: usize,
+    ) -> (Arc<MatchPool>, crossbeam::channel::Receiver<Delivery>) {
         // xtask:allow-unbounded — drained synchronously by the test.
         let (tx, rx) = unbounded();
-        (Arc::new(MatchPool::new(NodeId(0), lanes, tx)), rx)
+        (Arc::new(MatchPool::new(NodeId(0), lanes, target, tx)), rx)
     }
 
     fn index_with(filters: &[Filter]) -> Arc<InvertedIndex> {
@@ -483,14 +828,39 @@ mod tests {
     }
 
     #[test]
+    fn should_inline_follows_the_cost_threshold() {
+        let idx = index_with(&[
+            Filter::new(1u64, [TermId(3)]),
+            Filter::new(2u64, [TermId(3), TermId(4)]),
+        ]);
+        let doc = Document::from_distinct_terms(9u64, [TermId(3), TermId(4)]);
+        let batch = vec![task(doc, MatchTask::FullIndex)];
+        // Cost 3 (two postings for term 3, one for term 4) against a
+        // 4096 × 4 threshold: far too small to fan out.
+        let (coarse, _rx) = pool_of(4);
+        assert!(coarse.should_inline(&idx, &batch));
+        // Cost 3 against a 1 × 2 threshold: enough to feed both lanes.
+        let (fine, _rx) = pool_with_target(2, 1);
+        assert!(!fine.should_inline(&idx, &batch));
+        // A workless batch has cost 0 and always inlines.
+        let fwd = vec![task(
+            Document::from_distinct_terms(1u64, [TermId(3)]),
+            MatchTask::Forward,
+        )];
+        assert!(coarse.should_inline(&idx, &fwd));
+    }
+
+    #[test]
     fn stealing_lane_completes_anothers_deque() {
         let idx = index_with(&[Filter::new(1u64, [TermId(1)])]);
-        let (pool, rx) = pool_of(2);
+        // Target 1 forces one unit per term group, so several units exist
+        // to steal even on this tiny workload.
+        let (pool, rx) = pool_with_target(2, 1);
         let batch: Vec<DocTask> = (0..6u64)
             .map(|i| {
                 task(
-                    Document::from_distinct_terms(i, [TermId(1)]),
-                    MatchTask::Terms(vec![TermId(1)]),
+                    Document::from_distinct_terms(i, [TermId(1), TermId(10 + i as u32)]),
+                    MatchTask::Terms(vec![TermId(1), TermId(10 + i as u32)]),
                 )
             })
             .collect();
@@ -509,12 +879,12 @@ mod tests {
     #[test]
     fn crashed_lane_units_are_stolen_dry() {
         let idx = index_with(&[Filter::new(1u64, [TermId(1)])]);
-        let (pool, rx) = pool_of(3);
+        let (pool, rx) = pool_with_target(3, 1);
         let batch: Vec<DocTask> = (0..9u64)
             .map(|i| {
                 task(
-                    Document::from_distinct_terms(i, [TermId(1)]),
-                    MatchTask::Terms(vec![TermId(1)]),
+                    Document::from_distinct_terms(i, [TermId(1), TermId(10 + i as u32)]),
+                    MatchTask::Terms(vec![TermId(1), TermId(10 + i as u32)]),
                 )
             })
             .collect();
@@ -552,5 +922,79 @@ mod tests {
         assert_eq!(totals.delivered, 0);
         assert_eq!(totals.latencies.len(), 1);
         assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn term_major_scatter_reproduces_per_doc_deliveries() {
+        // Two docs share the popular term 1; one also carries term 2. The
+        // term-major plan scans t1's list once and scatters it to both
+        // tasks — each doc's delivery must still be exactly its own match
+        // set, with serial counters.
+        let idx = index_with(&[
+            Filter::new(1u64, [TermId(1)]),
+            Filter::new(2u64, [TermId(1), TermId(2)]),
+            Filter::new(3u64, [TermId(2)]),
+        ]);
+        let (pool, rx) = pool_of(2);
+        let batch = vec![
+            task(
+                Document::from_distinct_terms(10u64, [TermId(1)]),
+                MatchTask::FullIndex,
+            ),
+            task(
+                Document::from_distinct_terms(11u64, [TermId(1), TermId(2)]),
+                MatchTask::FullIndex,
+            ),
+        ];
+        pool.begin_batch(&idx, &empty_fanout(), batch);
+        drain_on(&pool, 0);
+        let mut by_doc: Vec<(u64, Vec<FilterId>)> =
+            rx.try_iter().map(|d| (d.doc.0, d.matched)).collect();
+        by_doc.sort();
+        assert_eq!(
+            by_doc,
+            vec![
+                (10, vec![FilterId(1), FilterId(2)]),
+                (11, vec![FilterId(1), FilterId(2), FilterId(3)]),
+            ]
+        );
+        let totals = pool.take_totals();
+        // Doc 10 scans t1 (2 postings); doc 11 scans t1 (2) + t2 (2).
+        assert_eq!(totals.postings_scanned, 6);
+        assert_eq!(totals.doc_tasks, 2);
+    }
+
+    #[test]
+    fn cost_target_bounds_unit_count() {
+        // 32 single-term tasks over distinct terms of posting length 1:
+        // total cost 32. A huge target packs everything into one unit; a
+        // target of 1 yields one unit per term group.
+        let filters: Vec<Filter> = (0..32u64)
+            .map(|i| Filter::new(i, [TermId(i as u32)]))
+            .collect();
+        let idx = index_with(&filters);
+        let make_batch = || -> Vec<DocTask> {
+            (0..32u64)
+                .map(|i| {
+                    task(
+                        Document::from_distinct_terms(i, [TermId(i as u32)]),
+                        MatchTask::Terms(vec![TermId(i as u32)]),
+                    )
+                })
+                .collect()
+        };
+        let (coarse, _rx1) = pool_with_target(2, 1 << 20);
+        coarse.begin_batch(&idx, &empty_fanout(), make_batch());
+        drain_on(&coarse, 0);
+        let coarse_units = coarse.take_totals().units;
+        let (fine, _rx2) = pool_with_target(2, 1);
+        fine.begin_batch(&idx, &empty_fanout(), make_batch());
+        drain_on(&fine, 0);
+        let fine_units = fine.take_totals().units;
+        assert_eq!(fine_units, 32, "target 1 → one unit per term group");
+        assert!(
+            coarse_units < fine_units,
+            "a large cost target must coalesce units ({coarse_units} vs {fine_units})"
+        );
     }
 }

@@ -63,7 +63,7 @@ pub mod rebalance;
 mod supervisor;
 mod worker;
 
-pub use config::{BatchPolicy, OverflowPolicy, RuntimeConfig};
+pub use config::{BatchPolicy, OverflowPolicy, RuntimeConfig, DEFAULT_LANE_COST_TARGET};
 pub use engine::Engine;
 pub use fault::{FaultAction, FaultEvent, FaultPlan};
 pub use message::{Delivery, DocTask, NodeMessage};

@@ -95,9 +95,11 @@ pub(crate) struct Worker {
 
 impl Worker {
     /// A worker whose batches fan out over `lanes` match lanes (1 =
-    /// inline matching, no pool at all). With
+    /// inline matching, no pool at all), with units packed toward
+    /// `lane_cost_target` posting entries each. With
     /// `external_lanes`, lane steps are driven by the caller (the
     /// interleaving harness) instead of helper threads.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn with_lanes(
         node: NodeId,
         index: Arc<InvertedIndex>,
@@ -105,9 +107,17 @@ impl Worker {
         mailbox: Receiver<NodeMessage>,
         deliveries: Sender<Delivery>,
         lanes: usize,
+        lane_cost_target: usize,
         external_lanes: bool,
     ) -> Self {
-        let pool = (lanes > 1).then(|| Arc::new(MatchPool::new(node, lanes, deliveries.clone())));
+        let pool = (lanes > 1).then(|| {
+            Arc::new(MatchPool::new(
+                node,
+                lanes,
+                lane_cost_target,
+                deliveries.clone(),
+            ))
+        });
         let lane_ctxs = if external_lanes && pool.is_some() {
             (0..lanes).map(|_| LaneCtx::default()).collect()
         } else {
@@ -346,6 +356,17 @@ impl Worker {
             }
             return;
         };
+        // Cost-model fast path (threaded driver only): a batch too small
+        // to feed every lane a target-sized unit is matched inline — the
+        // serial loop and the pool produce byte-identical deliveries and
+        // books, so only the scheduling overhead differs. The harness
+        // always pools; it explores schedules, not throughput.
+        if !self.external_lanes && pool.should_inline(&self.index, &batch) {
+            for task in batch {
+                self.execute(task);
+            }
+            return;
+        }
         pool.begin_batch(&self.index, &self.fanout, batch);
         if self.external_lanes {
             return;

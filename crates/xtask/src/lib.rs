@@ -625,9 +625,10 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// * when the optional `lanes` array (the `--match-lanes` sweep over the
 ///   workers' work-stealing match pools) is present: each entry has
 ///   `scheme` ∈ {`il`, `rs`, `move`}, `mode` = `live`, integer `lanes` ≥
-///   1, `docs_per_sec` > 0, `speedup` > 0, and `deliveries_match` =
-///   `true` — same correctness gate as the publisher sweep, now over
-///   intra-node lane counts.
+///   1, `docs_per_sec` > 0, `speedup` ≥ [`LANE_SPEEDUP_FLOOR`] (lane
+///   configurations that *regress* throughput by more than 5% hard-fail
+///   the gate), and `deliveries_match` = `true` — same correctness gate
+///   as the publisher sweep, now over intra-node lane counts.
 #[must_use]
 pub fn check_bench_report(src: &str) -> Vec<String> {
     use serde::Value;
@@ -745,6 +746,12 @@ pub fn check_bench_report(src: &str) -> Vec<String> {
     errors
 }
 
+/// Hard floor on every lane-sweep `speedup`: a multi-lane configuration
+/// may fail to gain (scheduler overhead, single hardware core), but one
+/// that *loses* more than 5% versus the single-lane worker is a
+/// regression the bench gate refuses to certify.
+pub const LANE_SPEEDUP_FLOOR: f64 = 0.95;
+
 /// Validates one entry of the `lanes` (`--match-lanes` sweep) array.
 fn check_lane_entry(i: usize, entry: &serde::Value, errors: &mut Vec<String>) {
     use serde::Value;
@@ -785,6 +792,14 @@ fn check_lane_entry(i: usize, entry: &serde::Value, errors: &mut Vec<String>) {
             Some(_) => errors.push(format!("lanes[{i}].{field} must be finite and > 0")),
             None => errors.push(format!("lanes[{i}] missing numeric `{field}`")),
         }
+    }
+    match entry.get("speedup").and_then(Value::as_f64) {
+        Some(s) if s.is_finite() && s > 0.0 && s < LANE_SPEEDUP_FLOOR => errors.push(format!(
+            "lanes[{i}].speedup {s:.3} is below the {LANE_SPEEDUP_FLOOR} floor: \
+             the lane pool regresses versus the single-lane worker — a lane \
+             configuration that costs throughput must not ship"
+        )),
+        Some(_) | None => {} // non-positive / missing reported above
     }
     match entry.get("deliveries_match") {
         Some(Value::Bool(true)) => {}
@@ -1502,6 +1517,32 @@ mod tests {
                 .any(|e| e.contains("lanes[0].deliveries_match is false")),
             "{errors:?}"
         );
+    }
+
+    #[test]
+    fn bench_report_rejects_a_lane_speedup_below_the_floor() {
+        // 0.84 was the committed regression this floor exists to block.
+        let report = report_with_lanes(&[
+            lane_entry("il", 1, 1.0, true),
+            lane_entry("move", 4, 0.84, true),
+        ]);
+        let errors = check_bench_report(&report);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("lanes[1].speedup 0.840 is below the 0.95 floor")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn bench_report_accepts_lane_speedups_at_the_floor() {
+        let report = report_with_lanes(&[
+            lane_entry("il", 2, 0.95, true),
+            lane_entry("move", 4, 0.96, true),
+        ]);
+        let errors = check_bench_report(&report);
+        assert!(errors.is_empty(), "unexpected errors: {errors:?}");
     }
 
     fn valid_rebalance_report() -> String {

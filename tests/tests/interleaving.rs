@@ -443,6 +443,7 @@ fn failover_reroutes_documents_to_replicas() {
             mailbox_capacity: 2,
             overflow: OverflowPolicy::Block,
             batch_size: 1 + (seed as usize % 2),
+            lane_cost_target: 1,
             supervision: SupervisionPolicy::failover(),
         };
         let out = run_schedule(Box::new(scheme), script, &icfg)
@@ -771,6 +772,7 @@ fn crash_of_joining_node_keeps_old_homes_serving() {
                 mailbox_capacity: 2,
                 overflow: OverflowPolicy::Block,
                 batch_size: 1 + (seed as usize % 2),
+                lane_cost_target: 1,
                 supervision: SupervisionPolicy::failover(),
             };
             let out = run_schedule(scheme, script, &icfg)
@@ -841,6 +843,7 @@ fn failover_then_original_node_returns() {
                 mailbox_capacity: 2,
                 overflow: OverflowPolicy::Block,
                 batch_size: 1,
+                lane_cost_target: 1,
                 supervision: SupervisionPolicy::failover(),
             };
             let out = run_schedule(scheme, script, &icfg)

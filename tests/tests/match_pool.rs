@@ -1,6 +1,7 @@
 //! Serial-vs-parallel equivalence for the work-stealing match plane: a
-//! worker fanning its batches over N match lanes (chunked posting scans,
-//! steal-half deques, per-lane scratch, canonical merge) must be
+//! worker fanning its batches over N match lanes (cost-model units over
+//! blocked posting scans, steal-half deques, per-lane scratch, canonical
+//! merge) must be
 //! **observationally identical** to the serial worker — byte-identical
 //! delivery sets and exact `RuntimeReport` accounting — on every
 //! schedule the deterministic pool-interleaving harness can produce.
@@ -495,6 +496,168 @@ fn a_lane_crash_mid_batch_never_loses_a_delivery() {
     }
 }
 
+/// Filters engineered so one term's posting list spans several blocks:
+/// every filter carries the hot term, so its home node's list holds
+/// `count` entries — `count / 128`-plus blocks under the blocked layout.
+fn block_spanning_filters(count: u64) -> Vec<Filter> {
+    assert!(
+        count as usize > 2 * move_index::BLOCK_CAP,
+        "workload must span at least three posting blocks"
+    );
+    (0..count)
+        .map(|id| {
+            Filter::new(
+                id,
+                [
+                    move_types::TermId(1),
+                    move_types::TermId(2 + (id % 7) as u32),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// 20 seeded schedules of steals over multi-block posting lists: the hot
+/// term's list spans 3+ blocks, so stolen units land mid-way through a
+/// blocked scan sequence and merge their block runs out of order.
+/// Delivery must stay exact on every schedule, and the sweep must
+/// actually steal.
+#[test]
+fn steals_under_the_blocked_layout_stay_exact() {
+    let cfg = SystemConfig::small_test();
+    let filters = block_spanning_filters(300);
+    // Every doc carries the hot term (posting list of 300 = 3 blocks)
+    // plus a rotating tail, so each batch re-scans the blocked list.
+    let docs: Vec<Document> = (0..18u64)
+        .map(|i| {
+            Document::from_distinct_terms(
+                i,
+                [
+                    move_types::TermId(1),
+                    move_types::TermId(2 + (i % 7) as u32),
+                    move_types::TermId(40 + (i % 3) as u32),
+                ],
+            )
+        })
+        .collect();
+    let script: Vec<ScriptOp> = docs.iter().map(|d| ScriptOp::Publish(d.clone())).collect();
+    let expected = expected_sets(&filters, &script);
+
+    let mut total_steals = 0u64;
+    for seed in 2000..2020u64 {
+        let mut scheme = build(1, &cfg); // IL: term 1's full list on one home
+        for f in &filters {
+            scheme.register(f).expect("register");
+        }
+        let icfg = InterleaveConfig {
+            seed,
+            mailbox_capacity: 2,
+            overflow: OverflowPolicy::Block,
+            batch_size: 2,
+            match_lanes: 3,
+            ..InterleaveConfig::default()
+        };
+        let out = run_schedule(scheme, script.clone(), &icfg)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            lane_units(&out.report) > 0,
+            "seed {seed}: the pool never executed a unit"
+        );
+        total_steals += out.report.steals();
+        for d in &docs {
+            let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+            assert_eq!(
+                &got,
+                &expected[&d.id()],
+                "seed {seed}: doc {} wrong over multi-block lists",
+                d.id()
+            );
+        }
+    }
+    assert!(
+        total_steals > 0,
+        "the 20-seed sweep never stole a multi-block unit"
+    );
+}
+
+/// 16 seeded schedules of a lane dying mid-way through a multi-block
+/// scan: the hot term spans 3+ posting blocks and lanes are crashed
+/// between pool steps, so a dead lane's deque still holds units whose
+/// scans of the blocked list have not started. Those units must be
+/// stolen dry — exact delivery, balanced books — on every schedule.
+#[test]
+fn a_lane_crash_mid_block_scan_leaves_units_stealable() {
+    let cfg = SystemConfig::small_test();
+    let filters = block_spanning_filters(300);
+    let docs: Vec<Document> = (0..16u64)
+        .map(|i| {
+            Document::from_distinct_terms(
+                i,
+                [
+                    move_types::TermId(1),
+                    move_types::TermId(2 + (i % 7) as u32),
+                ],
+            )
+        })
+        .collect();
+    let base_script: Vec<ScriptOp> = docs.iter().map(|d| ScriptOp::Publish(d.clone())).collect();
+    let expected = expected_sets(&filters, &base_script);
+
+    for seed in 2100..2116u64 {
+        let mut scheme = build(1, &cfg); // IL
+        for f in &filters {
+            scheme.register(f).expect("register");
+        }
+        let nodes = scheme.cluster().len() as u32;
+        let mut script = base_script.clone();
+        let len = script.len();
+        // Two lane deaths landing while blocked-list batches drain.
+        script.insert(
+            len / 2,
+            ScriptOp::CrashLane {
+                node: NodeId((seed as u32 + 1) % nodes),
+                lane: 2,
+            },
+        );
+        script.insert(
+            len / 4,
+            ScriptOp::CrashLane {
+                node: NodeId(seed as u32 % nodes),
+                lane: 1,
+            },
+        );
+        let icfg = InterleaveConfig {
+            seed,
+            mailbox_capacity: 1 + (seed as usize % 2),
+            overflow: OverflowPolicy::Block,
+            batch_size: 1 + (seed as usize % 3),
+            match_lanes: 3,
+            ..InterleaveConfig::default()
+        };
+        let out =
+            run_schedule(scheme, script, &icfg).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(out.report.docs_published, docs.len() as u64);
+        assert!(
+            out.lost_docs.is_empty(),
+            "seed {seed}: a mid-scan lane crash lost a doc"
+        );
+        let executed: u64 = out.report.nodes.iter().map(|n| n.doc_tasks).sum();
+        assert_eq!(
+            out.report.tasks_dispatched, executed,
+            "seed {seed}: a crashed lane's units were not stolen dry"
+        );
+        for d in &docs {
+            let got = out.delivered.get(&d.id()).cloned().unwrap_or_default();
+            assert_eq!(
+                &got,
+                &expected[&d.id()],
+                "seed {seed}: doc {} wrong after a mid-block-scan crash",
+                d.id()
+            );
+        }
+    }
+}
+
 /// The threaded engine end to end: real OS lane threads at 4 lanes per
 /// worker against the serial engine on the identical workload. Delivery
 /// sets must be byte-identical (and equal the oracle), the report totals
@@ -517,6 +680,9 @@ fn threaded_lanes_match_the_serial_engine_end_to_end() {
             batch_size: 2,
             flush_interval: Duration::from_millis(1),
             match_lanes,
+            // A cost target of 1 defeats the worker's inline fast path for
+            // small batches — this test exists to drive the threaded pool.
+            lane_cost_target: 1,
             ..RuntimeConfig::default()
         };
         let engine = Engine::start_with_faults(Box::new(scheme), config, FaultPlan::none())

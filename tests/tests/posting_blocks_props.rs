@@ -1,0 +1,249 @@
+//! Property tests of the blocked posting layout against the flat sorted
+//! `Vec<FilterId>` oracle it replaced, plus a deterministic edge suite at
+//! the block boundaries.
+//!
+//! The blocked layout (`move-index`'s `blocks` module) must be
+//! *observationally identical* to a flat sorted vector: same iteration
+//! order, same membership answers, same return values from every mutation
+//! — block splits, merges and pruning are storage artifacts that may
+//! never leak. The property runs random op sequences through both and
+//! compares after every step; the edge suite pins the exact boundaries
+//! (127/128/129 entries, drained-block pruning) where off-by-ones live.
+
+use move_index::{InvertedIndex, PostingList, BLOCK_CAP};
+use move_types::{FilterId, MatchSemantics, TermId};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16),
+    Remove(u16),
+    ExtendSorted(Vec<u16>),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    // Ids in 0..600 keep collisions (duplicate inserts, present removes)
+    // frequent, and several hundred ops force multi-block lists through
+    // splits and prunes.
+    let op = prop_oneof![
+        4 => (0u16..600).prop_map(Op::Insert),
+        2 => (0u16..600).prop_map(Op::Remove),
+        1 => prop::collection::vec(0u16..600, 0..80).prop_map(|mut ids| {
+            ids.sort_unstable();
+            ids.dedup();
+            Op::ExtendSorted(ids)
+        }),
+    ];
+    prop::collection::vec(op, 1..120)
+}
+
+/// The flat-layout oracle: a sorted, deduplicated vector with the exact
+/// return-value contract the blocked list must reproduce.
+#[derive(Debug, Default)]
+struct FlatOracle(Vec<FilterId>);
+
+impl FlatOracle {
+    fn insert(&mut self, id: FilterId) -> bool {
+        match self.0.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.0.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    fn remove(&mut self, id: FilterId) -> bool {
+        match self.0.binary_search(&id) {
+            Ok(pos) => {
+                self.0.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn extend_sorted(&mut self, batch: &[FilterId]) -> usize {
+        batch.iter().filter(|&&id| self.insert(id)).count()
+    }
+}
+
+/// Structural invariants of the blocked layout, checked through the
+/// public block API: non-empty blocks, strictly ascending ids within and
+/// across blocks, truthful summary headers, and byte accounting that is
+/// an exact function of the block count.
+fn assert_block_invariants(pl: &PostingList) {
+    let blocks = pl.blocks();
+    let mut prev_max: Option<FilterId> = None;
+    for b in blocks {
+        assert!(!b.is_empty(), "empty blocks must be pruned");
+        assert!(b.len() <= BLOCK_CAP);
+        let ids = b.as_slice();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "in-block order");
+        assert_eq!(b.min(), ids[0], "min summary");
+        assert_eq!(b.max(), ids[ids.len() - 1], "max summary");
+        if let Some(pm) = prev_max {
+            assert!(pm < b.min(), "blocks must not overlap");
+        }
+        prev_max = Some(b.max());
+    }
+    // Each block holds ≥ 1 and ≤ BLOCK_CAP ids, so the count is bounded
+    // both ways; bytes are blocks × the fixed per-block footprint.
+    assert!(blocks.len() <= pl.len());
+    assert!(blocks.len() >= pl.len().div_ceil(BLOCK_CAP));
+    if let Some(one_block_bytes) = single_block_bytes() {
+        assert_eq!(pl.estimated_bytes(), blocks.len() * one_block_bytes);
+    }
+}
+
+/// Footprint of a one-block list, measured once — the unit of the exact
+/// byte accounting.
+fn single_block_bytes() -> Option<usize> {
+    let one: PostingList = [FilterId(0)].into_iter().collect();
+    (one.blocks().len() == 1).then(|| one.estimated_bytes())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn blocked_list_agrees_with_the_flat_oracle(ops in arb_ops()) {
+        let mut pl = PostingList::new();
+        let mut oracle = FlatOracle::default();
+        for op in &ops {
+            match op {
+                Op::Insert(raw) => {
+                    let id = FilterId(u64::from(*raw));
+                    prop_assert_eq!(pl.insert(id), oracle.insert(id), "insert {}", raw);
+                }
+                Op::Remove(raw) => {
+                    let id = FilterId(u64::from(*raw));
+                    prop_assert_eq!(pl.remove(id), oracle.remove(id), "remove {}", raw);
+                }
+                Op::ExtendSorted(raw) => {
+                    let batch: Vec<FilterId> =
+                        raw.iter().map(|&r| FilterId(u64::from(r))).collect();
+                    prop_assert_eq!(
+                        pl.extend_sorted(&batch),
+                        oracle.extend_sorted(&batch),
+                        "extend_sorted {:?}", raw
+                    );
+                }
+            }
+            prop_assert_eq!(pl.len(), oracle.0.len());
+        }
+        // Identical observable state: iteration order, membership, bytes
+        // consistent with the block structure.
+        let collected: Vec<FilterId> = pl.iter().collect();
+        prop_assert_eq!(&collected, &oracle.0);
+        for raw in 0u16..600 {
+            let id = FilterId(u64::from(raw));
+            prop_assert_eq!(pl.contains(id), oracle.0.binary_search(&id).is_ok());
+        }
+        assert_block_invariants(&pl);
+    }
+
+    #[test]
+    fn index_term_postings_agree_with_a_map_model(
+        ops in prop::collection::vec(
+            (0u8..8, 0u16..60, any::<bool>()), 1..120
+        )
+    ) {
+        // `insert_for_term` / `remove_term_posting` over blocked lists
+        // must match a plain map of sorted sets — including posting-list
+        // pruning when a term drains and body retirement on the last
+        // posting.
+        let mut idx = InvertedIndex::new(MatchSemantics::Boolean);
+        let mut model: BTreeMap<TermId, BTreeSet<FilterId>> = BTreeMap::new();
+        for (t, f, is_insert) in &ops {
+            let term = TermId(u32::from(*t));
+            let fid = FilterId(u64::from(*f));
+            if *is_insert {
+                // The filter body must contain every term it is ever
+                // registered under; give each filter all 8 terms.
+                let body = move_types::Filter::new(fid.0, (0u32..8).map(TermId));
+                idx.insert_for_term(body, term);
+                model.entry(term).or_default().insert(fid);
+            } else {
+                let want = model
+                    .get_mut(&term)
+                    .is_some_and(|s| s.remove(&fid));
+                prop_assert_eq!(idx.remove_term_posting(fid, term), want);
+                if model.get(&term).is_some_and(BTreeSet::is_empty) {
+                    model.remove(&term);
+                }
+            }
+        }
+        for t in 0u32..8 {
+            let term = TermId(t);
+            let want: Vec<FilterId> =
+                model.get(&term).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            let got: Vec<FilterId> =
+                idx.posting(term).map(|pl| pl.iter().collect()).unwrap_or_default();
+            prop_assert_eq!(got, want, "term {}", t);
+            prop_assert_eq!(idx.posting_len(term), model.get(&term).map_or(0, BTreeSet::len));
+        }
+        let live: BTreeSet<FilterId> = model.values().flatten().copied().collect();
+        prop_assert_eq!(idx.len(), live.len(), "bodies must drain with their postings");
+    }
+}
+
+#[test]
+fn block_boundaries_are_exact() {
+    // 127 / 128 / 129 entries: one block below capacity, exactly at it,
+    // and the first spill into a second block.
+    for (n, want_blocks) in [(127usize, 1usize), (128, 1), (129, 2)] {
+        let pl: PostingList = (0..n as u64).map(FilterId).collect();
+        assert_eq!(pl.blocks().len(), want_blocks, "{n} entries");
+        assert_eq!(pl.len(), n);
+        let ids: Vec<FilterId> = pl.iter().collect();
+        assert_eq!(ids, (0..n as u64).map(FilterId).collect::<Vec<_>>());
+        assert_block_invariants(&pl);
+    }
+}
+
+#[test]
+fn middle_insert_into_a_full_block_splits_without_reordering() {
+    // Fill one block with even ids, then insert an odd id in the middle:
+    // the block must split (capacity is exhausted) and the merged
+    // iteration order must stay exactly sorted.
+    let mut pl: PostingList = (0..BLOCK_CAP as u64).map(|i| FilterId(i * 2)).collect();
+    assert_eq!(pl.blocks().len(), 1);
+    assert!(pl.insert(FilterId(101)));
+    assert_eq!(pl.blocks().len(), 2, "full block must split");
+    let mut want: Vec<FilterId> = (0..BLOCK_CAP as u64).map(|i| FilterId(i * 2)).collect();
+    want.push(FilterId(101));
+    want.sort_unstable();
+    assert_eq!(pl.iter().collect::<Vec<_>>(), want);
+    assert_block_invariants(&pl);
+}
+
+#[test]
+fn draining_a_block_prunes_it() {
+    // Two blocks; removing every id of the first must drop the block
+    // itself (summary skip-pruning relies on no empty blocks existing),
+    // while the survivor keeps its ids untouched.
+    let pl_ids: Vec<FilterId> = (0..(BLOCK_CAP as u64 + 10)).map(FilterId).collect();
+    let mut pl: PostingList = pl_ids.iter().copied().collect();
+    assert_eq!(pl.blocks().len(), 2);
+    let first_block: Vec<FilterId> = pl.blocks()[0].as_slice().to_vec();
+    for id in &first_block {
+        assert!(pl.remove(*id));
+    }
+    assert_eq!(pl.blocks().len(), 1, "drained block must be pruned");
+    let survivors: Vec<FilterId> = pl.iter().collect();
+    assert_eq!(
+        survivors,
+        pl_ids[first_block.len()..].to_vec(),
+        "second block must be untouched"
+    );
+    assert_block_invariants(&pl);
+    // Draining the remainder leaves a truly empty list.
+    for id in survivors {
+        assert!(pl.remove(id));
+    }
+    assert!(pl.is_empty());
+    assert_eq!(pl.blocks().len(), 0);
+    assert_eq!(pl.estimated_bytes(), 0);
+}
